@@ -1,0 +1,279 @@
+//! State-memoizing compiler: turns a *procedural* agent into an explicit
+//! [`LineFsa`] by exhaustive reachability over its behavioral states.
+//!
+//! Why this exists: the lower-bound adversaries (Theorems 3.1 and 4.2) are
+//! functions *from automata to instances*. Compiling our own upper-bound
+//! agents (e.g. the `prime` path protocol with capped counters) lets the
+//! adversaries defeat them constructively — the experiment that exhibits the
+//! paper's titular gap end-to-end (DESIGN.md §D7).
+//!
+//! Model notes (edge-colored lines, §4.2): on a properly 2-edge-colored line
+//! the entry port at the next node is determined by the agent's own last
+//! exit — except for edges incident to a leaf, whose leaf-side port is
+//! forced to 0. Bouncing at a leaf re-traverses the same edge, so tracking
+//! the color of the *last traversed edge* (as seen from its internal end)
+//! recovers the entry port in every case reachable from an internal start.
+//! Compiled automata therefore assume the agent starts at an internal
+//! (degree-2) node, which is how the adversaries place them.
+
+use crate::line_fsa::{LineFsa, StateId};
+use crate::model::{Action, Agent, Obs};
+use std::collections::HashMap;
+use std::hash::Hash;
+
+/// Compilation failures.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CompileError {
+    /// The reachable behavioral state space exceeded the configured cap:
+    /// the agent is not (behaviorally) a bounded automaton at this cap.
+    TooManyStates { cap: usize },
+}
+
+impl std::fmt::Display for CompileError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CompileError::TooManyStates { cap } => {
+                write!(f, "reachable state space exceeds cap {cap}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+/// Wrapper state: the agent plus the edge-color bookkeeping.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct Wrapped<A> {
+    agent: A,
+    /// Color (internal-end port) of the last traversed edge; `None` before
+    /// any traversal.
+    last_color: Option<u32>,
+    /// Whether the previous action was a move (affects the next `entry`).
+    moved: bool,
+}
+
+impl<A: Agent + Clone> Wrapped<A> {
+    /// Feed one observation for a node of degree `d`; returns the action.
+    fn advance(&mut self, d: u32) -> Action {
+        let entry = if !self.moved {
+            None
+        } else if d == 1 {
+            Some(0)
+        } else {
+            self.last_color
+        };
+        let action = self.agent.act(Obs { entry, degree: d });
+        match action {
+            Action::Stay => self.moved = false,
+            Action::Move(raw) => {
+                self.moved = true;
+                if d == 2 {
+                    self.last_color = Some(raw % 2);
+                }
+                // d == 1: bouncing at a leaf re-traverses the same edge:
+                // last_color unchanged.
+            }
+        }
+        action
+    }
+}
+
+/// Compiles `make()`-produced agents into an explicit [`LineFsa`].
+///
+/// The construction enumerates all behavioral states reachable from an
+/// internal (degree-2) start under inputs `d ∈ {1, 2}`. Each compiled state
+/// carries the action the agent produced on entering it; transitions follow
+/// the wrapper semantics above.
+pub fn compile_line_agent<A, F>(make: F, cap: usize) -> Result<LineFsa, CompileError>
+where
+    A: Agent + Clone + Eq + Hash,
+    F: Fn() -> A,
+{
+    // Initial compiled state: the fresh agent having performed its first
+    // activation at an internal node.
+    let mut first = Wrapped { agent: make(), last_color: None, moved: false };
+    let first_action = first.advance(2);
+
+    let mut ids: HashMap<Wrapped<A>, StateId> = HashMap::new();
+    let mut order: Vec<Wrapped<A>> = Vec::new();
+    let mut actions: Vec<Action> = Vec::new();
+    let intern = |w: Wrapped<A>,
+                      a: Action,
+                      ids: &mut HashMap<Wrapped<A>, StateId>,
+                      order: &mut Vec<Wrapped<A>>,
+                      actions: &mut Vec<Action>|
+     -> StateId {
+        if let Some(&id) = ids.get(&w) {
+            return id;
+        }
+        let id = order.len() as StateId;
+        ids.insert(w.clone(), id);
+        order.push(w);
+        actions.push(a);
+        id
+    };
+
+    let s0 = intern(first, first_action, &mut ids, &mut order, &mut actions);
+    let mut delta: Vec<[StateId; 2]> = Vec::new();
+    let mut frontier = 0usize;
+    while frontier < order.len() {
+        if order.len() > cap {
+            return Err(CompileError::TooManyStates { cap });
+        }
+        let base = order[frontier].clone();
+        let mut row = [0 as StateId; 2];
+        for d in 1..=2u32 {
+            let mut next = base.clone();
+            let a = next.advance(d);
+            row[(d - 1) as usize] = intern(next, a, &mut ids, &mut order, &mut actions);
+        }
+        delta.push(row);
+        frontier += 1;
+    }
+    let lambda = actions
+        .iter()
+        .map(|a| match a {
+            Action::Stay => -1i64,
+            Action::Move(raw) => (*raw % 2) as i64,
+        })
+        .collect();
+    let fsa = LineFsa { delta, lambda, s0 };
+    debug_assert!(fsa.validate());
+    Ok(fsa)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny hand-written procedural agent: shuttles along the line,
+    /// bouncing at leaves, with a modulo-3 idle pattern (stays every third
+    /// round). Behavioral state: direction + phase counter.
+    #[derive(Clone, PartialEq, Eq, Hash)]
+    struct Shuttler {
+        phase: u8,
+        started: bool,
+    }
+
+    impl Agent for Shuttler {
+        fn act(&mut self, obs: Obs) -> Action {
+            self.started = true;
+            self.phase = (self.phase + 1) % 3;
+            if self.phase == 0 {
+                return Action::Stay;
+            }
+            match obs.entry {
+                None => Action::Move(0),
+                Some(i) => Action::Move((i + 1) % obs.degree.max(1)),
+            }
+        }
+        fn memory_bits(&self) -> u64 {
+            2
+        }
+    }
+
+    #[test]
+    fn compiles_small_agent() {
+        let fsa = compile_line_agent(|| Shuttler { phase: 0, started: false }, 1000).unwrap();
+        assert!(fsa.validate());
+        assert!(fsa.num_states() <= 12, "got {}", fsa.num_states());
+    }
+
+    #[test]
+    fn compiled_matches_procedural_on_a_line() {
+        // Walk both the procedural agent (with real observations) and the
+        // compiled automaton along an edge-colored line; actions must agree.
+        use rvz_trees::generators::colored_line;
+        let line = colored_line(12, 0);
+        let fsa = compile_line_agent(|| Shuttler { phase: 0, started: false }, 1000).unwrap();
+        let mut proc_agent = Shuttler { phase: 0, started: false };
+        let mut fsa_agent = fsa.runner();
+        let mut pos: rvz_trees::NodeId = 5;
+        let mut entry: Option<u32> = None;
+        for round in 0..200 {
+            let obs = Obs { entry, degree: line.degree(pos) };
+            let a1 = proc_agent.act(obs);
+            let a2 = fsa_agent.act(obs);
+            assert_eq!(a1.port(obs.degree), a2.port(obs.degree), "round {round}");
+            match a1.port(obs.degree) {
+                None => entry = None,
+                Some(p) => {
+                    let nxt = line.neighbor(pos, p);
+                    entry = Some(line.entry_port(pos, p));
+                    pos = nxt;
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn compiled_states_grow_with_the_inner_state_space() {
+        // Larger phase moduli ⇒ more behavioral states.
+        #[derive(Clone, PartialEq, Eq, Hash)]
+        struct ModShuttler {
+            modulus: u8,
+            phase: u8,
+        }
+        impl Agent for ModShuttler {
+            fn act(&mut self, obs: Obs) -> Action {
+                self.phase = (self.phase + 1) % self.modulus;
+                if self.phase == 0 {
+                    return Action::Stay;
+                }
+                match obs.entry {
+                    None => Action::Move(0),
+                    Some(i) => Action::Move((i + 1) % obs.degree.max(1)),
+                }
+            }
+            fn memory_bits(&self) -> u64 {
+                8
+            }
+        }
+        let mut prev = 0;
+        for modulus in [2u8, 5, 11] {
+            let fsa =
+                compile_line_agent(|| ModShuttler { modulus, phase: 0 }, 10_000).unwrap();
+            assert!(
+                fsa.num_states() > prev,
+                "modulus {modulus}: {} states not > {prev}",
+                fsa.num_states()
+            );
+            prev = fsa.num_states();
+        }
+    }
+
+    #[test]
+    fn stay_only_agent_compiles_to_tiny_fsa() {
+        #[derive(Clone, PartialEq, Eq, Hash)]
+        struct Sitter;
+        impl Agent for Sitter {
+            fn act(&mut self, _: Obs) -> Action {
+                Action::Stay
+            }
+            fn memory_bits(&self) -> u64 {
+                0
+            }
+        }
+        let fsa = compile_line_agent(|| Sitter, 16).unwrap();
+        assert!(fsa.num_states() <= 2);
+        assert_eq!(fsa.lambda[fsa.s0 as usize], -1);
+    }
+
+    #[test]
+    fn cap_is_enforced() {
+        /// Unboundedly counting agent: never a finite automaton.
+        #[derive(Clone, PartialEq, Eq, Hash)]
+        struct Counter(u64);
+        impl Agent for Counter {
+            fn act(&mut self, _: Obs) -> Action {
+                self.0 += 1;
+                Action::Move(0)
+            }
+            fn memory_bits(&self) -> u64 {
+                64
+            }
+        }
+        let err = compile_line_agent(|| Counter(0), 64).unwrap_err();
+        assert_eq!(err, CompileError::TooManyStates { cap: 64 });
+    }
+}

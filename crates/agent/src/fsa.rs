@@ -1,0 +1,239 @@
+//! General explicit finite automata for trees of bounded maximum degree —
+//! the model used by the Theorem 4.3 adversary (trees of maximum degree 3,
+//! arbitrary port labelings, so the full input symbol `(i, d)` matters).
+
+use crate::meter::bits_for_variants;
+use crate::model::{Action, Agent, Obs};
+use rand::Rng;
+
+pub use crate::line_fsa::StateId;
+
+/// A finite-state agent for trees with degrees `1..=max_degree`.
+///
+/// Transitions are indexed by the paper's input symbol `(i, d)`: entry port
+/// `i ∈ {-1, 0, …, max_degree-1}` (−1 encoded as index 0) and degree
+/// `d ∈ {1, …, max_degree}`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Fsa {
+    pub max_degree: u32,
+    /// `delta[s][entry_idx][d-1]` with `entry_idx = 0` for `i = -1`, else
+    /// `i + 1`.
+    pub delta: Vec<Vec<Vec<StateId>>>,
+    /// `lambda[s]`: `-1` = null move, else leave by `lambda[s] mod d`.
+    pub lambda: Vec<i64>,
+    pub s0: StateId,
+}
+
+impl Fsa {
+    pub fn num_states(&self) -> usize {
+        self.delta.len()
+    }
+
+    pub fn memory_bits(&self) -> u64 {
+        bits_for_variants(self.num_states() as u64)
+    }
+
+    pub fn action(&self, s: StateId) -> Action {
+        let l = self.lambda[s as usize];
+        if l < 0 {
+            Action::Stay
+        } else {
+            Action::Move(l as u32)
+        }
+    }
+
+    /// Next state on observation `obs` in state `s`.
+    pub fn next(&self, s: StateId, obs: Obs) -> StateId {
+        let entry_idx = match obs.entry {
+            None => 0,
+            Some(p) => {
+                debug_assert!(p < self.max_degree);
+                (p + 1) as usize
+            }
+        };
+        debug_assert!(obs.degree >= 1 && obs.degree <= self.max_degree);
+        self.delta[s as usize][entry_idx][(obs.degree - 1) as usize]
+    }
+
+    pub fn validate(&self) -> bool {
+        let k = self.num_states() as StateId;
+        self.lambda.len() == self.num_states()
+            && self.s0 < k
+            && self.delta.iter().all(|by_entry| {
+                by_entry.len() == (self.max_degree + 1) as usize
+                    && by_entry.iter().all(|by_deg| {
+                        by_deg.len() == self.max_degree as usize
+                            && by_deg.iter().all(|&s| s < k)
+                    })
+            })
+    }
+
+    /// Uniformly random automaton over `k` states for degrees up to
+    /// `max_degree`.
+    pub fn random<R: Rng>(k: usize, max_degree: u32, p_stay: f64, rng: &mut R) -> Self {
+        assert!(k >= 1 && max_degree >= 1);
+        let delta = (0..k)
+            .map(|_| {
+                (0..=max_degree)
+                    .map(|_| {
+                        (0..max_degree).map(|_| rng.gen_range(0..k) as StateId).collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let lambda = (0..k)
+            .map(|_| {
+                if rng.gen_bool(p_stay) {
+                    -1
+                } else {
+                    rng.gen_range(0..max_degree) as i64
+                }
+            })
+            .collect();
+        Fsa { max_degree, delta, lambda, s0: rng.gen_range(0..k) as StateId }
+    }
+
+    /// The basic-walk automaton (§2.2) for degrees up to `max_degree`: a
+    /// natural, structured victim for the lower-bound adversaries. One state
+    /// per possible exit port.
+    pub fn basic_walk(max_degree: u32) -> Self {
+        // State s (0 ≤ s < max_degree) means "I exited by port s". On
+        // entering by port i with degree d, exit by (i+1) mod d.
+        let k = max_degree as usize;
+        let delta: Vec<Vec<Vec<StateId>>> = (0..k)
+            .map(|_s| {
+                (0..=max_degree)
+                    .map(|entry_idx| {
+                        (1..=max_degree)
+                            .map(|d| {
+                                let i = if entry_idx == 0 { d - 1 } else { entry_idx - 1 };
+                                // exit (i+1) mod d; clamp entry beyond degree.
+                                let i = i.min(d - 1);
+                                ((i + 1) % d) as StateId
+                            })
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        let lambda = (0..k).map(|s| s as i64).collect();
+        Fsa { max_degree, delta, lambda, s0: 0 }
+    }
+
+    pub fn runner(&self) -> FsaRunner {
+        FsaRunner { fsa: self.clone(), state: self.s0, started: false }
+    }
+
+    /// Extends a line automaton to trees of maximum degree `max_degree`:
+    /// transitions at fatter nodes reuse the degree-2 row (a total,
+    /// deterministic — hence legal — extension; the output's `mod d` rule
+    /// already handles larger degrees). Used to hand line-compiled agents
+    /// (e.g. the capped `prime` protocol) to the Theorem 4.3 adversary.
+    pub fn from_line_extended(line: &crate::line_fsa::LineFsa, max_degree: u32) -> Self {
+        assert!(max_degree >= 2);
+        let k = line.num_states();
+        let delta = (0..k)
+            .map(|s| {
+                (0..=max_degree)
+                    .map(|_entry| {
+                        (1..=max_degree)
+                            .map(|d| line.delta[s][if d == 1 { 0 } else { 1 }])
+                            .collect()
+                    })
+                    .collect()
+            })
+            .collect();
+        Fsa { max_degree, delta, lambda: line.lambda.clone(), s0: line.s0 }
+    }
+}
+
+/// Runtime wrapper executing an [`Fsa`] under the [`Agent`] trait.
+#[derive(Debug, Clone)]
+pub struct FsaRunner {
+    fsa: Fsa,
+    state: StateId,
+    started: bool,
+}
+
+impl FsaRunner {
+    pub fn state(&self) -> StateId {
+        self.state
+    }
+}
+
+impl Agent for FsaRunner {
+    fn act(&mut self, obs: Obs) -> Action {
+        if !self.started {
+            self.started = true;
+            return self.fsa.action(self.state);
+        }
+        self.state = self.fsa.next(self.state, obs);
+        self.fsa.action(self.state)
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.fsa.memory_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "fsa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::mock::StepRng;
+
+    #[test]
+    fn random_is_valid() {
+        let mut rng = StepRng::new(7, 13);
+        for k in [1usize, 3, 9] {
+            let f = Fsa::random(k, 3, 0.25, &mut rng);
+            assert!(f.validate(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn basic_walk_automaton_walks() {
+        let f = Fsa::basic_walk(3);
+        assert!(f.validate());
+        let mut r = f.runner();
+        // First action: exit port 0 (state 0).
+        assert_eq!(r.act(Obs::start(3)), Action::Move(0));
+        // Entered a degree-3 node by port 2: exit (2+1)%3 = 0.
+        assert_eq!(r.act(Obs { entry: Some(2), degree: 3 }), Action::Move(0));
+        // Entered a degree-2 node by port 0: exit 1.
+        assert_eq!(r.act(Obs { entry: Some(0), degree: 2 }), Action::Move(1));
+        // Entered a leaf by port 0: exit (0+1)%1 = 0.
+        assert_eq!(r.act(Obs { entry: Some(0), degree: 1 }), Action::Move(0));
+    }
+
+    #[test]
+    fn memory_is_log_states() {
+        let f = Fsa::basic_walk(3);
+        assert_eq!(f.memory_bits(), 2); // 3 states
+    }
+
+    #[test]
+    fn line_extension_preserves_line_behavior() {
+        use crate::line_fsa::LineFsa;
+        let line = LineFsa::shuttle();
+        let ext = Fsa::from_line_extended(&line, 3);
+        assert!(ext.validate());
+        assert_eq!(ext.num_states(), line.num_states());
+        // On degree-1/2 observations the two runners agree.
+        let mut a = line.runner();
+        let mut b = ext.runner();
+        let obs_seq = [
+            Obs::start(2),
+            Obs { entry: Some(0), degree: 2 },
+            Obs { entry: Some(1), degree: 2 },
+            Obs { entry: Some(0), degree: 1 },
+            Obs { entry: Some(1), degree: 2 },
+        ];
+        for obs in obs_seq {
+            assert_eq!(a.act(obs), b.act(obs));
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! # rvz-agent
+//!
+//! The mobile-agent model of Fraigniaud & Pelc (SPAA 2010), §2.1:
+//! deterministic agents as abstract state machines `A = (S, π, λ, s0)`
+//! reading input symbols `(entry port, degree)` and answering with null
+//! moves or port choices.
+//!
+//! * [`model`] — the [`model::Agent`] trait, observations, actions, the
+//!   basic-walk / counter-basic-walk port arithmetic, and the
+//!   [`model::SubAgent`] composition protocol for hierarchical agents;
+//! * [`meter`] — memory accounting: measured bits from counter
+//!   high-water marks (DESIGN.md §D2);
+//! * [`line_fsa`] — explicit automata for 2-edge-colored lines (the
+//!   Theorem 3.1 / 4.2 model);
+//! * [`fsa`] — explicit automata for bounded-degree trees (the Theorem 4.3
+//!   model);
+//! * [`compile`] — a state-memoizing compiler from procedural agents to
+//!   explicit [`line_fsa::LineFsa`] automata, so the lower-bound adversaries
+//!   can defeat our own upper-bound agents constructively.
+
+pub mod compile;
+pub mod fsa;
+pub mod line_fsa;
+pub mod meter;
+pub mod model;
+
+pub use fsa::{Fsa, FsaRunner};
+pub use line_fsa::{LineFsa, LineFsaRunner, StateId};
+pub use meter::{bits_for, bits_for_variants, Meter};
+pub use model::{bw_exit, cbw_exit, Action, Agent, Obs, Step, SubAgent};

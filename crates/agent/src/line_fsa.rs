@@ -1,0 +1,180 @@
+//! Explicit finite automata for **properly 2-edge-colored lines** — the
+//! restricted model of the paper's lower-bound proofs (Theorems 3.1 and 4.2).
+//!
+//! On an edge-colored line, the port by which an agent leaves an edge equals
+//! the port by which it enters the next node, so the transition function
+//! needs only the degree: `π : S × {1, 2} → S` (§4.2). The output function
+//! `λ : S → ℤ` maps to `-1` (stay) or a port taken `mod d`.
+
+use crate::meter::bits_for_variants;
+use crate::model::{Action, Agent, Obs};
+use rand::Rng;
+
+/// State index.
+pub type StateId = u32;
+
+/// A finite-state agent for edge-colored lines.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct LineFsa {
+    /// `delta[s][d-1]`: next state on entering (or idling at) a node of
+    /// degree `d ∈ {1, 2}` in state `s`.
+    pub delta: Vec<[StateId; 2]>,
+    /// `lambda[s]`: `-1` = null move, else leave by `lambda[s] mod d`.
+    pub lambda: Vec<i64>,
+    /// Initial state.
+    pub s0: StateId,
+}
+
+impl LineFsa {
+    /// Number of states `K`.
+    pub fn num_states(&self) -> usize {
+        self.delta.len()
+    }
+
+    /// Memory in bits: `ceil(log2 K)` (§2.1).
+    pub fn memory_bits(&self) -> u64 {
+        bits_for_variants(self.num_states() as u64)
+    }
+
+    /// The degree-2 restriction `π'(s) = π(s, 2)` whose transition digraph
+    /// drives the Theorem 4.2 analysis.
+    pub fn pi_prime(&self, s: StateId) -> StateId {
+        self.delta[s as usize][1]
+    }
+
+    /// The action of state `s`.
+    pub fn action(&self, s: StateId) -> Action {
+        let l = self.lambda[s as usize];
+        if l < 0 {
+            Action::Stay
+        } else {
+            Action::Move(l as u32)
+        }
+    }
+
+    /// Validates internal consistency (state indices in range).
+    pub fn validate(&self) -> bool {
+        let k = self.num_states() as StateId;
+        self.lambda.len() == self.num_states()
+            && self.s0 < k
+            && self.delta.iter().all(|row| row.iter().all(|&s| s < k))
+    }
+
+    /// A uniformly random automaton with `k` states. `p_stay` is the
+    /// probability that a state's action is a null move. Used to stress the
+    /// lower-bound adversaries over the whole automaton space.
+    pub fn random<R: Rng>(k: usize, p_stay: f64, rng: &mut R) -> Self {
+        assert!(k >= 1);
+        let delta = (0..k)
+            .map(|_| [rng.gen_range(0..k) as StateId, rng.gen_range(0..k) as StateId])
+            .collect();
+        let lambda = (0..k)
+            .map(|_| {
+                if rng.gen_bool(p_stay) {
+                    -1
+                } else {
+                    rng.gen_range(0..2) as i64
+                }
+            })
+            .collect();
+        LineFsa { delta, lambda, s0: rng.gen_range(0..k) as StateId }
+    }
+
+    /// The always-forward walker: 2 states are enough to shuttle along a
+    /// line (bounce at leaves). A standard sanity-check agent.
+    pub fn shuttle() -> Self {
+        // State 0: move by port 0; state 1: move by port 1. On an
+        // edge-colored line, leaving by color c means entering by color c;
+        // to keep going in the same direction the next exit must be the
+        // other color: alternate states. At a leaf (degree 1) the single
+        // port is 0 ⇒ any move bounces.
+        LineFsa {
+            delta: vec![[1, 1], [0, 0]],
+            lambda: vec![0, 1],
+            s0: 0,
+        }
+    }
+
+    /// Instantiate as a runnable [`Agent`].
+    pub fn runner(&self) -> LineFsaRunner {
+        LineFsaRunner { fsa: self.clone(), state: self.s0, started: false }
+    }
+}
+
+/// Runtime wrapper executing a [`LineFsa`] under the [`Agent`] trait.
+#[derive(Debug, Clone)]
+pub struct LineFsaRunner {
+    fsa: LineFsa,
+    state: StateId,
+    started: bool,
+}
+
+impl LineFsaRunner {
+    /// The current state (for the lower-bound instrumentations, which need
+    /// to observe the state an agent "reaches a node in").
+    pub fn state(&self) -> StateId {
+        self.state
+    }
+}
+
+impl Agent for LineFsaRunner {
+    fn act(&mut self, obs: Obs) -> Action {
+        debug_assert!(obs.degree >= 1 && obs.degree <= 2, "line degrees only");
+        if !self.started {
+            // λ(s0) is applied before any input is read (§2.1).
+            self.started = true;
+            return self.fsa.action(self.state);
+        }
+        self.state = self.fsa.delta[self.state as usize][(obs.degree - 1) as usize];
+        self.fsa.action(self.state)
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.fsa.memory_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "line-fsa"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuttle_is_valid() {
+        let f = LineFsa::shuttle();
+        assert!(f.validate());
+        assert_eq!(f.num_states(), 2);
+        assert_eq!(f.memory_bits(), 1);
+    }
+
+    #[test]
+    fn random_fsas_are_valid() {
+        let mut rng = rand::rngs::mock::StepRng::new(42, 101);
+        for k in [1usize, 2, 5, 16] {
+            let f = LineFsa::random(k, 0.3, &mut rng);
+            assert!(f.validate());
+            assert_eq!(f.num_states(), k);
+        }
+    }
+
+    #[test]
+    fn runner_first_action_is_lambda_s0() {
+        let f = LineFsa { delta: vec![[1, 1], [1, 1]], lambda: vec![-1, 0], s0: 0 };
+        let mut r = f.runner();
+        // First activation: λ(s0) = -1 ⇒ stay, no transition.
+        assert_eq!(r.act(Obs::start(2)), Action::Stay);
+        // Next round: input (-1, 2) ⇒ state 1 ⇒ move 0.
+        assert_eq!(r.act(Obs { entry: None, degree: 2 }), Action::Move(0));
+        assert_eq!(r.state(), 1);
+    }
+
+    #[test]
+    fn pi_prime_reads_degree2_column() {
+        let f = LineFsa { delta: vec![[0, 1], [1, 0]], lambda: vec![0, 0], s0: 0 };
+        assert_eq!(f.pi_prime(0), 1);
+        assert_eq!(f.pi_prime(1), 0);
+    }
+}

@@ -1,0 +1,104 @@
+//! Memory accounting (§2.1 of the paper; DESIGN.md §D2).
+//!
+//! The paper measures agent memory as the number of bits on which the
+//! automaton states are encoded: an automaton with `K` states needs
+//! `Θ(log K)` bits. Our procedural agents are automata whose state is a
+//! tuple of bounded counters plus a phase tag; the measured memory is the
+//! sum over counters of `ceil(log2(max_reached + 1))` plus
+//! `ceil(log2(#phases))`.
+//!
+//! A [`Meter`] tracks named counters' maxima so experiments can report both
+//! totals and per-component breakdowns.
+
+/// Bits needed to store any value in `0..=max`: `ceil(log2(max + 1))`.
+/// `bits_for(0) == 0` (a counter that never left zero stores nothing).
+#[inline]
+pub fn bits_for(max: u64) -> u64 {
+    (64 - max.leading_zeros()) as u64
+}
+
+/// Bits needed to distinguish `n` variants: `ceil(log2(n))`.
+#[inline]
+pub fn bits_for_variants(n: u64) -> u64 {
+    if n <= 1 {
+        0
+    } else {
+        64 - (n - 1).leading_zeros() as u64
+    }
+}
+
+/// A named high-water-mark tracker for an agent's counters.
+#[derive(Debug, Clone, Default)]
+pub struct Meter {
+    entries: Vec<(&'static str, u64)>,
+}
+
+impl Meter {
+    pub fn new() -> Self {
+        Meter::default()
+    }
+
+    /// Record that counter `name` reached `value` (keeps the maximum).
+    pub fn observe(&mut self, name: &'static str, value: u64) {
+        if let Some(e) = self.entries.iter_mut().find(|(n, _)| *n == name) {
+            e.1 = e.1.max(value);
+        } else {
+            self.entries.push((name, value));
+        }
+    }
+
+    /// The maximum recorded for `name` (0 if never observed).
+    pub fn max_of(&self, name: &str) -> u64 {
+        self.entries.iter().find(|(n, _)| *n == name).map_or(0, |(_, v)| *v)
+    }
+
+    /// Total measured bits: sum of per-counter widths.
+    pub fn total_bits(&self) -> u64 {
+        self.entries.iter().map(|&(_, v)| bits_for(v)).sum()
+    }
+
+    /// Per-counter breakdown `(name, max, bits)`.
+    pub fn breakdown(&self) -> Vec<(&'static str, u64, u64)> {
+        self.entries.iter().map(|&(n, v)| (n, v, bits_for(v))).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bit_widths() {
+        assert_eq!(bits_for(0), 0);
+        assert_eq!(bits_for(1), 1);
+        assert_eq!(bits_for(2), 2);
+        assert_eq!(bits_for(3), 2);
+        assert_eq!(bits_for(4), 3);
+        assert_eq!(bits_for(255), 8);
+        assert_eq!(bits_for(256), 9);
+        assert_eq!(bits_for(u64::MAX), 64);
+    }
+
+    #[test]
+    fn variant_widths() {
+        assert_eq!(bits_for_variants(0), 0);
+        assert_eq!(bits_for_variants(1), 0);
+        assert_eq!(bits_for_variants(2), 1);
+        assert_eq!(bits_for_variants(3), 2);
+        assert_eq!(bits_for_variants(4), 2);
+        assert_eq!(bits_for_variants(5), 3);
+    }
+
+    #[test]
+    fn meter_tracks_maxima() {
+        let mut m = Meter::new();
+        m.observe("prime", 2);
+        m.observe("prime", 13);
+        m.observe("prime", 5);
+        m.observe("idle", 12);
+        assert_eq!(m.max_of("prime"), 13);
+        assert_eq!(m.total_bits(), bits_for(13) + bits_for(12));
+        assert_eq!(m.breakdown().len(), 2);
+        assert_eq!(m.max_of("missing"), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! Criterion bench for E1 (Theorem 3.1): cost of constructing + verifying
+//! the arbitrary-delay adversary as the automaton grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rvz_agent::line_fsa::LineFsa;
+use rvz_lowerbounds::delay_attack::delay_attack;
+use std::hint::black_box;
+
+fn bench_delay_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_delay_attack");
+    for k in [2usize, 8, 32, 128] {
+        let mut rng = StdRng::seed_from_u64(k as u64);
+        let fsas: Vec<LineFsa> =
+            (0..8).map(|_| LineFsa::random(k, 0.25, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("states", k), &fsas, |b, fsas| {
+            let mut i = 0;
+            b.iter(|| {
+                let fsa = &fsas[i % fsas.len()];
+                i += 1;
+                black_box(delay_attack(fsa).expect("defeated"))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_delay_attack);
+criterion_main!(benches);

@@ -1,0 +1,46 @@
+//! Criterion bench for E2 (Theorem 4.1): wall time of full simultaneous-
+//! start rendezvous across tree families and sizes.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rvz_core::TreeRendezvousAgent;
+use rvz_sim::{run_pair, PairConfig};
+use rvz_trees::generators::{complete_binary, line, spider};
+use rvz_trees::Tree;
+use std::hint::black_box;
+
+fn rendezvous(tree: &Tree, a: u32, b: u32) -> u64 {
+    let mut x = TreeRendezvousAgent::new();
+    let mut y = TreeRendezvousAgent::new();
+    let run = run_pair(
+        tree,
+        a,
+        b,
+        &mut x,
+        &mut y,
+        PairConfig::simultaneous(1_000_000_000),
+    );
+    run.outcome.round().expect("feasible instances meet")
+}
+
+fn bench_rendezvous(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e2_rendezvous");
+    for n in [16usize, 64, 256] {
+        let t = line(n);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("line", n), &t, |b, t| {
+            b.iter(|| black_box(rendezvous(t, 1, (t.num_nodes() - 1) as u32)))
+        });
+        let s = spider(3, n / 3);
+        group.bench_with_input(BenchmarkId::new("spider3", n), &s, |b, s| {
+            b.iter(|| black_box(rendezvous(s, 1, (s.num_nodes() - 1) as u32)))
+        });
+    }
+    let cb = complete_binary(5);
+    group.bench_function("complete_binary_h5", |b| {
+        b.iter(|| black_box(rendezvous(&cb, 31, 62)))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_rendezvous);
+criterion_main!(benches);

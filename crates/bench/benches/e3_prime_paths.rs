@@ -1,0 +1,35 @@
+//! Criterion bench for E3 (Lemma 4.1): the `prime` protocol on paths —
+//! meeting wall time as the path grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rvz_core::prime_path::PrimePathAgent;
+use rvz_sim::{run_pair, PairConfig};
+use rvz_trees::generators::line;
+use std::hint::black_box;
+
+fn bench_prime_paths(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e3_prime_paths");
+    for m in [16usize, 64, 256, 1024] {
+        let t = line(m);
+        group.throughput(Throughput::Elements(m as u64));
+        group.bench_with_input(BenchmarkId::new("path", m), &t, |b, t| {
+            b.iter(|| {
+                let mut x = PrimePathAgent::unbounded();
+                let mut y = PrimePathAgent::unbounded();
+                let run = run_pair(
+                    t,
+                    1,
+                    (t.num_nodes() - 1) as u32,
+                    &mut x,
+                    &mut y,
+                    PairConfig::simultaneous(1_000_000_000),
+                );
+                black_box(run.outcome.round().expect("feasible pair"))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_prime_paths);
+criterion_main!(benches);

@@ -1,0 +1,38 @@
+//! Criterion bench for E4 (Theorem 4.2): cost of the simultaneous-start
+//! adversary (π' analysis + infinite-line burn-in + verification).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rvz_agent::line_fsa::LineFsa;
+use rvz_lowerbounds::sync_attack::{analyze_pi_prime, sync_attack};
+use std::hint::black_box;
+
+fn bench_sync_attack(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e4_sync_attack");
+    for k in [2usize, 4, 8, 16] {
+        let mut rng = StdRng::seed_from_u64(k as u64 + 7);
+        let fsas: Vec<LineFsa> =
+            (0..8).map(|_| LineFsa::random(k, 0.25, &mut rng)).collect();
+        group.bench_with_input(BenchmarkId::new("attack/states", k), &fsas, |b, fsas| {
+            let mut i = 0;
+            b.iter(|| {
+                let fsa = &fsas[i % fsas.len()];
+                i += 1;
+                black_box(sync_attack(fsa, 1 << 14).ok())
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("pi_prime/states", k), &fsas, |b, fsas| {
+            let mut i = 0;
+            b.iter(|| {
+                let fsa = &fsas[i % fsas.len()];
+                i += 1;
+                black_box(analyze_pi_prime(fsa))
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sync_attack);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Criterion bench for E6: side-by-side wall time of the delay-0 agent and
+//! the arbitrary-delay baseline on few-leaf trees (the gap's two scenarios).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rvz_core::{DelayRobustAgent, TreeRendezvousAgent};
+use rvz_sim::{run_pair, PairConfig};
+use rvz_trees::generators::line;
+use std::hint::black_box;
+
+fn bench_gap(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e6_memory_gap");
+    for n in [32usize, 128] {
+        let t = line(n);
+        let (a, b) = (1u32, (n - 1) as u32);
+        group.bench_with_input(BenchmarkId::new("delay0_line", n), &t, |bch, t| {
+            bch.iter(|| {
+                let mut x = TreeRendezvousAgent::new();
+                let mut y = TreeRendezvousAgent::new();
+                black_box(
+                    run_pair(t, a, b, &mut x, &mut y, PairConfig::simultaneous(1_000_000_000))
+                        .outcome,
+                )
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("anydelay_line", n), &t, |bch, t| {
+            bch.iter(|| {
+                let mut x = DelayRobustAgent::new();
+                let mut y = DelayRobustAgent::new();
+                black_box(
+                    run_pair(
+                        t,
+                        a,
+                        b,
+                        &mut x,
+                        &mut y,
+                        PairConfig::delayed(n as u64, 1_000_000_000),
+                    )
+                    .outcome,
+                )
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_gap);
+criterion_main!(benches);

@@ -1,0 +1,86 @@
+//! Criterion bench for the substrates: simulator round throughput, the
+//! canonical-form machinery, and `Explo-bis` reconstruction — the kernels
+//! everything else pays for.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rvz_agent::model::{bw_exit, Action, Agent, Obs, Step, SubAgent};
+use rvz_explore::ExploBis;
+use rvz_sim::{run_single, Cursor};
+use rvz_trees::canon::{canon_ports, canon_structural, canonical_ranks};
+use rvz_trees::generators::{line, random_relabel, random_tree};
+use std::hint::black_box;
+
+struct BasicWalker;
+
+impl Agent for BasicWalker {
+    fn act(&mut self, obs: Obs) -> Action {
+        Action::Move(bw_exit(obs.entry, obs.degree))
+    }
+    fn memory_bits(&self) -> u64 {
+        0
+    }
+}
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    for n in [1_000usize, 10_000] {
+        let t = line(n);
+        let rounds = 4 * (n as u64 - 1);
+        group.throughput(Throughput::Elements(rounds));
+        group.bench_with_input(BenchmarkId::new("basic_walk_rounds", n), &t, |b, t| {
+            b.iter(|| black_box(run_single(t, 0, &mut BasicWalker, rounds, false).cursor))
+        });
+    }
+    group.finish();
+}
+
+fn bench_canon(c: &mut Criterion) {
+    let mut group = c.benchmark_group("canon");
+    let mut rng = StdRng::seed_from_u64(11);
+    for n in [100usize, 1_000, 10_000] {
+        let t = random_relabel(&random_tree(n, &mut rng), &mut rng);
+        group.throughput(Throughput::Elements(n as u64));
+        group.bench_with_input(BenchmarkId::new("structural", n), &t, |b, t| {
+            b.iter(|| black_box(canon_structural(t, 0, None, Some(1))))
+        });
+        group.bench_with_input(BenchmarkId::new("ports", n), &t, |b, t| {
+            b.iter(|| black_box(canon_ports(t, 0, None, None)))
+        });
+        group.bench_with_input(BenchmarkId::new("ranks", n), &t, |b, t| {
+            b.iter(|| black_box(canonical_ranks(t)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_explo(c: &mut Criterion) {
+    let mut group = c.benchmark_group("explo_bis");
+    let mut rng = StdRng::seed_from_u64(13);
+    for n in [100usize, 1_000] {
+        let t = random_relabel(&random_tree(n, &mut rng), &mut rng);
+        let start = (0..t.num_nodes() as u32).find(|&v| t.degree(v) != 2).unwrap();
+        group.throughput(Throughput::Elements(2 * (n as u64 - 1)));
+        group.bench_with_input(BenchmarkId::new("reconstruct", n), &t, |b, t| {
+            b.iter(|| {
+                let mut e = ExploBis::new();
+                let mut cur = Cursor::new(start);
+                loop {
+                    match e.step(cur.obs(t)) {
+                        Step::Done => break,
+                        Step::Move(p) => {
+                            cur.apply(t, Action::Move(p));
+                        }
+                        Step::Stay => {}
+                    }
+                }
+                black_box(e.result().unwrap().nu)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_canon, bench_explo);
+criterion_main!(benches);

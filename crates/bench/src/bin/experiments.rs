@@ -1,0 +1,105 @@
+//! The experiment driver: regenerates every table/figure-equivalent of the
+//! paper (see EXPERIMENTS.md).
+//!
+//! ```text
+//! experiments [e1 e2 e3 e4 e5 e6 e7 | all] [--full] [--json DIR]
+//! ```
+//!
+//! Default is a laptop-scale pass (a couple of minutes); `--full` enlarges
+//! the sweeps. `--json DIR` additionally writes one JSON file per
+//! experiment with the raw rows.
+
+use rvz_bench::{e1, e2, e3, e4, e5, e6, e7, e8, Table};
+use std::io::Write;
+
+struct Cfg {
+    full: bool,
+    json_dir: Option<String>,
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let json_dir = args
+        .iter()
+        .position(|a| a == "--json")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    let cfg = Cfg { full, json_dir };
+    let wanted: Vec<String> = args
+        .iter()
+        .filter(|a| a.starts_with('e') && a.len() == 2)
+        .cloned()
+        .collect();
+    let all = wanted.is_empty() || args.iter().any(|a| a == "all");
+    let want = |id: &str| all || wanted.iter().any(|w| w == id);
+
+    let seed = 0x5EED_2010;
+
+    if want("e1") {
+        let samples = if cfg.full { 40 } else { 12 };
+        let bits = if cfg.full { 8 } else { 6 };
+        let (rows, table) = e1::run(bits, samples, seed);
+        emit(&cfg, "e1", &table, &rows);
+    }
+    if want("e2") {
+        let scale = if cfg.full { 256 } else { 48 };
+        let (rows, table) = e2::run(scale, if cfg.full { 6 } else { 3 }, seed);
+        emit(&cfg, "e2", &table, &rows);
+    }
+    if want("e3") {
+        let sizes: &[usize] = if cfg.full {
+            &[8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+        } else {
+            &[8, 16, 32, 64, 128, 256]
+        };
+        let (rows, table) = e3::run(sizes, if cfg.full { 10 } else { 5 }, seed);
+        emit(&cfg, "e3", &table, &rows);
+    }
+    if want("e4") {
+        let samples = if cfg.full { 30 } else { 10 };
+        let bits = if cfg.full { 5 } else { 4 };
+        let (rows, table) = e4::run(bits, samples, 1 << 16, seed);
+        emit(&cfg, "e4", &table, &rows);
+    }
+    if want("e5") {
+        let states: &[usize] = if cfg.full { &[2, 3, 4, 5] } else { &[2, 3] };
+        let (rows, table) = e5::run(states, if cfg.full { 10 } else { 5 }, 14, seed);
+        let twins = e5::verify_symmetric_twins(10);
+        println!("E5 twin check: {twins} symmetric T1–T1 instances verified infeasible-by-symmetry");
+        emit(&cfg, "e5", &table, &rows);
+    }
+    if want("e6") {
+        let sizes: &[usize] = if cfg.full {
+            &[16, 32, 64, 128, 256, 512, 1024]
+        } else {
+            &[16, 32, 64, 128, 256]
+        };
+        let (rows, table) = e6::run(sizes, seed);
+        emit(&cfg, "e6", &table, &rows);
+    }
+    if want("e7") {
+        let (rows, table) = e7::run(if cfg.full { 60 } else { 20 }, seed);
+        emit(&cfg, "e7", &table, &rows);
+    }
+    if want("e8") {
+        let (rows, table) = e8::run(if cfg.full { 120_000_000 } else { 40_000_000 });
+        emit(&cfg, "e8", &table, &rows);
+    }
+}
+
+fn emit<R: serde::Serialize>(cfg: &Cfg, id: &str, table: &Table, rows: &R) {
+    println!("{}", table.render());
+    if let Some(dir) = &cfg.json_dir {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/{id}.json");
+        let mut f = std::fs::File::create(&path).expect("create json file");
+        let payload = serde_json::json!({
+            "table": table,
+            "rows": rows,
+        });
+        writeln!(f, "{}", serde_json::to_string_pretty(&payload).expect("serialize"))
+            .expect("write json");
+        println!("  (raw rows written to {path})\n");
+    }
+}

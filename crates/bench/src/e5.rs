@@ -1,0 +1,154 @@
+//! **E5 — Theorem 4.3**: the side-tree pigeonhole on max-degree-3 trees.
+//!
+//! For automata of `K` states, find two side trees with colliding behavior
+//! functions and build the two-sided instance they fail on. The shape: the
+//! spine parameter `i` (hence `ℓ = 2i`) needed for a collision grows with
+//! `K`, matching `k = Ω(log ℓ)` necessity; the same-side instance `T1–T1`
+//! is verifiably symmetric (the infeasible twin).
+
+use crate::table::{f, Table};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rvz_agent::fsa::Fsa;
+use rvz_lowerbounds::side_trees::{side_tree_attack, two_sided, SideTreeError};
+use rvz_trees::symmetry::symmetric_wrt_labeling;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct E5Row {
+    pub agent: String,
+    pub states: usize,
+    pub bits: u64,
+    pub samples: usize,
+    pub defeated: usize,
+    pub no_collision: usize,
+    pub i_mean: f64,
+    pub i_max: usize,
+    pub leaves_max: usize,
+}
+
+pub fn run(state_range: &[usize], samples: usize, max_i: usize, seed: u64) -> (Vec<E5Row>, Table) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rows = Vec::new();
+    // Structured victims first: the basic-walk automaton and our own
+    // capped prime protocol (compiled on lines, extended to degree 3).
+    {
+        let fsa = Fsa::basic_walk(3);
+        let attack = side_tree_attack(&fsa, max_i, 4).expect("basic walk defeated");
+        rows.push(E5Row {
+            agent: "basic-walk".into(),
+            states: fsa.num_states(),
+            bits: fsa.memory_bits(),
+            samples: 1,
+            defeated: 1,
+            no_collision: 0,
+            i_mean: attack.i as f64,
+            i_max: attack.i,
+            leaves_max: attack.leaves,
+        });
+    }
+    {
+        use rvz_agent::compile::compile_line_agent;
+        use rvz_core::prime_path::PrimePathAgent;
+        let line_fsa = compile_line_agent(|| PrimePathAgent::cycling(1), 100_000)
+            .expect("finite-state");
+        let fsa = Fsa::from_line_extended(&line_fsa, 3);
+        match side_tree_attack(&fsa, max_i, 4) {
+            Ok(attack) => rows.push(E5Row {
+                agent: "prime-cycle(1) ext".into(),
+                states: fsa.num_states(),
+                bits: fsa.memory_bits(),
+                samples: 1,
+                defeated: 1,
+                no_collision: 0,
+                i_mean: attack.i as f64,
+                i_max: attack.i,
+                leaves_max: attack.leaves,
+            }),
+            Err(SideTreeError::NoCollision { .. }) => rows.push(E5Row {
+                agent: "prime-cycle(1) ext [no collision]".into(),
+                states: fsa.num_states(),
+                bits: fsa.memory_bits(),
+                samples: 1,
+                defeated: 0,
+                no_collision: 1,
+                i_mean: 0.0,
+                i_max: 0,
+                leaves_max: 0,
+            }),
+            Err(e) => panic!("compiled prime: {e:?} disproves Theorem 4.3?!"),
+        }
+    }
+    for &k in state_range {
+        let mut defeated = 0;
+        let mut none = 0;
+        let mut is = Vec::new();
+        let mut leaves_max = 0;
+        for _ in 0..samples {
+            let fsa = Fsa::random(k, 3, 0.2, &mut rng);
+            match side_tree_attack(&fsa, max_i, 4) {
+                Ok(attack) => {
+                    defeated += 1;
+                    is.push(attack.i);
+                    leaves_max = leaves_max.max(attack.leaves);
+                }
+                Err(SideTreeError::NoCollision { .. }) => none += 1,
+                Err(e) => panic!("K={k}: {e:?} disproves Theorem 4.3?!"),
+            }
+        }
+        rows.push(E5Row {
+            agent: format!("random-{k}state"),
+            states: k,
+            bits: rvz_agent::bits_for_variants(k as u64),
+            samples,
+            defeated,
+            no_collision: none,
+            i_mean: if is.is_empty() {
+                0.0
+            } else {
+                is.iter().sum::<usize>() as f64 / is.len() as f64
+            },
+            i_max: is.iter().copied().max().unwrap_or(0),
+            leaves_max,
+        });
+    }
+    let table = to_table(&rows);
+    (rows, table)
+}
+
+/// The sanity half of the theorem: the `T1–T1` twin instance is symmetric
+/// w.r.t. its labeling (hence infeasible by Fact 1.1). Returns the number
+/// of `i` values checked.
+pub fn verify_symmetric_twins(max_i: usize) -> usize {
+    let mut checked = 0;
+    for i in 3..=max_i {
+        let bits: Vec<bool> = (0..i - 1).map(|b| b % 2 == 1).collect();
+        let st = rvz_lowerbounds::side_trees::side_tree(&bits);
+        let (tree, u, v) = two_sided(&st, &st, 4);
+        assert!(symmetric_wrt_labeling(&tree, u, v), "i={i}: twin must be symmetric");
+        checked += 1;
+    }
+    checked
+}
+
+fn to_table(rows: &[E5Row]) -> Table {
+    let mut t = Table::new(
+        "E5",
+        "Thm 4.3: side-tree pigeonhole — leaves needed to defeat K-state agents (max degree 3)",
+        &["agent", "states K", "bits", "defeated", "spine i mean", "i max", "ℓ max"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.agent.clone(),
+            r.states.to_string(),
+            r.bits.to_string(),
+            format!("{}/{} ({} none)", r.defeated, r.samples, r.no_collision),
+            f(r.i_mean),
+            r.i_max.to_string(),
+            r.leaves_max.to_string(),
+        ]);
+    }
+    t.note("paper: k ≤ (log ℓ)/3 bits ⇒ two of the 2^{ℓ/2−1} side trees collide ⇒ defeat; ℓ = 2i");
+    t.note("shape check: the collision spine i (and ℓ) grows with K — more memory survives longer");
+    t
+}

@@ -1,0 +1,64 @@
+//! **E8 — ablation study** (DESIGN.md §D7): which Stage-2 pieces are
+//! load-bearing?
+//!
+//! On double-spiders with equal leg sums but different compositions the two
+//! hub agents have identical phase durations; only the `bw(j)/cbw(j)`
+//! probes break the tie (Lemma 4.3's mechanism). `Synchro` is redundant
+//! *for our implementation* because the reconstruction-based `Explo-bis`
+//! already runs in exactly `L + 2(n−1)` rounds (an implementation note, not
+//! a refutation of the paper — a general Fact 2.1 box needs it).
+
+use crate::table::Table;
+use rvz_core::ablation::compare_variants;
+use rvz_trees::generators::double_spider;
+use rvz_trees::perfectly_symmetrizable;
+use serde::Serialize;
+
+#[derive(Debug, Clone, Serialize)]
+pub struct E8Row {
+    pub instance: String,
+    pub variant: String,
+    pub met: bool,
+    pub round: Option<u64>,
+}
+
+pub fn run(budget: u64) -> (Vec<E8Row>, Table) {
+    let instances = [
+        ("double-spider {1,4}|{2,3} C=3", double_spider(&[1, 4], &[2, 3], 3)),
+        ("double-spider {2,5}|{3,4} C=5", double_spider(&[2, 5], &[3, 4], 5)),
+        ("double-spider {1,2,6}|{3,3,3} C=3", double_spider(&[1, 2, 6], &[3, 3, 3], 3)),
+    ];
+    let mut rows = Vec::new();
+    for (name, tree) in instances {
+        assert!(!perfectly_symmetrizable(&tree, 0, 1), "{name} must be feasible");
+        for r in compare_variants(&tree, 0, 1, budget) {
+            rows.push(E8Row {
+                instance: name.to_string(),
+                variant: r.variant.to_string(),
+                met: r.met,
+                round: r.round,
+            });
+        }
+    }
+    let table = to_table(&rows);
+    (rows, table)
+}
+
+fn to_table(rows: &[E8Row]) -> Table {
+    let mut t = Table::new(
+        "E8",
+        "Ablation: Figure-2 machinery on equal-phase-duration double-spiders (hub starts)",
+        &["instance", "variant", "met", "round"],
+    );
+    for r in rows {
+        t.row(vec![
+            r.instance.clone(),
+            r.variant.clone(),
+            if r.met { "y" } else { "NO" }.to_string(),
+            r.round.map_or("—".into(), |x| x.to_string()),
+        ]);
+    }
+    t.note("'full' and 'no-synchro' must meet; 'no-probes' and 'minimal' stay mirrored forever");
+    t.note("⇒ the bw(j)/cbw(j) probes are the load-bearing piece (Lemma 4.3); Synchro is redundant only because our Explo substitute is exactly synchronous");
+    t
+}

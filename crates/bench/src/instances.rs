@@ -1,0 +1,111 @@
+//! Instance generation shared by the experiments: tree families and
+//! feasible (non-perfectly-symmetrizable) start pairs.
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+use rvz_trees::generators;
+use rvz_trees::{perfectly_symmetrizable, NodeId, Tree};
+
+/// A named tree family member.
+#[derive(Debug, Clone)]
+pub struct Instance {
+    pub family: &'static str,
+    pub tree: Tree,
+}
+
+/// The evaluation families: the workloads the paper's introduction
+/// motivates (lines for the lower bounds, few-leaf trees for the gap, the
+/// classical symmetric families, and random trees as the generic case).
+pub fn families(scale: usize, seed: u64) -> Vec<Instance> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut out = Vec::new();
+    for &n in &[scale / 2, scale] {
+        let n = n.max(4);
+        out.push(Instance { family: "line", tree: generators::line(n) });
+        out.push(Instance {
+            family: "line-rnd",
+            tree: generators::random_relabel(&generators::line(n), &mut rng),
+        });
+        out.push(Instance { family: "spider3", tree: generators::spider(3, (n / 3).max(1)) });
+        out.push(Instance {
+            family: "caterpillar",
+            tree: {
+                let spine = (n / 2).max(2);
+                let hairs: Vec<usize> = (0..spine).map(|i| usize::from(i % 2 == 0)).collect();
+                generators::caterpillar(spine, &hairs)
+            },
+        });
+        out.push(Instance {
+            family: "random",
+            tree: generators::random_relabel(&generators::random_tree(n, &mut rng), &mut rng),
+        });
+        out.push(Instance {
+            family: "random-deg3",
+            tree: generators::random_bounded_degree_tree(n, 3, &mut rng),
+        });
+    }
+    let h = (scale as f64).log2() as usize;
+    out.push(Instance { family: "complete-binary", tree: generators::complete_binary(h.clamp(2, 9)) });
+    out.push(Instance { family: "binomial", tree: generators::binomial(h.clamp(2, 12)) });
+    out.push(Instance { family: "star", tree: generators::star(scale.max(3)) });
+    out
+}
+
+/// Up to `count` distinct feasible (non-perfectly-symmetrizable, distinct)
+/// start pairs, sampled deterministically.
+pub fn feasible_pairs(tree: &Tree, count: usize, seed: u64) -> Vec<(NodeId, NodeId)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = tree.num_nodes() as NodeId;
+    let mut pairs = Vec::new();
+    let mut attempts = 0;
+    while pairs.len() < count && attempts < 200 {
+        attempts += 1;
+        let a = rng.gen_range(0..n);
+        let b = rng.gen_range(0..n);
+        if a == b || pairs.contains(&(a, b)) {
+            continue;
+        }
+        if !perfectly_symmetrizable(tree, a, b) {
+            pairs.push((a, b));
+        }
+    }
+    // Deterministic fallback for tiny trees.
+    if pairs.is_empty() {
+        'outer: for a in 0..n {
+            for b in 0..n {
+                if a != b && !perfectly_symmetrizable(tree, a, b) {
+                    pairs.push((a, b));
+                    break 'outer;
+                }
+            }
+        }
+    }
+    pairs.shuffle(&mut rng);
+    pairs.truncate(count);
+    pairs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn families_are_nonempty_and_valid() {
+        let fam = families(32, 7);
+        assert!(fam.len() >= 8);
+        for inst in &fam {
+            assert!(inst.tree.num_nodes() >= 3, "{}", inst.family);
+        }
+    }
+
+    #[test]
+    fn pairs_are_feasible() {
+        for inst in families(24, 3) {
+            for (a, b) in feasible_pairs(&inst.tree, 3, 11) {
+                assert_ne!(a, b);
+                assert!(!perfectly_symmetrizable(&inst.tree, a, b), "{}", inst.family);
+            }
+        }
+    }
+}

@@ -1,0 +1,31 @@
+//! # rvz-bench
+//!
+//! The experiment harness: one module per paper artifact (see DESIGN.md §6
+//! and EXPERIMENTS.md), each producing typed rows plus a rendered table.
+//! The `experiments` binary drives them; the criterion benches under
+//! `benches/` time the heavy kernels.
+//!
+//! | module | regenerates |
+//! |---|---|
+//! | [`e1`] | Theorem 3.1 / Fig. 1 — arbitrary-delay adversary |
+//! | [`e2`] | Theorem 4.1 — simultaneous-start upper bound |
+//! | [`e3`] | Lemma 4.1 — `prime` on paths |
+//! | [`e4`] | Theorem 4.2 — simultaneous-start adversary |
+//! | [`e5`] | Theorem 4.3 — side-tree pigeonhole |
+//! | [`e6`] | §1.1 title claim — the exponential gap series |
+//! | [`e7`] | Figure 2 machinery — Claims 4.2/4.3, Lemma 4.2 |
+//! | [`e8`] | ablation study — which Stage-2 pieces are load-bearing |
+
+pub mod e1;
+pub mod e2;
+pub mod e3;
+pub mod e4;
+pub mod e5;
+pub mod e6;
+pub mod e7;
+pub mod e8;
+pub mod instances;
+pub mod stats;
+pub mod table;
+
+pub use table::Table;

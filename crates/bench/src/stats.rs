@@ -1,0 +1,68 @@
+//! Tiny statistics helpers for the experiment tables: ordinary least
+//! squares on transformed axes, used to report fitted growth exponents /
+//! slopes next to the paper's asymptotic claims.
+
+/// Least-squares fit `y = a + b·x`; returns `(a, b, r²)`.
+pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
+    let n = points.len() as f64;
+    assert!(n >= 2.0, "need at least two points");
+    let sx: f64 = points.iter().map(|p| p.0).sum();
+    let sy: f64 = points.iter().map(|p| p.1).sum();
+    let sxx: f64 = points.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = points.iter().map(|p| p.0 * p.1).sum();
+    let denom = n * sxx - sx * sx;
+    if denom.abs() < 1e-12 {
+        return (sy / n, 0.0, 0.0);
+    }
+    let b = (n * sxy - sx * sy) / denom;
+    let a = (sy - b * sx) / n;
+    let mean_y = sy / n;
+    let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
+    let ss_res: f64 =
+        points.iter().map(|p| (p.1 - (a + b * p.0)).powi(2)).sum();
+    let r2 = if ss_tot.abs() < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
+    (a, b, r2)
+}
+
+/// Slope of `y` against `log2 x` — "bits added per doubling".
+pub fn bits_per_doubling(points: &[(f64, f64)]) -> f64 {
+    let transformed: Vec<(f64, f64)> =
+        points.iter().map(|&(x, y)| (x.log2(), y)).collect();
+    linear_fit(&transformed).1
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fits_exact_line() {
+        let pts: Vec<(f64, f64)> = (1..=10).map(|i| (i as f64, 3.0 + 2.0 * i as f64)).collect();
+        let (a, b, r2) = linear_fit(&pts);
+        assert!((a - 3.0).abs() < 1e-9);
+        assert!((b - 2.0).abs() < 1e-9);
+        assert!((r2 - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn doubling_slope_of_logarithmic_growth() {
+        // y = 4·log2(x): 4 bits per doubling.
+        let pts: Vec<(f64, f64)> =
+            (4..=12).map(|e| ((1u64 << e) as f64, 4.0 * e as f64)).collect();
+        let slope = bits_per_doubling(&pts);
+        assert!((slope - 4.0).abs() < 1e-9, "{slope}");
+    }
+
+    #[test]
+    fn flat_series_has_zero_slope() {
+        let pts: Vec<(f64, f64)> = (4..=10).map(|e| ((1u64 << e) as f64, 45.0)).collect();
+        assert!(bits_per_doubling(&pts).abs() < 1e-9);
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        let (a, b, _) = linear_fit(&[(1.0, 5.0), (1.0, 7.0)]);
+        assert_eq!(b, 0.0);
+        assert!((a - 6.0).abs() < 1e-9);
+    }
+}

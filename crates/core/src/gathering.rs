@@ -1,0 +1,117 @@
+//! Gathering — the `k ≥ 2` agent extension the paper names as the natural
+//! generalization of rendezvous (§1.3, refs [20, 28, 33, 37]).
+//!
+//! The Theorem 4.1 agent generalizes to `k` agents *for free* on every tree
+//! whose contraction `T'` is **not** symmetric: Stage 2 sends every copy to
+//! the same canonical node (the central node of `T'`, or the canonical
+//! extremity of its central edge), where they all wait — co-location of all
+//! `k` follows from co-location with the waiting point.
+//!
+//! On symmetric contractions the Figure-2 machinery is intrinsically
+//! pairwise (the `prime` protocol meets *two* ends of the rendezvous path),
+//! so `k`-gathering is not guaranteed there; [`gatherable`] reports which
+//! regime a tree is in. This matches the literature: gathering many
+//! anonymous agents on symmetric topologies needs extra assumptions
+//! (tokens, multiplicity detection, …) that the paper's model excludes.
+
+use crate::tree_agent::TreeRendezvousAgent;
+use rvz_agent::model::Agent;
+use rvz_explore::{ExploBis, TprimeShape};
+use rvz_sim::{run_multi, Cursor, MultiConfig, MultiRun};
+use rvz_trees::{NodeId, Tree};
+
+/// Can the Theorem 4.1 agent gather *any* number of copies on this tree?
+/// True iff the contraction `T'` has a central node or an asymmetric
+/// central edge (every copy converges to one canonical waiting node).
+pub fn gatherable(t: &Tree) -> bool {
+    // Run Explo-bis virtually from any degree-≠2 node to classify T'.
+    let start = (0..t.num_nodes() as NodeId)
+        .find(|&v| t.degree(v) != 2)
+        .expect("trees have non-degree-2 nodes");
+    let mut e = ExploBis::new();
+    let mut cur = Cursor::new(start);
+    loop {
+        use rvz_agent::model::{Action, Step, SubAgent};
+        match e.step(cur.obs(t)) {
+            Step::Done => break,
+            Step::Move(p) => {
+                cur.apply(t, Action::Move(p));
+            }
+            Step::Stay => {}
+        }
+    }
+    !matches!(
+        e.result().expect("explo finished").shape,
+        TprimeShape::CentralEdgeSym { .. }
+    )
+}
+
+/// Gathers `k` copies of the Theorem 4.1 agent from the given starts
+/// (simultaneous start). On [`gatherable`] trees this succeeds for all
+/// distinct starts; on symmetric contractions it degrades to best-effort.
+pub fn gather(t: &Tree, starts: &[NodeId], max_rounds: u64) -> MultiRun {
+    let mut agents: Vec<TreeRendezvousAgent> =
+        starts.iter().map(|_| TreeRendezvousAgent::new()).collect();
+    let mut dyns: Vec<&mut dyn Agent> =
+        agents.iter_mut().map(|a| a as &mut dyn Agent).collect();
+    run_multi(t, starts, &mut dyns, &MultiConfig::simultaneous(starts.len(), max_rounds))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_sim::MultiOutcome;
+    use rvz_trees::generators::{caterpillar, line, spider, star};
+
+    #[test]
+    fn stars_and_spiders_are_gatherable() {
+        assert!(gatherable(&star(5)));
+        assert!(gatherable(&spider(3, 4)));
+        assert!(gatherable(&spider(5, 2)));
+    }
+
+    #[test]
+    fn paths_are_not_gatherable() {
+        // Contraction of any path is a single (symmetric) edge.
+        assert!(!gatherable(&line(9)));
+        assert!(!gatherable(&line(10)));
+    }
+
+    #[test]
+    fn gathers_three_agents_on_a_spider() {
+        let t = spider(3, 3);
+        let run = gather(&t, &[1, 5, 9], 100_000);
+        match run.outcome {
+            MultiOutcome::Gathered { node, .. } => {
+                // The hub is T''s central node: everyone waits there.
+                assert_eq!(node, 0);
+            }
+            MultiOutcome::Timeout { .. } => panic!("spider gathering must succeed"),
+        }
+    }
+
+    #[test]
+    fn gathers_five_agents_on_a_star() {
+        let t = star(6);
+        let run = gather(&t, &[1, 2, 3, 5, 6], 100_000);
+        assert!(matches!(run.outcome, MultiOutcome::Gathered { node: 0, .. }));
+    }
+
+    #[test]
+    fn gathers_on_asymmetric_caterpillar() {
+        let t = caterpillar(4, &[2, 0, 0, 3]);
+        assert!(gatherable(&t));
+        let leaves = t.leaves();
+        let run = gather(&t, &leaves[..4.min(leaves.len())], 1_000_000);
+        assert!(matches!(run.outcome, MultiOutcome::Gathered { .. }));
+    }
+
+    #[test]
+    fn pairwise_rendezvous_still_works_where_gathering_does_not() {
+        // On a path (symmetric T'), k = 2 still meets (Theorem 4.1), even
+        // though k ≥ 3 has no guarantee.
+        let t = line(5);
+        let run = gather(&t, &[0, 2], 20_000_000);
+        assert!(matches!(run.outcome, MultiOutcome::Gathered { .. }));
+    }
+}

@@ -1,0 +1,34 @@
+//! # rvz-core
+//!
+//! The rendezvous algorithms of Fraigniaud & Pelc, *Delays induce an
+//! exponential memory gap for rendezvous in trees* (SPAA 2010) — the paper's
+//! primary contribution:
+//!
+//! * [`prime_path`] — the `prime` protocol for blind agents on paths
+//!   (Lemma 4.1): `O(log log m)` bits, meets whenever feasible;
+//! * [`rv_path`] — the rendezvous path `P` of Sub-stage 2.2 and `prime(i)`
+//!   executed along it with an `O(log ℓ)`-bit segment cursor;
+//! * [`tree_agent`] — the full Theorem 4.1 agent
+//!   (`O(log ℓ + log log n)` bits, simultaneous start, arbitrary trees);
+//! * [`baseline`] — the `O(log n)`-bit arbitrary-delay baseline
+//!   (tree-specialized stand-in for \[14\]; DESIGN.md §D5);
+//! * [`primes`] — the trial-division prime arithmetic both protocols use.
+//!
+//! The exponential gap of the title is the contrast between
+//! [`tree_agent::TreeRendezvousAgent`] (delay zero, `O(log ℓ + log log n)`)
+//! and what any agent needs under arbitrary delays (`Ω(log n)`, Theorem 3.1,
+//! constructively realized in `rvz-lowerbounds`).
+
+pub mod ablation;
+pub mod baseline;
+pub mod gathering;
+pub mod prime_path;
+pub mod primes;
+pub mod rv_path;
+pub mod tree_agent;
+
+pub use baseline::DelayRobustAgent;
+pub use gathering::{gather, gatherable};
+pub use prime_path::PrimePathAgent;
+pub use rv_path::{PrimeOnPath, RvPathConfig, RvPathWalker};
+pub use tree_agent::{AblationConfig, TreeRendezvousAgent};

@@ -1,0 +1,121 @@
+//! Prime-number arithmetic for the `prime` protocol (Lemma 4.1).
+//!
+//! The paper's agent finds "the smallest prime larger than p … using
+//! O(log p) bits, e.g., by exhaustive search" — trial division. We do the
+//! same; the scratch is two counters bounded by the next prime, which the
+//! memory meter charges as `2·⌈log₂ p⌉` bits.
+
+/// Is `x` prime? Trial division, `O(√x)`.
+pub fn is_prime(x: u64) -> bool {
+    if x < 2 {
+        return false;
+    }
+    if x < 4 {
+        return true;
+    }
+    if x.is_multiple_of(2) {
+        return false;
+    }
+    let mut d = 3u64;
+    while d * d <= x {
+        if x.is_multiple_of(d) {
+            return false;
+        }
+        d += 2;
+    }
+    true
+}
+
+/// The smallest prime strictly greater than `p`.
+pub fn next_prime(p: u64) -> u64 {
+    let mut x = p + 1;
+    while !is_prime(x) {
+        x += 1;
+    }
+    x
+}
+
+/// The `i`-th prime, 1-based (`nth_prime(1) == 2`).
+pub fn nth_prime(i: u32) -> u64 {
+    let mut p = 2u64;
+    for _ in 1..i {
+        p = next_prime(p);
+    }
+    p
+}
+
+/// `Σ_{k=1..i} p_k` — used for the Lemma 4.1 round-count bounds.
+pub fn prime_sum(i: u32) -> u64 {
+    let mut sum = 0;
+    let mut p = 2u64;
+    for _ in 0..i {
+        sum += p;
+        p = next_prime(p);
+    }
+    sum
+}
+
+/// The smallest index `j` with `Π_{k=1..j} p_k > bound`.
+///
+/// Lemma 4.1's analysis: if the agents have not met after the `j`-th loop
+/// iteration then the primorial `Π_{k=1..j} p_k` divides a product of two
+/// distances `≤ m²`; hence rendezvous (when feasible) happens at or before
+/// iteration `primorial_index_bound(m²)`.
+pub fn primorial_index_bound(bound: u64) -> u32 {
+    let mut j = 0u32;
+    let mut product = 1u128;
+    let mut p = 2u64;
+    loop {
+        product = product.saturating_mul(p as u128);
+        if product > bound as u128 {
+            return j + 1; // iteration at which the primorial first exceeds
+        }
+        j += 1;
+        p = next_prime(p);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primality_basics() {
+        let primes: Vec<u64> =
+            (0..60).filter(|&x| is_prime(x)).collect();
+        assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]);
+    }
+
+    #[test]
+    fn next_prime_chains() {
+        assert_eq!(next_prime(1), 2);
+        assert_eq!(next_prime(2), 3);
+        assert_eq!(next_prime(3), 5);
+        assert_eq!(next_prime(13), 17);
+        assert_eq!(next_prime(89), 97);
+    }
+
+    #[test]
+    fn nth_prime_values() {
+        assert_eq!(nth_prime(1), 2);
+        assert_eq!(nth_prime(5), 11);
+        assert_eq!(nth_prime(10), 29);
+    }
+
+    #[test]
+    fn prime_sums() {
+        assert_eq!(prime_sum(0), 0);
+        assert_eq!(prime_sum(1), 2);
+        assert_eq!(prime_sum(4), 2 + 3 + 5 + 7);
+    }
+
+    #[test]
+    fn primorial_bound_grows_like_log() {
+        // 2·3·5·7 = 210 > 100 ⇒ at most 4 iterations for m² = 100.
+        assert_eq!(primorial_index_bound(100), 4);
+        assert_eq!(primorial_index_bound(1), 1);
+        assert_eq!(primorial_index_bound(6), 3); // 2·3 = 6 ≤ 6 < 2·3·5
+        // Log-like growth: even 2⁶⁴ needs only 16 primes.
+        assert_eq!(primorial_index_bound(u64::MAX), 16);
+    }
+}

@@ -1,0 +1,525 @@
+//! The rendezvous path `P` of Sub-stage 2.2 (§4.1) and the `prime(i)`
+//! protocol executed along it.
+//!
+//! `P = (B_u | C_{u→v} | B̄_v | C_{v→u})^{5ℓ} | (B_u | C_{u→v} | B̄_v)`,
+//! where `B_u` is the closed basic-walk tour from the agent's own extremity
+//! (`2(ν−1)` `T'`-edge traversals), `B̄_v` the closed *counter*-basic-walk
+//! tour from the other extremity, and `C` the central path. By Claim 4.3 the
+//! agent standing at the other extremity traverses the reverse of `P` when
+//! executing the same instruction sequence, so the two agents effectively
+//! run the Lemma 4.1 `prime` protocol from the two ends of one virtual path
+//! of length `> 20nℓ`.
+//!
+//! The agent does **not** track its absolute position on `P` (that would
+//! cost `Ω(log n)` bits). It tracks `(segment index ≤ 20ℓ + 3, T'-visit
+//! count within the segment ≤ 2(ν−1))` — `O(log ℓ)` bits — plus the cached
+//! entry port; segment boundaries override the within-tour port rules:
+//!
+//! | position | forward exit | backward exit |
+//! |---|---|---|
+//! | start of `B` (own extremity) | `0` (bw start) | — |
+//! | end of `B` entered backward | — | `d_own − 1` |
+//! | start of `B̄` (other extremity) | `d_other − 1` (cbw start) | — |
+//! | end of `B̄` entered backward | — | `0` |
+//! | start of `C` | central port | central port of the other end |
+//! | inside `B` / `B̄` / `C` | `(i±1) mod d` | mirrored |
+
+use crate::primes::next_prime;
+use rvz_agent::meter::bits_for;
+use rvz_agent::model::{bw_exit, cbw_exit, Obs, Step, SubAgent};
+use rvz_trees::Port;
+
+/// Direction of travel along `P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Dir {
+    /// From the agent's own extremity toward the other one.
+    Forward,
+    /// Back toward the agent's own extremity.
+    Backward,
+}
+
+/// Landmark data the walker needs about the central edge of `T'`
+/// (all available from `Explo-bis`, Fact 2.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct RvPathConfig {
+    /// ν = number of `T'` nodes.
+    pub nu: u64,
+    /// ℓ = number of leaves (the `5ℓ` repetition count).
+    pub ell: u64,
+    /// Degree (in `T`, equal in `T'`) of the agent's own extremity.
+    pub d_own: Port,
+    /// Degree of the other extremity.
+    pub d_other: Port,
+    /// Port at the own extremity toward the central path.
+    pub c_own: Port,
+    /// Port at the other extremity toward the central path.
+    pub c_other: Port,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+enum SegKind {
+    /// Basic-walk tour from the own extremity.
+    BOwn,
+    /// Central path own → other.
+    COut,
+    /// Counter-basic-walk tour from the other extremity.
+    BOther,
+    /// Central path other → own.
+    CBack,
+}
+
+/// Where the agent stands on `P`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PathPos {
+    /// Segment index in `0..=num_segs` (`num_segs` = far-end sentinel).
+    seg: u32,
+    /// For `B` segments: `T'` arrivals completed (0 = at segment start).
+    /// For `C` segments: 0 = at start, 1 = inside.
+    progress: u64,
+}
+
+/// The `P` walker: computes exits and tracks the segment cursor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct RvPathWalker {
+    cfg: RvPathConfig,
+    pos: PathPos,
+    /// The agent stands exactly on a segment boundary (the start node of
+    /// `pos.seg`): the next move uses the segment-entry port rule rather
+    /// than the within-tour `(i±1)` rules. One bit — without it, a
+    /// degree-2 first hop would be mistaken for "still at the boundary"
+    /// (`progress` only counts `T'`-node arrivals).
+    fresh: bool,
+    /// Entry port of the last arrival (survives idle rounds).
+    cached_entry: Option<Port>,
+    /// Degree of the current node (cached at arrival, like the entry).
+    cached_deg: Port,
+}
+
+impl RvPathWalker {
+    pub fn new(cfg: RvPathConfig) -> Self {
+        RvPathWalker {
+            cfg,
+            pos: PathPos { seg: 0, progress: 0 },
+            fresh: true,
+            cached_entry: None,
+            cached_deg: 0,
+        }
+    }
+
+    /// Number of segments: `4·5ℓ + 3`.
+    pub fn num_segs(&self) -> u32 {
+        (20 * self.cfg.ell + 3) as u32
+    }
+
+    fn kind(&self, seg: u32) -> SegKind {
+        match seg % 4 {
+            0 => SegKind::BOwn,
+            1 => SegKind::COut,
+            2 => SegKind::BOther,
+            _ => SegKind::CBack,
+        }
+    }
+
+    /// `2(ν−1)`: the `T'`-visit length of a `B` segment.
+    fn tour_len(&self) -> u64 {
+        2 * (self.cfg.nu - 1)
+    }
+
+    pub fn at_near_end(&self) -> bool {
+        self.pos.seg == 0 && self.fresh
+    }
+
+    pub fn at_far_end(&self) -> bool {
+        self.pos.seg == self.num_segs()
+    }
+
+    /// Segment cursor (for metering: both components are `O(log ℓ)` bits).
+    pub fn cursor(&self) -> (u32, u64) {
+        (self.pos.seg, self.pos.progress)
+    }
+
+    /// Computes the exit port for the next traversal in direction `dir` and
+    /// performs the segment-boundary bookkeeping for *leaving* the current
+    /// position. Call exactly once per edge traversal, then feed the arrival
+    /// to [`RvPathWalker::complete_move`].
+    pub fn begin_move(&mut self, dir: Dir) -> Port {
+        match dir {
+            Dir::Forward => {
+                debug_assert!(!self.at_far_end(), "cannot go forward past P's end");
+                if self.fresh {
+                    // First traversal of the segment: entry-port rule.
+                    self.fresh = false;
+                    return match self.kind(self.pos.seg) {
+                        SegKind::BOwn => 0,                        // bw tour start
+                        SegKind::BOther => self.cfg.d_other - 1,   // cbw tour start
+                        SegKind::COut => self.cfg.c_own,
+                        SegKind::CBack => self.cfg.c_other,
+                    };
+                }
+                match self.kind(self.pos.seg) {
+                    SegKind::BOwn => bw_exit(self.cached_entry, self.cached_degree()),
+                    SegKind::BOther => cbw_exit(self.cached_entry, self.cached_degree()),
+                    // Inside the central path: degree-2 pass-through.
+                    SegKind::COut | SegKind::CBack => bw_exit(self.cached_entry, 2),
+                }
+            }
+            Dir::Backward => {
+                debug_assert!(!self.at_near_end(), "cannot go backward past P's start");
+                if self.fresh {
+                    // Standing on a boundary: enter the previous segment
+                    // from its end.
+                    let prev = self.pos.seg - 1;
+                    let kind = self.kind(prev);
+                    self.pos.seg = prev;
+                    self.pos.progress = match kind {
+                        SegKind::BOwn | SegKind::BOther => self.tour_len(),
+                        SegKind::COut | SegKind::CBack => 1,
+                    };
+                    self.fresh = false;
+                    return match kind {
+                        // B's last traversal entered the own extremity via
+                        // d_own − 1: undo it.
+                        SegKind::BOwn => self.cfg.d_own - 1,
+                        // B̄'s last traversal entered the other extremity via
+                        // port 0: undo it.
+                        SegKind::BOther => 0,
+                        // C entered backward from its end.
+                        SegKind::COut => self.cfg.c_other,
+                        SegKind::CBack => self.cfg.c_own,
+                    };
+                }
+                match self.kind(self.pos.seg) {
+                    // Undoing a basic walk runs the counter rule and
+                    // vice versa.
+                    SegKind::BOwn => cbw_exit(self.cached_entry, self.cached_degree()),
+                    SegKind::BOther => bw_exit(self.cached_entry, self.cached_degree()),
+                    SegKind::COut | SegKind::CBack => bw_exit(self.cached_entry, 2),
+                }
+            }
+        }
+    }
+
+    fn cached_degree(&self) -> Port {
+        self.cached_deg
+    }
+
+    /// Arrival bookkeeping after a traversal in direction `dir`.
+    pub fn complete_move(&mut self, obs: Obs, dir: Dir) {
+        self.cached_entry = obs.entry;
+        self.cached_deg = obs.degree;
+        let tprime_node = obs.degree != 2;
+        match dir {
+            Dir::Forward => match self.kind(self.pos.seg) {
+                SegKind::BOwn | SegKind::BOther => {
+                    if tprime_node {
+                        self.pos.progress += 1;
+                        if self.pos.progress == self.tour_len() {
+                            self.pos.seg += 1;
+                            self.pos.progress = 0;
+                            self.fresh = true;
+                        }
+                    }
+                }
+                SegKind::COut | SegKind::CBack => {
+                    if tprime_node {
+                        self.pos.seg += 1;
+                        self.pos.progress = 0;
+                        self.fresh = true;
+                    } else {
+                        self.pos.progress = 1;
+                    }
+                }
+            },
+            Dir::Backward => match self.kind(self.pos.seg) {
+                SegKind::BOwn | SegKind::BOther => {
+                    if tprime_node {
+                        self.pos.progress -= 1;
+                        if self.pos.progress == 0 {
+                            // Back on the segment's start boundary.
+                            self.fresh = true;
+                        }
+                    }
+                }
+                SegKind::COut | SegKind::CBack => {
+                    if tprime_node {
+                        self.pos.progress = 0;
+                        self.fresh = true;
+                    }
+                }
+            },
+        }
+    }
+}
+
+/// The `prime(i)` protocol run along `P` (Figure 2's inner-loop step).
+///
+/// The agent starts at its own extremity (P's near end for it); for each of
+/// the first `i` primes it traverses `P` twice (to the far end and back) at
+/// speed `1/p`, then reports [`Step::Done`] back at the near end.
+#[derive(Debug, Clone)]
+pub struct PrimeOnPath {
+    cap: u32,
+    walker: RvPathWalker,
+    dir: Dir,
+    p: u64,
+    prime_idx: u32,
+    idle_done: u64,
+    /// Which of the two traversals of the current prime (0 or 1).
+    traversal: u8,
+    /// Set when the pending move's arrival still needs processing.
+    in_flight: bool,
+    finished: bool,
+    max_p: u64,
+}
+
+impl PrimeOnPath {
+    pub fn new(i: u32, cfg: RvPathConfig) -> Self {
+        assert!(i >= 1);
+        PrimeOnPath {
+            cap: i,
+            walker: RvPathWalker::new(cfg),
+            dir: Dir::Forward,
+            p: 2,
+            prime_idx: 1,
+            idle_done: 0,
+            traversal: 0,
+            in_flight: false,
+            finished: false,
+            max_p: 2,
+        }
+    }
+
+    pub fn max_prime(&self) -> u64 {
+        self.max_p
+    }
+
+    /// Measured persistent memory of the protocol state: prime + idle +
+    /// trial-division scratch + segment cursor.
+    pub fn memory_bits(&self) -> u64 {
+        3 * bits_for(self.max_p)
+            + bits_for(self.walker.num_segs() as u64)
+            + bits_for(self.walker.tour_len())
+            + 4
+    }
+}
+
+impl SubAgent for PrimeOnPath {
+    fn step(&mut self, obs: Obs) -> Step {
+        if self.finished {
+            return Step::Done;
+        }
+        debug_assert!(obs.degree >= 1, "P runs on real tree nodes");
+        if self.in_flight {
+            // Process the arrival of the previous move.
+            self.walker.complete_move(obs, self.dir);
+            self.in_flight = false;
+            // Extremity logic.
+            if self.dir == Dir::Forward && self.walker.at_far_end() {
+                self.dir = Dir::Backward;
+                self.traversal += 1;
+            } else if self.dir == Dir::Backward && self.walker.at_near_end() {
+                self.dir = Dir::Forward;
+                self.traversal += 1;
+                if self.traversal >= 2 {
+                    self.traversal = 0;
+                    if self.prime_idx == self.cap {
+                        self.finished = true;
+                        return Step::Done;
+                    }
+                    self.p = next_prime(self.p);
+                    self.prime_idx += 1;
+                    self.max_p = self.max_p.max(self.p);
+                }
+            }
+        }
+        // Speed 1/p: idle p−1 rounds before each traversal.
+        if self.idle_done + 1 < self.p {
+            self.idle_done += 1;
+            return Step::Stay;
+        }
+        self.idle_done = 0;
+        let port = self.walker.begin_move(self.dir);
+        self.in_flight = true;
+        Step::Move(port)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_agent::model::Action;
+    use rvz_sim::Cursor;
+    use rvz_trees::generators::{double_spider, line, random_relabel};
+    use rvz_trees::{contract, NodeId, Tree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Builds the walker config for the symmetric-central-edge tree `t`
+    /// with the agent's own extremity `own` and the other extremity
+    /// `other` (both `T` node ids of degree ≠ 2).
+    fn config_for(t: &Tree, own: NodeId, other: NodeId) -> RvPathConfig {
+        let c = contract(t);
+        let own_tp = c.t_to_tp[own as usize].unwrap();
+        let other_tp = c.t_to_tp[other as usize].unwrap();
+        let c_own = c.tree.port_towards(own_tp, other_tp).expect("central edge");
+        let c_other = c.tree.port_towards(other_tp, own_tp).expect("central edge");
+        RvPathConfig {
+            nu: c.num_nodes() as u64,
+            ell: t.num_leaves() as u64,
+            d_own: t.degree(own),
+            d_other: t.degree(other),
+            c_own,
+            c_other,
+        }
+    }
+
+    /// Walks P fully in `dir`, returning the physical node sequence
+    /// (including the start node).
+    fn traverse(t: &Tree, start: NodeId, w: &mut RvPathWalker, dir: Dir) -> Vec<NodeId> {
+        let mut cur = Cursor::new(start);
+        // Seed the cached entry/degree as the protocol would have them.
+        let mut nodes = vec![start];
+        let done = |w: &RvPathWalker| match dir {
+            Dir::Forward => w.at_far_end(),
+            Dir::Backward => w.at_near_end(),
+        };
+        let mut steps = 0u64;
+        while !done(w) {
+            let port = w.begin_move(dir);
+            assert!(
+                cur.apply(t, Action::Move(port)),
+                "P-walk port must be valid"
+            );
+            w.complete_move(cur.obs(t), dir);
+            nodes.push(cur.node);
+            steps += 1;
+            assert!(steps < 10_000_000, "P-walk did not terminate");
+        }
+        nodes
+    }
+
+    fn p_len(cfg: &RvPathConfig, t: &Tree) -> u64 {
+        // |P| = 5ℓ·(2·2(n−1) + 2·|C|) + 2·2(n−1) + |C| physical edges.
+        let n = t.num_nodes() as u64;
+        let b = 2 * (n - 1);
+        // Find |C| by walking: distance between the extremities.
+        let c = cfg.ell; // placeholder, recomputed by callers when needed
+        let _ = c;
+        let _ = b;
+        0 // length is checked structurally below instead
+    }
+
+    #[test]
+    fn forward_traversal_ends_at_other_extremity() {
+        // Path tree: extremities are the two leaves.
+        let t = line(7);
+        let cfg = config_for(&t, 0, 6);
+        let mut w = RvPathWalker::new(cfg);
+        let nodes = traverse(&t, 0, &mut w, Dir::Forward);
+        assert_eq!(*nodes.last().unwrap(), 6, "P ends at the other extremity");
+        // |P| = 5ℓ(2B + 2C) + 2B + C with B = 2(n−1) = 12, C = 6, ℓ = 2:
+        // 10·36 + 30 = 390 edges.
+        assert_eq!(nodes.len() as u64 - 1, 390);
+    }
+
+    #[test]
+    fn backward_traversal_is_exact_reversal() {
+        for (t, own, other) in [
+            (line(5), 0u32, 4u32),
+            (double_spider(&[1, 4], &[2, 3], 3), 1, 0),
+            (double_spider(&[2, 2], &[1, 3], 5), 0, 1),
+        ] {
+            let cfg = config_for(&t, own, other);
+            let mut w = RvPathWalker::new(cfg);
+            let fwd = traverse(&t, own, &mut w, Dir::Forward);
+            assert!(w.at_far_end());
+            let bwd = traverse(&t, *fwd.last().unwrap(), &mut w, Dir::Backward);
+            assert!(w.at_near_end());
+            let mut expect = fwd.clone();
+            expect.reverse();
+            assert_eq!(bwd, expect, "backward P-walk must retrace forward exactly");
+        }
+    }
+
+    #[test]
+    fn segment_boundaries_sit_on_extremities() {
+        let t = double_spider(&[1, 4], &[2, 3], 3);
+        let cfg = config_for(&t, 1, 0);
+        let mut w = RvPathWalker::new(cfg);
+        let mut cur = Cursor::new(1);
+        let mut prev_seg = 0;
+        while !w.at_far_end() {
+            let port = w.begin_move(Dir::Forward);
+            cur.apply(&t, Action::Move(port));
+            w.complete_move(cur.obs(&t), Dir::Forward);
+            let (seg, _) = w.cursor();
+            if seg != prev_seg {
+                assert!(
+                    cur.node == 0 || cur.node == 1,
+                    "segment boundary at non-extremity node {}",
+                    cur.node
+                );
+                // B segments start at alternating extremities: segment
+                // parity determines which.
+                prev_seg = seg;
+            }
+        }
+        assert_eq!(cur.node, 0, "P from extremity 1 ends at extremity 0");
+    }
+
+    #[test]
+    fn first_b_segment_is_the_full_euler_tour() {
+        // The first 2(n−1) physical steps of P are the closed basic-walk
+        // tour from the own extremity.
+        let mut rng = StdRng::seed_from_u64(33);
+        let t = random_relabel(&line(9), &mut rng);
+        let cfg = config_for(&t, 0, 8);
+        let mut w = RvPathWalker::new(cfg);
+        let nodes = traverse(&t, 0, &mut w, Dir::Forward);
+        let n = t.num_nodes() as usize;
+        assert_eq!(nodes[2 * (n - 1)], 0, "B_own is closed");
+        let mut seen: Vec<bool> = vec![false; n];
+        for &v in &nodes[..2 * (n - 1)] {
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b), "B_own covers the tree");
+    }
+
+    #[test]
+    fn prime_on_path_returns_to_near_end_and_counts_rounds() {
+        let t = line(5);
+        let cfg = config_for(&t, 0, 4);
+        // |P| = 5·2·(2·8 + 2·4) + 2·8 + 4 = 240 + 20 = 260.
+        let p_edges = 260u64;
+        let mut prime = PrimeOnPath::new(2, cfg);
+        let mut cur = Cursor::new(0);
+        let mut rounds = 0u64;
+        loop {
+            match prime.step(cur.obs(&t)) {
+                Step::Done => break,
+                Step::Move(p) => {
+                    cur.apply(&t, Action::Move(p));
+                    rounds += 1;
+                }
+                Step::Stay => {
+                    rounds += 1;
+                }
+            }
+            assert!(rounds < 100_000_000);
+        }
+        assert_eq!(cur.node, 0, "prime(i) ends at the near extremity");
+        // Two full traversals per prime at speed 1/p: Σ 2·|P|·p for p=2,3.
+        assert_eq!(rounds, 2 * p_edges * 2 + 2 * p_edges * 3);
+        assert_eq!(prime.max_prime(), 3);
+        let _ = p_len(&RvPathWalker::new(config_for(&t, 0, 4)).cfg, &t);
+    }
+
+    #[test]
+    fn walker_memory_is_logarithmic_in_ell() {
+        let t = double_spider(&[1, 4], &[2, 3], 3);
+        let cfg = config_for(&t, 1, 0);
+        let prime = PrimeOnPath::new(1, cfg);
+        // Segment cursor ≤ 20ℓ+3, within-segment ≤ 2(ν−1), prime counters.
+        assert!(prime.memory_bits() <= 40, "{} bits", prime.memory_bits());
+    }
+}

@@ -1,0 +1,636 @@
+//! `Explo` / `Explo-bis` — the exploration procedure of Fact 2.1, §2.2/§4.1.
+//!
+//! Contract (per the paper): starting from `v`, the agent walks, returns to
+//! `v̂` (`v` itself if `deg(v) ≠ 2`, else the first leaf reached by a basic
+//! walk), and afterwards knows, about the contraction `T'`:
+//! * its node count `ν` and leaf count `ℓ`;
+//! * whether it has a central node, an asymmetric central edge, or a
+//!   symmetric central edge;
+//! * the minimum number of basic-walk steps (counted in `T'`-node visits)
+//!   from `v̂` to the relevant landmark (central node / canonical extremity /
+//!   *farthest* extremity), and the landmark's port toward the central edge.
+//!
+//! Implementation (substitution S1, DESIGN.md §D4): the basic walk in a tree
+//! is a depth-first traversal with cyclic child order, so one full period of
+//! observations — entry port and degree, the only legal inputs — determines
+//! `T'` exactly. The walker reconstructs `T'` online with a DFS stack,
+//! detects the period's completion structurally (return to the root through
+//! its last subtree), and derives every Fact 2.1 output from the
+//! reconstruction. The walk itself (one basic-walk period, `2(n−1)` rounds,
+//! ending at `v̂`) matches the automaton of \[27\] at the contract level; the
+//! internal scratch is `Θ(ν log ν)` bits instead of `O(log ν)`, which is why
+//! memory reports split into *measured* and *charged* (Fact 2.1) figures.
+
+use rvz_agent::meter::bits_for;
+use rvz_agent::model::{bw_exit, Obs, Step, SubAgent};
+use rvz_trees::canon::canon_ports;
+use rvz_trees::center::{center, Center};
+use rvz_trees::tree::{Edge, NodeId, Port, Tree};
+
+/// Where the Stage-2 rendezvous should converge, as computed by `Explo-bis`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TprimeShape {
+    /// `T'` has a central node: wait there.
+    CentralNode {
+        /// `T'` id of the central node.
+        node: NodeId,
+        /// First-visit index of the node on the basic walk from `v̂`
+        /// (0 if `v̂` itself).
+        steps: u64,
+    },
+    /// `T'` has a central edge but is not symmetric: wait at the canonical
+    /// extremity (the one with the lexicographically smaller port-labeled
+    /// half, so all agents choose the same node).
+    CentralEdgeAsym {
+        node: NodeId,
+        steps: u64,
+        /// Port at `node` toward the central edge.
+        central_port: Port,
+    },
+    /// `T'` is symmetric: proceed to Stage 2.1/2.2 at the *farthest*
+    /// extremity of the central edge.
+    CentralEdgeSym {
+        /// `T'` id of the farthest extremity (the one whose half does not
+        /// contain `v̂`; the basic walk first enters it through the central
+        /// edge).
+        far: NodeId,
+        steps_far: u64,
+        /// Port at `far` toward the central edge.
+        central_port_far: Port,
+        /// The other extremity and its port toward the central edge.
+        near: NodeId,
+        central_port_near: Port,
+    },
+}
+
+/// Everything `Explo-bis` has learned once it returns to `v̂`.
+#[derive(Debug, Clone)]
+pub struct ExploResult {
+    /// The reconstructed contraction `T'`, with `v̂` as node 0.
+    pub tprime: Tree,
+    /// Number of `T'` nodes (`ν`).
+    pub nu: u64,
+    /// Number of leaves (`ℓ`), equal in `T` and `T'`.
+    pub leaves: u64,
+    /// First-visit index (in `T'`-node visits, 1-based; root ⇒ 0) of every
+    /// `T'` node on the basic walk from `v̂`.
+    pub first_visit: Vec<u64>,
+    /// The Stage-2 classification.
+    pub shape: TprimeShape,
+    /// Physical length (in `T` edges) of the basic walk from the original
+    /// start `v` to `v̂` — the paper's `L` (0 when `deg(v) ≠ 2`).
+    pub leaf_seek_len: u64,
+    /// Physical length of one full basic-walk period from `v̂`: `2(n−1)`.
+    pub tour_len: u64,
+}
+
+impl ExploResult {
+    /// Measured scratch of the reconstruction: the honest cost of storing
+    /// `T'` (2 directed edges per `T'` edge, each holding a node id and a
+    /// port) plus the DFS stack.
+    pub fn measured_bits(&self) -> u64 {
+        let id_bits = bits_for(self.nu);
+        let port_bits = bits_for(self.tprime.max_degree() as u64);
+        4 * (self.nu.saturating_sub(1)) * (id_bits + port_bits) + self.nu * id_bits
+    }
+
+    /// Charged memory per the Fact 2.1 contract: `O(log ν)` bits, reported
+    /// as `4⌈log₂(ν+1)⌉` (constant documented in DESIGN.md §D4).
+    pub fn charged_bits(&self) -> u64 {
+        4 * bits_for(self.nu)
+    }
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Phase {
+    /// Waiting for the first `step` call.
+    Fresh,
+    /// Walking (basic walk) toward a leaf because the start has degree 2.
+    LeafSeek,
+    /// Reconstruction tour in progress.
+    Tour,
+    /// Finished; result available.
+    Finished,
+}
+
+/// What the walker reconstructs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExploMode {
+    /// `Explo-bis`: ignore degree-2 nodes, reconstruct the contraction `T'`
+    /// (with the leaf-seek prelude for degree-2 starts).
+    Contraction,
+    /// Plain `Explo` on the full tree: every node is a landmark; no
+    /// leaf-seek (`v̂ = v` always). Used by the arbitrary-delay baseline,
+    /// which needs all of `T`.
+    Full,
+}
+
+/// The `Explo-bis` sub-agent. Drive it with [`SubAgent::step`]; when it
+/// returns [`Step::Done`] the agent stands at `v̂` and [`ExploBis::result`]
+/// yields the reconstruction.
+#[derive(Debug, Clone)]
+pub struct ExploBis {
+    mode: ExploMode,
+    phase: Phase,
+    leaf_seek_len: u64,
+    tour_len: u64,
+    /// Reconstruction state: adjacency of discovered `T'` nodes;
+    /// `adj[id][port] = Some((peer, peer_port))`.
+    adj: Vec<Vec<Option<(NodeId, Port)>>>,
+    /// DFS stack of `T'` ids (root at the bottom).
+    stack: Vec<NodeId>,
+    /// First-visit index per discovered node.
+    first_visit: Vec<u64>,
+    /// Number of `T'`-node arrivals so far.
+    visits: u64,
+    /// The `T'` node and port we most recently exited through.
+    last_exit: Option<(NodeId, Port)>,
+    result: Option<ExploResult>,
+}
+
+impl Default for ExploBis {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ExploBis {
+    pub fn new() -> Self {
+        Self::with_mode(ExploMode::Contraction)
+    }
+
+    /// Plain `Explo` reconstructing the full tree (for the baseline).
+    pub fn full() -> Self {
+        Self::with_mode(ExploMode::Full)
+    }
+
+    pub fn with_mode(mode: ExploMode) -> Self {
+        ExploBis {
+            mode,
+            phase: Phase::Fresh,
+            leaf_seek_len: 0,
+            tour_len: 0,
+            adj: Vec::new(),
+            stack: Vec::new(),
+            first_visit: Vec::new(),
+            visits: 0,
+            last_exit: None,
+            result: None,
+        }
+    }
+
+    pub fn result(&self) -> Option<&ExploResult> {
+        self.result.as_ref()
+    }
+
+    pub fn into_result(self) -> Option<ExploResult> {
+        self.result
+    }
+
+    /// Register the root `v̂` (degree known from the first tour observation).
+    fn init_root(&mut self, degree: Port) {
+        self.adj.push(vec![None; degree as usize]);
+        self.first_visit.push(0);
+        self.stack.push(0);
+    }
+
+    /// Process an arrival at a `T'` node (degree ≠ 2) during the tour.
+    /// Returns `true` when the tour is complete.
+    fn on_tprime_arrival(&mut self, entry: Port, degree: Port) -> bool {
+        self.visits += 1;
+        let (from, from_port) = self.last_exit.expect("tour arrivals follow an exit");
+        match self.adj[from as usize][from_port as usize] {
+            Some((peer, peer_port)) => {
+                // Known edge ⇒ this is the DFS return to the parent.
+                debug_assert_eq!(peer_port, entry, "edge ports are consistent");
+                debug_assert_eq!(self.stack.last(), Some(&from));
+                self.stack.pop();
+                debug_assert_eq!(self.stack.last(), Some(&peer));
+                // Tour completes on the return to the root through its last
+                // port: the next basic-walk exit would restart the period.
+                self.stack.len() == 1 && peer == 0 && entry == degree - 1
+            }
+            None => {
+                // Fresh edge ⇒ a newly discovered child.
+                let id = self.adj.len() as NodeId;
+                self.adj.push(vec![None; degree as usize]);
+                self.first_visit.push(self.visits);
+                self.adj[from as usize][from_port as usize] = Some((id, entry));
+                self.adj[id as usize][entry as usize] = Some((from, from_port));
+                self.stack.push(id);
+                false
+            }
+        }
+    }
+
+    /// Assemble the [`ExploResult`] once the tour has closed.
+    fn finish(&mut self) {
+        let nu = self.adj.len();
+        let edges: Vec<Edge> = (0..nu as NodeId)
+            .flat_map(|u| {
+                self.adj[u as usize].iter().enumerate().filter_map(move |(p, slot)| {
+                    let (v, pv) = slot.expect("tour closed ⇒ all ports explored");
+                    (u < v).then_some(Edge { u, port_u: p as Port, v, port_v: pv })
+                })
+            })
+            .collect();
+        let tprime = Tree::from_edges(nu, &edges).expect("reconstruction is a tree");
+        let shape = classify(&tprime, &self.first_visit);
+        self.result = Some(ExploResult {
+            nu: nu as u64,
+            leaves: tprime.num_leaves() as u64,
+            first_visit: std::mem::take(&mut self.first_visit),
+            shape,
+            leaf_seek_len: self.leaf_seek_len,
+            tour_len: self.tour_len,
+            tprime,
+        });
+        self.phase = Phase::Finished;
+    }
+}
+
+/// Stage-2 classification of the reconstructed `T'` with root `v̂ = 0`.
+fn classify(tprime: &Tree, first_visit: &[u64]) -> TprimeShape {
+    match center(tprime) {
+        Center::Node(c) => TprimeShape::CentralNode { node: c, steps: first_visit[c as usize] },
+        Center::Edge(x, y) => {
+            let px = tprime.port_towards(x, y).expect("adjacent");
+            let py = tprime.port_towards(y, x).expect("adjacent");
+            let cx = canon_ports(tprime, x, Some(y), None);
+            let cy = canon_ports(tprime, y, Some(x), None);
+            if cx == cy {
+                // Symmetric: target the FARTHEST extremity — the one whose
+                // half does not contain the root. The root's half owns the
+                // extremity its path reaches first; with root == x or y the
+                // far one is simply the other. In T'-bw terms the far
+                // extremity is first entered THROUGH the central edge, hence
+                // its first visit is later.
+                let (far, near, p_far, p_near) =
+                    if first_visit[x as usize] <= first_visit[y as usize] {
+                        (y, x, py, px)
+                    } else {
+                        (x, y, px, py)
+                    };
+                TprimeShape::CentralEdgeSym {
+                    far,
+                    steps_far: first_visit[far as usize],
+                    central_port_far: p_far,
+                    near,
+                    central_port_near: p_near,
+                }
+            } else {
+                // Asymmetric: all agents pick the extremity with the smaller
+                // (canon, port) key — a canonical, position-independent
+                // choice (Fact 2.1's "same extremity x").
+                let (node, central_port) =
+                    if (cx, px) < (cy, py) { (x, px) } else { (y, py) };
+                TprimeShape::CentralEdgeAsym {
+                    node,
+                    steps: first_visit[node as usize],
+                    central_port,
+                }
+            }
+        }
+    }
+}
+
+impl SubAgent for ExploBis {
+    fn step(&mut self, obs: Obs) -> Step {
+        loop {
+            match self.phase {
+                Phase::Fresh => {
+                    if obs.degree == 2 && self.mode == ExploMode::Contraction {
+                        self.phase = Phase::LeafSeek;
+                        self.leaf_seek_len = 1;
+                        return Step::Move(0);
+                    }
+                    self.phase = Phase::Tour;
+                    self.init_root(obs.degree);
+                    self.last_exit = Some((0, 0));
+                    self.tour_len = 1;
+                    return Step::Move(0);
+                }
+                Phase::LeafSeek => {
+                    if obs.degree == 1 {
+                        // Reached v̂ = v_leaf: begin the tour here.
+                        self.phase = Phase::Tour;
+                        self.init_root(obs.degree);
+                        self.last_exit = Some((0, 0));
+                        self.tour_len = 1;
+                        return Step::Move(0);
+                    }
+                    self.leaf_seek_len += 1;
+                    return Step::Move(bw_exit(obs.entry, obs.degree));
+                }
+                Phase::Tour => {
+                    if obs.degree != 2 || self.mode == ExploMode::Full {
+                        let entry = obs.entry.expect("tour arrivals have an entry port");
+                        if self.on_tprime_arrival(entry, obs.degree) {
+                            self.finish();
+                            continue; // Phase::Finished returns Done
+                        }
+                        let exit = bw_exit(obs.entry, obs.degree);
+                        let cur = *self.stack.last().expect("tour in progress");
+                        self.last_exit = Some((cur, exit));
+                        self.tour_len += 1;
+                        return Step::Move(exit);
+                    }
+                    self.tour_len += 1;
+                    return Step::Move(bw_exit(obs.entry, obs.degree));
+                }
+                Phase::Finished => return Step::Done,
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_agent::model::{Action, Agent};
+    use rvz_sim::Cursor;
+    use rvz_trees::generators::{
+        caterpillar, colored_line_center_zero, complete_binary, line, random_relabel,
+        random_tree, spider, star,
+    };
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Drives ExploBis to completion; returns (result, final node, rounds).
+    fn run_explo(t: &Tree, start: NodeId) -> (ExploResult, NodeId, u64) {
+        let mut e = ExploBis::new();
+        let mut cur = Cursor::new(start);
+        let mut rounds = 0u64;
+        loop {
+            match e.step(cur.obs(t)) {
+                Step::Done => break,
+                Step::Move(p) => {
+                    cur.apply(t, Action::Move(p));
+                    rounds += 1;
+                }
+                Step::Stay => {
+                    cur.apply(t, Action::Stay);
+                    rounds += 1;
+                }
+            }
+            assert!(rounds < 10_000_000, "Explo-bis did not terminate");
+        }
+        (e.into_result().unwrap(), cur.node, rounds)
+    }
+
+    #[test]
+    fn reconstructs_spider_contraction() {
+        let t = spider(3, 4);
+        let (res, end, rounds) = run_explo(&t, 0);
+        assert_eq!(end, 0, "must return to v̂ = start (degree ≠ 2)");
+        assert_eq!(res.nu, 4);
+        assert_eq!(res.leaves, 3);
+        assert_eq!(rounds, 2 * (t.num_nodes() as u64 - 1));
+        assert_eq!(res.leaf_seek_len, 0);
+        // T' of a spider is a star; contraction ground truth agrees.
+        let ground = rvz_trees::contract(&t);
+        assert_eq!(res.tprime.num_nodes(), ground.tree.num_nodes());
+        assert_eq!(res.tprime.num_leaves(), ground.tree.num_leaves());
+    }
+
+    #[test]
+    fn degree2_start_walks_to_leaf_first() {
+        let t = spider(3, 4);
+        // Node 1 is inside leg 0 (degree 2): basic walk by port 0 goes
+        // outward to the leg's leaf (node 4).
+        let (res, end, _) = run_explo(&t, 1);
+        assert!(res.leaf_seek_len > 0);
+        assert_eq!(t.degree(end), 1, "v̂ must be a leaf");
+        assert_eq!(res.nu, 4);
+    }
+
+    #[test]
+    fn line_contraction_is_single_edge() {
+        let t = line(9);
+        let (res, end, _) = run_explo(&t, 0);
+        assert_eq!(end, 0);
+        assert_eq!(res.nu, 2);
+        assert_eq!(res.leaves, 2);
+        // Odd number of edges? line(9) has 8 edges: T' is a single edge, so
+        // the center of T' is that edge and both halves are single nodes:
+        // symmetric.
+        assert!(matches!(res.shape, TprimeShape::CentralEdgeSym { .. }));
+    }
+
+    #[test]
+    fn star_shape_is_central_node() {
+        let t = star(5);
+        let (res, _, _) = run_explo(&t, 2);
+        assert_eq!(res.nu, 6);
+        match res.shape {
+            TprimeShape::CentralNode { steps, .. } => {
+                // From a leaf, the hub is the first T'-visit.
+                assert_eq!(steps, 1);
+            }
+            other => panic!("expected central node, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn complete_binary_contraction_has_central_edge() {
+        // The root of a complete binary tree has degree 2 and vanishes in
+        // T': the two half-trees hang from a central edge; with identical
+        // canonical labelings the halves are symmetric.
+        let t = complete_binary(3);
+        let (res, _, _) = run_explo(&t, 1);
+        assert_eq!(res.nu, t.num_nodes() as u64 - 1);
+        assert!(matches!(
+            res.shape,
+            TprimeShape::CentralEdgeSym { .. } | TprimeShape::CentralEdgeAsym { .. }
+        ));
+    }
+
+    #[test]
+    fn first_visit_matches_virtual_basic_walk() {
+        // Ground truth: simulate the basic walk on the contraction directly.
+        let mut rng = StdRng::seed_from_u64(77);
+        for _ in 0..30 {
+            let t = random_relabel(&random_tree(24, &mut rng), &mut rng);
+            // Pick a start of degree ≠ 2 to keep v̂ = start.
+            let start = (0..t.num_nodes() as NodeId)
+                .find(|&v| t.degree(v) != 2)
+                .unwrap();
+            let (res, end, _) = run_explo(&t, start);
+            assert_eq!(end, start);
+            // Virtual walk on the reconstructed T' from its root 0: first
+            // visits must match what the reconstruction recorded.
+            let tp = &res.tprime;
+            let mut first = vec![u64::MAX; tp.num_nodes()];
+            first[0] = 0;
+            let mut cur = Cursor::new(0);
+            for step in 1..=2 * (tp.num_nodes() as u64 - 1) {
+                let exit = bw_exit(cur.entry, tp.degree(cur.node));
+                cur.apply(tp, Action::Move(exit));
+                if first[cur.node as usize] == u64::MAX {
+                    first[cur.node as usize] = step;
+                }
+            }
+            assert_eq!(cur.node, 0, "virtual tour closes");
+            assert_eq!(first, res.first_visit);
+        }
+    }
+
+    #[test]
+    fn reconstruction_isomorphic_to_ground_truth_contraction() {
+        use rvz_trees::canon::canon_ports;
+        let mut rng = StdRng::seed_from_u64(123);
+        for n in [2usize, 3, 8, 30, 77] {
+            let t = random_relabel(&random_tree(n, &mut rng), &mut rng);
+            let start = (0..t.num_nodes() as NodeId).find(|&v| t.degree(v) != 2).unwrap();
+            let (res, _, _) = run_explo(&t, start);
+            let ground = rvz_trees::contract(&t);
+            let ground_root = ground.t_to_tp[start as usize].expect("start survives");
+            assert_eq!(res.tprime.num_nodes(), ground.tree.num_nodes(), "n={n}");
+            // Port-labeled rooted isomorphism between reconstruction (root 0)
+            // and the true contraction rooted at the same physical node.
+            assert_eq!(
+                canon_ports(&res.tprime, 0, None, None),
+                canon_ports(&ground.tree, ground_root, None, None),
+                "n={n}"
+            );
+        }
+    }
+
+    #[test]
+    fn symmetric_colored_line_is_detected() {
+        let t = colored_line_center_zero(9);
+        let (res, _, _) = run_explo(&t, 0);
+        match res.shape {
+            TprimeShape::CentralEdgeSym { far, steps_far, near, .. } => {
+                // From leaf 0, T' = {0,9}: near is the root itself.
+                assert_eq!(res.first_visit[near as usize], 0);
+                assert_eq!(steps_far, res.first_visit[far as usize]);
+                assert_eq!(steps_far, 1);
+            }
+            other => panic!("expected symmetric central edge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn asymmetric_tprime_gets_canonical_extremity() {
+        // A caterpillar whose two halves differ: T' has an asymmetric
+        // central edge; both agents must choose the same extremity
+        // regardless of their start.
+        let t = caterpillar(4, &[2, 0, 0, 1]);
+        let mut landmark_canon: Option<(u64, u64)> = None;
+        for start in 0..t.num_nodes() as NodeId {
+            let (res, _, _) = run_explo(&t, start);
+            if let TprimeShape::CentralEdgeAsym { node, steps, .. } = &res.shape {
+                // Identify the landmark physically by walking `steps`
+                // T'-visits from the end node of the exploration.
+                let _ = node;
+                landmark_canon.get_or_insert((res.nu, res.leaves));
+                assert_eq!(landmark_canon.unwrap(), (res.nu, res.leaves));
+                assert!(*steps <= 2 * (res.nu - 1));
+            }
+        }
+    }
+
+    #[test]
+    fn charged_vs_measured_bits() {
+        let t = spider(8, 16);
+        let (res, _, _) = run_explo(&t, 0);
+        assert!(res.charged_bits() < res.measured_bits());
+        assert_eq!(res.charged_bits(), 4 * rvz_agent::bits_for(res.nu));
+    }
+
+    #[test]
+    fn full_mode_reconstructs_whole_tree() {
+        use rvz_trees::canon::canon_ports;
+        let mut rng = StdRng::seed_from_u64(4242);
+        for n in [2usize, 3, 10, 41] {
+            let t = random_relabel(&random_tree(n, &mut rng), &mut rng);
+            for start in [0u32, (n as u32) / 2, (n as u32) - 1] {
+                let mut e = ExploBis::full();
+                let mut cur = Cursor::new(start);
+                let mut rounds = 0u64;
+                loop {
+                    match e.step(cur.obs(&t)) {
+                        Step::Done => break,
+                        Step::Move(p) => {
+                            cur.apply(&t, Action::Move(p));
+                            rounds += 1;
+                        }
+                        Step::Stay => unreachable!(),
+                    }
+                }
+                let res = e.into_result().unwrap();
+                assert_eq!(res.nu, n as u64, "full mode reconstructs all of T");
+                assert_eq!(cur.node, start, "no leaf-seek in full mode");
+                assert_eq!(rounds, 2 * (n as u64 - 1));
+                assert_eq!(res.leaf_seek_len, 0);
+                // Port-labeled rooted isomorphism with the real tree.
+                assert_eq!(
+                    canon_ports(&res.tprime, 0, None, None),
+                    canon_ports(&t, start, None, None),
+                    "n={n} start={start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn two_node_tree_explo() {
+        let t = line(2);
+        let (res, end, rounds) = run_explo(&t, 0);
+        assert_eq!(res.nu, 2);
+        assert_eq!(end, 0);
+        assert_eq!(rounds, 2);
+        assert!(matches!(res.shape, TprimeShape::CentralEdgeSym { .. }));
+    }
+
+    /// ExploBis exposed as a standalone Agent for simulator-level checks.
+    struct ExploAgent {
+        inner: ExploBis,
+        done: bool,
+    }
+
+    impl Agent for ExploAgent {
+        fn act(&mut self, obs: Obs) -> Action {
+            if self.done {
+                return Action::Stay;
+            }
+            match self.inner.step(obs) {
+                Step::Done => {
+                    self.done = true;
+                    Action::Stay
+                }
+                Step::Move(p) => Action::Move(p),
+                Step::Stay => Action::Stay,
+            }
+        }
+        fn memory_bits(&self) -> u64 {
+            self.inner.result().map_or(0, |r| r.measured_bits())
+        }
+    }
+
+    #[test]
+    fn explo_duration_is_independent_of_tprime_start() {
+        // Any degree-≠2 start yields exactly 2(n−1) rounds (Claim 4.1 /
+        // Synchro timing relies on this).
+        let t = caterpillar(5, &[1, 2, 0, 1, 1]);
+        let n = t.num_nodes() as u64;
+        for start in 0..t.num_nodes() as NodeId {
+            if t.degree(start) == 2 {
+                continue;
+            }
+            let (_, end, rounds) = run_explo(&t, start);
+            assert_eq!(rounds, 2 * (n - 1), "start={start}");
+            assert_eq!(end, start);
+        }
+        // Degree-2 starts add exactly the leaf-seek length L.
+        for start in 0..t.num_nodes() as NodeId {
+            if t.degree(start) != 2 {
+                continue;
+            }
+            let (res, _, rounds) = run_explo(&t, start);
+            assert_eq!(rounds, res.leaf_seek_len + 2 * (n - 1), "start={start}");
+        }
+        let _ = ExploAgent { inner: ExploBis::new(), done: false };
+    }
+}

@@ -1,0 +1,22 @@
+//! # rvz-explore
+//!
+//! Walks and exploration procedures of Fraigniaud & Pelc (SPAA 2010):
+//!
+//! * [`subwalks`] — the paper's `bw(j)` / `cbw(j)` counted walks (§4.1), the
+//!   central-path crossing, and idle blocks, as composable
+//!   [`rvz_agent::SubAgent`]s;
+//! * [`explo`] — `Explo` / `Explo-bis` (Fact 2.1): one basic-walk period
+//!   reconstructs the contraction `T'` (the basic walk is a DFS), yielding
+//!   `ν`, `ℓ`, the Stage-2 classification (central node / asymmetric /
+//!   symmetric central edge) and the basic-walk step counts to the
+//!   landmarks;
+//! * [`synchro`] — procedure `Synchro` (Sub-stage 2.1) with Claim 4.2's
+//!   delay guarantee.
+
+pub mod explo;
+pub mod subwalks;
+pub mod synchro;
+
+pub use explo::{ExploBis, ExploMode, ExploResult, TprimeShape};
+pub use subwalks::{BwCounted, CbwCounted, CrossPath, Wait};
+pub use synchro::Synchro;

@@ -1,0 +1,391 @@
+//! Reusable walk sub-procedures (`SubAgent`s) used by the exploration and
+//! rendezvous agents: the paper's `bw(j)`, `cbw(j)` (§4.1), and the central
+//! path crossing.
+//!
+//! All of them count *visits to nodes of degree ≠ 2* ("T′-nodes"), which is
+//! how the paper's automata position themselves inside the contraction while
+//! physically walking the full tree.
+
+use rvz_agent::model::{bw_exit, cbw_exit, Obs, Step, SubAgent};
+use rvz_trees::Port;
+
+/// `bw(j)`: perform the basic walk until `j` nodes of degree ≠ 2 have been
+/// visited, then stop *at* the `j`-th such node. `bw(0)` does nothing.
+///
+/// The first exit is port 0 (the basic walk's start rule).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct BwCounted {
+    target: u64,
+    seen: u64,
+    started: bool,
+}
+
+impl BwCounted {
+    pub fn new(target: u64) -> Self {
+        BwCounted { target, seen: 0, started: false }
+    }
+
+    /// Number of T′-visits still owed.
+    pub fn remaining(&self) -> u64 {
+        self.target - self.seen
+    }
+}
+
+impl SubAgent for BwCounted {
+    fn step(&mut self, obs: Obs) -> Step {
+        if !self.started {
+            if self.target == 0 {
+                return Step::Done;
+            }
+            self.started = true;
+            return Step::Move(0);
+        }
+        if obs.degree != 2 {
+            self.seen += 1;
+            if self.seen >= self.target {
+                return Step::Done;
+            }
+        }
+        Step::Move(bw_exit(obs.entry, obs.degree))
+    }
+}
+
+/// `cbw(j)`: counter basic walk until `j` nodes of degree ≠ 2 have been
+/// visited. Two start modes (§4.1 and DESIGN.md §D6):
+///
+/// * [`CbwCounted::reversing`] — executed right after a `bw(j)`: the first
+///   exit re-traverses the edge just used (turn-around: exit = entry port),
+///   then follows the `(i − 1) mod d` rule; retraces `bw(j)` exactly.
+/// * [`CbwCounted::standalone`] — reverses a *closed* basic-walk tour from
+///   its base node: the first exit is `d − 1` (the port by which the forward
+///   tour made its final entry), then `(i − 1) mod d`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CbwCounted {
+    target: u64,
+    seen: u64,
+    started: bool,
+    turn_around: bool,
+}
+
+impl CbwCounted {
+    pub fn reversing(target: u64) -> Self {
+        CbwCounted { target, seen: 0, started: false, turn_around: true }
+    }
+
+    pub fn standalone(target: u64) -> Self {
+        CbwCounted { target, seen: 0, started: false, turn_around: false }
+    }
+}
+
+impl SubAgent for CbwCounted {
+    fn step(&mut self, obs: Obs) -> Step {
+        if !self.started {
+            if self.target == 0 {
+                return Step::Done;
+            }
+            self.started = true;
+            let exit = if self.turn_around {
+                obs.entry.expect("turn-around requires a preceding move")
+            } else {
+                cbw_exit(None, obs.degree)
+            };
+            return Step::Move(exit);
+        }
+        if obs.degree != 2 {
+            self.seen += 1;
+            if self.seen >= self.target {
+                return Step::Done;
+            }
+        }
+        Step::Move(cbw_exit(obs.entry, obs.degree))
+    }
+}
+
+/// Crossing of the central path `C`: leave by `first_port`, then walk
+/// straight through degree-2 nodes until reaching a node of degree ≠ 2 (the
+/// other extremity of `C`).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CrossPath {
+    first_port: Port,
+    started: bool,
+}
+
+impl CrossPath {
+    pub fn new(first_port: Port) -> Self {
+        CrossPath { first_port, started: false }
+    }
+}
+
+impl SubAgent for CrossPath {
+    fn step(&mut self, obs: Obs) -> Step {
+        if !self.started {
+            self.started = true;
+            return Step::Move(self.first_port);
+        }
+        if obs.degree != 2 {
+            return Step::Done;
+        }
+        Step::Move(bw_exit(obs.entry, obs.degree))
+    }
+}
+
+/// Idle for a fixed number of rounds.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Wait {
+    remaining: u64,
+}
+
+impl Wait {
+    pub fn rounds(remaining: u64) -> Self {
+        Wait { remaining }
+    }
+}
+
+impl SubAgent for Wait {
+    fn step(&mut self, _obs: Obs) -> Step {
+        if self.remaining == 0 {
+            return Step::Done;
+        }
+        self.remaining -= 1;
+        Step::Stay
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_agent::model::{Action, Agent};
+    use rvz_sim::Cursor;
+    use rvz_trees::generators::{line, spider};
+    use rvz_trees::Tree;
+
+    /// Drives a single SubAgent until Done; returns (final cursor, rounds).
+    fn drive(t: &Tree, start: u32, sub: &mut dyn SubAgent) -> (Cursor, u64) {
+        let mut cur = Cursor::new(start);
+        let mut rounds = 0u64;
+        loop {
+            match sub.step(cur.obs(t)) {
+                Step::Done => return (cur, rounds),
+                Step::Stay => {
+                    cur.apply(t, Action::Stay);
+                }
+                Step::Move(p) => {
+                    cur.apply(t, Action::Move(p));
+                }
+            }
+            rounds += 1;
+            assert!(rounds < 1_000_000, "sub-walk did not terminate");
+        }
+    }
+
+    /// Composite driver: run `a` then `b` (b sees the obs a finished on).
+    fn drive_two(
+        t: &Tree,
+        start: u32,
+        a: &mut dyn SubAgent,
+        b: &mut dyn SubAgent,
+    ) -> (Cursor, u64) {
+        let mut cur = Cursor::new(start);
+        let mut rounds = 0u64;
+        let mut phase = 0;
+        loop {
+            let obs = cur.obs(t);
+            let step = if phase == 0 {
+                match a.step(obs) {
+                    Step::Done => {
+                        phase = 1;
+                        b.step(obs)
+                    }
+                    s => s,
+                }
+            } else {
+                b.step(obs)
+            };
+            match step {
+                Step::Done => return (cur, rounds),
+                Step::Stay => {
+                    cur.apply(t, Action::Stay);
+                }
+                Step::Move(p) => {
+                    cur.apply(t, Action::Move(p));
+                }
+            }
+            rounds += 1;
+            assert!(rounds < 1_000_000, "composite walk did not terminate");
+        }
+    }
+
+    #[test]
+    fn bw_counted_full_tour_returns_home() {
+        // Spider: ν = legs+1 T′ nodes; a full tour = 2(ν−1) T′ visits and
+        // 2(n−1) physical rounds.
+        let t = spider(3, 4);
+        let nu = 4u64;
+        let mut bw = BwCounted::new(2 * (nu - 1));
+        let (cur, rounds) = drive(&t, 0, &mut bw);
+        assert_eq!(cur.node, 0);
+        assert_eq!(rounds, 2 * (t.num_nodes() as u64 - 1));
+    }
+
+    #[test]
+    fn bw_zero_is_noop() {
+        let t = line(5);
+        let mut bw = BwCounted::new(0);
+        let (cur, rounds) = drive(&t, 2, &mut bw);
+        assert_eq!((cur.node, rounds), (2, 0));
+    }
+
+    #[test]
+    fn bw_then_cbw_returns_to_origin() {
+        let t = spider(3, 3);
+        for j in 1..=6u64 {
+            let mut bw = BwCounted::new(j);
+            let mut cbw = CbwCounted::reversing(j);
+            let (cur, rounds) = drive_two(&t, 0, &mut bw, &mut cbw);
+            assert_eq!(cur.node, 0, "j={j}");
+            // Forward and backward legs have the same physical length.
+            assert_eq!(rounds % 2, 0, "j={j}");
+        }
+    }
+
+    #[test]
+    fn standalone_cbw_tour_reverses_bw_tour() {
+        // A standalone cbw full tour from a node retraces the bw full tour
+        // backwards: same duration, same endpoint (home).
+        let t = spider(4, 2);
+        let nu = 5u64;
+        let mut fwd = BwCounted::new(2 * (nu - 1));
+        let (_, fwd_rounds) = drive(&t, 0, &mut fwd);
+        let mut rev = CbwCounted::standalone(2 * (nu - 1));
+        let (cur, rev_rounds) = drive(&t, 0, &mut rev);
+        assert_eq!(cur.node, 0);
+        assert_eq!(fwd_rounds, rev_rounds);
+    }
+
+    #[test]
+    fn standalone_cbw_visits_same_nodes_as_bw() {
+        let t = spider(3, 2);
+        let nu = 4u64;
+        // Record the forward tour's physical node sequence.
+        let mut seq_fwd = vec![0u32];
+        let mut cur = Cursor::new(0);
+        let mut bw = BwCounted::new(2 * (nu - 1));
+        loop {
+            match bw.step(cur.obs(&t)) {
+                Step::Done => break,
+                Step::Move(p) => {
+                    cur.apply(&t, Action::Move(p));
+                    seq_fwd.push(cur.node);
+                }
+                Step::Stay => unreachable!(),
+            }
+        }
+        // Record the standalone reverse tour.
+        let mut seq_rev = vec![0u32];
+        let mut cur = Cursor::new(0);
+        let mut cbw = CbwCounted::standalone(2 * (nu - 1));
+        loop {
+            match cbw.step(cur.obs(&t)) {
+                Step::Done => break,
+                Step::Move(p) => {
+                    cur.apply(&t, Action::Move(p));
+                    seq_rev.push(cur.node);
+                }
+                Step::Stay => unreachable!(),
+            }
+        }
+        let mut expected = seq_fwd.clone();
+        expected.reverse();
+        assert_eq!(seq_rev, expected, "cbw tour must be the exact reversal");
+    }
+
+    #[test]
+    fn cross_path_walks_the_line() {
+        let t = line(8); // leaves 0 and 7 are "extremities"
+        let mut cross = CrossPath::new(0);
+        let (cur, rounds) = drive(&t, 7, &mut cross);
+        assert_eq!(cur.node, 0);
+        assert_eq!(rounds, 7);
+    }
+
+    #[test]
+    fn wait_counts_rounds() {
+        let t = line(3);
+        let mut w = Wait::rounds(5);
+        let (cur, rounds) = drive(&t, 1, &mut w);
+        assert_eq!((cur.node, rounds), (1, 5));
+    }
+
+    #[test]
+    fn cross_path_traverses_the_central_path_of_a_double_spider() {
+        // Hubs 0 and 1 joined by a 3-edge path: crossing from hub 0 via its
+        // path port (index = number of legs) lands on hub 1 in 3 rounds.
+        let t = rvz_trees::generators::double_spider(&[1, 4], &[2, 3], 3);
+        let mut cross = CrossPath::new(2); // hub 0's port 2 = the path
+        let (cur, rounds) = drive(&t, 0, &mut cross);
+        assert_eq!(cur.node, 1);
+        assert_eq!(rounds, 3);
+        // And back.
+        let mut back = CrossPath::new(2);
+        let (cur, rounds) = drive(&t, 1, &mut back);
+        assert_eq!(cur.node, 0);
+        assert_eq!(rounds, 3);
+    }
+
+    #[test]
+    fn bw_counted_remaining_decreases() {
+        let t = spider(3, 1);
+        let mut bw = BwCounted::new(3);
+        assert_eq!(bw.remaining(), 3);
+        let mut cur = Cursor::new(0);
+        // Drive two T'-visits by hand.
+        let mut visits = 0;
+        while visits < 2 {
+            match bw.step(cur.obs(&t)) {
+                Step::Move(p) => {
+                    cur.apply(&t, Action::Move(p));
+                    if t.degree(cur.node) != 2 {
+                        visits += 1;
+                    }
+                }
+                Step::Stay => {}
+                Step::Done => panic!("not done yet"),
+            }
+        }
+        // `remaining` lags one behind the physical cursor (counted at the
+        // NEXT step call), so poke once more:
+        let _ = bw.step(cur.obs(&t));
+        assert!(bw.remaining() <= 2);
+    }
+
+    /// Adapter making a single SubAgent a full Agent (stays forever after).
+    struct SubAsAgent<S: SubAgent>(S, bool);
+
+    impl<S: SubAgent> Agent for SubAsAgent<S> {
+        fn act(&mut self, obs: Obs) -> Action {
+            if self.1 {
+                return Action::Stay;
+            }
+            match self.0.step(obs) {
+                Step::Done => {
+                    self.1 = true;
+                    Action::Stay
+                }
+                Step::Stay => Action::Stay,
+                Step::Move(p) => Action::Move(p),
+            }
+        }
+        fn memory_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn subagent_composes_with_simulator() {
+        let t = line(6);
+        let mut agent = SubAsAgent(BwCounted::new(1), false);
+        let run = rvz_sim::run_single(&t, 0, &mut agent, 10, true);
+        // From leaf 0, one T′-visit = reach the other leaf after 5 moves.
+        assert_eq!(run.trace.unwrap()[5], 5);
+    }
+}

@@ -1,0 +1,214 @@
+//! Procedure `Synchro` (Sub-stage 2.1, §4.1): re-synchronization of the two
+//! agents after `Explo-bis`.
+//!
+//! From `v̂`, perform one full basic-walk period (`2(ν−1)` `T'`-edge
+//! traversals, ending back at `v̂`), inserting a full `Explo-bis(w)` walk
+//! (one basic-walk period from `w`, `2(n−1)` rounds) at every visited
+//! `T'`-node *except* the final return to `v̂`.
+//!
+//! Claim 4.2: since both agents perform identical multisets of actions in
+//! different orders, they finish `Synchro` with delay exactly `|L − L'|`,
+//! where `L` is the length of the basic walk from the original start `v`
+//! to `v̂`.
+
+use rvz_agent::model::{bw_exit, Obs, Step, SubAgent};
+
+/// The `Synchro` sub-agent. Requires `ν` (from [`crate::explo::ExploBis`]).
+#[derive(Debug, Clone)]
+pub struct Synchro {
+    /// Total `T'` arrivals the main walk owes: `2(ν−1)`.
+    main_target: u64,
+    /// `T'` arrivals of the main walk so far.
+    main_seen: u64,
+    /// In-progress insertion: remaining `T'` arrivals of the sub-tour, and
+    /// the main walk's suspended entry port at the insertion node.
+    insertion: Option<(u64, u32)>,
+    started: bool,
+    rounds: u64,
+}
+
+impl Synchro {
+    pub fn new(nu: u64) -> Self {
+        assert!(nu >= 2, "contractions have at least two nodes");
+        Synchro {
+            main_target: 2 * (nu - 1),
+            main_seen: 0,
+            insertion: None,
+            started: false,
+            rounds: 0,
+        }
+    }
+
+    /// Rounds consumed so far (for Claim 4.2 instrumentation).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+}
+
+impl SubAgent for Synchro {
+    fn step(&mut self, obs: Obs) -> Step {
+        if !self.started {
+            self.started = true;
+            self.rounds += 1;
+            // Main walk's first move: basic-walk start (port 0).
+            return Step::Move(0);
+        }
+        if let Some((remaining, suspended_entry)) = self.insertion {
+            // Inside an inserted Explo-bis(w) tour.
+            if obs.degree != 2 {
+                let remaining = remaining - 1;
+                if remaining == 0 {
+                    // Insertion complete: we are back at w. Resume the main
+                    // walk as if we had just arrived by `suspended_entry`.
+                    self.insertion = None;
+                    self.rounds += 1;
+                    return Step::Move(bw_exit(Some(suspended_entry), obs.degree));
+                }
+                self.insertion = Some((remaining, suspended_entry));
+            }
+            self.rounds += 1;
+            return Step::Move(bw_exit(obs.entry, obs.degree));
+        }
+        // Main walk.
+        if obs.degree != 2 {
+            self.main_seen += 1;
+            if self.main_seen >= self.main_target {
+                // Final return to v̂: no insertion, Synchro is complete.
+                return Step::Done;
+            }
+            // Insert a full Explo-bis(w) tour from this node before
+            // continuing the main walk.
+            let entry = obs.entry.expect("main-walk arrivals have an entry port");
+            self.insertion = Some((self.main_target, entry));
+            self.rounds += 1;
+            return Step::Move(0); // sub-tour starts like any basic walk
+        }
+        self.rounds += 1;
+        Step::Move(bw_exit(obs.entry, obs.degree))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::explo::ExploBis;
+    use rvz_agent::model::Action;
+    use rvz_sim::Cursor;
+    use rvz_trees::generators::{caterpillar, line, random_relabel, random_tree, spider};
+    use rvz_trees::{NodeId, Tree};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Runs Explo-bis then Synchro from `start`; returns
+    /// (v̂, total rounds, leaf-seek length L, ν).
+    fn run_explo_synchro(t: &Tree, start: NodeId) -> (NodeId, u64, u64, u64) {
+        let mut cur = Cursor::new(start);
+        let mut rounds = 0u64;
+        let mut explo = ExploBis::new();
+        let (nu, leaf_len) = loop {
+            match explo.step(cur.obs(t)) {
+                Step::Done => {
+                    let r = explo.result().unwrap();
+                    break (r.nu, r.leaf_seek_len);
+                }
+                Step::Move(p) => {
+                    cur.apply(t, Action::Move(p));
+                    rounds += 1;
+                }
+                Step::Stay => {
+                    cur.apply(t, Action::Stay);
+                    rounds += 1;
+                }
+            }
+        };
+        let vhat = cur.node;
+        let mut sync = Synchro::new(nu);
+        loop {
+            match sync.step(cur.obs(t)) {
+                Step::Done => break,
+                Step::Move(p) => {
+                    cur.apply(t, Action::Move(p));
+                    rounds += 1;
+                }
+                Step::Stay => {
+                    cur.apply(t, Action::Stay);
+                    rounds += 1;
+                }
+            }
+            assert!(rounds < 100_000_000, "Synchro did not terminate");
+        }
+        assert_eq!(cur.node, vhat, "Synchro must end back at v̂");
+        (vhat, rounds, leaf_len, nu)
+    }
+
+    #[test]
+    fn synchro_duration_formula() {
+        // Duration of Explo-bis + Synchro = L + 2(n−1) + 2(ν−1)·2(n−1):
+        // the main walk is one full period and each of the 2(ν−1)−1
+        // insertions is one full period.
+        for t in [spider(3, 3), caterpillar(4, &[1, 0, 2, 1]), line(7)] {
+            let n = t.num_nodes() as u64;
+            for start in 0..t.num_nodes() as NodeId {
+                let (_, rounds, leaf_len, nu) = run_explo_synchro(&t, start);
+                assert_eq!(
+                    rounds,
+                    leaf_len + 2 * (n - 1) + 2 * (nu - 1) * 2 * (n - 1),
+                    "start={start}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn claim_4_2_delay_is_leaf_seek_difference() {
+        // Two agents starting simultaneously anywhere finish Synchro with
+        // delay exactly |L − L'|.
+        let mut rng = StdRng::seed_from_u64(2024);
+        for _ in 0..20 {
+            let t = random_relabel(&random_tree(18, &mut rng), &mut rng);
+            let n = t.num_nodes() as NodeId;
+            for (u, v) in [(0u32, n - 1), (1, n / 2), (2, n - 2)] {
+                if u == v {
+                    continue;
+                }
+                let (_, r_u, l_u, _) = run_explo_synchro(&t, u);
+                let (_, r_v, l_v, _) = run_explo_synchro(&t, v);
+                assert_eq!(
+                    r_u.abs_diff(r_v),
+                    l_u.abs_diff(l_v),
+                    "Claim 4.2 violated at ({u},{v})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn synchro_visits_every_tprime_node() {
+        let t = spider(4, 2);
+        let mut cur = Cursor::new(0);
+        let mut explo = ExploBis::new();
+        loop {
+            match explo.step(cur.obs(&t)) {
+                Step::Done => break,
+                Step::Move(p) => {
+                    cur.apply(&t, Action::Move(p));
+                }
+                Step::Stay => {}
+            }
+        }
+        let nu = explo.result().unwrap().nu;
+        let mut sync = Synchro::new(nu);
+        let mut visited = vec![false; t.num_nodes()];
+        loop {
+            match sync.step(cur.obs(&t)) {
+                Step::Done => break,
+                Step::Move(p) => {
+                    cur.apply(&t, Action::Move(p));
+                    visited[cur.node as usize] = true;
+                }
+                Step::Stay => {}
+            }
+        }
+        assert!(visited.iter().all(|&b| b), "Synchro tours the whole tree");
+    }
+}

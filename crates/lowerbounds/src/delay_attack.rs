@@ -1,0 +1,251 @@
+//! The Theorem 3.1 adversary: for *any* `K`-state automaton, a
+//! 2-edge-colored line of length `O(K)` = `O(2^k)` (plus a start delay θ)
+//! on which two copies never meet, from non-perfectly-symmetrizable
+//! starts. Hence rendezvous with arbitrary delay needs `Ω(log n)` bits on
+//! the line of length `n` — the lower half of the paper's exponential gap.
+//!
+//! Construction (Fig. 1): run the automaton on the infinite colored line.
+//! *Bounded* automata are defeated by disjoint activity ranges on a line
+//! with a central node. *Drifting* automata repeat a state `s` at two
+//! same-parity positions `x1 ≠ x2` (rounds `t1 < t2`): place one copy at
+//! `u` in the left half of a mirror-labeled line, the other at
+//! `v = mirror(x1) + (x2 − x1) + (x1 − u)` in the right half, and delay the
+//! `u`-copy by `θ = t2 − t1`. At global round `t2` the two copies stand at
+//! mirror positions in the same state, and mirror dynamics keep them apart
+//! forever; before `t2` they never left their halves.
+
+use crate::infinite_line::{classify, envelope, Activation, LineBehavior};
+use rvz_agent::line_fsa::LineFsa;
+use rvz_sim::{run_pair, Outcome, PairConfig};
+use rvz_trees::generators::colored_line;
+use rvz_trees::{NodeId, Tree};
+
+/// A verified adversarial instance.
+#[derive(Debug, Clone)]
+pub struct Attack {
+    /// The 2-edge-colored line.
+    pub line: Tree,
+    /// Start of the first (undelayed) copy.
+    pub start_a: NodeId,
+    /// Start of the second copy, delayed by `theta`.
+    pub start_b: NodeId,
+    /// The adversary's delay θ.
+    pub theta: u64,
+    /// Which branch of the construction produced the instance.
+    pub kind: AttackKind,
+    /// The horizon over which non-meeting was verified by simulation.
+    pub verified_rounds: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AttackKind {
+    /// Disjoint activity ranges (automaton bounded within distance `d`).
+    BoundedRange { d: i64 },
+    /// The mirror construction of Fig. 1.
+    Mirror { x1: i64, x2: i64, t1: u64, t2: u64 },
+}
+
+/// Errors (none expected for valid automata; simulation verification is
+/// asserted inside).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AttackError {
+    /// The automaton met anyway — would disprove Theorem 3.1; kept as an
+    /// error (rather than a panic) so property tests can surface it.
+    MeetingHappened { round: u64 },
+}
+
+/// The disjoint-ranges instance for an automaton whose infinite-line
+/// trajectory stays within distance `d` of its start: a line with `4d + 4`
+/// edges (central NODE — nothing is perfectly symmetrizable), copies at
+/// distance `2d + 1`, delay 0.
+fn bounded_attack(d: i64) -> (Tree, NodeId, NodeId, u64) {
+    let edges = (4 * d + 4) as usize;
+    let line = colored_line(edges + 1, 0);
+    let u = (d + 1) as NodeId;
+    let v = (3 * d + 2) as NodeId;
+    (line, u, v, 0)
+}
+
+/// The mirror instance from a drift witness, given the trajectory envelope
+/// `(lo, hi)` over rounds `[0, t2]`.
+fn mirror_attack(
+    first: &Activation,
+    second: &Activation,
+    env: (i64, i64),
+) -> (Tree, NodeId, NodeId, u64) {
+    let (o1, o2) = (first.pos, second.pos);
+    let (t1, t2) = (first.round, second.round);
+    let (lo, hi) = env;
+    debug_assert_eq!(first.state, second.state);
+    debug_assert_eq!(o1.rem_euclid(2), o2.rem_euclid(2), "witness positions share parity");
+    debug_assert!(o1 != o2);
+    // Half-length c and agent position u subject to (DESIGN/Thm 3.1):
+    //   u + lo ≥ 1,  u + hi ≤ c                     (left copy stays left)
+    //   v − hi ≥ c+1, v − lo ≤ 2c                   (right copy stays right)
+    // with v = (2c + 1) − u − o1 + o2, plus the parity alignment
+    // (u + c) ≡ 0 (mod 2) so the left copy sees start parity 0.
+    for extra in 0.. {
+        let c = hi - lo + (o1 - o2).abs() + 6 + extra;
+        let u_min = (1 - lo) + 0.max(-(o1 - o2));
+        let u_max = (c - hi) - 0.max(o1 - o2);
+        for u in u_min..=u_max {
+            if (u + c).rem_euclid(2) != 0 {
+                continue;
+            }
+            let l = 2 * c + 1;
+            let v = l - u - o1 + o2;
+            if u < 1 || u + lo < 1 || u + hi > c || v - hi < c + 1 || v - lo > l - 1 {
+                continue;
+            }
+            let line = colored_line((l + 1) as usize, (c % 2) as usize);
+            return (line, u as NodeId, v as NodeId, t2 - t1);
+        }
+    }
+    unreachable!("layout search terminates: the constraint box is nonempty for large c")
+}
+
+/// Builds and *verifies* the Theorem 3.1 instance for `fsa`. The returned
+/// attack has been simulated for a horizon covering the transient plus many
+/// mirror periods without a meeting.
+pub fn delay_attack(fsa: &LineFsa) -> Result<Attack, AttackError> {
+    let k = fsa.num_states() as u64;
+    let (line, a, b, theta, kind) = match classify(fsa, 0) {
+        LineBehavior::Bounded { min_pos, max_pos } => {
+            let d = max_pos.abs().max(min_pos.abs());
+            let (line, u, v, theta) = bounded_attack(d);
+            (line, u, v, theta, AttackKind::BoundedRange { d })
+        }
+        LineBehavior::Drifts { first, second } => {
+            let env = envelope(fsa, 0, second.round);
+            let (line, u, v, theta) = mirror_attack(&first, &second, env);
+            (
+                line,
+                v, // undelayed copy = the right-half agent
+                u, // delayed copy = the left-half agent
+                theta,
+                AttackKind::Mirror {
+                    x1: first.pos,
+                    x2: second.pos,
+                    t1: first.round,
+                    t2: second.round,
+                },
+            )
+        }
+    };
+    // Positions must be a *feasible* rendezvous instance (otherwise failing
+    // is no feat): never perfectly symmetrizable by construction.
+    assert!(
+        !rvz_trees::perfectly_symmetrizable(&line, a, b),
+        "attack instance must be feasible"
+    );
+    let n = line.num_nodes() as u64;
+    let horizon = theta + 8 * k * n + 50_000;
+    let mut agent_a = fsa.runner();
+    let mut agent_b = fsa.runner();
+    let run = run_pair(
+        &line,
+        a,
+        b,
+        &mut agent_a,
+        &mut agent_b,
+        PairConfig::delayed(theta, horizon),
+    );
+    match run.outcome {
+        Outcome::Met { round, .. } => Err(AttackError::MeetingHappened { round }),
+        Outcome::Timeout { rounds } => Ok(Attack {
+            line,
+            start_a: a,
+            start_b: b,
+            theta,
+            kind,
+            verified_rounds: rounds,
+        }),
+    }
+}
+
+/// Convenience: the length (in edges) of the attack line — the `n` for
+/// which the automaton's `k` bits are shown insufficient.
+impl Attack {
+    pub fn line_edges(&self) -> usize {
+        self.line.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn defeats_the_shuttle() {
+        let fsa = LineFsa::shuttle();
+        let attack = delay_attack(&fsa).expect("shuttle must be defeated");
+        assert!(matches!(attack.kind, AttackKind::Mirror { .. }));
+        // The shuttle drifts one edge per round: tiny witnesses, short line.
+        assert!(attack.line_edges() <= 8 * (2 + 1) + 1 + 16);
+    }
+
+    #[test]
+    fn defeats_sitters_and_oscillators() {
+        let sitter = LineFsa { delta: vec![[0, 0]], lambda: vec![-1], s0: 0 };
+        let attack = delay_attack(&sitter).unwrap();
+        assert!(matches!(attack.kind, AttackKind::BoundedRange { d: 0 }));
+        assert_eq!(attack.line_edges(), 4);
+
+        let osc = LineFsa { delta: vec![[0, 0]], lambda: vec![0], s0: 0 };
+        let attack = delay_attack(&osc).unwrap();
+        assert!(matches!(attack.kind, AttackKind::BoundedRange { .. }));
+    }
+
+    #[test]
+    fn defeats_random_automata() {
+        let mut rng = StdRng::seed_from_u64(31337);
+        let mut mirrors = 0;
+        for k in 1..=6usize {
+            for _ in 0..40 {
+                let fsa = LineFsa::random(k, 0.25, &mut rng);
+                let attack = delay_attack(&fsa)
+                    .unwrap_or_else(|e| panic!("K={k}: {e:?} disproves Thm 3.1?!"));
+                if matches!(attack.kind, AttackKind::Mirror { .. }) {
+                    mirrors += 1;
+                }
+            }
+        }
+        assert!(mirrors > 0, "some random automata must drift");
+    }
+
+    #[test]
+    fn line_length_is_linear_in_states() {
+        // Theorem 3.1's quantitative content: the defeating line has
+        // O(K) = O(2^k) edges.
+        let mut rng = StdRng::seed_from_u64(99);
+        for k in [2usize, 4, 8, 16] {
+            for _ in 0..20 {
+                let fsa = LineFsa::random(k, 0.2, &mut rng);
+                let attack = delay_attack(&fsa).unwrap();
+                assert!(
+                    attack.line_edges() as u64 <= 40 * (k as u64 + 2),
+                    "K={k}: line has {} edges",
+                    attack.line_edges()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mirror_attack_places_same_state_same_parity() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..50 {
+            let fsa = LineFsa::random(5, 0.3, &mut rng);
+            if let Ok(attack) = delay_attack(&fsa) {
+                if let AttackKind::Mirror { x1, x2, t1, t2 } = attack.kind {
+                    assert_ne!(x1, x2);
+                    assert!(t1 < t2);
+                    assert_eq!(x1.rem_euclid(2), x2.rem_euclid(2));
+                    assert_eq!(attack.theta, t2 - t1);
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,230 @@
+//! Simulation of a [`LineFsa`] on the *infinite* properly 2-edge-colored
+//! line — the analysis substrate shared by the Theorem 3.1 and Theorem 4.2
+//! adversaries.
+//!
+//! Coordinates: the agent starts at position 0; the edge between positions
+//! `i` and `i+1` carries color `(i + parity) mod 2` at both endpoints.
+//! Every node has degree 2, so the automaton's state sequence is simply the
+//! `π'` orbit `s0, π'(s0), π'²(s0), …` — only the *positions* depend on the
+//! start parity.
+
+use rvz_agent::line_fsa::{LineFsa, StateId};
+
+/// One activation of the agent on the infinite line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Activation {
+    /// Local round (1-based: the first activation is round 1).
+    pub round: u64,
+    /// State after the round's transition (for round 1: `s0`).
+    pub state: StateId,
+    /// Position *before* the action.
+    pub pos: i64,
+    /// Signed move: -1, 0 (stay), +1.
+    pub step: i64,
+}
+
+/// Stream of activations of `fsa` on the infinite line with the given start
+/// `parity` (color of the edge to the right of the start).
+pub struct InfiniteRun<'a> {
+    fsa: &'a LineFsa,
+    parity: i64,
+    state: StateId,
+    pos: i64,
+    round: u64,
+    started: bool,
+}
+
+impl<'a> InfiniteRun<'a> {
+    pub fn new(fsa: &'a LineFsa, parity: u8) -> Self {
+        InfiniteRun {
+            fsa,
+            parity: parity as i64,
+            state: fsa.s0,
+            pos: 0,
+            round: 0,
+            started: false,
+        }
+    }
+
+    /// Direction of a move along the edge of color `color` from `pos`:
+    /// `+1` if the right edge has that color, else `-1`.
+    fn direction(&self, color: i64) -> i64 {
+        if (self.pos + self.parity).rem_euclid(2) == color {
+            1
+        } else {
+            -1
+        }
+    }
+}
+
+impl Iterator for InfiniteRun<'_> {
+    type Item = Activation;
+
+    fn next(&mut self) -> Option<Activation> {
+        self.round += 1;
+        if self.started {
+            // Every node of the infinite line has degree 2.
+            self.state = self.fsa.delta[self.state as usize][1];
+        } else {
+            self.started = true;
+        }
+        let lambda = self.fsa.lambda[self.state as usize];
+        let step = if lambda < 0 { 0 } else { self.direction(lambda.rem_euclid(2)) };
+        let act = Activation { round: self.round, state: self.state, pos: self.pos, step };
+        self.pos += step;
+        Some(act)
+    }
+}
+
+/// What the bounded-horizon analysis of an automaton on the infinite line
+/// concludes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum LineBehavior {
+    /// The configuration `(state, position)` repeated: the trajectory is
+    /// periodic and confined to `[min_pos, max_pos]` forever.
+    Bounded { min_pos: i64, max_pos: i64 },
+    /// Two *move* activations shared a state and a position parity but had
+    /// distinct positions: the agent drifts to infinity. The two witness
+    /// activations are the Theorem 3.1 `x1` / `x2` pair.
+    Drifts { first: Activation, second: Activation },
+}
+
+/// Classifies the behavior of `fsa` on the infinite line with the given
+/// start parity. Exhaustive: a `(state, position)` configuration repeat
+/// proves boundedness; a `(state, parity)` repeat at distinct positions
+/// proves drift. One of the two happens within `4K² + 4K` move activations
+/// (or the agent stops moving: `K` consecutive stays loop a stay-only
+/// circuit).
+pub fn classify(fsa: &LineFsa, parity: u8) -> LineBehavior {
+    let k = fsa.num_states();
+    let mut min_pos = 0i64;
+    let mut max_pos = 0i64;
+    // (state, pos) pairs seen at move activations (boundedness witness).
+    let mut seen_configs = std::collections::HashSet::new();
+    // First move activation per (state, pos parity) (drift witness).
+    let mut first_by_class: std::collections::HashMap<(StateId, i64), Activation> =
+        std::collections::HashMap::new();
+    let mut stays_in_a_row = 0usize;
+    for act in InfiniteRun::new(fsa, parity) {
+        min_pos = min_pos.min(act.pos);
+        max_pos = max_pos.max(act.pos);
+        if act.step == 0 {
+            stays_in_a_row += 1;
+            if stays_in_a_row > k {
+                // The state sequence cycled through stay-only states: the
+                // agent never moves again.
+                return LineBehavior::Bounded { min_pos, max_pos };
+            }
+            continue;
+        }
+        stays_in_a_row = 0;
+        if !seen_configs.insert((act.state, act.pos)) {
+            // Exact configuration repeat ⇒ periodic ⇒ bounded.
+            return LineBehavior::Bounded { min_pos, max_pos };
+        }
+        let class = (act.state, act.pos.rem_euclid(2));
+        match first_by_class.get(&class) {
+            Some(first) if first.pos != act.pos => {
+                return LineBehavior::Drifts { first: *first, second: act };
+            }
+            Some(_) => {
+                // Same state, same position parity, same position — but
+                // then (state, pos) would have repeated above.
+                unreachable!("config repeat is caught first");
+            }
+            None => {
+                first_by_class.insert(class, act);
+            }
+        }
+    }
+    unreachable!("InfiniteRun is infinite and one witness must occur");
+}
+
+/// The trajectory envelope `[min, max]` of signed displacement over the
+/// first `rounds` activations.
+pub fn envelope(fsa: &LineFsa, parity: u8, rounds: u64) -> (i64, i64) {
+    let mut lo = 0i64;
+    let mut hi = 0i64;
+    for act in InfiniteRun::new(fsa, parity).take(rounds as usize) {
+        let end = act.pos + act.step;
+        lo = lo.min(end.min(act.pos));
+        hi = hi.max(end.max(act.pos));
+    }
+    (lo, hi)
+}
+
+/// Maximum distance from the start ever reached, over both parities, for a
+/// bounded automaton (`None` if it drifts for either parity).
+pub fn bounded_range(fsa: &LineFsa) -> Option<i64> {
+    let mut d = 0i64;
+    for parity in [0u8, 1] {
+        match classify(fsa, parity) {
+            LineBehavior::Bounded { min_pos, max_pos } => {
+                d = d.max(max_pos.abs()).max(min_pos.abs());
+            }
+            LineBehavior::Drifts { .. } => return None,
+        }
+    }
+    Some(d)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shuttle_drifts() {
+        let fsa = LineFsa::shuttle();
+        for parity in [0, 1] {
+            match classify(&fsa, parity) {
+                LineBehavior::Drifts { first, second } => {
+                    assert_eq!(first.state, second.state);
+                    assert_ne!(first.pos, second.pos);
+                    assert_eq!(
+                        first.pos.rem_euclid(2),
+                        second.pos.rem_euclid(2),
+                        "witness pair must share parity"
+                    );
+                }
+                other => panic!("shuttle must drift, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn sitter_is_bounded() {
+        let fsa = LineFsa { delta: vec![[0, 0]], lambda: vec![-1], s0: 0 };
+        assert_eq!(bounded_range(&fsa), Some(0));
+    }
+
+    #[test]
+    fn oscillator_is_bounded() {
+        // Always exit by color 0: from any node this alternates direction
+        // every step ⇒ oscillates between two nodes.
+        let fsa = LineFsa { delta: vec![[0, 0]], lambda: vec![0], s0: 0 };
+        let d = bounded_range(&fsa).expect("oscillator is bounded");
+        assert!(d <= 1, "range {d}");
+    }
+
+    #[test]
+    fn state_sequence_is_pi_prime_orbit() {
+        let fsa = LineFsa { delta: vec![[1, 1], [0, 0]], lambda: vec![0, 1], s0: 0 };
+        let states: Vec<StateId> =
+            InfiniteRun::new(&fsa, 0).take(6).map(|a| a.state).collect();
+        assert_eq!(states, vec![0, 1, 0, 1, 0, 1]);
+    }
+
+    #[test]
+    fn random_fsas_classify_without_panicking() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(5);
+        for k in 1..=8 {
+            for _ in 0..50 {
+                let fsa = LineFsa::random(k, 0.3, &mut rng);
+                let _ = classify(&fsa, 0);
+                let _ = classify(&fsa, 1);
+            }
+        }
+    }
+}

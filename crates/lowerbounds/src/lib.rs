@@ -1,0 +1,32 @@
+//! # rvz-lowerbounds
+//!
+//! Constructive lower-bound adversaries for Fraigniaud & Pelc (SPAA 2010).
+//! Each theorem's proof is, operationally, an algorithm mapping an arbitrary
+//! automaton to an instance it fails on; this crate implements those
+//! algorithms and *verifies the failure by simulation* (plus verifies that
+//! the instance is feasible, i.e. not perfectly symmetrizable — so the
+//! failure is the automaton's fault, not the instance's):
+//!
+//! * [`mod@delay_attack`] — Theorem 3.1 / Fig. 1: an arbitrary-delay adversary
+//!   defeating any `K`-state agent on a line of length `O(K)`
+//!   ⇒ `Ω(log n)` bits with arbitrary delay;
+//! * [`mod@sync_attack`] — Theorem 4.2: a *simultaneous-start* adversary on
+//!   lines of length `O(K^K)` ⇒ `Ω(log log n)` bits with delay zero;
+//! * [`side_trees`] — Theorem 4.3: the behavior-function pigeonhole on
+//!   two-sided trees with `ℓ = 2i` leaves ⇒ `Ω(log ℓ)` bits, max degree 3;
+//! * [`infinite_line`] — the shared infinite-colored-line analysis
+//!   (boundedness vs drift classification, trajectory envelopes).
+//!
+//! Combined with [`rvz_agent::compile`], the Theorem 3.1 adversary can be
+//! pointed at *our own* (capped) upper-bound agents — the end-to-end
+//! demonstration of the title's exponential gap.
+
+pub mod delay_attack;
+pub mod exhaustive;
+pub mod infinite_line;
+pub mod side_trees;
+pub mod sync_attack;
+
+pub use delay_attack::{delay_attack, Attack, AttackError, AttackKind};
+pub use side_trees::{side_tree_attack, SideTreeAttack, SideTreeError};
+pub use sync_attack::{analyze_pi_prime, sync_attack, SyncAttack, SyncAttackError};

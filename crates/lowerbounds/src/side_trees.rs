@@ -1,0 +1,363 @@
+//! The Theorem 4.3 adversary: for infinitely many `ℓ`, arbitrarily large
+//! max-degree-3 trees with `ℓ` leaves on which any automaton with
+//! `k ≤ (log ℓ)/3` bits fails *with simultaneous start* — hence
+//! `Ω(log ℓ)` bits are necessary.
+//!
+//! Construction (§4.3): a **side tree** is an `(i+1)`-node spine with a
+//! distinguished root endpoint; each of the `i−1` internal spine nodes
+//! carries either a pendant leaf or a pendant 2-chain — `2^{i−1}`
+//! non-isomorphic side trees. A **two-sided tree** joins two side-tree
+//! roots by a path with `m` (even) internal degree-2 nodes, mirror-symmetric
+//! port labeling. The agents start at `u`/`v`, the path nodes adjacent to
+//! the roots.
+//!
+//! The *behavior function* of a side tree maps each state `s` (in which an
+//! agent enters the side tree) to the state in which it re-emerges and the
+//! tour's duration. With `K` states and tours shorter than `D < K·3i`,
+//! there are at most `(KD)^K` behavior functions — fewer than `2^{i−1}`
+//! side trees once `k ≤ (1/3)·log ℓ` (`ℓ = 2i` leaves; the paper's `ℓ = 2^i`
+//! is a typo, its own counting uses `2^{ℓ/2−1}` side trees). Two side trees
+//! `T1 ≠ T2` with equal behavior functions defeat the agents: on the
+//! `T1–T2` instance the agents enter and leave their side trees always at
+//! the same times in the same states, so the odd-length symmetric joining
+//! path keeps them apart exactly as on the infeasible `T1–T1` instance.
+
+use rvz_agent::fsa::{Fsa, FsaRunner};
+use rvz_agent::line_fsa::StateId;
+use rvz_agent::model::{Action, Agent, Obs};
+use rvz_sim::{run_pair, Outcome, PairConfig};
+use rvz_trees::tree::{Edge, NodeId, Port, Tree};
+
+/// A side tree: the tree itself plus its distinguished nodes.
+#[derive(Debug, Clone)]
+pub struct SideTree {
+    pub tree: Tree,
+    /// The root (spine endpoint that will attach to the joining path).
+    pub root: NodeId,
+    /// The root's port reserved for the joining path (always the last
+    /// port, by convention).
+    pub attach_port: Port,
+    /// The decoration bits that produced it.
+    pub bits: Vec<bool>,
+}
+
+/// Builds the side tree for a bit vector (`bits.len() = i − 1` decorations
+/// of the internal spine nodes; `false` = pendant leaf, `true` = pendant
+/// 2-chain). Node 0 is the root; the spine is `0 − 1 − … − i`.
+///
+/// Port convention (fixed, identical for every side tree): spine node `j`
+/// uses port 0 towards the root side, port 1 away; decorated nodes use
+/// port 2 for their pendant. The root uses port 0 towards the spine and
+/// port 1 for the future joining edge.
+pub fn side_tree(bits: &[bool]) -> SideTree {
+    let i = bits.len() + 1;
+    assert!(i >= 2, "spine needs at least one internal node");
+    let spine = i + 1; // nodes 0..=i
+    let mut edges = Vec::new();
+    for j in 0..i {
+        edges.push(Edge {
+            u: j as NodeId,
+            port_u: if j == 0 { 0 } else { 1 },
+            v: (j + 1) as NodeId,
+            port_v: 0,
+        });
+    }
+    let mut next = spine as NodeId;
+    for (idx, &long) in bits.iter().enumerate() {
+        let host = (idx + 1) as NodeId; // internal spine node
+        edges.push(Edge { u: host, port_u: 2, v: next, port_v: 0 });
+        if long {
+            edges.push(Edge { u: next, port_u: 1, v: next + 1, port_v: 0 });
+            next += 2;
+        } else {
+            next += 1;
+        }
+    }
+    let tree = Tree::from_edges(next as usize, &edges).expect("side tree is valid");
+    SideTree { tree, root: 0, attach_port: 1, bits: bits.to_vec() }
+}
+
+/// All `2^(i-1)` side trees with `i − 1` decoration bits.
+pub fn all_side_trees(i: usize) -> impl Iterator<Item = SideTree> {
+    assert!((2..=32).contains(&i));
+    (0u64..(1 << (i - 1))).map(move |mask| {
+        let bits: Vec<bool> = (0..i - 1).map(|b| mask >> b & 1 == 1).collect();
+        side_tree(&bits)
+    })
+}
+
+/// The outcome of one tour of a side tree, entered from `u` in state `s`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TourOutcome {
+    /// The agent re-entered `u` in state `state` after `rounds` rounds.
+    Returns { state: StateId, rounds: u64 },
+    /// The agent loops inside the side tree forever.
+    Diverges,
+}
+
+/// The behavior function `q : S → (S × duration) ∪ {⊥}` of a side tree for
+/// a given automaton (§4.3).
+pub fn behavior_function(fsa: &Fsa, side: &SideTree) -> Vec<TourOutcome> {
+    // Probe harness: the side tree plus the attachment node u (degree 2 in
+    // the real two-sided tree). We graft u as node `n` with port 0 toward
+    // the root and port 1 toward a stub leaf (degree 2, like the real u).
+    let n = side.tree.num_nodes() as NodeId;
+    let mut edges = side.tree.edges();
+    edges.push(Edge { u: side.root, port_u: side.attach_port, v: n, port_v: 0 });
+    edges.push(Edge { u: n, port_u: 1, v: n + 1, port_v: 0 });
+    let harness = Tree::from_edges(n as usize + 2, &edges).expect("harness is valid");
+
+    let k = fsa.num_states();
+    let cap = (k as u64) * 3 * (side.tree.num_nodes() as u64 + 2) + 10;
+    (0..k as StateId)
+        .map(|s| {
+            // The agent is traversing the edge u → root in state s; it
+            // enters the root through the attach port.
+            let mut runner = primed_runner(fsa, s);
+            let mut cur =
+                rvz_sim::Cursor { node: side.root, entry: Some(side.attach_port) };
+            let mut rounds = 0u64;
+            loop {
+                rounds += 1;
+                let obs = cur.obs(&harness);
+                let action = runner.act(obs);
+                match action.port(obs.degree) {
+                    None => {
+                        cur.apply(&harness, Action::Stay);
+                    }
+                    Some(p) => {
+                        let from = cur.node;
+                        cur.apply(&harness, Action::Move(p));
+                        if from == side.root && cur.node == n {
+                            // Re-emerging onto u: the tour is over; the
+                            // state "in which the agent finishes" is the
+                            // state during this move.
+                            return TourOutcome::Returns { state: runner.state(), rounds };
+                        }
+                    }
+                }
+                if rounds > cap {
+                    return TourOutcome::Diverges;
+                }
+            }
+        })
+        .collect()
+}
+
+/// A runner forced into state `s` mid-run (the tour starts with the agent
+/// already walking, not at `s0`).
+fn primed_runner(fsa: &Fsa, s: StateId) -> FsaRunner {
+    let mut primed = fsa.clone();
+    primed.s0 = s;
+    let mut r = primed.runner();
+    // Consume the "first activation" so subsequent `act`s transition
+    // normally; the first activation's action is λ(s), already accounted
+    // for as the u → root move.
+    let _ = r.act(Obs::start(2));
+    r
+}
+
+/// Two side trees with equal behavior functions under `fsa`, found by
+/// enumerating spine size `i` (the paper's pigeonhole guarantees success
+/// once `2^{i−1} > (KD)^K`; in practice collisions appear much earlier).
+pub fn find_collision(fsa: &Fsa, max_i: usize) -> Option<(SideTree, SideTree, usize)> {
+    for i in 2..=max_i {
+        let mut seen: std::collections::HashMap<Vec<TourOutcome>, SideTree> =
+            std::collections::HashMap::new();
+        for side in all_side_trees(i) {
+            let behavior = behavior_function(fsa, &side);
+            if let Some(other) = seen.get(&behavior) {
+                return Some((other.clone(), side, i));
+            }
+            seen.insert(behavior, side);
+        }
+    }
+    None
+}
+
+/// A two-sided tree: `left` and `right` side trees joined by a path with
+/// `m` internal degree-2 nodes (`m` even), mirror-symmetric labeling.
+/// Returns the tree and the start positions `u`, `v` (path nodes adjacent
+/// to the two roots).
+pub fn two_sided(left: &SideTree, right: &SideTree, m: usize) -> (Tree, NodeId, NodeId) {
+    assert!(m >= 2 && m.is_multiple_of(2), "m must be even and ≥ 2 (u ≠ v)");
+    let ln = left.tree.num_nodes() as NodeId;
+    let rn = right.tree.num_nodes() as NodeId;
+    let mut edges = left.tree.edges();
+    for e in right.tree.edges() {
+        edges.push(Edge { u: e.u + ln, port_u: e.port_u, v: e.v + ln, port_v: e.port_v });
+    }
+    // Path nodes w_1 … w_m are ln + rn … ln + rn + m − 1.
+    let w = |j: usize| ln + rn + j as NodeId - 1;
+    // Path edges: {root_l, w1}, {w1, w2}, …, {w_m, root_r}: m + 1 edges,
+    // 2-edge-colored with the central edge (index m/2) colored 0; the
+    // mirror image of edge j is edge m − j, and (j + g) ≡ (m − j + g)
+    // (mod 2) for even m: the coloring is mirror-symmetric.
+    let g = (m / 2) % 2; // color(j) = (j + g) % 2; color(m/2) = 0
+    let color = |j: usize| ((j + g) % 2) as Port;
+    // Edge 0: root_l — w1. At the root use the attach port; at w1 the color.
+    edges.push(Edge {
+        u: left.root,
+        port_u: left.attach_port,
+        v: w(1),
+        port_v: color(0),
+    });
+    for j in 1..m {
+        edges.push(Edge { u: w(j), port_u: color(j), v: w(j + 1), port_v: color(j) });
+    }
+    edges.push(Edge {
+        u: w(m),
+        port_u: color(m),
+        v: right.root + ln,
+        port_v: right.attach_port,
+    });
+    let total = (ln + rn) as usize + m;
+    let tree = Tree::from_edges(total, &edges).expect("two-sided tree is valid");
+    (tree, w(1), w(m))
+}
+
+/// A verified Theorem 4.3 instance.
+#[derive(Debug, Clone)]
+pub struct SideTreeAttack {
+    pub tree: Tree,
+    pub start_a: NodeId,
+    pub start_b: NodeId,
+    /// Spine parameter `i`: the tree has `ℓ = 2i` leaves.
+    pub i: usize,
+    pub leaves: usize,
+    pub verified_rounds: u64,
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SideTreeError {
+    /// No behavior collision up to `max_i` (automaton too large for the
+    /// budget — consistent with it having ≥ log(ℓ)/3 bits).
+    NoCollision { max_i: usize },
+    MeetingHappened { round: u64 },
+}
+
+/// Builds and verifies the Theorem 4.3 instance for `fsa` (max degree 3).
+pub fn side_tree_attack(
+    fsa: &Fsa,
+    max_i: usize,
+    m: usize,
+) -> Result<SideTreeAttack, SideTreeError> {
+    assert_eq!(fsa.max_degree, 3, "Theorem 4.3 concerns max-degree-3 trees");
+    let (t1, t2, i) =
+        find_collision(fsa, max_i).ok_or(SideTreeError::NoCollision { max_i })?;
+    let (tree, u, v) = two_sided(&t1, &t2, m);
+    assert!(
+        !rvz_trees::perfectly_symmetrizable(&tree, u, v),
+        "distinct side trees ⇒ feasible instance"
+    );
+    let n = tree.num_nodes() as u64;
+    let k = fsa.num_states() as u64;
+    let horizon = (n * n * k * 8 + 100_000).min(20_000_000);
+    let mut a = fsa.runner();
+    let mut b = fsa.runner();
+    let run = run_pair(&tree, u, v, &mut a, &mut b, PairConfig::simultaneous(horizon));
+    match run.outcome {
+        Outcome::Met { round, .. } => Err(SideTreeError::MeetingHappened { round }),
+        Outcome::Timeout { rounds } => Ok(SideTreeAttack {
+            leaves: tree.num_leaves(),
+            tree,
+            start_a: u,
+            start_b: v,
+            i,
+            verified_rounds: rounds,
+        }),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rvz_trees::symmetry::symmetric_wrt_labeling;
+
+    #[test]
+    fn side_trees_are_distinct_and_bounded_degree() {
+        let trees: Vec<SideTree> = all_side_trees(4).collect();
+        assert_eq!(trees.len(), 8);
+        for st in &trees {
+            assert!(st.tree.max_degree() <= 3);
+            // Spine leaves: the far endpoint; pendant leaves per bit.
+            assert_eq!(
+                st.tree.num_leaves(),
+                1 + st.bits.len() + 1, // far end + pendants + root (degree 1 pre-attachment)
+            );
+        }
+        // Pairwise structurally distinct (rooted).
+        use rvz_trees::canon::canon_structural;
+        let canons: std::collections::HashSet<_> = trees
+            .iter()
+            .map(|st| canon_structural(&st.tree, st.root, None, None))
+            .collect();
+        assert_eq!(canons.len(), 8);
+    }
+
+    #[test]
+    fn two_sided_tree_is_mirror_symmetric_on_equal_sides() {
+        let st = side_tree(&[true, false, true]);
+        let (tree, u, v) = two_sided(&st, &st, 4);
+        assert!(
+            symmetric_wrt_labeling(&tree, u, v),
+            "T1–T1 with mirror labeling must be symmetric: the infeasible twin"
+        );
+        assert!(rvz_trees::perfectly_symmetrizable(&tree, u, v));
+    }
+
+    #[test]
+    fn two_sided_tree_leaf_count() {
+        // ℓ = 2i: each side contributes i leaves (i−1 pendants + far end).
+        for i in [3usize, 5] {
+            let bits_a: Vec<bool> = (0..i - 1).map(|b| b % 2 == 0).collect();
+            let bits_b: Vec<bool> = (0..i - 1).map(|b| b % 3 == 0).collect();
+            let (tree, _, _) = two_sided(&side_tree(&bits_a), &side_tree(&bits_b), 4);
+            assert_eq!(tree.num_leaves(), 2 * i);
+            assert!(tree.max_degree() <= 3);
+        }
+    }
+
+    #[test]
+    fn behavior_function_collision_exists_for_small_automata() {
+        // The basic-walk automaton has 3 states: collisions must appear at
+        // modest i (pigeonhole bound (K·D)^K is loose; empirically tiny).
+        let fsa = Fsa::basic_walk(3);
+        let (t1, t2, i) = find_collision(&fsa, 12).expect("collision");
+        assert_ne!(t1.bits, t2.bits);
+        assert_eq!(behavior_function(&fsa, &t1), behavior_function(&fsa, &t2));
+        assert!(i <= 12);
+    }
+
+    #[test]
+    fn defeats_the_basic_walk_automaton() {
+        let fsa = Fsa::basic_walk(3);
+        let attack = side_tree_attack(&fsa, 12, 4).expect("attack");
+        assert_eq!(attack.leaves, 2 * attack.i);
+        assert!(attack.tree.max_degree() <= 3);
+    }
+
+    #[test]
+    fn defeats_random_small_automata() {
+        let mut rng = StdRng::seed_from_u64(606);
+        let mut defeated = 0;
+        for _ in 0..12 {
+            let fsa = Fsa::random(3, 3, 0.2, &mut rng);
+            match side_tree_attack(&fsa, 10, 4) {
+                Ok(_) => defeated += 1,
+                Err(SideTreeError::NoCollision { .. }) => {}
+                Err(e) => panic!("{e:?} disproves Thm 4.3?!"),
+            }
+        }
+        assert!(defeated >= 6, "only {defeated}/12 defeated");
+    }
+
+    #[test]
+    fn tour_outcomes_are_deterministic() {
+        let fsa = Fsa::basic_walk(3);
+        let st = side_tree(&[false, true]);
+        assert_eq!(behavior_function(&fsa, &st), behavior_function(&fsa, &st));
+    }
+}

@@ -1,0 +1,352 @@
+//! The Theorem 4.2 adversary: for any `K`-state automaton, a
+//! 2-edge-colored line of length `O(K^K)` on which two copies starting
+//! **simultaneously** from adjacent (non-perfectly-symmetrizable) nodes
+//! never meet. Hence simultaneous-start rendezvous on the `n`-node line
+//! needs `Ω(log log n)` bits.
+//!
+//! Construction (§4.2): the transition digraph of `π' = π(·, 2)` decomposes
+//! into circuits `C_1 … C_r`; let `γ = lcm(|C_i|)`. Place the two copies on
+//! adjacent nodes of the infinite line — their trajectories are mirror
+//! images. Find `t0` with displacement `≥ 2γ + K`, the circuit `C_i` the
+//! state then lives on, and the circuit's *extreme position* `u_i` (the
+//! within-period high-water mark in the drift direction), first reached at
+//! round `τ ∈ (t0, t0 + |C_i|]`. With `x = |pos(τ)|`, `x' = |pos(τ + 2γ)|`
+//! (`> x`), the finite line is `x` edges, the start edge `e`, and `x'`
+//! edges. The delay-`2γ` alignment makes the copies bounce at opposite ends
+//! and cross — never meet — by the Parity Lemma (4.4) and Lemmas 4.5–4.8.
+
+use crate::infinite_line::{classify, InfiniteRun, LineBehavior};
+use rvz_agent::line_fsa::{LineFsa, StateId};
+use rvz_sim::{run_pair, Outcome, PairConfig};
+use rvz_trees::generators::colored_line;
+use rvz_trees::{NodeId, Tree};
+
+/// The circuit decomposition of the `π'` transition digraph.
+#[derive(Debug, Clone)]
+pub struct PiPrimeAnalysis {
+    /// Length of the circuit each state eventually enters.
+    pub circuit_of: Vec<u32>,
+    /// The distinct circuit lengths.
+    pub circuit_lengths: Vec<u32>,
+    /// `γ = lcm(|C_1|, …, |C_r|)`.
+    pub gamma: u64,
+}
+
+/// Decomposes the functional graph of `π'` into its circuits.
+pub fn analyze_pi_prime(fsa: &LineFsa) -> PiPrimeAnalysis {
+    let k = fsa.num_states();
+    // Find, for every state, the length of the cycle it falls into.
+    let mut on_cycle_len = vec![0u32; k];
+    let mut color = vec![0u8; k]; // 0 = white, 1 = in progress, 2 = done
+    for s0 in 0..k as StateId {
+        if color[s0 as usize] != 0 {
+            continue;
+        }
+        // Walk until we hit something processed or a repeat in this walk.
+        let mut path = Vec::new();
+        let mut index = std::collections::HashMap::new();
+        let mut s = s0;
+        loop {
+            if color[s as usize] == 2 {
+                break;
+            }
+            if let Some(&i) = index.get(&s) {
+                // Fresh cycle found: states path[i..] form it.
+                let len = (path.len() - i) as u32;
+                for &c in &path[i..] {
+                    on_cycle_len[c as usize] = len;
+                }
+                break;
+            }
+            index.insert(s, path.len());
+            path.push(s);
+            color[s as usize] = 1;
+            s = fsa.pi_prime(s);
+        }
+        // Tail states inherit the cycle they lead to.
+        let target = on_cycle_len[s as usize];
+        for &c in path.iter().rev() {
+            if on_cycle_len[c as usize] == 0 {
+                on_cycle_len[c as usize] = target;
+            }
+            color[c as usize] = 2;
+        }
+    }
+    let mut lengths: Vec<u32> = Vec::new();
+    // Distinct lengths of actual cycles (states s with s on a cycle:
+    // π'^len(s) == s).
+    for s in 0..k as StateId {
+        let len = on_cycle_len[s as usize];
+        let mut t = s;
+        for _ in 0..len {
+            t = fsa.pi_prime(t);
+        }
+        if t == s && !lengths.contains(&len) {
+            lengths.push(len);
+        }
+    }
+    lengths.sort_unstable();
+    let gamma = lengths.iter().fold(1u64, |acc, &l| lcm(acc, l as u64));
+    PiPrimeAnalysis { circuit_of: on_cycle_len, circuit_lengths: lengths, gamma }
+}
+
+fn gcd(a: u64, b: u64) -> u64 {
+    if b == 0 { a } else { gcd(b, a % b) }
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
+/// A verified simultaneous-start adversarial instance.
+#[derive(Debug, Clone)]
+pub struct SyncAttack {
+    pub line: Tree,
+    /// Adjacent starts (the two extremities of the edge `e`).
+    pub start_a: NodeId,
+    pub start_b: NodeId,
+    pub kind: SyncAttackKind,
+    pub gamma: u64,
+    pub verified_rounds: u64,
+    /// Crossings observed during verification (the copies pass through the
+    /// same edge, which is exactly what the Parity Lemma predicts instead
+    /// of meetings).
+    pub crossings: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SyncAttackKind {
+    BoundedRange { d: i64 },
+    /// The `x` / `x'` construction.
+    Asymmetric { x: i64, x_prime: i64, t0: u64, tau: u64 },
+}
+
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SyncAttackError {
+    MeetingHappened { round: u64 },
+    /// γ (or the resulting instance) exceeds the configured size budget.
+    TooLarge { gamma: u64 },
+}
+
+/// Builds and verifies the Theorem 4.2 instance. `max_gamma` caps the
+/// construction size (the instance has `Θ(γ + K)` edges and the
+/// verification horizon is polynomial in that).
+pub fn sync_attack(fsa: &LineFsa, max_gamma: u64) -> Result<SyncAttack, SyncAttackError> {
+    let k = fsa.num_states() as u64;
+    let analysis = analyze_pi_prime(fsa);
+    let gamma = analysis.gamma;
+    if gamma > max_gamma {
+        return Err(SyncAttackError::TooLarge { gamma });
+    }
+
+    // Pick the parity for which the drift is NEGATIVE (the two parities are
+    // mirror trajectories, so exactly one of them drifts negative if the
+    // automaton drifts at all).
+    type Traj = Vec<(u64, StateId, i64)>;
+    let mut chosen: Option<(u8, Traj)> = None;
+    match classify(fsa, 0) {
+        LineBehavior::Bounded { min_pos, max_pos } => {
+            let d = max_pos.abs().max(min_pos.abs());
+            let edges = (4 * d + 4) as usize;
+            let line = colored_line(edges + 1, 0);
+            let (a, b) = ((d + 1) as NodeId, (3 * d + 2) as NodeId);
+            return verify(fsa, line, a, b, SyncAttackKind::BoundedRange { d }, gamma, k);
+        }
+        LineBehavior::Drifts { .. } => {
+            // Determine drift sign on parity 0 by simulating past the burn-in.
+            for parity in [0u8, 1] {
+                let horizon = burn_in(k, gamma);
+                let traj: Traj = InfiniteRun::new(fsa, parity)
+                    .take(horizon as usize)
+                    .map(|a| (a.round, a.state, a.pos))
+                    .collect();
+                if traj.last().expect("nonempty").2 < 0 {
+                    chosen = Some((parity, traj));
+                    break;
+                }
+            }
+        }
+    }
+    let (parity, traj) = chosen.expect("a drifting automaton drifts negative on one parity");
+
+    // t0: first round at (negative-side) distance ≥ 2γ + K from the start.
+    // (The drift is negative by the parity choice; transient up-excursions
+    // on the positive side are irrelevant to the construction.)
+    let threshold = (2 * gamma + k) as i64;
+    let &(t0, s_i, pos_t0) = traj
+        .iter()
+        .find(|&&(_, _, p)| p <= -threshold)
+        .expect("burn-in horizon reaches the threshold");
+    let _ = pos_t0;
+    let ci_len = analysis.circuit_of[s_i as usize] as u64;
+    debug_assert!(ci_len >= 1, "after t0 > K steps the state is on a circuit");
+
+    // Extreme position over one *position-period* starting at t0. The state
+    // is periodic with period |C_i|, but a move's direction also depends on
+    // the position parity, so the position dynamics repeat with period
+    // dividing 2|C_i| — hence 2γ (this is why the paper aligns everything
+    // on 2γ). Over [t0, t0 + 2γ] the net displacement is strictly negative,
+    // so the window minimum u_i < pos(t0) is a global minimum of the whole
+    // trajectory so far, and τ = the first round attaining it — the first
+    // time the agent would touch the endpoint placed at distance x.
+    let window = &traj[(t0 as usize - 1)..(t0 + 2 * gamma) as usize];
+    let u_i = window.iter().map(|&(_, _, p)| p).min().expect("window nonempty");
+    let &(tau, _, _) = window
+        .iter()
+        .skip(1)
+        .find(|&&(_, _, p)| p == u_i)
+        .expect("extreme attained after t0");
+    let x = -u_i; // = |u_i|, drift negative
+    let tau_prime = tau + 2 * gamma;
+    let x_prime = -traj[tau_prime as usize - 1].2;
+    assert!(
+        x_prime > x,
+        "Lemma: x' must exceed x (x={x}, x'={x_prime})"
+    );
+
+    // The finite line: x edges | e | x' edges; copies at the ends of e.
+    let l = x + x_prime + 1;
+    let a_node = x as NodeId;
+    let b_node = (x + 1) as NodeId;
+    // Coloring: finite edge j ↔ infinite edge (j − x): generator parity
+    // g ≡ parity − x (mod 2).
+    let g = (parity as i64 - x).rem_euclid(2) as usize;
+    let line = colored_line(l as usize + 1, g);
+    verify(
+        fsa,
+        line,
+        a_node,
+        b_node,
+        SyncAttackKind::Asymmetric { x, x_prime, t0, tau },
+        gamma,
+        k,
+    )
+}
+
+/// Burn-in horizon: enough rounds to reach displacement 2γ + K (a drifting
+/// automaton advances at least one edge per K+1 rounds once on its circuit)
+/// and then the 2γ extreme window plus the 2γ look-ahead to τ'.
+fn burn_in(k: u64, gamma: u64) -> u64 {
+    (2 * gamma + k + 2) * (k + 1) * 2 + 6 * gamma + 4 * k + 64
+}
+
+fn verify(
+    fsa: &LineFsa,
+    line: Tree,
+    a: NodeId,
+    b: NodeId,
+    kind: SyncAttackKind,
+    gamma: u64,
+    k: u64,
+) -> Result<SyncAttack, SyncAttackError> {
+    assert!(
+        !rvz_trees::perfectly_symmetrizable(&line, a, b),
+        "attack instance must be feasible"
+    );
+    let n = line.num_nodes() as u64;
+    let horizon = (20 * n * (gamma + k) + 100_000).min(30_000_000);
+    let mut agent_a = fsa.runner();
+    let mut agent_b = fsa.runner();
+    let run = run_pair(&line, a, b, &mut agent_a, &mut agent_b, PairConfig::simultaneous(horizon));
+    match run.outcome {
+        Outcome::Met { round, .. } => Err(SyncAttackError::MeetingHappened { round }),
+        Outcome::Timeout { rounds } => Ok(SyncAttack {
+            line,
+            start_a: a,
+            start_b: b,
+            kind,
+            gamma,
+            verified_rounds: rounds,
+            crossings: run.crossings,
+        }),
+    }
+}
+
+impl SyncAttack {
+    pub fn line_edges(&self) -> usize {
+        self.line.num_edges()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pi_prime_analysis_finds_circuits() {
+        // Two 2-cycles: 0↔1 and 2↔3 … plus a 3-cycle 4→5→6→4.
+        let delta = vec![
+            [1, 1],
+            [0, 0],
+            [3, 3],
+            [2, 2],
+            [5, 5],
+            [6, 6],
+            [4, 4],
+        ];
+        let fsa = LineFsa { delta, lambda: vec![0; 7], s0: 0 };
+        let a = analyze_pi_prime(&fsa);
+        assert_eq!(a.circuit_lengths, vec![2, 3]);
+        assert_eq!(a.gamma, 6);
+        assert_eq!(a.circuit_of[0], 2);
+        assert_eq!(a.circuit_of[4], 3);
+    }
+
+    #[test]
+    fn tail_states_inherit_cycles() {
+        // 0 → 1 → 2 → 1 (tail 0, cycle {1,2}).
+        let delta = vec![[1, 1], [2, 2], [1, 1]];
+        let fsa = LineFsa { delta, lambda: vec![0; 3], s0: 0 };
+        let a = analyze_pi_prime(&fsa);
+        assert_eq!(a.circuit_lengths, vec![2]);
+        assert_eq!(a.gamma, 2);
+        assert_eq!(a.circuit_of, vec![2, 2, 2]);
+    }
+
+    #[test]
+    fn defeats_the_shuttle_simultaneously() {
+        let fsa = LineFsa::shuttle();
+        let attack = sync_attack(&fsa, 1 << 20).expect("shuttle defeated");
+        assert!(matches!(attack.kind, SyncAttackKind::Asymmetric { .. }));
+        // The shuttle drifts to its endpoint and oscillates there: the two
+        // copies end up pinned at opposite ends (x ≠ x′ apart), never
+        // meeting. (Crossings are only guaranteed for agents that keep
+        // traversing; see `defeats_random_automata` for those.)
+        assert!(attack.line_edges() >= 3);
+    }
+
+    #[test]
+    fn defeats_random_automata() {
+        let mut rng = StdRng::seed_from_u64(2718);
+        let mut asym = 0;
+        for k in 1..=5usize {
+            for _ in 0..30 {
+                let fsa = LineFsa::random(k, 0.25, &mut rng);
+                match sync_attack(&fsa, 10_000) {
+                    Ok(attack) => {
+                        if matches!(attack.kind, SyncAttackKind::Asymmetric { .. }) {
+                            asym += 1;
+                        }
+                    }
+                    Err(SyncAttackError::TooLarge { .. }) => {} // γ cap: skip
+                    Err(e) => panic!("K={k}: {e:?} disproves Thm 4.2?!"),
+                }
+            }
+        }
+        assert!(asym > 0);
+    }
+
+    #[test]
+    fn x_prime_exceeds_x() {
+        let fsa = LineFsa::shuttle();
+        let attack = sync_attack(&fsa, 1 << 20).unwrap();
+        if let SyncAttackKind::Asymmetric { x, x_prime, .. } = attack.kind {
+            assert!(x_prime > x);
+            assert_eq!(attack.line_edges() as i64, x + x_prime + 1);
+        } else {
+            panic!("expected asymmetric kind");
+        }
+    }
+}

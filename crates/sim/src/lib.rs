@@ -1,0 +1,17 @@
+//! # rvz-sim
+//!
+//! The synchronous-round simulator of the paper's §2.1 model: one or two
+//! identical agents walk an anonymous port-labeled tree; the adversary
+//! chooses the port labeling, the initial positions and (in the
+//! arbitrary-delay scenario) the start delay θ. Rendezvous is *being at the
+//! same node at the end of the same round* — crossing inside an edge does
+//! not count (Lemma 4.8 depends on this), though crossings are detected and
+//! reported for the lower-bound instrumentation.
+
+pub mod multi;
+pub mod runner;
+
+pub use multi::{run_multi, MultiConfig, MultiOutcome, MultiRun};
+pub use runner::{
+    run_pair, run_single, Cursor, Outcome, PairConfig, PairRun, SingleRun,
+};

@@ -1,0 +1,205 @@
+//! Multi-agent synchronous execution: the *gathering* generalization the
+//! paper lists as the natural extension of rendezvous (§1.3, refs
+//! [20, 28, 33, 37]). `k` identical agents start on distinct nodes with
+//! per-agent delays; gathering = all `k` co-located at a round boundary.
+
+use crate::runner::Cursor;
+use rvz_agent::model::Agent;
+use rvz_trees::{NodeId, Tree};
+
+/// Configuration of a `k`-agent run.
+#[derive(Debug, Clone)]
+pub struct MultiConfig {
+    /// Per-agent start delays (0 = active from round 1).
+    pub delays: Vec<u64>,
+    pub max_rounds: u64,
+}
+
+impl MultiConfig {
+    pub fn simultaneous(k: usize, max_rounds: u64) -> Self {
+        MultiConfig { delays: vec![0; k], max_rounds }
+    }
+}
+
+/// Outcome of a multi-agent run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MultiOutcome {
+    /// All agents co-located at `node` at the end of `round`.
+    Gathered { round: u64, node: NodeId },
+    Timeout { rounds: u64 },
+}
+
+/// Result details.
+#[derive(Debug, Clone)]
+pub struct MultiRun {
+    pub outcome: MultiOutcome,
+    pub final_positions: Vec<NodeId>,
+    /// Rounds at which *some* (not necessarily all) pair first met, per
+    /// unordered pair index `(i, j), i < j`, flattened row-major. `None` if
+    /// that pair never co-located.
+    pub pair_meetings: Vec<Option<u64>>,
+}
+
+/// Runs `k` agents; `agents.len() == starts.len() == cfg.delays.len()`.
+pub fn run_multi(
+    t: &Tree,
+    starts: &[NodeId],
+    agents: &mut [&mut dyn Agent],
+    cfg: &MultiConfig,
+) -> MultiRun {
+    let k = starts.len();
+    assert_eq!(agents.len(), k);
+    assert_eq!(cfg.delays.len(), k);
+    let mut cursors: Vec<Cursor> = starts.iter().map(|&s| Cursor::new(s)).collect();
+    let pair_count = k * (k - 1) / 2;
+    let mut pair_meetings: Vec<Option<u64>> = vec![None; pair_count];
+    let pair_idx = |i: usize, j: usize| {
+        debug_assert!(i < j);
+        // Index of (i, j) in the row-major upper triangle.
+        i * (2 * k - i - 1) / 2 + (j - i - 1)
+    };
+
+    let check = |cursors: &[Cursor], round: u64, pair_meetings: &mut [Option<u64>]| {
+        let mut all = true;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if cursors[i].node == cursors[j].node {
+                    pair_meetings[pair_idx(i, j)].get_or_insert(round);
+                } else {
+                    all = false;
+                }
+            }
+        }
+        all
+    };
+
+    if check(&cursors, 0, &mut pair_meetings) {
+        return MultiRun {
+            outcome: MultiOutcome::Gathered { round: 0, node: cursors[0].node },
+            final_positions: cursors.iter().map(|c| c.node).collect(),
+            pair_meetings,
+        };
+    }
+    for round in 1..=cfg.max_rounds {
+        for (i, agent) in agents.iter_mut().enumerate() {
+            if round > cfg.delays[i] {
+                let action = agent.act(cursors[i].obs(t));
+                cursors[i].apply(t, action);
+            }
+        }
+        if check(&cursors, round, &mut pair_meetings) {
+            return MultiRun {
+                outcome: MultiOutcome::Gathered { round, node: cursors[0].node },
+                final_positions: cursors.iter().map(|c| c.node).collect(),
+                pair_meetings,
+            };
+        }
+    }
+    MultiRun {
+        outcome: MultiOutcome::Timeout { rounds: cfg.max_rounds },
+        final_positions: cursors.iter().map(|c| c.node).collect(),
+        pair_meetings,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_agent::model::{bw_exit, Action, Obs};
+    use rvz_trees::generators::{line, star};
+
+    struct BasicWalker;
+
+    impl Agent for BasicWalker {
+        fn act(&mut self, obs: Obs) -> Action {
+            Action::Move(bw_exit(obs.entry, obs.degree))
+        }
+        fn memory_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    struct Sitter;
+
+    impl Agent for Sitter {
+        fn act(&mut self, _obs: Obs) -> Action {
+            Action::Stay
+        }
+        fn memory_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn three_walkers_gather_on_sitter() {
+        let t = line(7);
+        let mut a = BasicWalker;
+        let mut b = BasicWalker;
+        let mut c = Sitter;
+        let mut agents: Vec<&mut dyn Agent> = vec![&mut a, &mut b, &mut c];
+        // Walkers from both leaves sweep the line; the sitter sits at 3.
+        let run = run_multi(
+            &t,
+            &[0, 6, 3],
+            &mut agents,
+            &MultiConfig::simultaneous(3, 200),
+        );
+        // Walkers from 0 and 6 move toward increasing/decreasing…
+        // both visit node 3 repeatedly; gathering requires all three at 3
+        // in the SAME round — which happens iff the walkers synchronize.
+        // From symmetric leaves with simultaneous start they stay mirrored:
+        // both reach 3 simultaneously at round 3… wait, 0→3 is 3 moves and
+        // 6→3 is 3 moves: gathered at round 3.
+        assert_eq!(run.outcome, MultiOutcome::Gathered { round: 3, node: 3 });
+        assert!(run.pair_meetings.iter().all(|m| m.is_some()));
+    }
+
+    #[test]
+    fn pairwise_meetings_recorded_without_gathering() {
+        let t = line(6);
+        let mut a = BasicWalker;
+        let mut b = Sitter;
+        let mut c = Sitter;
+        let mut agents: Vec<&mut dyn Agent> = vec![&mut a, &mut b, &mut c];
+        let run = run_multi(
+            &t,
+            &[0, 2, 5],
+            &mut agents,
+            &MultiConfig::simultaneous(3, 4),
+        );
+        // The walker reaches the first sitter (node 2) at round 2 but the
+        // far sitter is never reached within 4 rounds.
+        assert_eq!(run.outcome, MultiOutcome::Timeout { rounds: 4 });
+        assert_eq!(run.pair_meetings[0], Some(2)); // (0,1)
+        assert_eq!(run.pair_meetings[1], None); // (0,2)
+        assert_eq!(run.pair_meetings[2], None); // (1,2)
+    }
+
+    #[test]
+    fn delays_respected() {
+        let t = star(4);
+        let mut a = BasicWalker;
+        let mut b = Sitter;
+        let mut agents: Vec<&mut dyn Agent> = vec![&mut a, &mut b];
+        let run = run_multi(
+            &t,
+            &[1, 0],
+            &mut agents,
+            &MultiConfig { delays: vec![5, 0], max_rounds: 20 },
+        );
+        // The walker is frozen for 5 rounds, then moves to the hub (node 0)
+        // where the sitter lives: meet at round 6.
+        assert_eq!(run.outcome, MultiOutcome::Gathered { round: 6, node: 0 });
+    }
+
+    #[test]
+    fn initial_colocated_gathering() {
+        let t = line(3);
+        let mut a = Sitter;
+        let mut b = Sitter;
+        let mut agents: Vec<&mut dyn Agent> = vec![&mut a, &mut b];
+        let run =
+            run_multi(&t, &[1, 1], &mut agents, &MultiConfig::simultaneous(2, 10));
+        assert_eq!(run.outcome, MultiOutcome::Gathered { round: 0, node: 1 });
+    }
+}

@@ -1,0 +1,402 @@
+//! Single- and two-agent synchronous execution.
+
+use rvz_agent::model::{Action, Agent, Obs};
+use rvz_trees::{NodeId, Port, Tree};
+
+/// An agent's physical situation: its node and the port by which it entered
+/// (``None`` after a null move or before the first move).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Cursor {
+    pub node: NodeId,
+    pub entry: Option<Port>,
+}
+
+impl Cursor {
+    pub fn new(node: NodeId) -> Self {
+        Cursor { node, entry: None }
+    }
+
+    /// The observation the agent receives this round.
+    pub fn obs(&self, t: &Tree) -> Obs {
+        Obs { entry: self.entry, degree: t.degree(self.node) }
+    }
+
+    /// Applies an action; returns `true` if the agent moved.
+    pub fn apply(&mut self, t: &Tree, action: Action) -> bool {
+        match action.port(t.degree(self.node)) {
+            None => {
+                self.entry = None;
+                false
+            }
+            Some(p) => {
+                let next = t.neighbor(self.node, p);
+                self.entry = Some(t.entry_port(self.node, p));
+                self.node = next;
+                true
+            }
+        }
+    }
+}
+
+/// Result of a bounded single-agent run.
+#[derive(Debug, Clone)]
+pub struct SingleRun {
+    pub cursor: Cursor,
+    pub rounds: u64,
+    /// Node occupied after every round (index 0 = start, before any action),
+    /// when recording was requested.
+    pub trace: Option<Vec<NodeId>>,
+}
+
+/// Runs one agent for exactly `rounds` rounds (or until it would act from an
+/// isolated node, which cannot happen on trees with `n ≥ 2`).
+pub fn run_single(
+    t: &Tree,
+    start: NodeId,
+    agent: &mut dyn Agent,
+    rounds: u64,
+    record: bool,
+) -> SingleRun {
+    let mut cur = Cursor::new(start);
+    let mut trace = record.then(|| {
+        let mut v = Vec::with_capacity(rounds as usize + 1);
+        v.push(start);
+        v
+    });
+    for _ in 0..rounds {
+        let action = agent.act(cur.obs(t));
+        cur.apply(t, action);
+        if let Some(tr) = trace.as_mut() {
+            tr.push(cur.node);
+        }
+    }
+    SingleRun { cursor: cur, rounds, trace }
+}
+
+/// Outcome of a two-agent run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Outcome {
+    /// The agents occupied the same node at the end of `round`
+    /// (`round == 0` means the initial positions coincided).
+    Met { round: u64, node: NodeId },
+    /// No meeting within the round budget.
+    Timeout { rounds: u64 },
+}
+
+impl Outcome {
+    pub fn met(&self) -> bool {
+        matches!(self, Outcome::Met { .. })
+    }
+
+    /// The meeting round, if any.
+    pub fn round(&self) -> Option<u64> {
+        match self {
+            Outcome::Met { round, .. } => Some(*round),
+            Outcome::Timeout { .. } => None,
+        }
+    }
+}
+
+/// Configuration of a two-agent run.
+#[derive(Debug, Clone, Copy)]
+pub struct PairConfig {
+    /// Agent B starts `delay` rounds after agent A (the adversary's θ; 0 =
+    /// simultaneous start). While unstarted, B sits at its initial node and
+    /// can be met there.
+    pub delay: u64,
+    /// Round budget.
+    pub max_rounds: u64,
+    /// Record per-round node traces (memory-heavy; tests only).
+    pub record_traces: bool,
+}
+
+impl PairConfig {
+    pub fn simultaneous(max_rounds: u64) -> Self {
+        PairConfig { delay: 0, max_rounds, record_traces: false }
+    }
+
+    pub fn delayed(delay: u64, max_rounds: u64) -> Self {
+        PairConfig { delay, max_rounds, record_traces: false }
+    }
+}
+
+/// Result of a two-agent run.
+#[derive(Debug, Clone)]
+pub struct PairRun {
+    pub outcome: Outcome,
+    /// Number of rounds in which the agents swapped endpoints of one edge
+    /// (crossed inside it). Key instrumentation for the parity arguments of
+    /// §4.2 (crossing ⇒ no meeting that round).
+    pub crossings: u64,
+    pub final_a: Cursor,
+    pub final_b: Cursor,
+    pub trace_a: Option<Vec<NodeId>>,
+    pub trace_b: Option<Vec<NodeId>>,
+}
+
+/// Runs two agents with the given start delay until they meet or the budget
+/// runs out. Both agents receive observations and move simultaneously within
+/// a round; meeting is co-location at a round boundary.
+pub fn run_pair(
+    t: &Tree,
+    start_a: NodeId,
+    start_b: NodeId,
+    agent_a: &mut dyn Agent,
+    agent_b: &mut dyn Agent,
+    cfg: PairConfig,
+) -> PairRun {
+    let mut a = Cursor::new(start_a);
+    let mut b = Cursor::new(start_b);
+    let mut crossings = 0u64;
+    let mut trace_a = cfg.record_traces.then(|| vec![a.node]);
+    let mut trace_b = cfg.record_traces.then(|| vec![b.node]);
+
+    let finish = |outcome: Outcome,
+                      a: Cursor,
+                      b: Cursor,
+                      crossings: u64,
+                      trace_a: Option<Vec<NodeId>>,
+                      trace_b: Option<Vec<NodeId>>| PairRun {
+        outcome,
+        crossings,
+        final_a: a,
+        final_b: b,
+        trace_a,
+        trace_b,
+    };
+
+    if a.node == b.node {
+        return finish(Outcome::Met { round: 0, node: a.node }, a, b, 0, trace_a, trace_b);
+    }
+
+    for round in 1..=cfg.max_rounds {
+        let prev_a = a.node;
+        let prev_b = b.node;
+        // Agent A is active from round 1; B from round delay+1.
+        let act_a = agent_a.act(a.obs(t));
+        a.apply(t, act_a);
+        if round > cfg.delay {
+            let act_b = agent_b.act(b.obs(t));
+            b.apply(t, act_b);
+        }
+        if let Some(tr) = trace_a.as_mut() {
+            tr.push(a.node);
+        }
+        if let Some(tr) = trace_b.as_mut() {
+            tr.push(b.node);
+        }
+        if a.node == prev_b && b.node == prev_a && a.node != b.node {
+            crossings += 1;
+        }
+        if a.node == b.node {
+            return finish(
+                Outcome::Met { round, node: a.node },
+                a,
+                b,
+                crossings,
+                trace_a,
+                trace_b,
+            );
+        }
+    }
+    finish(Outcome::Timeout { rounds: cfg.max_rounds }, a, b, crossings, trace_a, trace_b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rvz_agent::model::bw_exit;
+    use rvz_trees::generators::{colored_line, line, star};
+
+    /// Plain basic-walk agent (procedural).
+    #[derive(Clone, Default)]
+    struct BasicWalker;
+
+    impl Agent for BasicWalker {
+        fn act(&mut self, obs: Obs) -> Action {
+            Action::Move(bw_exit(obs.entry, obs.degree))
+        }
+        fn memory_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Never moves.
+    #[derive(Clone, Default)]
+    struct Sitter;
+
+    impl Agent for Sitter {
+        fn act(&mut self, _obs: Obs) -> Action {
+            Action::Stay
+        }
+        fn memory_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    #[test]
+    fn basic_walk_period_is_2n_minus_2() {
+        // §2.2: a basic walk of length 2(n−1) returns to its start.
+        for n in [2usize, 3, 5, 10, 33] {
+            let t = line(n);
+            let run = run_single(&t, 0, &mut BasicWalker, 2 * (n as u64 - 1), false);
+            assert_eq!(run.cursor.node, 0, "n={n}");
+        }
+        let s = star(7);
+        let run = run_single(&s, 1, &mut BasicWalker, 2 * 7, false);
+        assert_eq!(run.cursor.node, 1);
+    }
+
+    #[test]
+    fn basic_walk_covers_all_nodes() {
+        let t = crate::runner::tests_support::random_tree_20();
+        let n = t.num_nodes();
+        let run = run_single(&t, 0, &mut BasicWalker, 2 * (n as u64 - 1), true);
+        let mut seen = vec![false; n];
+        for &v in run.trace.as_ref().unwrap() {
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "Euler tour must cover the tree");
+    }
+
+    #[test]
+    fn walker_meets_sitter() {
+        let t = line(9);
+        let run = run_pair(
+            &t,
+            0,
+            5,
+            &mut BasicWalker,
+            &mut Sitter,
+            PairConfig::simultaneous(100),
+        );
+        assert_eq!(run.outcome, Outcome::Met { round: 5, node: 5 });
+    }
+
+    #[test]
+    fn delayed_agent_is_met_at_home() {
+        let t = line(9);
+        // B delayed past the horizon: A's walk reaches B's home anyway.
+        let run = run_pair(
+            &t,
+            0,
+            6,
+            &mut BasicWalker,
+            &mut BasicWalker,
+            PairConfig::delayed(1_000, 100),
+        );
+        assert_eq!(run.outcome, Outcome::Met { round: 6, node: 6 });
+    }
+
+    #[test]
+    fn crossing_is_not_meeting() {
+        // Two walkers launched toward each other at odd distance cross
+        // inside an edge and never co-locate on a cycle-free shuttle.
+        let t = colored_line(2, 0); // single edge
+        let run = run_pair(
+            &t,
+            0,
+            1,
+            &mut BasicWalker,
+            &mut BasicWalker,
+            PairConfig::simultaneous(10),
+        );
+        assert!(!run.outcome.met());
+        assert!(run.crossings > 0);
+    }
+
+    #[test]
+    fn same_start_meets_at_round_zero() {
+        let t = line(4);
+        let run = run_pair(
+            &t,
+            2,
+            2,
+            &mut BasicWalker,
+            &mut BasicWalker,
+            PairConfig::simultaneous(10),
+        );
+        assert_eq!(run.outcome, Outcome::Met { round: 0, node: 2 });
+    }
+
+    #[test]
+    fn delayed_agent_first_acts_at_round_delay_plus_one() {
+        // The delayed agent must sit still through rounds 1..=delay and
+        // take its first action in round delay+1.
+        struct CountingWalker {
+            activations: u64,
+        }
+        impl Agent for CountingWalker {
+            fn act(&mut self, obs: Obs) -> Action {
+                self.activations += 1;
+                Action::Move(bw_exit(obs.entry, obs.degree))
+            }
+            fn memory_bits(&self) -> u64 {
+                0
+            }
+        }
+        let t = line(30);
+        let mut a = Sitter;
+        let mut b = CountingWalker { activations: 0 };
+        let run = run_pair(
+            &t,
+            0,
+            20,
+            &mut a,
+            &mut b,
+            PairConfig { delay: 7, max_rounds: 12, record_traces: true },
+        );
+        assert!(!run.outcome.met());
+        // 12 rounds total, active in rounds 8..=12.
+        assert_eq!(b.activations, 5);
+        let tb = run.trace_b.unwrap();
+        assert!(tb[..8].iter().all(|&v| v == 20), "parked through the delay");
+        assert_ne!(tb[8], 20, "first move in round 8");
+    }
+
+    #[test]
+    fn observations_match_the_tree() {
+        // The entry port reported to the agent is the port of the edge at
+        // the node it ENTERS, per the model.
+        let t = crate::runner::tests_support::random_tree_20();
+        let mut cur = Cursor::new(0);
+        let mut expect: Option<Port> = None;
+        for _ in 0..200 {
+            let obs = cur.obs(&t);
+            assert_eq!(obs.entry, expect, "entry port mismatch");
+            assert_eq!(obs.degree, t.degree(cur.node));
+            // Always leave by the highest port.
+            let exit = obs.degree - 1;
+            expect = Some(t.entry_port(cur.node, exit));
+            cur.apply(&t, Action::Move(exit));
+        }
+    }
+
+    #[test]
+    fn traces_record_positions() {
+        let t = line(5);
+        let run = run_pair(
+            &t,
+            0,
+            4,
+            &mut BasicWalker,
+            &mut Sitter,
+            PairConfig { delay: 0, max_rounds: 4, record_traces: true },
+        );
+        assert_eq!(run.trace_a.as_ref().unwrap(), &vec![0, 1, 2, 3, 4]);
+        assert_eq!(run.trace_b.as_ref().unwrap(), &vec![4, 4, 4, 4, 4]);
+        assert!(run.outcome.met());
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rvz_trees::Tree;
+
+    pub fn random_tree_20() -> Tree {
+        let mut rng = StdRng::seed_from_u64(1234);
+        rvz_trees::generators::random_tree(20, &mut rng)
+    }
+}

@@ -1,0 +1,472 @@
+//! Canonical forms of (rooted, optionally marked, optionally port-labeled)
+//! trees — the AHU machinery behind all symmetry decisions.
+//!
+//! Two flavours:
+//! * **structural** canon: port numbers ignored, children sorted by their own
+//!   canonical sequences — equality ⟺ rooted-tree isomorphism (the
+//!   existential quantifier of Definition 1.2 ranges over labelings, so only
+//!   structure matters);
+//! * **port** canon: children enumerated in port order with port numbers
+//!   embedded — equality ⟺ rooted isomorphism *preserving ports* (what a
+//!   labeling-preserving automorphism must respect).
+//!
+//! A *marked* node (an agent's start) injects a marker token, so equality of
+//! marked canons ⟺ an isomorphism carrying mark to mark.
+//!
+//! Implementation notes: canons are emitted by explicit-stack token streams
+//! (no recursion — lines of 10⁵ nodes are routine here) and sibling ordering
+//! uses lazy stream comparison, so the common families (paths, spiders,
+//! bounded-degree trees) stay near-linear instead of the naive
+//! `O(n · depth)` copying.
+
+use crate::tree::{NodeId, Port, Tree};
+use std::cmp::Ordering;
+
+/// A canonical form: an ordered token sequence. Lexicographic `Ord` makes
+/// canons totally ordered, which the ranking code relies on.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Canon(Vec<u64>);
+
+const OPEN: u64 = u64::MAX;
+const CLOSE: u64 = u64::MAX - 1;
+const MARK: u64 = u64::MAX - 2;
+
+fn port_token(down: Port, up: Port) -> u64 {
+    ((down as u64) << 32) | (up as u64)
+}
+
+impl Canon {
+    /// Raw token view (stable across runs; useful for hashing/serializing).
+    pub fn tokens(&self) -> &[u64] {
+        &self.0
+    }
+}
+
+/// Children of `v` excluding `parent`, in port order.
+fn children(t: &Tree, v: NodeId, parent: Option<NodeId>) -> Vec<NodeId> {
+    t.neighbors(v).filter(|&(_, w, _)| Some(w) != parent).map(|(_, w, _)| w).collect()
+}
+
+/// Post-order traversal of the component of `root` away from `parent`,
+/// together with each node's parent within the traversal.
+fn post_order(t: &Tree, root: NodeId, parent: Option<NodeId>) -> Vec<(NodeId, Option<NodeId>)> {
+    let mut out = Vec::new();
+    let mut stack = vec![(root, parent, false)];
+    while let Some((v, par, expanded)) = stack.pop() {
+        if expanded {
+            out.push((v, par));
+            continue;
+        }
+        stack.push((v, par, true));
+        for (_, w, _) in t.neighbors(v) {
+            if Some(w) != par {
+                stack.push((w, Some(v), false));
+            }
+        }
+    }
+    out
+}
+
+/// Lazy token stream of the *structural* canon of a subtree, given
+/// precomputed canonical child orders.
+struct StructStream<'a> {
+    marked: Option<NodeId>,
+    orders: &'a [Vec<NodeId>],
+    /// `(node, next_child_index)`
+    stack: Vec<(NodeId, usize)>,
+    /// Tokens queued for emission before continuing the walk.
+    pending: std::collections::VecDeque<u64>,
+}
+
+impl<'a> StructStream<'a> {
+    fn new(root: NodeId, marked: Option<NodeId>, orders: &'a [Vec<NodeId>]) -> Self {
+        let mut s = StructStream {
+            marked,
+            orders,
+            stack: Vec::new(),
+            pending: std::collections::VecDeque::new(),
+        };
+        s.enter(root);
+        s
+    }
+
+    fn enter(&mut self, v: NodeId) {
+        self.pending.push_back(OPEN);
+        if self.marked == Some(v) {
+            self.pending.push_back(MARK);
+        }
+        self.stack.push((v, 0));
+    }
+}
+
+impl Iterator for StructStream<'_> {
+    type Item = u64;
+
+    fn next(&mut self) -> Option<u64> {
+        loop {
+            if let Some(tok) = self.pending.pop_front() {
+                return Some(tok);
+            }
+            let &(v, i) = self.stack.last()?;
+            let order = &self.orders[v as usize];
+            if i < order.len() {
+                self.stack.last_mut().expect("nonempty").1 += 1;
+                self.enter(order[i]);
+            } else {
+                self.stack.pop();
+                return Some(CLOSE);
+            }
+        }
+    }
+}
+
+fn cmp_streams(mut a: StructStream<'_>, mut b: StructStream<'_>) -> Ordering {
+    loop {
+        match (a.next(), b.next()) {
+            (None, None) => return Ordering::Equal,
+            (None, Some(_)) => return Ordering::Less,
+            (Some(_), None) => return Ordering::Greater,
+            (Some(x), Some(y)) => match x.cmp(&y) {
+                Ordering::Equal => continue,
+                other => return other,
+            },
+        }
+    }
+}
+
+/// Structural rooted canon of the component of `root` obtained by deleting
+/// the edge to `parent` (if any). `marked` injects a marker where visited.
+pub fn canon_structural(
+    t: &Tree,
+    root: NodeId,
+    parent: Option<NodeId>,
+    marked: Option<NodeId>,
+) -> Canon {
+    // Bottom-up: fix each node's canonical child order; children are deeper,
+    // so their orders are final when the parent sorts them.
+    let mut orders: Vec<Vec<NodeId>> = vec![Vec::new(); t.num_nodes()];
+    for (v, par) in post_order(t, root, parent) {
+        let mut kids = children(t, v, par);
+        kids.sort_by(|&a, &b| {
+            cmp_streams(
+                StructStream::new(a, marked, &orders),
+                StructStream::new(b, marked, &orders),
+            )
+        });
+        orders[v as usize] = kids;
+    }
+    Canon(StructStream::new(root, marked, &orders).collect())
+}
+
+/// Port-labeled rooted canon of the component of `root` away from `parent`.
+///
+/// Children appear in port order and every edge contributes its two port
+/// numbers, so equality of two such canons is exactly the existence of a
+/// port-preserving rooted isomorphism. When `parent` is `Some`, the port at
+/// `root` used by the skipped edge is recorded too (a flip must map that
+/// port as well).
+pub fn canon_ports(
+    t: &Tree,
+    root: NodeId,
+    parent: Option<NodeId>,
+    marked: Option<NodeId>,
+) -> Canon {
+    let mut tokens = Vec::with_capacity(4 * t.num_nodes());
+    // Stack of (node, parent, next_port).
+    let mut stack: Vec<(NodeId, Option<NodeId>, Port)> = Vec::new();
+    tokens.push(OPEN);
+    if let Some(p) = parent {
+        let skip = t.port_towards(root, p).expect("parent is adjacent");
+        tokens.push(port_token(skip, skip));
+    }
+    if marked == Some(root) {
+        tokens.push(MARK);
+    }
+    stack.push((root, parent, 0));
+    while let Some(&(v, par, next)) = stack.last() {
+        let deg = t.degree(v);
+        let mut cursor = next;
+        let mut child = None;
+        while cursor < deg {
+            let p = cursor;
+            cursor += 1;
+            let w = t.neighbor(v, p);
+            if Some(w) == par {
+                continue;
+            }
+            child = Some((p, w));
+            break;
+        }
+        stack.last_mut().expect("nonempty").2 = cursor;
+        match child {
+            Some((p, w)) => {
+                let up = t.entry_port(v, p);
+                tokens.push(OPEN);
+                tokens.push(port_token(p, up));
+                if marked == Some(w) {
+                    tokens.push(MARK);
+                }
+                stack.push((w, Some(v), 0));
+            }
+            None => {
+                stack.pop();
+                tokens.push(CLOSE);
+            }
+        }
+    }
+    Canon(tokens)
+}
+
+/// Unrooted, marked, structural canonical form of the whole tree: root at the
+/// center (node, or the sorted pair of half-canons for a central edge). Two
+/// marked trees have equal canons iff an automorphism maps mark to mark
+/// (topological symmetry of the marked positions).
+pub fn unrooted_canon_structural(t: &Tree, marked: Option<NodeId>) -> Canon {
+    match crate::center::center(t) {
+        crate::center::Center::Node(c) => {
+            let inner = canon_structural(t, c, None, marked);
+            let mut tokens = vec![OPEN];
+            tokens.extend_from_slice(inner.tokens());
+            tokens.push(CLOSE);
+            Canon(tokens)
+        }
+        crate::center::Center::Edge(x, y) => {
+            let cx = canon_structural(t, x, Some(y), marked);
+            let cy = canon_structural(t, y, Some(x), marked);
+            let (a, b) = if cx <= cy { (cx, cy) } else { (cy, cx) };
+            let mut tokens = vec![OPEN, OPEN];
+            tokens.extend_from_slice(a.tokens());
+            tokens.extend_from_slice(b.tokens());
+            tokens.push(CLOSE);
+            Canon(tokens)
+        }
+    }
+}
+
+/// Canonical ranks of all nodes, used by the arbitrary-delay baseline (D5 in
+/// DESIGN.md): deterministic under renaming of the hidden node ids, and two
+/// nodes share a rank **iff** the (unique) port-preserving non-trivial
+/// automorphism exchanges them. In particular, non-perfectly-symmetrizable
+/// (hence never symmetric) agent positions always receive distinct ranks.
+pub fn canonical_ranks(t: &Tree) -> Vec<u64> {
+    let n = t.num_nodes();
+    let mut rank = vec![0u64; n];
+    match crate::center::center(t) {
+        crate::center::Center::Node(c) => {
+            for (i, v) in port_preorder(t, c, None).into_iter().enumerate() {
+                rank[v as usize] = i as u64;
+            }
+        }
+        crate::center::Center::Edge(x, y) => {
+            let px = t.port_towards(x, y).expect("adjacent");
+            let py = t.port_towards(y, x).expect("adjacent");
+            let cx = canon_ports(t, x, Some(y), None);
+            let cy = canon_ports(t, y, Some(x), None);
+            let key_x = (cx, px);
+            let key_y = (cy, py);
+            let ox = port_preorder(t, x, Some(y));
+            let oy = port_preorder(t, y, Some(x));
+            if key_x == key_y {
+                // A port-preserving flip exists: mirror nodes share ranks.
+                for (i, v) in ox.into_iter().enumerate() {
+                    rank[v as usize] = i as u64;
+                }
+                for (i, v) in oy.into_iter().enumerate() {
+                    rank[v as usize] = i as u64;
+                }
+            } else {
+                let (first, second) = if key_x < key_y { (ox, oy) } else { (oy, ox) };
+                for (i, v) in first.into_iter().chain(second).enumerate() {
+                    rank[v as usize] = i as u64;
+                }
+            }
+        }
+    }
+    rank
+}
+
+/// Preorder of the component of `root` away from `parent`, children in port
+/// order. Deterministic given the labeling.
+pub fn port_preorder(t: &Tree, root: NodeId, parent: Option<NodeId>) -> Vec<NodeId> {
+    let mut order = Vec::new();
+    let mut stack = vec![(root, parent)];
+    while let Some((v, par)) = stack.pop() {
+        order.push(v);
+        let kids = children(t, v, par);
+        for &w in kids.iter().rev() {
+            stack.push((w, Some(v)));
+        }
+    }
+    order
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{complete_binary, line, random_relabel, random_tree, spider, star};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn structural_canon_ignores_ports() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = random_tree(30, &mut rng);
+        let r = random_relabel(&t, &mut rng);
+        assert_eq!(canon_structural(&t, 0, None, None), canon_structural(&r, 0, None, None));
+    }
+
+    #[test]
+    fn port_canon_detects_relabeling() {
+        // Star with 3 rays: swapping two center ports changes the port canon
+        // only if a mark distinguishes the rays; unmarked rays are identical
+        // subtrees so the canon is invariant. Use a marked leaf.
+        let t = star(3);
+        let perm = vec![vec![1, 0, 2], vec![0], vec![0], vec![0]];
+        let r = t.relabeled(&perm).unwrap();
+        assert_ne!(canon_ports(&t, 0, None, Some(1)), canon_ports(&r, 0, None, Some(1)));
+        assert_eq!(canon_ports(&t, 0, None, None), canon_ports(&r, 0, None, None));
+    }
+
+    #[test]
+    fn mark_distinguishes() {
+        let t = line(5);
+        assert_ne!(
+            canon_structural(&t, 2, None, Some(0)),
+            canon_structural(&t, 2, None, Some(1))
+        );
+        // …but marking the two symmetric leaves gives equal canons.
+        assert_eq!(
+            canon_structural(&t, 2, None, Some(0)),
+            canon_structural(&t, 2, None, Some(4))
+        );
+    }
+
+    #[test]
+    fn structural_canon_sorts_children_canonically() {
+        // A root with children [leaf, path2] vs [path2, leaf] must canonize
+        // identically. Build both orders explicitly.
+        use crate::tree::{Edge, Tree};
+        let a = Tree::from_edges(
+            4,
+            &[
+                Edge { u: 0, port_u: 0, v: 1, port_v: 0 }, // leaf child
+                Edge { u: 0, port_u: 1, v: 2, port_v: 0 }, // path child
+                Edge { u: 2, port_u: 1, v: 3, port_v: 0 },
+            ],
+        )
+        .unwrap();
+        let b = Tree::from_edges(
+            4,
+            &[
+                Edge { u: 0, port_u: 1, v: 1, port_v: 0 },
+                Edge { u: 0, port_u: 0, v: 2, port_v: 0 },
+                Edge { u: 2, port_u: 1, v: 3, port_v: 0 },
+            ],
+        )
+        .unwrap();
+        assert_eq!(canon_structural(&a, 0, None, None), canon_structural(&b, 0, None, None));
+    }
+
+    #[test]
+    fn unrooted_canon_invariant_under_renumbering() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for n in [2usize, 7, 25] {
+            let t = random_tree(n, &mut rng);
+            let sigma: Vec<NodeId> = (0..n as NodeId).rev().collect();
+            let r = t.renumbered(&sigma).unwrap();
+            assert_eq!(
+                unrooted_canon_structural(&t, Some(0)),
+                unrooted_canon_structural(&r, Some(sigma[0]))
+            );
+        }
+    }
+
+    #[test]
+    fn ranks_are_distinct_without_flip() {
+        let t = line(7);
+        let r = canonical_ranks(&t);
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 7);
+    }
+
+    #[test]
+    fn ranks_pair_under_flip() {
+        // Even line with mirror (2-edge-colored) labeling: ends symmetric.
+        let t = crate::generators::colored_line_center_zero(5); // 6 nodes
+        let r = canonical_ranks(&t);
+        assert_eq!(r[0], r[5]);
+        assert_eq!(r[1], r[4]);
+        assert_eq!(r[2], r[3]);
+    }
+
+    #[test]
+    fn ranks_distinct_on_asymmetric_labeling() {
+        // The canonical labeling of `line` is NOT mirror-symmetric (interior
+        // ports point 0 backwards / 1 forwards), so no flip: all distinct.
+        let t = line(6);
+        let r = canonical_ranks(&t);
+        let mut sorted = r.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), 6);
+    }
+
+    #[test]
+    fn spider_legs_share_structure() {
+        let t = spider(3, 2);
+        let l1 = unrooted_canon_structural(&t, Some(2));
+        let l2 = unrooted_canon_structural(&t, Some(4));
+        let l3 = unrooted_canon_structural(&t, Some(6));
+        assert_eq!(l1, l2);
+        assert_eq!(l2, l3);
+    }
+
+    #[test]
+    fn deep_line_stays_fast_and_safe() {
+        let t = line(50_000);
+        let c = canon_structural(&t, 0, None, None);
+        assert_eq!(c.tokens().len(), 2 * 50_000);
+        let p = canon_ports(&t, 0, None, None);
+        assert!(p.tokens().len() >= 2 * 50_000);
+        let _ = canonical_ranks(&t);
+    }
+
+    #[test]
+    fn complete_binary_children_symmetric() {
+        let t = complete_binary(3);
+        let c1 = canon_structural(&t, 1, Some(0), None);
+        let c2 = canon_structural(&t, 2, Some(0), None);
+        assert_eq!(c1, c2);
+    }
+
+    #[test]
+    fn port_preorder_enumerates_component_once() {
+        let t = spider(4, 3);
+        let order = port_preorder(&t, 0, None);
+        assert_eq!(order.len(), t.num_nodes());
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), t.num_nodes());
+        assert_eq!(order[0], 0, "preorder starts at the root");
+        // Half preorder stays within the half.
+        let half = port_preorder(&t, 1, Some(0));
+        assert!(half.len() < t.num_nodes());
+        assert!(!half.contains(&0));
+    }
+
+    #[test]
+    fn port_canon_records_skip_port() {
+        // Two rooted halves identical except for the port of the deleted
+        // edge at the root must canonize differently.
+        let t = line(4); // 0-1-2-3, central edge (1,2)
+        let c12 = canon_ports(&t, 1, Some(2), None);
+        let c21 = canon_ports(&t, 2, Some(1), None);
+        // Node 1 reaches node 2 by port 1; node 2 reaches node 1 by port 0:
+        // the halves are isomorphic as port-labeled rooted trees only if the
+        // skip ports agree — they don't.
+        assert_ne!(c12, c21);
+    }
+}

@@ -1,0 +1,214 @@
+//! Center of a tree: the paper's §2.2 construction.
+//!
+//! Iteratively strip all leaves (`T_{i+1}` = `T_i` minus its leaves) until at
+//! most two nodes remain: one node ⇒ *central node*, two nodes ⇒ *central
+//! edge*. Every automorphism fixes the center, which is why both the upper-
+//! bound algorithm and the symmetry analysis pivot on it.
+
+use crate::tree::{NodeId, Tree};
+
+/// The center of a tree.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Center {
+    /// A single central node.
+    Node(NodeId),
+    /// A central edge; endpoints are reported in increasing `NodeId` order.
+    Edge(NodeId, NodeId),
+}
+
+/// Computes the center by iterative leaf stripping, in `O(n)`.
+pub fn center(t: &Tree) -> Center {
+    let n = t.num_nodes();
+    if n == 1 {
+        return Center::Node(0);
+    }
+    if n == 2 {
+        return Center::Edge(0, 1);
+    }
+    let mut deg: Vec<u32> = (0..n as NodeId).map(|u| t.degree(u)).collect();
+    let mut removed = vec![false; n];
+    let mut frontier: Vec<NodeId> =
+        (0..n as NodeId).filter(|&u| deg[u as usize] <= 1).collect();
+    let mut remaining = n;
+    loop {
+        if remaining <= 2 {
+            break;
+        }
+        let mut next = Vec::new();
+        for &u in &frontier {
+            removed[u as usize] = true;
+        }
+        remaining -= frontier.len();
+        for &u in &frontier {
+            for p in 0..t.degree(u) {
+                let v = t.neighbor(u, p);
+                if !removed[v as usize] {
+                    deg[v as usize] -= 1;
+                    if deg[v as usize] <= 1 {
+                        next.push(v);
+                    }
+                }
+            }
+        }
+        if remaining <= 2 {
+            break;
+        }
+        frontier = next;
+    }
+    let survivors: Vec<NodeId> =
+        (0..n as NodeId).filter(|&u| !removed[u as usize]).collect();
+    match survivors.as_slice() {
+        [c] => Center::Node(*c),
+        [a, b] => {
+            debug_assert!(t.port_towards(*a, *b).is_some(), "central pair must be adjacent");
+            Center::Edge(*a, *b)
+        }
+        _ => unreachable!("leaf stripping always ends with 1 or 2 nodes"),
+    }
+}
+
+/// Eccentricity of a node (greatest distance to any node).
+pub fn eccentricity(t: &Tree, u: NodeId) -> usize {
+    let n = t.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    dist[u as usize] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(u);
+    let mut max = 0;
+    while let Some(w) = queue.pop_front() {
+        for p in 0..t.degree(w) {
+            let x = t.neighbor(w, p);
+            if dist[x as usize] == usize::MAX {
+                dist[x as usize] = dist[w as usize] + 1;
+                max = max.max(dist[x as usize]);
+                queue.push_back(x);
+            }
+        }
+    }
+    max
+}
+
+/// Diameter of the tree (longest path length in edges).
+pub fn diameter(t: &Tree) -> usize {
+    // Double BFS.
+    let far = farthest_from(t, 0).0;
+    farthest_from(t, far).1
+}
+
+fn farthest_from(t: &Tree, u: NodeId) -> (NodeId, usize) {
+    let n = t.num_nodes();
+    let mut dist = vec![usize::MAX; n];
+    dist[u as usize] = 0;
+    let mut queue = std::collections::VecDeque::new();
+    queue.push_back(u);
+    let mut best = (u, 0usize);
+    while let Some(w) = queue.pop_front() {
+        for p in 0..t.degree(w) {
+            let x = t.neighbor(w, p);
+            if dist[x as usize] == usize::MAX {
+                dist[x as usize] = dist[w as usize] + 1;
+                if dist[x as usize] > best.1 {
+                    best = (x, dist[x as usize]);
+                }
+                queue.push_back(x);
+            }
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{caterpillar, complete_binary, line, spider, star};
+
+    #[test]
+    fn line_center_parity() {
+        // Odd number of nodes ⇒ central node; even ⇒ central edge.
+        assert_eq!(center(&line(5)), Center::Node(2));
+        assert_eq!(center(&line(6)), Center::Edge(2, 3));
+        assert_eq!(center(&line(2)), Center::Edge(0, 1));
+        assert_eq!(center(&line(3)), Center::Node(1));
+        assert_eq!(center(&line(1)), Center::Node(0));
+    }
+
+    #[test]
+    fn star_center_is_hub() {
+        assert_eq!(center(&star(7)), Center::Node(0));
+    }
+
+    #[test]
+    fn complete_binary_center_is_root() {
+        assert_eq!(center(&complete_binary(4)), Center::Node(0));
+    }
+
+    #[test]
+    fn spider_center() {
+        assert_eq!(center(&spider(3, 5)), Center::Node(0));
+    }
+
+    #[test]
+    fn caterpillar_center_ignores_hairs() {
+        // Spine 0-1-2-3-4 with heavy hair at node 4: hairs extend
+        // eccentricities by one on that side.
+        let t = caterpillar(5, &[0, 0, 0, 0, 3]);
+        // Longest path: node 0 .. hair of node 4 = 5 edges ⇒ center at
+        // distance 2..3: diameter 5 odd ⇒ central edge (2,3).
+        assert_eq!(diameter(&t), 5);
+        assert_eq!(center(&t), Center::Edge(2, 3));
+    }
+
+    #[test]
+    fn eccentricity_and_diameter() {
+        let t = line(7);
+        assert_eq!(eccentricity(&t, 0), 6);
+        assert_eq!(eccentricity(&t, 3), 3);
+        assert_eq!(diameter(&t), 6);
+    }
+
+    #[test]
+    fn center_is_invariant_under_relabeling() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(314);
+        for n in [2usize, 5, 12, 31] {
+            let t = crate::generators::random_tree(n, &mut rng);
+            let r = crate::generators::random_relabel(&t, &mut rng);
+            assert_eq!(center(&t), center(&r), "n={n}: ports must not matter");
+        }
+    }
+
+    #[test]
+    fn center_commutes_with_renumbering() {
+        use crate::tree::NodeId;
+        let t = caterpillar(4, &[1, 0, 2, 0]);
+        let sigma: Vec<NodeId> = (0..t.num_nodes() as NodeId).rev().collect();
+        let r = t.renumbered(&sigma).unwrap();
+        match (center(&t), center(&r)) {
+            (Center::Node(c), Center::Node(d)) => assert_eq!(sigma[c as usize], d),
+            (Center::Edge(a, b), Center::Edge(c, d)) => {
+                let mut lhs = [sigma[a as usize], sigma[b as usize]];
+                lhs.sort_unstable();
+                assert_eq!(lhs.to_vec(), vec![c, d]);
+            }
+            other => panic!("center kind changed: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn center_minimizes_eccentricity() {
+        let t = caterpillar(6, &[2, 0, 1, 0, 0, 4]);
+        let c = center(&t);
+        let min_ecc = (0..t.num_nodes() as NodeId)
+            .map(|u| eccentricity(&t, u))
+            .min()
+            .unwrap();
+        match c {
+            Center::Node(v) => assert_eq!(eccentricity(&t, v), min_ecc),
+            Center::Edge(a, b) => {
+                assert_eq!(eccentricity(&t, a), min_ecc);
+                assert_eq!(eccentricity(&t, b), min_ecc);
+            }
+        }
+    }
+}

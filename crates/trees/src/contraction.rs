@@ -1,0 +1,209 @@
+//! The contraction `T'` of a tree `T` (§4.1): every maximal path whose
+//! interior consists of degree-2 nodes is replaced by a single edge, whose
+//! ports are the ports at the two extremities of the contracted path.
+//!
+//! If `T` has `ℓ` leaves, `T'` has at most `2ℓ - 1` nodes and no degree-2
+//! nodes (unless `T` itself is a single edge or a single node).
+
+use crate::tree::{Edge, NodeId, Port, Tree};
+
+/// The contraction of a tree, together with the correspondence between the
+/// two node sets and the expansion of each contracted edge.
+#[derive(Debug, Clone)]
+pub struct Contraction {
+    /// The contracted tree `T'`.
+    pub tree: Tree,
+    /// For each `T` node: its `T'` id, if it survived (degree ≠ 2 in `T`).
+    pub t_to_tp: Vec<Option<NodeId>>,
+    /// For each `T'` node: the original `T` node.
+    pub tp_to_t: Vec<NodeId>,
+    /// For each `T'` node `w` and port `p`: the full path in `T` realizing
+    /// that contracted edge, starting at `tp_to_t[w]` and ending at the `T`
+    /// node of the other endpoint (inclusive on both ends).
+    expansion: Vec<Vec<Vec<NodeId>>>,
+}
+
+impl Contraction {
+    /// The number of nodes `ν` of `T'`.
+    pub fn num_nodes(&self) -> usize {
+        self.tree.num_nodes()
+    }
+
+    /// The `T`-path realizing the `T'`-edge leaving `w` (a `T'` node id) by
+    /// port `p`; inclusive of both endpoint nodes (in `T` ids).
+    pub fn expanded_edge(&self, w: NodeId, p: Port) -> &[NodeId] {
+        &self.expansion[w as usize][p as usize]
+    }
+}
+
+/// Computes the contraction of `t`.
+///
+/// Keeps every node of degree ≠ 2. Special cases: trees with ≤ 2 nodes and
+/// trees that are a bare path (whose contraction is a single edge between the
+/// two endpoints) are handled uniformly: the survivors are exactly the nodes
+/// of degree ≠ 2, and in a tree there are always at least two of them (or one
+/// for the singleton).
+pub fn contract(t: &Tree) -> Contraction {
+    let n = t.num_nodes();
+    if n == 1 {
+        return Contraction {
+            tree: Tree::singleton(),
+            t_to_tp: vec![Some(0)],
+            tp_to_t: vec![0],
+            expansion: vec![vec![]],
+        };
+    }
+    let mut t_to_tp = vec![None; n];
+    let mut tp_to_t = Vec::new();
+    for u in 0..n as NodeId {
+        if t.degree(u) != 2 {
+            t_to_tp[u as usize] = Some(tp_to_t.len() as NodeId);
+            tp_to_t.push(u);
+        }
+    }
+    debug_assert!(
+        tp_to_t.len() >= 2,
+        "a tree with ≥ 2 nodes has ≥ 2 nodes of degree ≠ 2"
+    );
+    // For each surviving node and each of its ports, walk through degree-2
+    // nodes to the other surviving endpoint.
+    let mut edges: Vec<Edge> = Vec::new();
+    let mut expansion: Vec<Vec<Vec<NodeId>>> = tp_to_t
+        .iter()
+        .map(|&u| vec![Vec::new(); t.degree(u) as usize])
+        .collect();
+    for (w_idx, &u) in tp_to_t.iter().enumerate() {
+        for p in 0..t.degree(u) {
+            let mut path = vec![u];
+            let mut prev = u;
+            let mut cur = t.neighbor(u, p);
+            let mut entry = t.entry_port(u, p);
+            while t.degree(cur) == 2 {
+                path.push(cur);
+                let out = 1 - entry; // degree-2: leave by the other port
+                let nxt = t.neighbor(cur, out);
+                entry = t.entry_port(cur, out);
+                prev = cur;
+                cur = nxt;
+            }
+            let _ = prev;
+            path.push(cur);
+            let w = w_idx as NodeId;
+            let x = t_to_tp[cur as usize].expect("walk ends at a surviving node");
+            expansion[w_idx][p as usize] = path;
+            // `entry` is the port at `cur` (in T) by which the path arrives —
+            // the port of the contracted edge at the other endpoint.
+            if (w, p) < (x, entry) {
+                edges.push(Edge { u: w, port_u: p, v: x, port_v: entry });
+            }
+        }
+    }
+    let tree = Tree::from_edges(tp_to_t.len(), &edges).expect("contraction is a valid tree");
+    Contraction { tree, t_to_tp, tp_to_t, expansion }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators::{caterpillar, complete_binary, line, random_tree, spider, star};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_contracts_to_edge() {
+        let t = line(10);
+        let c = contract(&t);
+        assert_eq!(c.num_nodes(), 2);
+        assert_eq!(c.tree.num_edges(), 1);
+        assert_eq!(c.tp_to_t, vec![0, 9]);
+        assert_eq!(c.expanded_edge(0, 0), &(0..10).collect::<Vec<_>>()[..]);
+    }
+
+    #[test]
+    fn star_is_its_own_contraction() {
+        let t = star(5);
+        let c = contract(&t);
+        assert_eq!(c.num_nodes(), t.num_nodes());
+        assert_eq!(c.tree.num_leaves(), 5);
+    }
+
+    #[test]
+    fn spider_contracts_to_star() {
+        let t = spider(4, 7);
+        let c = contract(&t);
+        assert_eq!(c.num_nodes(), 5);
+        assert_eq!(c.tree.degree(c.t_to_tp[0].unwrap()), 4);
+        // Each contracted edge expands to a leg of 7 edges = 8 nodes.
+        let hub = c.t_to_tp[0].unwrap();
+        for p in 0..4 {
+            assert_eq!(c.expanded_edge(hub, p).len(), 8);
+        }
+    }
+
+    #[test]
+    fn contraction_has_no_degree2_nodes() {
+        let mut rng = StdRng::seed_from_u64(11);
+        for n in [2usize, 3, 5, 17, 64, 200] {
+            let t = random_tree(n, &mut rng);
+            let c = contract(&t);
+            if c.num_nodes() > 2 {
+                for u in 0..c.num_nodes() as NodeId {
+                    assert_ne!(c.tree.degree(u), 2, "degree-2 node survived in T'");
+                }
+            }
+            // ν ≤ 2ℓ − 1 (paper, §4.1).
+            assert!(c.num_nodes() < 2 * t.num_leaves().max(1) || t.num_nodes() <= 2);
+            // Leaves are preserved.
+            assert_eq!(c.tree.num_leaves(), t.num_leaves());
+        }
+    }
+
+    #[test]
+    fn contraction_ports_match_extremities() {
+        let t = spider(3, 2);
+        let c = contract(&t);
+        let hub = c.t_to_tp[0].unwrap();
+        // Port p at the hub in T' must reach the leaf of leg p.
+        for p in 0..3 {
+            let leaf_tp = c.tree.neighbor(hub, p);
+            let leaf_t = c.tp_to_t[leaf_tp as usize];
+            assert_eq!(t.degree(leaf_t), 1);
+            let exp = c.expanded_edge(hub, p);
+            assert_eq!(*exp.first().unwrap(), 0);
+            assert_eq!(*exp.last().unwrap(), leaf_t);
+        }
+    }
+
+    #[test]
+    fn idempotent_on_degree2_free_trees() {
+        // Note: the ROOT of a complete binary tree has degree 2, so it is
+        // suppressed; the contraction has n − 1 nodes and is then stable.
+        let t = complete_binary(3);
+        let c = contract(&t);
+        assert_eq!(c.num_nodes(), t.num_nodes() - 1);
+        let c2 = contract(&c.tree);
+        assert_eq!(c2.num_nodes(), c.num_nodes());
+        // A star has no degree-2 nodes at all: contraction is the identity.
+        let s = star(6);
+        let cs = contract(&s);
+        assert_eq!(cs.num_nodes(), s.num_nodes());
+        assert_eq!(cs.tree.edges(), s.edges());
+    }
+
+    #[test]
+    fn two_node_tree() {
+        let t = line(2);
+        let c = contract(&t);
+        assert_eq!(c.num_nodes(), 2);
+    }
+
+    #[test]
+    fn caterpillar_contraction() {
+        // Spine nodes with hairs survive; bare internal spine nodes vanish.
+        let t = caterpillar(5, &[0, 1, 0, 1, 0]);
+        let c = contract(&t);
+        // Survivors: spine 0 (deg 1), spine 1 (deg 3), spine 3 (deg 3),
+        // spine 4 (deg 1), two hair leaves. Spine 2 (deg 2) vanishes.
+        assert_eq!(c.num_nodes(), 6);
+    }
+}

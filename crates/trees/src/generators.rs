@@ -1,0 +1,545 @@
+//! Tree families used throughout the paper and its experiments.
+//!
+//! Every generator returns a fully port-labeled [`Tree`]. Where the paper
+//! fixes a specific labeling (e.g. the 2-edge-colored lines of Theorems 3.1
+//! and 4.2) the generator reproduces it; otherwise labelings are a free
+//! parameter and [`random_relabel`] lets the adversary pick one.
+
+use crate::tree::{Edge, NodeId, Port, Tree};
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// A line (path) on `n` nodes, `0 — 1 — … — n-1`, with the *canonical*
+/// labeling: each internal node uses port 0 towards its lower-numbered
+/// neighbor and port 1 towards its higher-numbered neighbor.
+pub fn line(n: usize) -> Tree {
+    assert!(n >= 1);
+    if n == 1 {
+        return Tree::singleton();
+    }
+    let edges: Vec<Edge> = (0..n - 1)
+        .map(|i| Edge {
+            u: i as NodeId,
+            port_u: if i == 0 { 0 } else { 1 },
+            v: (i + 1) as NodeId,
+            port_v: 0,
+        })
+        .collect();
+    Tree::from_edges(n, &edges).expect("line construction is valid")
+}
+
+/// A line on `n` nodes with a *proper 2-edge-coloring* labeling: edge `i`
+/// (between nodes `i` and `i+1`) carries the same port number at both of its
+/// endpoints, namely `(i + parity) % 2`. Adjacent edges get distinct colors,
+/// so each internal node sees ports `{0, 1}` as required.
+///
+/// This is the labeling used in the lower-bound constructions (Theorem 3.1's
+/// Fig. 1 and Theorem 4.2). For a line with an even number of edges the two
+/// endpoints' single ports are forced to differ from their neighbors, hence
+/// the coloring is "proper" only on internal nodes; endpoints have a single
+/// port which must be 0 — we therefore require `n` even or odd but remap
+/// endpoint ports to 0 as the model demands (a degree-1 node has only
+/// port 0).
+pub fn colored_line(n: usize, parity: usize) -> Tree {
+    assert!(n >= 2, "colored line needs at least one edge");
+    let color = |i: usize| ((i + parity) % 2) as Port;
+    let edges: Vec<Edge> = (0..n - 1)
+        .map(|i| {
+            let c = color(i);
+            Edge {
+                u: i as NodeId,
+                // Degree-1 endpoints only have port 0.
+                port_u: if i == 0 { 0 } else { c },
+                v: (i + 1) as NodeId,
+                port_v: if i + 1 == n - 1 { 0 } else { c },
+            }
+        })
+        .collect();
+    Tree::from_edges(n, &edges).expect("colored line construction is valid")
+}
+
+/// The Theorem 3.1 line: `8(K+1)+1` edges—ish layout is built by the
+/// lower-bounds crate; here we provide the generic building block: a colored
+/// line of `len` **edges** (so `len + 1` nodes) whose *central edge* (index
+/// `len/2` for odd `len`, counting from 0) has color 0.
+///
+/// Panics if `len` is even (no central edge).
+pub fn colored_line_center_zero(len_edges: usize) -> Tree {
+    assert!(len_edges % 2 == 1, "central edge requires an odd number of edges");
+    let center = len_edges / 2;
+    // color(center) must be 0: color(i) = (i + parity) % 2 ⇒ parity = center % 2.
+    colored_line(len_edges + 1, center % 2)
+}
+
+/// Star with `k` rays: center node `0` with `k` leaves `1..=k`. The center's
+/// port towards leaf `i` is `i - 1`.
+pub fn star(k: usize) -> Tree {
+    assert!(k >= 1);
+    let edges: Vec<Edge> = (1..=k)
+        .map(|i| Edge { u: 0, port_u: (i - 1) as Port, v: i as NodeId, port_v: 0 })
+        .collect();
+    Tree::from_edges(k + 1, &edges).expect("star construction is valid")
+}
+
+/// Spider ("generalized star"): `legs` paths of `leg_len` edges each, glued
+/// at a common center. `n = 1 + legs * leg_len`, `ℓ = legs` (for
+/// `leg_len ≥ 1`, `legs ≥ 3`). Spiders with few long legs are the canonical
+/// "polylogarithmically many leaves" family of the paper's gap statement.
+pub fn spider(legs: usize, leg_len: usize) -> Tree {
+    assert!(legs >= 1 && leg_len >= 1);
+    let mut edges = Vec::with_capacity(legs * leg_len);
+    let mut next: NodeId = 1;
+    for leg in 0..legs {
+        let mut prev: NodeId = 0;
+        for step in 0..leg_len {
+            let port_prev =
+                if prev == 0 { leg as Port } else { 1 };
+            edges.push(Edge { u: prev, port_u: port_prev, v: next, port_v: 0 });
+            let _ = step;
+            prev = next;
+            next += 1;
+        }
+    }
+    Tree::from_edges(legs * leg_len + 1, &edges).expect("spider construction is valid")
+}
+
+/// Complete binary tree of the given `height` (height 0 = single node).
+/// `n = 2^(height+1) - 1`. Root has degree 2, internal nodes degree 3.
+pub fn complete_binary(height: usize) -> Tree {
+    let n = (1usize << (height + 1)) - 1;
+    if n == 1 {
+        return Tree::singleton();
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    for v in 1..n {
+        let parent = (v - 1) / 2;
+        // Ports at the parent: root uses 0/1 for children; internal nodes
+        // use 0 for the parent edge, 1/2 for children.
+        let child_slot = ((v - 1) % 2) as Port;
+        let port_parent = if parent == 0 { child_slot } else { 1 + child_slot };
+        edges.push(Edge {
+            u: parent as NodeId,
+            port_u: port_parent,
+            v: v as NodeId,
+            port_v: 0,
+        });
+    }
+    Tree::from_edges(n, &edges).expect("complete binary construction is valid")
+}
+
+/// Binomial tree `B_k` (Cormen et al., referenced by the paper for the case
+/// where the two agents may end up in the two roots of the two `B_{k-1}`
+/// halves). `n = 2^k`.
+pub fn binomial(k: usize) -> Tree {
+    // B_0 is a single node; B_k is two copies of B_{k-1} with an edge
+    // between their roots. We build recursively over node-index offsets.
+    let n = 1usize << k;
+    if n == 1 {
+        return Tree::singleton();
+    }
+    // degree bookkeeping: next free port per node.
+    let mut next_port = vec![0 as Port; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    // Iterative doubling: at stage s (s = 0..k), link root(block) of the
+    // second half of each 2^(s+1) block to the root (index 0 offset) of the
+    // first half.
+    for s in 0..k {
+        let block = 1usize << (s + 1);
+        let half = 1usize << s;
+        let mut start = 0usize;
+        while start < n {
+            let a = start; // root of first half
+            let b = start + half; // root of second half
+            let pa = next_port[a];
+            next_port[a] += 1;
+            let pb = next_port[b];
+            next_port[b] += 1;
+            edges.push(Edge { u: a as NodeId, port_u: pa, v: b as NodeId, port_v: pb });
+            start += block;
+        }
+    }
+    Tree::from_edges(n, &edges).expect("binomial construction is valid")
+}
+
+/// Caterpillar: a spine of `spine` nodes; `hairs[i]` leaves hang off spine
+/// node `i` (`hairs.len() == spine`).
+pub fn caterpillar(spine: usize, hairs: &[usize]) -> Tree {
+    assert!(spine >= 1 && hairs.len() == spine);
+    let n = spine + hairs.iter().sum::<usize>();
+    if n == 1 {
+        return Tree::singleton();
+    }
+    let mut edges = Vec::with_capacity(n - 1);
+    let mut next_port = vec![0 as Port; n];
+    for i in 0..spine - 1 {
+        let (u, v) = (i as NodeId, (i + 1) as NodeId);
+        let e = Edge { u, port_u: next_port[i], v, port_v: next_port[i + 1] };
+        next_port[i] += 1;
+        next_port[i + 1] += 1;
+        edges.push(e);
+    }
+    let mut leaf = spine;
+    for (i, &h) in hairs.iter().enumerate() {
+        for _ in 0..h {
+            edges.push(Edge {
+                u: i as NodeId,
+                port_u: next_port[i],
+                v: leaf as NodeId,
+                port_v: 0,
+            });
+            next_port[i] += 1;
+            leaf += 1;
+        }
+    }
+    Tree::from_edges(n, &edges).expect("caterpillar construction is valid")
+}
+
+/// The "broom" trees `T_n` from the paper's §3 opening remark: two nodes
+/// `u, v` of degree `n`, both linked to a common node `w`, and each linked to
+/// `n - 1` leaves. Total `2n + 1` nodes, maximum degree `n`.
+pub fn broom(n: usize) -> Tree {
+    assert!(n >= 1);
+    let total = 2 * n + 1;
+    // Node 0 = u, node 1 = v, node 2 = w, leaves 3...
+    let mut edges = vec![
+        Edge { u: 0, port_u: 0, v: 2, port_v: 0 },
+        Edge { u: 1, port_u: 0, v: 2, port_v: 1 },
+    ];
+    let mut leaf: NodeId = 3;
+    for hub in [0 as NodeId, 1] {
+        for p in 1..n {
+            edges.push(Edge { u: hub, port_u: p as Port, v: leaf, port_v: 0 });
+            leaf += 1;
+        }
+    }
+    Tree::from_edges(total, &edges).expect("broom construction is valid")
+}
+
+/// A "double spider": two hubs joined by a path of `path_len` edges, with
+/// legs of the given lengths hanging off each hub.
+///
+/// Port convention: hub ports `0..legs` go to the legs in order, the last
+/// port to the joining path; leg interiors use 0 toward the hub / 1 away;
+/// path interiors use 0 toward hub A / 1 toward hub B.
+///
+/// The key family for the Figure-2 ablation (DESIGN.md §D7): with leg
+/// multisets of **equal sum but different composition** (e.g. `{1,4}` vs
+/// `{2,3}`) the contraction `T'` is symmetric and the two hub agents stay
+/// perfectly synchronized — only the `bw(j)/cbw(j)` probes break the tie.
+/// Hub A is node 0; hub B is node 1.
+pub fn double_spider(legs_a: &[usize], legs_b: &[usize], path_len: usize) -> Tree {
+    assert!(path_len >= 1 && !legs_a.is_empty() && !legs_b.is_empty());
+    assert!(legs_a.iter().all(|&l| l >= 1) && legs_b.iter().all(|&l| l >= 1));
+    let mut edges = Vec::new();
+    let mut next: NodeId = 2;
+    let mut grow_leg = |hub: NodeId, hub_port: Port, len: usize, next: &mut NodeId| {
+        let mut prev = hub;
+        let mut prev_port = hub_port;
+        for step in 0..len {
+            edges.push(Edge {
+                u: prev,
+                port_u: prev_port,
+                v: *next,
+                port_v: 0,
+            });
+            let _ = step;
+            prev = *next;
+            prev_port = 1;
+            *next += 1;
+        }
+    };
+    for (i, &len) in legs_a.iter().enumerate() {
+        grow_leg(0, i as Port, len, &mut next);
+    }
+    for (i, &len) in legs_b.iter().enumerate() {
+        grow_leg(1, i as Port, len, &mut next);
+    }
+    // The joining path: hub A — w_1 — … — w_{path_len-1} — hub B.
+    let mut prev = 0 as NodeId;
+    let mut prev_port = legs_a.len() as Port;
+    for i in 1..path_len {
+        let _ = i;
+        edges.push(Edge { u: prev, port_u: prev_port, v: next, port_v: 0 });
+        prev = next;
+        prev_port = 1;
+        next += 1;
+    }
+    edges.push(Edge {
+        u: prev,
+        port_u: prev_port,
+        v: 1,
+        port_v: legs_b.len() as Port,
+    });
+    Tree::from_edges(next as usize, &edges).expect("double spider is valid")
+}
+
+/// Uniform random recursive tree on `n` nodes: node `i` attaches to a
+/// uniformly random node `< i`. Port numbers assigned in attachment order,
+/// then shuffled per node by [`random_relabel`]-style permutation.
+pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Tree {
+    assert!(n >= 1);
+    if n == 1 {
+        return Tree::singleton();
+    }
+    let mut next_port = vec![0 as Port; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    for v in 1..n {
+        let u = rng.gen_range(0..v);
+        let e = Edge {
+            u: u as NodeId,
+            port_u: next_port[u],
+            v: v as NodeId,
+            port_v: 0,
+        };
+        next_port[u] += 1;
+        next_port[v] = 1;
+        edges.push(e);
+    }
+    let t = Tree::from_edges(n, &edges).expect("random recursive tree is valid");
+    random_relabel(&t, rng)
+}
+
+/// Random tree with maximum degree `max_deg` (≥ 2): grow by attaching each
+/// new node to a random node that still has spare degree.
+pub fn random_bounded_degree_tree<R: Rng>(n: usize, max_deg: u32, rng: &mut R) -> Tree {
+    assert!(n >= 1 && max_deg >= 2);
+    if n == 1 {
+        return Tree::singleton();
+    }
+    let mut next_port = vec![0 as Port; n];
+    let mut open: Vec<usize> = vec![0];
+    let mut edges = Vec::with_capacity(n - 1);
+    for v in 1..n {
+        let idx = rng.gen_range(0..open.len());
+        let u = open[idx];
+        let e = Edge { u: u as NodeId, port_u: next_port[u], v: v as NodeId, port_v: 0 };
+        next_port[u] += 1;
+        edges.push(e);
+        if next_port[u] >= max_deg {
+            open.swap_remove(idx);
+        }
+        // The new node used port 0 for its parent; it can take max_deg - 1 more.
+        if max_deg > 1 {
+            open.push(v);
+        }
+        next_port[v] = 1;
+    }
+    let t = Tree::from_edges(n, &edges).expect("bounded-degree tree is valid");
+    random_relabel(&t, rng)
+}
+
+/// Adversarial relabeling: a fresh uniformly random port permutation at every
+/// node. Structure is unchanged.
+pub fn random_relabel<R: Rng>(t: &Tree, rng: &mut R) -> Tree {
+    let perm: Vec<Vec<Port>> = (0..t.num_nodes() as NodeId)
+        .map(|u| {
+            let mut p: Vec<Port> = (0..t.degree(u)).collect();
+            p.shuffle(rng);
+            p
+        })
+        .collect();
+    t.relabeled(&perm).expect("permutation relabeling is valid")
+}
+
+/// Enumerates *all* port labelings of a (small) tree, for exhaustive
+/// adversary checks. The count is `Π_u deg(u)!`, so keep trees tiny.
+pub fn all_labelings(t: &Tree) -> Vec<Tree> {
+    fn perms(k: usize) -> Vec<Vec<Port>> {
+        if k == 0 {
+            return vec![vec![]];
+        }
+        let mut out = Vec::new();
+        let mut items: Vec<Port> = (0..k as Port).collect();
+        heap_permutations(&mut items, k, &mut out);
+        out
+    }
+    fn heap_permutations(items: &mut Vec<Port>, k: usize, out: &mut Vec<Vec<Port>>) {
+        if k <= 1 {
+            out.push(items.clone());
+            return;
+        }
+        for i in 0..k {
+            heap_permutations(items, k - 1, out);
+            if k.is_multiple_of(2) {
+                items.swap(i, k - 1);
+            } else {
+                items.swap(0, k - 1);
+            }
+        }
+    }
+
+    let per_node: Vec<Vec<Vec<Port>>> =
+        (0..t.num_nodes() as NodeId).map(|u| perms(t.degree(u) as usize)).collect();
+    let mut result = Vec::new();
+    let mut choice = vec![0usize; t.num_nodes()];
+    loop {
+        let perm: Vec<Vec<Port>> =
+            choice.iter().enumerate().map(|(u, &c)| per_node[u][c].clone()).collect();
+        result.push(t.relabeled(&perm).expect("valid labeling"));
+        // Odometer increment.
+        let mut i = 0;
+        loop {
+            if i == choice.len() {
+                return result;
+            }
+            choice[i] += 1;
+            if choice[i] < per_node[i].len() {
+                break;
+            }
+            choice[i] = 0;
+            i += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn line_shape() {
+        let t = line(5);
+        assert_eq!(t.num_nodes(), 5);
+        assert_eq!(t.num_leaves(), 2);
+        assert_eq!(t.max_degree(), 2);
+        assert_eq!(t.distance(0, 4), 4);
+    }
+
+    #[test]
+    fn colored_line_is_properly_colored() {
+        let t = colored_line(8, 0);
+        // Internal edges carry the same port at both endpoints.
+        for e in t.edges() {
+            let u_internal = t.degree(e.u) == 2;
+            let v_internal = t.degree(e.v) == 2;
+            if u_internal && v_internal {
+                assert_eq!(e.port_u, e.port_v, "edge {e:?} not color-consistent");
+            }
+        }
+    }
+
+    #[test]
+    fn colored_line_center_zero_has_zero_center() {
+        let t = colored_line_center_zero(9); // 9 edges, center edge index 4
+        let e = t.edges().into_iter().find(|e| e.u == 4 && e.v == 5).unwrap();
+        assert_eq!(e.port_u, 0);
+        assert_eq!(e.port_v, 0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let t = star(6);
+        assert_eq!(t.num_nodes(), 7);
+        assert_eq!(t.num_leaves(), 6);
+        assert_eq!(t.degree(0), 6);
+    }
+
+    #[test]
+    fn spider_shape() {
+        let t = spider(3, 4);
+        assert_eq!(t.num_nodes(), 13);
+        assert_eq!(t.num_leaves(), 3);
+        assert_eq!(t.max_degree(), 3);
+        assert_eq!(t.distance(0, 4), 4);
+    }
+
+    #[test]
+    fn complete_binary_shape() {
+        let t = complete_binary(3);
+        assert_eq!(t.num_nodes(), 15);
+        assert_eq!(t.num_leaves(), 8);
+        assert_eq!(t.max_degree(), 3);
+        assert_eq!(t.degree(0), 2);
+    }
+
+    #[test]
+    fn binomial_shape() {
+        for k in 0..6 {
+            let t = binomial(k);
+            assert_eq!(t.num_nodes(), 1 << k);
+            if k >= 1 {
+                // Root of B_k has degree k.
+                assert_eq!(t.degree(0), k as Port);
+            }
+        }
+    }
+
+    #[test]
+    fn caterpillar_shape() {
+        let t = caterpillar(4, &[1, 0, 2, 1]);
+        assert_eq!(t.num_nodes(), 8);
+        // Leaves: 4 hairs + 0 spine endpoints with no hair... endpoints 0 and
+        // 3 have hairs so spine ends have degree 2; hairs are the only
+        // degree-1 nodes.
+        assert_eq!(t.num_leaves(), 4);
+    }
+
+    #[test]
+    fn broom_shape() {
+        let t = broom(4);
+        assert_eq!(t.num_nodes(), 9);
+        assert_eq!(t.max_degree(), 4);
+        assert_eq!(t.degree(2), 2);
+        assert_eq!(t.num_leaves(), 6);
+    }
+
+    #[test]
+    fn double_spider_shape() {
+        let t = double_spider(&[1, 4], &[2, 3], 3);
+        // Nodes: 2 hubs + 5 + 5 leg nodes + 2 path interiors = 14.
+        assert_eq!(t.num_nodes(), 14);
+        assert_eq!(t.degree(0), 3);
+        assert_eq!(t.degree(1), 3);
+        assert_eq!(t.num_leaves(), 4);
+        assert_eq!(t.distance(0, 1), 3);
+        // Contraction: 2 hubs + 4 leaves = 6 nodes.
+        let c = crate::contraction::contract(&t);
+        assert_eq!(c.num_nodes(), 6);
+        // The T' halves are port-isomorphic (leg lengths vanish).
+        assert!(crate::symmetry::halves_port_isomorphic(&c.tree));
+        // Yet the hubs are NOT perfectly symmetrizable in T: leg multisets
+        // differ.
+        assert!(!crate::symmetry::perfectly_symmetrizable(&t, 0, 1));
+    }
+
+    #[test]
+    fn double_spider_equal_sides_are_symmetrizable() {
+        let t = double_spider(&[2, 3], &[2, 3], 3);
+        assert!(crate::symmetry::perfectly_symmetrizable(&t, 0, 1));
+    }
+
+    #[test]
+    fn random_trees_are_valid() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for n in [1usize, 2, 3, 10, 57] {
+            let t = random_tree(n, &mut rng);
+            assert_eq!(t.num_nodes(), n);
+            let b = random_bounded_degree_tree(n, 3, &mut rng);
+            assert_eq!(b.num_nodes(), n);
+            assert!(b.max_degree() <= 3);
+        }
+    }
+
+    #[test]
+    fn relabel_preserves_structure() {
+        let mut rng = StdRng::seed_from_u64(99);
+        let t = random_tree(20, &mut rng);
+        let r = random_relabel(&t, &mut rng);
+        for u in 0..t.num_nodes() as NodeId {
+            assert_eq!(t.degree(u), r.degree(u));
+        }
+        assert_eq!(t.num_leaves(), r.num_leaves());
+    }
+
+    #[test]
+    fn all_labelings_count() {
+        // Path on 3 nodes: middle node has 2! labelings, leaves 1 each = 2.
+        let t = line(3);
+        assert_eq!(all_labelings(&t).len(), 2);
+        // Star with 3 rays: center 3! = 6.
+        let s = star(3);
+        assert_eq!(all_labelings(&s).len(), 6);
+    }
+}

@@ -1,0 +1,494 @@
+//! The anonymous, port-labeled tree substrate.
+//!
+//! Nodes carry no identifiers visible to agents; every edge `{u, v}` has two
+//! independent *port numbers*: one in `0..deg(u)` at `u` and one in
+//! `0..deg(v)` at `v` (the paper's §1 model). The `NodeId`s used here exist
+//! only for the simulator and the analysis tooling — agents never see them.
+
+use std::fmt;
+
+/// Index of a node inside a [`Tree`]. Visible to the simulator and the
+/// analysis code only, never to agents.
+pub type NodeId = u32;
+
+/// A local port number at a node: always in `0..deg`.
+pub type Port = u32;
+
+/// An undirected edge described by its two endpoints and the port number the
+/// edge carries at each endpoint.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Edge {
+    pub u: NodeId,
+    pub port_u: Port,
+    pub v: NodeId,
+    pub port_v: Port,
+}
+
+/// Errors raised while building or validating a tree.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TreeError {
+    /// A node index was out of `0..n`.
+    NodeOutOfRange { node: NodeId, n: usize },
+    /// Two edges claimed the same port at the same node.
+    DuplicatePort { node: NodeId, port: Port },
+    /// A self-loop was supplied.
+    SelfLoop { node: NodeId },
+    /// The edge count differs from `n - 1`.
+    WrongEdgeCount { nodes: usize, edges: usize },
+    /// The port numbers at some node are not exactly `0..deg`.
+    NonContiguousPorts { node: NodeId },
+    /// The edge set is not connected (with `n - 1` edges this also means a
+    /// cycle exists elsewhere).
+    Disconnected,
+}
+
+impl fmt::Display for TreeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TreeError::NodeOutOfRange { node, n } => {
+                write!(f, "node {node} out of range (n = {n})")
+            }
+            TreeError::DuplicatePort { node, port } => {
+                write!(f, "port {port} used twice at node {node}")
+            }
+            TreeError::SelfLoop { node } => write!(f, "self-loop at node {node}"),
+            TreeError::WrongEdgeCount { nodes, edges } => {
+                write!(f, "{edges} edges for {nodes} nodes (want n-1)")
+            }
+            TreeError::NonContiguousPorts { node } => {
+                write!(f, "ports at node {node} are not exactly 0..deg")
+            }
+            TreeError::Disconnected => write!(f, "edge set is not connected"),
+        }
+    }
+}
+
+impl std::error::Error for TreeError {}
+
+/// An anonymous tree with a full port labeling.
+///
+/// Immutable once built; relabeling produces a new tree. All analysis
+/// helpers (center, contraction, canonical forms, symmetry) live in sibling
+/// modules and take `&Tree`.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Tree {
+    /// `adj[u][p]` = node reached when leaving `u` by port `p`.
+    adj: Vec<Vec<NodeId>>,
+    /// `back[u][p]` = the port at `adj[u][p]` by which the walker *enters*
+    /// that node (i.e. the port of the same edge at the other endpoint).
+    back: Vec<Vec<Port>>,
+}
+
+impl fmt::Debug for Tree {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Tree(n={})", self.num_nodes())?;
+        for u in 0..self.num_nodes() as NodeId {
+            write!(f, "  {u}:")?;
+            for p in 0..self.degree(u) {
+                write!(f, " {p}->({},{})", self.neighbor(u, p), self.entry_port(u, p))?;
+            }
+            writeln!(f)?;
+        }
+        Ok(())
+    }
+}
+
+impl Tree {
+    /// Builds a tree from an explicit edge list and validates every model
+    /// requirement: ports contiguous, `n-1` edges, connected, no loops.
+    pub fn from_edges(n: usize, edges: &[Edge]) -> Result<Self, TreeError> {
+        if n == 0 {
+            return Err(TreeError::WrongEdgeCount { nodes: 0, edges: edges.len() });
+        }
+        if edges.len() != n - 1 {
+            return Err(TreeError::WrongEdgeCount { nodes: n, edges: edges.len() });
+        }
+        // First pass: degrees.
+        let mut deg = vec![0usize; n];
+        for e in edges {
+            for node in [e.u, e.v] {
+                if node as usize >= n {
+                    return Err(TreeError::NodeOutOfRange { node, n });
+                }
+            }
+            if e.u == e.v {
+                return Err(TreeError::SelfLoop { node: e.u });
+            }
+            deg[e.u as usize] += 1;
+            deg[e.v as usize] += 1;
+        }
+        let mut adj: Vec<Vec<NodeId>> = deg.iter().map(|&d| vec![NodeId::MAX; d]).collect();
+        let mut back: Vec<Vec<Port>> = deg.iter().map(|&d| vec![Port::MAX; d]).collect();
+        for e in edges {
+            for (a, pa, b, pb) in [(e.u, e.port_u, e.v, e.port_v), (e.v, e.port_v, e.u, e.port_u)] {
+                let slot = adj[a as usize]
+                    .get_mut(pa as usize)
+                    .ok_or(TreeError::NonContiguousPorts { node: a })?;
+                if *slot != NodeId::MAX {
+                    return Err(TreeError::DuplicatePort { node: a, port: pa });
+                }
+                *slot = b;
+                back[a as usize][pa as usize] = pb;
+            }
+        }
+        // Ports contiguous: every slot filled (degree slots were allocated
+        // from the count of incident edges, so a gap implies an out-of-range
+        // port elsewhere, already caught above; keep the check for clarity).
+        for (u, row) in adj.iter().enumerate() {
+            if row.contains(&NodeId::MAX) {
+                return Err(TreeError::NonContiguousPorts { node: u as NodeId });
+            }
+        }
+        let tree = Tree { adj, back };
+        if !tree.is_connected() {
+            return Err(TreeError::Disconnected);
+        }
+        Ok(tree)
+    }
+
+    /// The single-node tree (no edges). Rendezvous is trivial there, but the
+    /// analysis code must not choke on it.
+    pub fn singleton() -> Self {
+        Tree { adj: vec![vec![]], back: vec![vec![]] }
+    }
+
+    fn is_connected(&self) -> bool {
+        let n = self.num_nodes();
+        let mut seen = vec![false; n];
+        let mut stack = vec![0 as NodeId];
+        seen[0] = true;
+        let mut count = 1;
+        while let Some(u) = stack.pop() {
+            for p in 0..self.degree(u) {
+                let v = self.neighbor(u, p);
+                if !seen[v as usize] {
+                    seen[v as usize] = true;
+                    count += 1;
+                    stack.push(v);
+                }
+            }
+        }
+        count == n
+    }
+
+    /// Number of nodes `n`.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.adj.len()
+    }
+
+    /// Number of edges (`n - 1`).
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.num_nodes() - 1
+    }
+
+    /// Degree of `u`.
+    #[inline]
+    pub fn degree(&self, u: NodeId) -> Port {
+        self.adj[u as usize].len() as Port
+    }
+
+    /// The node reached when leaving `u` by port `p`.
+    ///
+    /// Panics if `p >= deg(u)`; agents' raw outputs must be reduced mod the
+    /// degree *before* calling this (the simulator does that).
+    #[inline]
+    pub fn neighbor(&self, u: NodeId, p: Port) -> NodeId {
+        self.adj[u as usize][p as usize]
+    }
+
+    /// The port by which a walker leaving `u` via port `p` *enters* the
+    /// neighbor (the paper's "port number at v" of the edge `{u,v}`).
+    #[inline]
+    pub fn entry_port(&self, u: NodeId, p: Port) -> Port {
+        self.back[u as usize][p as usize]
+    }
+
+    /// Iterator over `(port, neighbor, entry_port_at_neighbor)` at `u`.
+    pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (Port, NodeId, Port)> + '_ {
+        self.adj[u as usize]
+            .iter()
+            .zip(self.back[u as usize].iter())
+            .enumerate()
+            .map(|(p, (&v, &pv))| (p as Port, v, pv))
+    }
+
+    /// All leaves (degree ≤ 1 — the single node of the singleton tree counts).
+    pub fn leaves(&self) -> Vec<NodeId> {
+        (0..self.num_nodes() as NodeId).filter(|&u| self.degree(u) <= 1).collect()
+    }
+
+    /// Number of leaves `ℓ`.
+    pub fn num_leaves(&self) -> usize {
+        (0..self.num_nodes() as NodeId).filter(|&u| self.degree(u) <= 1).count()
+    }
+
+    /// Maximum degree.
+    pub fn max_degree(&self) -> Port {
+        (0..self.num_nodes() as NodeId).map(|u| self.degree(u)).max().unwrap_or(0)
+    }
+
+    /// The port at `u` of the edge `{u, v}`, if `u` and `v` are adjacent.
+    pub fn port_towards(&self, u: NodeId, v: NodeId) -> Option<Port> {
+        self.neighbors(u).find(|&(_, w, _)| w == v).map(|(p, _, _)| p)
+    }
+
+    /// Edge list in `(u, port_u, v, port_v)` form with `u < v`.
+    pub fn edges(&self) -> Vec<Edge> {
+        let mut out = Vec::with_capacity(self.num_edges());
+        for u in 0..self.num_nodes() as NodeId {
+            for (p, v, pv) in self.neighbors(u) {
+                if u < v {
+                    out.push(Edge { u, port_u: p, v, port_v: pv });
+                }
+            }
+        }
+        out
+    }
+
+    /// Distance (number of edges) between two nodes. BFS; `O(n)`.
+    pub fn distance(&self, u: NodeId, v: NodeId) -> usize {
+        if u == v {
+            return 0;
+        }
+        let n = self.num_nodes();
+        let mut dist = vec![usize::MAX; n];
+        dist[u as usize] = 0;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(u);
+        while let Some(w) = queue.pop_front() {
+            for p in 0..self.degree(w) {
+                let x = self.neighbor(w, p);
+                if dist[x as usize] == usize::MAX {
+                    dist[x as usize] = dist[w as usize] + 1;
+                    if x == v {
+                        return dist[x as usize];
+                    }
+                    queue.push_back(x);
+                }
+            }
+        }
+        unreachable!("tree is connected");
+    }
+
+    /// The unique simple path from `u` to `v`, inclusive.
+    pub fn path_between(&self, u: NodeId, v: NodeId) -> Vec<NodeId> {
+        let n = self.num_nodes();
+        let mut parent = vec![NodeId::MAX; n];
+        let mut seen = vec![false; n];
+        seen[u as usize] = true;
+        let mut queue = std::collections::VecDeque::new();
+        queue.push_back(u);
+        while let Some(w) = queue.pop_front() {
+            if w == v {
+                break;
+            }
+            for p in 0..self.degree(w) {
+                let x = self.neighbor(w, p);
+                if !seen[x as usize] {
+                    seen[x as usize] = true;
+                    parent[x as usize] = w;
+                    queue.push_back(x);
+                }
+            }
+        }
+        let mut path = vec![v];
+        let mut cur = v;
+        while cur != u {
+            cur = parent[cur as usize];
+            path.push(cur);
+        }
+        path.reverse();
+        path
+    }
+
+    /// Returns a new tree with the same structure and a fresh port labeling:
+    /// at each node `u`, `perm[u]` maps old ports to new ports
+    /// (`new_port = perm[u][old_port]`). Each `perm[u]` must be a permutation
+    /// of `0..deg(u)`.
+    pub fn relabeled(&self, perm: &[Vec<Port>]) -> Result<Self, TreeError> {
+        assert_eq!(perm.len(), self.num_nodes(), "one permutation per node");
+        let edges: Vec<Edge> = self
+            .edges()
+            .iter()
+            .map(|e| Edge {
+                u: e.u,
+                port_u: perm[e.u as usize][e.port_u as usize],
+                v: e.v,
+                port_v: perm[e.v as usize][e.port_v as usize],
+            })
+            .collect();
+        Tree::from_edges(self.num_nodes(), &edges)
+    }
+
+    /// Structure-preserving renumbering of the *nodes* (ports untouched):
+    /// node `u` becomes `sigma[u]`. Useful for testing that analysis results
+    /// are invariant under the hidden node names.
+    pub fn renumbered(&self, sigma: &[NodeId]) -> Result<Self, TreeError> {
+        assert_eq!(sigma.len(), self.num_nodes());
+        let edges: Vec<Edge> = self
+            .edges()
+            .iter()
+            .map(|e| Edge {
+                u: sigma[e.u as usize],
+                port_u: e.port_u,
+                v: sigma[e.v as usize],
+                port_v: e.port_v,
+            })
+            .collect();
+        Tree::from_edges(self.num_nodes(), &edges)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path3() -> Tree {
+        // 0 -1- 2 : nodes 0,1,2 in a path 0-1-2.
+        Tree::from_edges(
+            3,
+            &[
+                Edge { u: 0, port_u: 0, v: 1, port_v: 0 },
+                Edge { u: 1, port_u: 1, v: 2, port_v: 0 },
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn builds_path() {
+        let t = path3();
+        assert_eq!(t.num_nodes(), 3);
+        assert_eq!(t.degree(0), 1);
+        assert_eq!(t.degree(1), 2);
+        assert_eq!(t.neighbor(1, 0), 0);
+        assert_eq!(t.neighbor(1, 1), 2);
+        assert_eq!(t.entry_port(0, 0), 0);
+        assert_eq!(t.num_leaves(), 2);
+    }
+
+    #[test]
+    fn rejects_duplicate_port() {
+        let r = Tree::from_edges(
+            3,
+            &[
+                Edge { u: 0, port_u: 0, v: 1, port_v: 0 },
+                Edge { u: 2, port_u: 0, v: 1, port_v: 0 },
+            ],
+        );
+        assert_eq!(r, Err(TreeError::DuplicatePort { node: 1, port: 0 }));
+    }
+
+    #[test]
+    fn rejects_noncontiguous_ports() {
+        let r = Tree::from_edges(
+            3,
+            &[
+                Edge { u: 0, port_u: 0, v: 1, port_v: 0 },
+                Edge { u: 1, port_u: 2, v: 2, port_v: 0 },
+            ],
+        );
+        assert_eq!(r, Err(TreeError::NonContiguousPorts { node: 1 }));
+    }
+
+    #[test]
+    fn rejects_cycle_and_disconnection() {
+        // 4 nodes, 3 edges, but one component is a triangle-ish multi use.
+        let r = Tree::from_edges(
+            4,
+            &[
+                Edge { u: 0, port_u: 0, v: 1, port_v: 0 },
+                Edge { u: 1, port_u: 1, v: 0, port_v: 1 },
+                Edge { u: 2, port_u: 0, v: 3, port_v: 0 },
+            ],
+        );
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn rejects_self_loop() {
+        let r = Tree::from_edges(2, &[Edge { u: 0, port_u: 0, v: 0, port_v: 1 }]);
+        assert_eq!(r, Err(TreeError::SelfLoop { node: 0 }));
+    }
+
+    #[test]
+    fn rejects_wrong_edge_count() {
+        let r = Tree::from_edges(3, &[Edge { u: 0, port_u: 0, v: 1, port_v: 0 }]);
+        assert!(matches!(r, Err(TreeError::WrongEdgeCount { .. })));
+    }
+
+    #[test]
+    fn distance_and_path() {
+        let t = path3();
+        assert_eq!(t.distance(0, 2), 2);
+        assert_eq!(t.path_between(0, 2), vec![0, 1, 2]);
+        assert_eq!(t.path_between(2, 2), vec![2]);
+        assert_eq!(t.distance(1, 1), 0);
+    }
+
+    #[test]
+    fn relabel_roundtrip() {
+        let t = path3();
+        // Swap the two ports at node 1.
+        let perm = vec![vec![0], vec![1, 0], vec![0]];
+        let r = t.relabeled(&perm).unwrap();
+        assert_eq!(r.neighbor(1, 0), 2);
+        assert_eq!(r.neighbor(1, 1), 0);
+        let back = r.relabeled(&perm).unwrap();
+        assert_eq!(back, t);
+    }
+
+    #[test]
+    fn renumber_preserves_shape() {
+        let t = path3();
+        let r = t.renumbered(&[2, 1, 0]).unwrap();
+        assert_eq!(r.degree(1), 2);
+        assert_eq!(r.neighbor(2, 0), 1);
+        assert_eq!(r.num_leaves(), 2);
+    }
+
+    #[test]
+    fn singleton_is_sane() {
+        let t = Tree::singleton();
+        assert_eq!(t.num_nodes(), 1);
+        assert_eq!(t.num_edges(), 0);
+        assert_eq!(t.num_leaves(), 1);
+        assert_eq!(t.max_degree(), 0);
+    }
+
+    #[test]
+    fn port_towards_finds_edge() {
+        let t = path3();
+        assert_eq!(t.port_towards(1, 2), Some(1));
+        assert_eq!(t.port_towards(0, 2), None);
+    }
+
+    #[test]
+    fn edge_list_roundtrips() {
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(88);
+        for n in [2usize, 7, 23] {
+            let t = crate::generators::random_tree(n, &mut rng);
+            let rebuilt = Tree::from_edges(n, &t.edges()).unwrap();
+            assert_eq!(rebuilt, t, "n={n}");
+        }
+    }
+
+    #[test]
+    fn neighbors_iterator_is_consistent() {
+        let t = crate::generators::spider(3, 2);
+        for u in 0..t.num_nodes() as NodeId {
+            let listed: Vec<_> = t.neighbors(u).collect();
+            assert_eq!(listed.len() as Port, t.degree(u));
+            for (p, v, pv) in listed {
+                assert_eq!(t.neighbor(u, p), v);
+                assert_eq!(t.entry_port(u, p), pv);
+                // The reverse direction agrees.
+                assert_eq!(t.neighbor(v, pv), u);
+            }
+        }
+    }
+}

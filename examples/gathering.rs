@@ -1,0 +1,51 @@
+//! Gathering — the k-agent extension (§1.3 of the paper).
+//!
+//! ```text
+//! cargo run --release -p tree-rendezvous --example gathering
+//! ```
+//!
+//! On trees whose contraction has a central node or an asymmetric central
+//! edge, the Theorem 4.1 agent gathers *any* number of copies for free:
+//! every copy converges to the same canonical waiting node. On symmetric
+//! contractions only pairwise rendezvous is guaranteed — the example shows
+//! both regimes and exports the gatherable instance as Graphviz DOT.
+
+use tree_rendezvous::core::{gather, gatherable};
+use tree_rendezvous::sim::MultiOutcome;
+use tree_rendezvous::trees::dot::to_dot;
+use tree_rendezvous::trees::generators::{line, spider};
+
+fn main() {
+    // Regime 1: a spider — contraction is a star, central node = hub.
+    let t = spider(4, 3);
+    println!(
+        "spider(4,3): n = {}, ℓ = {}, gatherable = {}",
+        t.num_nodes(),
+        t.num_leaves(),
+        gatherable(&t)
+    );
+    let starts = [1u32, 4, 7, 10, 12];
+    match gather(&t, &starts, 1_000_000).outcome {
+        MultiOutcome::Gathered { round, node } => {
+            println!("  {} agents gathered at node {node} in round {round}", starts.len());
+        }
+        MultiOutcome::Timeout { .. } => unreachable!("gatherable tree"),
+    }
+
+    // Regime 2: a path — contraction is a single symmetric edge: only
+    // pairwise rendezvous is guaranteed.
+    let p = line(9);
+    println!("line(9): gatherable = {} (symmetric contraction)", gatherable(&p));
+    match gather(&p, &[0, 4], 50_000_000).outcome {
+        MultiOutcome::Gathered { round, node } => {
+            println!("  …but k = 2 still meets (Thm 4.1): node {node}, round {round}");
+        }
+        MultiOutcome::Timeout { .. } => unreachable!("feasible pair"),
+    }
+
+    // Inspect the instance: render to DOT (pipe into `dot -Tsvg`).
+    let marks: Vec<(u32, &str)> =
+        starts.iter().map(|&s| (s, "lightblue")).collect();
+    println!("\n--- spider(4,3) in DOT, agent starts highlighted ---");
+    println!("{}", to_dot(&t, &marks));
+}

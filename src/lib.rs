@@ -1,0 +1,26 @@
+//! # tree-rendezvous
+//!
+//! Facade crate for the reproduction of Fraigniaud & Pelc, *Delays induce an
+//! exponential memory gap for rendezvous in trees* (SPAA 2010).
+//!
+//! Re-exports the workspace crates under one roof so examples and
+//! integration tests can `use tree_rendezvous::…`:
+//!
+//! * [`trees`] — anonymous port-labeled trees, generators, symmetry analysis;
+//! * [`agent`] — the mobile-agent automaton model and memory accounting;
+//! * [`sim`] — the synchronous two-agent simulator with start delays;
+//! * [`explore`] — basic walks, `Explo`/`Explo-bis` (Fact 2.1), `Synchro`;
+//! * [`core`] — the rendezvous algorithms (Theorem 4.1 agent, the `prime`
+//!   path protocol of Lemma 4.1, the arbitrary-delay baseline);
+//! * [`lowerbounds`] — the constructive adversaries of Theorems 3.1, 4.2
+//!   and 4.3.
+//!
+//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
+//! paper-vs-measured record.
+
+pub use rvz_agent as agent;
+pub use rvz_core as core;
+pub use rvz_explore as explore;
+pub use rvz_lowerbounds as lowerbounds;
+pub use rvz_sim as sim;
+pub use rvz_trees as trees;

@@ -1,0 +1,86 @@
+//! The feasibility boundary, exhaustively — including the subtlety the
+//! paper's *bibliographic note* (§1.2) is devoted to.
+//!
+//! For a tree with a given labeling µ and starts (u, v), three regimes:
+//!
+//! 1. **symmetric w.r.t. µ** — no pair of identical deterministic agents
+//!    can ever meet (they mirror forever);
+//! 2. **not perfectly symmetrizable** — the Theorem 4.1 agent MUST meet
+//!    (this, and only this, is what the theorem promises);
+//! 3. **perfectly symmetrizable but not symmetric w.r.t. this µ** — the
+//!    in-between zone: meeting is permitted but not guaranteed
+//!    ([15] shows guaranteeing it can cost Ω(log n) bits). We record what
+//!    actually happens, without asserting either way.
+
+use tree_rendezvous::core::TreeRendezvousAgent;
+use tree_rendezvous::sim::{run_pair, PairConfig};
+use tree_rendezvous::trees::generators::{all_labelings, caterpillar, line, spider};
+use tree_rendezvous::trees::{
+    perfectly_symmetrizable, symmetric_wrt_labeling, NodeId, Tree,
+};
+
+fn outcome(t: &Tree, a: NodeId, b: NodeId, budget: u64) -> bool {
+    let mut x = TreeRendezvousAgent::new();
+    let mut y = TreeRendezvousAgent::new();
+    run_pair(t, a, b, &mut x, &mut y, PairConfig::simultaneous(budget)).outcome.met()
+}
+
+#[test]
+fn exhaustive_feasibility_boundary_on_small_trees() {
+    let base_trees = vec![line(4), line(5), line(6), spider(3, 1), caterpillar(3, &[1, 0, 1])];
+    let mut in_between_met = 0u32;
+    let mut in_between_missed = 0u32;
+    for base in &base_trees {
+        let n = base.num_nodes() as NodeId;
+        for labeled in all_labelings(base) {
+            for a in 0..n {
+                for b in (a + 1)..n {
+                    let sym_mu = symmetric_wrt_labeling(&labeled, a, b);
+                    let ps = perfectly_symmetrizable(&labeled, a, b);
+                    let met = outcome(&labeled, a, b, 60_000); // worst observed meet ≈ 5.3k rounds
+                    if sym_mu {
+                        assert!(
+                            !met,
+                            "symmetric-wrt-µ pair ({a},{b}) met — impossible for identical agents"
+                        );
+                    } else if !ps {
+                        assert!(
+                            met,
+                            "non-perfectly-symmetrizable pair ({a},{b}) missed — violates Thm 4.1"
+                        );
+                    } else {
+                        // Regime 3: no guarantee either way (§1.2 note).
+                        if met {
+                            in_between_met += 1;
+                        } else {
+                            in_between_missed += 1;
+                        }
+                    }
+                }
+            }
+        }
+    }
+    // The in-between regime must be non-empty on these families (otherwise
+    // the test isn't exercising the bibliographic-note subtlety at all).
+    assert!(
+        in_between_met + in_between_missed > 0,
+        "expected some perfectly-symmetrizable pairs under asymmetric labelings"
+    );
+}
+
+#[test]
+fn symmetric_wrt_mu_implies_perfectly_symmetrizable() {
+    // Def 1.2 sanity at the API level, exhaustively on small lines.
+    for base in [line(4), line(6)] {
+        let n = base.num_nodes() as NodeId;
+        for labeled in all_labelings(&base) {
+            for a in 0..n {
+                for b in 0..n {
+                    if symmetric_wrt_labeling(&labeled, a, b) && a != b {
+                        assert!(perfectly_symmetrizable(&labeled, a, b));
+                    }
+                }
+            }
+        }
+    }
+}

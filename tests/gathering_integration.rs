@@ -1,0 +1,71 @@
+//! Gathering (k ≥ 3) integration: the Theorem 4.1 agent gathers any number
+//! of copies on trees whose contraction is not symmetric (§1.3 extension;
+//! see `rvz-core::gathering` for the regime analysis).
+
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use tree_rendezvous::core::{gather, gatherable};
+use tree_rendezvous::sim::MultiOutcome;
+use tree_rendezvous::trees::generators::{
+    caterpillar, random_relabel, random_tree, spider, star,
+};
+use tree_rendezvous::trees::NodeId;
+
+#[test]
+fn gathers_k_agents_on_gatherable_families() {
+    let trees = vec![
+        star(8),
+        spider(3, 5),
+        spider(5, 3),
+        caterpillar(4, &[2, 0, 0, 3]),
+    ];
+    let mut rng = StdRng::seed_from_u64(77);
+    for t in trees {
+        assert!(gatherable(&t), "these families have non-symmetric contractions");
+        let n = t.num_nodes() as NodeId;
+        for k in [3usize, 5] {
+            let mut starts: Vec<NodeId> = (0..n).collect();
+            starts.shuffle(&mut rng);
+            starts.truncate(k.min(n as usize));
+            let run = gather(&t, &starts, 2_000_000);
+            assert!(
+                matches!(run.outcome, MultiOutcome::Gathered { .. }),
+                "k={k} gathering failed on n={n} starts {starts:?}"
+            );
+            // Every pair must have met by the gathering round.
+            assert!(run.pair_meetings.iter().all(|m| m.is_some()));
+        }
+    }
+}
+
+#[test]
+fn gathers_on_random_gatherable_trees() {
+    let mut rng = StdRng::seed_from_u64(555);
+    let mut tested = 0;
+    while tested < 6 {
+        let t = random_relabel(&random_tree(14, &mut rng), &mut rng);
+        if !gatherable(&t) {
+            continue;
+        }
+        let starts = [0u32, 5, 9, 13];
+        let run = gather(&t, &starts, 2_000_000);
+        assert!(
+            matches!(run.outcome, MultiOutcome::Gathered { .. }),
+            "gathering failed on {t:?}"
+        );
+        tested += 1;
+    }
+}
+
+#[test]
+fn gathering_round_equals_last_pair_meeting() {
+    let t = spider(4, 4);
+    let starts = [1u32, 6, 11, 16];
+    let run = gather(&t, &starts, 2_000_000);
+    let MultiOutcome::Gathered { round, .. } = run.outcome else {
+        panic!("gatherable");
+    };
+    let last_pair = run.pair_meetings.iter().map(|m| m.unwrap()).max().unwrap();
+    assert_eq!(round, last_pair, "the gathering round is the last pairwise meeting");
+}

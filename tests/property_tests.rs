@@ -1,0 +1,239 @@
+//! Property-based tests (proptest) on the core invariants:
+//!
+//! * substrate: contraction laws, canonical-form invariance, perfect
+//!   symmetrizability coherence;
+//! * walks: the basic-walk period, Explo-bis reconstruction == ground
+//!   truth;
+//! * the Parity Lemma (4.4) on random automata;
+//! * Lemma 4.1 feasibility ⇒ meeting for the prime protocol.
+
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tree_rendezvous::agent::line_fsa::LineFsa;
+use tree_rendezvous::agent::model::{bw_exit, Action, Agent, Obs, Step, SubAgent};
+use tree_rendezvous::explore::ExploBis;
+use tree_rendezvous::sim::{run_single, Cursor};
+use tree_rendezvous::trees::canon::{canon_ports, unrooted_canon_structural};
+use tree_rendezvous::trees::generators::{random_relabel, random_tree};
+use tree_rendezvous::trees::symmetry::symmetrization_witness;
+use tree_rendezvous::trees::{contract, perfectly_symmetrizable, NodeId, Tree};
+
+fn arb_tree(max_n: usize) -> impl Strategy<Value = Tree> {
+    (2..=max_n, any::<u64>()).prop_map(|(n, seed)| {
+        let mut rng = StdRng::seed_from_u64(seed);
+        random_relabel(&random_tree(n, &mut rng), &mut rng)
+    })
+}
+
+struct BasicWalker;
+
+impl Agent for BasicWalker {
+    fn act(&mut self, obs: Obs) -> Action {
+        Action::Move(bw_exit(obs.entry, obs.degree))
+    }
+    fn memory_bits(&self) -> u64 {
+        0
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn basic_walk_period_and_coverage(t in arb_tree(40), start in 0u32..40) {
+        let start = start % t.num_nodes() as u32;
+        let n = t.num_nodes() as u64;
+        let run = run_single(&t, start, &mut BasicWalker, 2 * (n - 1), true);
+        // §2.2: a basic walk of length 2(n−1) returns to its start…
+        prop_assert_eq!(run.cursor.node, start);
+        // …and is an Euler tour: every node visited.
+        let trace = run.trace.unwrap();
+        for v in 0..t.num_nodes() as NodeId {
+            prop_assert!(trace.contains(&v), "node {} unvisited", v);
+        }
+    }
+
+    #[test]
+    fn contraction_laws(t in arb_tree(60)) {
+        let c = contract(&t);
+        // Leaves preserved; ν ≤ 2ℓ − 1; no degree-2 survivors (when ν > 2).
+        prop_assert_eq!(c.tree.num_leaves(), t.num_leaves());
+        prop_assert!(c.num_nodes() <= 2 * t.num_leaves().max(1));
+        if c.num_nodes() > 2 {
+            for u in 0..c.num_nodes() as NodeId {
+                prop_assert_ne!(c.tree.degree(u), 2);
+            }
+        }
+        // Contraction is idempotent.
+        let c2 = contract(&c.tree);
+        prop_assert_eq!(c2.num_nodes(), c.num_nodes());
+    }
+
+    #[test]
+    fn canon_invariant_under_node_renumbering(t in arb_tree(30), salt in any::<u64>()) {
+        let n = t.num_nodes();
+        // A deterministic pseudo-random node permutation.
+        let mut sigma: Vec<NodeId> = (0..n as NodeId).collect();
+        let mut rng = StdRng::seed_from_u64(salt);
+        use rand::seq::SliceRandom;
+        sigma.shuffle(&mut rng);
+        let r = t.renumbered(&sigma).unwrap();
+        let mark = 0 as NodeId;
+        prop_assert_eq!(
+            unrooted_canon_structural(&t, Some(mark)),
+            unrooted_canon_structural(&r, Some(sigma[mark as usize]))
+        );
+    }
+
+    #[test]
+    fn perfect_symmetrizability_coherent(t in arb_tree(16)) {
+        let n = t.num_nodes() as NodeId;
+        for u in 0..n {
+            for v in 0..n {
+                let ps = perfectly_symmetrizable(&t, u, v);
+                // Symmetric relation.
+                prop_assert_eq!(ps, perfectly_symmetrizable(&t, v, u));
+                if u != v {
+                    // Matches the constructive witness exactly.
+                    prop_assert_eq!(ps, symmetrization_witness(&t, u, v).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn explo_reconstructs_the_contraction(t in arb_tree(40)) {
+        let start = (0..t.num_nodes() as NodeId).find(|&v| t.degree(v) != 2).unwrap();
+        let mut e = ExploBis::new();
+        let mut cur = Cursor::new(start);
+        let mut rounds = 0u64;
+        loop {
+            match e.step(cur.obs(&t)) {
+                Step::Done => break,
+                Step::Move(p) => { cur.apply(&t, Action::Move(p)); rounds += 1; }
+                Step::Stay => { rounds += 1; }
+            }
+            prop_assert!(rounds < 1_000_000);
+        }
+        prop_assert_eq!(cur.node, start);
+        prop_assert_eq!(rounds, 2 * (t.num_nodes() as u64 - 1));
+        let res = e.into_result().unwrap();
+        let ground = contract(&t);
+        prop_assert_eq!(res.nu as usize, ground.tree.num_nodes());
+        let root = ground.t_to_tp[start as usize].unwrap();
+        prop_assert_eq!(
+            canon_ports(&res.tprime, 0, None, None),
+            canon_ports(&ground.tree, root, None, None)
+        );
+    }
+
+    #[test]
+    fn canonical_ranks_pair_exactly_under_the_flip(t in arb_tree(20)) {
+        use tree_rendezvous::trees::canon::canonical_ranks;
+        use tree_rendezvous::trees::symmetry::port_preserving_flip;
+        let ranks = canonical_ranks(&t);
+        let flip = port_preserving_flip(&t);
+        let n = t.num_nodes() as NodeId;
+        for u in 0..n {
+            for v in (u + 1)..n {
+                let same = ranks[u as usize] == ranks[v as usize];
+                let flipped = flip
+                    .as_ref()
+                    .map(|f| f[u as usize] == v)
+                    .unwrap_or(false);
+                prop_assert_eq!(
+                    same, flipped,
+                    "ranks collide iff the flip exchanges the nodes ({}, {})", u, v
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn infinite_line_parities_are_mirrors(k in 1usize..8, seed in any::<u64>()) {
+        use tree_rendezvous::lowerbounds::infinite_line::InfiniteRun;
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fsa = LineFsa::random(k, 0.3, &mut rng);
+        let run0: Vec<i64> =
+            InfiniteRun::new(&fsa, 0).take(300).map(|a| a.pos).collect();
+        let run1: Vec<i64> =
+            InfiniteRun::new(&fsa, 1).take(300).map(|a| a.pos).collect();
+        for (p0, p1) in run0.iter().zip(run1.iter()) {
+            prop_assert_eq!(*p0, -*p1, "parity-1 trajectory mirrors parity-0");
+        }
+    }
+
+    #[test]
+    fn parity_lemma_holds_for_random_automata(
+        k in 1usize..6,
+        seed in any::<u64>(),
+        gap in 0u32..4,
+    ) {
+        // Lemma 4.4: two identical agents at odd initial distance; if after
+        // t rounds their stay-counts differ by an even number, they are at
+        // odd distance (in particular, not co-located).
+        let mut rng = StdRng::seed_from_u64(seed);
+        let fsa = LineFsa::random(k, 0.3, &mut rng);
+        let line = tree_rendezvous::trees::generators::colored_line(40, 0);
+        let (a0, b0) = (10u32, 10 + 2 * gap + 1); // odd distance
+        let mut x = fsa.runner();
+        let mut y = fsa.runner();
+        let mut ca = Cursor::new(a0);
+        let mut cb = Cursor::new(b0);
+        let (mut stays_a, mut stays_b) = (0i64, 0i64);
+        for _ in 0..400 {
+            let act_a = x.act(ca.obs(&line));
+            let act_b = y.act(cb.obs(&line));
+            if !ca.apply(&line, act_a) { stays_a += 1; }
+            if !cb.apply(&line, act_b) { stays_b += 1; }
+            let dist = (ca.node as i64 - cb.node as i64).abs();
+            if (stays_a - stays_b) % 2 == 0 {
+                prop_assert_eq!(dist % 2, 1, "Parity Lemma violated");
+            }
+        }
+    }
+
+    #[test]
+    fn prime_protocol_meets_when_feasible(
+        m in 4usize..24,
+        a in 1usize..24,
+        b in 1usize..24,
+        dirs in (0u32..2, 0u32..2),
+    ) {
+        use tree_rendezvous::core::prime_path::PrimePathAgent;
+        use tree_rendezvous::sim::{run_pair, PairConfig};
+        let (a, b) = (a % m + 1, b % m + 1);
+        prop_assume!(a < b);
+        let feasible = m % 2 == 1 || (a - 1) != (m - b);
+        prop_assume!(feasible);
+        let t = tree_rendezvous::trees::generators::line(m);
+        let mut x = PrimePathAgent::with_start_port(dirs.0);
+        let mut y = PrimePathAgent::with_start_port(dirs.1);
+        let run = run_pair(
+            &t,
+            (a - 1) as u32,
+            (b - 1) as u32,
+            &mut x,
+            &mut y,
+            PairConfig::simultaneous(2_000_000),
+        );
+        prop_assert!(run.outcome.met(), "m={} a={} b={}", m, a, b);
+    }
+}
+
+#[test]
+fn perfectly_symmetrizable_requires_central_edge_halves() {
+    // Deterministic companion to the proptest: the classical examples.
+    use tree_rendezvous::trees::generators::{complete_binary, line};
+    assert!(!perfectly_symmetrizable(&line(9), 0, 8));
+    assert!(perfectly_symmetrizable(&line(10), 0, 9));
+    let cb = complete_binary(2);
+    for u in 0..cb.num_nodes() as NodeId {
+        for v in 0..cb.num_nodes() as NodeId {
+            if u != v {
+                assert!(!perfectly_symmetrizable(&cb, u, v));
+            }
+        }
+    }
+}

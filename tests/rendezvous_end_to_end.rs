@@ -1,0 +1,135 @@
+//! End-to-end integration: the full Theorem 4.1 agent and the
+//! arbitrary-delay baseline across tree families, labelings and delays.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tree_rendezvous::core::{DelayRobustAgent, TreeRendezvousAgent};
+use tree_rendezvous::sim::{run_pair, PairConfig};
+use tree_rendezvous::trees::generators::{
+    binomial, caterpillar, complete_binary, line, random_bounded_degree_tree, random_relabel,
+    random_tree, spider, star,
+};
+use tree_rendezvous::trees::{perfectly_symmetrizable, NodeId, Tree};
+
+fn tree_zoo(seed: u64) -> Vec<Tree> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    vec![
+        line(9),
+        line(12),
+        random_relabel(&line(15), &mut rng),
+        star(7),
+        spider(3, 4),
+        spider(5, 2),
+        caterpillar(5, &[1, 0, 2, 0, 1]),
+        complete_binary(3),
+        binomial(4),
+        random_relabel(&random_tree(14, &mut rng), &mut rng),
+        random_relabel(&random_tree(21, &mut rng), &mut rng),
+        random_bounded_degree_tree(18, 3, &mut rng),
+    ]
+}
+
+fn feasible_pairs(t: &Tree, limit: usize) -> Vec<(NodeId, NodeId)> {
+    let n = t.num_nodes() as NodeId;
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if !perfectly_symmetrizable(t, a, b) {
+                out.push((a, b));
+                if out.len() == limit {
+                    return out;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[test]
+fn theorem_4_1_agent_meets_across_the_zoo() {
+    for (i, t) in tree_zoo(1).into_iter().enumerate() {
+        let budget = (t.num_nodes() as u64).pow(2) * 50_000 + 1_000_000;
+        for (a, b) in feasible_pairs(&t, 4) {
+            let mut x = TreeRendezvousAgent::new();
+            let mut y = TreeRendezvousAgent::new();
+            let run = run_pair(&t, a, b, &mut x, &mut y, PairConfig::simultaneous(budget));
+            assert!(
+                run.outcome.met(),
+                "tree #{i} (n={}, ℓ={}), pair ({a},{b}) did not meet",
+                t.num_nodes(),
+                t.num_leaves()
+            );
+        }
+    }
+}
+
+#[test]
+fn baseline_meets_across_delays() {
+    for (i, t) in tree_zoo(2).into_iter().enumerate() {
+        let n = t.num_nodes() as u64;
+        let budget = 8 * n * 16 * n.max(8) * 4 + 200_000;
+        for (a, b) in feasible_pairs(&t, 2) {
+            for delay in [0u64, 1, n, 10 * n + 3] {
+                let mut x = DelayRobustAgent::new();
+                let mut y = DelayRobustAgent::new();
+                let run = run_pair(&t, a, b, &mut x, &mut y, PairConfig::delayed(delay, budget));
+                assert!(
+                    run.outcome.met(),
+                    "tree #{i} pair ({a},{b}) delay {delay} did not meet"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn infeasible_instances_never_meet_for_either_algorithm() {
+    // Mirror-labeled even lines: perfectly symmetrizable mirror pairs.
+    let t = tree_rendezvous::trees::generators::colored_line_center_zero(7); // 8 nodes
+    for (a, b) in [(0u32, 7u32), (2, 5)] {
+        assert!(perfectly_symmetrizable(&t, a, b));
+        let mut x = TreeRendezvousAgent::new();
+        let mut y = TreeRendezvousAgent::new();
+        let run = run_pair(&t, a, b, &mut x, &mut y, PairConfig::simultaneous(3_000_000));
+        assert!(!run.outcome.met(), "Thm 4.1 agent cannot beat Fact 1.1");
+
+        let mut p = DelayRobustAgent::new();
+        let mut q = DelayRobustAgent::new();
+        let run = run_pair(&t, a, b, &mut p, &mut q, PairConfig::simultaneous(3_000_000));
+        assert!(!run.outcome.met(), "baseline cannot beat Fact 1.1");
+    }
+}
+
+#[test]
+fn memory_scales_as_the_paper_claims() {
+    // Provisioned sizes: delay-0 ≈ c₁ log ℓ + c₂ log log n; any-delay ≈ c₃ log n.
+    let at = |n: u64| {
+        (
+            TreeRendezvousAgent::provisioned_bits(n, 2),
+            DelayRobustAgent::provisioned_bits(n),
+        )
+    };
+    let (d0_small, any_small) = at(1 << 5);
+    let (d0_big, any_big) = at(1 << 10);
+    // Arbitrary-delay memory grows by ≈ 6·5 = 30+ bits over 5 doublings…
+    assert!(any_big >= any_small + 20, "{any_small} → {any_big}");
+    // …while delay-0 memory moves by at most a few bits.
+    assert!(d0_big <= d0_small + 6, "{d0_small} → {d0_big}");
+}
+
+#[test]
+fn meeting_detection_is_symmetric_in_agent_order() {
+    let t = line(10);
+    let run1 = {
+        let mut x = TreeRendezvousAgent::new();
+        let mut y = TreeRendezvousAgent::new();
+        run_pair(&t, 2, 7, &mut x, &mut y, PairConfig::simultaneous(10_000_000))
+    };
+    let run2 = {
+        let mut x = TreeRendezvousAgent::new();
+        let mut y = TreeRendezvousAgent::new();
+        run_pair(&t, 7, 2, &mut x, &mut y, PairConfig::simultaneous(10_000_000))
+    };
+    assert_eq!(run1.outcome.met(), run2.outcome.met());
+    assert_eq!(run1.outcome.round(), run2.outcome.round());
+}
