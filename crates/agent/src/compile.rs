@@ -98,10 +98,10 @@ where
     let mut order: Vec<Wrapped<A>> = Vec::new();
     let mut actions: Vec<Action> = Vec::new();
     let intern = |w: Wrapped<A>,
-                      a: Action,
-                      ids: &mut HashMap<Wrapped<A>, StateId>,
-                      order: &mut Vec<Wrapped<A>>,
-                      actions: &mut Vec<Action>|
+                  a: Action,
+                  ids: &mut HashMap<Wrapped<A>, StateId>,
+                  order: &mut Vec<Wrapped<A>>,
+                  actions: &mut Vec<Action>|
      -> StateId {
         if let Some(&id) = ids.get(&w) {
             return id;
@@ -231,8 +231,7 @@ mod tests {
         }
         let mut prev = 0;
         for modulus in [2u8, 5, 11] {
-            let fsa =
-                compile_line_agent(|| ModShuttler { modulus, phase: 0 }, 10_000).unwrap();
+            let fsa = compile_line_agent(|| ModShuttler { modulus, phase: 0 }, 10_000).unwrap();
             assert!(
                 fsa.num_states() > prev,
                 "modulus {modulus}: {} states not > {prev}",

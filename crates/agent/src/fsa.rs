@@ -62,8 +62,7 @@ impl Fsa {
             && self.delta.iter().all(|by_entry| {
                 by_entry.len() == (self.max_degree + 1) as usize
                     && by_entry.iter().all(|by_deg| {
-                        by_deg.len() == self.max_degree as usize
-                            && by_deg.iter().all(|&s| s < k)
+                        by_deg.len() == self.max_degree as usize && by_deg.iter().all(|&s| s < k)
                     })
             })
     }
@@ -75,20 +74,12 @@ impl Fsa {
         let delta = (0..k)
             .map(|_| {
                 (0..=max_degree)
-                    .map(|_| {
-                        (0..max_degree).map(|_| rng.gen_range(0..k) as StateId).collect()
-                    })
+                    .map(|_| (0..max_degree).map(|_| rng.gen_range(0..k) as StateId).collect())
                     .collect()
             })
             .collect();
         let lambda = (0..k)
-            .map(|_| {
-                if rng.gen_bool(p_stay) {
-                    -1
-                } else {
-                    rng.gen_range(0..max_degree) as i64
-                }
-            })
+            .map(|_| if rng.gen_bool(p_stay) { -1 } else { rng.gen_range(0..max_degree) as i64 })
             .collect();
         Fsa { max_degree, delta, lambda, s0: rng.gen_range(0..k) as StateId }
     }

@@ -69,13 +69,7 @@ impl LineFsa {
             .map(|_| [rng.gen_range(0..k) as StateId, rng.gen_range(0..k) as StateId])
             .collect();
         let lambda = (0..k)
-            .map(|_| {
-                if rng.gen_bool(p_stay) {
-                    -1
-                } else {
-                    rng.gen_range(0..2) as i64
-                }
-            })
+            .map(|_| if rng.gen_bool(p_stay) { -1 } else { rng.gen_range(0..2) as i64 })
             .collect();
         LineFsa { delta, lambda, s0: rng.gen_range(0..k) as StateId }
     }
@@ -88,11 +82,7 @@ impl LineFsa {
         // to keep going in the same direction the next exit must be the
         // other color: alternate states. At a leaf (degree 1) the single
         // port is 0 ⇒ any move bounces.
-        LineFsa {
-            delta: vec![[1, 1], [0, 0]],
-            lambda: vec![0, 1],
-            s0: 0,
-        }
+        LineFsa { delta: vec![[1, 1], [0, 0]], lambda: vec![0, 1], s0: 0 }
     }
 
     /// Instantiate as a runnable [`Agent`].

@@ -12,8 +12,7 @@ fn bench_delay_attack(c: &mut Criterion) {
     let mut group = c.benchmark_group("e1_delay_attack");
     for k in [2usize, 8, 32, 128] {
         let mut rng = StdRng::seed_from_u64(k as u64);
-        let fsas: Vec<LineFsa> =
-            (0..8).map(|_| LineFsa::random(k, 0.25, &mut rng)).collect();
+        let fsas: Vec<LineFsa> = (0..8).map(|_| LineFsa::random(k, 0.25, &mut rng)).collect();
         group.bench_with_input(BenchmarkId::new("states", k), &fsas, |b, fsas| {
             let mut i = 0;
             b.iter(|| {

@@ -11,14 +11,7 @@ use std::hint::black_box;
 fn rendezvous(tree: &Tree, a: u32, b: u32) -> u64 {
     let mut x = TreeRendezvousAgent::new();
     let mut y = TreeRendezvousAgent::new();
-    let run = run_pair(
-        tree,
-        a,
-        b,
-        &mut x,
-        &mut y,
-        PairConfig::simultaneous(1_000_000_000),
-    );
+    let run = run_pair(tree, a, b, &mut x, &mut y, PairConfig::simultaneous(1_000_000_000));
     run.outcome.round().expect("feasible instances meet")
 }
 
@@ -36,9 +29,7 @@ fn bench_rendezvous(c: &mut Criterion) {
         });
     }
     let cb = complete_binary(5);
-    group.bench_function("complete_binary_h5", |b| {
-        b.iter(|| black_box(rendezvous(&cb, 31, 62)))
-    });
+    group.bench_function("complete_binary_h5", |b| b.iter(|| black_box(rendezvous(&cb, 31, 62))));
     group.finish();
 }
 

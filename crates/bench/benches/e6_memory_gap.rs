@@ -27,15 +27,8 @@ fn bench_gap(c: &mut Criterion) {
                 let mut x = DelayRobustAgent::new();
                 let mut y = DelayRobustAgent::new();
                 black_box(
-                    run_pair(
-                        t,
-                        a,
-                        b,
-                        &mut x,
-                        &mut y,
-                        PairConfig::delayed(n as u64, 1_000_000_000),
-                    )
-                    .outcome,
+                    run_pair(t, a, b, &mut x, &mut y, PairConfig::delayed(n as u64, 1_000_000_000))
+                        .outcome,
                 )
             })
         });

@@ -16,8 +16,7 @@ use rvz_trees::generators::line;
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let prime = args.iter().any(|a| a == "--prime");
-    let nums: Vec<usize> =
-        args.iter().filter_map(|a| a.parse().ok()).collect();
+    let nums: Vec<usize> = args.iter().filter_map(|a| a.parse().ok()).collect();
     let n = *nums.first().unwrap_or(&13);
     let a0 = *nums.get(1).unwrap_or(&0);
     let b0 = *nums.get(2).unwrap_or(&(n / 2));

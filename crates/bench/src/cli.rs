@@ -1,0 +1,292 @@
+//! The experiment driver.
+//!
+//! Two modes (see README.md for the full flag reference):
+//!
+//! **Sweep mode** — the parallel batch engine over an experiment's grid:
+//!
+//! ```text
+//! experiments --experiment e6 [--json out.json] [--threads N]
+//!             [--sizes 16,32,64] [--pairs K] [--seed S]
+//! ```
+//!
+//! Emits the rendered table plus, with `--json FILE.json`, the raw
+//! [`rvz_bench::sweep::SweepRow`] records. Output is byte-identical for
+//! every `--threads` value (deterministic per-cell seeding).
+//!
+//! **Classic mode** — regenerates the per-experiment paper tables (kept
+//! for continuity with the seed repo):
+//!
+//! ```text
+//! experiments [e1 e2 ... e8 | all] [--full] [--json DIR]
+//! ```
+
+use crate::{e1, e2, e3, e4, e5, e6, e7, e8, sweep, Table};
+use std::io::Write;
+use std::process::exit;
+
+struct Cfg {
+    full: bool,
+    json: Option<String>,
+}
+
+/// Entry point for the `experiments` binary: parses `std::env::args`.
+pub fn run_from_env() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    run_with_args(&args);
+}
+
+/// Testable entry point.
+pub fn run_with_args(args: &[String]) {
+    if args.iter().any(|a| a == "--help" || a == "-h") {
+        print_help();
+        return;
+    }
+
+    let json = flag_value(args, "--json");
+    let experiments = flag_value(args, "--experiment");
+
+    if let Some(ids) = experiments {
+        run_sweep_mode(args, &ids, json);
+    } else {
+        run_classic_mode(args, json);
+    }
+}
+
+/// `--flag value` lookup. A present flag whose next token is missing or is
+/// itself a flag is an error, not a silent misparse.
+fn flag_value(args: &[String], flag: &str) -> Option<String> {
+    let i = args.iter().position(|a| a == flag)?;
+    match args.get(i + 1) {
+        Some(v) if !v.starts_with("--") => Some(v.clone()),
+        _ => {
+            eprintln!("error: {flag} needs a value");
+            exit(2);
+        }
+    }
+}
+
+fn parse_sizes(s: &str) -> Vec<usize> {
+    let sizes: Vec<usize> = s
+        .split(',')
+        .filter(|t| !t.is_empty())
+        .map(|t| {
+            t.trim().parse().unwrap_or_else(|_| {
+                eprintln!("error: bad size `{t}` in --sizes");
+                exit(2);
+            })
+        })
+        .collect();
+    if sizes.is_empty() {
+        eprintln!("error: --sizes needs at least one size (e.g. --sizes 16,32)");
+        exit(2);
+    }
+    sizes
+}
+
+fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
+    let sizes = flag_value(args, "--sizes")
+        .map(|s| parse_sizes(&s))
+        .unwrap_or_else(|| sweep::DEFAULT_SIZES.to_vec());
+    let threads: usize = flag_value(args, "--threads")
+        .map(|t| {
+            t.parse().unwrap_or_else(|_| {
+                eprintln!("error: bad --threads `{t}`");
+                exit(2);
+            })
+        })
+        .unwrap_or(0);
+    let seed: u64 = flag_value(args, "--seed")
+        .map(|s| {
+            s.parse().unwrap_or_else(|_| {
+                eprintln!("error: bad --seed `{s}`");
+                exit(2);
+            })
+        })
+        .unwrap_or(0x5EED_2010);
+    let pairs: usize = flag_value(args, "--pairs")
+        .map(|p| {
+            p.parse().unwrap_or_else(|_| {
+                eprintln!("error: bad --pairs `{p}`");
+                exit(2);
+            })
+        })
+        .unwrap_or(0);
+
+    let mut reports: Vec<(String, sweep::SweepReport)> = Vec::new();
+    for id in ids.split(',').filter(|t| !t.is_empty()) {
+        let id = id.trim().to_lowercase();
+        let Some(mut spec) = sweep::preset(&id, &sizes, threads, seed) else {
+            eprintln!("error: unknown experiment `{id}` (expected e1..e8)");
+            exit(2);
+        };
+        if pairs > 0 {
+            spec.pairs_per_cell = pairs;
+        }
+        let report = sweep::run(&spec);
+        println!("{}", sweep::to_table(&id, &report).render());
+        if report.dropped_cells > 0 {
+            eprintln!(
+                "warning: {id}: {} of {} planned cells dropped (fewer feasible start pairs \
+                 than --pairs on some instances)",
+                report.dropped_cells, report.planned_cells
+            );
+        }
+        reports.push((id, report));
+    }
+
+    if let Some(path) = json {
+        if path.ends_with(".json") {
+            // Single file: all requested experiments' rows, flattened.
+            // Deliberately excludes --threads so outputs are comparable
+            // byte-for-byte across thread counts.
+            let all_rows: Vec<&sweep::SweepRow> =
+                reports.iter().flat_map(|(_, report)| &report.rows).collect();
+            let payload = serde_json::json!({
+                "schema": "rvz-sweep/v1",
+                "experiments": reports.iter().map(|(id, _)| id.clone()).collect::<Vec<_>>(),
+                "seed": seed,
+                "sizes": sizes.clone(),
+                "rows": all_rows
+            });
+            write_json(&path, &payload);
+            println!("  (raw rows written to {path})");
+        } else {
+            // Directory: one file per experiment, like classic mode.
+            std::fs::create_dir_all(&path).expect("create json dir");
+            for (id, report) in &reports {
+                let file = format!("{path}/{id}.json");
+                let payload = serde_json::json!({
+                    "schema": "rvz-sweep/v1",
+                    "experiments": vec![id.clone()],
+                    "seed": seed,
+                    "sizes": sizes.clone(),
+                    "rows": report.rows
+                });
+                write_json(&file, &payload);
+                println!("  (raw rows written to {file})");
+            }
+        }
+    }
+}
+
+fn write_json<T: serde::Serialize>(path: &str, payload: &T) {
+    if let Some(parent) = std::path::Path::new(path).parent() {
+        if !parent.as_os_str().is_empty() {
+            std::fs::create_dir_all(parent).unwrap_or_else(|e| {
+                eprintln!("error: cannot create `{}`: {e}", parent.display());
+                exit(2);
+            });
+        }
+    }
+    let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+        eprintln!("error: cannot write `{path}`: {e}");
+        exit(2);
+    });
+    writeln!(f, "{}", serde_json::to_string_pretty(payload).expect("serialize"))
+        .expect("write json");
+}
+
+const CLASSIC_IDS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
+
+fn run_classic_mode(args: &[String], json_dir: Option<String>) {
+    let full = args.iter().any(|a| a == "--full");
+    let cfg = Cfg { full, json: json_dir };
+    let wanted: Vec<String> = args
+        .iter()
+        .map(|a| a.to_lowercase())
+        .filter(|a| a.starts_with('e') && a.len() == 2)
+        .collect();
+    for id in &wanted {
+        if !CLASSIC_IDS.contains(&id.as_str()) {
+            eprintln!("error: unknown experiment `{id}` (expected e1..e8 or `all`)");
+            exit(2);
+        }
+    }
+    let all = wanted.is_empty() || args.iter().any(|a| a == "all");
+    let want = |id: &str| all || wanted.iter().any(|w| w == id);
+
+    let seed = 0x5EED_2010;
+
+    if want("e1") {
+        let samples = if cfg.full { 40 } else { 12 };
+        let bits = if cfg.full { 8 } else { 6 };
+        let (rows, table) = e1::run(bits, samples, seed);
+        emit(&cfg, "e1", &table, &rows);
+    }
+    if want("e2") {
+        let scale = if cfg.full { 256 } else { 48 };
+        let (rows, table) = e2::run(scale, if cfg.full { 6 } else { 3 }, seed);
+        emit(&cfg, "e2", &table, &rows);
+    }
+    if want("e3") {
+        let sizes: &[usize] = if cfg.full {
+            &[8, 16, 32, 64, 128, 256, 512, 1024, 2048]
+        } else {
+            &[8, 16, 32, 64, 128, 256]
+        };
+        let (rows, table) = e3::run(sizes, if cfg.full { 10 } else { 5 }, seed);
+        emit(&cfg, "e3", &table, &rows);
+    }
+    if want("e4") {
+        let samples = if cfg.full { 30 } else { 10 };
+        let bits = if cfg.full { 5 } else { 4 };
+        let (rows, table) = e4::run(bits, samples, 1 << 16, seed);
+        emit(&cfg, "e4", &table, &rows);
+    }
+    if want("e5") {
+        let states: &[usize] = if cfg.full { &[2, 3, 4, 5] } else { &[2, 3] };
+        let (rows, table) = e5::run(states, if cfg.full { 10 } else { 5 }, 14, seed);
+        let twins = e5::verify_symmetric_twins(10);
+        println!(
+            "E5 twin check: {twins} symmetric T1–T1 instances verified infeasible-by-symmetry"
+        );
+        emit(&cfg, "e5", &table, &rows);
+    }
+    if want("e6") {
+        let sizes: &[usize] =
+            if cfg.full { &[16, 32, 64, 128, 256, 512, 1024] } else { &[16, 32, 64, 128, 256] };
+        let (rows, table) = e6::run(sizes, seed);
+        emit(&cfg, "e6", &table, &rows);
+    }
+    if want("e7") {
+        let (rows, table) = e7::run(if cfg.full { 60 } else { 20 }, seed);
+        emit(&cfg, "e7", &table, &rows);
+    }
+    if want("e8") {
+        let (rows, table) = e8::run(if cfg.full { 120_000_000 } else { 40_000_000 });
+        emit(&cfg, "e8", &table, &rows);
+    }
+}
+
+fn emit<R: serde::Serialize>(cfg: &Cfg, id: &str, table: &Table, rows: &R) {
+    println!("{}", table.render());
+    if let Some(dir) = &cfg.json {
+        std::fs::create_dir_all(dir).expect("create json dir");
+        let path = format!("{dir}/{id}.json");
+        let payload = serde_json::json!({
+            "table": table,
+            "rows": rows
+        });
+        write_json(&path, &payload);
+        println!("  (raw rows written to {path})\n");
+    }
+}
+
+fn print_help() {
+    println!(
+        "experiments — rendezvous experiment driver
+
+Sweep mode (parallel batch engine):
+  experiments --experiment ID[,ID...]  grid-sweep the experiment(s) (e1..e8)
+    --json PATH     write raw rows; FILE.json = one file, else directory
+    --threads N     worker threads (0 = all cores; output is identical
+                    for every N — deterministic per-cell seeding)
+    --sizes A,B,C   size axis (default {:?})
+    --pairs K       start pairs per cell (default from preset)
+    --seed S        base seed (default 0x5EED2010)
+
+Classic mode (paper tables):
+  experiments [e1 e2 ... e8 | all] [--full] [--json DIR]",
+        sweep::DEFAULT_SIZES
+    );
+}

@@ -87,7 +87,16 @@ fn to_table(rows: &[E1Row]) -> Table {
     let mut t = Table::new(
         "E1",
         "Thm 3.1 (Fig. 1): arbitrary-delay adversary — defeating line length vs memory",
-        &["agent", "bits k", "states K", "paper 8(K+1)+1", "len mean", "len max", "θ max", "defeated"],
+        &[
+            "agent",
+            "bits k",
+            "states K",
+            "paper 8(K+1)+1",
+            "len mean",
+            "len max",
+            "θ max",
+            "defeated",
+        ],
     );
     for r in rows {
         t.row(vec![

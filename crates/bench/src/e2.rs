@@ -46,12 +46,9 @@ pub fn run(scale: usize, pairs_per_tree: usize, seed: u64) -> (Vec<E2Row>, Table
                 met += 1;
                 rounds.push(r);
             }
-            bits_charged = bits_charged
-                .max(x.memory_bits_charged())
-                .max(y.memory_bits_charged());
-            bits_measured = bits_measured
-                .max(x.memory_bits_measured())
-                .max(y.memory_bits_measured());
+            bits_charged = bits_charged.max(x.memory_bits_charged()).max(y.memory_bits_charged());
+            bits_measured =
+                bits_measured.max(x.memory_bits_measured()).max(y.memory_bits_measured());
         }
         let yardstick = (leaves as f64).log2() + (n as f64).log2().max(1.0).log2().max(0.0);
         rows.push(E2Row {
@@ -79,7 +76,17 @@ fn to_table(rows: &[E2Row]) -> Table {
     let mut t = Table::new(
         "E2",
         "Thm 4.1: simultaneous-start rendezvous — success and memory vs log ℓ + log log n",
-        &["family", "n", "ℓ", "met", "rounds mean", "rounds max", "bits (charged)", "bits (measured)", "log ℓ + loglog n"],
+        &[
+            "family",
+            "n",
+            "ℓ",
+            "met",
+            "rounds mean",
+            "rounds max",
+            "bits (charged)",
+            "bits (measured)",
+            "log ℓ + loglog n",
+        ],
     );
     for r in rows {
         t.row(vec![

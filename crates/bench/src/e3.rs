@@ -32,15 +32,8 @@ fn feasible(m: usize, a: usize, b: usize) -> bool {
     m % 2 == 1 || (a - 1) != (m - b)
 }
 
-fn budget(m: usize) -> u64 {
-    let mut rounds = m as u64;
-    let mut p = 2u64;
-    for _ in 0..primorial_index_bound((m * m) as u64) + 2 {
-        rounds += 2 * (m as u64 - 1) * p + p;
-        p = rvz_core::primes::next_prime(p);
-    }
-    rounds * 2
-}
+// Round budget: `crate::sweep::prime_budget_for` (shared with the sweep
+// engine so the two stay in lockstep).
 
 pub fn run(sizes: &[usize], pairs_per_size: usize, seed: u64) -> (Vec<E3Row>, Table) {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -66,7 +59,7 @@ pub fn run(sizes: &[usize], pairs_per_size: usize, seed: u64) -> (Vec<E3Row>, Ta
                 (b - 1) as u32,
                 &mut x,
                 &mut y,
-                PairConfig::simultaneous(budget(m)),
+                PairConfig::simultaneous(crate::sweep::prime_budget_for(m)),
             );
             if let Some(r) = run.outcome.round() {
                 met += 1;

@@ -50,8 +50,8 @@ pub fn run(state_range: &[usize], samples: usize, max_i: usize, seed: u64) -> (V
     {
         use rvz_agent::compile::compile_line_agent;
         use rvz_core::prime_path::PrimePathAgent;
-        let line_fsa = compile_line_agent(|| PrimePathAgent::cycling(1), 100_000)
-            .expect("finite-state");
+        let line_fsa =
+            compile_line_agent(|| PrimePathAgent::cycling(1), 100_000).expect("finite-state");
         let fsa = Fsa::from_line_extended(&line_fsa, 3);
         match side_tree_attack(&fsa, max_i, 4) {
             Ok(attack) => rows.push(E5Row {

@@ -37,10 +37,7 @@ pub struct E6Row {
 pub fn run(sizes: &[usize], seed: u64) -> (Vec<E6Row>, Table) {
     let mut rows = Vec::new();
     for &n in sizes {
-        for (family, tree) in [
-            ("line", line(n)),
-            ("spider3", spider(3, (n / 3).max(1))),
-        ] {
+        for (family, tree) in [("line", line(n)), ("spider3", spider(3, (n / 3).max(1)))] {
             rows.push(measure(family, &tree, seed));
         }
     }
@@ -52,7 +49,7 @@ fn measure(family: &str, tree: &Tree, seed: u64) -> E6Row {
     let n = tree.num_nodes();
     let leaves = tree.num_leaves();
     let (a, b) = feasible_pairs(tree, 1, seed ^ 0xE6)[0];
-    let budget = (n as u64).pow(2) * 60_000 + 2_000_000;
+    let budget = crate::sweep::budget_for(n);
 
     let mut x = TreeRendezvousAgent::new();
     let mut y = TreeRendezvousAgent::new();
@@ -82,7 +79,17 @@ fn to_table(rows: &[E6Row]) -> Table {
     let mut t = Table::new(
         "E6",
         "Title claim: exponential memory gap on few-leaf trees (delay 0 vs arbitrary delay)",
-        &["family", "n", "ℓ", "delay-0 bits", "met", "any-delay bits", "met ", "log ℓ+loglog n", "log n"],
+        &[
+            "family",
+            "n",
+            "ℓ",
+            "delay-0 bits",
+            "met",
+            "any-delay bits",
+            "met ",
+            "log ℓ+loglog n",
+            "log n",
+        ],
     );
     // Fitted bits-per-doubling slopes, per family (the quantitative shape).
     for family in ["line", "spider3"] {

@@ -181,6 +181,8 @@ fn to_table(rows: &[E7Row]) -> Table {
             r.worst_slack.to_string(),
         ]);
     }
-    t.note("all checks must pass on every instance; 'worst slack' ≤ 0 means the bound held with room");
+    t.note(
+        "all checks must pass on every instance; 'worst slack' ≤ 0 means the bound held with room",
+    );
     t
 }

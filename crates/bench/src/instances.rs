@@ -14,41 +14,68 @@ pub struct Instance {
     pub tree: Tree,
 }
 
+/// Canonical family names accepted by [`build_family`], in grid order.
+pub const FAMILY_NAMES: &[&str] = &[
+    "line",
+    "line-rnd",
+    "spider3",
+    "caterpillar",
+    "random",
+    "random-deg3",
+    "complete-binary",
+    "binomial",
+    "star",
+];
+
+/// Builds the member of a named family at target size `n` (randomized
+/// families draw from `rng`). Returns `None` for an unknown family name.
+///
+/// Height-parameterized families (`complete-binary`, `binomial`) pick the
+/// height whose node count is nearest `n`, clamped to tractable depths, so
+/// every family can sit on a common size axis.
+pub fn build_family(family: &str, n: usize, rng: &mut StdRng) -> Option<Tree> {
+    let n = n.max(4);
+    let h = (n as f64).log2() as usize;
+    Some(match family {
+        "line" => generators::line(n),
+        "line-rnd" => generators::random_relabel(&generators::line(n), rng),
+        "spider3" => generators::spider(3, (n / 3).max(1)),
+        "caterpillar" => {
+            let spine = (n / 2).max(2);
+            let hairs: Vec<usize> = (0..spine).map(|i| usize::from(i % 2 == 0)).collect();
+            generators::caterpillar(spine, &hairs)
+        }
+        "random" => generators::random_relabel(&generators::random_tree(n, rng), rng),
+        "random-deg3" => generators::random_bounded_degree_tree(n, 3, rng),
+        "complete-binary" => generators::complete_binary(h.clamp(2, 9)),
+        "binomial" => generators::binomial(h.clamp(2, 12)),
+        "star" => generators::star(n.max(3)),
+        _ => return None,
+    })
+}
+
 /// The evaluation families: the workloads the paper's introduction
 /// motivates (lines for the lower bounds, few-leaf trees for the gap, the
 /// classical symmetric families, and random trees as the generic case).
 pub fn families(scale: usize, seed: u64) -> Vec<Instance> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut out = Vec::new();
+    let per_size: &[&str] =
+        &["line", "line-rnd", "spider3", "caterpillar", "random", "random-deg3"];
     for &n in &[scale / 2, scale] {
-        let n = n.max(4);
-        out.push(Instance { family: "line", tree: generators::line(n) });
+        for &family in per_size {
+            out.push(Instance {
+                family,
+                tree: build_family(family, n, &mut rng).expect("known family"),
+            });
+        }
+    }
+    for family in ["complete-binary", "binomial", "star"] {
         out.push(Instance {
-            family: "line-rnd",
-            tree: generators::random_relabel(&generators::line(n), &mut rng),
-        });
-        out.push(Instance { family: "spider3", tree: generators::spider(3, (n / 3).max(1)) });
-        out.push(Instance {
-            family: "caterpillar",
-            tree: {
-                let spine = (n / 2).max(2);
-                let hairs: Vec<usize> = (0..spine).map(|i| usize::from(i % 2 == 0)).collect();
-                generators::caterpillar(spine, &hairs)
-            },
-        });
-        out.push(Instance {
-            family: "random",
-            tree: generators::random_relabel(&generators::random_tree(n, &mut rng), &mut rng),
-        });
-        out.push(Instance {
-            family: "random-deg3",
-            tree: generators::random_bounded_degree_tree(n, 3, &mut rng),
+            family,
+            tree: build_family(family, scale, &mut rng).expect("known family"),
         });
     }
-    let h = (scale as f64).log2() as usize;
-    out.push(Instance { family: "complete-binary", tree: generators::complete_binary(h.clamp(2, 9)) });
-    out.push(Instance { family: "binomial", tree: generators::binomial(h.clamp(2, 12)) });
-    out.push(Instance { family: "star", tree: generators::star(scale.max(3)) });
     out
 }
 

@@ -1,7 +1,7 @@
 //! # rvz-bench
 //!
-//! The experiment harness: one module per paper artifact (see DESIGN.md §6
-//! and EXPERIMENTS.md), each producing typed rows plus a rendered table.
+//! The experiment harness: one module per paper artifact (see README.md
+//! for the run guide), each producing typed rows plus a rendered table.
 //! The `experiments` binary drives them; the criterion benches under
 //! `benches/` time the heavy kernels.
 //!
@@ -15,7 +15,12 @@
 //! | [`e6`] | §1.1 title claim — the exponential gap series |
 //! | [`e7`] | Figure 2 machinery — Claims 4.2/4.3, Lemma 4.2 |
 //! | [`e8`] | ablation study — which Stage-2 pieces are load-bearing |
+//!
+//! [`sweep`] is the parallel batch engine: it grids any of E1–E8 over
+//! family × size × delay × variant and fans the cells across threads with
+//! deterministic per-cell seeding (`experiments --experiment <id>`).
 
+pub mod cli;
 pub mod e1;
 pub mod e2;
 pub mod e3;
@@ -26,6 +31,8 @@ pub mod e7;
 pub mod e8;
 pub mod instances;
 pub mod stats;
+pub mod sweep;
 pub mod table;
 
+pub use sweep::{SweepRow, SweepSpec};
 pub use table::Table;

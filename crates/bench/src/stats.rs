@@ -18,16 +18,14 @@ pub fn linear_fit(points: &[(f64, f64)]) -> (f64, f64, f64) {
     let a = (sy - b * sx) / n;
     let mean_y = sy / n;
     let ss_tot: f64 = points.iter().map(|p| (p.1 - mean_y).powi(2)).sum();
-    let ss_res: f64 =
-        points.iter().map(|p| (p.1 - (a + b * p.0)).powi(2)).sum();
+    let ss_res: f64 = points.iter().map(|p| (p.1 - (a + b * p.0)).powi(2)).sum();
     let r2 = if ss_tot.abs() < 1e-12 { 1.0 } else { 1.0 - ss_res / ss_tot };
     (a, b, r2)
 }
 
 /// Slope of `y` against `log2 x` — "bits added per doubling".
 pub fn bits_per_doubling(points: &[(f64, f64)]) -> f64 {
-    let transformed: Vec<(f64, f64)> =
-        points.iter().map(|&(x, y)| (x.log2(), y)).collect();
+    let transformed: Vec<(f64, f64)> = points.iter().map(|&(x, y)| (x.log2(), y)).collect();
     linear_fit(&transformed).1
 }
 
@@ -47,8 +45,7 @@ mod tests {
     #[test]
     fn doubling_slope_of_logarithmic_growth() {
         // y = 4·log2(x): 4 bits per doubling.
-        let pts: Vec<(f64, f64)> =
-            (4..=12).map(|e| ((1u64 << e) as f64, 4.0 * e as f64)).collect();
+        let pts: Vec<(f64, f64)> = (4..=12).map(|e| ((1u64 << e) as f64, 4.0 * e as f64)).collect();
         let slope = bits_per_doubling(&pts);
         assert!((slope - 4.0).abs() < 1e-9, "{slope}");
     }

@@ -1,0 +1,624 @@
+//! The parallel batch-experiment engine.
+//!
+//! A *sweep* fans an experiment's instance grid — tree family × size ×
+//! start delay × agent variant × start pair — across threads and collects
+//! one typed [`SweepRow`] per grid cell. Three properties are load-bearing:
+//!
+//! 1. **Deterministic per-cell seeding.** Every cell derives its seeds from
+//!    the grid coordinates alone (never from execution order or thread
+//!    identity), so a cell's result is a pure function of the spec.
+//! 2. **Order-preserving fan-out.** Cells run under `rayon` but results are
+//!    collected in grid order, so the output — including its JSON
+//!    serialization — is byte-identical for any `--threads` value.
+//! 3. **Reproducible rows.** Each row carries the resolved instance
+//!    (family, `n`, starts, delay, budget), so any cell can be replayed
+//!    with a direct [`rvz_sim::run_pair`] call; the integration smoke test
+//!    does exactly that.
+//!
+//! The per-experiment presets in [`preset`] translate E1–E8 (see the
+//! sibling `e1`..`e8` modules and README.md) into grids over the shared
+//! instance pool of [`crate::instances`].
+
+use crate::instances;
+use crate::table::Table;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rayon::prelude::*;
+use rvz_core::prime_path::PrimePathAgent;
+use rvz_core::primes::{next_prime, primorial_index_bound};
+use rvz_core::{DelayRobustAgent, TreeRendezvousAgent};
+use rvz_sim::{run_pair, PairConfig};
+use rvz_trees::{NodeId, Tree};
+use serde::Serialize;
+
+/// Tree families the sweep can grid over (names as in
+/// [`instances::FAMILY_NAMES`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Family {
+    Line,
+    LineRnd,
+    Spider3,
+    Caterpillar,
+    Random,
+    RandomDeg3,
+    CompleteBinary,
+    Binomial,
+    Star,
+}
+
+impl Family {
+    pub fn name(self) -> &'static str {
+        match self {
+            Family::Line => "line",
+            Family::LineRnd => "line-rnd",
+            Family::Spider3 => "spider3",
+            Family::Caterpillar => "caterpillar",
+            Family::Random => "random",
+            Family::RandomDeg3 => "random-deg3",
+            Family::CompleteBinary => "complete-binary",
+            Family::Binomial => "binomial",
+            Family::Star => "star",
+        }
+    }
+
+    /// Builds this family's member at size `n` with a deterministic stream.
+    pub fn build(self, n: usize, seed: u64) -> Tree {
+        let mut rng = StdRng::seed_from_u64(seed);
+        instances::build_family(self.name(), n, &mut rng).expect("known family")
+    }
+
+    /// `true` when members are paths (the `prime` protocol's domain).
+    fn is_path(self) -> bool {
+        matches!(self, Family::Line | Family::LineRnd)
+    }
+}
+
+/// Start-delay axis of a grid; `LinearN` resolves to the instance size, the
+/// adversarial “delay of n rounds” the E6 series uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Delay {
+    Zero,
+    Fixed(u64),
+    LinearN,
+}
+
+impl Delay {
+    fn resolve(self, n: usize) -> u64 {
+        match self {
+            Delay::Zero => 0,
+            Delay::Fixed(d) => d,
+            Delay::LinearN => n as u64,
+        }
+    }
+
+    fn code(self) -> u64 {
+        match self {
+            Delay::Zero => 0,
+            Delay::Fixed(d) => 1 + d,
+            Delay::LinearN => u64::MAX,
+        }
+    }
+
+    /// `true` when this delay resolves to 0 for every instance size —
+    /// `Zero` and `Fixed(0)` are the same scenario and must be treated
+    /// identically by grid filters.
+    fn is_always_zero(self) -> bool {
+        matches!(self, Delay::Zero | Delay::Fixed(0))
+    }
+}
+
+/// Agent variant run in a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Variant {
+    /// Theorem 4.1 agent — simultaneous start, arbitrary trees.
+    TreeRvz,
+    /// The `O(log n)` arbitrary-delay baseline.
+    DelayRobust,
+    /// Lemma 4.1 `prime` protocol — simultaneous start, paths only.
+    PrimePath,
+}
+
+impl Variant {
+    pub fn name(self) -> &'static str {
+        match self {
+            Variant::TreeRvz => "tree-rvz",
+            Variant::DelayRobust => "delay-robust",
+            Variant::PrimePath => "prime-path",
+        }
+    }
+
+    /// Grid filter: only combinations the algorithm is specified for.
+    fn supports(self, family: Family, delay: Delay) -> bool {
+        match self {
+            Variant::TreeRvz => delay.is_always_zero(),
+            Variant::DelayRobust => true,
+            Variant::PrimePath => family.is_path() && delay.is_always_zero(),
+        }
+    }
+}
+
+/// A full grid specification; [`run`] executes it.
+#[derive(Debug, Clone)]
+pub struct SweepSpec {
+    /// Tag recorded in every row (e.g. `"e6"`).
+    pub experiment: String,
+    pub families: Vec<Family>,
+    pub sizes: Vec<usize>,
+    pub delays: Vec<Delay>,
+    pub variants: Vec<Variant>,
+    /// Feasible start pairs sampled per (family, size) instance.
+    pub pairs_per_cell: usize,
+    pub seed: u64,
+    /// Worker threads; `0` = all cores.
+    pub threads: usize,
+}
+
+/// One grid cell: everything [`run_cell`] needs, and nothing that depends
+/// on execution order.
+#[derive(Debug, Clone)]
+pub struct Cell {
+    pub experiment: String,
+    pub family: Family,
+    pub n: usize,
+    pub delay: Delay,
+    pub variant: Variant,
+    pub pair_index: usize,
+    pub pairs_total: usize,
+    pub base_seed: u64,
+}
+
+/// One result row; the JSON schema of `--json` output (see README.md).
+#[derive(Debug, Clone, Serialize)]
+pub struct SweepRow {
+    pub experiment: String,
+    pub family: String,
+    /// Requested size; `n` is the realized node count.
+    pub size: usize,
+    pub n: usize,
+    pub leaves: usize,
+    pub variant: String,
+    pub delay: u64,
+    pub start_a: NodeId,
+    pub start_b: NodeId,
+    pub met: bool,
+    /// Meeting round (`null` on timeout).
+    pub rounds: Option<u64>,
+    pub crossings: u64,
+    pub budget: u64,
+    /// Provisioned automaton size for this variant at this instance.
+    pub provisioned_bits: u64,
+    /// Memory the two (identical) agents actually reported after the run.
+    pub measured_bits: u64,
+    /// Seed the instance tree was built from — `Family::build(size, tree_seed)`
+    /// reconstructs the exact tree, randomized families included.
+    pub tree_seed: u64,
+    /// Seed of the start-pair pool the cell drew from.
+    pub pairs_seed: u64,
+    /// Full-coordinate seed, for provenance.
+    pub cell_seed: u64,
+}
+
+fn splitmix(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+fn fnv(s: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in s.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Mixes grid coordinates into a seed. Position-independent by
+/// construction: only the listed tokens enter.
+fn mix(base: u64, tokens: &[u64]) -> u64 {
+    let mut h = splitmix(base);
+    for &t in tokens {
+        h = splitmix(h ^ t);
+    }
+    h
+}
+
+impl Cell {
+    /// The tree is a function of (family, size) only — every delay/variant/
+    /// pair cell on the same instance sees the identical tree.
+    pub fn tree_seed(&self) -> u64 {
+        mix(self.base_seed, &[fnv("tree"), fnv(self.family.name()), self.n as u64])
+    }
+
+    /// Likewise the start-pair pool.
+    pub fn pairs_seed(&self) -> u64 {
+        mix(self.base_seed, &[fnv("pairs"), fnv(self.family.name()), self.n as u64])
+    }
+
+    /// Full-coordinate seed recorded in the row.
+    pub fn cell_seed(&self) -> u64 {
+        mix(
+            self.base_seed,
+            &[
+                fnv(&self.experiment),
+                fnv(self.family.name()),
+                self.n as u64,
+                self.delay.code(),
+                fnv(self.variant.name()),
+                self.pair_index as u64,
+            ],
+        )
+    }
+}
+
+/// Enumerates the grid in deterministic (family, size, delay, variant,
+/// pair) lexicographic order, dropping unsupported combinations.
+pub fn cells(spec: &SweepSpec) -> Vec<Cell> {
+    let mut out = Vec::new();
+    for &family in &spec.families {
+        for &n in &spec.sizes {
+            for &delay in &spec.delays {
+                for &variant in &spec.variants {
+                    if !variant.supports(family, delay) {
+                        continue;
+                    }
+                    for pair_index in 0..spec.pairs_per_cell {
+                        out.push(Cell {
+                            experiment: spec.experiment.clone(),
+                            family,
+                            n,
+                            delay,
+                            variant,
+                            pair_index,
+                            pairs_total: spec.pairs_per_cell,
+                            base_seed: spec.seed,
+                        });
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Round budget for the general tree algorithms (as E6 provisions).
+pub fn budget_for(n: usize) -> u64 {
+    (n as u64).pow(2) * 60_000 + 2_000_000
+}
+
+/// Round budget for the `prime` path protocol (as E3 derives from the
+/// analysis bound).
+pub fn prime_budget_for(m: usize) -> u64 {
+    let mut rounds = m as u64;
+    let mut p = 2u64;
+    for _ in 0..primorial_index_bound((m * m) as u64) + 2 {
+        rounds += 2 * (m as u64 - 1) * p + p;
+        p = next_prime(p);
+    }
+    rounds * 2
+}
+
+/// Executes one cell. Pure in the cell: no global state, no clock, no
+/// thread identity. Returns `None` when the instance yielded fewer
+/// feasible start pairs than `pair_index`.
+pub fn run_cell(cell: &Cell) -> Option<SweepRow> {
+    let tree = cell.family.build(cell.n, cell.tree_seed());
+    let n = tree.num_nodes();
+    let leaves = tree.num_leaves();
+    let pairs = instances::feasible_pairs(&tree, cell.pairs_total, cell.pairs_seed());
+    let &(start_a, start_b) = pairs.get(cell.pair_index)?;
+    let delay = cell.delay.resolve(n);
+
+    let (budget, provisioned_bits) = match cell.variant {
+        Variant::TreeRvz => {
+            (budget_for(n), TreeRendezvousAgent::provisioned_bits(n as u64, leaves as u64))
+        }
+        Variant::DelayRobust => (budget_for(n), DelayRobustAgent::provisioned_bits(n as u64)),
+        Variant::PrimePath => (prime_budget_for(n), 0),
+    };
+    let cfg = PairConfig::delayed(delay, budget);
+
+    let (run, measured_bits) = match cell.variant {
+        Variant::TreeRvz => {
+            let mut x = TreeRendezvousAgent::new();
+            let mut y = TreeRendezvousAgent::new();
+            let run = run_pair(&tree, start_a, start_b, &mut x, &mut y, cfg);
+            (run, x.memory_bits_measured().max(y.memory_bits_measured()))
+        }
+        Variant::DelayRobust => {
+            let mut x = DelayRobustAgent::new();
+            let mut y = DelayRobustAgent::new();
+            let run = run_pair(&tree, start_a, start_b, &mut x, &mut y, cfg);
+            (run, x.memory_bits_measured().max(y.memory_bits_measured()))
+        }
+        Variant::PrimePath => {
+            let mut x = PrimePathAgent::unbounded();
+            let mut y = PrimePathAgent::unbounded();
+            let run = run_pair(&tree, start_a, start_b, &mut x, &mut y, cfg);
+            use rvz_agent::model::Agent;
+            (run, x.memory_bits().max(y.memory_bits()))
+        }
+    };
+
+    Some(SweepRow {
+        experiment: cell.experiment.clone(),
+        family: cell.family.name().to_string(),
+        size: cell.n,
+        n,
+        leaves,
+        variant: cell.variant.name().to_string(),
+        delay,
+        start_a,
+        start_b,
+        met: run.outcome.met(),
+        rounds: run.outcome.round(),
+        crossings: run.crossings,
+        budget,
+        provisioned_bits,
+        measured_bits,
+        tree_seed: cell.tree_seed(),
+        pairs_seed: cell.pairs_seed(),
+        cell_seed: cell.cell_seed(),
+    })
+}
+
+/// What a sweep produced: the rows, plus how much of the planned grid they
+/// cover. `dropped_cells > 0` means some instances had fewer feasible start
+/// pairs than `pairs_per_cell` — those cells never ran, and pretending
+/// otherwise would make row counts silently incomparable across sizes.
+#[derive(Debug, Clone)]
+pub struct SweepReport {
+    pub rows: Vec<SweepRow>,
+    pub planned_cells: usize,
+    pub dropped_cells: usize,
+}
+
+/// Runs the whole grid. Rows come back in grid order whatever the thread
+/// count — see the module docs for why that matters.
+pub fn run(spec: &SweepSpec) -> SweepReport {
+    let grid = cells(spec);
+    let pool =
+        rayon::ThreadPoolBuilder::new().num_threads(spec.threads).build().expect("thread pool");
+    let results: Vec<Option<SweepRow>> = pool.install(|| grid.par_iter().map(run_cell).collect());
+    let planned_cells = results.len();
+    let rows: Vec<SweepRow> = results.into_iter().flatten().collect();
+    SweepReport { dropped_cells: planned_cells - rows.len(), planned_cells, rows }
+}
+
+/// Renders a sweep report as the same kind of aligned table the classic
+/// experiment drivers print.
+pub fn to_table(experiment: &str, report: &SweepReport) -> Table {
+    let rows = &report.rows;
+    let mut t = Table::new(
+        &experiment.to_uppercase(),
+        &format!("sweep grid ({} rows)", rows.len()),
+        &[
+            "family",
+            "n",
+            "ℓ",
+            "variant",
+            "delay",
+            "a",
+            "b",
+            "met",
+            "rounds",
+            "prov-bits",
+            "meas-bits",
+        ],
+    );
+    for r in rows {
+        t.row(vec![
+            r.family.clone(),
+            r.n.to_string(),
+            r.leaves.to_string(),
+            r.variant.clone(),
+            r.delay.to_string(),
+            r.start_a.to_string(),
+            r.start_b.to_string(),
+            if r.met { "y" } else { "N" }.to_string(),
+            r.rounds.map(|x| x.to_string()).unwrap_or_else(|| "-".into()),
+            r.provisioned_bits.to_string(),
+            r.measured_bits.to_string(),
+        ]);
+    }
+    let met = rows.iter().filter(|r| r.met).count();
+    t.note(&format!("{met}/{} cells met within budget", rows.len()));
+    if report.dropped_cells > 0 {
+        t.note(&format!(
+            "{} of {} planned cells dropped (instance had fewer feasible start pairs than --pairs)",
+            report.dropped_cells, report.planned_cells
+        ));
+    }
+    t
+}
+
+/// Default grid for each classic experiment id (`e1`..`e8`); `None` for
+/// unknown ids. `sizes`/`threads`/`seed` come from the caller (CLI).
+pub fn preset(id: &str, sizes: &[usize], threads: usize, seed: u64) -> Option<SweepSpec> {
+    use Delay::*;
+    use Family::*;
+    use Variant::*;
+    let spec = |families: Vec<Family>, delays: Vec<Delay>, variants: Vec<Variant>| SweepSpec {
+        experiment: id.to_string(),
+        families,
+        sizes: sizes.to_vec(),
+        delays,
+        variants,
+        pairs_per_cell: 2,
+        seed,
+        threads,
+    };
+    Some(match id {
+        // Theorem 3.1 territory: arbitrary delays on lines.
+        "e1" => spec(vec![Line, LineRnd], vec![Fixed(1), Fixed(7), LinearN], vec![DelayRobust]),
+        // Theorem 4.1: simultaneous start across tree families.
+        "e2" => spec(
+            vec![Line, Spider3, Caterpillar, Random, CompleteBinary],
+            vec![Zero],
+            vec![TreeRvz],
+        ),
+        // Lemma 4.1: prime on paths.
+        "e3" => spec(vec![Line], vec![Zero], vec![PrimePath]),
+        // Theorem 4.2 territory: simultaneous start, adversarial labelings.
+        "e4" => spec(vec![LineRnd, Random], vec![Zero], vec![TreeRvz, PrimePath]),
+        // Theorem 4.3 territory: few-leaf side trees under delays.
+        "e5" => spec(vec![Spider3, Caterpillar], vec![Zero, LinearN], vec![DelayRobust]),
+        // §1.1 title claim: the two memory series side by side.
+        "e6" => spec(vec![Line, Spider3], vec![Zero, LinearN], vec![TreeRvz, DelayRobust]),
+        // Figure 2 machinery: contrasting structured families.
+        "e7" => spec(vec![CompleteBinary, Binomial, Star], vec![Zero], vec![TreeRvz]),
+        // Ablation-adjacent: the generic random workload, all variants.
+        "e8" => spec(
+            vec![Random, RandomDeg3],
+            vec![Zero, Fixed(3), LinearN],
+            vec![TreeRvz, DelayRobust],
+        ),
+        _ => return None,
+    })
+}
+
+/// The default size axis presets run when the CLI passes none.
+pub const DEFAULT_SIZES: &[usize] = &[16, 32, 64, 128];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_spec(threads: usize) -> SweepSpec {
+        SweepSpec {
+            experiment: "test".into(),
+            families: vec![Family::Line, Family::Spider3],
+            sizes: vec![8, 16],
+            delays: vec![Delay::Zero, Delay::Fixed(3)],
+            variants: vec![Variant::DelayRobust, Variant::TreeRvz],
+            pairs_per_cell: 2,
+            seed: 0xC0FFEE,
+            threads,
+        }
+    }
+
+    #[test]
+    fn grid_filters_unsupported_combinations() {
+        let grid = cells(&small_spec(1));
+        assert!(grid.iter().all(|c| c.variant != Variant::TreeRvz || c.delay == Delay::Zero));
+        // 2 families × 2 sizes × (delay0×2 variants + delay3×1 variant) × 2 pairs
+        assert_eq!(grid.len(), 2 * 2 * 3 * 2);
+    }
+
+    #[test]
+    fn fixed_zero_delay_is_the_simultaneous_scenario() {
+        // Delay::Fixed(0) and Delay::Zero resolve identically; grid filters
+        // must not silently drop simultaneous-start variants over spelling.
+        let spec = SweepSpec {
+            experiment: "zero".into(),
+            families: vec![Family::Line],
+            sizes: vec![8],
+            delays: vec![Delay::Fixed(0)],
+            variants: vec![Variant::TreeRvz, Variant::PrimePath],
+            pairs_per_cell: 1,
+            seed: 5,
+            threads: 1,
+        };
+        let grid = cells(&spec);
+        assert_eq!(grid.len(), 2, "both zero-delay variants must survive Fixed(0)");
+    }
+
+    #[test]
+    fn cell_seeds_depend_on_coordinates_not_order() {
+        let grid = cells(&small_spec(1));
+        let seeds: Vec<u64> = grid.iter().map(Cell::cell_seed).collect();
+        let mut dedup = seeds.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), seeds.len(), "cell seeds must be distinct");
+        // Same instance ⇒ same tree seed, across delays/variants/pairs.
+        for c in &grid {
+            for d in &grid {
+                if c.family == d.family && c.n == d.n {
+                    assert_eq!(c.tree_seed(), d.tree_seed());
+                    assert_eq!(c.pairs_seed(), d.pairs_seed());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn thread_count_does_not_change_results() {
+        let report1 = run(&small_spec(1));
+        let report4 = run(&small_spec(4));
+        assert!(!report1.rows.is_empty());
+        assert_eq!(report1.planned_cells, report4.planned_cells);
+        assert_eq!(report1.dropped_cells, report4.dropped_cells);
+        assert_eq!(
+            serde_json::to_string(&report1.rows).unwrap(),
+            serde_json::to_string(&report4.rows).unwrap(),
+            "sweep must be byte-identical across thread counts"
+        );
+    }
+
+    #[test]
+    fn randomized_family_rows_replay_from_tree_seed() {
+        // Finding-driven: a row from a randomized family must carry enough
+        // provenance to rebuild the exact instance and rerun the cell.
+        let spec = SweepSpec {
+            experiment: "replay".into(),
+            families: vec![Family::Random],
+            sizes: vec![12],
+            delays: vec![Delay::Fixed(2)],
+            variants: vec![Variant::DelayRobust],
+            pairs_per_cell: 1,
+            seed: 7,
+            threads: 1,
+        };
+        let report = run(&spec);
+        assert_eq!(report.dropped_cells, 0);
+        for row in &report.rows {
+            let tree = Family::Random.build(row.size, row.tree_seed);
+            assert_eq!(tree.num_nodes(), row.n, "tree_seed must rebuild the same instance");
+            let mut x = DelayRobustAgent::new();
+            let mut y = DelayRobustAgent::new();
+            let rerun = run_pair(
+                &tree,
+                row.start_a,
+                row.start_b,
+                &mut x,
+                &mut y,
+                PairConfig::delayed(row.delay, row.budget),
+            );
+            assert_eq!(rerun.outcome.met(), row.met);
+            assert_eq!(rerun.outcome.round(), row.rounds);
+        }
+    }
+
+    #[test]
+    fn dropped_cells_are_counted_not_hidden() {
+        // A 4-node star has very few feasible pairs; asking for an absurd
+        // pairs_per_cell must surface as dropped cells, not silence.
+        let spec = SweepSpec {
+            experiment: "drop".into(),
+            families: vec![Family::Star],
+            sizes: vec![4],
+            delays: vec![Delay::Zero],
+            variants: vec![Variant::DelayRobust],
+            pairs_per_cell: 50,
+            seed: 3,
+            threads: 1,
+        };
+        let report = run(&spec);
+        assert_eq!(report.planned_cells, 50);
+        assert_eq!(report.rows.len() + report.dropped_cells, report.planned_cells);
+        assert!(report.dropped_cells > 0, "star(4) cannot have 50 distinct feasible pairs");
+        let table = to_table("drop", &report);
+        assert!(table.render().contains("planned cells dropped"));
+    }
+
+    #[test]
+    fn presets_cover_e1_to_e8() {
+        for id in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"] {
+            let spec = preset(id, &[8, 16], 1, 1).expect("preset exists");
+            assert!(!cells(&spec).is_empty(), "{id} grid is empty");
+        }
+        assert!(preset("e9", &[8], 1, 1).is_none());
+    }
+}

@@ -1,7 +1,7 @@
 //! Plain-text table rendering + JSON record output for the experiment
 //! harness. Every experiment produces one or more [`Table`]s; the
 //! `experiments` binary prints them and optionally writes the raw rows as
-//! JSON for EXPERIMENTS.md regeneration.
+//! JSON (schema documented in README.md).
 
 use serde::Serialize;
 

@@ -37,12 +37,7 @@ pub fn probe_ablation_instance() -> (Tree, NodeId, NodeId) {
 }
 
 /// Runs the full agent and the ablated variants on an instance.
-pub fn compare_variants(
-    t: &Tree,
-    a: NodeId,
-    b: NodeId,
-    budget: u64,
-) -> Vec<AblationResult> {
+pub fn compare_variants(t: &Tree, a: NodeId, b: NodeId, budget: u64) -> Vec<AblationResult> {
     let variants: [(&'static str, AblationConfig); 4] = [
         ("full", AblationConfig::default()),
         ("no-synchro", AblationConfig { synchro: false, probes: true }),
@@ -89,14 +84,8 @@ mod tests {
         let results = compare_variants(&t, a, b, 30_000_000);
         let by_name = |n: &str| results.iter().find(|r| r.variant == n).unwrap().clone();
         assert!(by_name("full").met, "the paper's algorithm must meet");
-        assert!(
-            !by_name("no-probes").met,
-            "without the probes the agents stay mirrored forever"
-        );
-        assert!(
-            !by_name("minimal").met,
-            "a fortiori with Synchro also removed"
-        );
+        assert!(!by_name("no-probes").met, "without the probes the agents stay mirrored forever");
+        assert!(!by_name("minimal").met, "a fortiori with Synchro also removed");
     }
 
     #[test]

@@ -61,7 +61,11 @@ impl Default for DelayRobustAgent {
 
 impl DelayRobustAgent {
     pub fn new() -> Self {
-        DelayRobustAgent { phase: BPhase::Explo(ExploBis::full()), explo_charged: 0, explo_measured: 0 }
+        DelayRobustAgent {
+            phase: BPhase::Explo(ExploBis::full()),
+            explo_charged: 0,
+            explo_measured: 0,
+        }
     }
 
     /// The canonical rank of this agent's start, once known.
@@ -169,13 +173,13 @@ impl Agent for DelayRobustAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use rvz_sim::{run_pair, PairConfig};
     use rvz_trees::generators::{
         colored_line_center_zero, line, random_relabel, random_tree, spider,
     };
     use rvz_trees::perfectly_symmetrizable;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn budget(n: u64) -> u64 {
         // Two full periods of the slowest agent's schedule, conservatively:
@@ -194,14 +198,8 @@ mod tests {
                     }
                     let mut x = DelayRobustAgent::new();
                     let mut y = DelayRobustAgent::new();
-                    let run = run_pair(
-                        &t,
-                        a,
-                        b,
-                        &mut x,
-                        &mut y,
-                        PairConfig::delayed(delay, budget(n)),
-                    );
+                    let run =
+                        run_pair(&t, a, b, &mut x, &mut y, PairConfig::delayed(delay, budget(n)));
                     assert!(run.outcome.met(), "n={n} delay={delay} pair=({a},{b})");
                 }
             }
@@ -221,8 +219,14 @@ mod tests {
                 }
                 let mut x = DelayRobustAgent::new();
                 let mut y = DelayRobustAgent::new();
-                let run =
-                    run_pair(&t, a, b, &mut x, &mut y, PairConfig::delayed(delay, budget(n as u64)));
+                let run = run_pair(
+                    &t,
+                    a,
+                    b,
+                    &mut x,
+                    &mut y,
+                    PairConfig::delayed(delay, budget(n as u64)),
+                );
                 assert!(run.outcome.met(), "delay={delay}");
             }
         }
@@ -285,10 +289,7 @@ mod tests {
             assert!(run.outcome.met(), "n={n}");
             let bits = x.memory_bits_charged().max(y.memory_bits_charged());
             // O(log n) with a modest constant: period ≤ 8n·q, q = O(n log n).
-            assert!(
-                bits <= 8 * rvz_agent::bits_for(n as u64) + 40,
-                "n={n}: {bits} bits"
-            );
+            assert!(bits <= 8 * rvz_agent::bits_for(n as u64) + 40, "n={n}: {bits} bits");
         }
     }
 }

@@ -40,10 +40,7 @@ pub fn gatherable(t: &Tree) -> bool {
             Step::Stay => {}
         }
     }
-    !matches!(
-        e.result().expect("explo finished").shape,
-        TprimeShape::CentralEdgeSym { .. }
-    )
+    !matches!(e.result().expect("explo finished").shape, TprimeShape::CentralEdgeSym { .. })
 }
 
 /// Gathers `k` copies of the Theorem 4.1 agent from the given starts
@@ -52,8 +49,7 @@ pub fn gatherable(t: &Tree) -> bool {
 pub fn gather(t: &Tree, starts: &[NodeId], max_rounds: u64) -> MultiRun {
     let mut agents: Vec<TreeRendezvousAgent> =
         starts.iter().map(|_| TreeRendezvousAgent::new()).collect();
-    let mut dyns: Vec<&mut dyn Agent> =
-        agents.iter_mut().map(|a| a as &mut dyn Agent).collect();
+    let mut dyns: Vec<&mut dyn Agent> = agents.iter_mut().map(|a| a as &mut dyn Agent).collect();
     run_multi(t, starts, &mut dyns, &MultiConfig::simultaneous(starts.len(), max_rounds))
 }
 

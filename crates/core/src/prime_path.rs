@@ -253,11 +253,7 @@ mod tests {
                             );
                             all_met &= run.outcome.met();
                         }
-                        assert_eq!(
-                            all_met,
-                            feasible(m, a, b),
-                            "m={m} a={a} b={b}"
-                        );
+                        assert_eq!(all_met, feasible(m, a, b), "m={m} a={a} b={b}");
                     }
                 }
             }
@@ -272,8 +268,7 @@ mod tests {
             let (a, b) = (2u32, (m as u32) - 1);
             let mut x = PrimePathAgent::unbounded();
             let mut y = PrimePathAgent::unbounded();
-            let run =
-                run_pair(&t, a, b, &mut x, &mut y, PairConfig::simultaneous(budget(m)));
+            let run = run_pair(&t, a, b, &mut x, &mut y, PairConfig::simultaneous(budget(m)));
             assert!(run.outcome.met(), "m={m}");
             // Memory stays O(log log m): the primes used are small.
             assert!(x.memory_bits() <= 3 * 8 + 4, "m={m}: {} bits", x.memory_bits());
@@ -329,8 +324,7 @@ mod tests {
             }
             let mut x = PrimePathAgent::unbounded();
             let mut y = PrimePathAgent::unbounded();
-            let run =
-                run_pair(&t, a, b, &mut x, &mut y, PairConfig::simultaneous(budget(m)));
+            let run = run_pair(&t, a, b, &mut x, &mut y, PairConfig::simultaneous(budget(m)));
             assert!(run.outcome.met(), "m={m}");
             // The prime index never needs to exceed the analysis bound.
             let j_max = primorial_index_bound((m * m) as u64);

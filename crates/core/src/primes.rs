@@ -81,8 +81,7 @@ mod tests {
 
     #[test]
     fn primality_basics() {
-        let primes: Vec<u64> =
-            (0..60).filter(|&x| is_prime(x)).collect();
+        let primes: Vec<u64> = (0..60).filter(|&x| is_prime(x)).collect();
         assert_eq!(primes, vec![2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59]);
     }
 
@@ -115,7 +114,7 @@ mod tests {
         assert_eq!(primorial_index_bound(100), 4);
         assert_eq!(primorial_index_bound(1), 1);
         assert_eq!(primorial_index_bound(6), 3); // 2·3 = 6 ≤ 6 < 2·3·5
-        // Log-like growth: even 2⁶⁴ needs only 16 primes.
+                                                 // Log-like growth: even 2⁶⁴ needs only 16 primes.
         assert_eq!(primorial_index_bound(u64::MAX), 16);
     }
 }

@@ -150,8 +150,8 @@ impl RvPathWalker {
                     // First traversal of the segment: entry-port rule.
                     self.fresh = false;
                     return match self.kind(self.pos.seg) {
-                        SegKind::BOwn => 0,                        // bw tour start
-                        SegKind::BOther => self.cfg.d_other - 1,   // cbw tour start
+                        SegKind::BOwn => 0,                      // bw tour start
+                        SegKind::BOther => self.cfg.d_other - 1, // cbw tour start
                         SegKind::COut => self.cfg.c_own,
                         SegKind::CBack => self.cfg.c_other,
                     };
@@ -347,12 +347,12 @@ impl SubAgent for PrimeOnPath {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use rvz_agent::model::Action;
     use rvz_sim::Cursor;
     use rvz_trees::generators::{double_spider, line, random_relabel};
     use rvz_trees::{contract, NodeId, Tree};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Builds the walker config for the symmetric-central-edge tree `t`
     /// with the agent's own extremity `own` and the other extremity
@@ -386,10 +386,7 @@ mod tests {
         let mut steps = 0u64;
         while !done(w) {
             let port = w.begin_move(dir);
-            assert!(
-                cur.apply(t, Action::Move(port)),
-                "P-walk port must be valid"
-            );
+            assert!(cur.apply(t, Action::Move(port)), "P-walk port must be valid");
             w.complete_move(cur.obs(t), dir);
             nodes.push(cur.node);
             steps += 1;

@@ -211,8 +211,7 @@ impl TreeRendezvousAgent {
         let tour = 2 * (nu - 1);
         let segs = 20 * ell + 3;
         let p_len = 30 * n * ell; // |P| upper bound (§4.1: > 20nℓ, < 30nℓ)
-        let i_max =
-            crate::primes::primorial_index_bound(p_len.saturating_mul(p_len)) as u64 + 1;
+        let i_max = crate::primes::primorial_index_bound(p_len.saturating_mul(p_len)) as u64 + 1;
         let p_max = crate::primes::nth_prime(i_max as u32);
         4 * bits_for(nu)          // Explo-bis (Fact 2.1 contract)
             + bits_for(i_max)     // outer loop i
@@ -258,11 +257,7 @@ impl TreeRendezvousAgent {
                 self.phase = TPhase::WalkToWait(BwCounted::new(*steps));
             }
             TprimeShape::CentralEdgeSym {
-                far,
-                near,
-                central_port_far,
-                central_port_near,
-                ..
+                far, near, central_port_far, central_port_near, ..
             } => {
                 let cfg = RvPathConfig {
                     nu: res.nu,
@@ -311,8 +306,7 @@ impl TreeRendezvousAgent {
                 TPhase::WaitForever => return Action::Stay,
                 TPhase::Synchro(s) => match s.step(obs) {
                     Step::Done => {
-                        let (_, steps_far) =
-                            self.pending_cfg.as_ref().expect("set before Synchro");
+                        let (_, steps_far) = self.pending_cfg.as_ref().expect("set before Synchro");
                         self.phase = TPhase::WalkToFar(BwCounted::new(*steps_far));
                         continue;
                     }
@@ -321,8 +315,7 @@ impl TreeRendezvousAgent {
                 },
                 TPhase::WalkToFar(w) => match w.step(obs) {
                     Step::Done => {
-                        let (cfg, _) =
-                            self.pending_cfg.take().expect("set before Synchro");
+                        let (cfg, _) = self.pending_cfg.take().expect("set before Synchro");
                         self.phase = TPhase::Fig2(Fig2::new(cfg));
                         continue;
                     }
@@ -344,8 +337,7 @@ impl TreeRendezvousAgent {
                         },
                         Fig2Stage::TryCbw(w) => match w.step(obs) {
                             Step::Done => {
-                                f.stage =
-                                    Fig2Stage::Prime(PrimeOnPath::new(f.i, f.cfg));
+                                f.stage = Fig2Stage::Prime(PrimeOnPath::new(f.i, f.cfg));
                                 continue;
                             }
                             Step::Move(p) => return Action::Move(p),
@@ -359,8 +351,7 @@ impl TreeRendezvousAgent {
                                 if f.j <= tour {
                                     f.stage = Fig2Stage::TryBw(BwCounted::new(f.j));
                                 } else {
-                                    f.stage =
-                                        Fig2Stage::CrossOut(CrossPath::new(f.cfg.c_own));
+                                    f.stage = Fig2Stage::CrossOut(CrossPath::new(f.cfg.c_own));
                                 }
                                 continue;
                             }
@@ -378,8 +369,7 @@ impl TreeRendezvousAgent {
                         },
                         Fig2Stage::ResetBw(w) => match w.step(obs) {
                             Step::Done => {
-                                f.stage =
-                                    Fig2Stage::ResetCbw(CbwCounted::reversing(f.reset_j));
+                                f.stage = Fig2Stage::ResetCbw(CbwCounted::reversing(f.reset_j));
                                 continue;
                             }
                             Step::Move(p) => return Action::Move(p),
@@ -391,9 +381,7 @@ impl TreeRendezvousAgent {
                                 if f.reset_j <= tour {
                                     f.stage = Fig2Stage::ResetBw(BwCounted::new(f.reset_j));
                                 } else {
-                                    f.stage = Fig2Stage::CrossBack(CrossPath::new(
-                                        f.cfg.c_other,
-                                    ));
+                                    f.stage = Fig2Stage::CrossBack(CrossPath::new(f.cfg.c_other));
                                 }
                                 continue;
                             }
@@ -437,14 +425,14 @@ impl Agent for TreeRendezvousAgent {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rvz_sim::{run_pair, PairConfig};
-    use rvz_trees::generators::{
-        caterpillar, colored_line_center_zero, complete_binary, line, random_relabel,
-        random_tree, spider, star,
-    };
-    use rvz_trees::{perfectly_symmetrizable, NodeId, Tree};
     use rand::rngs::StdRng;
     use rand::SeedableRng;
+    use rvz_sim::{run_pair, PairConfig};
+    use rvz_trees::generators::{
+        caterpillar, colored_line_center_zero, complete_binary, line, random_relabel, random_tree,
+        spider, star,
+    };
+    use rvz_trees::{perfectly_symmetrizable, NodeId, Tree};
 
     fn meet(t: &Tree, a: NodeId, b: NodeId, budget: u64) -> (bool, u64, u64) {
         let mut x = TreeRendezvousAgent::new();
@@ -556,10 +544,7 @@ mod tests {
             let t = line(n);
             let (met, _, bits) = meet(&t, 1, (n as u32) - 1, 2_000_000_000);
             assert!(met, "n={n}");
-            assert!(
-                bits <= 60,
-                "n={n}: {bits} bits is not O(log ℓ + log log n)"
-            );
+            assert!(bits <= 60, "n={n}: {bits} bits is not O(log ℓ + log log n)");
             prev_bits = prev_bits.max(bits);
         }
         assert!(prev_bits > 0);

@@ -282,8 +282,7 @@ fn classify(tprime: &Tree, first_visit: &[u64]) -> TprimeShape {
                 // Asymmetric: all agents pick the extremity with the smaller
                 // (canon, port) key — a canonical, position-independent
                 // choice (Fact 2.1's "same extremity x").
-                let (node, central_port) =
-                    if (cx, px) < (cy, py) { (x, px) } else { (y, py) };
+                let (node, central_port) = if (cx, px) < (cy, py) { (x, px) } else { (y, py) };
                 TprimeShape::CentralEdgeAsym {
                     node,
                     steps: first_visit[node as usize],
@@ -347,14 +346,14 @@ impl SubAgent for ExploBis {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use rvz_agent::model::{Action, Agent};
     use rvz_sim::Cursor;
     use rvz_trees::generators::{
-        caterpillar, colored_line_center_zero, complete_binary, line, random_relabel,
-        random_tree, spider, star,
+        caterpillar, colored_line_center_zero, complete_binary, line, random_relabel, random_tree,
+        spider, star,
     };
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Drives ExploBis to completion; returns (result, final node, rounds).
     fn run_explo(t: &Tree, start: NodeId) -> (ExploResult, NodeId, u64) {
@@ -452,9 +451,7 @@ mod tests {
         for _ in 0..30 {
             let t = random_relabel(&random_tree(24, &mut rng), &mut rng);
             // Pick a start of degree ≠ 2 to keep v̂ = start.
-            let start = (0..t.num_nodes() as NodeId)
-                .find(|&v| t.degree(v) != 2)
-                .unwrap();
+            let start = (0..t.num_nodes() as NodeId).find(|&v| t.degree(v) != 2).unwrap();
             let (res, end, _) = run_explo(&t, start);
             assert_eq!(end, start);
             // Virtual walk on the reconstructed T' from its root 0: first

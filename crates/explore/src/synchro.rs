@@ -92,12 +92,12 @@ impl SubAgent for Synchro {
 mod tests {
     use super::*;
     use crate::explo::ExploBis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
     use rvz_agent::model::Action;
     use rvz_sim::Cursor;
     use rvz_trees::generators::{caterpillar, line, random_relabel, random_tree, spider};
     use rvz_trees::{NodeId, Tree};
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     /// Runs Explo-bis then Synchro from `start`; returns
     /// (v̂, total rounds, leaf-seek length L, ν).
@@ -173,11 +173,7 @@ mod tests {
                 }
                 let (_, r_u, l_u, _) = run_explo_synchro(&t, u);
                 let (_, r_v, l_v, _) = run_explo_synchro(&t, v);
-                assert_eq!(
-                    r_u.abs_diff(r_v),
-                    l_u.abs_diff(l_v),
-                    "Claim 4.2 violated at ({u},{v})"
-                );
+                assert_eq!(r_u.abs_diff(r_v), l_u.abs_diff(l_v), "Claim 4.2 violated at ({u},{v})");
             }
         }
     }

@@ -134,32 +134,18 @@ pub fn delay_attack(fsa: &LineFsa) -> Result<Attack, AttackError> {
     };
     // Positions must be a *feasible* rendezvous instance (otherwise failing
     // is no feat): never perfectly symmetrizable by construction.
-    assert!(
-        !rvz_trees::perfectly_symmetrizable(&line, a, b),
-        "attack instance must be feasible"
-    );
+    assert!(!rvz_trees::perfectly_symmetrizable(&line, a, b), "attack instance must be feasible");
     let n = line.num_nodes() as u64;
     let horizon = theta + 8 * k * n + 50_000;
     let mut agent_a = fsa.runner();
     let mut agent_b = fsa.runner();
-    let run = run_pair(
-        &line,
-        a,
-        b,
-        &mut agent_a,
-        &mut agent_b,
-        PairConfig::delayed(theta, horizon),
-    );
+    let run =
+        run_pair(&line, a, b, &mut agent_a, &mut agent_b, PairConfig::delayed(theta, horizon));
     match run.outcome {
         Outcome::Met { round, .. } => Err(AttackError::MeetingHappened { round }),
-        Outcome::Timeout { rounds } => Ok(Attack {
-            line,
-            start_a: a,
-            start_b: b,
-            theta,
-            kind,
-            verified_rounds: rounds,
-        }),
+        Outcome::Timeout { rounds } => {
+            Ok(Attack { line, start_a: a, start_b: b, theta, kind, verified_rounds: rounds })
+        }
     }
 }
 

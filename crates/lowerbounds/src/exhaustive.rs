@@ -11,7 +11,7 @@ use rvz_agent::line_fsa::{LineFsa, StateId};
 /// Iterator over every `K`-state line automaton with outputs in `{-1,0,1}`.
 /// (Outputs beyond 1 are redundant on lines: ports are taken mod `d ≤ 2`.)
 pub fn all_line_fsas(k: usize) -> impl Iterator<Item = LineFsa> {
-    assert!(k >= 1 && k <= 3, "exhaustive enumeration is for tiny K");
+    assert!((1..=3).contains(&k), "exhaustive enumeration is for tiny K");
     let delta_combos = (k as u64).pow(2 * k as u32);
     let lambda_combos = 3u64.pow(k as u32);
     let total = delta_combos * lambda_combos * k as u64;
@@ -55,9 +55,8 @@ mod tests {
         let mut total = 0;
         for k in 1..=2usize {
             for fsa in all_line_fsas(k) {
-                delay_attack(&fsa).unwrap_or_else(|e| {
-                    panic!("K={k} automaton {fsa:?} beat Thm 3.1: {e:?}")
-                });
+                delay_attack(&fsa)
+                    .unwrap_or_else(|e| panic!("K={k} automaton {fsa:?} beat Thm 3.1: {e:?}"));
                 total += 1;
             }
         }
@@ -89,8 +88,7 @@ mod tests {
             if i % 97 != 0 {
                 continue;
             }
-            delay_attack(&fsa)
-                .unwrap_or_else(|e| panic!("{fsa:?} beat Thm 3.1: {e:?}"));
+            delay_attack(&fsa).unwrap_or_else(|e| panic!("{fsa:?} beat Thm 3.1: {e:?}"));
             match sync_attack(&fsa, 1 << 12) {
                 Ok(_) | Err(SyncAttackError::TooLarge { .. }) => {}
                 Err(e) => panic!("{fsa:?} beat Thm 4.2: {e:?}"),

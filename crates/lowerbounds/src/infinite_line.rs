@@ -36,14 +36,7 @@ pub struct InfiniteRun<'a> {
 
 impl<'a> InfiniteRun<'a> {
     pub fn new(fsa: &'a LineFsa, parity: u8) -> Self {
-        InfiniteRun {
-            fsa,
-            parity: parity as i64,
-            state: fsa.s0,
-            pos: 0,
-            round: 0,
-            started: false,
-        }
+        InfiniteRun { fsa, parity: parity as i64, state: fsa.s0, pos: 0, round: 0, started: false }
     }
 
     /// Direction of a move along the edge of color `color` from `pos`:
@@ -209,8 +202,7 @@ mod tests {
     #[test]
     fn state_sequence_is_pi_prime_orbit() {
         let fsa = LineFsa { delta: vec![[1, 1], [0, 0]], lambda: vec![0, 1], s0: 0 };
-        let states: Vec<StateId> =
-            InfiniteRun::new(&fsa, 0).take(6).map(|a| a.state).collect();
+        let states: Vec<StateId> = InfiniteRun::new(&fsa, 0).take(6).map(|a| a.state).collect();
         assert_eq!(states, vec![0, 1, 0, 1, 0, 1]);
     }
 

@@ -114,8 +114,7 @@ pub fn behavior_function(fsa: &Fsa, side: &SideTree) -> Vec<TourOutcome> {
             // The agent is traversing the edge u → root in state s; it
             // enters the root through the attach port.
             let mut runner = primed_runner(fsa, s);
-            let mut cur =
-                rvz_sim::Cursor { node: side.root, entry: Some(side.attach_port) };
+            let mut cur = rvz_sim::Cursor { node: side.root, entry: Some(side.attach_port) };
             let mut rounds = 0u64;
             loop {
                 rounds += 1;
@@ -196,21 +195,11 @@ pub fn two_sided(left: &SideTree, right: &SideTree, m: usize) -> (Tree, NodeId, 
     let g = (m / 2) % 2; // color(j) = (j + g) % 2; color(m/2) = 0
     let color = |j: usize| ((j + g) % 2) as Port;
     // Edge 0: root_l — w1. At the root use the attach port; at w1 the color.
-    edges.push(Edge {
-        u: left.root,
-        port_u: left.attach_port,
-        v: w(1),
-        port_v: color(0),
-    });
+    edges.push(Edge { u: left.root, port_u: left.attach_port, v: w(1), port_v: color(0) });
     for j in 1..m {
         edges.push(Edge { u: w(j), port_u: color(j), v: w(j + 1), port_v: color(j) });
     }
-    edges.push(Edge {
-        u: w(m),
-        port_u: color(m),
-        v: right.root + ln,
-        port_v: right.attach_port,
-    });
+    edges.push(Edge { u: w(m), port_u: color(m), v: right.root + ln, port_v: right.attach_port });
     let total = (ln + rn) as usize + m;
     let tree = Tree::from_edges(total, &edges).expect("two-sided tree is valid");
     (tree, w(1), w(m))
@@ -232,8 +221,12 @@ pub struct SideTreeAttack {
 pub enum SideTreeError {
     /// No behavior collision up to `max_i` (automaton too large for the
     /// budget — consistent with it having ≥ log(ℓ)/3 bits).
-    NoCollision { max_i: usize },
-    MeetingHappened { round: u64 },
+    NoCollision {
+        max_i: usize,
+    },
+    MeetingHappened {
+        round: u64,
+    },
 }
 
 /// Builds and verifies the Theorem 4.3 instance for `fsa` (max degree 3).
@@ -243,8 +236,7 @@ pub fn side_tree_attack(
     m: usize,
 ) -> Result<SideTreeAttack, SideTreeError> {
     assert_eq!(fsa.max_degree, 3, "Theorem 4.3 concerns max-degree-3 trees");
-    let (t1, t2, i) =
-        find_collision(fsa, max_i).ok_or(SideTreeError::NoCollision { max_i })?;
+    let (t1, t2, i) = find_collision(fsa, max_i).ok_or(SideTreeError::NoCollision { max_i })?;
     let (tree, u, v) = two_sided(&t1, &t2, m);
     assert!(
         !rvz_trees::perfectly_symmetrizable(&tree, u, v),
@@ -290,10 +282,8 @@ mod tests {
         }
         // Pairwise structurally distinct (rooted).
         use rvz_trees::canon::canon_structural;
-        let canons: std::collections::HashSet<_> = trees
-            .iter()
-            .map(|st| canon_structural(&st.tree, st.root, None, None))
-            .collect();
+        let canons: std::collections::HashSet<_> =
+            trees.iter().map(|st| canon_structural(&st.tree, st.root, None, None)).collect();
         assert_eq!(canons.len(), 8);
     }
 

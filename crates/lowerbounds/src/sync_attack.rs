@@ -91,7 +91,11 @@ pub fn analyze_pi_prime(fsa: &LineFsa) -> PiPrimeAnalysis {
 }
 
 fn gcd(a: u64, b: u64) -> u64 {
-    if b == 0 { a } else { gcd(b, a % b) }
+    if b == 0 {
+        a
+    } else {
+        gcd(b, a % b)
+    }
 }
 
 fn lcm(a: u64, b: u64) -> u64 {
@@ -116,16 +120,27 @@ pub struct SyncAttack {
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum SyncAttackKind {
-    BoundedRange { d: i64 },
+    BoundedRange {
+        d: i64,
+    },
     /// The `x` / `x'` construction.
-    Asymmetric { x: i64, x_prime: i64, t0: u64, tau: u64 },
+    Asymmetric {
+        x: i64,
+        x_prime: i64,
+        t0: u64,
+        tau: u64,
+    },
 }
 
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum SyncAttackError {
-    MeetingHappened { round: u64 },
+    MeetingHappened {
+        round: u64,
+    },
     /// γ (or the resulting instance) exceeds the configured size budget.
-    TooLarge { gamma: u64 },
+    TooLarge {
+        gamma: u64,
+    },
 }
 
 /// Builds and verifies the Theorem 4.2 instance. `max_gamma` caps the
@@ -191,18 +206,12 @@ pub fn sync_attack(fsa: &LineFsa, max_gamma: u64) -> Result<SyncAttack, SyncAtta
     // time the agent would touch the endpoint placed at distance x.
     let window = &traj[(t0 as usize - 1)..(t0 + 2 * gamma) as usize];
     let u_i = window.iter().map(|&(_, _, p)| p).min().expect("window nonempty");
-    let &(tau, _, _) = window
-        .iter()
-        .skip(1)
-        .find(|&&(_, _, p)| p == u_i)
-        .expect("extreme attained after t0");
+    let &(tau, _, _) =
+        window.iter().skip(1).find(|&&(_, _, p)| p == u_i).expect("extreme attained after t0");
     let x = -u_i; // = |u_i|, drift negative
     let tau_prime = tau + 2 * gamma;
     let x_prime = -traj[tau_prime as usize - 1].2;
-    assert!(
-        x_prime > x,
-        "Lemma: x' must exceed x (x={x}, x'={x_prime})"
-    );
+    assert!(x_prime > x, "Lemma: x' must exceed x (x={x}, x'={x_prime})");
 
     // The finite line: x edges | e | x' edges; copies at the ends of e.
     let l = x + x_prime + 1;
@@ -212,15 +221,7 @@ pub fn sync_attack(fsa: &LineFsa, max_gamma: u64) -> Result<SyncAttack, SyncAtta
     // g ≡ parity − x (mod 2).
     let g = (parity as i64 - x).rem_euclid(2) as usize;
     let line = colored_line(l as usize + 1, g);
-    verify(
-        fsa,
-        line,
-        a_node,
-        b_node,
-        SyncAttackKind::Asymmetric { x, x_prime, t0, tau },
-        gamma,
-        k,
-    )
+    verify(fsa, line, a_node, b_node, SyncAttackKind::Asymmetric { x, x_prime, t0, tau }, gamma, k)
 }
 
 /// Burn-in horizon: enough rounds to reach displacement 2γ + K (a drifting
@@ -239,10 +240,7 @@ fn verify(
     gamma: u64,
     k: u64,
 ) -> Result<SyncAttack, SyncAttackError> {
-    assert!(
-        !rvz_trees::perfectly_symmetrizable(&line, a, b),
-        "attack instance must be feasible"
-    );
+    assert!(!rvz_trees::perfectly_symmetrizable(&line, a, b), "attack instance must be feasible");
     let n = line.num_nodes() as u64;
     let horizon = (20 * n * (gamma + k) + 100_000).min(30_000_000);
     let mut agent_a = fsa.runner();
@@ -277,15 +275,7 @@ mod tests {
     #[test]
     fn pi_prime_analysis_finds_circuits() {
         // Two 2-cycles: 0↔1 and 2↔3 … plus a 3-cycle 4→5→6→4.
-        let delta = vec![
-            [1, 1],
-            [0, 0],
-            [3, 3],
-            [2, 2],
-            [5, 5],
-            [6, 6],
-            [4, 4],
-        ];
+        let delta = vec![[1, 1], [0, 0], [3, 3], [2, 2], [5, 5], [6, 6], [4, 4]];
         let fsa = LineFsa { delta, lambda: vec![0; 7], s0: 0 };
         let a = analyze_pi_prime(&fsa);
         assert_eq!(a.circuit_lengths, vec![2, 3]);

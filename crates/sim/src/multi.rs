@@ -25,8 +25,13 @@ impl MultiConfig {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum MultiOutcome {
     /// All agents co-located at `node` at the end of `round`.
-    Gathered { round: u64, node: NodeId },
-    Timeout { rounds: u64 },
+    Gathered {
+        round: u64,
+        node: NodeId,
+    },
+    Timeout {
+        rounds: u64,
+    },
 }
 
 /// Result details.
@@ -138,12 +143,7 @@ mod tests {
         let mut c = Sitter;
         let mut agents: Vec<&mut dyn Agent> = vec![&mut a, &mut b, &mut c];
         // Walkers from both leaves sweep the line; the sitter sits at 3.
-        let run = run_multi(
-            &t,
-            &[0, 6, 3],
-            &mut agents,
-            &MultiConfig::simultaneous(3, 200),
-        );
+        let run = run_multi(&t, &[0, 6, 3], &mut agents, &MultiConfig::simultaneous(3, 200));
         // Walkers from 0 and 6 move toward increasing/decreasing…
         // both visit node 3 repeatedly; gathering requires all three at 3
         // in the SAME round — which happens iff the walkers synchronize.
@@ -161,12 +161,7 @@ mod tests {
         let mut b = Sitter;
         let mut c = Sitter;
         let mut agents: Vec<&mut dyn Agent> = vec![&mut a, &mut b, &mut c];
-        let run = run_multi(
-            &t,
-            &[0, 2, 5],
-            &mut agents,
-            &MultiConfig::simultaneous(3, 4),
-        );
+        let run = run_multi(&t, &[0, 2, 5], &mut agents, &MultiConfig::simultaneous(3, 4));
         // The walker reaches the first sitter (node 2) at round 2 but the
         // far sitter is never reached within 4 rounds.
         assert_eq!(run.outcome, MultiOutcome::Timeout { rounds: 4 });
@@ -198,8 +193,7 @@ mod tests {
         let mut a = Sitter;
         let mut b = Sitter;
         let mut agents: Vec<&mut dyn Agent> = vec![&mut a, &mut b];
-        let run =
-            run_multi(&t, &[1, 1], &mut agents, &MultiConfig::simultaneous(2, 10));
+        let run = run_multi(&t, &[1, 1], &mut agents, &MultiConfig::simultaneous(2, 10));
         assert_eq!(run.outcome, MultiOutcome::Gathered { round: 0, node: 1 });
     }
 }

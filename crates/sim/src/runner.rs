@@ -152,11 +152,11 @@ pub fn run_pair(
     let mut trace_b = cfg.record_traces.then(|| vec![b.node]);
 
     let finish = |outcome: Outcome,
-                      a: Cursor,
-                      b: Cursor,
-                      crossings: u64,
-                      trace_a: Option<Vec<NodeId>>,
-                      trace_b: Option<Vec<NodeId>>| PairRun {
+                  a: Cursor,
+                  b: Cursor,
+                  crossings: u64,
+                  trace_a: Option<Vec<NodeId>>,
+                  trace_b: Option<Vec<NodeId>>| PairRun {
         outcome,
         crossings,
         final_a: a,
@@ -189,14 +189,7 @@ pub fn run_pair(
             crossings += 1;
         }
         if a.node == b.node {
-            return finish(
-                Outcome::Met { round, node: a.node },
-                a,
-                b,
-                crossings,
-                trace_a,
-                trace_b,
-            );
+            return finish(Outcome::Met { round, node: a.node }, a, b, crossings, trace_a, trace_b);
         }
     }
     finish(Outcome::Timeout { rounds: cfg.max_rounds }, a, b, crossings, trace_a, trace_b)
@@ -262,14 +255,7 @@ mod tests {
     #[test]
     fn walker_meets_sitter() {
         let t = line(9);
-        let run = run_pair(
-            &t,
-            0,
-            5,
-            &mut BasicWalker,
-            &mut Sitter,
-            PairConfig::simultaneous(100),
-        );
+        let run = run_pair(&t, 0, 5, &mut BasicWalker, &mut Sitter, PairConfig::simultaneous(100));
         assert_eq!(run.outcome, Outcome::Met { round: 5, node: 5 });
     }
 
@@ -277,14 +263,8 @@ mod tests {
     fn delayed_agent_is_met_at_home() {
         let t = line(9);
         // B delayed past the horizon: A's walk reaches B's home anyway.
-        let run = run_pair(
-            &t,
-            0,
-            6,
-            &mut BasicWalker,
-            &mut BasicWalker,
-            PairConfig::delayed(1_000, 100),
-        );
+        let run =
+            run_pair(&t, 0, 6, &mut BasicWalker, &mut BasicWalker, PairConfig::delayed(1_000, 100));
         assert_eq!(run.outcome, Outcome::Met { round: 6, node: 6 });
     }
 
@@ -293,14 +273,8 @@ mod tests {
         // Two walkers launched toward each other at odd distance cross
         // inside an edge and never co-locate on a cycle-free shuttle.
         let t = colored_line(2, 0); // single edge
-        let run = run_pair(
-            &t,
-            0,
-            1,
-            &mut BasicWalker,
-            &mut BasicWalker,
-            PairConfig::simultaneous(10),
-        );
+        let run =
+            run_pair(&t, 0, 1, &mut BasicWalker, &mut BasicWalker, PairConfig::simultaneous(10));
         assert!(!run.outcome.met());
         assert!(run.crossings > 0);
     }
@@ -308,14 +282,8 @@ mod tests {
     #[test]
     fn same_start_meets_at_round_zero() {
         let t = line(4);
-        let run = run_pair(
-            &t,
-            2,
-            2,
-            &mut BasicWalker,
-            &mut BasicWalker,
-            PairConfig::simultaneous(10),
-        );
+        let run =
+            run_pair(&t, 2, 2, &mut BasicWalker, &mut BasicWalker, PairConfig::simultaneous(10));
         assert_eq!(run.outcome, Outcome::Met { round: 0, node: 2 });
     }
 

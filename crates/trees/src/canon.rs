@@ -330,15 +330,9 @@ mod tests {
     #[test]
     fn mark_distinguishes() {
         let t = line(5);
-        assert_ne!(
-            canon_structural(&t, 2, None, Some(0)),
-            canon_structural(&t, 2, None, Some(1))
-        );
+        assert_ne!(canon_structural(&t, 2, None, Some(0)), canon_structural(&t, 2, None, Some(1)));
         // …but marking the two symmetric leaves gives equal canons.
-        assert_eq!(
-            canon_structural(&t, 2, None, Some(0)),
-            canon_structural(&t, 2, None, Some(4))
-        );
+        assert_eq!(canon_structural(&t, 2, None, Some(0)), canon_structural(&t, 2, None, Some(4)));
     }
 
     #[test]

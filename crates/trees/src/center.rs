@@ -27,8 +27,7 @@ pub fn center(t: &Tree) -> Center {
     }
     let mut deg: Vec<u32> = (0..n as NodeId).map(|u| t.degree(u)).collect();
     let mut removed = vec![false; n];
-    let mut frontier: Vec<NodeId> =
-        (0..n as NodeId).filter(|&u| deg[u as usize] <= 1).collect();
+    let mut frontier: Vec<NodeId> = (0..n as NodeId).filter(|&u| deg[u as usize] <= 1).collect();
     let mut remaining = n;
     loop {
         if remaining <= 2 {
@@ -55,8 +54,7 @@ pub fn center(t: &Tree) -> Center {
         }
         frontier = next;
     }
-    let survivors: Vec<NodeId> =
-        (0..n as NodeId).filter(|&u| !removed[u as usize]).collect();
+    let survivors: Vec<NodeId> = (0..n as NodeId).filter(|&u| !removed[u as usize]).collect();
     match survivors.as_slice() {
         [c] => Center::Node(*c),
         [a, b] => {
@@ -199,10 +197,7 @@ mod tests {
     fn center_minimizes_eccentricity() {
         let t = caterpillar(6, &[2, 0, 1, 0, 0, 4]);
         let c = center(&t);
-        let min_ecc = (0..t.num_nodes() as NodeId)
-            .map(|u| eccentricity(&t, u))
-            .min()
-            .unwrap();
+        let min_ecc = (0..t.num_nodes() as NodeId).map(|u| eccentricity(&t, u)).min().unwrap();
         match c {
             Center::Node(v) => assert_eq!(eccentricity(&t, v), min_ecc),
             Center::Edge(a, b) => {

@@ -61,17 +61,12 @@ pub fn contract(t: &Tree) -> Contraction {
             tp_to_t.push(u);
         }
     }
-    debug_assert!(
-        tp_to_t.len() >= 2,
-        "a tree with ≥ 2 nodes has ≥ 2 nodes of degree ≠ 2"
-    );
+    debug_assert!(tp_to_t.len() >= 2, "a tree with ≥ 2 nodes has ≥ 2 nodes of degree ≠ 2");
     // For each surviving node and each of its ports, walk through degree-2
     // nodes to the other surviving endpoint.
     let mut edges: Vec<Edge> = Vec::new();
-    let mut expansion: Vec<Vec<Vec<NodeId>>> = tp_to_t
-        .iter()
-        .map(|&u| vec![Vec::new(); t.degree(u) as usize])
-        .collect();
+    let mut expansion: Vec<Vec<Vec<NodeId>>> =
+        tp_to_t.iter().map(|&u| vec![Vec::new(); t.degree(u) as usize]).collect();
     for (w_idx, &u) in tp_to_t.iter().enumerate() {
         for p in 0..t.degree(u) {
             let mut path = vec![u];

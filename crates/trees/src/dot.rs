@@ -14,10 +14,7 @@ pub fn to_dot(t: &Tree, marks: &[(NodeId, &str)]) -> String {
         let color = marks.iter().find(|(m, _)| *m == v).map(|(_, c)| *c);
         match color {
             Some(c) => {
-                let _ = writeln!(
-                    out,
-                    "  n{v} [label=\"{v}\", style=filled, fillcolor=\"{c}\"];"
-                );
+                let _ = writeln!(out, "  n{v} [label=\"{v}\", style=filled, fillcolor=\"{c}\"];");
             }
             None => {
                 let _ = writeln!(out, "  n{v} [label=\"{v}\"];");

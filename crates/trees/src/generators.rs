@@ -92,8 +92,7 @@ pub fn spider(legs: usize, leg_len: usize) -> Tree {
     for leg in 0..legs {
         let mut prev: NodeId = 0;
         for step in 0..leg_len {
-            let port_prev =
-                if prev == 0 { leg as Port } else { 1 };
+            let port_prev = if prev == 0 { leg as Port } else { 1 };
             edges.push(Edge { u: prev, port_u: port_prev, v: next, port_v: 0 });
             let _ = step;
             prev = next;
@@ -117,12 +116,7 @@ pub fn complete_binary(height: usize) -> Tree {
         // use 0 for the parent edge, 1/2 for children.
         let child_slot = ((v - 1) % 2) as Port;
         let port_parent = if parent == 0 { child_slot } else { 1 + child_slot };
-        edges.push(Edge {
-            u: parent as NodeId,
-            port_u: port_parent,
-            v: v as NodeId,
-            port_v: 0,
-        });
+        edges.push(Edge { u: parent as NodeId, port_u: port_parent, v: v as NodeId, port_v: 0 });
     }
     Tree::from_edges(n, &edges).expect("complete binary construction is valid")
 }
@@ -181,12 +175,7 @@ pub fn caterpillar(spine: usize, hairs: &[usize]) -> Tree {
     let mut leaf = spine;
     for (i, &h) in hairs.iter().enumerate() {
         for _ in 0..h {
-            edges.push(Edge {
-                u: i as NodeId,
-                port_u: next_port[i],
-                v: leaf as NodeId,
-                port_v: 0,
-            });
+            edges.push(Edge { u: i as NodeId, port_u: next_port[i], v: leaf as NodeId, port_v: 0 });
             next_port[i] += 1;
             leaf += 1;
         }
@@ -201,10 +190,8 @@ pub fn broom(n: usize) -> Tree {
     assert!(n >= 1);
     let total = 2 * n + 1;
     // Node 0 = u, node 1 = v, node 2 = w, leaves 3...
-    let mut edges = vec![
-        Edge { u: 0, port_u: 0, v: 2, port_v: 0 },
-        Edge { u: 1, port_u: 0, v: 2, port_v: 1 },
-    ];
+    let mut edges =
+        vec![Edge { u: 0, port_u: 0, v: 2, port_v: 0 }, Edge { u: 1, port_u: 0, v: 2, port_v: 1 }];
     let mut leaf: NodeId = 3;
     for hub in [0 as NodeId, 1] {
         for p in 1..n {
@@ -236,12 +223,7 @@ pub fn double_spider(legs_a: &[usize], legs_b: &[usize], path_len: usize) -> Tre
         let mut prev = hub;
         let mut prev_port = hub_port;
         for step in 0..len {
-            edges.push(Edge {
-                u: prev,
-                port_u: prev_port,
-                v: *next,
-                port_v: 0,
-            });
+            edges.push(Edge { u: prev, port_u: prev_port, v: *next, port_v: 0 });
             let _ = step;
             prev = *next;
             prev_port = 1;
@@ -264,12 +246,7 @@ pub fn double_spider(legs_a: &[usize], legs_b: &[usize], path_len: usize) -> Tre
         prev_port = 1;
         next += 1;
     }
-    edges.push(Edge {
-        u: prev,
-        port_u: prev_port,
-        v: 1,
-        port_v: legs_b.len() as Port,
-    });
+    edges.push(Edge { u: prev, port_u: prev_port, v: 1, port_v: legs_b.len() as Port });
     Tree::from_edges(next as usize, &edges).expect("double spider is valid")
 }
 
@@ -285,12 +262,7 @@ pub fn random_tree<R: Rng>(n: usize, rng: &mut R) -> Tree {
     let mut edges = Vec::with_capacity(n - 1);
     for v in 1..n {
         let u = rng.gen_range(0..v);
-        let e = Edge {
-            u: u as NodeId,
-            port_u: next_port[u],
-            v: v as NodeId,
-            port_v: 0,
-        };
+        let e = Edge { u: u as NodeId, port_u: next_port[u], v: v as NodeId, port_v: 0 };
         next_port[u] += 1;
         next_port[v] = 1;
         edges.push(e);

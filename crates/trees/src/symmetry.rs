@@ -201,7 +201,11 @@ pub fn symmetrization_witness(t: &Tree, u: NodeId, v: NodeId) -> Option<(Tree, V
         }
         // Orient the marks so u sits in x's half (the halves themselves
         // stay put — swapping both would de-synchronize marks and halves).
-        if seen[u as usize] { (u, v, x, y) } else { (v, u, x, y) }
+        if seen[u as usize] {
+            (u, v, x, y)
+        } else {
+            (v, u, x, y)
+        }
     };
     // Build the structural marked isomorphism (T_x, x, u) → (T_y, y, v) by
     // pairing children in canonical order.
@@ -211,16 +215,10 @@ pub fn symmetrization_witness(t: &Tree, u: NodeId, v: NodeId) -> Option<(Tree, V
     f[y as usize] = x;
     let mut stack = vec![(x, y, Some(y), Some(x))];
     while let Some((a, b, pa, pb)) = stack.pop() {
-        let mut ka: Vec<NodeId> = t
-            .neighbors(a)
-            .filter(|&(_, w, _)| Some(w) != pa)
-            .map(|(_, w, _)| w)
-            .collect();
-        let mut kb: Vec<NodeId> = t
-            .neighbors(b)
-            .filter(|&(_, w, _)| Some(w) != pb)
-            .map(|(_, w, _)| w)
-            .collect();
+        let mut ka: Vec<NodeId> =
+            t.neighbors(a).filter(|&(_, w, _)| Some(w) != pa).map(|(_, w, _)| w).collect();
+        let mut kb: Vec<NodeId> =
+            t.neighbors(b).filter(|&(_, w, _)| Some(w) != pb).map(|(_, w, _)| w).collect();
         if ka.len() != kb.len() {
             return None; // cannot happen if the canons matched
         }
@@ -237,9 +235,8 @@ pub fn symmetrization_witness(t: &Tree, u: NodeId, v: NodeId) -> Option<(Tree, V
     debug_assert_eq!(f[u as usize], v);
     // Build the labeling: keep T's ports on the x-half and on the central
     // edge's x side; mirror them onto the y-half through f.
-    let mut perm: Vec<Vec<Port>> = (0..n as NodeId)
-        .map(|w| (0..t.degree(w)).collect::<Vec<Port>>())
-        .collect();
+    let mut perm: Vec<Vec<Port>> =
+        (0..n as NodeId).map(|w| (0..t.degree(w)).collect::<Vec<Port>>()).collect();
     // For every node a in the x-half (including x), make the ports at f(a)
     // mirror the ports at a: the edge (a -> w by port p) maps to the edge
     // (f(a) -> f(w)) which must also get port p.
@@ -388,12 +385,7 @@ mod tests {
         }
         // Join roots 0 and n with a fresh port at each (degree extension).
         let d0 = half.degree(0);
-        edges.push(crate::tree::Edge {
-            u: 0,
-            port_u: d0,
-            v: n as NodeId,
-            port_v: d0,
-        });
+        edges.push(crate::tree::Edge { u: 0, port_u: d0, v: n as NodeId, port_v: d0 });
         let doubled = Tree::from_edges(2 * n, &edges).unwrap();
         for w in 0..n as NodeId {
             assert!(

@@ -349,10 +349,7 @@ mod tests {
         // 0 -1- 2 : nodes 0,1,2 in a path 0-1-2.
         Tree::from_edges(
             3,
-            &[
-                Edge { u: 0, port_u: 0, v: 1, port_v: 0 },
-                Edge { u: 1, port_u: 1, v: 2, port_v: 0 },
-            ],
+            &[Edge { u: 0, port_u: 0, v: 1, port_v: 0 }, Edge { u: 1, port_u: 1, v: 2, port_v: 0 }],
         )
         .unwrap()
     }
@@ -373,10 +370,7 @@ mod tests {
     fn rejects_duplicate_port() {
         let r = Tree::from_edges(
             3,
-            &[
-                Edge { u: 0, port_u: 0, v: 1, port_v: 0 },
-                Edge { u: 2, port_u: 0, v: 1, port_v: 0 },
-            ],
+            &[Edge { u: 0, port_u: 0, v: 1, port_v: 0 }, Edge { u: 2, port_u: 0, v: 1, port_v: 0 }],
         );
         assert_eq!(r, Err(TreeError::DuplicatePort { node: 1, port: 0 }));
     }
@@ -385,10 +379,7 @@ mod tests {
     fn rejects_noncontiguous_ports() {
         let r = Tree::from_edges(
             3,
-            &[
-                Edge { u: 0, port_u: 0, v: 1, port_v: 0 },
-                Edge { u: 1, port_u: 2, v: 2, port_v: 0 },
-            ],
+            &[Edge { u: 0, port_u: 0, v: 1, port_v: 0 }, Edge { u: 1, port_u: 2, v: 2, port_v: 0 }],
         );
         assert_eq!(r, Err(TreeError::NonContiguousPorts { node: 1 }));
     }

@@ -19,7 +19,10 @@ use tree_rendezvous::sim::{run_pair, PairConfig};
 use tree_rendezvous::trees::generators::line;
 
 fn main() {
-    println!("{:>6} {:>14} {:>16} {:>10} {:>10}", "n", "delay-0 bits", "any-delay bits", "met@0", "met@n");
+    println!(
+        "{:>6} {:>14} {:>16} {:>10} {:>10}",
+        "n", "delay-0 bits", "any-delay bits", "met@0", "met@n"
+    );
     for exp in 4..=10 {
         let n: usize = 1 << exp;
         let tree = line(n);
@@ -33,16 +36,10 @@ fn main() {
 
         let mut p = DelayRobustAgent::new();
         let mut q = DelayRobustAgent::new();
-        let metd = run_pair(
-            &tree,
-            a,
-            b,
-            &mut p,
-            &mut q,
-            PairConfig::delayed(n as u64, u64::MAX / 2),
-        )
-        .outcome
-        .met();
+        let metd =
+            run_pair(&tree, a, b, &mut p, &mut q, PairConfig::delayed(n as u64, u64::MAX / 2))
+                .outcome
+                .met();
 
         println!(
             "{:>6} {:>14} {:>16} {:>10} {:>10}",

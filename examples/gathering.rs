@@ -44,8 +44,7 @@ fn main() {
     }
 
     // Inspect the instance: render to DOT (pipe into `dot -Tsvg`).
-    let marks: Vec<(u32, &str)> =
-        starts.iter().map(|&s| (s, "lightblue")).collect();
+    let marks: Vec<(u32, &str)> = starts.iter().map(|&s| (s, "lightblue")).collect();
     println!("\n--- spider(4,3) in DOT, agent starts highlighted ---");
     println!("{}", to_dot(&t, &marks));
 }

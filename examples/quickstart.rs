@@ -24,21 +24,12 @@ fn main() {
     // labeling above; we must only ensure the starts are feasible
     // (Fact 1.1: not perfectly symmetrizable).
     let (a, b) = (3, 14);
-    assert!(
-        !perfectly_symmetrizable(&tree, a, b),
-        "feasible starting positions"
-    );
+    assert!(!perfectly_symmetrizable(&tree, a, b), "feasible starting positions");
 
     let mut agent_a = TreeRendezvousAgent::new();
     let mut agent_b = TreeRendezvousAgent::new();
-    let run = run_pair(
-        &tree,
-        a,
-        b,
-        &mut agent_a,
-        &mut agent_b,
-        PairConfig::simultaneous(10_000_000),
-    );
+    let run =
+        run_pair(&tree, a, b, &mut agent_a, &mut agent_b, PairConfig::simultaneous(10_000_000));
 
     match run.outcome {
         tree_rendezvous::sim::Outcome::Met { round, node } => {
@@ -55,9 +46,6 @@ fn main() {
     );
     println!(
         "provisioned automaton size for all trees of this (n, ℓ): {} bits",
-        TreeRendezvousAgent::provisioned_bits(
-            tree.num_nodes() as u64,
-            tree.num_leaves() as u64
-        )
+        TreeRendezvousAgent::provisioned_bits(tree.num_nodes() as u64, tree.num_leaves() as u64)
     );
 }

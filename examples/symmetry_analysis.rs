@@ -34,8 +34,10 @@ fn main() {
     println!("           (f preserves relabeled ports: the adversary labeling");
     println!("            under which NO deterministic identical agents can meet)");
     let _ = relabeled;
-    println!("  non-mirror pair (0, 5): perfectly symmetrizable = {}",
-        perfectly_symmetrizable(&even, 0, 5));
+    println!(
+        "  non-mirror pair (0, 5): perfectly symmetrizable = {}",
+        perfectly_symmetrizable(&even, 0, 5)
+    );
     println!();
 
     // Complete binary tree: all leaves topologically symmetric, none

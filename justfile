@@ -1,0 +1,39 @@
+# Local targets mirroring .github/workflows/ci.yml — keep the two in
+# lockstep so "works on my machine" and CI mean the same thing.
+
+# Full CI-equivalent pass.
+ci: build test fmt-check clippy bench-smoke
+
+build:
+    cargo build --release --workspace
+
+test:
+    cargo test --workspace -q
+
+fmt:
+    cargo fmt --all
+
+fmt-check:
+    cargo fmt --all --check
+
+clippy:
+    cargo clippy --workspace --all-targets -- -D warnings
+
+bench:
+    cargo bench --workspace
+
+# Compile benches + the tiny deterministic sweep CI runs.
+bench-smoke:
+    cargo bench --workspace --no-run
+    mkdir -p bench-smoke
+    cargo run --release --bin experiments -- --experiment e6 --sizes 8,16 --threads 2 --json bench-smoke/e6.json
+    cargo run --release --bin experiments -- --experiment e6 --sizes 8,16 --threads 1 --json bench-smoke/e6-t1.json
+    cmp bench-smoke/e6.json bench-smoke/e6-t1.json
+
+# Full-scale parallel sweep of every experiment grid.
+sweep:
+    cargo run --release --bin experiments -- --experiment e1,e2,e3,e4,e5,e6,e7,e8 --json results
+
+# Classic paper tables (the seed driver's mode).
+tables:
+    cargo run --release --bin experiments -- all

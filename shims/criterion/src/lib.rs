@@ -1,0 +1,255 @@
+//! Offline API-subset shim for `criterion` (see `shims/README.md`).
+//!
+//! Compiles the workspace's criterion benches unmodified and reports a
+//! single mean wall-clock figure per benchmark — enough for smoke runs and
+//! coarse comparisons, with none of criterion's statistics.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(200);
+/// Hard cap on measured iterations.
+const MAX_ITERS: u64 = 10_000;
+
+/// Benchmark registry / driver.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    /// Substring filter from the CLI (`cargo bench -- <filter>`).
+    filter: Option<String>,
+}
+
+impl Criterion {
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            throughput: None,
+            filter: self.filter.clone(),
+            _marker: std::marker::PhantomData,
+        }
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let filter = self.filter.clone();
+        run_one(id, None, &filter, |b| f(b));
+        self
+    }
+
+    fn configure_from_args(mut self) -> Self {
+        // `cargo bench` forwards harness flags (`--bench`, `--profile-time`,
+        // ...); the first free-standing argument is a name filter.
+        let mut args = std::env::args().skip(1);
+        while let Some(a) = args.next() {
+            match a.as_str() {
+                "--bench" | "--test" | "--list" | "--exact" | "--nocapture" | "--quiet" => {}
+                "--profile-time" | "--save-baseline" | "--baseline" | "--measurement-time"
+                | "--warm-up-time" | "--sample-size" => {
+                    let _ = args.next();
+                }
+                a if a.starts_with('-') => {}
+                free => self.filter = Some(free.to_string()),
+            }
+        }
+        self
+    }
+}
+
+/// Identifier `function_name/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    name: String,
+}
+
+impl BenchmarkId {
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId { name: format!("{}/{}", function_name.into(), parameter) }
+    }
+
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId { name: parameter.to_string() }
+    }
+}
+
+/// Throughput annotation; reported per element/byte when present.
+#[derive(Debug, Clone, Copy)]
+pub enum Throughput {
+    Elements(u64),
+    Bytes(u64),
+}
+
+/// A named group of related benchmarks.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    throughput: Option<Throughput>,
+    filter: Option<String>,
+    // Tie the group to its Criterion like the real API does.
+    _marker: std::marker::PhantomData<&'a ()>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        mut f: F,
+    ) -> &mut Self {
+        let id = format!("{}/{}", self.name, id.into_benchmark_name());
+        run_one(&id, self.throughput, &self.filter, |b| f(b));
+        self
+    }
+
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl IntoBenchmarkName,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = format!("{}/{}", self.name, id.into_benchmark_name());
+        run_one(&id, self.throughput, &self.filter, |b| f(b, input));
+        self
+    }
+
+    pub fn finish(self) {}
+}
+
+/// Accepts `&str`, `String`, or `BenchmarkId` as a benchmark name.
+pub trait IntoBenchmarkName {
+    fn into_benchmark_name(self) -> String;
+}
+
+impl IntoBenchmarkName for BenchmarkId {
+    fn into_benchmark_name(self) -> String {
+        self.name
+    }
+}
+
+impl IntoBenchmarkName for &str {
+    fn into_benchmark_name(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkName for String {
+    fn into_benchmark_name(self) -> String {
+        self
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+pub struct Bencher {
+    iters_done: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // One warm-up call, also used to calibrate the iteration count.
+        let t0 = Instant::now();
+        black_box(routine());
+        let once = t0.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
+        let t1 = Instant::now();
+        for _ in 0..iters {
+            black_box(routine());
+        }
+        self.elapsed = t1.elapsed();
+        self.iters_done = iters;
+    }
+}
+
+fn run_one(
+    id: &str,
+    throughput: Option<Throughput>,
+    filter: &Option<String>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    if let Some(filter) = filter {
+        if !id.contains(filter.as_str()) {
+            return;
+        }
+    }
+    let mut b = Bencher { iters_done: 0, elapsed: Duration::ZERO };
+    f(&mut b);
+    let per_iter =
+        if b.iters_done > 0 { b.elapsed.as_nanos() as f64 / b.iters_done as f64 } else { f64::NAN };
+    let extra = match throughput {
+        Some(Throughput::Elements(n)) if n > 0 => {
+            format!("  ({:.1} ns/elem)", per_iter / n as f64)
+        }
+        Some(Throughput::Bytes(n)) if n > 0 => {
+            format!("  ({:.3} ns/byte)", per_iter / n as f64)
+        }
+        _ => String::new(),
+    };
+    println!("bench: {id:<50} {:>14.1} ns/iter{extra}  [{} iters]", per_iter, b.iters_done);
+}
+
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().__configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+impl Criterion {
+    /// Internal hook for `criterion_group!`; not part of the real API.
+    #[doc(hidden)]
+    pub fn __configure_from_args(self) -> Self {
+        self.configure_from_args()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_ids_compose() {
+        let id = BenchmarkId::new("walk", 128);
+        assert_eq!(id.into_benchmark_name(), "walk/128");
+    }
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Elements(10));
+        let mut ran = false;
+        group.bench_function("noop", |b| {
+            b.iter(|| black_box(3 + 4));
+            ran = true;
+        });
+        group.finish();
+        assert!(ran);
+    }
+}

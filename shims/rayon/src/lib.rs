@@ -1,0 +1,222 @@
+//! Offline API-subset shim for `rayon` (see `shims/README.md`).
+//!
+//! Fans work across `std::thread::scope` workers pulling indices from a
+//! shared atomic counter. Results are reassembled in input order, so
+//! `par_iter().map(f).collect::<Vec<_>>()` is ordered exactly like the
+//! sequential map regardless of scheduling — the property the sweep
+//! engine's determinism guarantee rests on.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+thread_local! {
+    /// Thread count override installed by [`ThreadPool::install`].
+    static POOL_THREADS: Cell<Option<usize>> = const { Cell::new(None) };
+}
+
+/// Number of worker threads a parallel iterator will use here and now.
+pub fn current_num_threads() -> usize {
+    POOL_THREADS
+        .with(Cell::get)
+        .unwrap_or_else(|| std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1))
+}
+
+/// Builder mirroring `rayon::ThreadPoolBuilder`.
+#[derive(Debug, Default)]
+pub struct ThreadPoolBuilder {
+    num_threads: Option<usize>,
+}
+
+/// Build error (the shim cannot actually fail to build).
+#[derive(Debug)]
+pub struct ThreadPoolBuildError;
+
+impl std::fmt::Display for ThreadPoolBuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("thread pool build error")
+    }
+}
+
+impl std::error::Error for ThreadPoolBuildError {}
+
+impl ThreadPoolBuilder {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// `0` means "use all available cores", as in rayon.
+    pub fn num_threads(mut self, n: usize) -> Self {
+        self.num_threads = Some(n);
+        self
+    }
+
+    pub fn build(self) -> Result<ThreadPool, ThreadPoolBuildError> {
+        let n = match self.num_threads {
+            Some(0) | None => std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            Some(n) => n,
+        };
+        Ok(ThreadPool { num_threads: n })
+    }
+}
+
+/// A sized pool; parallel iterators inside [`ThreadPool::install`] use its
+/// thread count.
+#[derive(Debug)]
+pub struct ThreadPool {
+    num_threads: usize,
+}
+
+impl ThreadPool {
+    pub fn current_num_threads(&self) -> usize {
+        self.num_threads
+    }
+
+    pub fn install<R, F: FnOnce() -> R>(&self, op: F) -> R {
+        let prev = POOL_THREADS.with(|c| c.replace(Some(self.num_threads)));
+        let out = op();
+        POOL_THREADS.with(|c| c.set(prev));
+        out
+    }
+}
+
+/// Ordered parallel map over a slice: the engine under every iterator here.
+fn par_map_slice<'a, T: Sync, R: Send>(items: &'a [T], f: impl Fn(&'a T) -> R + Sync) -> Vec<R> {
+    let threads = current_num_threads().min(items.len().max(1));
+    if threads <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let mut tagged: Vec<(usize, R)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|_| {
+                scope.spawn(|| {
+                    let mut local = Vec::new();
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= items.len() {
+                            break;
+                        }
+                        local.push((i, f(&items[i])));
+                    }
+                    local
+                })
+            })
+            .collect();
+        handles.into_iter().flat_map(|h| h.join().expect("rayon shim: worker panicked")).collect()
+    });
+    tagged.sort_by_key(|(i, _)| *i);
+    tagged.into_iter().map(|(_, v)| v).collect()
+}
+
+/// `par_iter()` entry point for `&Vec<T>` / `&[T]`.
+pub trait IntoParallelRefIterator<'a> {
+    type Item: 'a;
+    type Iter;
+
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Item = &'a T;
+    type Iter = ParIter<'a, T>;
+
+    fn par_iter(&'a self) -> ParIter<'a, T> {
+        ParIter { items: self }
+    }
+}
+
+/// Borrowing parallel iterator.
+#[derive(Debug)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    pub fn map<R, F: Fn(&'a T) -> R + Sync>(self, f: F) -> ParMap<'a, T, F> {
+        ParMap { items: self.items, f }
+    }
+
+    pub fn for_each<F: Fn(&'a T) + Sync>(self, f: F) {
+        let _: Vec<()> = par_map_slice(self.items, &f);
+    }
+}
+
+/// Mapped parallel iterator.
+pub struct ParMap<'a, T, F> {
+    items: &'a [T],
+    f: F,
+}
+
+impl<'a, T: Sync, R: Send, F: Fn(&'a T) -> R + Sync> ParMap<'a, T, F> {
+    pub fn collect<C: FromParallelIterator<R>>(self) -> C {
+        let f = &self.f;
+        C::from_ordered(par_map_slice(self.items, f))
+    }
+}
+
+/// Collection targets for [`ParMap::collect`].
+pub trait FromParallelIterator<R> {
+    fn from_ordered(items: Vec<R>) -> Self;
+}
+
+impl<R> FromParallelIterator<R> for Vec<R> {
+    fn from_ordered(items: Vec<R>) -> Self {
+        items
+    }
+}
+
+pub mod prelude {
+    pub use crate::{FromParallelIterator, IntoParallelRefIterator};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn ordered_collect_matches_sequential() {
+        let xs: Vec<u64> = (0..1000).collect();
+        let seq: Vec<u64> = xs.iter().map(|x| x * x).collect();
+        let par: Vec<u64> = xs.par_iter().map(|x| x * x).collect();
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn install_overrides_thread_count() {
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        assert_eq!(pool.current_num_threads(), 3);
+        let seen = pool.install(current_num_threads);
+        assert_eq!(seen, 3);
+        // Restored afterwards.
+        assert_ne!(current_num_threads(), 0);
+    }
+
+    #[test]
+    fn single_thread_pool_is_sequential_path() {
+        let pool = ThreadPoolBuilder::new().num_threads(1).build().unwrap();
+        let out: Vec<usize> =
+            pool.install(|| (0..16).collect::<Vec<usize>>().par_iter().map(|&i| i + 1).collect());
+        assert_eq!(out, (1..17).collect::<Vec<usize>>());
+    }
+
+    #[test]
+    fn for_each_visits_everything() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+        let total = AtomicUsize::new(0);
+        let xs: Vec<usize> = (1..=100).collect();
+        xs.par_iter().for_each(|&x| {
+            total.fetch_add(x, Ordering::Relaxed);
+        });
+        assert_eq!(total.into_inner(), 5050);
+    }
+}

@@ -1,0 +1,272 @@
+//! Offline API-subset shim for `serde` (see `shims/README.md`).
+//!
+//! Instead of serde's visitor architecture, [`Serialize`] converts a value
+//! into an owned JSON [`Value`] tree; `serde_json` renders and parses it.
+//! `#[derive(Serialize)]` (from the sibling `serde_derive` shim) works on
+//! non-generic structs with named fields.
+
+// Let derive-generated `::serde::...` paths resolve inside this crate's
+// own tests.
+extern crate self as serde;
+
+pub use serde_derive::Serialize;
+
+/// A JSON value tree.
+///
+/// Numbers keep their source flavor (`Int`/`UInt`/`Float`) but compare
+/// numerically across flavors, so `to_value(x) == from_str(to_string(x))`
+/// holds even though e.g. a `u64` field reparses as `Int`.
+#[derive(Debug, Clone)]
+pub enum Value {
+    Null,
+    Bool(bool),
+    Int(i64),
+    UInt(u64),
+    Float(f64),
+    Str(String),
+    Array(Vec<Value>),
+    Object(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// Object field lookup (`None` for non-objects / missing keys).
+    pub fn get(&self, key: &str) -> Option<&Value> {
+        match self {
+            Value::Object(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    pub fn as_array(&self) -> Option<&Vec<Value>> {
+        match self {
+            Value::Array(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Value::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    pub fn as_i64(&self) -> Option<i64> {
+        match self {
+            Value::Int(v) => Some(*v),
+            Value::UInt(v) => i64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Value::UInt(v) => Some(*v),
+            Value::Int(v) => u64::try_from(*v).ok(),
+            _ => None,
+        }
+    }
+
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Value::Float(v) => Some(*v),
+            Value::Int(v) => Some(*v as f64),
+            Value::UInt(v) => Some(*v as f64),
+            _ => None,
+        }
+    }
+
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+}
+
+impl PartialEq for Value {
+    fn eq(&self, other: &Self) -> bool {
+        use Value::*;
+        match (self, other) {
+            (Null, Null) => true,
+            (Bool(a), Bool(b)) => a == b,
+            (Str(a), Str(b)) => a == b,
+            (Array(a), Array(b)) => a == b,
+            (Object(a), Object(b)) => a == b,
+            // Numbers compare across flavors.
+            (Int(a), Int(b)) => a == b,
+            (UInt(a), UInt(b)) => a == b,
+            (Int(a), UInt(b)) | (UInt(b), Int(a)) => {
+                u64::try_from(*a).map(|a| a == *b).unwrap_or(false)
+            }
+            (Float(a), Float(b)) => a == b,
+            (Float(f), Int(i)) | (Int(i), Float(f)) => *f == *i as f64,
+            (Float(f), UInt(u)) | (UInt(u), Float(f)) => *f == *u as f64,
+            _ => false,
+        }
+    }
+}
+
+impl std::ops::Index<&str> for Value {
+    type Output = Value;
+    fn index(&self, key: &str) -> &Value {
+        static NULL: Value = Value::Null;
+        self.get(key).unwrap_or(&NULL)
+    }
+}
+
+impl std::ops::Index<usize> for Value {
+    type Output = Value;
+    fn index(&self, i: usize) -> &Value {
+        static NULL: Value = Value::Null;
+        match self {
+            Value::Array(v) => v.get(i).unwrap_or(&NULL),
+            _ => &NULL,
+        }
+    }
+}
+
+/// Conversion into the JSON value model.
+pub trait Serialize {
+    fn to_json_value(&self) -> Value;
+}
+
+impl Serialize for Value {
+    fn to_json_value(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_json_value(&self) -> Value {
+        (**self).to_json_value()
+    }
+}
+
+macro_rules! impl_serialize_signed {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::Int(*self as i64)
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_serialize_unsigned {
+    ($($t:ty),* $(,)?) => {$(
+        impl Serialize for $t {
+            fn to_json_value(&self) -> Value {
+                Value::UInt(*self as u64)
+            }
+        }
+    )*};
+}
+
+impl_serialize_signed!(i8, i16, i32, i64, isize);
+impl_serialize_unsigned!(u8, u16, u32, u64, usize);
+
+impl Serialize for f64 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Serialize for f32 {
+    fn to_json_value(&self) -> Value {
+        Value::Float(*self as f64)
+    }
+}
+
+impl Serialize for bool {
+    fn to_json_value(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Serialize for str {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for String {
+    fn to_json_value(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_json_value(&self) -> Value {
+        match self {
+            Some(v) => v.to_json_value(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_json_value(&self) -> Value {
+        Value::Array(self.iter().map(Serialize::to_json_value).collect())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numbers_compare_across_flavors() {
+        assert_eq!(Value::Int(3), Value::UInt(3));
+        assert_eq!(Value::Float(3.0), Value::Int(3));
+        assert_ne!(Value::Int(-1), Value::UInt(u64::MAX));
+        assert_ne!(Value::Float(3.5), Value::Int(3));
+    }
+
+    #[test]
+    fn indexing_and_accessors() {
+        let v = Value::Object(vec![
+            ("a".into(), Value::Array(vec![Value::Int(1), Value::Str("x".into())])),
+            ("b".into(), Value::Bool(true)),
+        ]);
+        assert_eq!(v["a"][0].as_i64(), Some(1));
+        assert_eq!(v["a"][1].as_str(), Some("x"));
+        assert_eq!(v["b"].as_bool(), Some(true));
+        assert!(v["missing"].is_null());
+    }
+
+    #[test]
+    fn derive_serializes_named_structs() {
+        #[derive(Serialize)]
+        struct Row {
+            name: String,
+            n: usize,
+            ratio: f64,
+            met: bool,
+            tags: Vec<String>,
+        }
+        let r = Row { name: "line".into(), n: 8, ratio: 0.5, met: true, tags: vec!["a".into()] };
+        let v = r.to_json_value();
+        assert_eq!(v["name"].as_str(), Some("line"));
+        assert_eq!(v["n"].as_u64(), Some(8));
+        assert_eq!(v["ratio"].as_f64(), Some(0.5));
+        assert_eq!(v["met"].as_bool(), Some(true));
+        assert_eq!(v["tags"][0].as_str(), Some("a"));
+    }
+}

@@ -1,0 +1,128 @@
+//! Offline shim for `serde_derive` (see `shims/README.md`).
+//!
+//! Hand-rolled token parsing (no `syn`/`quote` available offline): supports
+//! `#[derive(Serialize)]` on non-generic structs with named fields, which
+//! is the entire surface the workspace uses. Anything else is a compile
+//! error with a pointed message rather than silent misbehavior.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let mut iter = input.into_iter().peekable();
+
+    // Skip outer attributes (`#[...]`) and visibility, find `struct Name`.
+    let mut name: Option<String> = None;
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next(); // the bracketed attribute group
+            }
+            TokenTree::Ident(id) if id.to_string() == "enum" || id.to_string() == "union" => {
+                panic!("serde shim: derive(Serialize) supports structs only")
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" => {
+                match iter.next() {
+                    Some(TokenTree::Ident(n)) => name = Some(n.to_string()),
+                    _ => panic!("serde shim: expected struct name"),
+                }
+                break;
+            }
+            _ => {}
+        }
+    }
+    let name = name.expect("serde shim: no `struct` item found");
+
+    // The body must be a brace group of named fields; generics unsupported.
+    let mut fields: Option<Vec<String>> = None;
+    for tt in iter {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                panic!("serde shim: generic structs not supported")
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Brace => {
+                fields = Some(parse_named_fields(g.stream()));
+                break;
+            }
+            TokenTree::Group(g) if g.delimiter() == Delimiter::Parenthesis => {
+                panic!("serde shim: tuple structs not supported")
+            }
+            _ => {}
+        }
+    }
+    let fields = fields.expect("serde shim: expected named-field struct body");
+
+    let entries: String = fields
+        .iter()
+        .map(|f| {
+            format!(
+                "(::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_json_value(&self.{f})),"
+            )
+        })
+        .collect();
+    let out = format!(
+        "impl ::serde::Serialize for {name} {{\n\
+             fn to_json_value(&self) -> ::serde::Value {{\n\
+                 ::serde::Value::Object(::std::vec![{entries}])\n\
+             }}\n\
+         }}"
+    );
+    out.parse().expect("serde shim: generated impl failed to parse")
+}
+
+/// Extracts field names from the token stream of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<String> {
+    let mut out = Vec::new();
+    let mut iter = body.into_iter().peekable();
+    loop {
+        // Skip field attributes (doc comments arrive as `#[doc = "..."]`).
+        while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
+            iter.next();
+            iter.next();
+        }
+        // Optional `pub` / `pub(...)`.
+        if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
+            iter.next();
+            if matches!(
+                iter.peek(),
+                Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis
+            ) {
+                iter.next();
+            }
+        }
+        match iter.next() {
+            None => break,
+            Some(TokenTree::Ident(id)) => out.push(id.to_string()),
+            Some(other) => panic!("serde shim: unexpected token in struct body: {other}"),
+        }
+        match iter.next() {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => {}
+            _ => panic!("serde shim: expected `:` after field name"),
+        }
+        // Skip the type up to the next top-level comma. `->` (fn-pointer
+        // types) must not be miscounted as closing an angle bracket.
+        let mut angle_depth = 0i32;
+        let mut prev_char = ' ';
+        loop {
+            match iter.next() {
+                None => break,
+                Some(TokenTree::Punct(p)) => {
+                    let c = p.as_char();
+                    match c {
+                        '<' => angle_depth += 1,
+                        '>' if prev_char != '-' => {
+                            angle_depth -= 1;
+                            assert!(angle_depth >= 0, "serde shim: unbalanced `>` in a field type");
+                        }
+                        ',' if angle_depth == 0 => break,
+                        _ => {}
+                    }
+                    prev_char = c;
+                }
+                Some(_) => prev_char = ' ',
+            }
+        }
+    }
+    out
+}

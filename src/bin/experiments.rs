@@ -1,0 +1,7 @@
+//! Workspace-root `experiments` binary, so
+//! `cargo run --release --bin experiments -- ...` works from a fresh
+//! checkout. All logic lives in [`rvz_bench::cli`].
+
+fn main() {
+    rvz_bench::cli::run_from_env();
+}

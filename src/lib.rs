@@ -15,8 +15,9 @@
 //! * [`lowerbounds`] — the constructive adversaries of Theorems 3.1, 4.2
 //!   and 4.3.
 //!
-//! See `DESIGN.md` for the system inventory and `EXPERIMENTS.md` for the
-//! paper-vs-measured record.
+//! See `README.md` for the workspace layout, the `experiments` CLI, and
+//! the JSON result-row schema. (`DESIGN.md` section numbers cited in doc
+//! comments refer to the original design notes, not yet committed here.)
 
 pub use rvz_agent as agent;
 pub use rvz_core as core;

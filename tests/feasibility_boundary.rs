@@ -15,9 +15,7 @@
 use tree_rendezvous::core::TreeRendezvousAgent;
 use tree_rendezvous::sim::{run_pair, PairConfig};
 use tree_rendezvous::trees::generators::{all_labelings, caterpillar, line, spider};
-use tree_rendezvous::trees::{
-    perfectly_symmetrizable, symmetric_wrt_labeling, NodeId, Tree,
-};
+use tree_rendezvous::trees::{perfectly_symmetrizable, symmetric_wrt_labeling, NodeId, Tree};
 
 fn outcome(t: &Tree, a: NodeId, b: NodeId, budget: u64) -> bool {
     let mut x = TreeRendezvousAgent::new();

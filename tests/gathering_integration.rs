@@ -7,19 +7,12 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use tree_rendezvous::core::{gather, gatherable};
 use tree_rendezvous::sim::MultiOutcome;
-use tree_rendezvous::trees::generators::{
-    caterpillar, random_relabel, random_tree, spider, star,
-};
+use tree_rendezvous::trees::generators::{caterpillar, random_relabel, random_tree, spider, star};
 use tree_rendezvous::trees::NodeId;
 
 #[test]
 fn gathers_k_agents_on_gatherable_families() {
-    let trees = vec![
-        star(8),
-        spider(3, 5),
-        spider(5, 3),
-        caterpillar(4, &[2, 0, 0, 3]),
-    ];
+    let trees = vec![star(8), spider(3, 5), spider(5, 3), caterpillar(4, &[2, 0, 0, 3])];
     let mut rng = StdRng::seed_from_u64(77);
     for t in trees {
         assert!(gatherable(&t), "these families have non-symmetric contractions");
@@ -50,10 +43,7 @@ fn gathers_on_random_gatherable_trees() {
         }
         let starts = [0u32, 5, 9, 13];
         let run = gather(&t, &starts, 2_000_000);
-        assert!(
-            matches!(run.outcome, MultiOutcome::Gathered { .. }),
-            "gathering failed on {t:?}"
-        );
+        assert!(matches!(run.outcome, MultiOutcome::Gathered { .. }), "gathering failed on {t:?}");
         tested += 1;
     }
 }

@@ -73,10 +73,7 @@ fn baseline_meets_across_delays() {
                 let mut x = DelayRobustAgent::new();
                 let mut y = DelayRobustAgent::new();
                 let run = run_pair(&t, a, b, &mut x, &mut y, PairConfig::delayed(delay, budget));
-                assert!(
-                    run.outcome.met(),
-                    "tree #{i} pair ({a},{b}) delay {delay} did not meet"
-                );
+                assert!(run.outcome.met(), "tree #{i} pair ({a},{b}) delay {delay} did not meet");
             }
         }
     }
@@ -104,10 +101,7 @@ fn infeasible_instances_never_meet_for_either_algorithm() {
 fn memory_scales_as_the_paper_claims() {
     // Provisioned sizes: delay-0 ≈ c₁ log ℓ + c₂ log log n; any-delay ≈ c₃ log n.
     let at = |n: u64| {
-        (
-            TreeRendezvousAgent::provisioned_bits(n, 2),
-            DelayRobustAgent::provisioned_bits(n),
-        )
+        (TreeRendezvousAgent::provisioned_bits(n, 2), DelayRobustAgent::provisioned_bits(n))
     };
     let (d0_small, any_small) = at(1 << 5);
     let (d0_big, any_big) = at(1 << 10);

@@ -82,10 +82,9 @@ fn baseline_meets_on_delay_attack_instances() {
 fn unbounded_prime_meets_where_its_capped_sibling_fails() {
     // The Thm 4.2 adversary defeats the capped, compiled prime protocol;
     // the unbounded protocol meets on the same instance.
-    let compiled = compile_line_agent(|| PrimePathAgent::cycling(1), 100_000)
-        .expect("finite-state");
-    let attack =
-        sync_attack::sync_attack(&compiled, 1 << 22).expect("capped sibling defeated");
+    let compiled =
+        compile_line_agent(|| PrimePathAgent::cycling(1), 100_000).expect("finite-state");
+    let attack = sync_attack::sync_attack(&compiled, 1 << 22).expect("capped sibling defeated");
     let m = attack.line.num_nodes();
     // Blind-agent feasibility: positions x+1 and x+2 (1-based) on an
     // (x + x' + 2)-node path: a−1 = x ≠ x' = m−b since the adversary
@@ -113,8 +112,8 @@ fn compiled_prime_agent_behaves_like_the_procedural_one() {
     // Sanity for the compiler at integration level: simulate both on a
     // random colored line from the same start and compare positions.
     use tree_rendezvous::agent::model::{Agent, Obs};
-    let compiled = compile_line_agent(|| PrimePathAgent::cycling(2), 100_000)
-        .expect("finite-state");
+    let compiled =
+        compile_line_agent(|| PrimePathAgent::cycling(2), 100_000).expect("finite-state");
     let line = tree_rendezvous::trees::generators::colored_line(31, 0);
     let mut proc_agent = PrimePathAgent::cycling(2);
     let mut fsa_agent = compiled.runner();
