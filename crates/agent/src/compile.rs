@@ -94,41 +94,44 @@ where
     let mut first = Wrapped { agent: make(), last_color: None, moved: false };
     let first_action = first.advance(2);
 
+    // The map owns one copy of each key; the FIFO work queue carries the
+    // only other copy, made exactly once per discovered state. BFS in
+    // discovery (= id) order, so `delta` rows land at their state's index.
     let mut ids: HashMap<Wrapped<A>, StateId> = HashMap::new();
-    let mut order: Vec<Wrapped<A>> = Vec::new();
     let mut actions: Vec<Action> = Vec::new();
+    let mut queue: std::collections::VecDeque<Wrapped<A>> = std::collections::VecDeque::new();
     let intern = |w: Wrapped<A>,
                   a: Action,
                   ids: &mut HashMap<Wrapped<A>, StateId>,
-                  order: &mut Vec<Wrapped<A>>,
+                  queue: &mut std::collections::VecDeque<Wrapped<A>>,
                   actions: &mut Vec<Action>|
      -> StateId {
-        if let Some(&id) = ids.get(&w) {
-            return id;
+        match ids.entry(w) {
+            std::collections::hash_map::Entry::Occupied(e) => *e.get(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let id = actions.len() as StateId;
+                queue.push_back(e.key().clone());
+                e.insert(id);
+                actions.push(a);
+                id
+            }
         }
-        let id = order.len() as StateId;
-        ids.insert(w.clone(), id);
-        order.push(w);
-        actions.push(a);
-        id
     };
 
-    let s0 = intern(first, first_action, &mut ids, &mut order, &mut actions);
+    let s0 = intern(first, first_action, &mut ids, &mut queue, &mut actions);
     let mut delta: Vec<[StateId; 2]> = Vec::new();
-    let mut frontier = 0usize;
-    while frontier < order.len() {
-        if order.len() > cap {
+    while let Some(base) = queue.pop_front() {
+        if actions.len() > cap {
             return Err(CompileError::TooManyStates { cap });
         }
-        let base = order[frontier].clone();
-        let mut row = [0 as StateId; 2];
-        for d in 1..=2u32 {
-            let mut next = base.clone();
-            let a = next.advance(d);
-            row[(d - 1) as usize] = intern(next, a, &mut ids, &mut order, &mut actions);
-        }
-        delta.push(row);
-        frontier += 1;
+        // d == 1 needs a working copy; d == 2 consumes `base`.
+        let mut on_leaf = base.clone();
+        let a1 = on_leaf.advance(1);
+        let t1 = intern(on_leaf, a1, &mut ids, &mut queue, &mut actions);
+        let mut on_internal = base;
+        let a2 = on_internal.advance(2);
+        let t2 = intern(on_internal, a2, &mut ids, &mut queue, &mut actions);
+        delta.push([t1, t2]);
     }
     let lambda = actions
         .iter()
@@ -137,7 +140,7 @@ where
             Action::Move(raw) => (*raw % 2) as i64,
         })
         .collect();
-    let fsa = LineFsa { delta, lambda, s0 };
+    let fsa = LineFsa::from_rows(delta, lambda, s0);
     debug_assert!(fsa.validate());
     Ok(fsa)
 }

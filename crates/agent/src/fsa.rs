@@ -12,21 +12,57 @@ pub use crate::line_fsa::StateId;
 ///
 /// Transitions are indexed by the paper's input symbol `(i, d)`: entry port
 /// `i ∈ {-1, 0, …, max_degree-1}` (−1 encoded as index 0) and degree
-/// `d ∈ {1, …, max_degree}`.
+/// `d ∈ {1, …, max_degree}`. The table is a single dense row-major array
+/// with precomputed stride `(max_degree + 1) · max_degree`: state `s`'s
+/// block is `delta[s·stride ..][entry_idx · max_degree + (d-1)]`. Construct
+/// with [`Fsa::from_fn`]; read with [`Fsa::next`] / [`Fsa::transition`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct Fsa {
     pub max_degree: u32,
-    /// `delta[s][entry_idx][d-1]` with `entry_idx = 0` for `i = -1`, else
-    /// `i + 1`.
-    pub delta: Vec<Vec<Vec<StateId>>>,
+    /// Dense row-major transition table; see the struct docs for the layout.
+    delta: Vec<StateId>,
     /// `lambda[s]`: `-1` = null move, else leave by `lambda[s] mod d`.
     pub lambda: Vec<i64>,
     pub s0: StateId,
 }
 
 impl Fsa {
+    /// Per-state stride of the dense table.
+    #[inline]
+    fn stride(&self) -> usize {
+        (self.max_degree + 1) as usize * self.max_degree as usize
+    }
+
+    /// The shared indexed constructor: fills the dense table by evaluating
+    /// `f(state, entry, degree)` over the full input alphabet, with the
+    /// entry port already decoded (`None` = the paper's `-1`). Every
+    /// structured automaton ([`Fsa::basic_walk`], [`Fsa::from_line_extended`],
+    /// [`Fsa::random`]) goes through here, so the `entry_idx`/degree row
+    /// arithmetic lives in exactly one place.
+    pub fn from_fn(
+        max_degree: u32,
+        k: usize,
+        lambda: Vec<i64>,
+        s0: StateId,
+        mut f: impl FnMut(StateId, Option<u32>, u32) -> StateId,
+    ) -> Self {
+        assert!(k >= 1 && max_degree >= 1);
+        assert_eq!(lambda.len(), k);
+        let stride = (max_degree + 1) as usize * max_degree as usize;
+        let mut delta = Vec::with_capacity(k * stride);
+        for s in 0..k as StateId {
+            for entry_idx in 0..=max_degree {
+                let entry = entry_idx.checked_sub(1);
+                for d in 1..=max_degree {
+                    delta.push(f(s, entry, d));
+                }
+            }
+        }
+        Fsa { max_degree, delta, lambda, s0 }
+    }
+
     pub fn num_states(&self) -> usize {
-        self.delta.len()
+        self.lambda.len()
     }
 
     pub fn memory_bits(&self) -> u64 {
@@ -42,46 +78,49 @@ impl Fsa {
         }
     }
 
-    /// Next state on observation `obs` in state `s`.
-    pub fn next(&self, s: StateId, obs: Obs) -> StateId {
-        let entry_idx = match obs.entry {
+    /// Raw table read: next state in state `s` on entry port `entry`
+    /// (`None` = the paper's `-1`) at a node of degree `d`.
+    #[inline]
+    pub fn transition(&self, s: StateId, entry: Option<u32>, d: u32) -> StateId {
+        let entry_idx = match entry {
             None => 0,
             Some(p) => {
                 debug_assert!(p < self.max_degree);
                 (p + 1) as usize
             }
         };
-        debug_assert!(obs.degree >= 1 && obs.degree <= self.max_degree);
-        self.delta[s as usize][entry_idx][(obs.degree - 1) as usize]
+        debug_assert!(d >= 1 && d <= self.max_degree);
+        self.delta
+            [s as usize * self.stride() + entry_idx * self.max_degree as usize + (d - 1) as usize]
+    }
+
+    /// Next state on observation `obs` in state `s`.
+    #[inline]
+    pub fn next(&self, s: StateId, obs: Obs) -> StateId {
+        self.transition(s, obs.entry, obs.degree)
     }
 
     pub fn validate(&self) -> bool {
         let k = self.num_states() as StateId;
-        self.lambda.len() == self.num_states()
+        self.delta.len() == self.num_states() * self.stride()
             && self.s0 < k
-            && self.delta.iter().all(|by_entry| {
-                by_entry.len() == (self.max_degree + 1) as usize
-                    && by_entry.iter().all(|by_deg| {
-                        by_deg.len() == self.max_degree as usize && by_deg.iter().all(|&s| s < k)
-                    })
-            })
+            && self.delta.iter().all(|&s| s < k)
     }
 
     /// Uniformly random automaton over `k` states for degrees up to
     /// `max_degree`.
     pub fn random<R: Rng>(k: usize, max_degree: u32, p_stay: f64, rng: &mut R) -> Self {
         assert!(k >= 1 && max_degree >= 1);
-        let delta = (0..k)
-            .map(|_| {
-                (0..=max_degree)
-                    .map(|_| (0..max_degree).map(|_| rng.gen_range(0..k) as StateId).collect())
-                    .collect()
-            })
-            .collect();
+        // Draw order (delta, lambda, s0) is part of the seeded-experiment
+        // contract: keep it even though the table is now filled flat.
+        let stride = (max_degree + 1) as usize * max_degree as usize;
+        let draws: Vec<StateId> = (0..k * stride).map(|_| rng.gen_range(0..k) as StateId).collect();
         let lambda = (0..k)
             .map(|_| if rng.gen_bool(p_stay) { -1 } else { rng.gen_range(0..max_degree) as i64 })
             .collect();
-        Fsa { max_degree, delta, lambda, s0: rng.gen_range(0..k) as StateId }
+        let s0 = rng.gen_range(0..k) as StateId;
+        let mut next = draws.into_iter();
+        Fsa::from_fn(max_degree, k, lambda, s0, |_, _, _| next.next().expect("table-sized draw"))
     }
 
     /// The basic-walk automaton (§2.2) for degrees up to `max_degree`: a
@@ -89,30 +128,28 @@ impl Fsa {
     /// per possible exit port.
     pub fn basic_walk(max_degree: u32) -> Self {
         // State s (0 ≤ s < max_degree) means "I exited by port s". On
-        // entering by port i with degree d, exit by (i+1) mod d.
+        // entering by port i with degree d, exit by (i+1) mod d; a first
+        // activation (entry None) behaves like entry d-1 so the walk starts
+        // at port 0, and entries beyond the degree are clamped.
         let k = max_degree as usize;
-        let delta: Vec<Vec<Vec<StateId>>> = (0..k)
-            .map(|_s| {
-                (0..=max_degree)
-                    .map(|entry_idx| {
-                        (1..=max_degree)
-                            .map(|d| {
-                                let i = if entry_idx == 0 { d - 1 } else { entry_idx - 1 };
-                                // exit (i+1) mod d; clamp entry beyond degree.
-                                let i = i.min(d - 1);
-                                ((i + 1) % d) as StateId
-                            })
-                            .collect()
-                    })
-                    .collect()
-            })
-            .collect();
         let lambda = (0..k).map(|s| s as i64).collect();
-        Fsa { max_degree, delta, lambda, s0: 0 }
+        Fsa::from_fn(max_degree, k, lambda, 0, |_s, entry, d| {
+            let i = entry.unwrap_or(d - 1).min(d - 1);
+            ((i + 1) % d) as StateId
+        })
     }
 
-    pub fn runner(&self) -> FsaRunner {
-        FsaRunner { fsa: self.clone(), state: self.s0, started: false }
+    /// Instantiate as a runnable [`Agent`] borrowing this automaton — no
+    /// copy of the transition table is made.
+    pub fn runner(&self) -> FsaRunner<'_> {
+        self.runner_from(self.s0)
+    }
+
+    /// A runner starting in an arbitrary state `s` instead of `s0` (the
+    /// Theorem 4.3 tour analysis primes agents mid-run).
+    pub fn runner_from(&self, s: StateId) -> FsaRunner<'_> {
+        debug_assert!((s as usize) < self.num_states());
+        FsaRunner { fsa: self, state: s, started: false }
     }
 
     /// Extends a line automaton to trees of maximum degree `max_degree`:
@@ -123,36 +160,30 @@ impl Fsa {
     pub fn from_line_extended(line: &crate::line_fsa::LineFsa, max_degree: u32) -> Self {
         assert!(max_degree >= 2);
         let k = line.num_states();
-        let delta = (0..k)
-            .map(|s| {
-                (0..=max_degree)
-                    .map(|_entry| {
-                        (1..=max_degree)
-                            .map(|d| line.delta[s][if d == 1 { 0 } else { 1 }])
-                            .collect()
-                    })
-                    .collect()
-            })
-            .collect();
-        Fsa { max_degree, delta, lambda: line.lambda.clone(), s0: line.s0 }
+        Fsa::from_fn(max_degree, k, line.lambda.clone(), line.s0, |s, _entry, d| {
+            line.next(s, d.min(2))
+        })
     }
 }
 
 /// Runtime wrapper executing an [`Fsa`] under the [`Agent`] trait.
+///
+/// Borrows the automaton: cloning the runner copies only the (state,
+/// started) pair, never the transition table.
 #[derive(Debug, Clone)]
-pub struct FsaRunner {
-    fsa: Fsa,
+pub struct FsaRunner<'a> {
+    fsa: &'a Fsa,
     state: StateId,
     started: bool,
 }
 
-impl FsaRunner {
+impl FsaRunner<'_> {
     pub fn state(&self) -> StateId {
         self.state
     }
 }
 
-impl Agent for FsaRunner {
+impl Agent for FsaRunner<'_> {
     fn act(&mut self, obs: Obs) -> Action {
         if !self.started {
             self.started = true;
@@ -200,10 +231,71 @@ mod tests {
         assert_eq!(r.act(Obs { entry: Some(0), degree: 1 }), Action::Move(0));
     }
 
+    /// Pins the full basic-walk transition table for every max degree the
+    /// Theorem 4.3 harnesses use, guarding the clamp/`entry_idx` arithmetic
+    /// that used to be duplicated across constructors.
+    #[test]
+    fn basic_walk_table_is_pinned_for_degrees_1_to_4() {
+        for max_degree in 1..=4u32 {
+            let f = Fsa::basic_walk(max_degree);
+            assert!(f.validate(), "max_degree={max_degree}");
+            for s in 0..f.num_states() as StateId {
+                for d in 1..=max_degree {
+                    // First activation behaves like entering by port d-1:
+                    // the walk starts at port (d-1+1) mod d = 0.
+                    assert_eq!(f.transition(s, None, d), 0, "start row, d={d}");
+                    for i in 0..max_degree {
+                        let expect = ((i.min(d - 1) + 1) % d) as StateId;
+                        assert_eq!(
+                            f.transition(s, Some(i), d),
+                            expect,
+                            "max_degree={max_degree} s={s} i={i} d={d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    /// Pins the line-extension table: degree-1 inputs read the line's
+    /// degree-1 row, every fatter degree reads the degree-2 row, and the
+    /// entry port never matters.
+    #[test]
+    fn line_extension_table_is_pinned_for_degrees_1_to_4() {
+        use crate::line_fsa::LineFsa;
+        let line = LineFsa::from_rows(vec![[1, 0], [0, 1], [1, 2]], vec![0, 1, -1], 0);
+        for max_degree in 2..=4u32 {
+            let ext = Fsa::from_line_extended(&line, max_degree);
+            assert!(ext.validate(), "max_degree={max_degree}");
+            for s in 0..line.num_states() as StateId {
+                for d in 1..=max_degree {
+                    let expect = line.next(s, d.min(2));
+                    assert_eq!(ext.transition(s, None, d), expect);
+                    for i in 0..max_degree {
+                        assert_eq!(
+                            ext.transition(s, Some(i), d),
+                            expect,
+                            "max_degree={max_degree} s={s} i={i} d={d}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
     #[test]
     fn memory_is_log_states() {
         let f = Fsa::basic_walk(3);
         assert_eq!(f.memory_bits(), 2); // 3 states
+    }
+
+    #[test]
+    fn runner_from_starts_in_the_given_state() {
+        let f = Fsa::basic_walk(3);
+        let mut r = f.runner_from(2);
+        assert_eq!(r.state(), 2);
+        // First action is λ(2) = move by port 2.
+        assert_eq!(r.act(Obs::start(3)), Action::Move(2));
     }
 
     #[test]

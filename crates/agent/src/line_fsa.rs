@@ -14,11 +14,16 @@ use rand::Rng;
 pub type StateId = u32;
 
 /// A finite-state agent for edge-colored lines.
+///
+/// The transition table is a single dense row-major array (stride 2): state
+/// `s`'s row occupies `delta[2s..2s+2]`, indexed by `d - 1`. Construct with
+/// [`LineFsa::from_rows`] or [`LineFsa::from_fn`]; read with
+/// [`LineFsa::next`] / [`LineFsa::pi_prime`].
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
 pub struct LineFsa {
-    /// `delta[s][d-1]`: next state on entering (or idling at) a node of
+    /// `delta[2s + (d-1)]`: next state on entering (or idling at) a node of
     /// degree `d ∈ {1, 2}` in state `s`.
-    pub delta: Vec<[StateId; 2]>,
+    delta: Vec<StateId>,
     /// `lambda[s]`: `-1` = null move, else leave by `lambda[s] mod d`.
     pub lambda: Vec<i64>,
     /// Initial state.
@@ -26,9 +31,32 @@ pub struct LineFsa {
 }
 
 impl LineFsa {
+    /// Builds the automaton from per-state `[next_on_d1, next_on_d2]` rows.
+    pub fn from_rows(rows: Vec<[StateId; 2]>, lambda: Vec<i64>, s0: StateId) -> Self {
+        let delta = rows.into_iter().flatten().collect();
+        LineFsa { delta, lambda, s0 }
+    }
+
+    /// Builds the automaton from an indexed transition function
+    /// `f(state, degree)` over `degree ∈ {1, 2}`.
+    pub fn from_fn(
+        k: usize,
+        lambda: Vec<i64>,
+        s0: StateId,
+        mut f: impl FnMut(StateId, u32) -> StateId,
+    ) -> Self {
+        let mut delta = Vec::with_capacity(2 * k);
+        for s in 0..k as StateId {
+            for d in 1..=2u32 {
+                delta.push(f(s, d));
+            }
+        }
+        LineFsa { delta, lambda, s0 }
+    }
+
     /// Number of states `K`.
     pub fn num_states(&self) -> usize {
-        self.delta.len()
+        self.delta.len() / 2
     }
 
     /// Memory in bits: `ceil(log2 K)` (§2.1).
@@ -36,10 +64,18 @@ impl LineFsa {
         bits_for_variants(self.num_states() as u64)
     }
 
+    /// Next state on entering (or idling at) a node of degree `d ∈ {1, 2}`.
+    #[inline]
+    pub fn next(&self, s: StateId, degree: u32) -> StateId {
+        debug_assert!((1..=2).contains(&degree), "line degrees only");
+        self.delta[2 * s as usize + (degree - 1) as usize]
+    }
+
     /// The degree-2 restriction `π'(s) = π(s, 2)` whose transition digraph
     /// drives the Theorem 4.2 analysis.
+    #[inline]
     pub fn pi_prime(&self, s: StateId) -> StateId {
-        self.delta[s as usize][1]
+        self.delta[2 * s as usize + 1]
     }
 
     /// The action of state `s`.
@@ -55,9 +91,10 @@ impl LineFsa {
     /// Validates internal consistency (state indices in range).
     pub fn validate(&self) -> bool {
         let k = self.num_states() as StateId;
-        self.lambda.len() == self.num_states()
+        self.delta.len() == 2 * self.num_states()
+            && self.lambda.len() == self.num_states()
             && self.s0 < k
-            && self.delta.iter().all(|row| row.iter().all(|&s| s < k))
+            && self.delta.iter().all(|&s| s < k)
     }
 
     /// A uniformly random automaton with `k` states. `p_stay` is the
@@ -65,9 +102,9 @@ impl LineFsa {
     /// lower-bound adversaries over the whole automaton space.
     pub fn random<R: Rng>(k: usize, p_stay: f64, rng: &mut R) -> Self {
         assert!(k >= 1);
-        let delta = (0..k)
-            .map(|_| [rng.gen_range(0..k) as StateId, rng.gen_range(0..k) as StateId])
-            .collect();
+        // Draw order (delta, lambda, s0) is part of the seeded-experiment
+        // contract: keep it even though the table is now filled flat.
+        let delta = (0..2 * k).map(|_| rng.gen_range(0..k) as StateId).collect();
         let lambda = (0..k)
             .map(|_| if rng.gen_bool(p_stay) { -1 } else { rng.gen_range(0..2) as i64 })
             .collect();
@@ -82,24 +119,28 @@ impl LineFsa {
         // to keep going in the same direction the next exit must be the
         // other color: alternate states. At a leaf (degree 1) the single
         // port is 0 ⇒ any move bounces.
-        LineFsa { delta: vec![[1, 1], [0, 0]], lambda: vec![0, 1], s0: 0 }
+        LineFsa::from_rows(vec![[1, 1], [0, 0]], vec![0, 1], 0)
     }
 
-    /// Instantiate as a runnable [`Agent`].
-    pub fn runner(&self) -> LineFsaRunner {
-        LineFsaRunner { fsa: self.clone(), state: self.s0, started: false }
+    /// Instantiate as a runnable [`Agent`] borrowing this automaton — no
+    /// copy of the transition table is made.
+    pub fn runner(&self) -> LineFsaRunner<'_> {
+        LineFsaRunner { fsa: self, state: self.s0, started: false }
     }
 }
 
 /// Runtime wrapper executing a [`LineFsa`] under the [`Agent`] trait.
+///
+/// Borrows the automaton: cloning the runner restarts nothing and copies
+/// nothing but the (state, started) pair.
 #[derive(Debug, Clone)]
-pub struct LineFsaRunner {
-    fsa: LineFsa,
+pub struct LineFsaRunner<'a> {
+    fsa: &'a LineFsa,
     state: StateId,
     started: bool,
 }
 
-impl LineFsaRunner {
+impl LineFsaRunner<'_> {
     /// The current state (for the lower-bound instrumentations, which need
     /// to observe the state an agent "reaches a node in").
     pub fn state(&self) -> StateId {
@@ -107,7 +148,7 @@ impl LineFsaRunner {
     }
 }
 
-impl Agent for LineFsaRunner {
+impl Agent for LineFsaRunner<'_> {
     fn act(&mut self, obs: Obs) -> Action {
         debug_assert!(obs.degree >= 1 && obs.degree <= 2, "line degrees only");
         if !self.started {
@@ -115,7 +156,7 @@ impl Agent for LineFsaRunner {
             self.started = true;
             return self.fsa.action(self.state);
         }
-        self.state = self.fsa.delta[self.state as usize][(obs.degree - 1) as usize];
+        self.state = self.fsa.next(self.state, obs.degree);
         self.fsa.action(self.state)
     }
 
@@ -152,7 +193,7 @@ mod tests {
 
     #[test]
     fn runner_first_action_is_lambda_s0() {
-        let f = LineFsa { delta: vec![[1, 1], [1, 1]], lambda: vec![-1, 0], s0: 0 };
+        let f = LineFsa::from_rows(vec![[1, 1], [1, 1]], vec![-1, 0], 0);
         let mut r = f.runner();
         // First activation: λ(s0) = -1 ⇒ stay, no transition.
         assert_eq!(r.act(Obs::start(2)), Action::Stay);
@@ -163,8 +204,21 @@ mod tests {
 
     #[test]
     fn pi_prime_reads_degree2_column() {
-        let f = LineFsa { delta: vec![[0, 1], [1, 0]], lambda: vec![0, 0], s0: 0 };
+        let f = LineFsa::from_rows(vec![[0, 1], [1, 0]], vec![0, 0], 0);
         assert_eq!(f.pi_prime(0), 1);
         assert_eq!(f.pi_prime(1), 0);
+    }
+
+    #[test]
+    fn from_fn_matches_from_rows() {
+        let rows = vec![[1, 0], [0, 1], [2, 2]];
+        let a = LineFsa::from_rows(rows.clone(), vec![0, 1, -1], 2);
+        let b = LineFsa::from_fn(3, vec![0, 1, -1], 2, |s, d| rows[s as usize][(d - 1) as usize]);
+        assert_eq!(a, b);
+        for s in 0..3 {
+            for d in 1..=2 {
+                assert_eq!(a.next(s, d), rows[s as usize][(d - 1) as usize]);
+            }
+        }
     }
 }

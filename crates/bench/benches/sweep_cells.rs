@@ -1,0 +1,42 @@
+//! Criterion bench for the sweep executor at n ≈ 200: the shared-instance
+//! cache versus rebuilding the world (tree + feasible-pair pool + agent
+//! tables) for every cell, which is what the executor did before the cache
+//! landed.
+//!
+//! Two grids, both defined once in the library so `just bench-baseline`
+//! (which records them into `BENCH_sweep.json`) measures exactly the same
+//! workloads:
+//!
+//! * [`sweep::perf_grid_fsa_scan`] — the bounded-horizon basic-walk
+//!   automaton scan over a delay grid (`Variant::BasicWalkFsa`), the
+//!   Chalopin-style delay-fault workload the instance cache targets: cells
+//!   decide in `θ + 2` Euler periods, so executor overhead is the dominant
+//!   per-cell cost.
+//! * [`sweep::perf_grid_variants`] — the E6/E8-shaped grid over the paper's
+//!   procedural agents, where long rendezvous runs dominate and the cache
+//!   is a smaller (but free) win.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use rvz_bench::sweep::{self, SweepSpec};
+use std::hint::black_box;
+
+fn bench_grid(c: &mut Criterion, name: &str, spec: &SweepSpec) {
+    let grid = sweep::cells(spec);
+    let mut group = c.benchmark_group(name);
+    group.throughput(Throughput::Elements(grid.len() as u64));
+    // The cached executor (what `sweep::run` does since the instance cache).
+    group.bench_function("cached", |b| b.iter(|| black_box(sweep::run(spec).rows.len())));
+    // The pre-cache executor shape: every cell rebuilds its instance.
+    group.bench_function("rebuild_per_cell", |b| {
+        b.iter(|| black_box(grid.iter().filter_map(sweep::run_cell).count()))
+    });
+    group.finish();
+}
+
+fn bench_sweep_cells(c: &mut Criterion) {
+    bench_grid(c, "sweep_cells/fsa_delay_scan", &sweep::perf_grid_fsa_scan());
+    bench_grid(c, "sweep_cells/variant_agents", &sweep::perf_grid_variants());
+}
+
+criterion_group!(benches, bench_sweep_cells);
+criterion_main!(benches);

@@ -1,0 +1,113 @@
+//! Perf-trajectory recorder: times the sweep executor on the standard
+//! n ≈ 200 grids ([`sweep::perf_grid_fsa_scan`] / [`sweep::perf_grid_variants`],
+//! shared with the `sweep_cells` criterion bench) and writes
+//! `BENCH_sweep.json` with before/after numbers.
+//!
+//! **before** re-enacts the pre-instance-cache executor: every cell
+//! rebuilds its tree, feasible-pair pool and agent tables from its
+//! coordinates — that is exactly what the standalone [`sweep::run_cell`]
+//! still does — plus, for automaton cells, the per-runner transition-table
+//! clone the pre-PR `Fsa::runner` performed. **after** is the current batch
+//! executor ([`sweep::run`]): one shared immutable instance per (family,
+//! size). Both legs produce the identical row stream (asserted), so the
+//! ratio is pure executor overhead.
+//!
+//! Usage: `bench_baseline [OUT.json]` (default `BENCH_sweep.json`);
+//! `just bench-baseline` and CI's bench-smoke call this.
+
+use rvz_bench::sweep::{self, Cell, SweepInstance, SweepRow, SweepSpec, Variant};
+use std::hint::black_box;
+use std::time::Instant;
+
+/// The pre-PR executor, re-enacted cell by cell. [`sweep::run_cell`] already
+/// rebuilds the whole instance from the cell coordinates; automaton cells
+/// additionally pay the per-runner table deep-copies the pre-PR
+/// `Fsa::runner` made.
+fn run_cell_legacy(cell: &Cell) -> Option<SweepRow> {
+    if cell.variant != Variant::BasicWalkFsa {
+        return sweep::run_cell(cell);
+    }
+    let inst = SweepInstance::for_cell(cell);
+    let fsa = inst.basic_walk_fsa();
+    black_box(fsa.clone());
+    black_box(fsa.clone());
+    sweep::run_cell_on(cell, &inst)
+}
+
+/// Best-of-`reps` wall time of `f`, in nanoseconds, plus its last output.
+fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (u128, T) {
+    let mut best = u128::MAX;
+    let mut out = None;
+    for _ in 0..reps {
+        let t0 = Instant::now();
+        let v = f();
+        best = best.min(t0.elapsed().as_nanos());
+        out = Some(v);
+    }
+    (best, out.expect("reps >= 1"))
+}
+
+/// Measures one grid both ways and returns its JSON record.
+fn measure(name: &str, spec: &SweepSpec, reps: usize) -> serde_json::Value {
+    let grid = sweep::cells(spec);
+    let cells = grid.len();
+
+    let (before_ns, before_rows) =
+        time_best(reps, || grid.iter().filter_map(run_cell_legacy).collect::<Vec<_>>());
+    let (after_ns, after_report) = time_best(reps, || sweep::run(spec));
+
+    // The optimization must not change a single byte of output.
+    let before_json = serde_json::to_string(&before_rows).expect("serialize");
+    let after_json = serde_json::to_string(&after_report.rows).expect("serialize");
+    assert_eq!(before_json, after_json, "{name}: cached executor diverged from the legacy path");
+
+    let speedup = before_ns as f64 / after_ns as f64;
+    let grid_meta = serde_json::json!({
+        "families": spec.families.iter().map(|f| f.name()).collect::<Vec<_>>(),
+        "sizes": spec.sizes,
+        "delays": spec.delays.iter().map(|d| format!("{d:?}")).collect::<Vec<_>>(),
+        "variants": spec.variants.iter().map(|v| v.name()).collect::<Vec<_>>(),
+        "pairs_per_cell": spec.pairs_per_cell,
+        "seed": spec.seed
+    });
+    let before = serde_json::json!({
+        "executor": "per-cell instance rebuild + per-runner table clone (pre-PR)",
+        "total_ns": before_ns as u64,
+        "ns_per_cell": (before_ns / cells as u128) as u64
+    });
+    let after = serde_json::json!({
+        "executor": "shared Arc<SweepInstance> per (family, n)",
+        "total_ns": after_ns as u64,
+        "ns_per_cell": (after_ns / cells as u128) as u64
+    });
+    println!(
+        "{name}: {cells} cells, before {:.2} ms, after {:.2} ms, speedup {speedup:.2}x",
+        before_ns as f64 / 1e6,
+        after_ns as f64 / 1e6
+    );
+    serde_json::json!({
+        "benchmark": name,
+        "grid": grid_meta,
+        "cells": cells,
+        "reps": reps,
+        "before": before,
+        "after": after,
+        "speedup": (speedup * 100.0).round() / 100.0
+    })
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sweep.json".into());
+    let reps = 5;
+    let primary = measure("sweep_cells", &sweep::perf_grid_fsa_scan(), reps);
+    let secondary = measure("sweep_cells_variants", &sweep::perf_grid_variants(), reps);
+    let payload = serde_json::json!({
+        "schema": "rvz-bench-sweep/v1",
+        "n": 200,
+        "sweep_cells": primary,
+        "sweep_cells_variants": secondary
+    });
+    let body = serde_json::to_string_pretty(&payload).expect("serialize");
+    std::fs::write(&out_path, format!("{body}\n")).expect("write BENCH_sweep.json");
+    println!("  (written to {out_path})");
+}

@@ -30,10 +30,12 @@ use rvz_core::{DelayRobustAgent, TreeRendezvousAgent};
 use rvz_sim::{run_pair, PairConfig};
 use rvz_trees::{NodeId, Tree};
 use serde::Serialize;
+use std::collections::HashMap;
+use std::sync::Arc;
 
 /// Tree families the sweep can grid over (names as in
 /// [`instances::FAMILY_NAMES`]).
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Family {
     Line,
     LineRnd,
@@ -83,7 +85,8 @@ pub enum Delay {
 }
 
 impl Delay {
-    fn resolve(self, n: usize) -> u64 {
+    /// The concrete start delay θ at instance size `n`.
+    pub fn resolve(self, n: usize) -> u64 {
         match self {
             Delay::Zero => 0,
             Delay::Fixed(d) => d,
@@ -116,6 +119,12 @@ pub enum Variant {
     DelayRobust,
     /// Lemma 4.1 `prime` protocol — simultaneous start, paths only.
     PrimePath,
+    /// The §2.2 basic-walk automaton pair ([`rvz_agent::Fsa::basic_walk`]):
+    /// the memoryless delay-scan workload (à la Chalopin et al.'s
+    /// delay-fault grids). Both trajectories are periodic with period
+    /// `2(n−1)` once started, so "meets under delay θ" is *decided* within
+    /// `θ + 2` joint periods — the cell budget is exact, not provisioned.
+    BasicWalkFsa,
 }
 
 impl Variant {
@@ -124,6 +133,7 @@ impl Variant {
             Variant::TreeRvz => "tree-rvz",
             Variant::DelayRobust => "delay-robust",
             Variant::PrimePath => "prime-path",
+            Variant::BasicWalkFsa => "bw-fsa",
         }
     }
 
@@ -133,8 +143,18 @@ impl Variant {
             Variant::TreeRvz => delay.is_always_zero(),
             Variant::DelayRobust => true,
             Variant::PrimePath => family.is_path() && delay.is_always_zero(),
+            Variant::BasicWalkFsa => true,
         }
     }
+}
+
+/// Exact decision horizon for a basic-walk pair under start delay `delay`:
+/// once both agents run, the joint configuration is periodic with period
+/// `2(n−1)`, so two periods past the delay decide the meeting question.
+/// (`n = 0` is clamped to the singleton's empty horizon rather than
+/// underflowing.)
+pub fn basic_walk_budget_for(n: usize, delay: u64) -> u64 {
+    delay + 4 * (n.max(1) as u64 - 1) + 2
 }
 
 /// A full grid specification; [`run`] executes it.
@@ -299,15 +319,61 @@ pub fn prime_budget_for(m: usize) -> u64 {
     rounds * 2
 }
 
-/// Executes one cell. Pure in the cell: no global state, no clock, no
-/// thread identity. Returns `None` when the instance yielded fewer
-/// feasible start pairs than `pair_index`.
+/// The shared immutable per-instance state: the tree and its feasible
+/// start-pair pool, a pure function of `(family, n, tree_seed, pairs_seed)`.
+/// The executor builds each one once and shares it (via `Arc`) across the
+/// whole delay × variant × pair sub-grid — `feasible_pairs` alone costs
+/// hundreds of symmetrizability checks, which used to be repaid by *every*
+/// cell on the instance.
+#[derive(Debug, Clone)]
+pub struct SweepInstance {
+    pub tree: Tree,
+    pub pairs: Vec<(NodeId, NodeId)>,
+    pub tree_seed: u64,
+    pub pairs_seed: u64,
+    /// Shared basic-walk automaton for [`Variant::BasicWalkFsa`] cells,
+    /// built on first use (its table is a function of the tree's maximum
+    /// degree only).
+    bw_fsa: std::sync::OnceLock<rvz_agent::Fsa>,
+}
+
+impl SweepInstance {
+    /// Builds the instance a cell runs on. Depends only on the cell's
+    /// instance coordinates (`family`, `n`, `base_seed`, `pairs_total`) —
+    /// every cell of the same sub-grid builds the identical value.
+    pub fn for_cell(cell: &Cell) -> Self {
+        let tree_seed = cell.tree_seed();
+        let pairs_seed = cell.pairs_seed();
+        let tree = cell.family.build(cell.n, tree_seed);
+        let pairs = instances::feasible_pairs(&tree, cell.pairs_total, pairs_seed);
+        SweepInstance { tree, pairs, tree_seed, pairs_seed, bw_fsa: std::sync::OnceLock::new() }
+    }
+
+    /// The basic-walk automaton matched to this instance's degree bound;
+    /// every `bw-fsa` cell on the instance borrows the same table.
+    pub fn basic_walk_fsa(&self) -> &rvz_agent::Fsa {
+        self.bw_fsa.get_or_init(|| rvz_agent::Fsa::basic_walk(self.tree.max_degree().max(1)))
+    }
+}
+
+/// Executes one cell standalone, rebuilding its instance from the cell
+/// coordinates. Pure in the cell: no global state, no clock, no thread
+/// identity. Returns `None` when the instance yielded fewer feasible start
+/// pairs than `pair_index`. The batch executor ([`run`]) avoids the rebuild
+/// by sharing a [`SweepInstance`] across the sub-grid via
+/// [`run_cell_on`].
 pub fn run_cell(cell: &Cell) -> Option<SweepRow> {
-    let tree = cell.family.build(cell.n, cell.tree_seed());
+    run_cell_on(cell, &SweepInstance::for_cell(cell))
+}
+
+/// Executes one cell on a prebuilt instance. `inst` must be (equal to)
+/// `SweepInstance::for_cell(cell)` — the executor guarantees this by
+/// keying instances on `(family, n)` within one spec.
+pub fn run_cell_on(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    let tree = &inst.tree;
     let n = tree.num_nodes();
     let leaves = tree.num_leaves();
-    let pairs = instances::feasible_pairs(&tree, cell.pairs_total, cell.pairs_seed());
-    let &(start_a, start_b) = pairs.get(cell.pair_index)?;
+    let &(start_a, start_b) = inst.pairs.get(cell.pair_index)?;
     let delay = cell.delay.resolve(n);
 
     let (budget, provisioned_bits) = match cell.variant {
@@ -316,26 +382,45 @@ pub fn run_cell(cell: &Cell) -> Option<SweepRow> {
         }
         Variant::DelayRobust => (budget_for(n), DelayRobustAgent::provisioned_bits(n as u64)),
         Variant::PrimePath => (prime_budget_for(n), 0),
+        Variant::BasicWalkFsa => {
+            let fsa = inst.basic_walk_fsa();
+            (basic_walk_budget_for(n, delay), fsa.memory_bits())
+        }
     };
     let cfg = PairConfig::delayed(delay, budget);
 
+    // Dispatch per variant: every arm goes through the dyn-compatible
+    // `run_pair` wrapper. Counterintuitively this is the measured-fastest
+    // choice across the board — monomorphizing the round loop (the
+    // `run_pair_fsa` fast path) is available per call site, but inlining
+    // agents' `act` bodies into the loop benched *slower* here for both the
+    // big procedural agents and the tiny automaton runners (see the
+    // `sim_hot_path/pair_rounds` static-vs-dyn comparison).
     let (run, measured_bits) = match cell.variant {
         Variant::TreeRvz => {
             let mut x = TreeRendezvousAgent::new();
             let mut y = TreeRendezvousAgent::new();
-            let run = run_pair(&tree, start_a, start_b, &mut x, &mut y, cfg);
+            let run = run_pair(tree, start_a, start_b, &mut x, &mut y, cfg);
             (run, x.memory_bits_measured().max(y.memory_bits_measured()))
         }
         Variant::DelayRobust => {
             let mut x = DelayRobustAgent::new();
             let mut y = DelayRobustAgent::new();
-            let run = run_pair(&tree, start_a, start_b, &mut x, &mut y, cfg);
+            let run = run_pair(tree, start_a, start_b, &mut x, &mut y, cfg);
             (run, x.memory_bits_measured().max(y.memory_bits_measured()))
         }
         Variant::PrimePath => {
             let mut x = PrimePathAgent::unbounded();
             let mut y = PrimePathAgent::unbounded();
-            let run = run_pair(&tree, start_a, start_b, &mut x, &mut y, cfg);
+            let run = run_pair(tree, start_a, start_b, &mut x, &mut y, cfg);
+            use rvz_agent::model::Agent;
+            (run, x.memory_bits().max(y.memory_bits()))
+        }
+        Variant::BasicWalkFsa => {
+            let fsa = inst.basic_walk_fsa();
+            let mut x = fsa.runner();
+            let mut y = fsa.runner();
+            let run = run_pair(tree, start_a, start_b, &mut x, &mut y, cfg);
             use rvz_agent::model::Agent;
             (run, x.memory_bits().max(y.memory_bits()))
         }
@@ -357,8 +442,8 @@ pub fn run_cell(cell: &Cell) -> Option<SweepRow> {
         budget,
         provisioned_bits,
         measured_bits,
-        tree_seed: cell.tree_seed(),
-        pairs_seed: cell.pairs_seed(),
+        tree_seed: inst.tree_seed,
+        pairs_seed: inst.pairs_seed,
         cell_seed: cell.cell_seed(),
     })
 }
@@ -376,11 +461,32 @@ pub struct SweepReport {
 
 /// Runs the whole grid. Rows come back in grid order whatever the thread
 /// count — see the module docs for why that matters.
+///
+/// Instances are built once per `(family, n)` key — in parallel, since
+/// each is a pure function of its coordinates — and shared immutably
+/// across the delay × variant × pair sub-grid. Cell results are unchanged
+/// (same seeds, same trees, same pairs), so the output stays byte-identical
+/// to the per-cell-rebuild executor for every `--threads` value.
 pub fn run(spec: &SweepSpec) -> SweepReport {
     let grid = cells(spec);
     let pool =
         rayon::ThreadPoolBuilder::new().num_threads(spec.threads).build().expect("thread pool");
-    let results: Vec<Option<SweepRow>> = pool.install(|| grid.par_iter().map(run_cell).collect());
+
+    // One representative cell per instance key, in first-appearance order.
+    let mut reps: Vec<&Cell> = Vec::new();
+    let mut seen: std::collections::HashSet<(Family, usize)> = std::collections::HashSet::new();
+    for cell in &grid {
+        if seen.insert((cell.family, cell.n)) {
+            reps.push(cell);
+        }
+    }
+    let results: Vec<Option<SweepRow>> = pool.install(|| {
+        let built: Vec<Arc<SweepInstance>> =
+            reps.par_iter().map(|c| Arc::new(SweepInstance::for_cell(c))).collect();
+        let by_key: HashMap<(Family, usize), Arc<SweepInstance>> =
+            reps.iter().zip(built).map(|(c, inst)| ((c.family, c.n), inst)).collect();
+        grid.par_iter().map(|c| run_cell_on(c, &by_key[&(c.family, c.n)])).collect()
+    });
     let planned_cells = results.len();
     let rows: Vec<SweepRow> = results.into_iter().flatten().collect();
     SweepReport { dropped_cells: planned_cells - rows.len(), planned_cells, rows }
@@ -481,9 +587,50 @@ pub fn preset(id: &str, sizes: &[usize], threads: usize, seed: u64) -> Option<Sw
 /// The default size axis presets run when the CLI passes none.
 pub const DEFAULT_SIZES: &[usize] = &[16, 32, 64, 128];
 
+fn perf_grid(families: Vec<Family>, delays: Vec<Delay>, variants: Vec<Variant>) -> SweepSpec {
+    SweepSpec {
+        experiment: "bench".into(),
+        families,
+        sizes: vec![200],
+        delays,
+        variants,
+        pairs_per_cell: 8,
+        seed: 0x5EED_2010,
+        threads: 1,
+    }
+}
+
+/// The headline perf-trajectory grid at n ≈ 200: 5 instances × (4 delays ×
+/// 8 pairs) of `bw-fsa` cells, each decided within its exact
+/// [`basic_walk_budget_for`] horizon — the Chalopin-style delay-fault scan
+/// the instance cache targets. Shared by the `sweep_cells` criterion bench
+/// and the `bench_baseline` recorder so `BENCH_sweep.json` always measures
+/// the same workload the bench tracks.
+pub fn perf_grid_fsa_scan() -> SweepSpec {
+    perf_grid(
+        vec![Family::Line, Family::LineRnd, Family::Spider3, Family::Caterpillar, Family::Random],
+        vec![Delay::Zero, Delay::Fixed(1), Delay::Fixed(7), Delay::LinearN],
+        vec![Variant::BasicWalkFsa],
+    )
+}
+
+/// The secondary perf-trajectory grid: E6/E8-shaped procedural agents,
+/// where the rendezvous simulations dominate and the instance cache is a
+/// smaller (but free) win. Tracked for regressions, not for wins.
+pub fn perf_grid_variants() -> SweepSpec {
+    let mut spec = perf_grid(
+        vec![Family::Random, Family::Spider3],
+        vec![Delay::Zero, Delay::Fixed(3), Delay::LinearN],
+        vec![Variant::TreeRvz, Variant::DelayRobust],
+    );
+    spec.pairs_per_cell = 4;
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use rvz_sim::run_pair_fsa;
 
     fn small_spec(threads: usize) -> SweepSpec {
         SweepSpec {
@@ -491,7 +638,7 @@ mod tests {
             families: vec![Family::Line, Family::Spider3],
             sizes: vec![8, 16],
             delays: vec![Delay::Zero, Delay::Fixed(3)],
-            variants: vec![Variant::DelayRobust, Variant::TreeRvz],
+            variants: vec![Variant::DelayRobust, Variant::TreeRvz, Variant::BasicWalkFsa],
             pairs_per_cell: 2,
             seed: 0xC0FFEE,
             threads,
@@ -502,8 +649,45 @@ mod tests {
     fn grid_filters_unsupported_combinations() {
         let grid = cells(&small_spec(1));
         assert!(grid.iter().all(|c| c.variant != Variant::TreeRvz || c.delay == Delay::Zero));
-        // 2 families × 2 sizes × (delay0×2 variants + delay3×1 variant) × 2 pairs
-        assert_eq!(grid.len(), 2 * 2 * 3 * 2);
+        // 2 families × 2 sizes × (delay0×3 variants + delay3×2 variants) × 2 pairs
+        assert_eq!(grid.len(), 2 * 2 * 5 * 2);
+    }
+
+    #[test]
+    fn basic_walk_budget_is_a_decision_horizon() {
+        // The bw-fsa budget claims to *decide* the meeting question: running
+        // the same cell with a 4× budget must not change any outcome.
+        let spec = SweepSpec {
+            experiment: "bw".into(),
+            families: vec![Family::Line, Family::Spider3, Family::Random],
+            sizes: vec![9, 16],
+            delays: vec![Delay::Zero, Delay::Fixed(2), Delay::LinearN],
+            variants: vec![Variant::BasicWalkFsa],
+            pairs_per_cell: 3,
+            seed: 21,
+            threads: 1,
+        };
+        let report = run(&spec);
+        assert!(!report.rows.is_empty());
+        for row in &report.rows {
+            let family = spec.families.iter().find(|f| f.name() == row.family).unwrap();
+            let tree = family.build(row.size, row.tree_seed);
+            let fsa = rvz_agent::Fsa::basic_walk(tree.max_degree().max(1));
+            let mut x = fsa.runner();
+            let mut y = fsa.runner();
+            let rerun = run_pair_fsa(
+                &tree,
+                row.start_a,
+                row.start_b,
+                &mut x,
+                &mut y,
+                PairConfig::delayed(row.delay, row.budget * 4),
+            );
+            assert_eq!(rerun.outcome.met(), row.met, "budget must be a decision horizon: {row:?}");
+            if row.met {
+                assert_eq!(rerun.outcome.round(), row.rounds);
+            }
+        }
     }
 
     #[test]
@@ -541,6 +725,21 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn cached_executor_matches_per_cell_rebuild() {
+        // The instance cache is an executor optimization only: running every
+        // cell standalone (rebuilding tree + pair pool from its coordinates)
+        // must produce the identical row stream.
+        let spec = small_spec(2);
+        let report = run(&spec);
+        let rebuilt: Vec<SweepRow> = cells(&spec).iter().filter_map(run_cell).collect();
+        assert_eq!(
+            serde_json::to_string(&report.rows).unwrap(),
+            serde_json::to_string(&rebuilt).unwrap(),
+            "cached executor must match the rebuild-per-cell path byte-for-byte"
+        );
     }
 
     #[test]

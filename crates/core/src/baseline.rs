@@ -30,7 +30,8 @@ use rvz_trees::canon::canonical_ranks;
 
 #[derive(Debug, Clone)]
 enum BPhase {
-    Explo(ExploBis),
+    /// Boxed: the reconstruction state dwarfs the schedule counters.
+    Explo(Box<ExploBis>),
     Schedule {
         /// Position within the current period, in `0..period`.
         pos: u64,
@@ -62,7 +63,7 @@ impl Default for DelayRobustAgent {
 impl DelayRobustAgent {
     pub fn new() -> Self {
         DelayRobustAgent {
-            phase: BPhase::Explo(ExploBis::full()),
+            phase: BPhase::Explo(Box::new(ExploBis::full())),
             explo_charged: 0,
             explo_measured: 0,
         }

@@ -174,12 +174,12 @@ mod tests {
 
     #[test]
     fn defeats_sitters_and_oscillators() {
-        let sitter = LineFsa { delta: vec![[0, 0]], lambda: vec![-1], s0: 0 };
+        let sitter = LineFsa::from_rows(vec![[0, 0]], vec![-1], 0);
         let attack = delay_attack(&sitter).unwrap();
         assert!(matches!(attack.kind, AttackKind::BoundedRange { d: 0 }));
         assert_eq!(attack.line_edges(), 4);
 
-        let osc = LineFsa { delta: vec![[0, 0]], lambda: vec![0], s0: 0 };
+        let osc = LineFsa::from_rows(vec![[0, 0]], vec![0], 0);
         let attack = delay_attack(&osc).unwrap();
         assert!(matches!(attack.kind, AttackKind::BoundedRange { .. }));
     }

@@ -31,7 +31,7 @@ pub fn all_line_fsas(k: usize) -> impl Iterator<Item = LineFsa> {
             code /= k as u64;
             delta.push([a, b]);
         }
-        LineFsa { delta, lambda, s0 }
+        LineFsa::from_rows(delta, lambda, s0)
     })
 }
 

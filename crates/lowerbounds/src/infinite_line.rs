@@ -57,7 +57,7 @@ impl Iterator for InfiniteRun<'_> {
         self.round += 1;
         if self.started {
             // Every node of the infinite line has degree 2.
-            self.state = self.fsa.delta[self.state as usize][1];
+            self.state = self.fsa.pi_prime(self.state);
         } else {
             self.started = true;
         }
@@ -186,7 +186,7 @@ mod tests {
 
     #[test]
     fn sitter_is_bounded() {
-        let fsa = LineFsa { delta: vec![[0, 0]], lambda: vec![-1], s0: 0 };
+        let fsa = LineFsa::from_rows(vec![[0, 0]], vec![-1], 0);
         assert_eq!(bounded_range(&fsa), Some(0));
     }
 
@@ -194,14 +194,14 @@ mod tests {
     fn oscillator_is_bounded() {
         // Always exit by color 0: from any node this alternates direction
         // every step ⇒ oscillates between two nodes.
-        let fsa = LineFsa { delta: vec![[0, 0]], lambda: vec![0], s0: 0 };
+        let fsa = LineFsa::from_rows(vec![[0, 0]], vec![0], 0);
         let d = bounded_range(&fsa).expect("oscillator is bounded");
         assert!(d <= 1, "range {d}");
     }
 
     #[test]
     fn state_sequence_is_pi_prime_orbit() {
-        let fsa = LineFsa { delta: vec![[1, 1], [0, 0]], lambda: vec![0, 1], s0: 0 };
+        let fsa = LineFsa::from_rows(vec![[1, 1], [0, 0]], vec![0, 1], 0);
         let states: Vec<StateId> = InfiniteRun::new(&fsa, 0).take(6).map(|a| a.state).collect();
         assert_eq!(states, vec![0, 1, 0, 1, 0, 1]);
     }

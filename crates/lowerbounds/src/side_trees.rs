@@ -144,11 +144,9 @@ pub fn behavior_function(fsa: &Fsa, side: &SideTree) -> Vec<TourOutcome> {
 }
 
 /// A runner forced into state `s` mid-run (the tour starts with the agent
-/// already walking, not at `s0`).
-fn primed_runner(fsa: &Fsa, s: StateId) -> FsaRunner {
-    let mut primed = fsa.clone();
-    primed.s0 = s;
-    let mut r = primed.runner();
+/// already walking, not at `s0`). Borrows `fsa` — no transition-table copy.
+fn primed_runner(fsa: &Fsa, s: StateId) -> FsaRunner<'_> {
+    let mut r = fsa.runner_from(s);
     // Consume the "first activation" so subsequent `act`s transition
     // normally; the first activation's action is λ(s), already accounted
     // for as the u → root move.

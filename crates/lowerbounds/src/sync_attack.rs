@@ -276,7 +276,7 @@ mod tests {
     fn pi_prime_analysis_finds_circuits() {
         // Two 2-cycles: 0↔1 and 2↔3 … plus a 3-cycle 4→5→6→4.
         let delta = vec![[1, 1], [0, 0], [3, 3], [2, 2], [5, 5], [6, 6], [4, 4]];
-        let fsa = LineFsa { delta, lambda: vec![0; 7], s0: 0 };
+        let fsa = LineFsa::from_rows(delta, vec![0; 7], 0);
         let a = analyze_pi_prime(&fsa);
         assert_eq!(a.circuit_lengths, vec![2, 3]);
         assert_eq!(a.gamma, 6);
@@ -288,7 +288,7 @@ mod tests {
     fn tail_states_inherit_cycles() {
         // 0 → 1 → 2 → 1 (tail 0, cycle {1,2}).
         let delta = vec![[1, 1], [2, 2], [1, 1]];
-        let fsa = LineFsa { delta, lambda: vec![0; 3], s0: 0 };
+        let fsa = LineFsa::from_rows(delta, vec![0; 3], 0);
         let a = analyze_pi_prime(&fsa);
         assert_eq!(a.circuit_lengths, vec![2]);
         assert_eq!(a.gamma, 2);

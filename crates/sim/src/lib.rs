@@ -12,4 +12,6 @@ pub mod multi;
 pub mod runner;
 
 pub use multi::{run_multi, MultiConfig, MultiOutcome, MultiRun};
-pub use runner::{run_pair, run_single, Cursor, Outcome, PairConfig, PairRun, SingleRun};
+pub use runner::{
+    run_pair, run_pair_fsa, run_single, Cursor, Outcome, PairConfig, PairRun, SingleRun,
+};

@@ -50,10 +50,13 @@ pub struct SingleRun {
 
 /// Runs one agent for exactly `rounds` rounds (or until it would act from an
 /// isolated node, which cannot happen on trees with `n ≥ 2`).
-pub fn run_single(
+///
+/// Generic over the agent, so concrete callers get a monomorphized loop
+/// (static dispatch); `&mut dyn Agent` callers keep working unchanged.
+pub fn run_single<A: Agent + ?Sized>(
     t: &Tree,
     start: NodeId,
-    agent: &mut dyn Agent,
+    agent: &mut A,
     rounds: u64,
     record: bool,
 ) -> SingleRun {
@@ -137,12 +140,31 @@ pub struct PairRun {
 /// Runs two agents with the given start delay until they meet or the budget
 /// runs out. Both agents receive observations and move simultaneously within
 /// a round; meeting is co-location at a round boundary.
+///
+/// Dyn-dispatch wrapper over [`run_pair_fsa`], kept for heterogeneous
+/// callers; hot loops with concrete agent types should call
+/// [`run_pair_fsa`] directly to get a monomorphized round loop.
 pub fn run_pair(
     t: &Tree,
     start_a: NodeId,
     start_b: NodeId,
     agent_a: &mut dyn Agent,
     agent_b: &mut dyn Agent,
+    cfg: PairConfig,
+) -> PairRun {
+    run_pair_fsa(t, start_a, start_b, agent_a, agent_b, cfg)
+}
+
+/// The monomorphic two-agent fast path: generic over the agent types, so
+/// every concrete instantiation compiles to a round loop with static
+/// dispatch and inlined `act`/`apply` calls — no per-round vtable hops.
+/// [`run_pair`] is the dyn-compatible wrapper over this.
+pub fn run_pair_fsa<A: Agent + ?Sized, B: Agent + ?Sized>(
+    t: &Tree,
+    start_a: NodeId,
+    start_b: NodeId,
+    agent_a: &mut A,
+    agent_b: &mut B,
     cfg: PairConfig,
 ) -> PairRun {
     let mut a = Cursor::new(start_a);

@@ -70,13 +70,21 @@ impl std::error::Error for TreeError {}
 /// Immutable once built; relabeling produces a new tree. All analysis
 /// helpers (center, contraction, canonical forms, symmetry) live in sibling
 /// modules and take `&Tree`.
+///
+/// Storage is a flat CSR layout: node `u`'s adjacency occupies the slice
+/// `offsets[u]..offsets[u+1]` of two contiguous arrays, so the per-round
+/// `degree`/`neighbor`/`entry_port` lookups of the simulator hot path touch
+/// at most two cache lines instead of chasing one heap pointer per node.
 #[derive(Clone, PartialEq, Eq, Hash)]
 pub struct Tree {
-    /// `adj[u][p]` = node reached when leaving `u` by port `p`.
-    adj: Vec<Vec<NodeId>>,
-    /// `back[u][p]` = the port at `adj[u][p]` by which the walker *enters*
-    /// that node (i.e. the port of the same edge at the other endpoint).
-    back: Vec<Vec<Port>>,
+    /// `offsets[u]..offsets[u+1]` delimits `u`'s slots; `len == n + 1`.
+    offsets: Vec<u32>,
+    /// `neighbors[offsets[u] + p]` = node reached when leaving `u` by port
+    /// `p`.
+    neighbors: Vec<NodeId>,
+    /// `back[offsets[u] + p]` = the port at the neighbor by which the walker
+    /// *enters* it (i.e. the port of the same edge at the other endpoint).
+    back: Vec<Port>,
 }
 
 impl fmt::Debug for Tree {
@@ -117,29 +125,39 @@ impl Tree {
             deg[e.u as usize] += 1;
             deg[e.v as usize] += 1;
         }
-        let mut adj: Vec<Vec<NodeId>> = deg.iter().map(|&d| vec![NodeId::MAX; d]).collect();
-        let mut back: Vec<Vec<Port>> = deg.iter().map(|&d| vec![Port::MAX; d]).collect();
+        // CSR skeleton: prefix sums of the degrees.
+        let mut offsets = Vec::with_capacity(n + 1);
+        let mut total = 0u32;
+        offsets.push(0);
+        for &d in &deg {
+            total += d as u32;
+            offsets.push(total);
+        }
+        let mut neighbors = vec![NodeId::MAX; total as usize];
+        let mut back = vec![Port::MAX; total as usize];
         for e in edges {
             for (a, pa, b, pb) in [(e.u, e.port_u, e.v, e.port_v), (e.v, e.port_v, e.u, e.port_u)] {
-                let slot = adj[a as usize]
-                    .get_mut(pa as usize)
-                    .ok_or(TreeError::NonContiguousPorts { node: a })?;
-                if *slot != NodeId::MAX {
+                if pa as usize >= deg[a as usize] {
+                    return Err(TreeError::NonContiguousPorts { node: a });
+                }
+                let slot = offsets[a as usize] as usize + pa as usize;
+                if neighbors[slot] != NodeId::MAX {
                     return Err(TreeError::DuplicatePort { node: a, port: pa });
                 }
-                *slot = b;
-                back[a as usize][pa as usize] = pb;
+                neighbors[slot] = b;
+                back[slot] = pb;
             }
         }
         // Ports contiguous: every slot filled (degree slots were allocated
         // from the count of incident edges, so a gap implies an out-of-range
         // port elsewhere, already caught above; keep the check for clarity).
-        for (u, row) in adj.iter().enumerate() {
+        for u in 0..n {
+            let row = &neighbors[offsets[u] as usize..offsets[u + 1] as usize];
             if row.contains(&NodeId::MAX) {
                 return Err(TreeError::NonContiguousPorts { node: u as NodeId });
             }
         }
-        let tree = Tree { adj, back };
+        let tree = Tree { offsets, neighbors, back };
         if !tree.is_connected() {
             return Err(TreeError::Disconnected);
         }
@@ -149,7 +167,7 @@ impl Tree {
     /// The single-node tree (no edges). Rendezvous is trivial there, but the
     /// analysis code must not choke on it.
     pub fn singleton() -> Self {
-        Tree { adj: vec![vec![]], back: vec![vec![]] }
+        Tree { offsets: vec![0, 0], neighbors: vec![], back: vec![] }
     }
 
     fn is_connected(&self) -> bool {
@@ -174,7 +192,7 @@ impl Tree {
     /// Number of nodes `n`.
     #[inline]
     pub fn num_nodes(&self) -> usize {
-        self.adj.len()
+        self.offsets.len() - 1
     }
 
     /// Number of edges (`n - 1`).
@@ -183,33 +201,44 @@ impl Tree {
         self.num_nodes() - 1
     }
 
+    /// Start of `u`'s CSR row, bounds-checked against the node count by the
+    /// indexing below.
+    #[inline]
+    fn row_start(&self, u: NodeId) -> usize {
+        self.offsets[u as usize] as usize
+    }
+
     /// Degree of `u`.
     #[inline]
     pub fn degree(&self, u: NodeId) -> Port {
-        self.adj[u as usize].len() as Port
+        self.offsets[u as usize + 1] - self.offsets[u as usize]
     }
 
     /// The node reached when leaving `u` by port `p`.
     ///
-    /// Panics if `p >= deg(u)`; agents' raw outputs must be reduced mod the
-    /// degree *before* calling this (the simulator does that).
+    /// `p >= deg(u)` is a caller bug (asserted in debug builds): agents' raw
+    /// outputs must be reduced mod the degree *before* calling this (the
+    /// simulator does that).
     #[inline]
     pub fn neighbor(&self, u: NodeId, p: Port) -> NodeId {
-        self.adj[u as usize][p as usize]
+        debug_assert!(p < self.degree(u), "port {p} out of range at node {u}");
+        self.neighbors[self.row_start(u) + p as usize]
     }
 
     /// The port by which a walker leaving `u` via port `p` *enters* the
     /// neighbor (the paper's "port number at v" of the edge `{u,v}`).
     #[inline]
     pub fn entry_port(&self, u: NodeId, p: Port) -> Port {
-        self.back[u as usize][p as usize]
+        debug_assert!(p < self.degree(u), "port {p} out of range at node {u}");
+        self.back[self.row_start(u) + p as usize]
     }
 
     /// Iterator over `(port, neighbor, entry_port_at_neighbor)` at `u`.
     pub fn neighbors(&self, u: NodeId) -> impl Iterator<Item = (Port, NodeId, Port)> + '_ {
-        self.adj[u as usize]
+        let row = self.row_start(u)..self.offsets[u as usize + 1] as usize;
+        self.neighbors[row.clone()]
             .iter()
-            .zip(self.back[u as usize].iter())
+            .zip(self.back[row].iter())
             .enumerate()
             .map(|(p, (&v, &pv))| (p as Port, v, pv))
     }

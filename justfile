@@ -22,10 +22,18 @@ clippy:
 bench:
     cargo bench --workspace
 
-# Compile benches + the tiny deterministic sweep CI runs.
+# Re-measure the sweep executor before/after and refresh BENCH_sweep.json
+# (the perf trajectory this and future PRs carry; see README "Performance").
+bench-baseline:
+    cargo run --release -p rvz-bench --bin bench_baseline -- BENCH_sweep.json
+
+# Compile benches, run each once (`--test` mode), emit BENCH_sweep.json,
+# plus the tiny deterministic sweep CI runs.
 bench-smoke:
     cargo bench --workspace --no-run
+    cargo bench --workspace -- --test
     mkdir -p bench-smoke
+    cargo run --release -p rvz-bench --bin bench_baseline -- bench-smoke/BENCH_sweep.json
     cargo run --release --bin experiments -- --experiment e6 --sizes 8,16 --threads 2 --json bench-smoke/e6.json
     cargo run --release --bin experiments -- --experiment e6 --sizes 8,16 --threads 1 --json bench-smoke/e6-t1.json
     cmp bench-smoke/e6.json bench-smoke/e6-t1.json

@@ -5,6 +5,7 @@
 //! coarse comparisons, with none of criterion's statistics.
 
 use std::fmt::Display;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
@@ -13,6 +14,10 @@ pub use std::hint::black_box;
 const TARGET: Duration = Duration::from_millis(200);
 /// Hard cap on measured iterations.
 const MAX_ITERS: u64 = 10_000;
+
+/// `--test` mode (as in real criterion): run each benchmark exactly once to
+/// prove it executes, skipping the timing loop. CI's bench-smoke uses this.
+static TEST_MODE: AtomicBool = AtomicBool::new(false);
 
 /// Benchmark registry / driver.
 #[derive(Debug, Default)]
@@ -43,7 +48,8 @@ impl Criterion {
         let mut args = std::env::args().skip(1);
         while let Some(a) = args.next() {
             match a.as_str() {
-                "--bench" | "--test" | "--list" | "--exact" | "--nocapture" | "--quiet" => {}
+                "--test" => TEST_MODE.store(true, Ordering::Relaxed),
+                "--bench" | "--list" | "--exact" | "--nocapture" | "--quiet" => {}
                 "--profile-time" | "--save-baseline" | "--baseline" | "--measurement-time"
                 | "--warm-up-time" | "--sample-size" => {
                     let _ = args.next();
@@ -164,6 +170,12 @@ impl Bencher {
         // One warm-up call, also used to calibrate the iteration count.
         let t0 = Instant::now();
         black_box(routine());
+        if TEST_MODE.load(Ordering::Relaxed) {
+            // `--test`: the warm-up call proved the benchmark runs.
+            self.elapsed = t0.elapsed();
+            self.iters_done = 1;
+            return;
+        }
         let once = t0.elapsed().max(Duration::from_nanos(1));
         let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128) as u64;
         let t1 = Instant::now();

@@ -55,6 +55,73 @@ proptest! {
     }
 
     #[test]
+    fn csr_layout_matches_reference_adjacency(t in arb_tree(60)) {
+        // Reference semantics of the pre-CSR nested-Vec builder: fill
+        // `adj[u][p] = (neighbor, entry_port)` straight from the edge list
+        // and demand the CSR accessors agree on every (node, port).
+        use tree_rendezvous::trees::Port;
+        let n = t.num_nodes();
+        let edges = t.edges();
+        let mut deg = vec![0usize; n];
+        for e in &edges {
+            deg[e.u as usize] += 1;
+            deg[e.v as usize] += 1;
+        }
+        let mut adj: Vec<Vec<Option<(NodeId, Port)>>> =
+            deg.iter().map(|&d| vec![None; d]).collect();
+        for e in &edges {
+            prop_assert!(adj[e.u as usize][e.port_u as usize].replace((e.v, e.port_v)).is_none());
+            prop_assert!(adj[e.v as usize][e.port_v as usize].replace((e.u, e.port_u)).is_none());
+        }
+        for u in 0..n as NodeId {
+            prop_assert_eq!(t.degree(u) as usize, deg[u as usize], "degree at {}", u);
+            let mut listed = t.neighbors(u);
+            for p in 0..t.degree(u) {
+                let (v, pv) = adj[u as usize][p as usize].expect("contiguous ports");
+                prop_assert_eq!(t.neighbor(u, p), v, "neighbor at ({}, {})", u, p);
+                prop_assert_eq!(t.entry_port(u, p), pv, "entry port at ({}, {})", u, p);
+                prop_assert_eq!(listed.next(), Some((p, v, pv)));
+            }
+            prop_assert_eq!(listed.next(), None);
+        }
+    }
+
+    #[test]
+    fn from_edges_roundtrips_and_rejects_corruptions(t in arb_tree(40)) {
+        use tree_rendezvous::trees::TreeError;
+        let n = t.num_nodes();
+        let edges = t.edges();
+        // Round trip through the edge list rebuilds the identical tree.
+        let rebuilt = Tree::from_edges(n, &edges).unwrap();
+        prop_assert_eq!(&rebuilt, &t);
+        // Dropping an edge: wrong count.
+        prop_assert!(matches!(
+            Tree::from_edges(n, &edges[..edges.len() - 1]),
+            Err(TreeError::WrongEdgeCount { .. })
+        ));
+        // Duplicating an edge (same count): duplicate port at its endpoint.
+        if edges.len() >= 2 {
+            let mut dup = edges.clone();
+            dup[1] = dup[0];
+            prop_assert!(matches!(
+                Tree::from_edges(n, &dup),
+                Err(TreeError::DuplicatePort { .. })
+            ));
+        }
+        // Port beyond the endpoint's degree: non-contiguous ports.
+        let mut shifted = edges.clone();
+        shifted[0].port_u += t.degree(shifted[0].u);
+        prop_assert!(matches!(
+            Tree::from_edges(n, &shifted),
+            Err(TreeError::NonContiguousPorts { .. })
+        ));
+        // Self-loop.
+        let mut looped = edges.clone();
+        looped[0].v = looped[0].u;
+        prop_assert!(matches!(Tree::from_edges(n, &looped), Err(TreeError::SelfLoop { .. })));
+    }
+
+    #[test]
     fn contraction_laws(t in arb_tree(60)) {
         let c = contract(&t);
         // Leaves preserved; ν ≤ 2ℓ − 1; no degree-2 survivors (when ν > 2).
