@@ -145,6 +145,14 @@ impl Fsa {
         self.runner_from(self.s0)
     }
 
+    /// An *owning* runner, for holders that cannot carry the borrow (e.g.
+    /// the sweep trace cache stores recorders next to the instance that
+    /// owns the automaton). Clones the table once; prefer [`Fsa::runner`]
+    /// wherever a lifetime is available.
+    pub fn runner_owned(&self) -> OwnedFsaRunner {
+        OwnedFsaRunner { state: self.s0, started: false, fsa: self.clone() }
+    }
+
     /// A runner starting in an arbitrary state `s` instead of `s0` (the
     /// Theorem 4.3 tour analysis primes agents mid-run).
     pub fn runner_from(&self, s: StateId) -> FsaRunner<'_> {
@@ -183,14 +191,50 @@ impl FsaRunner<'_> {
     }
 }
 
+/// The shared step rule of both runner flavors: first activation emits the
+/// current state's action, later ones transition on the observation first.
+#[inline]
+fn fsa_step(fsa: &Fsa, state: &mut StateId, started: &mut bool, obs: Obs) -> Action {
+    if !*started {
+        *started = true;
+        return fsa.action(*state);
+    }
+    *state = fsa.next(*state, obs);
+    fsa.action(*state)
+}
+
 impl Agent for FsaRunner<'_> {
     fn act(&mut self, obs: Obs) -> Action {
-        if !self.started {
-            self.started = true;
-            return self.fsa.action(self.state);
-        }
-        self.state = self.fsa.next(self.state, obs);
-        self.fsa.action(self.state)
+        fsa_step(self.fsa, &mut self.state, &mut self.started, obs)
+    }
+
+    fn memory_bits(&self) -> u64 {
+        self.fsa.memory_bits()
+    }
+
+    fn name(&self) -> &'static str {
+        "fsa"
+    }
+}
+
+/// Runtime wrapper owning its [`Fsa`] — same behavior as [`FsaRunner`],
+/// for contexts where borrowing the automaton is impossible.
+#[derive(Debug, Clone)]
+pub struct OwnedFsaRunner {
+    fsa: Fsa,
+    state: StateId,
+    started: bool,
+}
+
+impl OwnedFsaRunner {
+    pub fn state(&self) -> StateId {
+        self.state
+    }
+}
+
+impl Agent for OwnedFsaRunner {
+    fn act(&mut self, obs: Obs) -> Action {
+        fsa_step(&self.fsa, &mut self.state, &mut self.started, obs)
     }
 
     fn memory_bits(&self) -> u64 {

@@ -24,7 +24,7 @@ pub mod line_fsa;
 pub mod meter;
 pub mod model;
 
-pub use fsa::{Fsa, FsaRunner};
+pub use fsa::{Fsa, FsaRunner, OwnedFsaRunner};
 pub use line_fsa::{LineFsa, LineFsaRunner, StateId};
 pub use meter::{bits_for, bits_for_variants, Meter};
 pub use model::{bw_exit, cbw_exit, Action, Agent, Obs, Step, SubAgent};

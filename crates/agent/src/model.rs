@@ -73,6 +73,18 @@ pub trait Agent {
     fn name(&self) -> &'static str {
         "agent"
     }
+
+    /// `true` once the agent has entered an *absorbing* state: every future
+    /// [`Agent::act`] call will return [`Action::Stay`] and leave all
+    /// observable state — including the memory meter — unchanged. The
+    /// trace-replay machinery (`rvz_sim::trace`) uses this to close a
+    /// recorded trajectory with an O(1) fixed-point tail instead of
+    /// stepping a parked agent to the round budget. Conservative default:
+    /// `false` (an agent that never reports halting is merely recorded
+    /// further, never misreplayed).
+    fn halted(&self) -> bool {
+        false
+    }
 }
 
 /// The step result of a sub-procedure inside a hierarchical agent.

@@ -9,12 +9,18 @@
 //! exactly the full round budget. The sweep executor's dispatch choice
 //! (currently dyn everywhere — measured faster) is guided by this number;
 //! rerun it when changing targets or toolchains.
+//!
+//! `trace_replay/{record,replay_pair,run_pair}` prices the trace kernel on
+//! the same shuttle workload: the one-time tabulation, the per-question
+//! timeline merge, and the live stepping it replaces.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rvz_agent::fsa::Fsa;
-use rvz_sim::{run_pair, run_pair_fsa, run_single, PairConfig};
+use rvz_agent::model::Agent;
+use rvz_sim::trace::Replay;
+use rvz_sim::{replay_pair, run_pair, run_pair_fsa, run_single, PairConfig, TraceRecorder};
 use rvz_trees::generators::{line, random_bounded_degree_tree};
 use std::hint::black_box;
 
@@ -78,5 +84,55 @@ fn bench_csr_walk(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_runner_spawn, bench_pair_dispatch, bench_csr_walk);
+fn bench_trace_replay(c: &mut Criterion) {
+    // The trace kernel against live stepping on the identical workload:
+    // two basic-walk automata at odd distance shuttle for the full budget
+    // (the worst case for the merge — every round is a move, so no
+    // joint-stay span can be jumped). `record` prices the one-time
+    // tabulation; `replay_pair` is what every later (delay, pair) question
+    // costs; `run_pair` is what it used to cost.
+    let mut group = c.benchmark_group("trace_replay");
+    for n in [200usize, 2_000] {
+        let t = line(n);
+        let fsa = Fsa::basic_walk(2);
+        let rounds = 8 * n as u64;
+        let cfg = PairConfig::simultaneous(rounds);
+        let record = |start: u32| {
+            let mut rec = TraceRecorder::new(start, fsa.runner_owned(), |a| a.memory_bits());
+            rec.record_to(&t, rounds);
+            rec.trajectory().clone()
+        };
+        let (ta, tb) = (record(0), record(1));
+        group.throughput(Throughput::Elements(rounds));
+        group.bench_with_input(BenchmarkId::new("record", n), &t, |b, t| {
+            b.iter(|| {
+                let mut rec = TraceRecorder::new(0, fsa.runner_owned(), |a| a.memory_bits());
+                rec.record_to(t, rounds);
+                black_box(rec.trajectory().num_runs())
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("replay_pair", n), &t, |b, t| {
+            b.iter(|| match replay_pair(t, &ta, &tb, cfg) {
+                Replay::Decided(run) => black_box(run.crossings),
+                Replay::NeedMore { .. } => unreachable!("recorded to the budget"),
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("run_pair", n), &t, |b, t| {
+            b.iter(|| {
+                let mut a = fsa.runner();
+                let mut bb = fsa.runner();
+                black_box(run_pair(t, 0, 1, &mut a, &mut bb, cfg).crossings)
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_runner_spawn,
+    bench_pair_dispatch,
+    bench_csr_walk,
+    bench_trace_replay
+);
 criterion_main!(benches);

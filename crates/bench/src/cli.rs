@@ -7,6 +7,7 @@
 //! ```text
 //! experiments --experiment e6 [--json out.json] [--threads N]
 //!             [--sizes 16,32,64] [--pairs K] [--seed S]
+//!             [--executor replay|stepping]
 //! ```
 //!
 //! Emits the rendered table plus, with `--json FILE.json`, the raw
@@ -111,6 +112,14 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
             })
         })
         .unwrap_or(0);
+    let executor = match flag_value(args, "--executor").as_deref() {
+        None | Some("replay") => sweep::Executor::TraceReplay,
+        Some("stepping") => sweep::Executor::DynStepping,
+        Some(other) => {
+            eprintln!("error: bad --executor `{other}` (expected `replay` or `stepping`)");
+            exit(2);
+        }
+    };
 
     let mut reports: Vec<(String, sweep::SweepReport)> = Vec::new();
     for id in ids.split(',').filter(|t| !t.is_empty()) {
@@ -122,6 +131,7 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
         if pairs > 0 {
             spec.pairs_per_cell = pairs;
         }
+        spec.executor = executor;
         let report = sweep::run(&spec);
         println!("{}", sweep::to_table(&id, &report).render());
         if report.dropped_cells > 0 {
@@ -284,6 +294,8 @@ Sweep mode (parallel batch engine):
     --sizes A,B,C   size axis (default {:?})
     --pairs K       start pairs per cell (default from preset)
     --seed S        base seed (default 0x5EED2010)
+    --executor X    replay (trace-record/replay, default) or stepping
+                    (dyn run_pair per cell) — output is byte-identical
 
 Classic mode (paper tables):
   experiments [e1 e2 ... e8 | all] [--full] [--json DIR]",

@@ -33,6 +33,7 @@ pub mod instances;
 pub mod stats;
 pub mod sweep;
 pub mod table;
+mod trace_cache;
 
-pub use sweep::{SweepRow, SweepSpec};
+pub use sweep::{Executor, SweepRow, SweepSpec};
 pub use table::Table;

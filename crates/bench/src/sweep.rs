@@ -14,6 +14,15 @@
 //!    (family, `n`, starts, delay, budget), so any cell can be replayed
 //!    with a direct [`rvz_sim::run_pair`] call; the integration smoke test
 //!    does exactly that.
+//! 4. **Trace-replay execution.** The paper's agents are deterministic and
+//!    oblivious, so by default ([`Executor::TraceReplay`]) the executor
+//!    records each `(family, n, start, variant)` trajectory once — in a
+//!    process-wide store layered on the shared [`SweepInstance`]s — and
+//!    answers every `(delay, pair)` cell by timeline merge
+//!    (`rvz_sim::trace`), falling back to per-cell stepping
+//!    ([`Executor::DynStepping`], still available behind the flag) only
+//!    when a recording would exceed the cap. Both executors are
+//!    byte-identical by test.
 //!
 //! The per-experiment presets in [`preset`] translate E1–E8 (see the
 //! sibling `e1`..`e8` modules and README.md) into grids over the shared
@@ -21,13 +30,15 @@
 
 use crate::instances;
 use crate::table::Table;
+use crate::trace_cache;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rayon::prelude::*;
 use rvz_core::prime_path::PrimePathAgent;
 use rvz_core::primes::{next_prime, primorial_index_bound};
 use rvz_core::{DelayRobustAgent, TreeRendezvousAgent};
-use rvz_sim::{run_pair, PairConfig};
+use rvz_sim::trace::Replay;
+use rvz_sim::{replay_pair, run_pair, PairConfig, PairRun};
 use rvz_trees::{NodeId, Tree};
 use serde::Serialize;
 use std::collections::HashMap;
@@ -111,7 +122,7 @@ impl Delay {
 }
 
 /// Agent variant run in a cell.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Variant {
     /// Theorem 4.1 agent — simultaneous start, arbitrary trees.
     TreeRvz,
@@ -157,6 +168,22 @@ pub fn basic_walk_budget_for(n: usize, delay: u64) -> u64 {
     delay + 4 * (n.max(1) as u64 - 1) + 2
 }
 
+/// How the executor answers the delay × pair sub-grid of a cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Executor {
+    /// Record each `(family, n, start, variant)` trajectory once in the
+    /// process-wide trace store and decide every cell by timeline merge
+    /// (`rvz_sim::trace`) — no agent stepping on cache hits.
+    #[default]
+    TraceReplay,
+    /// Step both agents per cell through dyn [`run_pair`] (the pre-trace
+    /// executor). Kept behind this flag for differential testing; it is
+    /// also the replay path's fallback for cells whose trajectories would
+    /// exceed the recording cap. Output is byte-identical to
+    /// [`Executor::TraceReplay`] by construction (and by test).
+    DynStepping,
+}
+
 /// A full grid specification; [`run`] executes it.
 #[derive(Debug, Clone)]
 pub struct SweepSpec {
@@ -171,13 +198,17 @@ pub struct SweepSpec {
     pub seed: u64,
     /// Worker threads; `0` = all cores.
     pub threads: usize,
+    /// Cell execution strategy (replay by default).
+    pub executor: Executor,
 }
 
 /// One grid cell: everything [`run_cell`] needs, and nothing that depends
-/// on execution order.
+/// on execution order. The experiment label is interned (`Arc<str>`): the
+/// whole grid shares one allocation instead of cloning a `String` per
+/// cell.
 #[derive(Debug, Clone)]
 pub struct Cell {
-    pub experiment: String,
+    pub experiment: Arc<str>,
     pub family: Family,
     pub n: usize,
     pub delay: Delay,
@@ -188,9 +219,11 @@ pub struct Cell {
 }
 
 /// One result row; the JSON schema of `--json` output (see README.md).
+/// `experiment` shares the grid's interned label (serialized as a plain
+/// JSON string, exactly like the `String` it replaced).
 #[derive(Debug, Clone, Serialize)]
 pub struct SweepRow {
-    pub experiment: String,
+    pub experiment: Arc<str>,
     pub family: String,
     /// Requested size; `n` is the realized node count.
     pub size: usize,
@@ -275,6 +308,7 @@ impl Cell {
 /// Enumerates the grid in deterministic (family, size, delay, variant,
 /// pair) lexicographic order, dropping unsupported combinations.
 pub fn cells(spec: &SweepSpec) -> Vec<Cell> {
+    let experiment: Arc<str> = Arc::from(spec.experiment.as_str());
     let mut out = Vec::new();
     for &family in &spec.families {
         for &n in &spec.sizes {
@@ -285,7 +319,7 @@ pub fn cells(spec: &SweepSpec) -> Vec<Cell> {
                     }
                     for pair_index in 0..spec.pairs_per_cell {
                         out.push(Cell {
-                            experiment: spec.experiment.clone(),
+                            experiment: experiment.clone(),
                             family,
                             n,
                             delay,
@@ -366,17 +400,16 @@ pub fn run_cell(cell: &Cell) -> Option<SweepRow> {
     run_cell_on(cell, &SweepInstance::for_cell(cell))
 }
 
-/// Executes one cell on a prebuilt instance. `inst` must be (equal to)
-/// `SweepInstance::for_cell(cell)` — the executor guarantees this by
-/// keying instances on `(family, n)` within one spec.
-pub fn run_cell_on(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
-    let tree = &inst.tree;
-    let n = tree.num_nodes();
-    let leaves = tree.num_leaves();
-    let &(start_a, start_b) = inst.pairs.get(cell.pair_index)?;
-    let delay = cell.delay.resolve(n);
-
-    let (budget, provisioned_bits) = match cell.variant {
+/// Round budget and provisioned automaton size for a cell's variant at
+/// this instance (shared by the stepping and replay executors).
+fn budget_and_provisioned(
+    cell: &Cell,
+    inst: &SweepInstance,
+    n: usize,
+    leaves: usize,
+    delay: u64,
+) -> (u64, u64) {
+    match cell.variant {
         Variant::TreeRvz => {
             (budget_for(n), TreeRendezvousAgent::provisioned_bits(n as u64, leaves as u64))
         }
@@ -386,7 +419,57 @@ pub fn run_cell_on(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
             let fsa = inst.basic_walk_fsa();
             (basic_walk_budget_for(n, delay), fsa.memory_bits())
         }
-    };
+    }
+}
+
+/// Assembles the result row (shared by the stepping and replay executors —
+/// both must produce byte-identical rows).
+#[allow(clippy::too_many_arguments)]
+fn make_row(
+    cell: &Cell,
+    inst: &SweepInstance,
+    n: usize,
+    leaves: usize,
+    delay: u64,
+    run: &PairRun,
+    budget: u64,
+    provisioned_bits: u64,
+    measured_bits: u64,
+    starts: (NodeId, NodeId),
+) -> SweepRow {
+    SweepRow {
+        experiment: cell.experiment.clone(),
+        family: cell.family.name().to_string(),
+        size: cell.n,
+        n,
+        leaves,
+        variant: cell.variant.name().to_string(),
+        delay,
+        start_a: starts.0,
+        start_b: starts.1,
+        met: run.outcome.met(),
+        rounds: run.outcome.round(),
+        crossings: run.crossings,
+        budget,
+        provisioned_bits,
+        measured_bits,
+        tree_seed: inst.tree_seed,
+        pairs_seed: inst.pairs_seed,
+        cell_seed: cell.cell_seed(),
+    }
+}
+
+/// Executes one cell on a prebuilt instance by *stepping* both agents
+/// (the [`Executor::DynStepping`] path; also the replay fallback). `inst`
+/// must be (equal to) `SweepInstance::for_cell(cell)` — the executor
+/// guarantees this by keying instances on `(family, n)` within one spec.
+pub fn run_cell_on(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    let tree = &inst.tree;
+    let n = tree.num_nodes();
+    let leaves = tree.num_leaves();
+    let &(start_a, start_b) = inst.pairs.get(cell.pair_index)?;
+    let delay = cell.delay.resolve(n);
+    let (budget, provisioned_bits) = budget_and_provisioned(cell, inst, n, leaves, delay);
     let cfg = PairConfig::delayed(delay, budget);
 
     // Dispatch per variant: every arm goes through the dyn-compatible
@@ -426,26 +509,104 @@ pub fn run_cell_on(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
         }
     };
 
-    Some(SweepRow {
-        experiment: cell.experiment.clone(),
-        family: cell.family.name().to_string(),
-        size: cell.n,
+    Some(make_row(
+        cell,
+        inst,
         n,
         leaves,
-        variant: cell.variant.name().to_string(),
         delay,
-        start_a,
-        start_b,
-        met: run.outcome.met(),
-        rounds: run.outcome.round(),
-        crossings: run.crossings,
+        &run,
         budget,
         provisioned_bits,
         measured_bits,
-        tree_seed: inst.tree_seed,
-        pairs_seed: inst.pairs_seed,
-        cell_seed: cell.cell_seed(),
-    })
+        (start_a, start_b),
+    ))
+}
+
+/// Demand-driven recording growth: at least `need`, at least double the
+/// current horizon (so a cell retries O(log) times, not per round), never
+/// past the budget or the hard cap.
+fn grow_target(current: u64, need: u64, budget: u64) -> u64 {
+    need.max(current.saturating_mul(2))
+        .max(1 << 12)
+        .min(budget)
+        .min(trace_cache::MAX_RECORD_ROUNDS)
+        .max(need)
+}
+
+/// Executes one cell from recorded trajectories (the
+/// [`Executor::TraceReplay`] path): both timelines come from the
+/// process-wide trace store keyed `(family, n, tree_seed, start,
+/// variant)`, are extended on demand, and the cell is decided by
+/// `rvz_sim::trace::replay_pair` — no agent stepping on warm keys. Rows
+/// are byte-identical to [`run_cell_on`]; cells that would need recordings
+/// past the cap fall back to it.
+pub fn run_cell_replay(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    let tree = &inst.tree;
+    let n = tree.num_nodes();
+    let leaves = tree.num_leaves();
+    let &(start_a, start_b) = inst.pairs.get(cell.pair_index)?;
+    let delay = cell.delay.resolve(n);
+    let (budget, provisioned_bits) = budget_and_provisioned(cell, inst, n, leaves, delay);
+    let cfg = PairConfig::delayed(delay, budget);
+
+    let slot_a = trace_cache::slot(inst, cell.family, cell.n, cell.variant, start_a);
+    let slot_b = trace_cache::slot(inst, cell.family, cell.n, cell.variant, start_b);
+    loop {
+        // Feasible pairs have distinct starts, so the slots differ; lock
+        // them in start order so cells sharing an endpoint cannot deadlock.
+        let (mut ga, mut gb);
+        if start_a <= start_b {
+            ga = slot_a.lock().expect("trace slot");
+            gb = slot_b.lock().expect("trace slot");
+        } else {
+            gb = slot_b.lock().expect("trace slot");
+            ga = slot_a.lock().expect("trace slot");
+        }
+        match replay_pair(tree, ga.trajectory(), gb.trajectory(), cfg) {
+            Replay::Decided(run) => {
+                // The stepping path reports the meters after exactly
+                // `meeting round` activations of A and `round − θ` of B;
+                // read the same points off the recorded mark lists.
+                let acts_a = run.outcome.round().unwrap_or(budget);
+                let acts_b = acts_a.saturating_sub(delay);
+                let measured_bits =
+                    ga.trajectory().bits_at(acts_a).max(gb.trajectory().bits_at(acts_b));
+                return Some(make_row(
+                    cell,
+                    inst,
+                    n,
+                    leaves,
+                    delay,
+                    &run,
+                    budget,
+                    provisioned_bits,
+                    measured_bits,
+                    (start_a, start_b),
+                ));
+            }
+            Replay::NeedMore { a_rounds, b_rounds } => {
+                if a_rounds > trace_cache::MAX_RECORD_ROUNDS
+                    || b_rounds > trace_cache::MAX_RECORD_ROUNDS
+                {
+                    drop(ga);
+                    drop(gb);
+                    return run_cell_on(cell, inst);
+                }
+                // Grow only the lane(s) the verdict flagged (`0` / already
+                // decided means "long enough") — a warm recording must not
+                // be re-stepped just because its partner was short.
+                if !ga.trajectory().decided_to(a_rounds) {
+                    let target = grow_target(ga.trajectory().rounds(), a_rounds, budget);
+                    ga.record_to(tree, target);
+                }
+                if !gb.trajectory().decided_to(b_rounds) {
+                    let target = grow_target(gb.trajectory().rounds(), b_rounds, budget);
+                    gb.record_to(tree, target);
+                }
+            }
+        }
+    }
 }
 
 /// What a sweep produced: the rows, plus how much of the planned grid they
@@ -480,12 +641,16 @@ pub fn run(spec: &SweepSpec) -> SweepReport {
             reps.push(cell);
         }
     }
+    let run_one = |c: &Cell, inst: &SweepInstance| match spec.executor {
+        Executor::TraceReplay => run_cell_replay(c, inst),
+        Executor::DynStepping => run_cell_on(c, inst),
+    };
     let results: Vec<Option<SweepRow>> = pool.install(|| {
         let built: Vec<Arc<SweepInstance>> =
             reps.par_iter().map(|c| Arc::new(SweepInstance::for_cell(c))).collect();
         let by_key: HashMap<(Family, usize), Arc<SweepInstance>> =
             reps.iter().zip(built).map(|(c, inst)| ((c.family, c.n), inst)).collect();
-        grid.par_iter().map(|c| run_cell_on(c, &by_key[&(c.family, c.n)])).collect()
+        grid.par_iter().map(|c| run_one(c, &by_key[&(c.family, c.n)])).collect()
     });
     let planned_cells = results.len();
     let rows: Vec<SweepRow> = results.into_iter().flatten().collect();
@@ -554,6 +719,7 @@ pub fn preset(id: &str, sizes: &[usize], threads: usize, seed: u64) -> Option<Sw
         pairs_per_cell: 2,
         seed,
         threads,
+        executor: Executor::default(),
     };
     Some(match id {
         // Theorem 3.1 territory: arbitrary delays on lines.
@@ -597,6 +763,7 @@ fn perf_grid(families: Vec<Family>, delays: Vec<Delay>, variants: Vec<Variant>) 
         pairs_per_cell: 8,
         seed: 0x5EED_2010,
         threads: 1,
+        executor: Executor::default(),
     }
 }
 
@@ -642,6 +809,7 @@ mod tests {
             pairs_per_cell: 2,
             seed: 0xC0FFEE,
             threads,
+            executor: Executor::default(),
         }
     }
 
@@ -666,6 +834,7 @@ mod tests {
             pairs_per_cell: 3,
             seed: 21,
             threads: 1,
+            executor: Executor::default(),
         };
         let report = run(&spec);
         assert!(!report.rows.is_empty());
@@ -703,6 +872,7 @@ mod tests {
             pairs_per_cell: 1,
             seed: 5,
             threads: 1,
+            executor: Executor::default(),
         };
         let grid = cells(&spec);
         assert_eq!(grid.len(), 2, "both zero-delay variants must survive Fixed(0)");
@@ -769,6 +939,7 @@ mod tests {
             pairs_per_cell: 1,
             seed: 7,
             threads: 1,
+            executor: Executor::default(),
         };
         let report = run(&spec);
         assert_eq!(report.dropped_cells, 0);
@@ -803,6 +974,7 @@ mod tests {
             pairs_per_cell: 50,
             seed: 3,
             threads: 1,
+            executor: Executor::default(),
         };
         let report = run(&spec);
         assert_eq!(report.planned_cells, 50);
@@ -810,6 +982,20 @@ mod tests {
         assert!(report.dropped_cells > 0, "star(4) cannot have 50 distinct feasible pairs");
         let table = to_table("drop", &report);
         assert!(table.render().contains("planned cells dropped"));
+    }
+
+    #[test]
+    fn experiment_label_is_interned_across_cells_and_rows() {
+        // ISSUE 3 satellite: the grid shares ONE `Arc<str>` label — no
+        // per-cell / per-row `String` clone — and it serializes as a plain
+        // JSON string.
+        let spec = small_spec(1);
+        let grid = cells(&spec);
+        assert!(grid.windows(2).all(|w| Arc::ptr_eq(&w[0].experiment, &w[1].experiment)));
+        let report = run(&spec);
+        assert!(report.rows.windows(2).all(|w| Arc::ptr_eq(&w[0].experiment, &w[1].experiment)));
+        let json = serde_json::to_string(&report.rows[0]).unwrap();
+        assert!(json.contains("\"experiment\":\"test\""), "{json}");
     }
 
     #[test]

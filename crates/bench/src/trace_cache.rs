@@ -1,0 +1,133 @@
+//! The process-wide trajectory store behind the sweep's trace-replay
+//! executor.
+//!
+//! The paper's agents are deterministic and oblivious, so an agent's solo
+//! trajectory is a pure function of `(family, n, tree_seed, start,
+//! variant)` — that tuple is the store key (the ISSUE-level cache key
+//! `(family, n, start, variant)`, plus the tree seed so differently-seeded
+//! grids can never collide). Every `(delay, pair)` cell of a sweep then
+//! replays recorded timelines (`rvz_sim::trace`) instead of stepping
+//! agents: the delay column of a pair shares two recordings, reruns of the
+//! same grid (benchmark repetitions, overlapping experiments) share all of
+//! them, and recordings grow on demand — `replay_pair` reports how many
+//! rounds it actually needed and [`VariantRecorder::record_to`] extends
+//! the prefix in place, never re-stepping it.
+//!
+//! Bounds: a recording is never grown past [`MAX_RECORD_ROUNDS`] (cells
+//! that stay undecided there fall back to the dyn-stepping path — in
+//! practice only adversarial timeout cells with multi-billion-round
+//! budgets and no fixed-point tail), and the store holds at most
+//! [`MAX_STORE_KEYS`] trajectories, after which it is cleared wholesale
+//! before admitting a new key (coarse, but replay results are pure, so
+//! eviction can never change a row).
+
+use crate::sweep::{Family, SweepInstance, Variant};
+use rvz_agent::model::Agent;
+use rvz_agent::OwnedFsaRunner;
+use rvz_core::prime_path::PrimePathAgent;
+use rvz_core::{DelayRobustAgent, TreeRendezvousAgent};
+use rvz_sim::{TraceRecorder, Trajectory};
+use rvz_trees::{NodeId, Tree};
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Hard per-trajectory recording cap (rounds). At 16 bytes per RLE run
+/// this bounds a worst-case (move-every-round) recording at ~128 MiB;
+/// every workload in the perf grids decides orders of magnitude earlier
+/// (stay-heavy schedules compress to a handful of runs per period).
+pub(crate) const MAX_RECORD_ROUNDS: u64 = 1 << 23;
+
+/// Store capacity in trajectories; a full store is cleared wholesale.
+const MAX_STORE_KEYS: usize = 1024;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct StoreKey {
+    family: Family,
+    /// Requested grid size (with `tree_seed`, determines the exact tree).
+    n: usize,
+    tree_seed: u64,
+    start: NodeId,
+    variant: Variant,
+}
+
+/// A [`TraceRecorder`] over whichever concrete agent the variant runs,
+/// recording the same memory meter the stepping executor reports
+/// (measured bits for the procedural Theorem-4.1 / delay-robust agents,
+/// trait-level bits for `prime` and the basic-walk automaton).
+pub(crate) enum VariantRecorder {
+    // Boxed: the procedural agents' recorders are hundreds of bytes; the
+    // slot map should pay pointer-sized variants.
+    TreeRvz(Box<TraceRecorder<TreeRendezvousAgent>>),
+    DelayRobust(Box<TraceRecorder<DelayRobustAgent>>),
+    PrimePath(Box<TraceRecorder<PrimePathAgent>>),
+    BwFsa(Box<TraceRecorder<OwnedFsaRunner>>),
+}
+
+impl VariantRecorder {
+    fn new(variant: Variant, start: NodeId, inst: &SweepInstance) -> Self {
+        match variant {
+            Variant::TreeRvz => VariantRecorder::TreeRvz(Box::new(TraceRecorder::new(
+                start,
+                TreeRendezvousAgent::new(),
+                TreeRendezvousAgent::memory_bits_measured,
+            ))),
+            Variant::DelayRobust => VariantRecorder::DelayRobust(Box::new(TraceRecorder::new(
+                start,
+                DelayRobustAgent::new(),
+                DelayRobustAgent::memory_bits_measured,
+            ))),
+            Variant::PrimePath => VariantRecorder::PrimePath(Box::new(TraceRecorder::new(
+                start,
+                PrimePathAgent::unbounded(),
+                |a| a.memory_bits(),
+            ))),
+            Variant::BasicWalkFsa => VariantRecorder::BwFsa(Box::new(TraceRecorder::new(
+                start,
+                inst.basic_walk_fsa().runner_owned(),
+                |a| a.memory_bits(),
+            ))),
+        }
+    }
+
+    pub(crate) fn trajectory(&self) -> &Trajectory {
+        match self {
+            VariantRecorder::TreeRvz(r) => r.trajectory(),
+            VariantRecorder::DelayRobust(r) => r.trajectory(),
+            VariantRecorder::PrimePath(r) => r.trajectory(),
+            VariantRecorder::BwFsa(r) => r.trajectory(),
+        }
+    }
+
+    pub(crate) fn record_to(&mut self, t: &Tree, rounds: u64) {
+        match self {
+            VariantRecorder::TreeRvz(r) => r.record_to(t, rounds),
+            VariantRecorder::DelayRobust(r) => r.record_to(t, rounds),
+            VariantRecorder::PrimePath(r) => r.record_to(t, rounds),
+            VariantRecorder::BwFsa(r) => r.record_to(t, rounds),
+        }
+    }
+}
+
+/// A shared, lockable recorder slot.
+pub(crate) type Slot = Arc<Mutex<VariantRecorder>>;
+
+static STORE: OnceLock<Mutex<HashMap<StoreKey, Slot>>> = OnceLock::new();
+
+/// The store slot for `(family, n, tree_seed, start, variant)`, creating a
+/// fresh recorder (parked, nothing stepped) on first use.
+pub(crate) fn slot(
+    inst: &SweepInstance,
+    family: Family,
+    n: usize,
+    variant: Variant,
+    start: NodeId,
+) -> Slot {
+    let key = StoreKey { family, n, tree_seed: inst.tree_seed, start, variant };
+    let mut map = STORE.get_or_init(Mutex::default).lock().expect("trace store lock");
+    if map.len() >= MAX_STORE_KEYS && !map.contains_key(&key) {
+        map.clear();
+    }
+    map.entry(key)
+        .or_insert_with(|| Arc::new(Mutex::new(VariantRecorder::new(variant, start, inst))))
+        .clone()
+}

@@ -5,7 +5,7 @@
 //! * byte-identical JSON across thread counts;
 //! * a JSON round-trip for the result-row schema.
 
-use rvz_bench::sweep::{self, Delay, Family, SweepSpec, Variant};
+use rvz_bench::sweep::{self, Delay, Executor, Family, SweepSpec, Variant};
 use rvz_core::DelayRobustAgent;
 use rvz_sim::{run_pair, PairConfig};
 
@@ -19,6 +19,7 @@ fn grid_2x2(threads: usize) -> SweepSpec {
         pairs_per_cell: 1,
         seed: 42,
         threads,
+        executor: Executor::default(),
     }
 }
 
@@ -70,11 +71,24 @@ fn sweep_rounds_match_direct_run_pair() {
 
 #[test]
 fn sweep_is_byte_identical_across_thread_counts() {
-    let rows1 = sweep::run(&grid_2x2(1)).rows;
-    let rows4 = sweep::run(&grid_2x2(4)).rows;
-    let json1 = serde_json::to_string_pretty(&rows1).unwrap();
-    let json4 = serde_json::to_string_pretty(&rows4).unwrap();
-    assert_eq!(json1, json4);
+    let json1 = serde_json::to_string_pretty(&sweep::run(&grid_2x2(1)).rows).unwrap();
+    for threads in [2usize, 4, 8] {
+        let json = serde_json::to_string_pretty(&sweep::run(&grid_2x2(threads)).rows).unwrap();
+        assert_eq!(json1, json, "--threads {threads} diverged");
+    }
+}
+
+#[test]
+fn replay_and_stepping_executors_are_byte_identical() {
+    // The trace-replay executor is an optimization only: its JSON must
+    // match the dyn-stepping executor byte for byte, at every thread count.
+    let replay = serde_json::to_string_pretty(&sweep::run(&grid_2x2(1)).rows).unwrap();
+    for threads in [1usize, 2, 8] {
+        let mut spec = grid_2x2(threads);
+        spec.executor = Executor::DynStepping;
+        let stepping = serde_json::to_string_pretty(&sweep::run(&spec).rows).unwrap();
+        assert_eq!(replay, stepping, "executors diverged at --threads {threads}");
+    }
 }
 
 #[test]

@@ -198,6 +198,12 @@ impl Agent for PrimePathAgent {
         3 * bits_for(self.max_p) + 4
     }
 
+    /// `Finished` (the bounded `prime(i)` after its last sweep) is
+    /// absorbing: the agent stays forever and the meter is frozen.
+    fn halted(&self) -> bool {
+        self.finished()
+    }
+
     fn name(&self) -> &'static str {
         "prime-path"
     }

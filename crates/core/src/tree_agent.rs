@@ -420,6 +420,13 @@ impl Agent for TreeRendezvousAgent {
     fn name(&self) -> &'static str {
         "tree-rendezvous"
     }
+
+    /// The Stage-2 wait-forever state is absorbing: the agent stays put and
+    /// every meter high-water mark is frozen (only the uncounted `rounds`
+    /// diagnostic keeps ticking).
+    fn halted(&self) -> bool {
+        self.waiting()
+    }
 }
 
 #[cfg(test)]

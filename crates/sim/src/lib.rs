@@ -10,8 +10,10 @@
 
 pub mod multi;
 pub mod runner;
+pub mod trace;
 
 pub use multi::{run_multi, MultiConfig, MultiOutcome, MultiRun};
 pub use runner::{
     run_pair, run_pair_fsa, run_single, Cursor, Outcome, PairConfig, PairRun, SingleRun,
 };
+pub use trace::{delay_scan, replay_pair, Replay, TraceRecorder, Trajectory};

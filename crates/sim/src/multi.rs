@@ -111,7 +111,7 @@ pub fn run_multi(
 mod tests {
     use super::*;
     use rvz_agent::model::{bw_exit, Action, Obs};
-    use rvz_trees::generators::{line, star};
+    use rvz_trees::generators::{colored_line, line, spider, star};
 
     struct BasicWalker;
 
@@ -195,5 +195,89 @@ mod tests {
         let mut agents: Vec<&mut dyn Agent> = vec![&mut a, &mut b];
         let run = run_multi(&t, &[1, 1], &mut agents, &MultiConfig::simultaneous(2, 10));
         assert_eq!(run.outcome, MultiOutcome::Gathered { round: 0, node: 1 });
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_timeout_and_final_positions() {
+        // Two sitters apart can never gather: the run must burn exactly the
+        // budget, report `Timeout { rounds }`, keep everyone in place, and
+        // leave every pair meeting unset.
+        let t = line(5);
+        let mut a = Sitter;
+        let mut b = Sitter;
+        let mut agents: Vec<&mut dyn Agent> = vec![&mut a, &mut b];
+        let run = run_multi(&t, &[0, 4], &mut agents, &MultiConfig::simultaneous(2, 7));
+        assert_eq!(run.outcome, MultiOutcome::Timeout { rounds: 7 });
+        assert_eq!(run.final_positions, vec![0, 4]);
+        assert_eq!(run.pair_meetings, vec![None]);
+    }
+
+    #[test]
+    fn three_walkers_gather_on_a_spider_with_delays() {
+        // ISSUE 3 satellite: a ≥3-agent case on a spider. Two basic
+        // walkers from leg tips plus a sitter at the hub. A tip walker's
+        // Euler tour passes the hub at local steps 3, 9 and 15 of its
+        // 18-round period, so delaying walker A by 6 aligns its first hub
+        // visit (global round 9) with walker B's second: gathering at 9.
+        let t = spider(3, 3); // hub 0; legs of length 3
+        let mut a = BasicWalker;
+        let mut b = BasicWalker;
+        let mut c = Sitter;
+        let mut agents: Vec<&mut dyn Agent> = vec![&mut a, &mut b, &mut c];
+        let tip_a = 3; // end of the first leg
+        let tip_b = 6; // end of the second leg
+        let run = run_multi(
+            &t,
+            &[tip_a, tip_b, 0],
+            &mut agents,
+            &MultiConfig { delays: vec![6, 0, 0], max_rounds: 100 },
+        );
+        assert_eq!(run.outcome, MultiOutcome::Gathered { round: 9, node: 0 });
+        // The undelayed walker reaches the hub sitter first (round 3):
+        // pair (1,2) met before the full gathering.
+        assert_eq!(run.pair_meetings[pair_index(3, 1, 2)], Some(3));
+        assert_eq!(run.pair_meetings[pair_index(3, 0, 1)], Some(9));
+        assert_eq!(run.pair_meetings[pair_index(3, 0, 2)], Some(9));
+    }
+
+    /// Row-major upper-triangle index of pair `(i, j)`, `i < j`, among `k`
+    /// agents — mirrors the internal layout `run_multi` documents.
+    fn pair_index(k: usize, i: usize, j: usize) -> usize {
+        i * (2 * k - i - 1) / 2 + (j - i - 1)
+    }
+
+    #[test]
+    fn meeting_is_colocation_at_a_round_boundary_not_crossing() {
+        // Two walkers swapping the endpoints of a single edge cross inside
+        // it forever; gathering semantics must never fire (§2.1: meeting is
+        // co-location at the end of a round).
+        let t = colored_line(2, 0); // a single edge
+        let mut a = BasicWalker;
+        let mut b = BasicWalker;
+        let mut agents: Vec<&mut dyn Agent> = vec![&mut a, &mut b];
+        let run = run_multi(&t, &[0, 1], &mut agents, &MultiConfig::simultaneous(2, 50));
+        assert_eq!(run.outcome, MultiOutcome::Timeout { rounds: 50 });
+        assert_eq!(run.pair_meetings, vec![None]);
+    }
+
+    #[test]
+    fn four_agent_pair_meetings_use_the_upper_triangle_layout() {
+        // k = 4: six pairs; a walker sweeping the line meets each sitter in
+        // distance order, and the sitter pairs never co-locate.
+        let t = line(7);
+        let mut w = BasicWalker;
+        let mut s1 = Sitter;
+        let mut s2 = Sitter;
+        let mut s3 = Sitter;
+        let mut agents: Vec<&mut dyn Agent> = vec![&mut w, &mut s1, &mut s2, &mut s3];
+        let run = run_multi(&t, &[0, 2, 4, 6], &mut agents, &MultiConfig::simultaneous(4, 5));
+        assert_eq!(run.outcome, MultiOutcome::Timeout { rounds: 5 });
+        assert_eq!(run.pair_meetings.len(), 6);
+        assert_eq!(run.pair_meetings[pair_index(4, 0, 1)], Some(2));
+        assert_eq!(run.pair_meetings[pair_index(4, 0, 2)], Some(4));
+        assert_eq!(run.pair_meetings[pair_index(4, 0, 3)], None, "line end not reached in 5");
+        for (i, j) in [(1, 2), (1, 3), (2, 3)] {
+            assert_eq!(run.pair_meetings[pair_index(4, i, j)], None, "sitters ({i},{j})");
+        }
     }
 }

@@ -1,0 +1,555 @@
+//! Trace record/replay: tabulate an agent's deterministic trajectory once,
+//! then answer every adversarial schedule against it by timeline merge.
+//!
+//! The paper's agents are deterministic and oblivious: the node an agent
+//! occupies after `k` activations is a pure function of `(tree, start,
+//! agent)` — the peer never influences it (meeting is co-location, not
+//! interaction), and the adversary's start delay θ merely *shifts* agent
+//! B's timeline by θ rounds. So a `(delay, pair)` question never needs the
+//! agents stepped again: record each trajectory once ([`TraceRecorder`]),
+//! then decide meeting/crossing by a two-pointer merge over the two
+//! run-length–encoded timelines ([`replay_pair`]), or sweep a whole delay
+//! column in one call ([`delay_scan`]).
+//!
+//! Three properties make the merge cheap:
+//!
+//! * **Run-length encoding.** A [`Trajectory`] stores maximal constant-node
+//!   runs, so the long passive windows of schedule-based agents (e.g. the
+//!   delay-robust baseline, whose period is ≫ its 4n-round active window)
+//!   cost one entry, and the merge jumps joint-stay spans in O(1): inside a
+//!   span neither agent moves, so no meeting (positions are unequal and
+//!   constant) and no crossing (a crossing requires both agents to move)
+//!   can occur.
+//! * **Fixed-point tails.** An agent that reports [`Agent::halted`] (e.g.
+//!   the Theorem-4.1 agent parked in its wait-forever stage) freezes its
+//!   timeline: the suffix costs O(1) storage and the merge can declare
+//!   `Timeout` without walking to the round budget — even when the budget
+//!   is in the billions.
+//! * **Prefix stability.** Recording more rounds never changes the rounds
+//!   already recorded, so trajectories can be extended on demand
+//!   ([`TraceRecorder::record_to`]) and cached across questions; replay
+//!   results are independent of how eagerly the recording grew.
+//!
+//! [`replay_pair`] reproduces [`crate::run_pair`] *exactly* — outcome,
+//! meeting round, crossing count, final cursors (entry ports reconstructed
+//! from the node timeline; on a tree, a move always changes the node, so
+//! `entry = None` iff the last action was a stay) and optional traces. The
+//! differential property test in `tests/property_tests.rs` pins this
+//! equivalence across random trees, starts, delays and agent variants.
+
+use crate::runner::{Cursor, Outcome, PairConfig, PairRun};
+use rvz_agent::model::Agent;
+use rvz_trees::{NodeId, Port, Tree};
+
+/// One maximal constant-node run of a trajectory: the agent sits at `node`
+/// from the round after the previous run's `end` through `end` inclusive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Run {
+    pub node: NodeId,
+    /// Last round (1-based) covered by this run.
+    pub end: u64,
+}
+
+/// A memory-metering change point: the agent reported `bits` after its
+/// `acts`-th activation (and, until the next mark, after every later one).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BitsMark {
+    pub acts: u64,
+    pub bits: u64,
+}
+
+/// A recorded single-agent timeline: the node occupied after every round,
+/// run-length encoded, plus the memory-meter change points. `fixed` marks a
+/// fixed-point tail: the agent halted, so the last node (and the last bits
+/// mark) extend to every future round.
+#[derive(Debug, Clone)]
+pub struct Trajectory {
+    start: NodeId,
+    runs: Vec<Run>,
+    /// Recorded horizon: positions are known for rounds `0..=rounds`.
+    rounds: u64,
+    fixed: bool,
+    bits: Vec<BitsMark>,
+}
+
+impl Trajectory {
+    /// An empty trajectory parked at `start`; `initial_bits` is the meter
+    /// reading before any activation (what a never-started agent reports).
+    pub fn new(start: NodeId, initial_bits: u64) -> Self {
+        Trajectory {
+            start,
+            runs: Vec::new(),
+            rounds: 0,
+            fixed: false,
+            bits: vec![BitsMark { acts: 0, bits: initial_bits }],
+        }
+    }
+
+    pub fn start(&self) -> NodeId {
+        self.start
+    }
+
+    /// Rounds recorded so far (positions known for `0..=rounds()`).
+    pub fn rounds(&self) -> u64 {
+        self.rounds
+    }
+
+    /// `true` when the timeline is frozen: the agent halted, so every round
+    /// beyond [`Trajectory::rounds`] repeats the last node.
+    pub fn is_fixed(&self) -> bool {
+        self.fixed
+    }
+
+    /// Can every round up to `horizon` be answered from this recording?
+    pub fn decided_to(&self, horizon: u64) -> bool {
+        self.fixed || self.rounds >= horizon
+    }
+
+    /// Number of RLE runs (diagnostics; the merge cost is proportional to
+    /// the runs overlapping the scanned range, not to the rounds).
+    pub fn num_runs(&self) -> usize {
+        self.runs.len()
+    }
+
+    fn last_node(&self) -> NodeId {
+        self.runs.last().map_or(self.start, |r| r.node)
+    }
+
+    fn push(&mut self, node: NodeId) {
+        self.rounds += 1;
+        match self.runs.last_mut() {
+            Some(run) if run.node == node => run.end = self.rounds,
+            _ => self.runs.push(Run { node, end: self.rounds }),
+        }
+    }
+
+    fn mark_bits(&mut self, bits: u64) {
+        let last = self.bits.last().expect("initial mark").bits;
+        if bits != last {
+            self.bits.push(BitsMark { acts: self.rounds, bits });
+        }
+    }
+
+    /// Node occupied after `round` (0 = the start, before any action), or
+    /// `None` when the round is beyond the recorded horizon of a non-fixed
+    /// trajectory.
+    pub fn position(&self, round: u64) -> Option<NodeId> {
+        if round == 0 {
+            return Some(self.start);
+        }
+        if round > self.rounds {
+            return self.fixed.then(|| self.last_node());
+        }
+        let i = self.runs.partition_point(|r| r.end < round);
+        Some(self.runs[i].node)
+    }
+
+    /// Meter reading after `acts` activations. Beyond the recorded horizon
+    /// the last mark applies (valid for fixed tails, where the contract of
+    /// [`Agent::halted`] freezes the meter).
+    pub fn bits_at(&self, acts: u64) -> u64 {
+        let i = self.bits.partition_point(|m| m.acts <= acts);
+        self.bits[i - 1].bits
+    }
+
+    /// The explicit node timeline for global rounds `0..=upto` of an agent
+    /// whose start was delayed by `shift` rounds (tests / trace output; the
+    /// merge itself never materializes this).
+    fn materialize(&self, upto: u64, shift: u64) -> Vec<NodeId> {
+        (0..=upto)
+            .map(|r| self.position(r.saturating_sub(shift)).expect("within recorded horizon"))
+            .collect()
+    }
+}
+
+/// Records an agent's solo trajectory incrementally: owns the agent and its
+/// cursor so the recording can be extended on demand without re-stepping
+/// the prefix.
+#[derive(Debug, Clone)]
+pub struct TraceRecorder<A> {
+    agent: A,
+    cursor: Cursor,
+    traj: Trajectory,
+    /// Which meter to record (variants differ: measured vs charged bits).
+    bits_fn: fn(&A) -> u64,
+}
+
+impl<A: Agent> TraceRecorder<A> {
+    /// A recorder parked at `start`; nothing is stepped until
+    /// [`TraceRecorder::record_to`].
+    pub fn new(start: NodeId, agent: A, bits_fn: fn(&A) -> u64) -> Self {
+        let traj = Trajectory::new(start, bits_fn(&agent));
+        TraceRecorder { agent, cursor: Cursor::new(start), traj, bits_fn }
+    }
+
+    pub fn trajectory(&self) -> &Trajectory {
+        &self.traj
+    }
+
+    /// Extends the recording through round `rounds` (no-op if already
+    /// there, or if the agent halted earlier — the fixed tail answers every
+    /// later round).
+    pub fn record_to(&mut self, t: &Tree, rounds: u64) {
+        while self.traj.rounds < rounds && !self.traj.fixed {
+            let action = self.agent.act(self.cursor.obs(t));
+            self.cursor.apply(t, action);
+            self.traj.push(self.cursor.node);
+            self.traj.mark_bits((self.bits_fn)(&self.agent));
+            if self.agent.halted() {
+                self.traj.fixed = true;
+            }
+        }
+    }
+}
+
+/// Replay verdict: either the full [`PairRun`] (bit-for-bit what
+/// [`crate::run_pair`] returns), or a request for longer recordings.
+#[derive(Debug, Clone)]
+pub enum Replay {
+    Decided(PairRun),
+    /// The merge ran past a recorded horizon before deciding: record agent
+    /// A to at least `a_rounds` rounds (and B to `b_rounds`) and retry.
+    NeedMore {
+        a_rounds: u64,
+        b_rounds: u64,
+    },
+}
+
+/// A trajectory viewed at a start-delay offset: local round `l` of the
+/// underlying recording answers global round `l + shift`, and rounds
+/// `0..=shift` are parked at the start (the delayed agent sits at home and
+/// can be met there, per the §2.1 scenario).
+struct Lane<'a> {
+    traj: &'a Trajectory,
+    shift: u64,
+    idx: usize,
+}
+
+impl<'a> Lane<'a> {
+    fn new(traj: &'a Trajectory, shift: u64) -> Self {
+        Lane { traj, shift, idx: 0 }
+    }
+
+    /// Node at global round `r` plus the last global round through which
+    /// that node provably persists (the jump target for joint-stay spans).
+    /// `None` when `r` is beyond the recorded horizon of an open tail.
+    /// Calls must be monotone in `r` (the run index only advances).
+    fn locate(&mut self, r: u64) -> Option<(NodeId, u64)> {
+        let l = r.saturating_sub(self.shift);
+        if l == 0 {
+            return Some((self.traj.start, self.shift));
+        }
+        if l > self.traj.rounds {
+            return self.traj.fixed.then(|| (self.traj.last_node(), u64::MAX));
+        }
+        let runs = &self.traj.runs;
+        while runs[self.idx].end < l {
+            self.idx += 1;
+        }
+        let run = runs[self.idx];
+        let end = if run.end == self.traj.rounds && self.traj.fixed {
+            u64::MAX
+        } else {
+            run.end.saturating_add(self.shift)
+        };
+        Some((run.node, end))
+    }
+}
+
+/// The port by which an agent that moved `prev → cur` entered `cur` (the
+/// unique tree edge between them, read off the CSR adjacency).
+fn entry_port_from(t: &Tree, prev: NodeId, cur: NodeId) -> Port {
+    t.neighbors(cur)
+        .find(|&(_, v, _)| v == prev)
+        .map(|(p, _, _)| p)
+        .expect("consecutive trajectory nodes are adjacent")
+}
+
+/// Final cursor of an agent at global round `r`, reconstructed from its
+/// timeline: on a tree every move changes the node, so the entry port is
+/// `None` iff the position did not change in round `r`.
+fn cursor_at(t: &Tree, traj: &Trajectory, shift: u64, r: u64) -> Cursor {
+    let pos = |r: u64| traj.position(r.saturating_sub(shift)).expect("decided range");
+    let node = pos(r);
+    let entry = if r == 0 || pos(r - 1) == node {
+        None
+    } else {
+        Some(entry_port_from(t, pos(r - 1), node))
+    };
+    Cursor { node, entry }
+}
+
+/// Builds the [`PairRun`] for a decided merge ending at global round `r`.
+fn finish(
+    t: &Tree,
+    ta: &Trajectory,
+    tb: &Trajectory,
+    cfg: PairConfig,
+    outcome: Outcome,
+    r: u64,
+    crossings: u64,
+) -> PairRun {
+    PairRun {
+        outcome,
+        crossings,
+        final_a: cursor_at(t, ta, 0, r),
+        final_b: cursor_at(t, tb, cfg.delay, r),
+        trace_a: cfg.record_traces.then(|| ta.materialize(r, 0)),
+        trace_b: cfg.record_traces.then(|| tb.materialize(r, cfg.delay)),
+    }
+}
+
+/// Decides a two-agent run from recorded trajectories alone — no agent is
+/// stepped. Agent B's timeline is shifted by `cfg.delay`. Returns exactly
+/// what [`crate::run_pair`] returns on the same instance, or
+/// [`Replay::NeedMore`] when a recording is too short to decide.
+///
+/// Cost: O(runs overlapping the decided range + rounds in which either
+/// agent moves), not O(rounds) — joint-stay spans are jumped, and two
+/// fixed tails settle a timeout instantly whatever the budget.
+pub fn replay_pair(t: &Tree, ta: &Trajectory, tb: &Trajectory, cfg: PairConfig) -> Replay {
+    let budget = cfg.max_rounds;
+    if ta.start == tb.start {
+        let run = finish(t, ta, tb, cfg, Outcome::Met { round: 0, node: ta.start }, 0, 0);
+        return Replay::Decided(run);
+    }
+    let mut lane_a = Lane::new(ta, 0);
+    let mut lane_b = Lane::new(tb, cfg.delay);
+    let mut prev_a = ta.start;
+    let mut prev_b = tb.start;
+    let mut crossings = 0u64;
+    let mut r = 0u64;
+    while r < budget {
+        r += 1;
+        // A lane that is already decided through round r reports 0 — the
+        // caller must not grow (re-step) a recording that was long enough.
+        let need = |r: u64, ta: &Trajectory, tb: &Trajectory| Replay::NeedMore {
+            a_rounds: if ta.decided_to(r) { 0 } else { r },
+            b_rounds: {
+                let l = r.saturating_sub(cfg.delay);
+                if tb.decided_to(l) {
+                    0
+                } else {
+                    l
+                }
+            },
+        };
+        let Some((na, ea)) = lane_a.locate(r) else {
+            return need(r, ta, tb);
+        };
+        let Some((nb, eb)) = lane_b.locate(r) else {
+            return need(r, ta, tb);
+        };
+        if na == prev_b && nb == prev_a && na != nb {
+            crossings += 1;
+        }
+        if na == nb {
+            let run = finish(t, ta, tb, cfg, Outcome::Met { round: r, node: na }, r, crossings);
+            return Replay::Decided(run);
+        }
+        prev_a = na;
+        prev_b = nb;
+        // Both agents sit still through min(ea, eb): no moves, hence no
+        // crossings and no meeting (unequal constant positions) — jump.
+        r = r.max(ea.min(eb).min(budget));
+    }
+    let run = finish(t, ta, tb, cfg, Outcome::Timeout { rounds: budget }, budget, crossings);
+    Replay::Decided(run)
+}
+
+/// Answers an entire delay column for one recorded pair: one
+/// [`replay_pair`] verdict per `(delay, max_rounds)` entry, in order.
+///
+/// Each delay is one diagonal of the joint `(round_a, round_b)` offset
+/// lattice, and each diagonal is merged independently over the shared run
+/// lists — a column costs one merge *per delay* (each O(runs overlapping
+/// its decided range)), with the agents never stepped: the two recordings
+/// are shared across all offsets, which is where the win over per-cell
+/// stepping comes from. The sweep executor reaches the same sharing
+/// through its trace store (one [`replay_pair`] per cell against cached
+/// recordings); this entry point is the column-at-once convenience API.
+pub fn delay_scan(
+    t: &Tree,
+    ta: &Trajectory,
+    tb: &Trajectory,
+    columns: &[(u64, u64)],
+) -> Vec<Replay> {
+    columns
+        .iter()
+        .map(|&(delay, max_rounds)| {
+            let cfg = PairConfig { delay, max_rounds, record_traces: false };
+            replay_pair(t, ta, tb, cfg)
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::runner::run_pair;
+    use rvz_agent::model::{bw_exit, Action, Obs};
+    use rvz_trees::generators::{line, spider, star};
+
+    #[derive(Clone, Default)]
+    struct BasicWalker;
+
+    impl Agent for BasicWalker {
+        fn act(&mut self, obs: Obs) -> Action {
+            Action::Move(bw_exit(obs.entry, obs.degree))
+        }
+        fn memory_bits(&self) -> u64 {
+            0
+        }
+    }
+
+    /// Walks for `moves` rounds, then parks forever (and says so).
+    struct WalkThenHalt {
+        moves: u64,
+    }
+
+    impl Agent for WalkThenHalt {
+        fn act(&mut self, obs: Obs) -> Action {
+            if self.moves == 0 {
+                return Action::Stay;
+            }
+            self.moves -= 1;
+            Action::Move(bw_exit(obs.entry, obs.degree))
+        }
+        fn memory_bits(&self) -> u64 {
+            0
+        }
+        fn halted(&self) -> bool {
+            self.moves == 0
+        }
+    }
+
+    fn record<A: Agent>(t: &Tree, start: NodeId, agent: A, rounds: u64) -> Trajectory {
+        let mut rec = TraceRecorder::new(start, agent, |_| 0);
+        rec.record_to(t, rounds);
+        rec.trajectory().clone()
+    }
+
+    fn assert_matches_direct<A: Agent + Default>(
+        t: &Tree,
+        a: NodeId,
+        b: NodeId,
+        cfg: PairConfig,
+        horizon: u64,
+    ) {
+        let ta = record(t, a, A::default(), horizon);
+        let tb = record(t, b, A::default(), horizon);
+        let Replay::Decided(replayed) = replay_pair(t, &ta, &tb, cfg) else {
+            panic!("horizon {horizon} must decide the run");
+        };
+        let mut x = A::default();
+        let mut y = A::default();
+        let direct = run_pair(t, a, b, &mut x, &mut y, cfg);
+        assert_eq!(replayed.outcome, direct.outcome);
+        assert_eq!(replayed.crossings, direct.crossings);
+        assert_eq!(replayed.final_a, direct.final_a);
+        assert_eq!(replayed.final_b, direct.final_b);
+        assert_eq!(replayed.trace_a, direct.trace_a);
+        assert_eq!(replayed.trace_b, direct.trace_b);
+    }
+
+    #[test]
+    fn rle_compresses_stays_and_replays_positions() {
+        let t = star(5);
+        let traj = record(&t, 2, WalkThenHalt { moves: 3 }, 100);
+        // 2 → hub(0) → leaf → hub, then parked: ≤3 runs + fixed tail.
+        assert!(traj.is_fixed());
+        assert_eq!(traj.rounds(), 3, "halt detected at the last move");
+        assert!(traj.num_runs() <= 3);
+        assert_eq!(traj.position(0), Some(2));
+        assert_eq!(traj.position(1), Some(0));
+        assert_eq!(traj.position(1_000_000), traj.position(3), "fixed tail extends");
+    }
+
+    #[test]
+    fn replay_matches_direct_run_with_and_without_delay() {
+        let t = line(9);
+        for delay in [0u64, 1, 2, 5, 50] {
+            for (a, b) in [(0u32, 5u32), (0, 1), (3, 8)] {
+                let cfg = PairConfig { delay, max_rounds: 60, record_traces: true };
+                assert_matches_direct::<BasicWalker>(&t, a, b, cfg, 60);
+            }
+        }
+    }
+
+    #[test]
+    fn replay_counts_crossings_exactly() {
+        // Odd-distance walkers shuttle and cross forever without meeting.
+        let t = line(2);
+        let cfg = PairConfig { delay: 0, max_rounds: 25, record_traces: false };
+        assert_matches_direct::<BasicWalker>(&t, 0, 1, cfg, 25);
+    }
+
+    #[test]
+    fn fixed_tails_settle_huge_budgets_in_o1() {
+        let t = spider(3, 4);
+        let ta = record(&t, 1, WalkThenHalt { moves: 2 }, 10);
+        let tb = record(&t, 9, WalkThenHalt { moves: 1 }, 10);
+        assert!(ta.is_fixed() && tb.is_fixed());
+        // Budget in the billions: the merge must settle from the tails.
+        let cfg = PairConfig::delayed(7, 2_000_000_000);
+        match replay_pair(&t, &ta, &tb, cfg) {
+            Replay::Decided(run) => {
+                assert_eq!(run.outcome, Outcome::Timeout { rounds: cfg.max_rounds })
+            }
+            Replay::NeedMore { .. } => panic!("fixed tails must decide"),
+        }
+    }
+
+    #[test]
+    fn open_tails_ask_for_more_rounds() {
+        let t = line(9);
+        let ta = record(&t, 0, BasicWalker, 10);
+        let tb = record(&t, 8, BasicWalker, 10);
+        match replay_pair(&t, &ta, &tb, PairConfig::simultaneous(500)) {
+            Replay::NeedMore { a_rounds, b_rounds } => {
+                assert!(a_rounds > 10 && a_rounds <= 500);
+                assert!(b_rounds <= a_rounds);
+            }
+            Replay::Decided(run) => {
+                // Legal only if it met within the recorded horizon.
+                assert!(run.outcome.round().unwrap_or(u64::MAX) <= 10);
+            }
+        }
+    }
+
+    #[test]
+    fn delayed_agent_is_met_at_home_via_replay() {
+        let t = line(9);
+        let ta = record(&t, 0, BasicWalker, 100);
+        let tb = record(&t, 6, BasicWalker, 100);
+        let verdicts = delay_scan(&t, &ta, &tb, &[(0, 100), (1_000, 100)]);
+        for v in verdicts {
+            let Replay::Decided(run) = v else { panic!("recorded horizon decides") };
+            assert!(run.outcome.met());
+        }
+    }
+
+    #[test]
+    fn bits_marks_follow_the_meter() {
+        struct Counting {
+            acts: u64,
+        }
+        impl Agent for Counting {
+            fn act(&mut self, _obs: Obs) -> Action {
+                self.acts += 1;
+                Action::Stay
+            }
+            fn memory_bits(&self) -> u64 {
+                self.acts / 3
+            }
+        }
+        let t = line(4);
+        let mut rec = TraceRecorder::new(0, Counting { acts: 0 }, |a| a.memory_bits());
+        rec.record_to(&t, 10);
+        let traj = rec.trajectory();
+        for acts in 0..=10u64 {
+            assert_eq!(traj.bits_at(acts), acts / 3, "after {acts} activations");
+        }
+        assert_eq!(traj.num_runs(), 1, "ten stays are one run");
+    }
+}

@@ -22,10 +22,15 @@ clippy:
 bench:
     cargo bench --workspace
 
-# Re-measure the sweep executor before/after and refresh BENCH_sweep.json
-# (the perf trajectory this and future PRs carry; see README "Performance").
+# Re-measure the sweep executor (stepping vs trace replay) and refresh
+# BENCH_sweep.json (the perf trajectory this and future PRs carry; see
+# README "Performance"). Fails if sweep_cells_variants speeds up < 3x.
 bench-baseline:
     cargo run --release -p rvz-bench --bin bench_baseline -- BENCH_sweep.json
+
+# CI's committed-JSON gate, runnable locally.
+bench-json-check:
+    jq -e '.sweep_cells.speedup and .sweep_cells_variants.speedup' BENCH_sweep.json > /dev/null
 
 # Compile benches, run each once (`--test` mode), emit BENCH_sweep.json,
 # plus the tiny deterministic sweep CI runs.

@@ -262,6 +262,82 @@ proptest! {
     }
 
     #[test]
+    fn trace_replay_matches_direct_stepping(
+        t in arb_tree(14),
+        a in 0u32..14,
+        b in 0u32..14,
+        delay in 0u64..40,
+        variant in 0usize..4,
+    ) {
+        // ISSUE 3 differential: `replay_pair` over recorded trajectories
+        // must reproduce `run_pair` exactly — outcome, meeting round,
+        // crossing count, final cursors and traces — for every agent
+        // variant, delay and start pair. Trees are random (lines for the
+        // paths-only `prime` protocol).
+        use tree_rendezvous::core::prime_path::PrimePathAgent;
+        use tree_rendezvous::core::{DelayRobustAgent, TreeRendezvousAgent};
+        use tree_rendezvous::sim::trace::Replay;
+        use tree_rendezvous::sim::{replay_pair, run_pair, PairConfig, TraceRecorder};
+
+        let t = if variant == 2 {
+            // prime runs on paths; reuse the random size for a line.
+            tree_rendezvous::trees::generators::line(t.num_nodes().max(2))
+        } else {
+            t
+        };
+        let n = t.num_nodes() as u32;
+        let (a, b) = (a % n, b % n);
+        let budget = 20_000u64;
+        let cfg = PairConfig { delay, max_rounds: budget, record_traces: true };
+
+        // Record both trajectories with the same meter the stepping run
+        // reports, then replay; extend on demand exactly like the sweep
+        // executor does.
+        macro_rules! diff {
+            ($mk:expr, $bits:expr) => {{
+                let mut rec_a = TraceRecorder::new(a, $mk, $bits);
+                let mut rec_b = TraceRecorder::new(b, $mk, $bits);
+                let replayed = loop {
+                    match replay_pair(&t, rec_a.trajectory(), rec_b.trajectory(), cfg) {
+                        Replay::Decided(run) => break run,
+                        Replay::NeedMore { a_rounds, b_rounds } => {
+                            rec_a.record_to(&t, a_rounds.max(2 * rec_a.trajectory().rounds()));
+                            rec_b.record_to(&t, b_rounds.max(2 * rec_b.trajectory().rounds()));
+                        }
+                    }
+                };
+                let mut x = $mk;
+                let mut y = $mk;
+                let direct = run_pair(&t, a, b, &mut x, &mut y, cfg);
+                prop_assert_eq!(&replayed.outcome, &direct.outcome);
+                prop_assert_eq!(replayed.crossings, direct.crossings);
+                prop_assert_eq!(replayed.final_a, direct.final_a);
+                prop_assert_eq!(replayed.final_b, direct.final_b);
+                prop_assert_eq!(&replayed.trace_a, &direct.trace_a);
+                prop_assert_eq!(&replayed.trace_b, &direct.trace_b);
+                // The recorded meter marks must reproduce the stepping
+                // meters at the run's end (what SweepRow reports).
+                let acts_a = direct.outcome.round().unwrap_or(budget);
+                let acts_b = acts_a.saturating_sub(delay);
+                let bits_fn: fn(&_) -> u64 = $bits;
+                prop_assert_eq!(rec_a.trajectory().bits_at(acts_a), bits_fn(&x));
+                prop_assert_eq!(rec_b.trajectory().bits_at(acts_b), bits_fn(&y));
+            }};
+        }
+        match variant {
+            0 => diff!(TreeRendezvousAgent::new(), TreeRendezvousAgent::memory_bits_measured),
+            1 => diff!(DelayRobustAgent::new(), DelayRobustAgent::memory_bits_measured),
+            2 => diff!(PrimePathAgent::unbounded(), Agent::memory_bits),
+            _ => {
+                let fsa = tree_rendezvous::agent::Fsa::basic_walk(
+                    t.max_degree().max(1),
+                );
+                diff!(fsa.runner_owned(), Agent::memory_bits)
+            }
+        }
+    }
+
+    #[test]
     fn prime_protocol_meets_when_feasible(
         m in 4usize..24,
         a in 1usize..24,
