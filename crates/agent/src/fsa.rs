@@ -82,13 +82,9 @@ impl Fsa {
     /// (`None` = the paper's `-1`) at a node of degree `d`.
     #[inline]
     pub fn transition(&self, s: StateId, entry: Option<u32>, d: u32) -> StateId {
-        let entry_idx = match entry {
-            None => 0,
-            Some(p) => {
-                debug_assert!(p < self.max_degree);
-                (p + 1) as usize
-            }
-        };
+        debug_assert!(entry.is_none_or(|p| p < self.max_degree));
+        // The one entry-port encoding, shared with the config-index export.
+        let entry_idx = Self::entry_index(entry);
         debug_assert!(d >= 1 && d <= self.max_degree);
         self.delta
             [s as usize * self.stride() + entry_idx * self.max_degree as usize + (d - 1) as usize]
@@ -158,6 +154,38 @@ impl Fsa {
     pub fn runner_from(&self, s: StateId) -> FsaRunner<'_> {
         debug_assert!((s as usize) < self.num_states());
         FsaRunner { fsa: self, state: s, started: false }
+    }
+
+    /// Dense index of the entry-port component of the input alphabet:
+    /// `None` (the paper's `-1`) is 0, port `p` is `p + 1`. This is the
+    /// same encoding the transition table uses internally; it is exported
+    /// so product constructions (the exact decider's configuration graph)
+    /// can index per-agent configurations without re-inventing the
+    /// arithmetic.
+    #[inline]
+    pub const fn entry_index(entry: Option<u32>) -> usize {
+        match entry {
+            None => 0,
+            Some(p) => p as usize + 1,
+        }
+    }
+
+    /// Size of this automaton's *configuration space* on a substrate of
+    /// `nodes` nodes: one configuration per `(state, node, entry)` triple,
+    /// with `entry ∈ {-1} ∪ {0, …, max_degree − 1}`. The exact decider's
+    /// visited sets are dense arrays of exactly this length.
+    pub fn num_configs(&self, nodes: usize) -> usize {
+        self.num_states() * nodes * (self.max_degree as usize + 1)
+    }
+
+    /// Dense index of the configuration `(s, node, entry)` within
+    /// [`Fsa::num_configs`]`(nodes)`. Row-major in (state, node, entry),
+    /// so iterating entries of one (state, node) block is contiguous.
+    #[inline]
+    pub fn config_index(&self, s: StateId, node: u32, entry: Option<u32>, nodes: usize) -> usize {
+        debug_assert!((node as usize) < nodes);
+        let width = self.max_degree as usize + 1;
+        (s as usize * nodes + node as usize) * width + Self::entry_index(entry)
     }
 
     /// Extends a line automaton to trees of maximum degree `max_degree`:
@@ -325,6 +353,25 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn config_indices_are_a_bijection() {
+        // The exported product-construction indexing must cover
+        // 0..num_configs exactly once.
+        let f = Fsa::basic_walk(3);
+        let nodes = 5usize;
+        let mut seen = vec![false; f.num_configs(nodes)];
+        for s in 0..f.num_states() as StateId {
+            for node in 0..nodes as u32 {
+                for entry in std::iter::once(None).chain((0..f.max_degree).map(Some)) {
+                    let i = f.config_index(s, node, entry, nodes);
+                    assert!(!seen[i], "collision at ({s}, {node}, {entry:?})");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
     }
 
     #[test]

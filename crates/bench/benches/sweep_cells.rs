@@ -33,6 +33,12 @@ fn bench_grid(c: &mut Criterion, name: &str, spec: &SweepSpec) {
     let mut stepping = spec.clone();
     stepping.executor = Executor::DynStepping;
     group.bench_function("stepping", |b| b.iter(|| black_box(sweep::run(&stepping).rows.len())));
+    // The exact decider: budget-free verdicts over the joint configuration
+    // graph (meaningful on the automaton grid; procedural-agent cells fall
+    // back to replay).
+    let mut decide = spec.clone();
+    decide.executor = Executor::ExactDecide;
+    group.bench_function("decide", |b| b.iter(|| black_box(sweep::run(&decide).rows.len())));
     // The pre-instance-cache executor shape: every cell rebuilds its world.
     group.bench_function("rebuild_per_cell", |b| {
         b.iter(|| black_box(grid.iter().filter_map(sweep::run_cell).count()))

@@ -37,22 +37,41 @@ fn time_best<T>(reps: usize, mut f: impl FnMut() -> T) -> (u128, T) {
     (best, out.expect("reps >= 1"))
 }
 
-/// Measures one grid under both executors and returns its JSON record
-/// plus the measured speedup.
-fn measure(name: &str, spec: &SweepSpec, reps: usize) -> (serde_json::Value, f64) {
+/// Serializes rows with the `certified` flag cleared — the one field the
+/// exact decider is *allowed* to differ on.
+fn rows_modulo_certification(rows: &[sweep::SweepRow]) -> String {
+    let mut rows = rows.to_vec();
+    for r in &mut rows {
+        r.certified = false;
+    }
+    serde_json::to_string(&rows).expect("serialize")
+}
+
+/// Measures one grid under a before/after executor pair and returns its
+/// JSON record plus the measured speedup.
+fn measure_pair(
+    name: &str,
+    spec: &SweepSpec,
+    reps: usize,
+    before_exec: (Executor, &str),
+    after_exec: (Executor, &str),
+) -> (serde_json::Value, f64) {
     let cells = sweep::cells(spec).len();
-    let mut stepping_spec = spec.clone();
-    stepping_spec.executor = Executor::DynStepping;
-    let mut replay_spec = spec.clone();
-    replay_spec.executor = Executor::TraceReplay;
+    let mut before_spec = spec.clone();
+    before_spec.executor = before_exec.0;
+    let mut after_spec = spec.clone();
+    after_spec.executor = after_exec.0;
 
-    let (before_ns, before_report) = time_best(reps, || sweep::run(&stepping_spec));
-    let (after_ns, after_report) = time_best(reps, || sweep::run(&replay_spec));
+    let (before_ns, before_report) = time_best(reps, || sweep::run(&before_spec));
+    let (after_ns, after_report) = time_best(reps, || sweep::run(&after_spec));
 
-    // The optimization must not change a single byte of output.
-    let before_json = serde_json::to_string(&before_report.rows).expect("serialize");
-    let after_json = serde_json::to_string(&after_report.rows).expect("serialize");
-    assert_eq!(before_json, after_json, "{name}: replay executor diverged from stepping");
+    // Executors must agree on every row (modulo the certification flag,
+    // which only the exact decider sets).
+    assert_eq!(
+        rows_modulo_certification(&before_report.rows),
+        rows_modulo_certification(&after_report.rows),
+        "{name}: executors diverged"
+    );
 
     let speedup = before_ns as f64 / after_ns as f64;
     let grid_meta = serde_json::json!({
@@ -64,17 +83,17 @@ fn measure(name: &str, spec: &SweepSpec, reps: usize) -> (serde_json::Value, f64
         "seed": spec.seed
     });
     let before = serde_json::json!({
-        "executor": "shared-instance dyn stepping (PR-2; Executor::DynStepping)",
+        "executor": before_exec.1,
         "total_ns": before_ns as u64,
         "ns_per_cell": (before_ns / cells as u128) as u64
     });
     let after = serde_json::json!({
-        "executor": "trace replay over the warm process-wide trajectory store",
+        "executor": after_exec.1,
         "total_ns": after_ns as u64,
         "ns_per_cell": (after_ns / cells as u128) as u64
     });
     println!(
-        "{name}: {cells} cells, stepping {:.2} ms, replay {:.2} ms, speedup {speedup:.2}x",
+        "{name}: {cells} cells, before {:.2} ms, after {:.2} ms, speedup {speedup:.2}x",
         before_ns as f64 / 1e6,
         after_ns as f64 / 1e6
     );
@@ -93,14 +112,30 @@ fn measure(name: &str, spec: &SweepSpec, reps: usize) -> (serde_json::Value, f64
 fn main() {
     let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_sweep.json".into());
     let reps = 5;
-    let (primary, _) = measure("sweep_cells", &sweep::perf_grid_fsa_scan(), reps);
+    const STEPPING: (Executor, &str) =
+        (Executor::DynStepping, "shared-instance dyn stepping (PR-2; Executor::DynStepping)");
+    const REPLAY: (Executor, &str) =
+        (Executor::TraceReplay, "trace replay over the warm process-wide trajectory store");
+    const DECIDE: (Executor, &str) = (
+        Executor::ExactDecide,
+        "exact decider over the joint configuration graph (budget-free, certifying)",
+    );
+    let (primary, _) =
+        measure_pair("sweep_cells", &sweep::perf_grid_fsa_scan(), reps, STEPPING, REPLAY);
     let (secondary, variants_speedup) =
-        measure("sweep_cells_variants", &sweep::perf_grid_variants(), reps);
+        measure_pair("sweep_cells_variants", &sweep::perf_grid_variants(), reps, STEPPING, REPLAY);
+    // The decider is measured against stepping on the automaton grid — the
+    // workload it answers natively. It is tracked for cost *and* for the
+    // row-agreement assertion inside measure_pair; a sub-1x ratio is
+    // expected (it buys certification, not time).
+    let (decide, _) =
+        measure_pair("decide_cells", &sweep::perf_grid_fsa_scan(), reps, STEPPING, DECIDE);
     let payload = serde_json::json!({
-        "schema": "rvz-bench-sweep/v2",
+        "schema": "rvz-bench-sweep/v3",
         "n": 200,
         "sweep_cells": primary,
-        "sweep_cells_variants": secondary
+        "sweep_cells_variants": secondary,
+        "decide_cells": decide
     });
     let body = serde_json::to_string_pretty(&payload).expect("serialize");
     std::fs::write(&out_path, format!("{body}\n")).expect("write BENCH_sweep.json");

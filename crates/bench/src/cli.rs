@@ -7,12 +7,16 @@
 //! ```text
 //! experiments --experiment e6 [--json out.json] [--threads N]
 //!             [--sizes 16,32,64] [--pairs K] [--seed S]
-//!             [--executor replay|stepping]
+//!             [--executor replay|stepping|decide]
+//!             [--certificates certs.json]
 //! ```
 //!
 //! Emits the rendered table plus, with `--json FILE.json`, the raw
-//! [`rvz_bench::sweep::SweepRow`] records. Output is byte-identical for
-//! every `--threads` value (deterministic per-cell seeding).
+//! [`crate::sweep::SweepRow`] records, and with `--certificates`, the
+//! exact decider's lasso certificates. Output is byte-identical for every
+//! `--threads` value (deterministic per-cell seeding). `e9` (the
+//! exhaustive certification sweep) defaults to `--executor decide` and
+//! prints the per-size summary table instead of its thousands of rows.
 //!
 //! **Classic mode** — regenerates the per-experiment paper tables (kept
 //! for continuity with the seed repo):
@@ -21,7 +25,7 @@
 //! experiments [e1 e2 ... e8 | all] [--full] [--json DIR]
 //! ```
 
-use crate::{e1, e2, e3, e4, e5, e6, e7, e8, sweep, Table};
+use crate::{e1, e2, e3, e4, e5, e6, e7, e8, e9, sweep, Table};
 use std::io::Write;
 use std::process::exit;
 
@@ -85,9 +89,7 @@ fn parse_sizes(s: &str) -> Vec<usize> {
 }
 
 fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
-    let sizes = flag_value(args, "--sizes")
-        .map(|s| parse_sizes(&s))
-        .unwrap_or_else(|| sweep::DEFAULT_SIZES.to_vec());
+    let explicit_sizes = flag_value(args, "--sizes").map(|s| parse_sizes(&s));
     let threads: usize = flag_value(args, "--threads")
         .map(|t| {
             t.parse().unwrap_or_else(|_| {
@@ -113,27 +115,65 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
         })
         .unwrap_or(0);
     let executor = match flag_value(args, "--executor").as_deref() {
-        None | Some("replay") => sweep::Executor::TraceReplay,
-        Some("stepping") => sweep::Executor::DynStepping,
+        None => None,
+        Some("replay") => Some(sweep::Executor::TraceReplay),
+        Some("stepping") => Some(sweep::Executor::DynStepping),
+        Some("decide") => Some(sweep::Executor::ExactDecide),
         Some(other) => {
-            eprintln!("error: bad --executor `{other}` (expected `replay` or `stepping`)");
+            eprintln!(
+                "error: bad --executor `{other}` (expected `replay`, `stepping` or `decide`)"
+            );
             exit(2);
         }
     };
+    let certificates_path = flag_value(args, "--certificates");
 
-    let mut reports: Vec<(String, sweep::SweepReport)> = Vec::new();
+    let mut reports: Vec<(String, Vec<usize>, sweep::SweepReport)> = Vec::new();
     for id in ids.split(',').filter(|t| !t.is_empty()) {
         let id = id.trim().to_lowercase();
+        // e9 enumerates *all* free trees per size: its own default axis,
+        // and a hard cap where the tree count explodes.
+        let sizes = explicit_sizes.clone().unwrap_or_else(|| {
+            if id == "e9" {
+                sweep::E9_DEFAULT_SIZES.to_vec()
+            } else {
+                sweep::DEFAULT_SIZES.to_vec()
+            }
+        });
+        if id == "e9" {
+            if let Some(&n) = sizes.iter().find(|&&n| n > sweep::MAX_ENUM_SIZE) {
+                eprintln!(
+                    "error: e9 enumerates every free tree per size; n = {n} exceeds the \
+                     cap of {} (A000055 grows exponentially)",
+                    sweep::MAX_ENUM_SIZE
+                );
+                exit(2);
+            }
+        }
         let Some(mut spec) = sweep::preset(&id, &sizes, threads, seed) else {
-            eprintln!("error: unknown experiment `{id}` (expected e1..e8)");
+            eprintln!("error: unknown experiment `{id}` (expected e1..e9)");
             exit(2);
         };
         if pairs > 0 {
             spec.pairs_per_cell = pairs;
         }
-        spec.executor = executor;
+        // The certification workload defaults to the exact decider; the
+        // sampled grids default to trace replay.
+        spec.executor = executor.unwrap_or(if id == "e9" {
+            sweep::Executor::ExactDecide
+        } else {
+            sweep::Executor::TraceReplay
+        });
         let report = sweep::run(&spec);
-        println!("{}", sweep::to_table(&id, &report).render());
+        if id == "e9" {
+            // Thousands of exhaustive rows: print the per-size certified
+            // summary instead of the raw row table (the rows still go to
+            // --json, the certificates to --certificates).
+            let (_, table) = e9::summarize(&report);
+            println!("{}", table.render());
+        } else {
+            println!("{}", sweep::to_table(&id, &report).render());
+        }
         if report.dropped_cells > 0 {
             eprintln!(
                 "warning: {id}: {} of {} planned cells dropped (fewer feasible start pairs \
@@ -141,7 +181,7 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
                 report.dropped_cells, report.planned_cells
             );
         }
-        reports.push((id, report));
+        reports.push((id, sizes, report));
     }
 
     if let Some(path) = json {
@@ -150,12 +190,16 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
             // Deliberately excludes --threads so outputs are comparable
             // byte-for-byte across thread counts.
             let all_rows: Vec<&sweep::SweepRow> =
-                reports.iter().flat_map(|(_, report)| &report.rows).collect();
+                reports.iter().flat_map(|(_, _, report)| &report.rows).collect();
+            let mut all_sizes: Vec<usize> =
+                reports.iter().flat_map(|(_, sizes, _)| sizes.iter().copied()).collect();
+            all_sizes.sort_unstable();
+            all_sizes.dedup();
             let payload = serde_json::json!({
-                "schema": "rvz-sweep/v1",
-                "experiments": reports.iter().map(|(id, _)| id.clone()).collect::<Vec<_>>(),
+                "schema": "rvz-sweep/v2",
+                "experiments": reports.iter().map(|(id, _, _)| id.clone()).collect::<Vec<_>>(),
                 "seed": seed,
-                "sizes": sizes.clone(),
+                "sizes": all_sizes,
                 "rows": all_rows
             });
             write_json(&path, &payload);
@@ -163,10 +207,10 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
         } else {
             // Directory: one file per experiment, like classic mode.
             std::fs::create_dir_all(&path).expect("create json dir");
-            for (id, report) in &reports {
+            for (id, sizes, report) in &reports {
                 let file = format!("{path}/{id}.json");
                 let payload = serde_json::json!({
-                    "schema": "rvz-sweep/v1",
+                    "schema": "rvz-sweep/v2",
                     "experiments": vec![id.clone()],
                     "seed": seed,
                     "sizes": sizes.clone(),
@@ -176,6 +220,31 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
                 println!("  (raw rows written to {file})");
             }
         }
+    }
+
+    if let Some(path) = certificates_path {
+        // The exact decider's machine-checkable evidence: lasso
+        // certificates for every never-meets verdict plus the universal
+        // (∀-delay) verdicts, and the per-size exhaustive summary for e9.
+        let all_certs: Vec<&sweep::Certificate> =
+            reports.iter().flat_map(|(_, _, report)| &report.certificates).collect();
+        let summaries: Vec<(String, Vec<e9::SizeSummary>)> = reports
+            .iter()
+            .filter(|(id, _, _)| id == "e9")
+            .map(|(id, _, report)| (id.clone(), e9::summarize(report).0))
+            .collect();
+        let payload = serde_json::json!({
+            "schema": "rvz-certificates/v1",
+            "experiments": reports.iter().map(|(id, _, _)| id.clone()).collect::<Vec<_>>(),
+            "seed": seed,
+            "summary": summaries
+                .iter()
+                .map(|(id, s)| serde_json::json!({"experiment": id, "sizes": s}))
+                .collect::<Vec<_>>(),
+            "certificates": all_certs
+        });
+        write_json(&path, &payload);
+        println!("  (certificates written to {path})");
     }
 }
 
@@ -287,18 +356,26 @@ fn print_help() {
         "experiments — rendezvous experiment driver
 
 Sweep mode (parallel batch engine):
-  experiments --experiment ID[,ID...]  grid-sweep the experiment(s) (e1..e8)
+  experiments --experiment ID[,ID...]  grid-sweep the experiment(s) (e1..e9)
     --json PATH     write raw rows; FILE.json = one file, else directory
+    --certificates F.json  write the exact decider's lasso certificates
     --threads N     worker threads (0 = all cores; output is identical
                     for every N — deterministic per-cell seeding)
-    --sizes A,B,C   size axis (default {:?})
-    --pairs K       start pairs per cell (default from preset)
+    --sizes A,B,C   size axis (default {:?}; e9 defaults to {:?},
+                    capped at {} — it enumerates EVERY free tree per size)
+    --pairs K       start pairs per cell (default from preset; ignored by
+                    e9, whose pair axis is exhaustive)
     --seed S        base seed (default 0x5EED2010)
-    --executor X    replay (trace-record/replay, default) or stepping
-                    (dyn run_pair per cell) — output is byte-identical
+    --executor X    replay (trace-record/replay, default), stepping
+                    (dyn run_pair per cell), or decide (exact decider,
+                    budget-free, certifies never-meets; e9's default) —
+                    rows are byte-identical across executors except for
+                    decide's `certified` flag
 
 Classic mode (paper tables):
   experiments [e1 e2 ... e8 | all] [--full] [--json DIR]",
-        sweep::DEFAULT_SIZES
+        sweep::DEFAULT_SIZES,
+        sweep::E9_DEFAULT_SIZES,
+        sweep::MAX_ENUM_SIZE
     );
 }

@@ -113,6 +113,23 @@ pub fn feasible_pairs(tree: &Tree, count: usize, seed: u64) -> Vec<(NodeId, Node
     pairs
 }
 
+/// *Every* ordered feasible start pair of a tree, in lexicographic order:
+/// the exhaustive-certification axis (`e9`) quantifies over all of them,
+/// so no rng and no sampling are involved. Ordered, because under start
+/// delays "delay B at `b`" and "delay B at `a`" are different adversaries.
+pub fn exhaustive_feasible_pairs(tree: &Tree) -> Vec<(NodeId, NodeId)> {
+    let n = tree.num_nodes() as NodeId;
+    let mut out = Vec::new();
+    for a in 0..n {
+        for b in 0..n {
+            if a != b && !perfectly_symmetrizable(tree, a, b) {
+                out.push((a, b));
+            }
+        }
+    }
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -123,6 +140,30 @@ mod tests {
         assert!(fam.len() >= 8);
         for inst in &fam {
             assert!(inst.tree.num_nodes() >= 3, "{}", inst.family);
+        }
+    }
+
+    #[test]
+    fn exhaustive_pairs_are_ordered_feasible_and_complete() {
+        // Hand-derived expectations (not recomputed via the same predicate,
+        // which would be a tautology): a line with a central NODE admits no
+        // perfect symmetrization at all, so every ordered pair is feasible;
+        // a line with a central EDGE symmetrizes exactly the mirror pairs
+        // (a, n-1-a), which must all be excluded.
+        let odd = generators::line(5);
+        let pairs = exhaustive_feasible_pairs(&odd);
+        assert!(pairs.windows(2).all(|w| w[0] < w[1]), "lexicographic order");
+        assert_eq!(pairs.len(), 5 * 4, "all 20 ordered pairs of line(5) are feasible");
+
+        let even = generators::line(6);
+        let pairs = exhaustive_feasible_pairs(&even);
+        assert_eq!(pairs.len(), 6 * 5 - 6, "exactly the 6 mirror pairs of line(6) are excluded");
+        for a in 0..6u32 {
+            assert!(!pairs.contains(&(a, 5 - a)), "mirror pair ({a}, {}) is infeasible", 5 - a);
+        }
+        for &(a, b) in &pairs {
+            assert_ne!(a, b);
+            assert!(!perfectly_symmetrizable(&even, a, b));
         }
     }
 

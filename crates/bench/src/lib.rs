@@ -15,10 +15,14 @@
 //! | [`e6`] | §1.1 title claim — the exponential gap series |
 //! | [`e7`] | Figure 2 machinery — Claims 4.2/4.3, Lemma 4.2 |
 //! | [`e8`] | ablation study — which Stage-2 pieces are load-bearing |
+//! | [`e9`] | exhaustive certification — all free trees ≤ n, exact decider |
 //!
-//! [`sweep`] is the parallel batch engine: it grids any of E1–E8 over
+//! [`sweep`] is the parallel batch engine: it grids any of E1–E9 over
 //! family × size × delay × variant and fans the cells across threads with
-//! deterministic per-cell seeding (`experiments --experiment <id>`).
+//! deterministic per-cell seeding (`experiments --experiment <id>`). Three
+//! executors share the grid: trace replay (default), dyn stepping, and
+//! the exact decider (`--executor decide`, budget-free verdicts with
+//! lasso certificates).
 
 pub mod cli;
 pub mod e1;
@@ -29,6 +33,7 @@ pub mod e5;
 pub mod e6;
 pub mod e7;
 pub mod e8;
+pub mod e9;
 pub mod instances;
 pub mod stats;
 pub mod sweep;

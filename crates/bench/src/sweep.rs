@@ -57,6 +57,13 @@ pub enum Family {
     CompleteBinary,
     Binomial,
     Star,
+    /// *All* free trees at each size, in the canonical
+    /// [`rvz_trees::enumerate`] order — the exhaustive-certification axis
+    /// (`e9`). The tree axis is the enumeration index (recorded as
+    /// `tree_seed`), and the pair axis is every ordered feasible pair, so
+    /// a sweep over this family quantifies over the whole instance space
+    /// instead of sampling it.
+    EnumFree,
 }
 
 impl Family {
@@ -71,11 +78,17 @@ impl Family {
             Family::CompleteBinary => "complete-binary",
             Family::Binomial => "binomial",
             Family::Star => "star",
+            Family::EnumFree => "enum-free",
         }
     }
 
     /// Builds this family's member at size `n` with a deterministic stream.
+    /// For [`Family::EnumFree`] the "seed" is the enumeration index — the
+    /// stable `(n, index)` name of the tree.
     pub fn build(self, n: usize, seed: u64) -> Tree {
+        if self == Family::EnumFree {
+            return rvz_trees::enumerate::nth_free_tree(n, seed);
+        }
         let mut rng = StdRng::seed_from_u64(seed);
         instances::build_family(self.name(), n, &mut rng).expect("known family")
     }
@@ -93,15 +106,26 @@ pub enum Delay {
     Zero,
     Fixed(u64),
     LinearN,
+    /// The universal quantifier: "under *every* finite start delay". Only
+    /// the exact decider can answer it ([`rvz_lowerbounds::decide::worst_case_delay`]);
+    /// cells with this delay are routed to the decide path under every
+    /// executor. The row's `delay` field reports the decisive delay — the
+    /// smallest defeating θ, or the θ attaining the worst meeting round.
+    Adversarial,
 }
 
 impl Delay {
     /// The concrete start delay θ at instance size `n`.
+    /// [`Delay::Adversarial`] has no static resolution — those cells are
+    /// answered by the quantifier layer, never by bounded simulation.
     pub fn resolve(self, n: usize) -> u64 {
         match self {
             Delay::Zero => 0,
             Delay::Fixed(d) => d,
             Delay::LinearN => n as u64,
+            Delay::Adversarial => {
+                unreachable!("adversarial delay is resolved by the exact decider")
+            }
         }
     }
 
@@ -110,6 +134,7 @@ impl Delay {
             Delay::Zero => 0,
             Delay::Fixed(d) => 1 + d,
             Delay::LinearN => u64::MAX,
+            Delay::Adversarial => u64::MAX - 1,
         }
     }
 
@@ -149,10 +174,13 @@ impl Variant {
     }
 
     /// Grid filter: only combinations the algorithm is specified for.
+    /// The universal delay quantifier is decidable only for the explicit
+    /// automaton variant (the procedural agents have no exported finite
+    /// configuration space), so [`Delay::Adversarial`] is bw-fsa-only.
     fn supports(self, family: Family, delay: Delay) -> bool {
         match self {
             Variant::TreeRvz => delay.is_always_zero(),
-            Variant::DelayRobust => true,
+            Variant::DelayRobust => delay != Delay::Adversarial,
             Variant::PrimePath => family.is_path() && delay.is_always_zero(),
             Variant::BasicWalkFsa => true,
         }
@@ -182,6 +210,13 @@ pub enum Executor {
     /// exceed the recording cap. Output is byte-identical to
     /// [`Executor::TraceReplay`] by construction (and by test).
     DynStepping,
+    /// Answer each cell by the exact decider over the joint configuration
+    /// graph ([`rvz_lowerbounds::decide`]): no round budget, `NeverMeets`
+    /// certified by lasso instead of reported as timeout. Exact for the
+    /// automaton variant (`bw-fsa`); procedural-agent cells fall back to
+    /// [`Executor::TraceReplay`]. Rows are byte-identical to the other
+    /// executors except for the `certified` flag (by test).
+    ExactDecide,
 }
 
 /// A full grid specification; [`run`] executes it.
@@ -216,6 +251,10 @@ pub struct Cell {
     pub pair_index: usize,
     pub pairs_total: usize,
     pub base_seed: u64,
+    /// Enumeration index into [`rvz_trees::enumerate::free_trees`]`(n)`
+    /// for [`Family::EnumFree`] cells (`None` for sampled families). When
+    /// set, it *is* the tree seed: `(n, index)` names the tree forever.
+    pub tree_index: Option<u64>,
 }
 
 /// One result row; the JSON schema of `--json` output (see README.md).
@@ -249,6 +288,44 @@ pub struct SweepRow {
     pub pairs_seed: u64,
     /// Full-coordinate seed, for provenance.
     pub cell_seed: u64,
+    /// `true` when the outcome is *exactly decided* (the
+    /// [`Executor::ExactDecide`] path): `met == false` then means
+    /// certified never-meets, not a budget timeout. Bounded executors
+    /// always report `false`.
+    pub certified: bool,
+}
+
+/// A machine-checkable decision certificate emitted by the
+/// [`Executor::ExactDecide`] path — one per certified never-meets cell and
+/// one per universal-delay ([`Delay::Adversarial`]) cell. The lasso fields
+/// replicate [`rvz_lowerbounds::decide::Lasso`] flattened for JSON; every
+/// lasso is re-verified by independent stepping
+/// ([`rvz_lowerbounds::verify_lasso`]) before it is emitted (`verified`).
+#[derive(Debug, Clone, Serialize)]
+pub struct Certificate {
+    pub experiment: Arc<str>,
+    pub family: String,
+    pub size: usize,
+    pub n: usize,
+    pub tree_seed: u64,
+    pub variant: String,
+    pub start_a: NodeId,
+    pub start_b: NodeId,
+    /// `"meets"` / `"never-meets"` for fixed-delay cells;
+    /// `"all-delays-meet"` / `"delay-defeats"` for universal cells.
+    pub verdict: String,
+    /// The decisive delay: the cell's fixed θ, the smallest defeating θ,
+    /// or the θ attaining the worst meeting round.
+    pub delay: u64,
+    /// Meeting round (absent for never-meets verdicts).
+    pub round: Option<u64>,
+    /// Distinct delay classes the quantifier decided (universal cells).
+    pub delays_checked: Option<u64>,
+    /// Lasso certificate for never-meets verdicts.
+    pub lasso_stem: Option<u64>,
+    pub lasso_period: Option<u64>,
+    /// Re-verification result of the lasso by independent stepping.
+    pub verified: Option<bool>,
 }
 
 fn splitmix(mut z: u64) -> u64 {
@@ -279,57 +356,98 @@ fn mix(base: u64, tokens: &[u64]) -> u64 {
 
 impl Cell {
     /// The tree is a function of (family, size) only — every delay/variant/
-    /// pair cell on the same instance sees the identical tree.
+    /// pair cell on the same instance sees the identical tree. For the
+    /// enumerated family the "seed" is the enumeration index itself.
     pub fn tree_seed(&self) -> u64 {
+        if let Some(index) = self.tree_index {
+            return index;
+        }
         mix(self.base_seed, &[fnv("tree"), fnv(self.family.name()), self.n as u64])
     }
 
-    /// Likewise the start-pair pool.
+    /// Likewise the start-pair pool (the enumerated family's pair axis is
+    /// exhaustive and deterministic — no seed enters it).
     pub fn pairs_seed(&self) -> u64 {
+        if self.tree_index.is_some() {
+            return 0;
+        }
         mix(self.base_seed, &[fnv("pairs"), fnv(self.family.name()), self.n as u64])
     }
 
-    /// Full-coordinate seed recorded in the row.
+    /// Full-coordinate seed recorded in the row. Sampled-family cells mix
+    /// exactly the pre-enumeration token list, so their seeds — and hence
+    /// every historical row — are unchanged by the tree-index axis.
     pub fn cell_seed(&self) -> u64 {
-        mix(
-            self.base_seed,
-            &[
-                fnv(&self.experiment),
-                fnv(self.family.name()),
-                self.n as u64,
-                self.delay.code(),
-                fnv(self.variant.name()),
-                self.pair_index as u64,
-            ],
-        )
+        let mut tokens = vec![
+            fnv(&self.experiment),
+            fnv(self.family.name()),
+            self.n as u64,
+            self.delay.code(),
+            fnv(self.variant.name()),
+            self.pair_index as u64,
+        ];
+        if let Some(index) = self.tree_index {
+            tokens.push(fnv("tree-index"));
+            tokens.push(index);
+        }
+        mix(self.base_seed, &tokens)
     }
 }
 
-/// Enumerates the grid in deterministic (family, size, delay, variant,
-/// pair) lexicographic order, dropping unsupported combinations.
+/// Largest size the enumerated-family axis accepts: free-tree counts are
+/// exponential (A000055), and every tree × every ordered feasible pair is
+/// a cell. 11 keeps the exhaustive grid in the hundreds of trees.
+pub const MAX_ENUM_SIZE: usize = 11;
+
+/// Enumerates the grid in deterministic (family, size, \[tree,\] delay,
+/// variant, pair) lexicographic order, dropping unsupported combinations.
+///
+/// For [`Family::EnumFree`] the tree axis is *exhaustive*: one sub-grid
+/// per free tree at each size, and the pair axis is every ordered feasible
+/// pair of that tree (so `pairs_per_cell` is ignored and the planned cell
+/// count is exact — nothing is dropped at run time).
 pub fn cells(spec: &SweepSpec) -> Vec<Cell> {
     let experiment: Arc<str> = Arc::from(spec.experiment.as_str());
     let mut out = Vec::new();
+    let push_subgrid = |family: Family,
+                        n: usize,
+                        tree_index: Option<u64>,
+                        pairs_total: usize,
+                        out: &mut Vec<Cell>| {
+        for &delay in &spec.delays {
+            for &variant in &spec.variants {
+                if !variant.supports(family, delay) {
+                    continue;
+                }
+                for pair_index in 0..pairs_total {
+                    out.push(Cell {
+                        experiment: experiment.clone(),
+                        family,
+                        n,
+                        delay,
+                        variant,
+                        pair_index,
+                        pairs_total,
+                        base_seed: spec.seed,
+                        tree_index,
+                    });
+                }
+            }
+        }
+    };
     for &family in &spec.families {
         for &n in &spec.sizes {
-            for &delay in &spec.delays {
-                for &variant in &spec.variants {
-                    if !variant.supports(family, delay) {
-                        continue;
-                    }
-                    for pair_index in 0..spec.pairs_per_cell {
-                        out.push(Cell {
-                            experiment: experiment.clone(),
-                            family,
-                            n,
-                            delay,
-                            variant,
-                            pair_index,
-                            pairs_total: spec.pairs_per_cell,
-                            base_seed: spec.seed,
-                        });
-                    }
+            if family == Family::EnumFree {
+                assert!(
+                    n <= MAX_ENUM_SIZE,
+                    "enum-free at n = {n} would enumerate millions of trees (cap {MAX_ENUM_SIZE})"
+                );
+                for (index, tree) in rvz_trees::enumerate::free_trees(n).enumerate() {
+                    let pairs = instances::exhaustive_feasible_pairs(&tree);
+                    push_subgrid(family, n, Some(index as u64), pairs.len(), &mut out);
                 }
+            } else {
+                push_subgrid(family, n, None, spec.pairs_per_cell, &mut out);
             }
         }
     }
@@ -359,7 +477,7 @@ pub fn prime_budget_for(m: usize) -> u64 {
 /// whole delay × variant × pair sub-grid — `feasible_pairs` alone costs
 /// hundreds of symmetrizability checks, which used to be repaid by *every*
 /// cell on the instance.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct SweepInstance {
     pub tree: Tree,
     pub pairs: Vec<(NodeId, NodeId)>,
@@ -369,24 +487,78 @@ pub struct SweepInstance {
     /// built on first use (its table is a function of the tree's maximum
     /// degree only).
     bw_fsa: std::sync::OnceLock<rvz_agent::Fsa>,
+    /// Per-start solo configuration lassos of the basic-walk automaton,
+    /// shared by the decide path across the delay × pair sub-grid (the
+    /// lasso is a pure function of `(tree, start)` — mirroring how the
+    /// trace store shares trajectories).
+    solo_lassos: std::sync::Mutex<HashMap<NodeId, Arc<rvz_lowerbounds::decide::SoloLasso>>>,
+}
+
+impl Clone for SweepInstance {
+    /// Clones the instance *data* plus whatever `bw_fsa` already holds;
+    /// the lasso cache starts cold (both caches are pure functions of the
+    /// data, so nothing observable changes either way).
+    fn clone(&self) -> Self {
+        SweepInstance {
+            tree: self.tree.clone(),
+            pairs: self.pairs.clone(),
+            tree_seed: self.tree_seed,
+            pairs_seed: self.pairs_seed,
+            bw_fsa: self.bw_fsa.clone(),
+            solo_lassos: std::sync::Mutex::default(),
+        }
+    }
 }
 
 impl SweepInstance {
     /// Builds the instance a cell runs on. Depends only on the cell's
-    /// instance coordinates (`family`, `n`, `base_seed`, `pairs_total`) —
-    /// every cell of the same sub-grid builds the identical value.
+    /// instance coordinates (`family`, `n`, `base_seed`, `pairs_total`,
+    /// and for the enumerated family `tree_index`) — every cell of the
+    /// same sub-grid builds the identical value.
     pub fn for_cell(cell: &Cell) -> Self {
         let tree_seed = cell.tree_seed();
         let pairs_seed = cell.pairs_seed();
         let tree = cell.family.build(cell.n, tree_seed);
-        let pairs = instances::feasible_pairs(&tree, cell.pairs_total, pairs_seed);
-        SweepInstance { tree, pairs, tree_seed, pairs_seed, bw_fsa: std::sync::OnceLock::new() }
+        // For the enumerated family this repeats work `cells()` did while
+        // planning (`nth_free_tree` re-walks the WROM succession, the pair
+        // scan re-runs) — quadratic in the tree count, accepted because
+        // [`MAX_ENUM_SIZE`] caps it in the hundreds of trees and it keeps
+        // `Cell` a plain coordinate (any cell rebuilds standalone).
+        let pairs = if cell.tree_index.is_some() {
+            instances::exhaustive_feasible_pairs(&tree)
+        } else {
+            instances::feasible_pairs(&tree, cell.pairs_total, pairs_seed)
+        };
+        SweepInstance {
+            tree,
+            pairs,
+            tree_seed,
+            pairs_seed,
+            bw_fsa: std::sync::OnceLock::new(),
+            solo_lassos: std::sync::Mutex::default(),
+        }
     }
 
     /// The basic-walk automaton matched to this instance's degree bound;
     /// every `bw-fsa` cell on the instance borrows the same table.
     pub fn basic_walk_fsa(&self) -> &rvz_agent::Fsa {
         self.bw_fsa.get_or_init(|| rvz_agent::Fsa::basic_walk(self.tree.max_degree().max(1)))
+    }
+
+    /// The basic-walk solo lasso from `start`, tabulated once per
+    /// `(instance, start)` and shared across every decide cell on the
+    /// sub-grid (each cell used to pay the Θ(k·n·(Δ+1)) tabulation).
+    fn solo_lasso(&self, start: NodeId) -> Arc<rvz_lowerbounds::decide::SoloLasso> {
+        let mut map = self.solo_lassos.lock().expect("solo lasso cache");
+        map.entry(start)
+            .or_insert_with(|| {
+                Arc::new(rvz_lowerbounds::decide::SoloLasso::tabulate(
+                    &self.tree,
+                    self.basic_walk_fsa(),
+                    start,
+                ))
+            })
+            .clone()
     }
 }
 
@@ -422,8 +594,11 @@ fn budget_and_provisioned(
     }
 }
 
-/// Assembles the result row (shared by the stepping and replay executors —
-/// both must produce byte-identical rows).
+/// Assembles the result row — the single place the 19-field row shape
+/// lives, shared by all three executors (stepping and replay pass the
+/// bounded run's outcome with `certified: false`; the decide path passes
+/// its exact verdict with `certified: true`). Byte-identity across
+/// executors is maintained here, not per call site.
 #[allow(clippy::too_many_arguments)]
 fn make_row(
     cell: &Cell,
@@ -431,11 +606,12 @@ fn make_row(
     n: usize,
     leaves: usize,
     delay: u64,
-    run: &PairRun,
+    (met, rounds, crossings): (bool, Option<u64>, u64),
     budget: u64,
     provisioned_bits: u64,
     measured_bits: u64,
     starts: (NodeId, NodeId),
+    certified: bool,
 ) -> SweepRow {
     SweepRow {
         experiment: cell.experiment.clone(),
@@ -447,23 +623,35 @@ fn make_row(
         delay,
         start_a: starts.0,
         start_b: starts.1,
-        met: run.outcome.met(),
-        rounds: run.outcome.round(),
-        crossings: run.crossings,
+        met,
+        rounds,
+        crossings,
         budget,
         provisioned_bits,
         measured_bits,
         tree_seed: inst.tree_seed,
         pairs_seed: inst.pairs_seed,
         cell_seed: cell.cell_seed(),
+        certified,
     }
+}
+
+/// The `(met, rounds, crossings)` triple of a bounded run, as
+/// [`make_row`] consumes it.
+fn bounded_outcome(run: &PairRun) -> (bool, Option<u64>, u64) {
+    (run.outcome.met(), run.outcome.round(), run.crossings)
 }
 
 /// Executes one cell on a prebuilt instance by *stepping* both agents
 /// (the [`Executor::DynStepping`] path; also the replay fallback). `inst`
 /// must be (equal to) `SweepInstance::for_cell(cell)` — the executor
-/// guarantees this by keying instances on `(family, n)` within one spec.
+/// guarantees this by keying instances on `(family, n, tree_index)`
+/// within one spec (the enumerated family keys each tree individually).
 pub fn run_cell_on(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    if cell.delay == Delay::Adversarial {
+        // Only the quantifier layer can answer "every delay".
+        return run_cell_decide(cell, inst);
+    }
     let tree = &inst.tree;
     let n = tree.num_nodes();
     let leaves = tree.num_leaves();
@@ -515,11 +703,12 @@ pub fn run_cell_on(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
         n,
         leaves,
         delay,
-        &run,
+        bounded_outcome(&run),
         budget,
         provisioned_bits,
         measured_bits,
         (start_a, start_b),
+        false,
     ))
 }
 
@@ -542,6 +731,10 @@ fn grow_target(current: u64, need: u64, budget: u64) -> u64 {
 /// are byte-identical to [`run_cell_on`]; cells that would need recordings
 /// past the cap fall back to it.
 pub fn run_cell_replay(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    if cell.delay == Delay::Adversarial {
+        // Only the quantifier layer can answer "every delay".
+        return run_cell_decide(cell, inst);
+    }
     let tree = &inst.tree;
     let n = tree.num_nodes();
     let leaves = tree.num_leaves();
@@ -578,11 +771,12 @@ pub fn run_cell_replay(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
                     n,
                     leaves,
                     delay,
-                    &run,
+                    bounded_outcome(&run),
                     budget,
                     provisioned_bits,
                     measured_bits,
                     (start_a, start_b),
+                    false,
                 ));
             }
             Replay::NeedMore { a_rounds, b_rounds } => {
@@ -609,15 +803,142 @@ pub fn run_cell_replay(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
     }
 }
 
+/// Executes one cell through the exact decider (the
+/// [`Executor::ExactDecide`] path); see [`run_cell_decide_certified`] for
+/// the certificate-carrying form.
+pub fn run_cell_decide(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    run_cell_decide_certified(cell, inst).map(|(row, _)| row)
+}
+
+/// Executes one cell by reachability over the joint configuration graph
+/// ([`rvz_lowerbounds::decide`]) — no round budget. Exact for the
+/// automaton variant; procedural-agent cells fall back to the replay
+/// executor (their configuration spaces are not exported). Fixed-delay
+/// rows are byte-identical to the bounded executors' except for
+/// `certified: true`: the meeting round, the crossing count *at the
+/// bounded executors' budget* (closed-form along the certified cycle) and
+/// every provenance field coincide. Returns the row plus a
+/// [`Certificate`] for never-meets and universal-delay cells.
+pub fn run_cell_decide_certified(
+    cell: &Cell,
+    inst: &SweepInstance,
+) -> Option<(SweepRow, Option<Certificate>)> {
+    use rvz_lowerbounds::decide::{decide_from, verify_lasso, worst_case_from, WorstCase};
+
+    if cell.variant != Variant::BasicWalkFsa {
+        // The grid filter keeps adversarial delays off procedural agents;
+        // guard against hand-built cells re-entering the replay path.
+        assert!(cell.delay != Delay::Adversarial, "adversarial delay needs the automaton variant");
+        return run_cell_replay(cell, inst).map(|row| (row, None));
+    }
+    let tree = &inst.tree;
+    let n = tree.num_nodes();
+    let leaves = tree.num_leaves();
+    let &(start_a, start_b) = inst.pairs.get(cell.pair_index)?;
+    let fsa = inst.basic_walk_fsa();
+    let provisioned_bits = fsa.memory_bits();
+    let measured_bits = fsa.memory_bits();
+
+    let certificate = |verdict: &str,
+                       delay: u64,
+                       round: Option<u64>,
+                       delays_checked: Option<u64>,
+                       lasso: Option<&rvz_lowerbounds::Lasso>| {
+        Certificate {
+            experiment: cell.experiment.clone(),
+            family: cell.family.name().to_string(),
+            size: cell.n,
+            n,
+            tree_seed: inst.tree_seed,
+            variant: cell.variant.name().to_string(),
+            start_a,
+            start_b,
+            verdict: verdict.to_string(),
+            delay,
+            round,
+            delays_checked,
+            lasso_stem: lasso.map(|l| l.stem),
+            lasso_period: lasso.map(|l| l.period),
+            verified: lasso.map(|l| verify_lasso(tree, fsa, start_a, start_b, delay, l)),
+        }
+    };
+    // The one certified-row assembler: shares [`make_row`] with the
+    // bounded executors, so the 19-field row shape lives in one place.
+    let row = |delay: u64, outcome: (bool, Option<u64>, u64), budget: u64| {
+        make_row(
+            cell,
+            inst,
+            n,
+            leaves,
+            delay,
+            outcome,
+            budget,
+            provisioned_bits,
+            measured_bits,
+            (start_a, start_b),
+            true,
+        )
+    };
+
+    // Feasible pairs have distinct starts, so the precomputed-lasso entry
+    // points apply; the lasso is shared across the sub-grid's cells.
+    let solo = inst.solo_lasso(start_a);
+    Some(match cell.delay {
+        Delay::Adversarial => match worst_case_from(tree, fsa, &solo, start_b) {
+            WorstCase::AllMeet { worst_delay, worst_round, delays_checked, decision } => {
+                let budget = basic_walk_budget_for(n, worst_delay);
+                let crossings = decision.crossings_within(worst_round);
+                let cert = certificate(
+                    "all-delays-meet",
+                    worst_delay,
+                    Some(worst_round),
+                    Some(delays_checked),
+                    None,
+                );
+                (row(worst_delay, (true, Some(worst_round), crossings), budget), Some(cert))
+            }
+            WorstCase::Defeated { delay, decision, delays_checked } => {
+                let budget = basic_walk_budget_for(n, delay);
+                let lasso = decision.lasso().expect("defeat carries a lasso");
+                let cert =
+                    certificate("delay-defeats", delay, None, Some(delays_checked), Some(lasso));
+                (row(delay, (false, None, decision.crossings_within(budget)), budget), Some(cert))
+            }
+        },
+        _ => {
+            let delay = cell.delay.resolve(n);
+            let budget = basic_walk_budget_for(n, delay);
+            let decision = decide_from(tree, fsa, &solo, start_b, delay);
+            match decision.round() {
+                Some(round) => {
+                    // `crossings_within(round)` == the simulator's count:
+                    // it stops counting at the meeting round too.
+                    let crossings = decision.crossings_within(round);
+                    (row(delay, (true, Some(round), crossings), budget), None)
+                }
+                None => {
+                    let lasso = decision.lasso().expect("no round means a lasso");
+                    let cert = certificate("never-meets", delay, None, None, Some(lasso));
+                    let crossings = decision.crossings_within(budget);
+                    (row(delay, (false, None, crossings), budget), Some(cert))
+                }
+            }
+        }
+    })
+}
+
 /// What a sweep produced: the rows, plus how much of the planned grid they
 /// cover. `dropped_cells > 0` means some instances had fewer feasible start
 /// pairs than `pairs_per_cell` — those cells never ran, and pretending
 /// otherwise would make row counts silently incomparable across sizes.
+/// `certificates` carries the exact decider's machine-checkable evidence
+/// (empty under the bounded executors), in grid order.
 #[derive(Debug, Clone)]
 pub struct SweepReport {
     pub rows: Vec<SweepRow>,
     pub planned_cells: usize,
     pub dropped_cells: usize,
+    pub certificates: Vec<Certificate>,
 }
 
 /// Runs the whole grid. Rows come back in grid order whatever the thread
@@ -633,28 +954,48 @@ pub fn run(spec: &SweepSpec) -> SweepReport {
     let pool =
         rayon::ThreadPoolBuilder::new().num_threads(spec.threads).build().expect("thread pool");
 
-    // One representative cell per instance key, in first-appearance order.
+    // One representative cell per instance key, in first-appearance order
+    // (the enumerated family keys each tree individually).
+    type InstanceKey = (Family, usize, Option<u64>);
+    let key = |c: &Cell| -> InstanceKey { (c.family, c.n, c.tree_index) };
     let mut reps: Vec<&Cell> = Vec::new();
-    let mut seen: std::collections::HashSet<(Family, usize)> = std::collections::HashSet::new();
+    let mut seen: std::collections::HashSet<InstanceKey> = std::collections::HashSet::new();
     for cell in &grid {
-        if seen.insert((cell.family, cell.n)) {
+        if seen.insert(key(cell)) {
             reps.push(cell);
         }
     }
-    let run_one = |c: &Cell, inst: &SweepInstance| match spec.executor {
-        Executor::TraceReplay => run_cell_replay(c, inst),
-        Executor::DynStepping => run_cell_on(c, inst),
+    let decide_certified = |c: &Cell, inst: &SweepInstance| match run_cell_decide_certified(c, inst)
+    {
+        Some((row, cert)) => (Some(row), cert),
+        None => (None, None),
     };
-    let results: Vec<Option<SweepRow>> = pool.install(|| {
+    let run_one = |c: &Cell, inst: &SweepInstance| match spec.executor {
+        // Adversarial cells are answered by the quantifier layer under
+        // *every* executor — route them through the certified entry point
+        // so the universal verdict's evidence (the per-cell Certificate,
+        // lassos included) is kept in the report instead of being
+        // computed and dropped inside the bounded executors' delegation.
+        _ if c.delay == Delay::Adversarial => decide_certified(c, inst),
+        Executor::TraceReplay => (run_cell_replay(c, inst), None),
+        Executor::DynStepping => (run_cell_on(c, inst), None),
+        Executor::ExactDecide => decide_certified(c, inst),
+    };
+    let results: Vec<(Option<SweepRow>, Option<Certificate>)> = pool.install(|| {
         let built: Vec<Arc<SweepInstance>> =
             reps.par_iter().map(|c| Arc::new(SweepInstance::for_cell(c))).collect();
-        let by_key: HashMap<(Family, usize), Arc<SweepInstance>> =
-            reps.iter().zip(built).map(|(c, inst)| ((c.family, c.n), inst)).collect();
-        grid.par_iter().map(|c| run_one(c, &by_key[&(c.family, c.n)])).collect()
+        let by_key: HashMap<InstanceKey, Arc<SweepInstance>> =
+            reps.iter().zip(built).map(|(c, inst)| (key(c), inst)).collect();
+        grid.par_iter().map(|c| run_one(c, &by_key[&key(c)])).collect()
     });
     let planned_cells = results.len();
-    let rows: Vec<SweepRow> = results.into_iter().flatten().collect();
-    SweepReport { dropped_cells: planned_cells - rows.len(), planned_cells, rows }
+    let mut rows = Vec::with_capacity(planned_cells);
+    let mut certificates = Vec::new();
+    for (row, cert) in results {
+        rows.extend(row);
+        certificates.extend(cert);
+    }
+    SweepReport { dropped_cells: planned_cells - rows.len(), planned_cells, rows, certificates }
 }
 
 /// Renders a sweep report as the same kind of aligned table the classic
@@ -695,6 +1036,13 @@ pub fn to_table(experiment: &str, report: &SweepReport) -> Table {
     }
     let met = rows.iter().filter(|r| r.met).count();
     t.note(&format!("{met}/{} cells met within budget", rows.len()));
+    let certified = rows.iter().filter(|r| r.certified).count();
+    if certified > 0 {
+        let never = rows.iter().filter(|r| r.certified && !r.met).count();
+        t.note(&format!(
+            "{certified} cells exactly decided ({never} certified never-meets, no timeouts)"
+        ));
+    }
     if report.dropped_cells > 0 {
         t.note(&format!(
             "{} of {} planned cells dropped (instance had fewer feasible start pairs than --pairs)",
@@ -704,8 +1052,8 @@ pub fn to_table(experiment: &str, report: &SweepReport) -> Table {
     t
 }
 
-/// Default grid for each classic experiment id (`e1`..`e8`); `None` for
-/// unknown ids. `sizes`/`threads`/`seed` come from the caller (CLI).
+/// Default grid for each experiment id (`e1`..`e9`); `None` for unknown
+/// ids. `sizes`/`threads`/`seed` come from the caller (CLI).
 pub fn preset(id: &str, sizes: &[usize], threads: usize, seed: u64) -> Option<SweepSpec> {
     use Delay::*;
     use Family::*;
@@ -740,18 +1088,32 @@ pub fn preset(id: &str, sizes: &[usize], threads: usize, seed: u64) -> Option<Sw
         "e6" => spec(vec![Line, Spider3], vec![Zero, LinearN], vec![TreeRvz, DelayRobust]),
         // Figure 2 machinery: contrasting structured families.
         "e7" => spec(vec![CompleteBinary, Binomial, Star], vec![Zero], vec![TreeRvz]),
-        // Ablation-adjacent: the generic random workload, all variants.
+        // Ablation-adjacent: the generic random workload, all variants
+        // (the automaton variant doubles as the three-executor
+        // differential workload — the only one the exact decider answers
+        // natively).
         "e8" => spec(
             vec![Random, RandomDeg3],
             vec![Zero, Fixed(3), LinearN],
-            vec![TreeRvz, DelayRobust],
+            vec![TreeRvz, DelayRobust, BasicWalkFsa],
         ),
+        // Exhaustive certification: every free tree at each size, every
+        // ordered feasible pair, delay 0 and the universal quantifier —
+        // sampled families replaced by the whole instance space. Run with
+        // `--executor decide`; `pairs_per_cell` is ignored (the pair axis
+        // is exhaustive).
+        "e9" => spec(vec![EnumFree], vec![Zero, Adversarial], vec![BasicWalkFsa]),
         _ => return None,
     })
 }
 
 /// The default size axis presets run when the CLI passes none.
 pub const DEFAULT_SIZES: &[usize] = &[16, 32, 64, 128];
+
+/// The default size axis of the exhaustive `e9` sweep: every tree with
+/// `n ≤ 9` (95 free trees; the acceptance grid of the certification
+/// workload). Larger axes are capped at [`MAX_ENUM_SIZE`].
+pub const E9_DEFAULT_SIZES: &[usize] = &[2, 3, 4, 5, 6, 7, 8, 9];
 
 fn perf_grid(families: Vec<Family>, delays: Vec<Delay>, variants: Vec<Variant>) -> SweepSpec {
     SweepSpec {
@@ -999,11 +1361,93 @@ mod tests {
     }
 
     #[test]
-    fn presets_cover_e1_to_e8() {
+    fn decide_executor_matches_replay_modulo_certification() {
+        // The exact decider must agree with the bounded executors on every
+        // field of every row — meeting rounds, crossings at the budget,
+        // provenance — differing only in the `certified` flag on the cells
+        // it answers natively. (Procedural-agent cells fall back to replay
+        // and stay bit-identical outright.)
+        let mut spec = small_spec(2);
+        spec.executor = Executor::ExactDecide;
+        let decided = run(&spec);
+        spec.executor = Executor::TraceReplay;
+        let replayed = run(&spec);
+        assert_eq!(decided.rows.len(), replayed.rows.len());
+        let strip = |rows: &[SweepRow]| {
+            let mut rows = rows.to_vec();
+            for r in &mut rows {
+                r.certified = false;
+            }
+            serde_json::to_string(&rows).unwrap()
+        };
+        assert_eq!(strip(&decided.rows), strip(&replayed.rows));
+        // Certification covers exactly the automaton cells…
+        for (d, r) in decided.rows.iter().zip(&replayed.rows) {
+            assert_eq!(d.certified, d.variant == Variant::BasicWalkFsa.name(), "{d:?}");
+            // …and replay timeouts on those cells are certified refusals.
+            if d.certified {
+                assert_eq!(!d.met, !r.met);
+            }
+        }
+        // Bounded executors emit no certificates; the decider's all verify.
+        assert!(replayed.certificates.is_empty());
+        for cert in &decided.certificates {
+            assert_eq!(cert.verified, cert.lasso_stem.is_some().then_some(true), "{cert:?}");
+        }
+    }
+
+    #[test]
+    fn e9_exhaustive_grid_is_certified_and_thread_invariant() {
+        let mut spec = preset("e9", &[2, 3, 4, 5, 6], 1, 9).expect("e9 preset");
+        spec.executor = Executor::ExactDecide;
+        let report1 = run(&spec);
+        spec.threads = 4;
+        let report4 = run(&spec);
+        assert_eq!(
+            serde_json::to_string(&report1.rows).unwrap(),
+            serde_json::to_string(&report4.rows).unwrap(),
+            "e9 must be byte-identical across thread counts"
+        );
+        assert_eq!(
+            serde_json::to_string(&report1.certificates).unwrap(),
+            serde_json::to_string(&report4.certificates).unwrap(),
+        );
+        // The planned grid is exact (the pair axis is enumerated, not
+        // sampled): nothing may be dropped, and every cell is decided.
+        assert_eq!(report1.dropped_cells, 0);
+        assert_eq!(report1.planned_cells, report1.rows.len());
+        assert!(!report1.rows.is_empty());
+        for row in &report1.rows {
+            assert!(row.certified, "e9 cell not exactly decided: {row:?}");
+            assert_eq!(row.family, "enum-free");
+            // `(n, tree_seed)` rebuilds the instance.
+            let tree = Family::EnumFree.build(row.size, row.tree_seed);
+            assert_eq!(tree.num_nodes(), row.n);
+        }
+        // The tree axis covers every free tree that has a feasible pair at
+        // all (the single edge at n = 2 is perfectly symmetrizable and
+        // contributes zero cells — correctly, not silently).
+        for n in [2usize, 3, 4, 5, 6] {
+            let expect = rvz_trees::enumerate::free_trees(n)
+                .filter(|t| !instances::exhaustive_feasible_pairs(t).is_empty())
+                .count();
+            let seen: std::collections::HashSet<u64> =
+                report1.rows.iter().filter(|r| r.size == n).map(|r| r.tree_seed).collect();
+            assert_eq!(seen.len(), expect, "n = {n} must cover all feasible free trees");
+        }
+        // Universal-delay cells carry a certificate each.
+        let universal = cells(&spec).iter().filter(|c| c.delay == Delay::Adversarial).count();
+        assert!(report1.certificates.len() >= universal);
+    }
+
+    #[test]
+    fn presets_cover_e1_to_e9() {
         for id in ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"] {
             let spec = preset(id, &[8, 16], 1, 1).expect("preset exists");
             assert!(!cells(&spec).is_empty(), "{id} grid is empty");
         }
-        assert!(preset("e9", &[8], 1, 1).is_none());
+        let e9 = preset("e9", &[5, 6], 1, 1).expect("e9 exists");
+        assert!(!cells(&e9).is_empty(), "e9 grid is empty");
+        assert!(preset("e10", &[8], 1, 1).is_none());
     }
 }

@@ -17,9 +17,13 @@
 //! that stay undecided there fall back to the dyn-stepping path — in
 //! practice only adversarial timeout cells with multi-billion-round
 //! budgets and no fixed-point tail), and the store holds at most
-//! [`MAX_STORE_KEYS`] trajectories, after which it is cleared wholesale
-//! before admitting a new key (coarse, but replay results are pure, so
-//! eviction can never change a row).
+//! [`MAX_STORE_KEYS`] trajectories. A full store evicts *per key*, and
+//! only keys no worker currently holds (slot `Arc` strong count 1): the
+//! old wholesale `clear()` could drop a slot another thread was
+//! mid-extend on, so the extension work was lost and a second recorder
+//! for the same key could be created and stepped concurrently — pure
+//! waste (replay results are pure either way, so eviction can never
+//! change a row, but it used to throw recordings away mid-use).
 
 use crate::sweep::{Family, SweepInstance, Variant};
 use rvz_agent::model::Agent;
@@ -37,7 +41,7 @@ use std::sync::{Arc, Mutex, OnceLock};
 /// (stay-heavy schedules compress to a handful of runs per period).
 pub(crate) const MAX_RECORD_ROUNDS: u64 = 1 << 23;
 
-/// Store capacity in trajectories; a full store is cleared wholesale.
+/// Store capacity in trajectories; a full store evicts idle keys only.
 const MAX_STORE_KEYS: usize = 1024;
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -125,9 +129,73 @@ pub(crate) fn slot(
     let key = StoreKey { family, n, tree_seed: inst.tree_seed, start, variant };
     let mut map = STORE.get_or_init(Mutex::default).lock().expect("trace store lock");
     if map.len() >= MAX_STORE_KEYS && !map.contains_key(&key) {
-        map.clear();
+        // Per-key eviction: drop only idle recordings (strong count 1 ⇒
+        // the map holds the sole reference, no worker is extending it),
+        // oldest-irrelevant — just enough to admit the new key. In-use
+        // slots are never dropped, so a held `Arc` keeps naming the
+        // stored recording and extensions are never silently orphaned.
+        let need = map.len() + 1 - MAX_STORE_KEYS;
+        let idle: Vec<StoreKey> = map
+            .iter()
+            .filter(|(_, slot)| Arc::strong_count(slot) == 1)
+            .map(|(k, _)| *k)
+            .take(need)
+            .collect();
+        for k in idle {
+            map.remove(&k);
+        }
+        // If every slot is in use the store briefly exceeds the cap;
+        // admitting the key is strictly better than duplicating work.
     }
     map.entry(key)
         .or_insert_with(|| Arc::new(Mutex::new(VariantRecorder::new(variant, start, inst))))
         .clone()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{Cell, Delay};
+    use std::sync::Arc;
+
+    fn enum_cell(n: usize, index: u64) -> Cell {
+        Cell {
+            experiment: Arc::from("cache-test"),
+            family: Family::EnumFree,
+            n,
+            delay: Delay::Zero,
+            variant: Variant::BasicWalkFsa,
+            pair_index: 0,
+            pairs_total: 1,
+            base_seed: 0xE7,
+            tree_index: Some(index),
+        }
+    }
+
+    #[test]
+    fn eviction_is_per_key_and_never_drops_held_slots() {
+        // Hold one slot's Arc, then insert enough fresh keys to overflow
+        // the store (n = 10 and n = 9 enumerated trees × all starts is
+        // ~1500 distinct keys > MAX_STORE_KEYS). The held key must keep
+        // resolving to the *same* recorder (pointer-identical), and the
+        // extension made through the held Arc must be visible on re-lookup
+        // — the regression the wholesale `clear()` used to cause.
+        let held_inst = SweepInstance::for_cell(&enum_cell(6, 0));
+        let held = slot(&held_inst, Family::EnumFree, 6, Variant::BasicWalkFsa, 0);
+        held.lock().unwrap().record_to(&held_inst.tree, 32);
+        assert!(held.lock().unwrap().trajectory().rounds() >= 32);
+
+        for n in [10usize, 9] {
+            for index in 0..rvz_trees::enumerate::free_tree_count(n) {
+                let inst = SweepInstance::for_cell(&enum_cell(n, index));
+                for start in 0..inst.tree.num_nodes() as NodeId {
+                    let _ = slot(&inst, Family::EnumFree, n, Variant::BasicWalkFsa, start);
+                }
+            }
+        }
+
+        let again = slot(&held_inst, Family::EnumFree, 6, Variant::BasicWalkFsa, 0);
+        assert!(Arc::ptr_eq(&held, &again), "held slot must survive eviction pressure");
+        assert!(again.lock().unwrap().trajectory().rounds() >= 32, "extension must be kept");
+    }
 }

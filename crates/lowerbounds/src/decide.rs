@@ -1,0 +1,618 @@
+//! The exact rendezvous decider: reachability + cycle detection over the
+//! **joint configuration graph** instead of bounded simulation.
+//!
+//! A pair of identical [`Fsa`] agents on a tree is a *finite* deterministic
+//! system: each agent's situation is a configuration `(state, node,
+//! entry port)` (the [`Fsa::config_index`] export), and a two-agent round
+//! maps a joint configuration to exactly one successor. "The agents never
+//! meet" is therefore not a timeout — it is the statement that the joint
+//! trajectory enters a cycle containing no co-location, which
+//! [`decide_pair`] certifies with a [`Lasso`] (stem + period + the repeated
+//! configuration) after exploring at most one lasso worth of rounds, with
+//! **no round budget at all**. This is the product-construction idea used
+//! to separate memory classes in the delay-fault rendezvous literature
+//! (Chalopin et al., *Rendezvous in Networks in Spite of Delay Faults*;
+//! Pelc–Yadav, *Using Time to Break Symmetry*), applied to the
+//! Fraigniaud–Pelc adversary: it turns the sweep engine's empirical
+//! timeout cells into machine-checkable `NeverMeets` certificates.
+//!
+//! The adversary's start delay θ splits a run into two regions:
+//!
+//! * **not-yet-started** (rounds `1..=θ`): only agent A moves; agent B is
+//!   parked at its start and can be met there. A alone is eventually
+//!   periodic — [`SoloLasso`] tabulates its configuration lasso once — so
+//!   arbitrarily large θ are answered by residue arithmetic, and the
+//!   universal question over *all* delays ([`worst_case_delay`]) reduces
+//!   to one fixed-point computation over the finitely many distinct
+//!   activation configurations instead of a scan over delays `0..D`:
+//!   every θ beyond the solo lasso behaves like its residue
+//!   representative, and if A ever steps on B's home solo, every larger
+//!   delay meets right there.
+//! * **both-active** (rounds `> θ`): the joint configuration walk, where
+//!   cycle detection decides.
+//!
+//! Everything the sweep's replay executor reports is reproduced exactly —
+//! meeting round, and crossing counts at any budget via
+//! [`Decision::crossings_within`] (crossing patterns are periodic along
+//! the certified cycle, so the count at a huge budget is closed-form).
+//! Certificates are checkable by independent re-simulation
+//! ([`verify_lasso`]).
+
+use rvz_agent::fsa::Fsa;
+use rvz_agent::line_fsa::StateId;
+use rvz_agent::model::{Action, Obs};
+use rvz_trees::{NodeId, Port, Tree};
+use std::collections::HashMap;
+
+/// One agent's situation between rounds: the automaton state that emitted
+/// the last action, the occupied node, and the port of entry (`None` after
+/// a stay — exactly the [`rvz_sim::Cursor`] + runner-state pair).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct AgentCfg {
+    pub state: StateId,
+    pub node: NodeId,
+    pub entry: Option<Port>,
+}
+
+/// Applies state `s`'s action from `node`: the shared tail of the first
+/// and subsequent activation steps.
+#[inline]
+fn apply(t: &Tree, fsa: &Fsa, s: StateId, node: NodeId) -> AgentCfg {
+    match fsa.action(s) {
+        Action::Stay => AgentCfg { state: s, node, entry: None },
+        Action::Move(raw) => {
+            let p = raw % t.degree(node);
+            AgentCfg { state: s, node: t.neighbor(node, p), entry: Some(t.entry_port(node, p)) }
+        }
+    }
+}
+
+/// First activation: emit `λ(s0)` without a transition (the
+/// `FsaRunner` contract).
+#[inline]
+fn step_first(t: &Tree, fsa: &Fsa, start: NodeId) -> AgentCfg {
+    apply(t, fsa, fsa.s0, start)
+}
+
+/// Any later round: transition on the observation, then act.
+#[inline]
+fn step(t: &Tree, fsa: &Fsa, cfg: AgentCfg) -> AgentCfg {
+    let s = fsa.next(cfg.state, Obs { entry: cfg.entry, degree: t.degree(cfg.node) });
+    apply(t, fsa, s, cfg.node)
+}
+
+/// The tabulated solo lasso of one agent: configurations after rounds
+/// `1..stem + period` are pairwise distinct, and the configuration after
+/// round `stem + period` equals the one after round `stem`
+/// (with `stem ≥ 1`; round 0 — parked, unstarted — never recurs). Built by
+/// [`SoloLasso::tabulate`] with a dense visited array over
+/// [`Fsa::num_configs`].
+#[derive(Debug, Clone)]
+pub struct SoloLasso {
+    start: NodeId,
+    /// `cfgs[r - 1]` = configuration after round `r`, `r = 1..=stem+period`.
+    cfgs: Vec<AgentCfg>,
+    pub stem: u64,
+    pub period: u64,
+}
+
+impl SoloLasso {
+    /// Runs the agent solo until its configuration repeats. Terminates
+    /// within [`Fsa::num_configs`]`(n) + 1` rounds.
+    pub fn tabulate(t: &Tree, fsa: &Fsa, start: NodeId) -> Self {
+        assert!(fsa.max_degree >= t.max_degree().max(1), "automaton must cover the tree's degrees");
+        let n = t.num_nodes();
+        // Dense first-seen-round table over the exported config indexing.
+        let mut first_seen = vec![0u64; fsa.num_configs(n)];
+        let mut cfgs = Vec::new();
+        let mut cur = step_first(t, fsa, start);
+        let mut round = 1u64;
+        loop {
+            let idx = fsa.config_index(cur.state, cur.node, cur.entry, n);
+            if first_seen[idx] != 0 {
+                let entry_round = first_seen[idx];
+                return SoloLasso {
+                    start,
+                    cfgs,
+                    stem: entry_round - 1,
+                    period: round - entry_round,
+                };
+            }
+            first_seen[idx] = round;
+            cfgs.push(cur);
+            cur = step(t, fsa, cur);
+            round += 1;
+        }
+    }
+
+    /// Configuration after round `r ≥ 1`, for arbitrarily large `r` (the
+    /// lasso answers every round by residue).
+    pub fn config_at(&self, r: u64) -> AgentCfg {
+        debug_assert!(r >= 1);
+        let len = self.cfgs.len() as u64;
+        let idx = if r <= len { r - 1 } else { self.stem + (r - 1 - self.stem) % self.period };
+        self.cfgs[idx as usize]
+    }
+
+    /// Node occupied after round `r` (round 0 = the start).
+    pub fn position(&self, r: u64) -> NodeId {
+        if r == 0 {
+            self.start
+        } else {
+            self.config_at(r).node
+        }
+    }
+
+    /// First round `≥ 1` at which the agent stands on `node`, if it ever
+    /// does (the whole reachable set lies within the tabulated lasso).
+    pub fn first_visit(&self, node: NodeId) -> Option<u64> {
+        self.cfgs.iter().position(|c| c.node == node).map(|i| i as u64 + 1)
+    }
+
+    /// Number of *distinct* delays that can produce distinct behavior:
+    /// delay 0 (unstarted activation config) plus one per tabulated solo
+    /// configuration — every larger delay repeats a residue.
+    pub fn distinct_delays(&self) -> u64 {
+        self.cfgs.len() as u64 + 1
+    }
+}
+
+/// A machine-checkable "never meets" certificate: the joint configuration
+/// [`Lasso::at_cycle`] is reached after round [`Lasso::stem`], recurs
+/// exactly [`Lasso::period`] rounds later, and no round in
+/// `0..=stem + period` co-locates the agents — hence no round ever does.
+/// [`verify_lasso`] re-checks all three claims by independent stepping.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Lasso {
+    /// Global round after which the certified cycle is entered.
+    pub stem: u64,
+    /// Cycle length in rounds.
+    pub period: u64,
+    /// The recurring joint configuration (A, B) after round `stem`.
+    pub at_cycle: (AgentCfg, AgentCfg),
+}
+
+/// The decider's verdict for one `(pair, delay)` instance. No timeout arm
+/// exists: the configuration graph is finite, so one of these always
+/// holds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    /// First co-location happens at the end of `round` (0 = same start).
+    Meets { round: u64 },
+    /// Certified: no round ever co-locates the agents.
+    NeverMeets { lasso: Lasso },
+}
+
+/// A decided instance: the verdict plus enough crossing bookkeeping to
+/// reproduce the bounded simulator's row at any budget.
+#[derive(Debug, Clone)]
+pub struct Decision {
+    pub verdict: Verdict,
+    /// Global rounds with an edge crossing, over the explored horizon
+    /// (through the meeting round, or through `stem + period`).
+    crossing_rounds: Vec<u64>,
+}
+
+impl Decision {
+    pub fn met(&self) -> bool {
+        matches!(self.verdict, Verdict::Meets { .. })
+    }
+
+    /// Meeting round, `None` for certified never-meets.
+    pub fn round(&self) -> Option<u64> {
+        match self.verdict {
+            Verdict::Meets { round } => Some(round),
+            Verdict::NeverMeets { .. } => None,
+        }
+    }
+
+    pub fn lasso(&self) -> Option<&Lasso> {
+        match &self.verdict {
+            Verdict::Meets { .. } => None,
+            Verdict::NeverMeets { lasso } => Some(lasso),
+        }
+    }
+
+    /// Crossings in rounds `1..=budget` — exactly what
+    /// [`rvz_sim::run_pair`] counts with that round budget (for budgets
+    /// that do not truncate a meeting). Along a certified cycle the
+    /// crossing pattern is periodic, so arbitrary budgets are answered in
+    /// closed form, never by walking rounds.
+    pub fn crossings_within(&self, budget: u64) -> u64 {
+        let upto = |limit: u64| self.crossing_rounds.partition_point(|&r| r <= limit) as u64;
+        match self.verdict {
+            Verdict::Meets { .. } => upto(budget),
+            Verdict::NeverMeets { lasso } => {
+                let explored = lasso.stem + lasso.period;
+                if budget <= explored {
+                    return upto(budget);
+                }
+                let in_stem = upto(lasso.stem);
+                let per_cycle = upto(explored) - in_stem;
+                let past = budget - lasso.stem;
+                let full_cycles = past / lasso.period;
+                let partial = past % lasso.period;
+                let in_partial = upto(lasso.stem + partial) - in_stem;
+                in_stem + full_cycles * per_cycle + in_partial
+            }
+        }
+    }
+}
+
+/// Decides one `(tree, pair, automaton, delay)` instance exactly — see the
+/// module docs. Works for *any* start delay, however large: the
+/// not-yet-started region is answered from A's solo lasso.
+pub fn decide_pair(t: &Tree, fsa: &Fsa, a: NodeId, b: NodeId, delay: u64) -> Decision {
+    let solo = SoloLasso::tabulate(t, fsa, a);
+    decide_from(t, fsa, &solo, b, delay)
+}
+
+/// [`decide_pair`] with A's solo lasso precomputed (the quantifier layer
+/// shares one tabulation across every delay it checks).
+pub fn decide_from(t: &Tree, fsa: &Fsa, solo: &SoloLasso, b: NodeId, delay: u64) -> Decision {
+    let a = solo.start;
+    if a == b {
+        return Decision { verdict: Verdict::Meets { round: 0 }, crossing_rounds: Vec::new() };
+    }
+    // Not-yet-started region: B is parked at home; A meets it there iff A's
+    // solo walk reaches `b` within the delay. No crossings are possible
+    // while only one agent moves.
+    if let Some(tv) = solo.first_visit(b) {
+        if tv <= delay {
+            return Decision { verdict: Verdict::Meets { round: tv }, crossing_rounds: Vec::new() };
+        }
+    }
+    // Both-active region, from round `delay + 1`. The visited map is keyed
+    // by the joint configuration; a repeat certifies the lasso.
+    let mut prev_a = solo.position(delay);
+    let mut prev_b = b;
+    let mut cfg_a: Option<AgentCfg> = (delay >= 1).then(|| solo.config_at(delay));
+    let mut cfg_b: Option<AgentCfg> = None;
+    let mut crossing_rounds = Vec::new();
+    let mut seen: HashMap<(AgentCfg, AgentCfg), u64> = HashMap::new();
+    let mut round = delay;
+    loop {
+        round += 1;
+        let na = match cfg_a {
+            None => step_first(t, fsa, a),
+            Some(c) => step(t, fsa, c),
+        };
+        let nb = match cfg_b {
+            None => step_first(t, fsa, b),
+            Some(c) => step(t, fsa, c),
+        };
+        if na.node == prev_b && nb.node == prev_a && na.node != nb.node {
+            crossing_rounds.push(round);
+        }
+        if na.node == nb.node {
+            return Decision { verdict: Verdict::Meets { round }, crossing_rounds };
+        }
+        if let Some(&entry_round) = seen.get(&(na, nb)) {
+            let lasso =
+                Lasso { stem: entry_round, period: round - entry_round, at_cycle: (na, nb) };
+            // Trim bookkeeping to the explored horizon the lasso covers.
+            crossing_rounds.retain(|&r| r <= lasso.stem + lasso.period);
+            return Decision { verdict: Verdict::NeverMeets { lasso }, crossing_rounds };
+        }
+        seen.insert((na, nb), round);
+        prev_a = na.node;
+        prev_b = nb.node;
+        cfg_a = Some(na);
+        cfg_b = Some(nb);
+    }
+}
+
+/// The universal (∀-delay) verdict for a pair.
+#[derive(Debug, Clone)]
+pub enum WorstCase {
+    /// Rendezvous under *every* finite start delay. `worst_round` is the
+    /// latest meeting round over the **distinct delay classes**, evaluated
+    /// at each class's smallest representative `worst_delay` (whose full
+    /// [`Decision`] is carried for crossing bookkeeping). This is the
+    /// finite shift-invariant of the problem: when A's solo walk reaches
+    /// B's home, every larger delay meets at that same absolute round,
+    /// and when it never does, a delay `θ` in the class of representative
+    /// `θ'` meets exactly `θ − θ'` rounds later — so the supremum over
+    /// *all* delays is then unbounded and the class-wise value is the
+    /// meaningful worst case. `delays_checked` counts the distinct delay
+    /// classes decided (all larger delays collapse onto them).
+    AllMeet { worst_delay: u64, worst_round: u64, delays_checked: u64, decision: Decision },
+    /// Some delay defeats the pair; `decision` carries the certificate
+    /// for the smallest such delay.
+    Defeated { delay: u64, decision: Decision, delays_checked: u64 },
+}
+
+impl WorstCase {
+    pub fn all_meet(&self) -> bool {
+        matches!(self, WorstCase::AllMeet { .. })
+    }
+}
+
+/// Decides ∀-delay rendezvous for `(tree, pair, automaton)` in one
+/// fixed-point computation over the not-yet-started region: A's solo lasso
+/// has finitely many configurations, so only `delay ∈ 0..distinct_delays`
+/// can behave distinctly — and if A's solo walk ever reaches B's home (at
+/// round `t`), every delay `≥ t` meets there, shrinking the quantified set
+/// further. Each surviving delay class is decided budget-free by
+/// [`decide_from`].
+pub fn worst_case_delay(t: &Tree, fsa: &Fsa, a: NodeId, b: NodeId) -> WorstCase {
+    if a == b {
+        let meets_now =
+            Decision { verdict: Verdict::Meets { round: 0 }, crossing_rounds: Vec::new() };
+        return WorstCase::AllMeet {
+            worst_delay: 0,
+            worst_round: 0,
+            delays_checked: 1,
+            decision: meets_now,
+        };
+    }
+    worst_case_from(t, fsa, &SoloLasso::tabulate(t, fsa, a), b)
+}
+
+/// [`worst_case_delay`] with A's solo lasso precomputed — the sweep's
+/// decide executor shares one tabulation per `(instance, start)` across
+/// the whole delay × pair sub-grid. `solo.start` must differ from `b`.
+pub fn worst_case_from(t: &Tree, fsa: &Fsa, solo: &SoloLasso, b: NodeId) -> WorstCase {
+    debug_assert_ne!(solo.start, b, "same-start pairs are answered by worst_case_delay");
+    let first_home = solo.first_visit(b);
+    // Delays needing an individual decision; the tail class (≥ horizon) is
+    // collapsed: it either meets at `first_home` or repeats a residue.
+    let horizon = first_home.unwrap_or_else(|| solo.distinct_delays());
+    let mut worst: Option<(u64, u64, Decision)> = None; // (round, delay, decision)
+    let mut checked = 0u64;
+    for delay in 0..horizon {
+        checked += 1;
+        let decision = decide_from(t, fsa, solo, b, delay);
+        match decision.verdict {
+            Verdict::Meets { round } => {
+                if worst.as_ref().is_none_or(|(r, _, _)| round > *r) {
+                    worst = Some((round, delay, decision));
+                }
+            }
+            Verdict::NeverMeets { .. } => {
+                return WorstCase::Defeated { delay, decision, delays_checked: checked };
+            }
+        }
+    }
+    if let Some(tv) = first_home {
+        // The collapsed tail class: every delay ≥ tv meets at round tv —
+        // A steps onto the still-parked B, so no crossing precedes it.
+        checked += 1;
+        if worst.as_ref().is_none_or(|(r, _, _)| tv > *r) {
+            let decision =
+                Decision { verdict: Verdict::Meets { round: tv }, crossing_rounds: Vec::new() };
+            worst = Some((tv, tv, decision));
+        }
+    }
+    let (worst_round, worst_delay, decision) = worst.expect("at least one delay class");
+    WorstCase::AllMeet { worst_delay, worst_round, delays_checked: checked, decision }
+}
+
+/// Independently re-checks a [`Lasso`] certificate by naive stepping:
+/// simulates `stem + period` rounds under start delay `delay`, asserting
+/// (1) no co-location at any round `0..=stem + period`, (2) the joint
+/// configuration after round `stem` equals `at_cycle`, and (3) it recurs
+/// after round `stem + period`. Linear in `stem + period` — meant for
+/// certificates over the moderate absolute rounds the grids produce.
+pub fn verify_lasso(t: &Tree, fsa: &Fsa, a: NodeId, b: NodeId, delay: u64, lasso: &Lasso) -> bool {
+    if a == b {
+        return false;
+    }
+    let mut cfg_a: Option<AgentCfg> = None;
+    let mut cfg_b: Option<AgentCfg> = None;
+    let mut pos_b = b;
+    let mut at_stem: Option<(AgentCfg, AgentCfg)> = None;
+    for round in 1..=lasso.stem + lasso.period {
+        let stepped = match cfg_a {
+            None => step_first(t, fsa, a),
+            Some(c) => step(t, fsa, c),
+        };
+        cfg_a = Some(stepped);
+        let pos_a = stepped.node;
+        if round > delay {
+            cfg_b = Some(match cfg_b {
+                None => step_first(t, fsa, b),
+                Some(c) => step(t, fsa, c),
+            });
+            pos_b = cfg_b.expect("just set").node;
+        }
+        if pos_a == pos_b {
+            return false; // they meet — the certificate is bogus
+        }
+        if round == lasso.stem {
+            match (cfg_a, cfg_b) {
+                (Some(ca), Some(cb)) => at_stem = Some((ca, cb)),
+                _ => return false, // cycle cannot start before both act
+            }
+        }
+    }
+    let end = match (cfg_a, cfg_b) {
+        (Some(ca), Some(cb)) => (ca, cb),
+        _ => return false,
+    };
+    at_stem == Some(lasso.at_cycle) && end == lasso.at_cycle
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use rvz_sim::{run_pair, Outcome, PairConfig};
+    use rvz_trees::generators::{colored_line, line, random_tree, spider, star};
+
+    fn bw(t: &Tree) -> Fsa {
+        Fsa::basic_walk(t.max_degree().max(1))
+    }
+
+    /// The decider against the bounded simulator, on a horizon that the
+    /// instance is known to decide within.
+    fn assert_matches_sim(t: &Tree, fsa: &Fsa, a: NodeId, b: NodeId, delay: u64, budget: u64) {
+        let decision = decide_pair(t, fsa, a, b, delay);
+        let mut x = fsa.runner();
+        let mut y = fsa.runner();
+        let run = run_pair(t, a, b, &mut x, &mut y, PairConfig::delayed(delay, budget));
+        match run.outcome {
+            Outcome::Met { round, .. } => {
+                assert_eq!(decision.round(), Some(round), "a={a} b={b} θ={delay}");
+            }
+            Outcome::Timeout { .. } => {
+                assert!(!decision.met(), "sim timed out but decider met: a={a} b={b} θ={delay}");
+            }
+        }
+        assert_eq!(
+            decision.crossings_within(decision.round().unwrap_or(budget)),
+            run.crossings,
+            "crossing count diverged: a={a} b={b} θ={delay}"
+        );
+    }
+
+    #[test]
+    fn single_edge_pair_is_certified_never_meets() {
+        // Two basic walkers on one edge shuttle and cross forever.
+        let t = colored_line(2, 0);
+        let fsa = bw(&t);
+        let d = decide_pair(&t, &fsa, 0, 1, 0);
+        let lasso = *d.lasso().expect("never meets");
+        assert!(lasso.period >= 1);
+        assert!(verify_lasso(&t, &fsa, 0, 1, 0, &lasso));
+        // Crossings at any budget: they cross every round.
+        assert_eq!(d.crossings_within(10), 10);
+        assert_eq!(d.crossings_within(1_000_000_007), 1_000_000_007);
+    }
+
+    #[test]
+    fn tampered_lassos_are_rejected() {
+        let t = colored_line(2, 0);
+        let fsa = bw(&t);
+        let d = decide_pair(&t, &fsa, 0, 1, 0);
+        let good = *d.lasso().unwrap();
+        let mut bad = good;
+        bad.period += 1;
+        assert!(!verify_lasso(&t, &fsa, 0, 1, 0, &bad));
+        let mut swapped = good;
+        swapped.at_cycle = (good.at_cycle.1, good.at_cycle.0);
+        // On this symmetric instance the swapped configuration differs.
+        assert_ne!(swapped.at_cycle, good.at_cycle);
+        assert!(!verify_lasso(&t, &fsa, 0, 1, 0, &swapped));
+    }
+
+    #[test]
+    fn meets_agree_with_simulation_across_delays() {
+        for t in [line(9), spider(3, 3), star(5)] {
+            let fsa = bw(&t);
+            let n = t.num_nodes() as NodeId;
+            for delay in [0u64, 1, 2, 5, 40] {
+                for a in 0..n.min(4) {
+                    for b in 0..n {
+                        if a != b {
+                            // θ + two joint Euler periods decides a basic
+                            // walk; pad generously, it is still tiny.
+                            let budget = delay + 8 * t.num_nodes() as u64 + 4;
+                            assert_matches_sim(&t, &fsa, a, b, delay, budget);
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn random_automata_agree_with_simulation() {
+        // The decider is for arbitrary FSAs, stays included.
+        let mut rng = StdRng::seed_from_u64(20100613);
+        for trial in 0..30 {
+            let t = random_tree(3 + (trial % 9), &mut rng);
+            let fsa = Fsa::random(1 + trial % 5, t.max_degree().max(1), 0.3, &mut rng);
+            let n = t.num_nodes() as NodeId;
+            for delay in [0u64, 3] {
+                for (a, b) in [(0, n - 1), (n - 1, 0), (0, n / 2)] {
+                    if a != b {
+                        assert_matches_sim(&t, &fsa, a, b, delay, 100_000);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn huge_delay_meets_at_home_without_walking_rounds() {
+        // A's basic walk reaches B's home at a small round; a cosmic delay
+        // must be answered instantly from the solo lasso.
+        let t = line(9);
+        let fsa = bw(&t);
+        let d = decide_pair(&t, &fsa, 0, 6, u64::MAX / 2);
+        assert_eq!(d.round(), Some(6));
+    }
+
+    #[test]
+    fn worst_case_matches_brute_force_scan() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..10 {
+            let t = random_tree(7, &mut rng);
+            let fsa = bw(&t);
+            let n = t.num_nodes() as NodeId;
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    let wc = worst_case_delay(&t, &fsa, a, b);
+                    // Brute force: every delay up to a horizon comfortably
+                    // past the solo lasso.
+                    let solo = SoloLasso::tabulate(&t, &fsa, a);
+                    let horizon = solo.distinct_delays() + 2 * solo.period.max(1);
+                    let mut brute_all_meet = true;
+                    let mut brute_worst = 0u64;
+                    for delay in 0..horizon {
+                        match decide_from(&t, &fsa, &solo, b, delay).verdict {
+                            Verdict::Meets { round } => brute_worst = brute_worst.max(round),
+                            Verdict::NeverMeets { .. } => {
+                                brute_all_meet = false;
+                                break;
+                            }
+                        }
+                    }
+                    match wc {
+                        WorstCase::AllMeet { worst_round, .. } => {
+                            assert!(brute_all_meet, "quantifier said all-meet, scan disagrees");
+                            assert_eq!(worst_round, brute_worst);
+                        }
+                        WorstCase::Defeated { delay, ref decision, .. } => {
+                            assert!(!brute_all_meet || delay >= horizon);
+                            let lasso = decision.lasso().expect("defeat carries a lasso");
+                            assert!(verify_lasso(&t, &fsa, a, b, delay, lasso));
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn worst_case_defeat_on_the_symmetric_edge() {
+        let t = colored_line(2, 0);
+        let fsa = bw(&t);
+        match worst_case_delay(&t, &fsa, 0, 1) {
+            WorstCase::Defeated { delay, decision, .. } => {
+                assert_eq!(delay, 0, "already defeated with no delay");
+                assert!(verify_lasso(&t, &fsa, 0, 1, delay, decision.lasso().unwrap()));
+            }
+            WorstCase::AllMeet { .. } => panic!("the single edge defeats the basic walk"),
+        }
+    }
+
+    #[test]
+    fn solo_lasso_is_the_euler_tour_for_basic_walks() {
+        let t = line(6);
+        let fsa = bw(&t);
+        let solo = SoloLasso::tabulate(&t, &fsa, 0);
+        // §2.2: period 2(n−1), entered immediately.
+        assert_eq!(solo.period, 10);
+        assert_eq!(solo.stem, 0);
+        for r in 1..=40u64 {
+            assert_eq!(solo.position(r), solo.position(r + 10));
+        }
+        assert_eq!(solo.first_visit(5), Some(5));
+    }
+}

@@ -15,18 +15,26 @@
 //! * [`side_trees`] — Theorem 4.3: the behavior-function pigeonhole on
 //!   two-sided trees with `ℓ = 2i` leaves ⇒ `Ω(log ℓ)` bits, max degree 3;
 //! * [`infinite_line`] — the shared infinite-colored-line analysis
-//!   (boundedness vs drift classification, trajectory envelopes).
+//!   (boundedness vs drift classification, trajectory envelopes);
+//! * [`mod@decide`] — the exact rendezvous decider over the joint
+//!   configuration graph: budget-free `Meets`/`NeverMeets` verdicts with
+//!   lasso certificates, and the ∀-delay quantifier
+//!   [`decide::worst_case_delay`].
 //!
 //! Combined with [`rvz_agent::compile`], the Theorem 3.1 adversary can be
 //! pointed at *our own* (capped) upper-bound agents — the end-to-end
 //! demonstration of the title's exponential gap.
 
+pub mod decide;
 pub mod delay_attack;
 pub mod exhaustive;
 pub mod infinite_line;
 pub mod side_trees;
 pub mod sync_attack;
 
+pub use decide::{
+    decide_pair, verify_lasso, worst_case_delay, Decision, Lasso, Verdict, WorstCase,
+};
 pub use delay_attack::{delay_attack, Attack, AttackError, AttackKind};
 pub use side_trees::{side_tree_attack, SideTreeAttack, SideTreeError};
 pub use sync_attack::{analyze_pi_prime, sync_attack, SyncAttack, SyncAttackError};

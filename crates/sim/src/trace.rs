@@ -144,6 +144,28 @@ impl Trajectory {
         Some(self.runs[i].node)
     }
 
+    /// First round (≥ 0) at which the recorded agent stands on `node`, if
+    /// it does within the decided horizon. On a fixed-tail trajectory the
+    /// answer is definitive; on an open tail a `None` only means "not
+    /// within the recording". The delayed-start scenario asks exactly
+    /// this about the active agent versus the parked agent's home — the
+    /// same question the exact decider's solo lasso answers budget-free
+    /// (`rvz_lowerbounds::decide::SoloLasso::first_visit`; the two are
+    /// cross-checked in `tests/exact_decider.rs`).
+    pub fn first_visit(&self, node: NodeId) -> Option<u64> {
+        if self.start == node {
+            return Some(0);
+        }
+        let mut prev_end = 0;
+        for run in &self.runs {
+            if run.node == node {
+                return Some(prev_end + 1);
+            }
+            prev_end = run.end;
+        }
+        None
+    }
+
     /// Meter reading after `acts` activations. Beyond the recorded horizon
     /// the last mark applies (valid for fixed tails, where the contract of
     /// [`Agent::halted`] freezes the meter).
@@ -527,6 +549,21 @@ mod tests {
             let Replay::Decided(run) = v else { panic!("recorded horizon decides") };
             assert!(run.outcome.met());
         }
+    }
+
+    #[test]
+    fn first_visit_reads_the_rle_timeline() {
+        let t = line(9);
+        let traj = record(&t, 0, BasicWalker, 20);
+        assert_eq!(traj.first_visit(0), Some(0), "the start is visited at round 0");
+        for node in 1..=8u32 {
+            // A basic walk from an endpoint reaches node v at round v.
+            assert_eq!(traj.first_visit(node), Some(node as u64), "node {node}");
+        }
+        let parked = record(&t, 3, WalkThenHalt { moves: 0 }, 50);
+        assert!(parked.is_fixed());
+        assert_eq!(parked.first_visit(3), Some(0));
+        assert_eq!(parked.first_visit(4), None, "a parked agent visits nothing else");
     }
 
     #[test]

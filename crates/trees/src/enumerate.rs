@@ -1,0 +1,256 @@
+//! Exhaustive enumeration of *free* (unlabeled, unrooted) trees.
+//!
+//! Implements the Wright–Richmond–Odlyzko–McKay successor algorithm
+//! ("Constant time generation of free trees", SIAM J. Comput. 15(2), 1986)
+//! over *level sequences*: a rooted tree on `n` nodes is written as the
+//! depth of each node in preorder (`layout[0] = 0` is the root), and the
+//! WROM validity condition — root the tree at its centroid, heaviest
+//! subtree first, lexicographically maximal — picks exactly one rooted
+//! representative per free tree. [`FreeTrees`] walks the representatives in
+//! decreasing lexicographic order, starting from the path rooted at its
+//! center, so the iteration order is canonical and reproducible: the pair
+//! `(n, index)` names a tree forever, which is what the exhaustive
+//! certification sweep (`e9`) records as its `tree_seed`.
+//!
+//! Every emitted [`Tree`] gets the same deterministic port labeling the
+//! random generators use: each non-root node reaches its parent by port 0,
+//! and a parent's ports toward its children follow preorder attachment
+//! order. Enumeration is over *structures* only — callers wanting
+//! adversarial labelings compose with [`crate::generators::random_relabel`]
+//! or [`crate::generators::all_labelings`].
+//!
+//! Counts follow OEIS A000055: 1, 1, 1, 2, 3, 6, 11, 23, 47, 106, 235 …
+//! for `n = 1, 2, …, 11` (pinned by test).
+
+use crate::tree::{Edge, NodeId, Port, Tree};
+
+/// One step of the Beyer–Hedetniemi rooted-tree successor on a level
+/// sequence, with an explicit truncation point `p` (the WROM jump uses
+/// this to skip invalid free-tree representatives in one move).
+/// `None` when the sequence is exhausted.
+fn next_rooted_tree(predecessor: &[usize], p: Option<usize>) -> Option<Vec<usize>> {
+    let p = p.unwrap_or_else(|| {
+        let mut p = predecessor.len() - 1;
+        while predecessor[p] == 1 {
+            p -= 1;
+        }
+        p
+    });
+    if p == 0 {
+        return None;
+    }
+    let mut q = p - 1;
+    while predecessor[q] != predecessor[p] - 1 {
+        q -= 1;
+    }
+    let mut result = predecessor.to_vec();
+    for i in p..result.len() {
+        result[i] = result[i - p + q];
+    }
+    Some(result)
+}
+
+/// Splits a layout at the root: the root's first (leftmost) subtree,
+/// re-based to depth 0, and the remaining tree with that subtree removed.
+fn split_tree(layout: &[usize]) -> (Vec<usize>, Vec<usize>) {
+    let mut one_found = false;
+    let mut m = layout.len();
+    for (i, &d) in layout.iter().enumerate() {
+        if d == 1 {
+            if one_found {
+                m = i;
+                break;
+            }
+            one_found = true;
+        }
+    }
+    let left = layout[1..m].iter().map(|&d| d - 1).collect();
+    let rest = std::iter::once(0).chain(layout[m..].iter().copied()).collect();
+    (left, rest)
+}
+
+/// One step of the WROM algorithm: returns `candidate` itself when it is a
+/// valid free-tree representative, else jumps directly to the next valid
+/// candidate (or `None` when the enumeration is exhausted).
+fn next_tree(candidate: Vec<usize>) -> Option<Vec<usize>> {
+    let (left, rest) = split_tree(&candidate);
+    // Valid iff the left (first) subtree of the root is no taller than the
+    // rest, and on equal heights no larger, and on equal sizes no
+    // lexicographically later — the centroid/maximality normal form.
+    let left_height = left.iter().max().copied().unwrap_or(0);
+    let rest_height = rest.iter().max().copied().unwrap_or(0);
+    let valid = rest_height > left_height
+        || (rest_height == left_height
+            && (left.len() < rest.len() || (left.len() == rest.len() && left <= rest)));
+    if valid {
+        return Some(candidate);
+    }
+    let p = left.len();
+    let mut next = next_rooted_tree(&candidate, Some(p))?;
+    if candidate[p] > 2 {
+        let (new_left, _) = split_tree(&next);
+        let new_left_height = new_left.iter().max().copied().unwrap_or(0);
+        let suffix: Vec<usize> = (1..=new_left_height + 1).collect();
+        let start = next.len() - suffix.len();
+        next[start..].copy_from_slice(&suffix);
+    }
+    Some(next)
+}
+
+/// Builds the port-labeled [`Tree`] of a preorder level sequence: node `i`'s
+/// parent is the nearest `j < i` with `layout[j] == layout[i] - 1`; ports
+/// follow the deterministic convention in the module docs.
+fn layout_to_tree(layout: &[usize]) -> Tree {
+    let n = layout.len();
+    debug_assert!(n >= 2 && layout[0] == 0);
+    let mut next_port = vec![0 as Port; n];
+    let mut edges = Vec::with_capacity(n - 1);
+    // `last_at[d]` = most recent preorder node seen at depth `d`.
+    let mut last_at = vec![0usize; n];
+    for (v, &d) in layout.iter().enumerate().skip(1) {
+        let u = last_at[d - 1];
+        edges.push(Edge { u: u as NodeId, port_u: next_port[u], v: v as NodeId, port_v: 0 });
+        next_port[u] += 1;
+        next_port[v] = 1;
+        last_at[d] = v;
+    }
+    Tree::from_edges(n, &edges).expect("level sequence yields a valid tree")
+}
+
+/// Iterator over every free tree on `n` nodes, in the canonical WROM
+/// order. See the module docs for the labeling convention and the
+/// stability guarantee behind `(n, index)` naming.
+pub struct FreeTrees {
+    /// Next rooted candidate to normalize, `None` when exhausted.
+    layout: Option<Vec<usize>>,
+    /// `n == 1` is the singleton special case (the successor algorithm
+    /// needs at least one edge).
+    singleton_pending: bool,
+}
+
+/// All free trees on `n ≥ 1` nodes.
+pub fn free_trees(n: usize) -> FreeTrees {
+    assert!(n >= 1, "free trees need at least one node");
+    if n == 1 {
+        return FreeTrees { layout: None, singleton_pending: true };
+    }
+    // The path rooted at its center: depths 0..=n/2 then 1..(n+1)/2.
+    let layout = (0..=n / 2).chain(1..n.div_ceil(2)).collect();
+    FreeTrees { layout: Some(layout), singleton_pending: false }
+}
+
+impl Iterator for FreeTrees {
+    type Item = Tree;
+
+    fn next(&mut self) -> Option<Tree> {
+        if self.singleton_pending {
+            self.singleton_pending = false;
+            return Some(Tree::singleton());
+        }
+        let candidate = self.layout.take()?;
+        let valid = next_tree(candidate)?;
+        let tree = layout_to_tree(&valid);
+        self.layout = next_rooted_tree(&valid, None);
+        Some(tree)
+    }
+}
+
+/// Number of free trees on `n` nodes (OEIS A000055), by enumeration of the
+/// level sequences (no [`Tree`] is built). Exponential in `n` — the
+/// exhaustive workloads clamp `n` before calling.
+pub fn free_tree_count(n: usize) -> u64 {
+    assert!(n >= 1);
+    if n == 1 {
+        return 1;
+    }
+    let mut count = 0;
+    let mut layout: Option<Vec<usize>> = Some((0..=n / 2).chain(1..n.div_ceil(2)).collect());
+    while let Some(candidate) = layout.take() {
+        let Some(valid) = next_tree(candidate) else { break };
+        count += 1;
+        layout = next_rooted_tree(&valid, None);
+    }
+    count
+}
+
+/// The `index`-th free tree on `n` nodes in the canonical enumeration
+/// order — the stable `(n, index)` name the exhaustive sweep records.
+/// Panics when `index ≥ free_tree_count(n)`.
+pub fn nth_free_tree(n: usize, index: u64) -> Tree {
+    free_trees(n)
+        .nth(index as usize)
+        .unwrap_or_else(|| panic!("free tree index {index} out of range for n = {n}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::canon::unrooted_canon_structural;
+    use std::collections::HashSet;
+
+    /// OEIS A000055 (number of free trees on n nodes), n = 1..=11.
+    const A000055: [u64; 11] = [1, 1, 1, 2, 3, 6, 11, 23, 47, 106, 235];
+
+    #[test]
+    fn counts_match_a000055() {
+        for (i, &expect) in A000055.iter().enumerate() {
+            let n = i + 1;
+            assert_eq!(free_tree_count(n), expect, "count at n = {n}");
+            assert_eq!(free_trees(n).count() as u64, expect, "iterator at n = {n}");
+        }
+    }
+
+    #[test]
+    fn enumerated_trees_are_valid_and_pairwise_nonisomorphic() {
+        for n in 1..=9usize {
+            let mut canons = HashSet::new();
+            for (i, t) in free_trees(n).enumerate() {
+                assert_eq!(t.num_nodes(), n, "n = {n}, index {i}");
+                assert!(
+                    canons.insert(unrooted_canon_structural(&t, None)),
+                    "duplicate structure at n = {n}, index {i}"
+                );
+            }
+            assert_eq!(canons.len() as u64, free_tree_count(n));
+        }
+    }
+
+    #[test]
+    fn small_orders_are_the_known_shapes() {
+        // n = 4: the path and the star.
+        let shapes: Vec<usize> = free_trees(4).map(|t| t.max_degree() as usize).collect();
+        assert_eq!(shapes.len(), 2);
+        assert!(shapes.contains(&2) && shapes.contains(&3));
+        // n = 5: path, spider(3legs), star.
+        let mut degs: Vec<usize> = free_trees(5).map(|t| t.max_degree() as usize).collect();
+        degs.sort_unstable();
+        assert_eq!(degs, vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn nth_matches_iteration_order() {
+        for n in [5usize, 7, 9] {
+            let all: Vec<Tree> = free_trees(n).collect();
+            for (i, t) in all.iter().enumerate() {
+                assert_eq!(&nth_free_tree(n, i as u64), t, "n = {n}, index {i}");
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn nth_out_of_range_panics() {
+        let _ = nth_free_tree(4, 2);
+    }
+
+    #[test]
+    fn ports_follow_the_parent_convention() {
+        for t in free_trees(7) {
+            // Node 0 is the root; every other node's port 0 leads toward it.
+            for v in 1..t.num_nodes() as NodeId {
+                let parent = t.neighbor(v, 0);
+                assert!(t.distance(parent, 0) < t.distance(v, 0), "port 0 must point rootward");
+            }
+        }
+    }
+}

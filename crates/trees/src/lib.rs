@@ -22,6 +22,7 @@ pub mod canon;
 pub mod center;
 pub mod contraction;
 pub mod dot;
+pub mod enumerate;
 pub mod generators;
 pub mod symmetry;
 pub mod tree;

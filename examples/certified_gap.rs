@@ -1,0 +1,76 @@
+//! Exact decision vs bounded simulation, on every small tree.
+//!
+//! Enumerates all free trees on `n` nodes (WROM order), points the §2.2
+//! basic-walk automaton at every ordered feasible start pair, and decides
+//! each instance **exactly**: no round budget, never-meets certified by a
+//! lasso, and the universal "does any delay defeat this pair?" question
+//! answered by one fixed-point computation. This is the paper's memory-gap
+//! mechanism as a certified statement about the whole instance space: the
+//! memoryless walk meets plenty of pairs at simultaneous start, yet *every*
+//! pair falls to a start delay of at most 1 (both agents always move, so a
+//! single solo round flips the distance parity for good).
+//!
+//! Run: `cargo run --release --example certified_gap [n]` (default 7).
+
+use tree_rendezvous::agent::Fsa;
+use tree_rendezvous::lowerbounds::decide::{
+    decide_pair, verify_lasso, worst_case_delay, WorstCase,
+};
+use tree_rendezvous::trees::enumerate::{free_tree_count, free_trees};
+use tree_rendezvous::trees::{perfectly_symmetrizable, NodeId};
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(7);
+    assert!((2..=10).contains(&n), "keep the exhaustive demo small (2..=10)");
+    println!("enumerating all {} free trees on {n} nodes (WROM order)\n", free_tree_count(n));
+
+    let (mut pairs, mut met_zero, mut defeated, mut verified) = (0u64, 0u64, 0u64, 0u64);
+    for (index, tree) in free_trees(n).enumerate() {
+        let fsa = Fsa::basic_walk(tree.max_degree().max(1));
+        let nodes = tree.num_nodes() as NodeId;
+        let mut tree_defeats = 0u64;
+        let mut worst_theta = 0u64;
+        let mut tree_pairs = 0u64;
+        for a in 0..nodes {
+            for b in 0..nodes {
+                if a == b || perfectly_symmetrizable(&tree, a, b) {
+                    continue;
+                }
+                pairs += 1;
+                tree_pairs += 1;
+                if decide_pair(&tree, &fsa, a, b, 0).met() {
+                    met_zero += 1;
+                }
+                match worst_case_delay(&tree, &fsa, a, b) {
+                    WorstCase::AllMeet { .. } => {}
+                    WorstCase::Defeated { delay, decision, .. } => {
+                        defeated += 1;
+                        tree_defeats += 1;
+                        worst_theta = worst_theta.max(delay);
+                        let lasso = decision.lasso().expect("defeat carries a lasso");
+                        assert!(
+                            verify_lasso(&tree, &fsa, a, b, delay, lasso),
+                            "certificate failed re-verification"
+                        );
+                        verified += 1;
+                    }
+                }
+            }
+        }
+        println!(
+            "tree {index:>3}: max degree {}, {tree_pairs:>3} feasible pairs, \
+             {tree_defeats:>3} delay-defeated (worst θ* = {worst_theta})",
+            tree.max_degree()
+        );
+    }
+    println!(
+        "\n{pairs} ordered feasible pairs over all trees: \
+         {met_zero} meet at θ=0, {defeated} defeated by some delay \
+         ({verified} lasso certificates re-verified)"
+    );
+    println!(
+        "the delay gap, certified exhaustively: the 0-bit walk solves \
+         {met_zero}/{pairs} simultaneous-start instances but 0/{pairs} \
+         delay-adversarial ones"
+    );
+}

@@ -2,7 +2,7 @@
 # lockstep so "works on my machine" and CI mean the same thing.
 
 # Full CI-equivalent pass.
-ci: build test fmt-check clippy bench-smoke
+ci: build test fmt-check clippy docs differential bench-smoke
 
 build:
     cargo build --release --workspace
@@ -19,6 +19,42 @@ fmt-check:
 clippy:
     cargo clippy --workspace --all-targets -- -D warnings
 
+# CI's rustdoc gate: the API docs must build without warnings.
+docs:
+    RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
+
+# CI's differential job: three-executor agreement on e8 (replay ==
+# stepping to the byte; decide == replay modulo the `certified` flag),
+# then the e9 exhaustive certification with thread-invariance and
+# certificate re-verification gates.
+differential:
+    mkdir -p differential
+    for ex in replay stepping decide; do \
+      cargo run --release --bin experiments -- \
+        --experiment e8 --sizes 8,12 --pairs 2 --threads 2 \
+        --executor "$ex" --json "differential/e8-$ex.json"; \
+    done
+    cmp differential/e8-replay.json differential/e8-stepping.json
+    jq 'del(.rows[].certified)' differential/e8-replay.json > differential/e8-replay-stripped.json
+    jq 'del(.rows[].certified)' differential/e8-decide.json > differential/e8-decide-stripped.json
+    cmp differential/e8-replay-stripped.json differential/e8-decide-stripped.json
+    cargo run --release --bin experiments -- \
+      --experiment e9 --executor decide --threads 4 \
+      --json differential/e9.json --certificates differential/e9-certificates.json
+    cargo run --release --bin experiments -- \
+      --experiment e9 --executor decide --threads 1 \
+      --json differential/e9-t1.json --certificates differential/e9-certificates-t1.json
+    cmp differential/e9.json differential/e9-t1.json
+    cmp differential/e9-certificates.json differential/e9-certificates-t1.json
+    jq -e '[.rows[] | select(.certified | not)] | length == 0' differential/e9.json > /dev/null
+    jq -e '[.certificates[] | select(.verified == false)] | length == 0' differential/e9-certificates.json > /dev/null
+
+# The exhaustive certification sweep on its own (table + artifacts).
+e9:
+    cargo run --release --bin experiments -- \
+      --experiment e9 --executor decide \
+      --json e9.json --certificates e9-certificates.json
+
 bench:
     cargo bench --workspace
 
@@ -30,7 +66,7 @@ bench-baseline:
 
 # CI's committed-JSON gate, runnable locally.
 bench-json-check:
-    jq -e '.sweep_cells.speedup and .sweep_cells_variants.speedup' BENCH_sweep.json > /dev/null
+    jq -e '.sweep_cells.speedup and .sweep_cells_variants.speedup and .decide_cells.speedup' BENCH_sweep.json > /dev/null
 
 # Compile benches, run each once (`--test` mode), emit BENCH_sweep.json,
 # plus the tiny deterministic sweep CI runs.
@@ -42,6 +78,8 @@ bench-smoke:
     cargo run --release --bin experiments -- --experiment e6 --sizes 8,16 --threads 2 --json bench-smoke/e6.json
     cargo run --release --bin experiments -- --experiment e6 --sizes 8,16 --threads 1 --json bench-smoke/e6-t1.json
     cmp bench-smoke/e6.json bench-smoke/e6-t1.json
+    cargo run --release --bin experiments -- --experiment e6 --sizes 8,16 --threads 2 --executor stepping --json bench-smoke/e6-stepping.json
+    cmp bench-smoke/e6.json bench-smoke/e6-stepping.json
 
 # Full-scale parallel sweep of every experiment grid.
 sweep:

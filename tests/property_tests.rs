@@ -338,6 +338,88 @@ proptest! {
     }
 
     #[test]
+    fn exact_decider_agrees_with_stepping_and_replay(
+        t in arb_tree(12),
+        a in 0u32..12,
+        b in 0u32..12,
+        delay in 0u64..30,
+        k in 1usize..5,
+        seed in any::<u64>(),
+    ) {
+        // ISSUE 4 differential: the budget-free decider vs the two bounded
+        // executors, on the basic-walk automaton (whose budget is an exact
+        // decision horizon — replay timeout ⟺ certified never-meets) and
+        // on arbitrary random automata (agreement wherever the bounded run
+        // decides). Any mismatch in meeting round, timeout status or
+        // crossing count fails.
+        use tree_rendezvous::agent::Fsa;
+        use tree_rendezvous::lowerbounds::decide::{decide_pair, verify_lasso};
+        use tree_rendezvous::sim::trace::Replay;
+        use tree_rendezvous::sim::{replay_pair, run_pair, PairConfig, TraceRecorder};
+
+        let n = t.num_nodes() as u32;
+        let (a, b) = (a % n, b % n);
+        let max_degree = t.max_degree().max(1);
+        for (horizon_exact, fsa) in [
+            (true, Fsa::basic_walk(max_degree)),
+            (false, Fsa::random(k, max_degree, 0.25, &mut StdRng::seed_from_u64(seed))),
+        ] {
+            let budget = delay + 8 * n as u64 + 8;
+            let cfg = PairConfig { delay, max_rounds: budget, record_traces: false };
+
+            let decision = decide_pair(&t, &fsa, a, b, delay);
+            if let Some(lasso) = decision.lasso() {
+                prop_assert!(verify_lasso(&t, &fsa, a, b, delay, lasso));
+            }
+
+            // Stepping.
+            let mut x = fsa.runner();
+            let mut y = fsa.runner();
+            let direct = run_pair(&t, a, b, &mut x, &mut y, cfg);
+
+            // Replay over recorded trajectories.
+            let mut rec_a = TraceRecorder::new(a, fsa.runner_owned(), Agent::memory_bits);
+            let mut rec_b = TraceRecorder::new(b, fsa.runner_owned(), Agent::memory_bits);
+            let replayed = loop {
+                match replay_pair(&t, rec_a.trajectory(), rec_b.trajectory(), cfg) {
+                    Replay::Decided(run) => break run,
+                    Replay::NeedMore { a_rounds, b_rounds } => {
+                        rec_a.record_to(&t, a_rounds.max(2 * rec_a.trajectory().rounds()));
+                        rec_b.record_to(&t, b_rounds.max(2 * rec_b.trajectory().rounds()));
+                    }
+                }
+            };
+            prop_assert_eq!(&replayed.outcome, &direct.outcome);
+            prop_assert_eq!(replayed.crossings, direct.crossings);
+
+            match direct.outcome {
+                tree_rendezvous::sim::Outcome::Met { round, .. } => {
+                    prop_assert_eq!(decision.round(), Some(round));
+                    prop_assert_eq!(decision.crossings_within(round), direct.crossings);
+                }
+                tree_rendezvous::sim::Outcome::Timeout { .. } => {
+                    // The decider may know a meeting beyond the bounded
+                    // budget for arbitrary automata; for the basic walk the
+                    // budget is a decision horizon, so timeout must mean a
+                    // certified never-meets.
+                    if horizon_exact {
+                        prop_assert!(!decision.met(), "bw timeout must be a certified refusal");
+                    }
+                    if !decision.met() {
+                        prop_assert_eq!(
+                            decision.crossings_within(budget),
+                            direct.crossings,
+                            "closed-form crossing count diverged at the budget"
+                        );
+                    } else {
+                        prop_assert!(decision.round().unwrap() > budget);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
     fn prime_protocol_meets_when_feasible(
         m in 4usize..24,
         a in 1usize..24,
