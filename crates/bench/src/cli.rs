@@ -25,7 +25,7 @@
 //! experiments [e1 e2 ... e8 | all] [--full] [--json DIR]
 //! ```
 
-use crate::{e1, e2, e3, e4, e5, e6, e7, e8, e9, sweep, Table};
+use crate::{e1, e10, e2, e3, e4, e5, e6, e7, e8, e9, sweep, Table};
 use std::io::Write;
 use std::process::exit;
 
@@ -70,26 +70,44 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     }
 }
 
-fn parse_sizes(s: &str) -> Vec<usize> {
-    let sizes: Vec<usize> = s
-        .split(',')
-        .filter(|t| !t.is_empty())
-        .map(|t| {
-            t.trim().parse().unwrap_or_else(|_| {
-                eprintln!("error: bad size `{t}` in --sizes");
-                exit(2);
-            })
-        })
-        .collect();
-    if sizes.is_empty() {
-        eprintln!("error: --sizes needs at least one size (e.g. --sizes 16,32)");
-        exit(2);
+/// Parses `--sizes`: comma-separated positive integers, sorted and
+/// deduplicated (a duplicated size used to duplicate every cell — and
+/// every JSON row — of that size; now it is collapsed with a warning,
+/// returned in `Ok((sizes, duplicates_dropped))`). Size 0 is rejected
+/// outright instead of building a degenerate instance.
+fn parse_sizes(s: &str) -> Result<(Vec<usize>, usize), String> {
+    let mut sizes: Vec<usize> = Vec::new();
+    for t in s.split(',').filter(|t| !t.is_empty()) {
+        let n: usize = t.trim().parse().map_err(|_| format!("bad size `{t}` in --sizes"))?;
+        if n == 0 {
+            return Err("size 0 in --sizes (trees need at least one node)".into());
+        }
+        sizes.push(n);
     }
-    sizes
+    if sizes.is_empty() {
+        return Err("--sizes needs at least one size (e.g. --sizes 16,32)".into());
+    }
+    let given = sizes.len();
+    sizes.sort_unstable();
+    sizes.dedup();
+    let dropped = given - sizes.len();
+    Ok((sizes, dropped))
 }
 
 fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
-    let explicit_sizes = flag_value(args, "--sizes").map(|s| parse_sizes(&s));
+    let explicit_sizes = flag_value(args, "--sizes").map(|s| {
+        let (sizes, dropped) = parse_sizes(&s).unwrap_or_else(|e| {
+            eprintln!("error: {e}");
+            exit(2);
+        });
+        if dropped > 0 {
+            eprintln!(
+                "warning: --sizes listed {dropped} duplicate size(s); \
+                 deduplicated to {sizes:?} (duplicates would duplicate every row)"
+            );
+        }
+        sizes
+    });
     let threads: usize = flag_value(args, "--threads")
         .map(|t| {
             t.parse().unwrap_or_else(|_| {
@@ -131,19 +149,18 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
     let mut reports: Vec<(String, Vec<usize>, sweep::SweepReport)> = Vec::new();
     for id in ids.split(',').filter(|t| !t.is_empty()) {
         let id = id.trim().to_lowercase();
-        // e9 enumerates *all* free trees per size: its own default axis,
-        // and a hard cap where the tree count explodes.
-        let sizes = explicit_sizes.clone().unwrap_or_else(|| {
-            if id == "e9" {
-                sweep::E9_DEFAULT_SIZES.to_vec()
-            } else {
-                sweep::DEFAULT_SIZES.to_vec()
-            }
+        // e9/e10 enumerate *all* free trees per size: their own default
+        // axes, and a hard cap where the tree count explodes.
+        let enumerated = id == "e9" || id == "e10";
+        let sizes = explicit_sizes.clone().unwrap_or_else(|| match id.as_str() {
+            "e9" => sweep::E9_DEFAULT_SIZES.to_vec(),
+            "e10" => sweep::E10_DEFAULT_SIZES.to_vec(),
+            _ => sweep::DEFAULT_SIZES.to_vec(),
         });
-        if id == "e9" {
+        if enumerated {
             if let Some(&n) = sizes.iter().find(|&&n| n > sweep::MAX_ENUM_SIZE) {
                 eprintln!(
-                    "error: e9 enumerates every free tree per size; n = {n} exceeds the \
+                    "error: {id} enumerates every free tree per size; n = {n} exceeds the \
                      cap of {} (A000055 grows exponentially)",
                     sweep::MAX_ENUM_SIZE
                 );
@@ -151,15 +168,15 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
             }
         }
         let Some(mut spec) = sweep::preset(&id, &sizes, threads, seed) else {
-            eprintln!("error: unknown experiment `{id}` (expected e1..e9)");
+            eprintln!("error: unknown experiment `{id}` (expected e1..e10)");
             exit(2);
         };
         if pairs > 0 {
             spec.pairs_per_cell = pairs;
         }
-        // The certification workload defaults to the exact decider; the
+        // The certification workloads default to the exact decider; the
         // sampled grids default to trace replay.
-        spec.executor = executor.unwrap_or(if id == "e9" {
+        spec.executor = executor.unwrap_or(if enumerated {
             sweep::Executor::ExactDecide
         } else {
             sweep::Executor::TraceReplay
@@ -170,6 +187,9 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
             // summary instead of the raw row table (the rows still go to
             // --json, the certificates to --certificates).
             let (_, table) = e9::summarize(&report);
+            println!("{}", table.render());
+        } else if id == "e10" {
+            let (_, table) = e10::summarize(&report);
             println!("{}", table.render());
         } else {
             println!("{}", sweep::to_table(&id, &report).render());
@@ -196,7 +216,7 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
             all_sizes.sort_unstable();
             all_sizes.dedup();
             let payload = serde_json::json!({
-                "schema": "rvz-sweep/v2",
+                "schema": sweep_schema(all_rows.iter().copied()),
                 "experiments": reports.iter().map(|(id, _, _)| id.clone()).collect::<Vec<_>>(),
                 "seed": seed,
                 "sizes": all_sizes,
@@ -210,7 +230,7 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
             for (id, sizes, report) in &reports {
                 let file = format!("{path}/{id}.json");
                 let payload = serde_json::json!({
-                    "schema": "rvz-sweep/v2",
+                    "schema": sweep_schema(report.rows.iter()),
                     "experiments": vec![id.clone()],
                     "seed": seed,
                     "sizes": sizes.clone(),
@@ -225,26 +245,49 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
     if let Some(path) = certificates_path {
         // The exact decider's machine-checkable evidence: lasso
         // certificates for every never-meets verdict plus the universal
-        // (∀-delay) verdicts, and the per-size exhaustive summary for e9.
+        // (∀-delay) verdicts, and the exhaustive summaries for e9/e10.
         let all_certs: Vec<&sweep::Certificate> =
             reports.iter().flat_map(|(_, _, report)| &report.certificates).collect();
-        let summaries: Vec<(String, Vec<e9::SizeSummary>)> = reports
+        let summaries: Vec<serde_json::Value> = reports
             .iter()
-            .filter(|(id, _, _)| id == "e9")
-            .map(|(id, _, report)| (id.clone(), e9::summarize(report).0))
+            .filter_map(|(id, _, report)| match id.as_str() {
+                "e9" => {
+                    Some(serde_json::json!({"experiment": id, "sizes": e9::summarize(report).0}))
+                }
+                "e10" => Some(
+                    serde_json::json!({"experiment": id, "schedules": e10::summarize(report).0}),
+                ),
+                _ => None,
+            })
             .collect();
+        // Same gating as the row schema: v2 = v1 plus the optional
+        // per-certificate `schedule` field, tagged only when present.
+        let schema = if all_certs.iter().any(|c| c.schedule.is_some()) {
+            "rvz-certificates/v2"
+        } else {
+            "rvz-certificates/v1"
+        };
         let payload = serde_json::json!({
-            "schema": "rvz-certificates/v1",
+            "schema": schema,
             "experiments": reports.iter().map(|(id, _, _)| id.clone()).collect::<Vec<_>>(),
             "seed": seed,
-            "summary": summaries
-                .iter()
-                .map(|(id, s)| serde_json::json!({"experiment": id, "sizes": s}))
-                .collect::<Vec<_>>(),
+            "summary": summaries,
             "certificates": all_certs
         });
         write_json(&path, &payload);
         println!("  (certificates written to {path})");
+    }
+}
+
+/// Schema tag of a sweep payload: `rvz-sweep/v3` once any row carries the
+/// optional `schedule` field, the legacy `rvz-sweep/v2` otherwise — so
+/// pre-schedule experiments keep emitting byte-identical JSON (see README
+/// "JSON schema").
+fn sweep_schema<'a, I: IntoIterator<Item = &'a sweep::SweepRow>>(rows: I) -> &'static str {
+    if rows.into_iter().any(|r| r.schedule.is_some()) {
+        "rvz-sweep/v3"
+    } else {
+        "rvz-sweep/v2"
     }
 }
 
@@ -356,26 +399,58 @@ fn print_help() {
         "experiments — rendezvous experiment driver
 
 Sweep mode (parallel batch engine):
-  experiments --experiment ID[,ID...]  grid-sweep the experiment(s) (e1..e9)
+  experiments --experiment ID[,ID...]  grid-sweep the experiment(s) (e1..e10)
     --json PATH     write raw rows; FILE.json = one file, else directory
     --certificates F.json  write the exact decider's lasso certificates
     --threads N     worker threads (0 = all cores; output is identical
                     for every N — deterministic per-cell seeding)
-    --sizes A,B,C   size axis (default {:?}; e9 defaults to {:?},
-                    capped at {} — it enumerates EVERY free tree per size)
+    --sizes A,B,C   size axis, deduplicated (default {:?};
+                    e9 defaults to {:?}, e10 to {:?},
+                    capped at {} — they enumerate EVERY free tree per size)
     --pairs K       start pairs per cell (default from preset; ignored by
-                    e9, whose pair axis is exhaustive)
+                    e9/e10, whose pair axes are exhaustive)
     --seed S        base seed (default 0x5EED2010)
     --executor X    replay (trace-record/replay, default), stepping
                     (dyn run_pair per cell), or decide (exact decider,
-                    budget-free, certifies never-meets; e9's default) —
-                    rows are byte-identical across executors except for
-                    decide's `certified` flag
+                    budget-free, certifies never-meets; default for
+                    e9/e10) — rows are byte-identical across executors
+                    except for decide's `certified` flag
+
+e10 sweeps activation schedules (per-round delay faults): simultaneous,
+θ=1, intermittent duty cycles, a mid-run crash — see README
+\"Activation schedules\".
 
 Classic mode (paper tables):
   experiments [e1 e2 ... e8 | all] [--full] [--json DIR]",
         sweep::DEFAULT_SIZES,
         sweep::E9_DEFAULT_SIZES,
+        sweep::E10_DEFAULT_SIZES,
         sweep::MAX_ENUM_SIZE
     );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::parse_sizes;
+
+    #[test]
+    fn parse_sizes_sorts_and_deduplicates() {
+        assert_eq!(parse_sizes("16,32"), Ok((vec![16, 32], 0)));
+        assert_eq!(parse_sizes("32,16"), Ok((vec![16, 32], 0)));
+        // ISSUE 5 satellite: `--sizes 16,16` used to duplicate every cell
+        // and row; now the duplicate is dropped (and counted, so the
+        // caller warns).
+        assert_eq!(parse_sizes("16,16"), Ok((vec![16], 1)));
+        assert_eq!(parse_sizes("8,16,8,8,16"), Ok((vec![8, 16], 3)));
+        assert_eq!(parse_sizes(" 8 , 16 "), Ok((vec![8, 16], 0)));
+    }
+
+    #[test]
+    fn parse_sizes_rejects_zero_and_garbage() {
+        assert!(parse_sizes("0").is_err(), "size 0 is a degenerate instance");
+        assert!(parse_sizes("16,0,32").is_err());
+        assert!(parse_sizes("sixteen").is_err());
+        assert!(parse_sizes("").is_err());
+        assert!(parse_sizes(",,").is_err());
+    }
 }

@@ -16,16 +16,18 @@
 //! | [`e7`] | Figure 2 machinery — Claims 4.2/4.3, Lemma 4.2 |
 //! | [`e8`] | ablation study — which Stage-2 pieces are load-bearing |
 //! | [`e9`] | exhaustive certification — all free trees ≤ n, exact decider |
+//! | [`e10`] | activation schedules — per-round delay faults, certified |
 //!
-//! [`sweep`] is the parallel batch engine: it grids any of E1–E9 over
-//! family × size × delay × variant and fans the cells across threads with
-//! deterministic per-cell seeding (`experiments --experiment <id>`). Three
-//! executors share the grid: trace replay (default), dyn stepping, and
-//! the exact decider (`--executor decide`, budget-free verdicts with
-//! lasso certificates).
+//! [`sweep`] is the parallel batch engine: it grids any of E1–E10 over
+//! family × size × delay/schedule × variant and fans the cells across
+//! threads with deterministic per-cell seeding
+//! (`experiments --experiment <id>`). Three executors share the grid:
+//! trace replay (default), dyn stepping, and the exact decider
+//! (`--executor decide`, budget-free verdicts with lasso certificates).
 
 pub mod cli;
 pub mod e1;
+pub mod e10;
 pub mod e2;
 pub mod e3;
 pub mod e4;

@@ -38,7 +38,9 @@ use rvz_core::prime_path::PrimePathAgent;
 use rvz_core::primes::{next_prime, primorial_index_bound};
 use rvz_core::{DelayRobustAgent, TreeRendezvousAgent};
 use rvz_sim::trace::Replay;
-use rvz_sim::{replay_pair, run_pair, PairConfig, PairRun};
+use rvz_sim::{
+    replay_pair, replay_pair_scheduled, run_pair, run_pair_scheduled, PairConfig, PairRun, Schedule,
+};
 use rvz_trees::{NodeId, Tree};
 use serde::Serialize;
 use std::collections::HashMap;
@@ -99,6 +101,125 @@ impl Family {
     }
 }
 
+/// Compact, `Copy` description of an activation schedule — the sweep-axis
+/// form of [`rvz_sim::Schedule`], resolved per instance size by
+/// [`ScheduleSpec::resolve`]. A spec that is *exactly* the legacy
+/// start-delay scenario ([`ScheduleSpec::as_start_delay`]) is routed
+/// through the θ-indexed executors and emits the identical row (no
+/// `schedule` field, same seeds) — `Schedule(StartDelay(θ))` cells are
+/// byte-for-byte the `Fixed(θ)` cells, by test.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ScheduleSpec {
+    /// Both agents every round (≡ `Delay::Zero` spelled as a schedule).
+    Simultaneous,
+    /// A from round 1, B from round θ+1 (≡ `Delay::Fixed(θ)`).
+    StartDelay(u64),
+    /// A every round; B once per `period` rounds, at `phase`.
+    Intermittent { period: u64, phase: u64 },
+    /// Both agents for the given number of rounds, then B crashes. The
+    /// round count is capped at `Schedule::MAX_MATERIALIZED_PREFIX`
+    /// (2²²) — `resolve` panics loudly beyond it rather than
+    /// materializing a multi-gigabyte prefix (a crash later than any
+    /// decision horizon is indistinguishable from no crash).
+    CrashAfter(u64),
+    /// [`ScheduleSpec::CrashAfter`] at ⌈n/2⌉, resolved per instance size
+    /// (the e10 crash column). Resolves to the same schedule — and the
+    /// same row label — as the matching `CrashAfter(⌈n/2⌉)`, but as its
+    /// own axis point with its own seed code (like `Zero` beside
+    /// `Fixed(0)`); don't list both at one size.
+    CrashAfterHalfN,
+    /// Both agents together once per `period` rounds, frozen in between —
+    /// global stalls (time dilation). Outcome-equivalent to simultaneous
+    /// start but `period`× slower, so it carries the simultaneous
+    /// scenario's never-meets pairs into the genuinely-scheduled machinery
+    /// (parity lassos survive dilation, unlike under intermittence).
+    Lockstep { period: u64 },
+    /// A seeded draw from [`Schedule::adversarial`] (prefix ≤ 8 rounds,
+    /// cycle ≤ 6 — small enough that the bw decision horizon stays tight).
+    Adversarial { seed: u64 },
+}
+
+impl ScheduleSpec {
+    /// Caps for the seeded adversarial sampler.
+    const ADV_MAX_PREFIX: usize = 8;
+    const ADV_MAX_CYCLE: usize = 6;
+
+    /// The concrete schedule at instance size `n`.
+    pub fn resolve(self, n: usize) -> Schedule {
+        match self {
+            ScheduleSpec::Simultaneous => Schedule::simultaneous(),
+            ScheduleSpec::StartDelay(theta) => Schedule::start_delay(theta),
+            ScheduleSpec::Intermittent { period, phase } => Schedule::intermittent(period, phase),
+            ScheduleSpec::CrashAfter(rounds) => Schedule::crash_after(rounds),
+            ScheduleSpec::CrashAfterHalfN => Schedule::crash_after(n.div_ceil(2) as u64),
+            ScheduleSpec::Lockstep { period } => {
+                assert!(period >= 1, "lockstep period must be at least 1");
+                Schedule::new(
+                    Vec::new(),
+                    (0..period)
+                        .map(|i| {
+                            let on = i == 0;
+                            (on, on)
+                        })
+                        .collect(),
+                )
+            }
+            ScheduleSpec::Adversarial { seed } => {
+                Schedule::adversarial(seed, Self::ADV_MAX_PREFIX, Self::ADV_MAX_CYCLE)
+            }
+        }
+    }
+
+    /// `Some(θ)` when this spec is the legacy start-delay scenario — those
+    /// cells run on the θ-indexed paths and emit legacy rows.
+    pub fn as_start_delay(self) -> Option<u64> {
+        match self {
+            ScheduleSpec::Simultaneous => Some(0),
+            ScheduleSpec::StartDelay(theta) => Some(theta),
+            ScheduleSpec::Intermittent { period: 1, .. } => Some(0),
+            ScheduleSpec::Lockstep { period: 1 } => Some(0),
+            _ => None,
+        }
+    }
+
+    /// The schedule string recorded in the row (genuine schedules only —
+    /// start-delay-shaped specs emit legacy rows without it).
+    pub fn label(self, n: usize) -> String {
+        match self {
+            ScheduleSpec::Simultaneous => "simultaneous".into(),
+            ScheduleSpec::StartDelay(theta) => format!("start-delay({theta})"),
+            ScheduleSpec::Intermittent { period, phase } => {
+                format!("intermittent({period},{phase})")
+            }
+            ScheduleSpec::CrashAfter(rounds) => format!("crash-after({rounds})"),
+            ScheduleSpec::CrashAfterHalfN => format!("crash-after({})", n.div_ceil(2)),
+            ScheduleSpec::Lockstep { period } => format!("lockstep({period})"),
+            ScheduleSpec::Adversarial { seed } => format!("adversarial({seed})"),
+        }
+    }
+
+    /// Seed-mixing code, unique per spec (start-delay-shaped specs share
+    /// the matching [`Delay::Fixed`] code — deliberately: same scenario,
+    /// same cell seeds, same rows).
+    fn code(self) -> u64 {
+        if let Some(theta) = self.as_start_delay() {
+            return Delay::Fixed(theta).code();
+        }
+        match self {
+            ScheduleSpec::Intermittent { period, phase } => {
+                mix(fnv("sched-intermittent"), &[period, phase])
+            }
+            ScheduleSpec::CrashAfter(rounds) => mix(fnv("sched-crash"), &[rounds]),
+            ScheduleSpec::CrashAfterHalfN => fnv("sched-crash-half-n"),
+            ScheduleSpec::Lockstep { period } => mix(fnv("sched-lockstep"), &[period]),
+            ScheduleSpec::Adversarial { seed } => mix(fnv("sched-adversarial"), &[seed]),
+            ScheduleSpec::Simultaneous | ScheduleSpec::StartDelay(_) => {
+                unreachable!("start-delay shapes take the Fixed code")
+            }
+        }
+    }
+}
+
 /// Start-delay axis of a grid; `LinearN` resolves to the instance size, the
 /// adversarial “delay of n rounds” the E6 series uses.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -112,12 +233,18 @@ pub enum Delay {
     /// executor. The row's `delay` field reports the decisive delay — the
     /// smallest defeating θ, or the θ attaining the worst meeting round.
     Adversarial,
+    /// A full activation schedule (per-round delay faults). The row's
+    /// `delay` field reports the spec's θ-equivalent (0 for genuine
+    /// schedules) and the `schedule` field carries the resolved label.
+    Schedule(ScheduleSpec),
 }
 
 impl Delay {
     /// The concrete start delay θ at instance size `n`.
     /// [`Delay::Adversarial`] has no static resolution — those cells are
     /// answered by the quantifier layer, never by bounded simulation.
+    /// A [`Delay::Schedule`] resolves to its θ-equivalent (the executors
+    /// route genuine schedules through the scheduled paths instead).
     pub fn resolve(self, n: usize) -> u64 {
         match self {
             Delay::Zero => 0,
@@ -126,23 +253,38 @@ impl Delay {
             Delay::Adversarial => {
                 unreachable!("adversarial delay is resolved by the exact decider")
             }
+            Delay::Schedule(spec) => spec.as_start_delay().unwrap_or(0),
         }
     }
 
+    /// Seed-mixing code for the delay axis. `Fixed` saturates (a
+    /// `u64::MAX` delay used to overflow `1 + d` in debug builds) and is
+    /// clamped below the `LinearN`/`Adversarial` sentinels so no fixed
+    /// delay collides with them. The clamp deliberately collapses the
+    /// top few fixed delays (`≥ u64::MAX − 3`) onto one code: those
+    /// cells are degenerate anyway — their budgets saturate to
+    /// `u64::MAX`, so they are the same unusable scenario.
     fn code(self) -> u64 {
         match self {
             Delay::Zero => 0,
-            Delay::Fixed(d) => 1 + d,
+            Delay::Fixed(d) => d.saturating_add(1).min(u64::MAX - 2),
             Delay::LinearN => u64::MAX,
             Delay::Adversarial => u64::MAX - 1,
+            Delay::Schedule(spec) => spec.code(),
         }
     }
 
     /// `true` when this delay resolves to 0 for every instance size —
-    /// `Zero` and `Fixed(0)` are the same scenario and must be treated
-    /// identically by grid filters.
+    /// `Zero`, `Fixed(0)` and the simultaneous-shaped schedule specs are
+    /// the same scenario and must be treated identically by grid filters
+    /// (so e.g. `Schedule(Simultaneous)` keeps the zero-delay-only
+    /// variants, exactly like `Fixed(0)`).
     fn is_always_zero(self) -> bool {
-        matches!(self, Delay::Zero | Delay::Fixed(0))
+        match self {
+            Delay::Zero | Delay::Fixed(0) => true,
+            Delay::Schedule(spec) => spec.as_start_delay() == Some(0),
+            _ => false,
+        }
     }
 }
 
@@ -191,9 +333,28 @@ impl Variant {
 /// once both agents run, the joint configuration is periodic with period
 /// `2(n−1)`, so two periods past the delay decide the meeting question.
 /// (`n = 0` is clamped to the singleton's empty horizon rather than
-/// underflowing.)
+/// underflowing, and the arithmetic saturates — `delay + …` used to
+/// overflow in debug builds at `Delay::Fixed(u64::MAX)`.)
 pub fn basic_walk_budget_for(n: usize, delay: u64) -> u64 {
-    delay + 4 * (n.max(1) as u64 - 1) + 2
+    delay.saturating_add(basic_walk_two_periods(n))
+}
+
+/// Two basic-walk Euler periods plus slack: `4(n−1) + 2`, saturating.
+fn basic_walk_two_periods(n: usize) -> u64 {
+    4u64.saturating_mul(n.max(1) as u64 - 1).saturating_add(2)
+}
+
+/// Exact decision horizon for a basic-walk pair under an activation
+/// schedule: the basic walk is purely periodic in its activation count
+/// (period `2(n−1)` — the closed Euler tour), so past the prefix the
+/// joint state `(position_a, position_b, cycle index)` repeats within
+/// `cycle · 2(n−1)` rounds; `prefix + cycle · (4(n−1) + 2)` covers two
+/// such joint periods. For `start_delay(θ)` this is exactly
+/// [`basic_walk_budget_for`]`(n, θ)` — prefix θ, cycle 1.
+pub fn schedule_budget_for(n: usize, schedule: &Schedule) -> u64 {
+    schedule
+        .prefix_len()
+        .saturating_add(schedule.cycle_len().saturating_mul(basic_walk_two_periods(n)))
 }
 
 /// How the executor answers the delay × pair sub-grid of a cell.
@@ -270,6 +431,12 @@ pub struct SweepRow {
     pub leaves: usize,
     pub variant: String,
     pub delay: u64,
+    /// Resolved activation-schedule label for genuine schedule cells
+    /// (e.g. `"intermittent(2,0)"`); absent — not `null` — on every
+    /// start-delay cell, so legacy rows keep their exact serialized shape
+    /// (schema `rvz-sweep/v3` = v2 plus this optional field).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub schedule: Option<String>,
     pub start_a: NodeId,
     pub start_b: NodeId,
     pub met: bool,
@@ -314,6 +481,11 @@ pub struct Certificate {
     /// `"meets"` / `"never-meets"` for fixed-delay cells;
     /// `"all-delays-meet"` / `"delay-defeats"` for universal cells.
     pub verdict: String,
+    /// Resolved schedule label for scheduled never-meets certificates;
+    /// absent on delay-axis certificates (schema `rvz-certificates/v2` =
+    /// v1 plus this optional field).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub schedule: Option<String>,
     /// The decisive delay: the cell's fixed θ, the smallest defeating θ,
     /// or the θ attaining the worst meeting round.
     pub delay: u64,
@@ -455,8 +627,11 @@ pub fn cells(spec: &SweepSpec) -> Vec<Cell> {
 }
 
 /// Round budget for the general tree algorithms (as E6 provisions).
+/// Saturating: `n² · 60_000` overflows plain `u64` arithmetic for
+/// `n ≥ 2³²`, and the budget is a cap, so clamping at `u64::MAX` is the
+/// correct degeneration.
 pub fn budget_for(n: usize) -> u64 {
-    (n as u64).pow(2) * 60_000 + 2_000_000
+    (n as u64).saturating_mul(n as u64).saturating_mul(60_000).saturating_add(2_000_000)
 }
 
 /// Round budget for the `prime` path protocol (as E3 derives from the
@@ -572,14 +747,40 @@ pub fn run_cell(cell: &Cell) -> Option<SweepRow> {
     run_cell_on(cell, &SweepInstance::for_cell(cell))
 }
 
+/// How a cell's delay axis executes at a resolved instance size: either
+/// the legacy θ-indexed path (every delay flavor, including
+/// start-delay-shaped schedule specs — which thereby emit byte-identical
+/// legacy rows), or the genuinely scheduled path.
+enum CellMode {
+    Delay(u64),
+    Scheduled(ScheduleSpec),
+}
+
+impl Cell {
+    /// The execution mode at instance size `n`. Must not be called on
+    /// [`Delay::Adversarial`] cells (the quantifier layer owns those).
+    fn mode(&self, n: usize) -> CellMode {
+        match self.delay {
+            Delay::Schedule(spec) => match spec.as_start_delay() {
+                Some(theta) => CellMode::Delay(theta),
+                None => CellMode::Scheduled(spec),
+            },
+            delay => CellMode::Delay(delay.resolve(n)),
+        }
+    }
+}
+
 /// Round budget and provisioned automaton size for a cell's variant at
-/// this instance (shared by the stepping and replay executors).
+/// this instance (shared by the stepping and replay executors). `sched`
+/// is the resolved schedule for genuinely scheduled cells (`delay` is
+/// then the θ-equivalent and only the schedule shapes the bw horizon).
 fn budget_and_provisioned(
     cell: &Cell,
     inst: &SweepInstance,
     n: usize,
     leaves: usize,
     delay: u64,
+    sched: Option<&Schedule>,
 ) -> (u64, u64) {
     match cell.variant {
         Variant::TreeRvz => {
@@ -589,12 +790,16 @@ fn budget_and_provisioned(
         Variant::PrimePath => (prime_budget_for(n), 0),
         Variant::BasicWalkFsa => {
             let fsa = inst.basic_walk_fsa();
-            (basic_walk_budget_for(n, delay), fsa.memory_bits())
+            let budget = match sched {
+                Some(s) => schedule_budget_for(n, s),
+                None => basic_walk_budget_for(n, delay),
+            };
+            (budget, fsa.memory_bits())
         }
     }
 }
 
-/// Assembles the result row — the single place the 19-field row shape
+/// Assembles the result row — the single place the 20-field row shape
 /// lives, shared by all three executors (stepping and replay pass the
 /// bounded run's outcome with `certified: false`; the decide path passes
 /// its exact verdict with `certified: true`). Byte-identity across
@@ -605,7 +810,7 @@ fn make_row(
     inst: &SweepInstance,
     n: usize,
     leaves: usize,
-    delay: u64,
+    (delay, schedule): (u64, Option<String>),
     (met, rounds, crossings): (bool, Option<u64>, u64),
     budget: u64,
     provisioned_bits: u64,
@@ -621,6 +826,7 @@ fn make_row(
         leaves,
         variant: cell.variant.name().to_string(),
         delay,
+        schedule,
         start_a: starts.0,
         start_b: starts.1,
         met,
@@ -656,34 +862,57 @@ pub fn run_cell_on(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
     let n = tree.num_nodes();
     let leaves = tree.num_leaves();
     let &(start_a, start_b) = inst.pairs.get(cell.pair_index)?;
-    let delay = cell.delay.resolve(n);
-    let (budget, provisioned_bits) = budget_and_provisioned(cell, inst, n, leaves, delay);
-    let cfg = PairConfig::delayed(delay, budget);
 
-    // Dispatch per variant: every arm goes through the dyn-compatible
-    // `run_pair` wrapper. Counterintuitively this is the measured-fastest
-    // choice across the board — monomorphizing the round loop (the
-    // `run_pair_fsa` fast path) is available per call site, but inlining
-    // agents' `act` bodies into the loop benched *slower* here for both the
-    // big procedural agents and the tiny automaton runners (see the
-    // `sim_hot_path/pair_rounds` static-vs-dyn comparison).
+    // One generic runner per activation mode: the θ path steps through the
+    // dyn-compatible `run_pair` wrapper exactly as before (measured-fastest
+    // — monomorphizing the round loop benched slower, see the
+    // `sim_hot_path/pair_rounds` static-vs-dyn comparison); genuinely
+    // scheduled cells step the same agents under `run_pair_scheduled`.
+    let (delay, schedule, budget, provisioned_bits, stepper): (
+        u64,
+        Option<String>,
+        u64,
+        u64,
+        Box<dyn Fn(&mut dyn rvz_agent::model::Agent, &mut dyn rvz_agent::model::Agent) -> PairRun>,
+    ) = match cell.mode(n) {
+        CellMode::Delay(delay) => {
+            let (budget, provisioned) = budget_and_provisioned(cell, inst, n, leaves, delay, None);
+            let cfg = PairConfig::delayed(delay, budget);
+            let step = move |x: &mut dyn rvz_agent::model::Agent,
+                             y: &mut dyn rvz_agent::model::Agent| {
+                run_pair(tree, start_a, start_b, x, y, cfg)
+            };
+            (delay, None, budget, provisioned, Box::new(step))
+        }
+        CellMode::Scheduled(spec) => {
+            let sched = spec.resolve(n);
+            let (budget, provisioned) =
+                budget_and_provisioned(cell, inst, n, leaves, 0, Some(&sched));
+            let step = move |x: &mut dyn rvz_agent::model::Agent,
+                             y: &mut dyn rvz_agent::model::Agent| {
+                run_pair_scheduled(tree, start_a, start_b, x, y, &sched, budget, false)
+            };
+            (0, Some(spec.label(n)), budget, provisioned, Box::new(step))
+        }
+    };
+
     let (run, measured_bits) = match cell.variant {
         Variant::TreeRvz => {
             let mut x = TreeRendezvousAgent::new();
             let mut y = TreeRendezvousAgent::new();
-            let run = run_pair(tree, start_a, start_b, &mut x, &mut y, cfg);
+            let run = stepper(&mut x, &mut y);
             (run, x.memory_bits_measured().max(y.memory_bits_measured()))
         }
         Variant::DelayRobust => {
             let mut x = DelayRobustAgent::new();
             let mut y = DelayRobustAgent::new();
-            let run = run_pair(tree, start_a, start_b, &mut x, &mut y, cfg);
+            let run = stepper(&mut x, &mut y);
             (run, x.memory_bits_measured().max(y.memory_bits_measured()))
         }
         Variant::PrimePath => {
             let mut x = PrimePathAgent::unbounded();
             let mut y = PrimePathAgent::unbounded();
-            let run = run_pair(tree, start_a, start_b, &mut x, &mut y, cfg);
+            let run = stepper(&mut x, &mut y);
             use rvz_agent::model::Agent;
             (run, x.memory_bits().max(y.memory_bits()))
         }
@@ -691,7 +920,7 @@ pub fn run_cell_on(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
             let fsa = inst.basic_walk_fsa();
             let mut x = fsa.runner();
             let mut y = fsa.runner();
-            let run = run_pair(tree, start_a, start_b, &mut x, &mut y, cfg);
+            let run = stepper(&mut x, &mut y);
             use rvz_agent::model::Agent;
             (run, x.memory_bits().max(y.memory_bits()))
         }
@@ -702,7 +931,7 @@ pub fn run_cell_on(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
         inst,
         n,
         leaves,
-        delay,
+        (delay, schedule),
         bounded_outcome(&run),
         budget,
         provisioned_bits,
@@ -739,8 +968,18 @@ pub fn run_cell_replay(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
     let n = tree.num_nodes();
     let leaves = tree.num_leaves();
     let &(start_a, start_b) = inst.pairs.get(cell.pair_index)?;
-    let delay = cell.delay.resolve(n);
-    let (budget, provisioned_bits) = budget_and_provisioned(cell, inst, n, leaves, delay);
+
+    // Genuinely scheduled cells replay against the *same* recordings as
+    // every θ cell (the trace store key has no schedule axis): the frozen
+    // semantics makes a solo trajectory a pure function of activation
+    // count, so the schedule only re-times the merge. The θ-equivalent
+    // metadata below mirrors the mode split of [`run_cell_on`].
+    let (delay, sched): (u64, Option<(ScheduleSpec, Schedule)>) = match cell.mode(n) {
+        CellMode::Delay(delay) => (delay, None),
+        CellMode::Scheduled(spec) => (0, Some((spec, spec.resolve(n)))),
+    };
+    let (budget, provisioned_bits) =
+        budget_and_provisioned(cell, inst, n, leaves, delay, sched.as_ref().map(|(_, s)| s));
     let cfg = PairConfig::delayed(delay, budget);
 
     let slot_a = trace_cache::slot(inst, cell.family, cell.n, cell.variant, start_a);
@@ -756,13 +995,24 @@ pub fn run_cell_replay(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
             gb = slot_b.lock().expect("trace slot");
             ga = slot_a.lock().expect("trace slot");
         }
-        match replay_pair(tree, ga.trajectory(), gb.trajectory(), cfg) {
+        let verdict = match &sched {
+            None => replay_pair(tree, ga.trajectory(), gb.trajectory(), cfg),
+            Some((_, s)) => {
+                replay_pair_scheduled(tree, ga.trajectory(), gb.trajectory(), s, budget, false)
+            }
+        };
+        match verdict {
             Replay::Decided(run) => {
-                // The stepping path reports the meters after exactly
-                // `meeting round` activations of A and `round − θ` of B;
-                // read the same points off the recorded mark lists.
-                let acts_a = run.outcome.round().unwrap_or(budget);
-                let acts_b = acts_a.saturating_sub(delay);
+                // The stepping path reports the meters after exactly as
+                // many activations as each agent got by the final round;
+                // read the same points off the recorded mark lists (the
+                // θ path's counts are `round` and `round − θ`, the
+                // scheduled path's come from the activation index).
+                let end = run.outcome.round().unwrap_or(budget);
+                let (acts_a, acts_b) = match &sched {
+                    None => (end, end.saturating_sub(delay)),
+                    Some((_, s)) => (s.index_a().acts_at(end), s.index_b().acts_at(end)),
+                };
                 let measured_bits =
                     ga.trajectory().bits_at(acts_a).max(gb.trajectory().bits_at(acts_b));
                 return Some(make_row(
@@ -770,7 +1020,7 @@ pub fn run_cell_replay(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
                     inst,
                     n,
                     leaves,
-                    delay,
+                    (delay, sched.map(|(spec, _)| spec.label(n))),
                     bounded_outcome(&run),
                     budget,
                     provisioned_bits,
@@ -789,7 +1039,9 @@ pub fn run_cell_replay(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
                 }
                 // Grow only the lane(s) the verdict flagged (`0` / already
                 // decided means "long enough") — a warm recording must not
-                // be re-stepped just because its partner was short.
+                // be re-stepped just because its partner was short. Both
+                // verdict flavors report *solo recording rounds*, i.e.
+                // activation counts.
                 if !ga.trajectory().decided_to(a_rounds) {
                     let target = grow_target(ga.trajectory().rounds(), a_rounds, budget);
                     ga.record_to(tree, target);
@@ -839,38 +1091,49 @@ pub fn run_cell_decide_certified(
     let provisioned_bits = fsa.memory_bits();
     let measured_bits = fsa.memory_bits();
 
+    let base_certificate = |verdict: &str, delay: u64| Certificate {
+        experiment: cell.experiment.clone(),
+        family: cell.family.name().to_string(),
+        size: cell.n,
+        n,
+        tree_seed: inst.tree_seed,
+        variant: cell.variant.name().to_string(),
+        start_a,
+        start_b,
+        verdict: verdict.to_string(),
+        schedule: None,
+        delay,
+        round: None,
+        delays_checked: None,
+        lasso_stem: None,
+        lasso_period: None,
+        verified: None,
+    };
     let certificate = |verdict: &str,
                        delay: u64,
                        round: Option<u64>,
                        delays_checked: Option<u64>,
                        lasso: Option<&rvz_lowerbounds::Lasso>| {
         Certificate {
-            experiment: cell.experiment.clone(),
-            family: cell.family.name().to_string(),
-            size: cell.n,
-            n,
-            tree_seed: inst.tree_seed,
-            variant: cell.variant.name().to_string(),
-            start_a,
-            start_b,
-            verdict: verdict.to_string(),
-            delay,
             round,
             delays_checked,
             lasso_stem: lasso.map(|l| l.stem),
             lasso_period: lasso.map(|l| l.period),
             verified: lasso.map(|l| verify_lasso(tree, fsa, start_a, start_b, delay, l)),
+            ..base_certificate(verdict, delay)
         }
     };
     // The one certified-row assembler: shares [`make_row`] with the
-    // bounded executors, so the 19-field row shape lives in one place.
-    let row = |delay: u64, outcome: (bool, Option<u64>, u64), budget: u64| {
+    // bounded executors, so the 20-field row shape lives in one place.
+    let row = |(delay, schedule): (u64, Option<String>),
+               outcome: (bool, Option<u64>, u64),
+               budget: u64| {
         make_row(
             cell,
             inst,
             n,
             leaves,
-            delay,
+            (delay, schedule),
             outcome,
             budget,
             provisioned_bits,
@@ -879,6 +1142,40 @@ pub fn run_cell_decide_certified(
             true,
         )
     };
+
+    // Genuinely scheduled cells: the cycle-position product construction,
+    // certified by schedule lassos (re-verified by independent scheduled
+    // stepping). Start-delay-shaped schedule specs fall through to the
+    // θ-indexed decider below and emit byte-identical legacy rows.
+    if let Delay::Schedule(spec) = cell.delay {
+        if spec.as_start_delay().is_none() {
+            use rvz_lowerbounds::decide::{decide_pair_scheduled, verify_schedule_lasso};
+            let sched = spec.resolve(n);
+            let budget = schedule_budget_for(n, &sched);
+            let label = spec.label(n);
+            let decision = decide_pair_scheduled(tree, fsa, start_a, start_b, &sched);
+            return Some(match decision.round() {
+                Some(round) => {
+                    let crossings = decision.crossings_within(round);
+                    (row((0, Some(label)), (true, Some(round), crossings), budget), None)
+                }
+                None => {
+                    let lasso = decision.lasso().expect("no round means a lasso");
+                    let cert = Certificate {
+                        schedule: Some(label.clone()),
+                        lasso_stem: Some(lasso.stem),
+                        lasso_period: Some(lasso.period),
+                        verified: Some(verify_schedule_lasso(
+                            tree, fsa, start_a, start_b, &sched, lasso,
+                        )),
+                        ..base_certificate("never-meets", 0)
+                    };
+                    let crossings = decision.crossings_within(budget);
+                    (row((0, Some(label)), (false, None, crossings), budget), Some(cert))
+                }
+            });
+        }
+    }
 
     // Feasible pairs have distinct starts, so the precomputed-lasso entry
     // points apply; the lasso is shared across the sub-grid's cells.
@@ -895,18 +1192,23 @@ pub fn run_cell_decide_certified(
                     Some(delays_checked),
                     None,
                 );
-                (row(worst_delay, (true, Some(worst_round), crossings), budget), Some(cert))
+                (row((worst_delay, None), (true, Some(worst_round), crossings), budget), Some(cert))
             }
             WorstCase::Defeated { delay, decision, delays_checked } => {
                 let budget = basic_walk_budget_for(n, delay);
                 let lasso = decision.lasso().expect("defeat carries a lasso");
                 let cert =
                     certificate("delay-defeats", delay, None, Some(delays_checked), Some(lasso));
-                (row(delay, (false, None, decision.crossings_within(budget)), budget), Some(cert))
+                (
+                    row((delay, None), (false, None, decision.crossings_within(budget)), budget),
+                    Some(cert),
+                )
             }
         },
         _ => {
-            let delay = cell.delay.resolve(n);
+            let CellMode::Delay(delay) = cell.mode(n) else {
+                unreachable!("genuine schedules are decided above")
+            };
             let budget = basic_walk_budget_for(n, delay);
             let decision = decide_from(tree, fsa, &solo, start_b, delay);
             match decision.round() {
@@ -914,13 +1216,13 @@ pub fn run_cell_decide_certified(
                     // `crossings_within(round)` == the simulator's count:
                     // it stops counting at the meeting round too.
                     let crossings = decision.crossings_within(round);
-                    (row(delay, (true, Some(round), crossings), budget), None)
+                    (row((delay, None), (true, Some(round), crossings), budget), None)
                 }
                 None => {
                     let lasso = decision.lasso().expect("no round means a lasso");
                     let cert = certificate("never-meets", delay, None, None, Some(lasso));
                     let crossings = decision.crossings_within(budget);
-                    (row(delay, (false, None, crossings), budget), Some(cert))
+                    (row((delay, None), (false, None, crossings), budget), Some(cert))
                 }
             }
         }
@@ -1025,7 +1327,7 @@ pub fn to_table(experiment: &str, report: &SweepReport) -> Table {
             r.n.to_string(),
             r.leaves.to_string(),
             r.variant.clone(),
-            r.delay.to_string(),
+            r.schedule.clone().unwrap_or_else(|| r.delay.to_string()),
             r.start_a.to_string(),
             r.start_b.to_string(),
             if r.met { "y" } else { "N" }.to_string(),
@@ -1103,6 +1405,25 @@ pub fn preset(id: &str, sizes: &[usize], threads: usize, seed: u64) -> Option<Sw
         // `--executor decide`; `pairs_per_cell` is ignored (the pair axis
         // is exhaustive).
         "e9" => spec(vec![EnumFree], vec![Zero, Adversarial], vec![BasicWalkFsa]),
+        // Activation schedules, exhaustively: every free tree × every
+        // ordered feasible pair × the e10 schedule column — the legacy
+        // start scenarios (simultaneous, θ=1) beside genuine per-round
+        // delay faults (intermittent duty cycles, a mid-run crash). All
+        // cells are bw-fsa, so the decide executor (the default) certifies
+        // every one; the bounded executors answer the same grid within
+        // the exact `schedule_budget_for` horizons for the differential
+        // gates.
+        "e10" => spec(
+            vec![EnumFree],
+            vec![
+                Schedule(ScheduleSpec::Simultaneous),
+                Schedule(ScheduleSpec::StartDelay(1)),
+                Schedule(ScheduleSpec::Intermittent { period: 2, phase: 0 }),
+                Schedule(ScheduleSpec::Intermittent { period: 3, phase: 0 }),
+                Schedule(ScheduleSpec::CrashAfterHalfN),
+            ],
+            vec![BasicWalkFsa],
+        ),
         _ => return None,
     })
 }
@@ -1114,6 +1435,11 @@ pub const DEFAULT_SIZES: &[usize] = &[16, 32, 64, 128];
 /// `n ≤ 9` (95 free trees; the acceptance grid of the certification
 /// workload). Larger axes are capped at [`MAX_ENUM_SIZE`].
 pub const E9_DEFAULT_SIZES: &[usize] = &[2, 3, 4, 5, 6, 7, 8, 9];
+
+/// The default size axis of the `e10` schedule sweep: every free tree
+/// with `n ≤ 8` (47 trees) — one size below e9, since the schedule
+/// column multiplies the grid fivefold.
+pub const E10_DEFAULT_SIZES: &[usize] = &[2, 3, 4, 5, 6, 7, 8];
 
 fn perf_grid(families: Vec<Family>, delays: Vec<Delay>, variants: Vec<Variant>) -> SweepSpec {
     SweepSpec {
@@ -1397,6 +1723,175 @@ mod tests {
     }
 
     #[test]
+    fn delay_codes_saturate_and_stay_distinct_at_the_extremes() {
+        // ISSUE 5 satellite: `Delay::Fixed(u64::MAX)` used to panic in
+        // debug builds (`1 + d` overflow). The saturated code must also
+        // stay clear of the LinearN/Adversarial sentinels.
+        let extremes = [Delay::Fixed(u64::MAX), Delay::LinearN, Delay::Adversarial];
+        for (i, a) in extremes.iter().enumerate() {
+            for b in &extremes[i + 1..] {
+                assert_ne!(a.code(), b.code(), "{a:?} vs {b:?}");
+            }
+        }
+        assert_eq!(Delay::Fixed(0).code(), 1, "small fixed delays keep their codes");
+        assert_eq!(Delay::Fixed(7).code(), 8);
+        // Start-delay-shaped schedule specs share the Fixed code — same
+        // scenario, same cell seeds — while genuine schedules get their
+        // own.
+        assert_eq!(Delay::Schedule(ScheduleSpec::StartDelay(7)).code(), Delay::Fixed(7).code());
+        assert_eq!(Delay::Schedule(ScheduleSpec::Simultaneous).code(), Delay::Fixed(0).code());
+        let sched_codes = [
+            Delay::Schedule(ScheduleSpec::Intermittent { period: 2, phase: 0 }).code(),
+            Delay::Schedule(ScheduleSpec::Intermittent { period: 3, phase: 0 }).code(),
+            Delay::Schedule(ScheduleSpec::CrashAfter(4)).code(),
+            Delay::Schedule(ScheduleSpec::CrashAfterHalfN).code(),
+            Delay::Schedule(ScheduleSpec::Adversarial { seed: 9 }).code(),
+        ];
+        let mut dedup = sched_codes.to_vec();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), sched_codes.len(), "schedule codes must be distinct");
+    }
+
+    #[test]
+    fn budgets_saturate_instead_of_overflowing() {
+        // ISSUE 5 satellite: the budget formulas must clamp, not panic,
+        // on extreme inputs (u64::MAX delays, usize::MAX sizes).
+        assert_eq!(basic_walk_budget_for(16, u64::MAX), u64::MAX);
+        assert_eq!(budget_for(usize::MAX), u64::MAX);
+        assert_eq!(basic_walk_budget_for(usize::MAX, 0), u64::MAX);
+        // And the ordinary values are unchanged.
+        assert_eq!(basic_walk_budget_for(16, 3), 3 + 4 * 15 + 2);
+        assert_eq!(budget_for(16), 256 * 60_000 + 2_000_000);
+        // The schedule horizon degenerates to the θ formula on start-delay
+        // schedules (prefix θ, cycle 1).
+        for (n, theta) in [(2usize, 0u64), (9, 1), (16, 7), (40, 1000)] {
+            assert_eq!(
+                schedule_budget_for(n, &Schedule::start_delay(theta)),
+                basic_walk_budget_for(n, theta),
+                "n={n} θ={theta}"
+            );
+        }
+    }
+
+    #[test]
+    fn start_delay_schedule_cells_are_byte_identical_to_fixed_delay_cells() {
+        // ISSUE 5 satellite: `Schedule(StartDelay(θ))` is the legacy θ
+        // scenario — its rows (seeds included, `schedule` field absent)
+        // must be byte-for-byte the `Fixed(θ)` rows under every executor.
+        for executor in [Executor::TraceReplay, Executor::DynStepping, Executor::ExactDecide] {
+            let mut legacy = small_spec(2);
+            legacy.executor = executor;
+            legacy.delays = vec![Delay::Fixed(0), Delay::Fixed(3)];
+            let mut scheduled = legacy.clone();
+            scheduled.delays = vec![
+                Delay::Schedule(ScheduleSpec::Simultaneous),
+                Delay::Schedule(ScheduleSpec::StartDelay(3)),
+            ];
+            let legacy_rows = run(&legacy).rows;
+            let scheduled_rows = run(&scheduled).rows;
+            assert!(!legacy_rows.is_empty());
+            assert_eq!(
+                serde_json::to_string(&legacy_rows).unwrap(),
+                serde_json::to_string(&scheduled_rows).unwrap(),
+                "start-delay schedules must emit the legacy rows ({executor:?})"
+            );
+        }
+    }
+
+    #[test]
+    fn scheduled_cells_agree_across_all_three_executors() {
+        // Genuine schedules: replay and stepping byte-identical; decide
+        // identical modulo `certified` on the automaton cells, with every
+        // bw timeout a certified never-meets.
+        let spec = |executor| SweepSpec {
+            experiment: "sched".into(),
+            families: vec![Family::Line, Family::Spider3, Family::Random],
+            sizes: vec![8, 13],
+            delays: vec![
+                Delay::Schedule(ScheduleSpec::Intermittent { period: 2, phase: 0 }),
+                Delay::Schedule(ScheduleSpec::Intermittent { period: 3, phase: 1 }),
+                Delay::Schedule(ScheduleSpec::CrashAfterHalfN),
+                Delay::Schedule(ScheduleSpec::Lockstep { period: 2 }),
+                Delay::Schedule(ScheduleSpec::Adversarial { seed: 0xE10 }),
+            ],
+            variants: vec![Variant::BasicWalkFsa, Variant::DelayRobust],
+            pairs_per_cell: 2,
+            seed: 0x5C_4ED,
+            threads: 2,
+            executor,
+        };
+        let replayed = run(&spec(Executor::TraceReplay));
+        let stepped = run(&spec(Executor::DynStepping));
+        let decided = run(&spec(Executor::ExactDecide));
+        assert!(!replayed.rows.is_empty());
+        assert!(replayed.rows.iter().any(|r| r.schedule.is_some()));
+        assert_eq!(
+            serde_json::to_string(&replayed.rows).unwrap(),
+            serde_json::to_string(&stepped.rows).unwrap(),
+            "replay and stepping must agree to the byte on schedule cells"
+        );
+        let strip = |rows: &[SweepRow]| {
+            let mut rows = rows.to_vec();
+            for r in &mut rows {
+                r.certified = false;
+            }
+            serde_json::to_string(&rows).unwrap()
+        };
+        assert_eq!(strip(&decided.rows), strip(&replayed.rows));
+        for (d, r) in decided.rows.iter().zip(&replayed.rows) {
+            assert_eq!(d.certified, d.variant == Variant::BasicWalkFsa.name(), "{d:?}");
+            if d.certified {
+                assert_eq!(d.met, r.met, "bw schedule budgets are decision horizons");
+            }
+        }
+        // Scheduled never-meets certificates carry the schedule label and
+        // verify.
+        let sched_certs: Vec<_> =
+            decided.certificates.iter().filter(|c| c.schedule.is_some()).collect();
+        assert!(!sched_certs.is_empty(), "some schedule must defeat some bw pair");
+        for cert in &decided.certificates {
+            assert_eq!(cert.verified, Some(true), "{cert:?}");
+        }
+    }
+
+    #[test]
+    fn e10_schedule_grid_is_certified_and_thread_invariant() {
+        let mut spec = preset("e10", &[4, 5, 6], 1, 10).expect("e10 preset");
+        spec.executor = Executor::ExactDecide;
+        let report1 = run(&spec);
+        spec.threads = 4;
+        let report4 = run(&spec);
+        assert_eq!(
+            serde_json::to_string(&report1.rows).unwrap(),
+            serde_json::to_string(&report4.rows).unwrap(),
+            "e10 must be byte-identical across thread counts"
+        );
+        assert_eq!(
+            serde_json::to_string(&report1.certificates).unwrap(),
+            serde_json::to_string(&report4.certificates).unwrap(),
+        );
+        assert_eq!(report1.dropped_cells, 0);
+        assert_eq!(report1.planned_cells, report1.rows.len());
+        assert!(!report1.rows.is_empty());
+        for row in &report1.rows {
+            assert!(row.certified, "e10 cell not exactly decided: {row:?}");
+        }
+        // The schedule column splits into legacy rows (simultaneous, θ=1 —
+        // no schedule field) and genuine schedule rows, 5 per pair total.
+        let legacy = report1.rows.iter().filter(|r| r.schedule.is_none()).count();
+        let scheduled = report1.rows.iter().filter(|r| r.schedule.is_some()).count();
+        assert_eq!(legacy * 3, scheduled * 2, "2 legacy + 3 scheduled per pair");
+        // θ=1 defeats the basic walk on every pair (the e9 result), so
+        // never-meets certificates exist; every lasso re-verifies.
+        assert!(report1.certificates.iter().any(|c| c.schedule.is_none()));
+        for cert in &report1.certificates {
+            assert_eq!(cert.verdict, "never-meets");
+            assert_eq!(cert.verified, Some(true), "{cert:?}");
+        }
+    }
+
+    #[test]
     fn e9_exhaustive_grid_is_certified_and_thread_invariant() {
         let mut spec = preset("e9", &[2, 3, 4, 5, 6], 1, 9).expect("e9 preset");
         spec.executor = Executor::ExactDecide;
@@ -1448,6 +1943,8 @@ mod tests {
         }
         let e9 = preset("e9", &[5, 6], 1, 1).expect("e9 exists");
         assert!(!cells(&e9).is_empty(), "e9 grid is empty");
-        assert!(preset("e10", &[8], 1, 1).is_none());
+        let e10 = preset("e10", &[5, 6], 1, 1).expect("e10 exists");
+        assert!(!cells(&e10).is_empty(), "e10 grid is empty");
+        assert!(preset("e11", &[8], 1, 1).is_none());
     }
 }

@@ -41,6 +41,7 @@
 use rvz_agent::fsa::Fsa;
 use rvz_agent::line_fsa::StateId;
 use rvz_agent::model::{Action, Obs};
+use rvz_sim::Schedule;
 use rvz_trees::{NodeId, Port, Tree};
 use std::collections::HashMap;
 
@@ -219,24 +220,37 @@ impl Decision {
     /// crossing pattern is periodic, so arbitrary budgets are answered in
     /// closed form, never by walking rounds.
     pub fn crossings_within(&self, budget: u64) -> u64 {
-        let upto = |limit: u64| self.crossing_rounds.partition_point(|&r| r <= limit) as u64;
         match self.verdict {
-            Verdict::Meets { .. } => upto(budget),
+            Verdict::Meets { .. } => crossings_upto(&self.crossing_rounds, budget),
             Verdict::NeverMeets { lasso } => {
-                let explored = lasso.stem + lasso.period;
-                if budget <= explored {
-                    return upto(budget);
-                }
-                let in_stem = upto(lasso.stem);
-                let per_cycle = upto(explored) - in_stem;
-                let past = budget - lasso.stem;
-                let full_cycles = past / lasso.period;
-                let partial = past % lasso.period;
-                let in_partial = upto(lasso.stem + partial) - in_stem;
-                in_stem + full_cycles * per_cycle + in_partial
+                crossings_closed_form(&self.crossing_rounds, lasso.stem, lasso.period, budget)
             }
         }
     }
+}
+
+/// Crossings recorded at rounds `≤ limit` (the explored prefix).
+fn crossings_upto(crossing_rounds: &[u64], limit: u64) -> u64 {
+    crossing_rounds.partition_point(|&r| r <= limit) as u64
+}
+
+/// Crossing count at an arbitrary budget from the explored
+/// `stem + period` horizon of a certified lasso: the pattern is periodic
+/// along the cycle, so huge budgets are answered in closed form. Shared by
+/// the fixed-delay and scheduled deciders.
+fn crossings_closed_form(crossing_rounds: &[u64], stem: u64, period: u64, budget: u64) -> u64 {
+    let upto = |limit: u64| crossings_upto(crossing_rounds, limit);
+    let explored = stem + period;
+    if budget <= explored {
+        return upto(budget);
+    }
+    let in_stem = upto(stem);
+    let per_cycle = upto(explored) - in_stem;
+    let past = budget - stem;
+    let full_cycles = past / period;
+    let partial = past % period;
+    let in_partial = upto(stem + partial) - in_stem;
+    in_stem + full_cycles * per_cycle + in_partial
 }
 
 /// Decides one `(tree, pair, automaton, delay)` instance exactly — see the
@@ -388,6 +402,258 @@ pub fn worst_case_from(t: &Tree, fsa: &Fsa, solo: &SoloLasso, b: NodeId) -> Wors
     WorstCase::AllMeet { worst_delay, worst_round, delays_checked: checked, decision }
 }
 
+/// A machine-checkable "never meets under this schedule" certificate —
+/// the scheduled sibling of [`Lasso`]. The recurring joint state is the
+/// pair of per-agent configurations (`None` = not yet activated; an agent
+/// the schedule never wakes recurs as `None` forever) *at equal cycle
+/// positions*: the product construction extends the configuration with
+/// the schedule's cycle index, so configs are effectively
+/// `(state_a, state_b, nodes, entries, cycle_idx)` and a repeat implies
+/// the whole future repeats with period [`ScheduleLasso::period`] (a
+/// multiple of the cycle length, which [`verify_schedule_lasso`] checks).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleLasso {
+    /// Global round after which the certified cycle is entered (always
+    /// past the schedule's prefix — prefix positions cannot recur).
+    pub stem: u64,
+    /// Cycle length in rounds; a multiple of the schedule's cycle length.
+    pub period: u64,
+    /// The recurring joint configuration (A, B) after round `stem`.
+    pub at_cycle: (Option<AgentCfg>, Option<AgentCfg>),
+}
+
+/// The scheduled decider's verdict — no timeout arm, as with [`Verdict`]:
+/// the product of two finite configuration spaces (plus the "unstarted"
+/// state each) and the finitely many cycle positions is finite.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ScheduleVerdict {
+    /// First co-location at the end of `round` (0 = same start).
+    Meets { round: u64 },
+    /// Certified: no round ever co-locates the agents under the schedule.
+    NeverMeets { lasso: ScheduleLasso },
+}
+
+/// A decided `(pair, schedule)` instance, with the crossing bookkeeping
+/// needed to reproduce the bounded simulator's row at any budget —
+/// the scheduled sibling of [`Decision`].
+#[derive(Debug, Clone)]
+pub struct ScheduleDecision {
+    pub verdict: ScheduleVerdict,
+    /// Global rounds with an edge crossing over the explored horizon.
+    crossing_rounds: Vec<u64>,
+}
+
+impl ScheduleDecision {
+    pub fn met(&self) -> bool {
+        matches!(self.verdict, ScheduleVerdict::Meets { .. })
+    }
+
+    /// Meeting round, `None` for certified never-meets.
+    pub fn round(&self) -> Option<u64> {
+        match self.verdict {
+            ScheduleVerdict::Meets { round } => Some(round),
+            ScheduleVerdict::NeverMeets { .. } => None,
+        }
+    }
+
+    pub fn lasso(&self) -> Option<&ScheduleLasso> {
+        match &self.verdict {
+            ScheduleVerdict::Meets { .. } => None,
+            ScheduleVerdict::NeverMeets { lasso } => Some(lasso),
+        }
+    }
+
+    /// Crossings in rounds `1..=budget` — what
+    /// [`rvz_sim::run_pair_scheduled`] counts with that budget (for
+    /// budgets that do not truncate a meeting); closed-form along a
+    /// certified cycle exactly as [`Decision::crossings_within`].
+    pub fn crossings_within(&self, budget: u64) -> u64 {
+        match self.verdict {
+            ScheduleVerdict::Meets { .. } => crossings_upto(&self.crossing_rounds, budget),
+            ScheduleVerdict::NeverMeets { lasso } => {
+                crossings_closed_form(&self.crossing_rounds, lasso.stem, lasso.period, budget)
+            }
+        }
+    }
+}
+
+/// One scheduled activation step of one agent: `None` configurations are
+/// agents that have not acted yet (first activation runs `step_first`).
+#[inline]
+fn step_opt(t: &Tree, fsa: &Fsa, start: NodeId, cfg: Option<AgentCfg>) -> AgentCfg {
+    match cfg {
+        None => step_first(t, fsa, start),
+        Some(c) => step(t, fsa, c),
+    }
+}
+
+/// Decides one `(tree, pair, automaton, schedule)` instance exactly, with
+/// **no round budget**: walks the joint trajectory under the schedule's
+/// activation flags and detects a repeat of the product configuration
+/// `(cfg_a, cfg_b, cycle position)` once past the prefix. Terminates
+/// within `prefix + (num_configs + 1)² · cycle` rounds; in practice the
+/// joint walk closes orders of magnitude earlier (for the basic walk,
+/// within two Euler periods per cycle slot).
+pub fn decide_pair_scheduled(
+    t: &Tree,
+    fsa: &Fsa,
+    a: NodeId,
+    b: NodeId,
+    sched: &Schedule,
+) -> ScheduleDecision {
+    if a == b {
+        return ScheduleDecision {
+            verdict: ScheduleVerdict::Meets { round: 0 },
+            crossing_rounds: Vec::new(),
+        };
+    }
+    let p = sched.prefix_len();
+    let c = sched.cycle_len();
+    let mut cfg_a: Option<AgentCfg> = None;
+    let mut cfg_b: Option<AgentCfg> = None;
+    let (mut pos_a, mut pos_b) = (a, b);
+    let mut crossing_rounds = Vec::new();
+    type JointKey = (Option<AgentCfg>, Option<AgentCfg>, u64);
+    let mut seen: HashMap<JointKey, u64> = HashMap::new();
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        let (on_a, on_b) = sched.active(round);
+        let (prev_a, prev_b) = (pos_a, pos_b);
+        if on_a {
+            let next = step_opt(t, fsa, a, cfg_a);
+            cfg_a = Some(next);
+            pos_a = next.node;
+        }
+        if on_b {
+            let next = step_opt(t, fsa, b, cfg_b);
+            cfg_b = Some(next);
+            pos_b = next.node;
+        }
+        if pos_a == prev_b && pos_b == prev_a && pos_a != pos_b {
+            crossing_rounds.push(round);
+        }
+        if pos_a == pos_b {
+            return ScheduleDecision { verdict: ScheduleVerdict::Meets { round }, crossing_rounds };
+        }
+        if round > p {
+            let cycle_idx = (round - 1 - p) % c;
+            if let Some(&entry_round) = seen.get(&(cfg_a, cfg_b, cycle_idx)) {
+                let lasso = ScheduleLasso {
+                    stem: entry_round,
+                    period: round - entry_round,
+                    at_cycle: (cfg_a, cfg_b),
+                };
+                crossing_rounds.retain(|&r| r <= lasso.stem + lasso.period);
+                return ScheduleDecision {
+                    verdict: ScheduleVerdict::NeverMeets { lasso },
+                    crossing_rounds,
+                };
+            }
+            seen.insert((cfg_a, cfg_b, cycle_idx), round);
+        }
+    }
+}
+
+/// The universal verdict over a finite *class* of schedules — the
+/// schedule-axis sibling of [`worst_case_delay`]: where that quantifier
+/// folds the infinitely many delays onto finitely many residue classes,
+/// this one takes the class extensionally (schedules are already the
+/// general object; callers pick the family to quantify over, e.g. every
+/// `intermittent(p, φ)` with `p ≤ P`).
+#[derive(Debug, Clone)]
+pub enum ScheduleWorstCase {
+    /// Rendezvous under every schedule in the class; `worst_index` /
+    /// `worst_round` locate the slowest one (its full decision carried
+    /// for crossing bookkeeping).
+    AllMeet { worst_index: usize, worst_round: u64, decision: ScheduleDecision },
+    /// `class[index]` defeats the pair; `decision` carries the
+    /// certificate for the first defeating schedule.
+    Defeated { index: usize, decision: ScheduleDecision },
+}
+
+impl ScheduleWorstCase {
+    pub fn all_meet(&self) -> bool {
+        matches!(self, ScheduleWorstCase::AllMeet { .. })
+    }
+}
+
+/// Decides every schedule in `class` for `(tree, pair, automaton)`; the
+/// first `NeverMeets` short-circuits as a defeat. The class must be
+/// non-empty.
+pub fn worst_case_schedule(
+    t: &Tree,
+    fsa: &Fsa,
+    a: NodeId,
+    b: NodeId,
+    class: &[Schedule],
+) -> ScheduleWorstCase {
+    assert!(!class.is_empty(), "schedule class must be non-empty");
+    let mut worst: Option<(u64, usize, ScheduleDecision)> = None;
+    for (index, sched) in class.iter().enumerate() {
+        let decision = decide_pair_scheduled(t, fsa, a, b, sched);
+        match decision.verdict {
+            ScheduleVerdict::Meets { round } => {
+                if worst.as_ref().is_none_or(|(r, _, _)| round > *r) {
+                    worst = Some((round, index, decision));
+                }
+            }
+            ScheduleVerdict::NeverMeets { .. } => {
+                return ScheduleWorstCase::Defeated { index, decision };
+            }
+        }
+    }
+    let (worst_round, worst_index, decision) = worst.expect("non-empty class");
+    ScheduleWorstCase::AllMeet { worst_index, worst_round, decision }
+}
+
+/// Independently re-checks a [`ScheduleLasso`] certificate by naive
+/// scheduled stepping: simulates `stem + period` rounds under the
+/// schedule, asserting (1) the structural claims — the stem lies past the
+/// prefix and the period is a multiple of the cycle length, without which
+/// a recurrence would prove nothing; (2) no co-location at any round
+/// `0..=stem + period`; (3) the joint configuration after round `stem`
+/// equals `at_cycle` and recurs after round `stem + period`.
+pub fn verify_schedule_lasso(
+    t: &Tree,
+    fsa: &Fsa,
+    a: NodeId,
+    b: NodeId,
+    sched: &Schedule,
+    lasso: &ScheduleLasso,
+) -> bool {
+    if a == b || lasso.period == 0 {
+        return false;
+    }
+    if lasso.stem <= sched.prefix_len() || !lasso.period.is_multiple_of(sched.cycle_len()) {
+        return false;
+    }
+    let mut cfg_a: Option<AgentCfg> = None;
+    let mut cfg_b: Option<AgentCfg> = None;
+    let (mut pos_a, mut pos_b) = (a, b);
+    let mut at_stem: Option<(Option<AgentCfg>, Option<AgentCfg>)> = None;
+    for round in 1..=lasso.stem + lasso.period {
+        let (on_a, on_b) = sched.active(round);
+        if on_a {
+            let next = step_opt(t, fsa, a, cfg_a);
+            cfg_a = Some(next);
+            pos_a = next.node;
+        }
+        if on_b {
+            let next = step_opt(t, fsa, b, cfg_b);
+            cfg_b = Some(next);
+            pos_b = next.node;
+        }
+        if pos_a == pos_b {
+            return false; // they meet — the certificate is bogus
+        }
+        if round == lasso.stem {
+            at_stem = Some((cfg_a, cfg_b));
+        }
+    }
+    at_stem == Some(lasso.at_cycle) && (cfg_a, cfg_b) == lasso.at_cycle
+}
+
 /// Independently re-checks a [`Lasso`] certificate by naive stepping:
 /// simulates `stem + period` rounds under start delay `delay`, asserting
 /// (1) no co-location at any round `0..=stem + period`, (2) the joint
@@ -438,7 +704,7 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use rvz_sim::{run_pair, Outcome, PairConfig};
+    use rvz_sim::{run_pair, Outcome, PairConfig, Schedule};
     use rvz_trees::generators::{colored_line, line, random_tree, spider, star};
 
     fn bw(t: &Tree) -> Fsa {
@@ -599,6 +865,161 @@ mod tests {
                 assert!(verify_lasso(&t, &fsa, 0, 1, delay, decision.lasso().unwrap()));
             }
             WorstCase::AllMeet { .. } => panic!("the single edge defeats the basic walk"),
+        }
+    }
+
+    #[test]
+    fn scheduled_decider_agrees_with_scheduled_simulation() {
+        use rvz_sim::run_pair_scheduled;
+        let schedules = [
+            Schedule::simultaneous(),
+            Schedule::start_delay(2),
+            Schedule::intermittent(2, 0),
+            Schedule::intermittent(3, 1),
+            Schedule::crash_after(3),
+            Schedule::adversarial(0xD0_0D, 5, 4),
+        ];
+        let mut rng = StdRng::seed_from_u64(1013);
+        for trial in 0..12 {
+            let t = random_tree(3 + (trial % 6), &mut rng);
+            let n = t.num_nodes() as NodeId;
+            for fsa in [bw(&t), Fsa::random(1 + trial % 4, t.max_degree().max(1), 0.3, &mut rng)] {
+                for sched in &schedules {
+                    for (a, b) in [(0, n - 1), (n - 1, 0), (0, n / 2)] {
+                        if a == b {
+                            continue;
+                        }
+                        let decision = decide_pair_scheduled(&t, &fsa, a, b, sched);
+                        if let Some(lasso) = decision.lasso() {
+                            assert!(
+                                verify_schedule_lasso(&t, &fsa, a, b, sched, lasso),
+                                "lasso failed re-verification: {sched:?} ({a},{b})"
+                            );
+                        }
+                        let budget = 50_000u64;
+                        let mut x = fsa.runner();
+                        let mut y = fsa.runner();
+                        let run =
+                            run_pair_scheduled(&t, a, b, &mut x, &mut y, sched, budget, false);
+                        match run.outcome {
+                            Outcome::Met { round, .. } => {
+                                assert_eq!(decision.round(), Some(round), "{sched:?} ({a},{b})");
+                                assert_eq!(decision.crossings_within(round), run.crossings);
+                            }
+                            Outcome::Timeout { .. } => {
+                                assert!(
+                                    decision.round().is_none_or(|r| r > budget),
+                                    "sim timed out before a decided meeting: {sched:?} ({a},{b})"
+                                );
+                                if !decision.met() {
+                                    assert_eq!(
+                                        decision.crossings_within(budget),
+                                        run.crossings,
+                                        "closed-form crossings diverged: {sched:?} ({a},{b})"
+                                    );
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn start_delay_schedules_match_the_fixed_delay_decider() {
+        let t = spider(3, 3);
+        let fsa = bw(&t);
+        let n = t.num_nodes() as NodeId;
+        for delay in [0u64, 1, 4, 11] {
+            for b in 1..n {
+                let fixed = decide_pair(&t, &fsa, 0, b, delay);
+                let sched = Schedule::start_delay(delay);
+                let scheduled = decide_pair_scheduled(&t, &fsa, 0, b, &sched);
+                assert_eq!(fixed.round(), scheduled.round(), "θ={delay} b={b}");
+                for budget in [10u64, 100, 1_000_000_007] {
+                    if !fixed.met() {
+                        assert_eq!(
+                            fixed.crossings_within(budget),
+                            scheduled.crossings_within(budget),
+                            "θ={delay} b={b} budget={budget}"
+                        );
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn intermittence_breaks_the_shuttle_parity() {
+        // The single-edge shuttle never meets simultaneously (parity), but
+        // slowing one agent to half speed breaks the parity invariant: a
+        // round in which only A moves lands it on the frozen B.
+        let t = colored_line(2, 0);
+        let fsa = bw(&t);
+        let sim = decide_pair_scheduled(&t, &fsa, 0, 1, &Schedule::simultaneous());
+        assert!(!sim.met(), "the simultaneous shuttle crosses forever");
+        let half = decide_pair_scheduled(&t, &fsa, 0, 1, &Schedule::intermittent(2, 0));
+        assert_eq!(half.round(), Some(2), "A's solo round lands on the frozen B");
+    }
+
+    #[test]
+    fn tampered_schedule_lassos_are_rejected() {
+        let t = colored_line(2, 0);
+        let fsa = bw(&t);
+        // The real shuttle: a moving never-meets certificate.
+        let sim = Schedule::simultaneous();
+        let d = decide_pair_scheduled(&t, &fsa, 0, 1, &sim);
+        let good = *d.lasso().expect("two walkers on one edge never meet");
+        assert!(verify_schedule_lasso(&t, &fsa, 0, 1, &sim, &good));
+        let mut bad = good;
+        bad.period += 1; // recurrence no longer holds at the claimed round
+        assert!(!verify_schedule_lasso(&t, &fsa, 0, 1, &sim, &bad));
+        let mut shifted = good;
+        shifted.stem = 0; // structurally invalid: inside the (empty) prefix
+        assert!(!verify_schedule_lasso(&t, &fsa, 0, 1, &sim, &shifted));
+        let mut wrong_cfg = good;
+        wrong_cfg.at_cycle = (None, good.at_cycle.1); // claims A never started
+        assert!(!verify_schedule_lasso(&t, &fsa, 0, 1, &sim, &wrong_cfg));
+        // A frozen 2-cycle: the certified period must stay a multiple of
+        // the cycle length, or the cycle-position recurrence proves
+        // nothing — the verifier rejects an odd period structurally.
+        let frozen = Schedule::new(Vec::new(), vec![(false, false), (false, false)]);
+        let d2 = decide_pair_scheduled(&t, &fsa, 0, 1, &frozen);
+        let good2 = *d2.lasso().expect("frozen agents at distinct starts never meet");
+        assert!(good2.period.is_multiple_of(2));
+        assert!(verify_schedule_lasso(&t, &fsa, 0, 1, &frozen, &good2));
+        let mut odd = good2;
+        odd.period += 1;
+        assert!(!verify_schedule_lasso(&t, &fsa, 0, 1, &frozen, &odd));
+    }
+
+    #[test]
+    fn worst_case_schedule_quantifies_over_the_class() {
+        let t = line(9);
+        let fsa = bw(&t);
+        // θ = 1 defeats the basic walk on every feasible pair (the e9
+        // certified result), so a class containing it is always defeated…
+        let class = [Schedule::simultaneous(), Schedule::start_delay(1)];
+        match worst_case_schedule(&t, &fsa, 0, 5, &class) {
+            ScheduleWorstCase::Defeated { index, decision } => {
+                assert!(index <= 1);
+                let lasso = decision.lasso().expect("defeat carries a lasso");
+                assert!(verify_schedule_lasso(&t, &fsa, 0, 5, &class[index], lasso));
+            }
+            ScheduleWorstCase::AllMeet { .. } => panic!("θ=1 must defeat the basic walk"),
+        }
+        // …while a class of meeting scenarios reports the slowest one:
+        // with B crashed at its start, A's endpoint walk needs exactly 5
+        // rounds to step onto node 5.
+        let class = [Schedule::crash_after(0)];
+        match worst_case_schedule(&t, &fsa, 0, 5, &class) {
+            ScheduleWorstCase::AllMeet { worst_index, worst_round, ref decision } => {
+                assert_eq!(worst_index, 0);
+                assert_eq!(worst_round, 5);
+                assert_eq!(decision.round(), Some(5));
+            }
+            ScheduleWorstCase::Defeated { .. } => panic!("a parked agent is met at home"),
         }
     }
 

@@ -18,8 +18,11 @@
 //!   (boundedness vs drift classification, trajectory envelopes);
 //! * [`mod@decide`] — the exact rendezvous decider over the joint
 //!   configuration graph: budget-free `Meets`/`NeverMeets` verdicts with
-//!   lasso certificates, and the ∀-delay quantifier
-//!   [`decide::worst_case_delay`].
+//!   lasso certificates, the ∀-delay quantifier
+//!   [`decide::worst_case_delay`], and the activation-schedule extension
+//!   ([`decide::decide_pair_scheduled`] — the product configuration grows
+//!   the schedule's cycle position; [`decide::worst_case_schedule`]
+//!   quantifies over a schedule class).
 //!
 //! Combined with [`rvz_agent::compile`], the Theorem 3.1 adversary can be
 //! pointed at *our own* (capped) upper-bound agents — the end-to-end
@@ -33,7 +36,9 @@ pub mod side_trees;
 pub mod sync_attack;
 
 pub use decide::{
-    decide_pair, verify_lasso, worst_case_delay, Decision, Lasso, Verdict, WorstCase,
+    decide_pair, decide_pair_scheduled, verify_lasso, verify_schedule_lasso, worst_case_delay,
+    worst_case_schedule, Decision, Lasso, ScheduleDecision, ScheduleLasso, ScheduleVerdict,
+    ScheduleWorstCase, Verdict, WorstCase,
 };
 pub use delay_attack::{delay_attack, Attack, AttackError, AttackKind};
 pub use side_trees::{side_tree_attack, SideTreeAttack, SideTreeError};

@@ -2,18 +2,26 @@
 //!
 //! The synchronous-round simulator of the paper's §2.1 model: one or two
 //! identical agents walk an anonymous port-labeled tree; the adversary
-//! chooses the port labeling, the initial positions and (in the
-//! arbitrary-delay scenario) the start delay θ. Rendezvous is *being at the
-//! same node at the end of the same round* — crossing inside an edge does
-//! not count (Lemma 4.8 depends on this), though crossings are detected and
-//! reported for the lower-bound instrumentation.
+//! chooses the port labeling, the initial positions and *when the agents
+//! run* — the start delay θ of the arbitrary-delay scenario, or a full
+//! eventually-periodic activation [`Schedule`] (per-round delay faults à
+//! la Chalopin et al.). Rendezvous is *being at the same node at the end
+//! of the same round* — crossing inside an edge does not count (Lemma 4.8
+//! depends on this), though crossings are detected and reported for the
+//! lower-bound instrumentation.
 
 pub mod multi;
 pub mod runner;
+pub mod schedule;
 pub mod trace;
 
 pub use multi::{run_multi, MultiConfig, MultiOutcome, MultiRun};
 pub use runner::{
-    run_pair, run_pair_fsa, run_single, Cursor, Outcome, PairConfig, PairRun, SingleRun,
+    run_pair, run_pair_fsa, run_pair_scheduled, run_pair_scheduled_fsa, run_single, Cursor,
+    Outcome, PairConfig, PairRun, SingleRun,
 };
-pub use trace::{delay_scan, replay_pair, Replay, TraceRecorder, Trajectory};
+pub use schedule::{ActivationIndex, Schedule};
+pub use trace::{
+    delay_scan, replay_pair, replay_pair_scheduled, schedule_scan, Replay, TraceRecorder,
+    Trajectory,
+};

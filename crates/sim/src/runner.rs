@@ -1,5 +1,6 @@
 //! Single- and two-agent synchronous execution.
 
+use crate::schedule::Schedule;
 use rvz_agent::model::{Action, Agent, Obs};
 use rvz_trees::{NodeId, Port, Tree};
 
@@ -167,11 +168,85 @@ pub fn run_pair_fsa<A: Agent + ?Sized, B: Agent + ?Sized>(
     agent_b: &mut B,
     cfg: PairConfig,
 ) -> PairRun {
+    // The start-delay activation pattern as a closure: A from round 1, B
+    // from round delay+1. Inlines into the shared core loop, compiling to
+    // the same per-round comparison the pre-schedule loop ran.
+    run_pair_core(t, start_a, start_b, agent_a, agent_b, cfg.max_rounds, cfg.record_traces, |r| {
+        (true, r > cfg.delay)
+    })
+}
+
+/// Runs two agents under an arbitrary activation [`Schedule`] until they
+/// meet or the budget runs out. Dyn-dispatch wrapper over
+/// [`run_pair_scheduled_fsa`], mirroring [`run_pair`] over
+/// [`run_pair_fsa`].
+///
+/// Frozen semantics: an agent whose flag is off for a round neither
+/// observes nor acts — its cursor (node *and* entry port) is untouched,
+/// so its k-th activation sees exactly what it would see in an
+/// uninterrupted run. [`Schedule::start_delay`]`(θ)` therefore reproduces
+/// [`run_pair`] with `cfg.delay = θ` bit for bit, and a meeting can
+/// happen in a round in which neither agent was activated only at round 0
+/// (identical starts).
+pub fn run_pair_scheduled(
+    t: &Tree,
+    start_a: NodeId,
+    start_b: NodeId,
+    agent_a: &mut dyn Agent,
+    agent_b: &mut dyn Agent,
+    schedule: &Schedule,
+    max_rounds: u64,
+    record_traces: bool,
+) -> PairRun {
+    run_pair_scheduled_fsa(
+        t,
+        start_a,
+        start_b,
+        agent_a,
+        agent_b,
+        schedule,
+        max_rounds,
+        record_traces,
+    )
+}
+
+/// The monomorphic scheduled fast path; see [`run_pair_scheduled`] for
+/// the activation semantics.
+#[allow(clippy::too_many_arguments)]
+pub fn run_pair_scheduled_fsa<A: Agent + ?Sized, B: Agent + ?Sized>(
+    t: &Tree,
+    start_a: NodeId,
+    start_b: NodeId,
+    agent_a: &mut A,
+    agent_b: &mut B,
+    schedule: &Schedule,
+    max_rounds: u64,
+    record_traces: bool,
+) -> PairRun {
+    run_pair_core(t, start_a, start_b, agent_a, agent_b, max_rounds, record_traces, |r| {
+        schedule.active(r)
+    })
+}
+
+/// The shared two-agent round loop: `active(round)` says which agents are
+/// activated in each round (1-based). Every entry point above is a thin
+/// activation-pattern wrapper over this.
+#[allow(clippy::too_many_arguments)]
+fn run_pair_core<A: Agent + ?Sized, B: Agent + ?Sized>(
+    t: &Tree,
+    start_a: NodeId,
+    start_b: NodeId,
+    agent_a: &mut A,
+    agent_b: &mut B,
+    max_rounds: u64,
+    record_traces: bool,
+    mut active: impl FnMut(u64) -> (bool, bool),
+) -> PairRun {
     let mut a = Cursor::new(start_a);
     let mut b = Cursor::new(start_b);
     let mut crossings = 0u64;
-    let mut trace_a = cfg.record_traces.then(|| vec![a.node]);
-    let mut trace_b = cfg.record_traces.then(|| vec![b.node]);
+    let mut trace_a = record_traces.then(|| vec![a.node]);
+    let mut trace_b = record_traces.then(|| vec![b.node]);
 
     let finish = |outcome: Outcome,
                   a: Cursor,
@@ -191,13 +266,15 @@ pub fn run_pair_fsa<A: Agent + ?Sized, B: Agent + ?Sized>(
         return finish(Outcome::Met { round: 0, node: a.node }, a, b, 0, trace_a, trace_b);
     }
 
-    for round in 1..=cfg.max_rounds {
+    for round in 1..=max_rounds {
         let prev_a = a.node;
         let prev_b = b.node;
-        // Agent A is active from round 1; B from round delay+1.
-        let act_a = agent_a.act(a.obs(t));
-        a.apply(t, act_a);
-        if round > cfg.delay {
+        let (on_a, on_b) = active(round);
+        if on_a {
+            let act_a = agent_a.act(a.obs(t));
+            a.apply(t, act_a);
+        }
+        if on_b {
             let act_b = agent_b.act(b.obs(t));
             b.apply(t, act_b);
         }
@@ -214,7 +291,7 @@ pub fn run_pair_fsa<A: Agent + ?Sized, B: Agent + ?Sized>(
             return finish(Outcome::Met { round, node: a.node }, a, b, crossings, trace_a, trace_b);
         }
     }
-    finish(Outcome::Timeout { rounds: cfg.max_rounds }, a, b, crossings, trace_a, trace_b)
+    finish(Outcome::Timeout { rounds: max_rounds }, a, b, crossings, trace_a, trace_b)
 }
 
 #[cfg(test)]
@@ -342,6 +419,78 @@ mod tests {
         let tb = run.trace_b.unwrap();
         assert!(tb[..8].iter().all(|&v| v == 20), "parked through the delay");
         assert_ne!(tb[8], 20, "first move in round 8");
+    }
+
+    #[test]
+    fn start_delay_schedule_reproduces_the_legacy_delay_path() {
+        let t = line(11);
+        for delay in [0u64, 1, 3, 9] {
+            for (a, b) in [(0u32, 7u32), (2, 10)] {
+                let cfg = PairConfig { delay, max_rounds: 80, record_traces: true };
+                let mut x = BasicWalker;
+                let mut y = BasicWalker;
+                let legacy = run_pair(&t, a, b, &mut x, &mut y, cfg);
+                let sched = Schedule::start_delay(delay);
+                let mut x = BasicWalker;
+                let mut y = BasicWalker;
+                let scheduled = run_pair_scheduled(&t, a, b, &mut x, &mut y, &sched, 80, true);
+                assert_eq!(scheduled.outcome, legacy.outcome, "θ={delay} ({a},{b})");
+                assert_eq!(scheduled.crossings, legacy.crossings);
+                assert_eq!(scheduled.final_a, legacy.final_a);
+                assert_eq!(scheduled.final_b, legacy.final_b);
+                assert_eq!(scheduled.trace_a, legacy.trace_a);
+                assert_eq!(scheduled.trace_b, legacy.trace_b);
+            }
+        }
+    }
+
+    #[test]
+    fn frozen_agent_keeps_cursor_and_perceives_nothing() {
+        // Under intermittent(2, 1) agent B acts only in even rounds; its
+        // activation count after r rounds is ⌊r/2⌋, and each activation
+        // must see the observation of an uninterrupted run (the frozen
+        // rounds are invisible to it).
+        struct Probe {
+            seen: Vec<Obs>,
+        }
+        impl Agent for Probe {
+            fn act(&mut self, obs: Obs) -> Action {
+                self.seen.push(obs);
+                Action::Move(bw_exit(obs.entry, obs.degree))
+            }
+            fn memory_bits(&self) -> u64 {
+                0
+            }
+        }
+        let t = line(16);
+        let sched = Schedule::intermittent(2, 1);
+        let mut a = Sitter;
+        let mut b = Probe { seen: Vec::new() };
+        let run = run_pair_scheduled(&t, 0, 15, &mut a, &mut b, &sched, 9, true);
+        assert!(!run.outcome.met());
+        assert_eq!(b.seen.len(), 4, "active in rounds 2, 4, 6, 8");
+        // The frozen agent's observations are the uninterrupted walk's.
+        let mut solo = Probe { seen: Vec::new() };
+        run_single(&t, 15, &mut solo, 4, false);
+        assert_eq!(b.seen, solo.seen[..4]);
+        // Its trace holds each position for two rounds.
+        let tb = run.trace_b.unwrap();
+        assert_eq!(tb, vec![15, 15, 14, 14, 13, 13, 12, 12, 11, 11]);
+        // Final cursor: last activation (round 8) moved it, so the entry
+        // port is the one that activation set, despite round 9 freezing.
+        assert_eq!(run.final_b.node, 11);
+        assert!(run.final_b.entry.is_some(), "frozen cursor keeps its entry port");
+    }
+
+    #[test]
+    fn crashed_agent_is_met_where_it_stopped() {
+        let t = line(9);
+        // B walks 2 rounds toward A, crashes at node 6; A's walk gets there.
+        let sched = Schedule::crash_after(2);
+        let mut a = BasicWalker;
+        let mut b = BasicWalker;
+        let run = run_pair_scheduled(&t, 0, 8, &mut a, &mut b, &sched, 50, false);
+        assert_eq!(run.outcome, Outcome::Met { round: 6, node: 6 });
     }
 
     #[test]

@@ -1,0 +1,382 @@
+//! Eventually-periodic activation schedules — the adversary's full power
+//! over *when* agents run.
+//!
+//! The paper's arbitrary-delay scenario gives the adversary one knob: a
+//! start delay θ that holds agent B at home for the first θ rounds. The
+//! delay-fault literature (Chalopin et al., *Rendezvous in Networks in
+//! Spite of Delay Faults*) generalizes the knob to per-round faults: in
+//! every round the adversary decides, per agent, whether that agent is
+//! *activated* (observes and acts) or *frozen* (its cursor — node and
+//! entry port — is untouched and it perceives nothing). A [`Schedule`]
+//! captures the eventually-periodic fragment of that power: explicit
+//! per-round flags for a finite prefix, then a cycle repeated forever.
+//! Eventual periodicity is what keeps every downstream question decidable
+//! — the exact decider extends its product construction by the cycle
+//! position (`rvz_lowerbounds::decide::decide_pair_scheduled`), and the
+//! trace-replay engine answers schedule cells against unchanged solo
+//! recordings ([`crate::trace::replay_pair_scheduled`]).
+//!
+//! The frozen semantics is chosen so that an agent's trajectory *as a
+//! function of its activation count* is schedule-independent: the k-th
+//! activation of a deterministic agent sees exactly the observation it
+//! would see in an uninterrupted solo run. That invariant is what lets
+//! one [`crate::trace::Trajectory`] recording serve every schedule
+//! ([`ActivationIndex`] maps global rounds to activation counts and
+//! back), and it makes [`Schedule::start_delay`] literally the legacy
+//! scenario: a prefix of `(true, false)` rounds, then both agents forever.
+//!
+//! Round indices are 1-based throughout, matching the simulator: round 0
+//! is the initial placement (before any activation), and
+//! [`Schedule::active`]`(r)` answers for rounds `r ≥ 1`.
+
+/// An eventually-periodic activation schedule for a two-agent run: which
+/// agents the adversary activates each round. Entry `(a, b)` activates
+/// agent A iff `a` and agent B iff `b`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Schedule {
+    /// Activation flags for rounds `1..=prefix.len()`.
+    pub prefix: Vec<(bool, bool)>,
+    /// Flags repeated forever after the prefix; never empty.
+    pub cycle: Vec<(bool, bool)>,
+}
+
+impl Schedule {
+    /// Materialization cap for the constructors that unroll a round count
+    /// into explicit prefix entries ([`Schedule::start_delay`],
+    /// [`Schedule::crash_after`]). Delays beyond it have no schedule form
+    /// — use the compact `PairConfig::delayed` path, which carries θ as a
+    /// single integer.
+    pub const MAX_MATERIALIZED_PREFIX: u64 = 1 << 22;
+
+    /// A schedule from explicit parts. The cycle must be non-empty (the
+    /// prefix may be).
+    pub fn new(prefix: Vec<(bool, bool)>, cycle: Vec<(bool, bool)>) -> Self {
+        assert!(!cycle.is_empty(), "schedule cycle must be non-empty");
+        Schedule { prefix, cycle }
+    }
+
+    /// Both agents every round — the simultaneous-start scenario.
+    pub fn simultaneous() -> Self {
+        Schedule::new(Vec::new(), vec![(true, true)])
+    }
+
+    /// The legacy start-delay scenario as a schedule: agent A runs from
+    /// round 1, agent B from round `theta + 1`.
+    pub fn start_delay(theta: u64) -> Self {
+        assert!(
+            theta <= Self::MAX_MATERIALIZED_PREFIX,
+            "start_delay({theta}) would materialize a {theta}-entry prefix; \
+             use PairConfig::delayed for delays past MAX_MATERIALIZED_PREFIX"
+        );
+        Schedule::new(vec![(true, false); theta as usize], vec![(true, true)])
+    }
+
+    /// Agent A every round; agent B only in rounds `r` with
+    /// `(r - 1) mod period == phase` — the adversary slows one agent to a
+    /// `1/period` duty cycle. `intermittent(1, 0)` is
+    /// [`Schedule::simultaneous`].
+    pub fn intermittent(period: u64, phase: u64) -> Self {
+        assert!(period >= 1, "intermittent period must be at least 1");
+        assert!(phase < period, "intermittent phase must be below the period");
+        Schedule::new(Vec::new(), (0..period).map(|i| (true, i == phase)).collect())
+    }
+
+    /// Both agents for `rounds` rounds, then agent B crashes (is never
+    /// activated again) while A keeps running — the crash-fault scenario.
+    pub fn crash_after(rounds: u64) -> Self {
+        assert!(
+            rounds <= Self::MAX_MATERIALIZED_PREFIX,
+            "crash_after({rounds}) would materialize a {rounds}-entry prefix"
+        );
+        Schedule::new(vec![(true, true); rounds as usize], vec![(true, false)])
+    }
+
+    /// A seeded adversarial sample: uniformly random flags over a prefix
+    /// of length `≤ max_prefix` and a cycle of length `1..=max_cycle`,
+    /// deterministic in `seed`. A cycle that activates nobody is patched
+    /// to `(true, true)` in its first slot so the sampled run cannot
+    /// freeze forever (the all-frozen tail is a legal but trivial
+    /// adversary — every pair with distinct starts never meets).
+    pub fn adversarial(seed: u64, max_prefix: usize, max_cycle: usize) -> Self {
+        assert!(max_cycle >= 1, "cycle needs at least one slot to sample");
+        let mut state = seed;
+        let mut next = move || {
+            // splitmix64: the same deterministic stream the sweep's
+            // per-cell seeding uses; no RNG dependency.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        };
+        let flag = |bits: u64| (bits & 1 != 0, bits & 2 != 0);
+        let p = (next() % (max_prefix as u64 + 1)) as usize;
+        let c = (1 + next() % max_cycle as u64) as usize;
+        let prefix = (0..p).map(|_| flag(next())).collect();
+        let mut cycle: Vec<(bool, bool)> = (0..c).map(|_| flag(next())).collect();
+        if cycle.iter().all(|&(a, b)| !a && !b) {
+            cycle[0] = (true, true);
+        }
+        Schedule::new(prefix, cycle)
+    }
+
+    pub fn prefix_len(&self) -> u64 {
+        self.prefix.len() as u64
+    }
+
+    pub fn cycle_len(&self) -> u64 {
+        self.cycle.len() as u64
+    }
+
+    /// Activation flags for round `round ≥ 1`.
+    #[inline]
+    pub fn active(&self, round: u64) -> (bool, bool) {
+        debug_assert!(round >= 1, "round 0 is the initial placement, nobody acts");
+        let p = self.prefix.len() as u64;
+        if round <= p {
+            self.prefix[(round - 1) as usize]
+        } else {
+            self.cycle[((round - 1 - p) % self.cycle.len() as u64) as usize]
+        }
+    }
+
+    /// `Some(θ)` when this schedule is exactly the legacy start-delay
+    /// scenario (A-only for θ rounds, then both forever) — the special
+    /// case the θ-indexed fast paths answer without a schedule walk.
+    pub fn as_start_delay(&self) -> Option<u64> {
+        (self.cycle == [(true, true)] && self.prefix.iter().all(|&f| f == (true, false)))
+            .then_some(self.prefix.len() as u64)
+    }
+
+    /// Activation arithmetic for agent A.
+    pub fn index_a(&self) -> ActivationIndex {
+        ActivationIndex::new(self, false)
+    }
+
+    /// Activation arithmetic for agent B.
+    pub fn index_b(&self) -> ActivationIndex {
+        ActivationIndex::new(self, true)
+    }
+}
+
+/// One agent's activation arithmetic under a [`Schedule`]: cumulative
+/// activation counts over the prefix and one cycle, answering both
+/// directions of the round ↔ activation-count correspondence in
+/// O(log(prefix + cycle)). This is the "schedule-aware cursor
+/// advancement" the trace-replay merge runs on: a solo
+/// [`crate::trace::Trajectory`] is indexed by activation count, and the
+/// merge's global clock is rounds.
+#[derive(Debug, Clone)]
+pub struct ActivationIndex {
+    /// `prefix_cum[i]` = activations in rounds `1..=i`; length `p + 1`.
+    prefix_cum: Vec<u64>,
+    /// `cycle_cum[i]` = activations in the first `i` cycle slots; length
+    /// `c + 1`.
+    cycle_cum: Vec<u64>,
+}
+
+impl ActivationIndex {
+    fn new(s: &Schedule, second: bool) -> Self {
+        let pick = |f: (bool, bool)| if second { f.1 } else { f.0 };
+        let cum = |flags: &[(bool, bool)]| {
+            let mut v = Vec::with_capacity(flags.len() + 1);
+            v.push(0u64);
+            for &f in flags {
+                v.push(v.last().expect("seeded") + u64::from(pick(f)));
+            }
+            v
+        };
+        ActivationIndex { prefix_cum: cum(&s.prefix), cycle_cum: cum(&s.cycle) }
+    }
+
+    /// Activations per full cycle.
+    pub fn per_cycle(&self) -> u64 {
+        *self.cycle_cum.last().expect("cycle_cum seeded")
+    }
+
+    /// Number of activations in rounds `1..=round` (0 at round 0).
+    pub fn acts_at(&self, round: u64) -> u64 {
+        let p = (self.prefix_cum.len() - 1) as u64;
+        if round <= p {
+            return self.prefix_cum[round as usize];
+        }
+        let c = (self.cycle_cum.len() - 1) as u64;
+        let past = round - p;
+        self.prefix_cum[p as usize]
+            .saturating_add((past / c).saturating_mul(self.per_cycle()))
+            .saturating_add(self.cycle_cum[(past % c) as usize])
+    }
+
+    /// Global round of the `k`-th activation (`k ≥ 1`), or `None` when
+    /// the agent is activated fewer than `k` times ever (it crashed, or
+    /// the cycle never activates it).
+    pub fn round_of_act(&self, k: u64) -> Option<u64> {
+        debug_assert!(k >= 1, "activation counts are 1-based");
+        let p = (self.prefix_cum.len() - 1) as u64;
+        let in_prefix = self.prefix_cum[p as usize];
+        if k <= in_prefix {
+            return Some(self.prefix_cum.partition_point(|&v| v < k) as u64);
+        }
+        let per = self.per_cycle();
+        if per == 0 {
+            return None;
+        }
+        let c = (self.cycle_cum.len() - 1) as u64;
+        let rem = k - in_prefix; // ≥ 1
+        let full = (rem - 1) / per;
+        let within = rem - full * per; // 1..=per
+        let slot = self.cycle_cum.partition_point(|&v| v < within) as u64;
+        Some(p.saturating_add(full.saturating_mul(c)).saturating_add(slot))
+    }
+
+    /// Last global round at which the activation count is still below
+    /// `k + 1` — i.e. through which an agent frozen after its `k`-th
+    /// activation provably keeps its cursor. `u64::MAX` when activation
+    /// `k + 1` never happens.
+    pub fn frozen_through(&self, k: u64) -> u64 {
+        match self.round_of_act(k.saturating_add(1)) {
+            Some(r) => r - 1,
+            None => u64::MAX,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Brute-force activation count straight off `Schedule::active`.
+    fn brute_acts(s: &Schedule, second: bool, round: u64) -> u64 {
+        (1..=round)
+            .filter(|&r| {
+                let (a, b) = s.active(r);
+                if second {
+                    b
+                } else {
+                    a
+                }
+            })
+            .count() as u64
+    }
+
+    #[test]
+    fn constructors_have_the_advertised_shapes() {
+        assert_eq!(Schedule::simultaneous().as_start_delay(), Some(0));
+        assert_eq!(Schedule::start_delay(0), Schedule::simultaneous());
+        assert_eq!(Schedule::start_delay(3).as_start_delay(), Some(3));
+        assert_eq!(Schedule::intermittent(1, 0), Schedule::simultaneous());
+        assert_eq!(Schedule::intermittent(2, 1).as_start_delay(), None);
+        assert_eq!(Schedule::crash_after(4).as_start_delay(), None);
+        // intermittent activates B exactly once per period, at the phase.
+        let s = Schedule::intermittent(3, 1);
+        for r in 1..=12u64 {
+            assert_eq!(s.active(r), (true, (r - 1) % 3 == 1), "round {r}");
+        }
+        // crash_after freezes B from round rounds+1 on.
+        let s = Schedule::crash_after(2);
+        assert_eq!(s.active(2), (true, true));
+        assert_eq!(s.active(3), (true, false));
+        assert_eq!(s.active(1_000_000), (true, false));
+    }
+
+    #[test]
+    fn active_is_periodic_past_the_prefix() {
+        let s = Schedule::new(
+            vec![(false, true), (true, false)],
+            vec![(true, true), (false, false), (true, false)],
+        );
+        for r in 3..=40u64 {
+            assert_eq!(s.active(r), s.active(r + 3), "round {r}");
+        }
+        assert_eq!(s.active(1), (false, true));
+        assert_eq!(s.active(2), (true, false));
+    }
+
+    #[test]
+    fn activation_index_matches_brute_force_counting() {
+        let schedules = [
+            Schedule::simultaneous(),
+            Schedule::start_delay(5),
+            Schedule::intermittent(3, 2),
+            Schedule::crash_after(4),
+            Schedule::new(vec![(false, false); 3], vec![(true, false), (false, true)]),
+            Schedule::adversarial(0xFEED, 6, 5),
+        ];
+        for s in &schedules {
+            for (second, idx) in [(false, s.index_a()), (true, s.index_b())] {
+                for round in 0..=50u64 {
+                    assert_eq!(
+                        idx.acts_at(round),
+                        brute_acts(s, second, round),
+                        "{s:?} second={second} round={round}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn round_of_act_inverts_acts_at() {
+        let schedules = [
+            Schedule::start_delay(4),
+            Schedule::intermittent(4, 1),
+            Schedule::crash_after(3),
+            Schedule::adversarial(7, 5, 4),
+        ];
+        for s in &schedules {
+            for idx in [s.index_a(), s.index_b()] {
+                for k in 1..=30u64 {
+                    match idx.round_of_act(k) {
+                        Some(r) => {
+                            assert_eq!(idx.acts_at(r), k, "{s:?} k={k}: round {r}");
+                            assert_eq!(idx.acts_at(r - 1), k - 1, "{s:?} k={k}: activation round");
+                        }
+                        None => {
+                            // Bounded activations: the count plateaus.
+                            assert!(idx.acts_at(1 << 20) < k, "{s:?} k={k}");
+                        }
+                    }
+                }
+                // frozen_through is the round before the next activation.
+                for k in 0..=10u64 {
+                    let end = idx.frozen_through(k);
+                    if end != u64::MAX {
+                        assert_eq!(idx.acts_at(end), k);
+                        assert_eq!(idx.acts_at(end + 1), k + 1);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_agent_has_finitely_many_activations() {
+        let idx = Schedule::crash_after(3).index_b();
+        assert_eq!(idx.round_of_act(3), Some(3));
+        assert_eq!(idx.round_of_act(4), None);
+        assert_eq!(idx.frozen_through(3), u64::MAX);
+        assert_eq!(idx.acts_at(1 << 40), 3);
+    }
+
+    #[test]
+    fn adversarial_sampler_is_deterministic_and_live() {
+        let a = Schedule::adversarial(42, 8, 6);
+        let b = Schedule::adversarial(42, 8, 6);
+        assert_eq!(a, b, "same seed, same schedule");
+        for seed in 0..64u64 {
+            let s = Schedule::adversarial(seed, 8, 6);
+            assert!(!s.cycle.is_empty());
+            assert!(
+                s.cycle.iter().any(|&(a, b)| a || b),
+                "sampled cycle must activate someone (seed {seed})"
+            );
+            assert!(s.prefix.len() <= 8 && s.cycle.len() <= 6);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cycle must be non-empty")]
+    fn empty_cycles_are_rejected() {
+        let _ = Schedule::new(vec![(true, true)], Vec::new());
+    }
+}

@@ -38,6 +38,7 @@
 //! equivalence across random trees, starts, delays and agent variants.
 
 use crate::runner::{Cursor, Outcome, PairConfig, PairRun};
+use crate::schedule::{ActivationIndex, Schedule};
 use rvz_agent::model::Agent;
 use rvz_trees::{NodeId, Port, Tree};
 
@@ -405,10 +406,198 @@ pub fn delay_scan(
         .collect()
 }
 
+/// A trajectory viewed through a [`Schedule`]: the recording is indexed
+/// by *activation count* (the frozen semantics makes an agent's k-th
+/// activation schedule-independent), and the [`ActivationIndex`] converts
+/// the merge's global round clock into local activation counts — the
+/// schedule-aware generalization of the shift arithmetic in [`Lane`].
+struct SchedLane<'a> {
+    traj: &'a Trajectory,
+    idx: &'a ActivationIndex,
+    run_idx: usize,
+}
+
+impl<'a> SchedLane<'a> {
+    fn new(traj: &'a Trajectory, idx: &'a ActivationIndex) -> Self {
+        SchedLane { traj, idx, run_idx: 0 }
+    }
+
+    /// Node at global round `r` plus the last global round through which
+    /// that node provably persists (frozen rounds extend a run's span
+    /// past its activation-count end). `None` beyond the recorded horizon
+    /// of an open tail. Calls must be monotone in `r`.
+    fn locate(&mut self, r: u64) -> Option<(NodeId, u64)> {
+        let l = self.idx.acts_at(r);
+        if l == 0 {
+            return Some((self.traj.start, self.idx.frozen_through(0)));
+        }
+        if l > self.traj.rounds {
+            return self.traj.fixed.then(|| (self.traj.last_node(), u64::MAX));
+        }
+        let runs = &self.traj.runs;
+        while runs[self.run_idx].end < l {
+            self.run_idx += 1;
+        }
+        let run = runs[self.run_idx];
+        let end = if run.end == self.traj.rounds && self.traj.fixed {
+            u64::MAX
+        } else {
+            self.idx.frozen_through(run.end)
+        };
+        Some((run.node, end))
+    }
+}
+
+/// Final cursor of a scheduled agent at global round `r`: position and
+/// entry come from the cursor its latest activation left behind (frozen
+/// rounds change nothing, so the comparison runs on *local* activation
+/// counts, not global rounds).
+fn cursor_at_scheduled(t: &Tree, traj: &Trajectory, idx: &ActivationIndex, r: u64) -> Cursor {
+    let l = idx.acts_at(r);
+    let node = traj.position(l).expect("decided range");
+    let entry = if l == 0 {
+        None
+    } else {
+        let prev = traj.position(l - 1).expect("decided range");
+        if prev == node {
+            None
+        } else {
+            Some(entry_port_from(t, prev, node))
+        }
+    };
+    Cursor { node, entry }
+}
+
+/// Builds the [`PairRun`] for a decided scheduled merge ending at global
+/// round `r`.
+#[allow(clippy::too_many_arguments)]
+fn finish_scheduled(
+    t: &Tree,
+    ta: &Trajectory,
+    tb: &Trajectory,
+    (idx_a, idx_b): (&ActivationIndex, &ActivationIndex),
+    record_traces: bool,
+    outcome: Outcome,
+    r: u64,
+    crossings: u64,
+) -> PairRun {
+    let materialize = |traj: &Trajectory, idx: &ActivationIndex| {
+        (0..=r).map(|g| traj.position(idx.acts_at(g)).expect("decided range")).collect()
+    };
+    PairRun {
+        outcome,
+        crossings,
+        final_a: cursor_at_scheduled(t, ta, idx_a, r),
+        final_b: cursor_at_scheduled(t, tb, idx_b, r),
+        trace_a: record_traces.then(|| materialize(ta, idx_a)),
+        trace_b: record_traces.then(|| materialize(tb, idx_b)),
+    }
+}
+
+/// Decides a two-agent run under an arbitrary activation [`Schedule`]
+/// from recorded trajectories alone — no agent is stepped. Returns
+/// exactly what [`crate::run_pair_scheduled`] returns on the same
+/// instance, or [`Replay::NeedMore`] when a recording is too short
+/// (the reported counts are *activation* counts — exactly what
+/// [`TraceRecorder::record_to`] takes, since a solo recording advances
+/// one activation per recorded round).
+///
+/// This is why schedules ride on the unchanged trace store: the frozen
+/// semantics makes a solo trajectory a pure function of `(tree, start,
+/// agent)` indexed by activation count, so one recording answers every
+/// schedule — the merge only re-times it through the
+/// [`ActivationIndex`]es.
+pub fn replay_pair_scheduled(
+    t: &Tree,
+    ta: &Trajectory,
+    tb: &Trajectory,
+    schedule: &Schedule,
+    max_rounds: u64,
+    record_traces: bool,
+) -> Replay {
+    let idx_a = schedule.index_a();
+    let idx_b = schedule.index_b();
+    let idx = (&idx_a, &idx_b);
+    if ta.start == tb.start {
+        let outcome = Outcome::Met { round: 0, node: ta.start };
+        return Replay::Decided(finish_scheduled(t, ta, tb, idx, record_traces, outcome, 0, 0));
+    }
+    let mut lane_a = SchedLane::new(ta, &idx_a);
+    let mut lane_b = SchedLane::new(tb, &idx_b);
+    let mut prev_a = ta.start;
+    let mut prev_b = tb.start;
+    let mut crossings = 0u64;
+    let mut r = 0u64;
+    while r < max_rounds {
+        r += 1;
+        // As in [`replay_pair`]: a lane already decided through round r
+        // reports 0 — the caller must not re-step a sufficient recording.
+        let need = |r: u64| {
+            let lane = |idx: &ActivationIndex, traj: &Trajectory| {
+                let l = idx.acts_at(r);
+                if traj.decided_to(l) {
+                    0
+                } else {
+                    l
+                }
+            };
+            Replay::NeedMore { a_rounds: lane(&idx_a, ta), b_rounds: lane(&idx_b, tb) }
+        };
+        let Some((na, ea)) = lane_a.locate(r) else {
+            return need(r);
+        };
+        let Some((nb, eb)) = lane_b.locate(r) else {
+            return need(r);
+        };
+        if na == prev_b && nb == prev_a && na != nb {
+            crossings += 1;
+        }
+        if na == nb {
+            let outcome = Outcome::Met { round: r, node: na };
+            return Replay::Decided(finish_scheduled(
+                t,
+                ta,
+                tb,
+                idx,
+                record_traces,
+                outcome,
+                r,
+                crossings,
+            ));
+        }
+        prev_a = na;
+        prev_b = nb;
+        // Neither cursor changes through min(ea, eb): frozen agents and
+        // stay-runs alike produce no moves, hence no crossing and no
+        // meeting (unequal constant positions) — jump.
+        r = r.max(ea.min(eb).min(max_rounds));
+    }
+    let outcome = Outcome::Timeout { rounds: max_rounds };
+    Replay::Decided(finish_scheduled(t, ta, tb, idx, record_traces, outcome, max_rounds, crossings))
+}
+
+/// Answers an entire schedule column for one recorded pair: one
+/// [`replay_pair_scheduled`] verdict per `(schedule, max_rounds)` entry,
+/// in order — the schedule-axis sibling of [`delay_scan`], sharing the
+/// same two recordings across every schedule in the column.
+pub fn schedule_scan(
+    t: &Tree,
+    ta: &Trajectory,
+    tb: &Trajectory,
+    columns: &[(Schedule, u64)],
+) -> Vec<Replay> {
+    columns
+        .iter()
+        .map(|(schedule, max_rounds)| {
+            replay_pair_scheduled(t, ta, tb, schedule, *max_rounds, false)
+        })
+        .collect()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::runner::run_pair;
+    use crate::runner::{run_pair, run_pair_scheduled};
     use rvz_agent::model::{bw_exit, Action, Obs};
     use rvz_trees::generators::{line, spider, star};
 
@@ -564,6 +753,108 @@ mod tests {
         assert!(parked.is_fixed());
         assert_eq!(parked.first_visit(3), Some(0));
         assert_eq!(parked.first_visit(4), None, "a parked agent visits nothing else");
+    }
+
+    #[test]
+    fn scheduled_replay_matches_direct_scheduled_stepping() {
+        let schedules = [
+            Schedule::simultaneous(),
+            Schedule::start_delay(3),
+            Schedule::intermittent(2, 0),
+            Schedule::intermittent(3, 1),
+            Schedule::crash_after(2),
+            Schedule::adversarial(0xA11CE, 5, 4),
+        ];
+        for t in [line(9), spider(3, 3), star(6)] {
+            let n = t.num_nodes() as NodeId;
+            for sched in &schedules {
+                for (a, b) in [(0, n - 1), (1, n / 2), (n - 1, 0)] {
+                    if a == b {
+                        continue;
+                    }
+                    let budget = 64u64;
+                    let ta = record(&t, a, BasicWalker, budget);
+                    let tb = record(&t, b, BasicWalker, budget);
+                    let Replay::Decided(replayed) =
+                        replay_pair_scheduled(&t, &ta, &tb, sched, budget, true)
+                    else {
+                        panic!("a full-budget recording must decide");
+                    };
+                    let mut x = BasicWalker;
+                    let mut y = BasicWalker;
+                    let direct = run_pair_scheduled(&t, a, b, &mut x, &mut y, sched, budget, true);
+                    assert_eq!(replayed.outcome, direct.outcome, "{sched:?} ({a},{b})");
+                    assert_eq!(replayed.crossings, direct.crossings, "{sched:?} ({a},{b})");
+                    assert_eq!(replayed.final_a, direct.final_a, "{sched:?} ({a},{b})");
+                    assert_eq!(replayed.final_b, direct.final_b, "{sched:?} ({a},{b})");
+                    assert_eq!(replayed.trace_a, direct.trace_a, "{sched:?} ({a},{b})");
+                    assert_eq!(replayed.trace_b, direct.trace_b, "{sched:?} ({a},{b})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_replay_asks_for_activations_not_rounds() {
+        // Under intermittent(4, 0) agent B is activated once per 4 rounds:
+        // a short B recording must be grown by *activation* count, so the
+        // NeedMore figure is about a quarter of the round horizon.
+        let t = line(30);
+        let sched = Schedule::intermittent(4, 0);
+        let ta = record(&t, 0, BasicWalker, 200);
+        let tb = record(&t, 29, BasicWalker, 2);
+        match replay_pair_scheduled(&t, &ta, &tb, &sched, 200, false) {
+            Replay::NeedMore { a_rounds, b_rounds } => {
+                assert_eq!(a_rounds, 0, "A's recording is long enough");
+                assert!(b_rounds > 2 && b_rounds <= 50, "B grows by activations: {b_rounds}");
+            }
+            Replay::Decided(run) => {
+                panic!("2 recorded activations cannot decide 200 rounds: {:?}", run.outcome)
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_lane_settles_huge_budgets_from_the_schedule() {
+        // After B's crash both lanes are eventually constant (A is a
+        // halting walker): a billion-round budget must settle without the
+        // recordings covering it.
+        let t = spider(3, 4);
+        let ta = record(&t, 1, WalkThenHalt { moves: 2 }, 10);
+        let tb = record(&t, 9, BasicWalker, 8);
+        assert!(ta.is_fixed() && !tb.is_fixed());
+        let sched = Schedule::crash_after(5);
+        match replay_pair_scheduled(&t, &ta, &tb, &sched, 3_000_000_000, false) {
+            Replay::Decided(run) => match run.outcome {
+                Outcome::Met { .. } => {}
+                Outcome::Timeout { rounds } => assert_eq!(rounds, 3_000_000_000),
+            },
+            Replay::NeedMore { a_rounds, b_rounds } => {
+                panic!("crashed lane must decide, asked for ({a_rounds}, {b_rounds})")
+            }
+        }
+    }
+
+    #[test]
+    fn schedule_scan_shares_one_recording_across_the_column() {
+        let t = line(9);
+        let ta = record(&t, 0, BasicWalker, 120);
+        let tb = record(&t, 6, BasicWalker, 120);
+        let columns = [
+            (Schedule::simultaneous(), 100u64),
+            (Schedule::start_delay(1), 100),
+            (Schedule::intermittent(2, 0), 100),
+            (Schedule::crash_after(1), 100),
+        ];
+        let verdicts = schedule_scan(&t, &ta, &tb, &columns);
+        assert_eq!(verdicts.len(), columns.len());
+        for (v, (sched, budget)) in verdicts.iter().zip(&columns) {
+            let Replay::Decided(run) = v else { panic!("recorded horizon decides") };
+            let mut x = BasicWalker;
+            let mut y = BasicWalker;
+            let direct = run_pair_scheduled(&t, 0, 6, &mut x, &mut y, sched, *budget, false);
+            assert_eq!(run.outcome, direct.outcome, "{sched:?}");
+        }
     }
 
     #[test]

@@ -25,8 +25,9 @@ docs:
 
 # CI's differential job: three-executor agreement on e8 (replay ==
 # stepping to the byte; decide == replay modulo the `certified` flag),
-# then the e9 exhaustive certification with thread-invariance and
-# certificate re-verification gates.
+# the e9 exhaustive certification with thread-invariance and certificate
+# re-verification gates, then the e10 activation-schedule smoke (same
+# three-executor + thread gates on the schedule grid).
 differential:
     mkdir -p differential
     for ex in replay stepping decide; do \
@@ -48,12 +49,32 @@ differential:
     cmp differential/e9-certificates.json differential/e9-certificates-t1.json
     jq -e '[.rows[] | select(.certified | not)] | length == 0' differential/e9.json > /dev/null
     jq -e '[.certificates[] | select(.verified == false)] | length == 0' differential/e9-certificates.json > /dev/null
+    for ex in replay stepping decide; do \
+      cargo run --release --bin experiments -- \
+        --experiment e10 --sizes 5,6,7 --threads 2 \
+        --executor "$ex" --json "differential/e10-$ex.json"; \
+    done
+    cmp differential/e10-replay.json differential/e10-stepping.json
+    jq 'del(.rows[].certified)' differential/e10-replay.json > differential/e10-replay-stripped.json
+    jq 'del(.rows[].certified)' differential/e10-decide.json > differential/e10-decide-stripped.json
+    cmp differential/e10-replay-stripped.json differential/e10-decide-stripped.json
+    cargo run --release --bin experiments -- \
+      --experiment e10 --sizes 5,6,7 --threads 1 \
+      --executor decide --json differential/e10-t1.json
+    cmp differential/e10-decide.json differential/e10-t1.json
+    jq -e '[.rows[] | select(.certified | not)] | length == 0' differential/e10-decide.json > /dev/null
 
 # The exhaustive certification sweep on its own (table + artifacts).
 e9:
     cargo run --release --bin experiments -- \
       --experiment e9 --executor decide \
       --json e9.json --certificates e9-certificates.json
+
+# The activation-schedule sweep on its own (table + artifacts).
+e10:
+    cargo run --release --bin experiments -- \
+      --experiment e10 --executor decide \
+      --json e10.json --certificates e10-certificates.json
 
 bench:
     cargo bench --workspace

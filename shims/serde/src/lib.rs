@@ -267,6 +267,26 @@ mod tests {
     }
 
     #[test]
+    fn skip_serializing_if_omits_the_field_entirely() {
+        #[derive(Serialize)]
+        struct Row {
+            a: u64,
+            #[serde(skip_serializing_if = "Option::is_none")]
+            b: Option<String>,
+            c: bool,
+        }
+        let none = Row { a: 1, b: None, c: true }.to_json_value();
+        let Value::Object(fields) = &none else { panic!("object expected") };
+        assert_eq!(fields.len(), 2, "a skipped field must not appear, even as null");
+        assert!(none.get("b").is_none());
+        let some = Row { a: 1, b: Some("x".into()), c: true }.to_json_value();
+        let Value::Object(fields) = &some else { panic!("object expected") };
+        // Present values serialize in declaration order, between a and c.
+        assert_eq!(fields.iter().map(|(k, _)| k.as_str()).collect::<Vec<_>>(), ["a", "b", "c"]);
+        assert_eq!(some["b"].as_str(), Some("x"));
+    }
+
+    #[test]
     fn derive_serializes_named_structs() {
         #[derive(Serialize)]
         struct Row {

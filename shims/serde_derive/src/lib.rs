@@ -1,13 +1,15 @@
 //! Offline shim for `serde_derive` (see `shims/README.md`).
 //!
 //! Hand-rolled token parsing (no `syn`/`quote` available offline): supports
-//! `#[derive(Serialize)]` on non-generic structs with named fields, which
-//! is the entire surface the workspace uses. Anything else is a compile
-//! error with a pointed message rather than silent misbehavior.
+//! `#[derive(Serialize)]` on non-generic structs with named fields, plus
+//! the field attribute `#[serde(skip_serializing_if = "path")]` (the one
+//! knob the workspace uses to add optional fields without disturbing the
+//! serialized shape of existing rows). Anything else is a compile error
+//! with a pointed message rather than silent misbehavior.
 
 use proc_macro::{Delimiter, TokenStream, TokenTree};
 
-#[proc_macro_derive(Serialize)]
+#[proc_macro_derive(Serialize, attributes(serde))]
 pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let mut iter = input.into_iter().peekable();
 
@@ -34,7 +36,7 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
     let name = name.expect("serde shim: no `struct` item found");
 
     // The body must be a brace group of named fields; generics unsupported.
-    let mut fields: Option<Vec<String>> = None;
+    let mut fields: Option<Vec<(String, Option<String>)>> = None;
     for tt in iter {
         match tt {
             TokenTree::Punct(p) if p.as_char() == '<' => {
@@ -54,32 +56,79 @@ pub fn derive_serialize(input: TokenStream) -> TokenStream {
 
     let entries: String = fields
         .iter()
-        .map(|f| {
-            format!(
-                "(::std::string::String::from(\"{f}\"), \
-                 ::serde::Serialize::to_json_value(&self.{f})),"
-            )
+        .map(|(f, skip_if)| {
+            let push = format!(
+                "fields.push((::std::string::String::from(\"{f}\"), \
+                 ::serde::Serialize::to_json_value(&self.{f})));"
+            );
+            match skip_if {
+                None => push,
+                Some(pred) => format!("if !{pred}(&self.{f}) {{ {push} }}"),
+            }
         })
         .collect();
     let out = format!(
         "impl ::serde::Serialize for {name} {{\n\
              fn to_json_value(&self) -> ::serde::Value {{\n\
-                 ::serde::Value::Object(::std::vec![{entries}])\n\
+                 let mut fields: ::std::vec::Vec<(::std::string::String, ::serde::Value)> = \
+                     ::std::vec::Vec::new();\n\
+                 {entries}\n\
+                 ::serde::Value::Object(fields)\n\
              }}\n\
          }}"
     );
     out.parse().expect("serde shim: generated impl failed to parse")
 }
 
-/// Extracts field names from the token stream of a named-field struct body.
-fn parse_named_fields(body: TokenStream) -> Vec<String> {
+/// Reads a `#[serde(skip_serializing_if = "path")]` attribute body (the
+/// token stream inside the brackets); `None` for every other attribute.
+fn parse_serde_skip(attr: TokenStream) -> Option<String> {
+    let mut iter = attr.into_iter();
+    match iter.next() {
+        Some(TokenTree::Ident(id)) if id.to_string() == "serde" => {}
+        _ => return None,
+    }
+    let Some(TokenTree::Group(g)) = iter.next() else {
+        return None;
+    };
+    let mut inner = g.stream().into_iter();
+    loop {
+        match inner.next() {
+            None => return None,
+            Some(TokenTree::Ident(id)) if id.to_string() == "skip_serializing_if" => break,
+            Some(_) => {}
+        }
+    }
+    match (inner.next(), inner.next()) {
+        (Some(TokenTree::Punct(eq)), Some(TokenTree::Literal(lit))) if eq.as_char() == '=' => {
+            let s = lit.to_string();
+            let path = s.trim_matches('"').to_string();
+            assert!(
+                !path.is_empty() && s.starts_with('"') && s.ends_with('"'),
+                "serde shim: skip_serializing_if expects a quoted path"
+            );
+            Some(path)
+        }
+        _ => panic!("serde shim: malformed skip_serializing_if attribute"),
+    }
+}
+
+/// Extracts `(field name, skip_serializing_if predicate)` pairs from the
+/// token stream of a named-field struct body.
+fn parse_named_fields(body: TokenStream) -> Vec<(String, Option<String>)> {
     let mut out = Vec::new();
     let mut iter = body.into_iter().peekable();
     loop {
-        // Skip field attributes (doc comments arrive as `#[doc = "..."]`).
+        // Field attributes (doc comments arrive as `#[doc = "..."]`):
+        // remember a `skip_serializing_if` predicate, skip everything else.
+        let mut skip_if: Option<String> = None;
         while matches!(iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '#') {
             iter.next();
-            iter.next();
+            if let Some(TokenTree::Group(g)) = iter.next() {
+                if let Some(pred) = parse_serde_skip(g.stream()) {
+                    skip_if = Some(pred);
+                }
+            }
         }
         // Optional `pub` / `pub(...)`.
         if matches!(iter.peek(), Some(TokenTree::Ident(id)) if id.to_string() == "pub") {
@@ -93,7 +142,7 @@ fn parse_named_fields(body: TokenStream) -> Vec<String> {
         }
         match iter.next() {
             None => break,
-            Some(TokenTree::Ident(id)) => out.push(id.to_string()),
+            Some(TokenTree::Ident(id)) => out.push((id.to_string(), skip_if)),
             Some(other) => panic!("serde shim: unexpected token in struct body: {other}"),
         }
         match iter.next() {

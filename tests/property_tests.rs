@@ -420,6 +420,169 @@ proptest! {
     }
 
     #[test]
+    fn start_delay_schedules_are_the_legacy_delay_path(
+        t in arb_tree(12),
+        a in 0u32..12,
+        b in 0u32..12,
+        theta in 0u64..40,
+    ) {
+        // ISSUE 5 satellite: `Schedule::start_delay(θ)` must reproduce the
+        // compact `PairConfig::delayed(θ)` path bit for bit — stepping,
+        // replay, and the decider.
+        use tree_rendezvous::agent::Fsa;
+        use tree_rendezvous::lowerbounds::decide::{decide_pair, decide_pair_scheduled};
+        use tree_rendezvous::sim::trace::Replay;
+        use tree_rendezvous::sim::{
+            replay_pair, replay_pair_scheduled, run_pair, run_pair_scheduled, PairConfig,
+            Schedule, TraceRecorder,
+        };
+
+        let n = t.num_nodes() as u32;
+        let (a, b) = (a % n, b % n);
+        let fsa = Fsa::basic_walk(t.max_degree().max(1));
+        let budget = theta + 8 * n as u64 + 8;
+        let sched = Schedule::start_delay(theta);
+        let cfg = PairConfig { delay: theta, max_rounds: budget, record_traces: true };
+
+        // Stepping.
+        let mut x = fsa.runner();
+        let mut y = fsa.runner();
+        let legacy = run_pair(&t, a, b, &mut x, &mut y, cfg);
+        let mut x = fsa.runner();
+        let mut y = fsa.runner();
+        let scheduled = run_pair_scheduled(&t, a, b, &mut x, &mut y, &sched, budget, true);
+        prop_assert_eq!(&scheduled.outcome, &legacy.outcome);
+        prop_assert_eq!(scheduled.crossings, legacy.crossings);
+        prop_assert_eq!(scheduled.final_a, legacy.final_a);
+        prop_assert_eq!(scheduled.final_b, legacy.final_b);
+        prop_assert_eq!(&scheduled.trace_a, &legacy.trace_a);
+        prop_assert_eq!(&scheduled.trace_b, &legacy.trace_b);
+
+        // Replay over the same recordings.
+        let mut rec_a = TraceRecorder::new(a, fsa.runner_owned(), Agent::memory_bits);
+        let mut rec_b = TraceRecorder::new(b, fsa.runner_owned(), Agent::memory_bits);
+        rec_a.record_to(&t, budget);
+        rec_b.record_to(&t, budget);
+        let legacy_replay = replay_pair(&t, rec_a.trajectory(), rec_b.trajectory(), cfg);
+        let sched_replay =
+            replay_pair_scheduled(&t, rec_a.trajectory(), rec_b.trajectory(), &sched, budget, true);
+        match (legacy_replay, sched_replay) {
+            (Replay::Decided(l), Replay::Decided(s)) => {
+                prop_assert_eq!(&s.outcome, &l.outcome);
+                prop_assert_eq!(s.crossings, l.crossings);
+                prop_assert_eq!(s.final_a, l.final_a);
+                prop_assert_eq!(s.final_b, l.final_b);
+                prop_assert_eq!(&s.trace_a, &l.trace_a);
+                prop_assert_eq!(&s.trace_b, &l.trace_b);
+            }
+            (l, s) => prop_assert!(false, "full recordings must decide: {:?} vs {:?}", l, s),
+        }
+
+        // Decider.
+        if a != b {
+            let fixed = decide_pair(&t, &fsa, a, b, theta);
+            let sched_decision = decide_pair_scheduled(&t, &fsa, a, b, &sched);
+            prop_assert_eq!(fixed.round(), sched_decision.round());
+            if !fixed.met() {
+                prop_assert_eq!(
+                    fixed.crossings_within(budget),
+                    sched_decision.crossings_within(budget)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn scheduled_engines_agree_on_random_schedules(
+        t in arb_tree(8),
+        a in 0u32..8,
+        b in 0u32..8,
+        shape in 0usize..4,
+        param in 0u64..6,
+    ) {
+        // ISSUE 5 satellite: stepping, trace replay and the cycle-position
+        // decider must agree on intermittent/crash/adversarial schedules
+        // for random trees n ≤ 8 (the bw schedule budget is a decision
+        // horizon, so a bounded timeout ⟺ a certified never-meets).
+        use tree_rendezvous::agent::Fsa;
+        use tree_rendezvous::lowerbounds::decide::{
+            decide_pair_scheduled, verify_schedule_lasso,
+        };
+        use tree_rendezvous::sim::trace::Replay;
+        use tree_rendezvous::sim::{
+            replay_pair_scheduled, run_pair_scheduled, Schedule, TraceRecorder,
+        };
+
+        let n = t.num_nodes() as u32;
+        let (a, b) = (a % n, b % n);
+        let sched = match shape {
+            0 => Schedule::intermittent(2 + param % 3, param % 2),
+            1 => Schedule::crash_after(param),
+            2 => Schedule::new(
+                Vec::new(),
+                (0..=param).map(|i| (i == 0, i == 0)).collect(),
+            ),
+            _ => Schedule::adversarial(param, 6, 4),
+        };
+        let fsa = Fsa::basic_walk(t.max_degree().max(1));
+        // The exact schedule decision horizon for the basic walk.
+        let budget = sched.prefix_len()
+            + sched.cycle_len() * (4 * (t.num_nodes() as u64 - 1) + 2);
+
+        let mut x = fsa.runner();
+        let mut y = fsa.runner();
+        let direct = run_pair_scheduled(&t, a, b, &mut x, &mut y, &sched, budget, false);
+
+        let mut rec_a = TraceRecorder::new(a, fsa.runner_owned(), Agent::memory_bits);
+        let mut rec_b = TraceRecorder::new(b, fsa.runner_owned(), Agent::memory_bits);
+        let replayed = loop {
+            match replay_pair_scheduled(
+                &t, rec_a.trajectory(), rec_b.trajectory(), &sched, budget, false,
+            ) {
+                Replay::Decided(run) => break run,
+                Replay::NeedMore { a_rounds, b_rounds } => {
+                    rec_a.record_to(&t, a_rounds.max(2 * rec_a.trajectory().rounds()));
+                    rec_b.record_to(&t, b_rounds.max(2 * rec_b.trajectory().rounds()));
+                }
+            }
+        };
+        prop_assert_eq!(&replayed.outcome, &direct.outcome);
+        prop_assert_eq!(replayed.crossings, direct.crossings);
+
+        let decision = decide_pair_scheduled(&t, &fsa, a, b, &sched);
+        match direct.outcome {
+            tree_rendezvous::sim::Outcome::Met { round, .. } => {
+                prop_assert_eq!(decision.round(), Some(round));
+                prop_assert_eq!(decision.crossings_within(round), direct.crossings);
+            }
+            tree_rendezvous::sim::Outcome::Timeout { .. } => {
+                prop_assert!(
+                    !decision.met(),
+                    "bw schedule budget must be a decision horizon"
+                );
+                let lasso = decision.lasso().expect("never-meets carries a lasso");
+                prop_assert!(verify_schedule_lasso(&t, &fsa, a, b, &sched, lasso));
+                prop_assert_eq!(decision.crossings_within(budget), direct.crossings);
+            }
+        }
+    }
+
+    #[test]
+    fn budget_arithmetic_saturates_on_extreme_inputs(
+        n in any::<usize>(),
+        delay in any::<u64>(),
+    ) {
+        // ISSUE 5 satellite: the budget formulas must never panic —
+        // extreme delays and sizes clamp to u64::MAX instead of
+        // overflowing in debug builds.
+        use rvz_bench::sweep::{basic_walk_budget_for, budget_for};
+        let b = basic_walk_budget_for(n, delay);
+        prop_assert!(b >= delay.min(u64::MAX - 1), "budget covers the delay (or saturates)");
+        let g = budget_for(n);
+        prop_assert!(g >= 2_000_000u64.min(g));
+    }
+
+    #[test]
     fn prime_protocol_meets_when_feasible(
         m in 4usize..24,
         a in 1usize..24,
