@@ -5,7 +5,7 @@
 //! functions *from automata to instances*. Compiling our own upper-bound
 //! agents (e.g. the `prime` path protocol with capped counters) lets the
 //! adversaries defeat them constructively — the experiment that exhibits the
-//! paper's titular gap end-to-end (DESIGN.md §D7).
+//! paper's titular gap end-to-end (docs/design-notes.md §D7).
 //!
 //! Model notes (edge-colored lines, §4.2): on a properly 2-edge-colored line
 //! the entry port at the next node is determined by the agent's own last

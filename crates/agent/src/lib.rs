@@ -9,7 +9,7 @@
 //!   basic-walk / counter-basic-walk port arithmetic, and the
 //!   [`model::SubAgent`] composition protocol for hierarchical agents;
 //! * [`meter`] — memory accounting: measured bits from counter
-//!   high-water marks (DESIGN.md §D2);
+//!   high-water marks (docs/design-notes.md §D2);
 //! * [`line_fsa`] — explicit automata for 2-edge-colored lines (the
 //!   Theorem 3.1 / 4.2 model);
 //! * [`fsa`] — explicit automata for bounded-degree trees (the Theorem 4.3
@@ -17,6 +17,20 @@
 //! * [`compile`] — a state-memoizing compiler from procedural agents to
 //!   explicit [`line_fsa::LineFsa`] automata, so the lower-bound adversaries
 //!   can defeat our own upper-bound agents constructively.
+//!
+//! ```
+//! use rvz_agent::{bw_exit, Fsa};
+//!
+//! // §2.2 port arithmetic: the basic walk leaves by (entry + 1) mod degree,
+//! // turns straight around at a leaf, and opens with port 0.
+//! assert_eq!(bw_exit(Some(0), 3), 1);
+//! assert_eq!(bw_exit(Some(0), 1), 0);
+//! assert_eq!(bw_exit(None, 3), 0);
+//! // The same walk as an explicit automaton (the e9/e10 decider's model):
+//! // its configuration space is what makes rendezvous *decidable*.
+//! let fsa = Fsa::basic_walk(3);
+//! assert!(fsa.num_states() >= 1);
+//! ```
 
 pub mod compile;
 pub mod fsa;

@@ -1,4 +1,4 @@
-//! Memory accounting (§2.1 of the paper; DESIGN.md §D2).
+//! Memory accounting (§2.1 of the paper; docs/design-notes.md §D2).
 //!
 //! The paper measures agent memory as the number of bits on which the
 //! automaton states are encoded: an automaton with `K` states needs

@@ -65,7 +65,7 @@ pub trait Agent {
     fn act(&mut self, obs: Obs) -> Action;
 
     /// Measured memory in bits: the number of bits needed to encode every
-    /// state this agent instance has reached so far (see DESIGN.md §D2).
+    /// state this agent instance has reached so far (see docs/design-notes.md §D2).
     /// Implementations track the maxima of their counters.
     fn memory_bits(&self) -> u64;
 

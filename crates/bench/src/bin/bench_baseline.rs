@@ -16,7 +16,9 @@
 //!
 //! The run *fails* (exit 1) if `sweep_cells_variants` — the procedural
 //! agent grid whose simulation time used to dominate — speeds up by less
-//! than 3× (the ISSUE-3 floor; the committed baseline records well above).
+//! than 3× (the ISSUE-3 floor; the committed baseline records well above),
+//! or if `decide_cells` — the exact decider against stepping — falls below
+//! 0.66× (the ISSUE-6 floor for the orbit-quotiented, memoized rebuild).
 //!
 //! Usage: `bench_baseline [OUT.json]` (default `BENCH_sweep.json`);
 //! `just bench-baseline` and CI's bench-smoke call this.
@@ -125,10 +127,10 @@ fn main() {
     let (secondary, variants_speedup) =
         measure_pair("sweep_cells_variants", &sweep::perf_grid_variants(), reps, STEPPING, REPLAY);
     // The decider is measured against stepping on the automaton grid — the
-    // workload it answers natively. It is tracked for cost *and* for the
-    // row-agreement assertion inside measure_pair; a sub-1x ratio is
-    // expected (it buys certification, not time).
-    let (decide, _) =
+    // workload it answers natively. Since the orbit-quotiented, memoized
+    // rebuild it is expected to at least keep pace with stepping while
+    // also certifying; the ISSUE-6 floor below holds it to ≥ 0.66x.
+    let (decide, decide_speedup) =
         measure_pair("decide_cells", &sweep::perf_grid_fsa_scan(), reps, STEPPING, DECIDE);
     let payload = serde_json::json!({
         "schema": "rvz-bench-sweep/v3",
@@ -144,6 +146,13 @@ fn main() {
         eprintln!(
             "error: sweep_cells_variants speedup {variants_speedup:.2}x is below the 3x floor \
              (trace replay must beat the PR-2 stepping path)"
+        );
+        std::process::exit(1);
+    }
+    if decide_speedup < 0.66 {
+        eprintln!(
+            "error: decide_cells speedup {decide_speedup:.2}x is below the 0.66x floor \
+             (the quotiented+memoized exact decider must stay within 1.5x of stepping)"
         );
         std::process::exit(1);
     }

@@ -281,8 +281,8 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
 
 /// Schema tag of a sweep payload: `rvz-sweep/v3` once any row carries the
 /// optional `schedule` field, the legacy `rvz-sweep/v2` otherwise — so
-/// pre-schedule experiments keep emitting byte-identical JSON (see README
-/// "JSON schema").
+/// pre-schedule experiments keep emitting byte-identical JSON (see
+/// docs/schemas.md).
 fn sweep_schema<'a, I: IntoIterator<Item = &'a sweep::SweepRow>>(rows: I) -> &'static str {
     if rows.into_iter().any(|r| r.schedule.is_some()) {
         "rvz-sweep/v3"
@@ -417,8 +417,8 @@ Sweep mode (parallel batch engine):
                     except for decide's `certified` flag
 
 e10 sweeps activation schedules (per-round delay faults): simultaneous,
-θ=1, intermittent duty cycles, a mid-run crash — see README
-\"Activation schedules\".
+θ=1, intermittent duty cycles, a mid-run crash — see
+docs/executors.md \"Activation schedules\".
 
 Classic mode (paper tables):
   experiments [e1 e2 ... e8 | all] [--full] [--json DIR]",

@@ -1,4 +1,4 @@
-//! **E8 — ablation study** (DESIGN.md §D7): which Stage-2 pieces are
+//! **E8 — ablation study** (docs/design-notes.md §D7): which Stage-2 pieces are
 //! load-bearing?
 //!
 //! On double-spiders with equal leg sums but different compositions the two

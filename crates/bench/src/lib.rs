@@ -24,6 +24,21 @@
 //! (`experiments --experiment <id>`). Three executors share the grid:
 //! trace replay (default), dyn stepping, and the exact decider
 //! (`--executor decide`, budget-free verdicts with lasso certificates).
+//! See `docs/executors.md` for the executor guide and `docs/schemas.md`
+//! for the JSON row/certificate schemas.
+//!
+//! ```
+//! use rvz_bench::sweep::{preset, run, Executor};
+//!
+//! // A tiny e9 slice: every free tree on ≤ 5 nodes, every ordered
+//! // feasible pair, exactly decided — zero budget-timeout cells by
+//! // construction, every verdict carried by a re-verified certificate.
+//! let mut spec = preset("e9", &[3, 4, 5], 1, 9).expect("e9 preset");
+//! spec.executor = Executor::ExactDecide;
+//! let report = run(&spec);
+//! assert!(!report.rows.is_empty());
+//! assert!(report.rows.iter().all(|row| row.certified));
+//! ```
 
 pub mod cli;
 pub mod e1;
@@ -37,6 +52,7 @@ pub mod e7;
 pub mod e8;
 pub mod e9;
 pub mod instances;
+mod solo_cache;
 pub mod stats;
 pub mod sweep;
 pub mod table;

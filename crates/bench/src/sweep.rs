@@ -29,6 +29,7 @@
 //! instance pool of [`crate::instances`].
 
 use crate::instances;
+use crate::solo_cache;
 use crate::table::Table;
 use crate::trace_cache;
 use rand::rngs::StdRng;
@@ -37,14 +38,19 @@ use rayon::prelude::*;
 use rvz_core::prime_path::PrimePathAgent;
 use rvz_core::primes::{next_prime, primorial_index_bound};
 use rvz_core::{DelayRobustAgent, TreeRendezvousAgent};
+use rvz_lowerbounds::decide::{
+    decide_from_lassos, decide_pair_scheduled, verify_lasso, verify_schedule_lasso,
+    worst_case_from_lassos, Decision, ScheduleDecision, WorstCase,
+};
 use rvz_sim::trace::Replay;
 use rvz_sim::{
     replay_pair, replay_pair_scheduled, run_pair, run_pair_scheduled, PairConfig, PairRun, Schedule,
 };
+use rvz_trees::symmetry::{pair_orbits, OrbitAction};
 use rvz_trees::{NodeId, Tree};
 use serde::Serialize;
 use std::collections::HashMap;
-use std::sync::Arc;
+use std::sync::{Arc, Mutex, OnceLock};
 
 /// Tree families the sweep can grid over (names as in
 /// [`instances::FAMILY_NAMES`]).
@@ -418,7 +424,7 @@ pub struct Cell {
     pub tree_index: Option<u64>,
 }
 
-/// One result row; the JSON schema of `--json` output (see README.md).
+/// One result row; the JSON schema of `--json` output (see docs/schemas.md).
 /// `experiment` shares the grid's interned label (serialized as a plain
 /// JSON string, exactly like the `String` it replaced).
 #[derive(Debug, Clone, Serialize)]
@@ -661,18 +667,31 @@ pub struct SweepInstance {
     /// Shared basic-walk automaton for [`Variant::BasicWalkFsa`] cells,
     /// built on first use (its table is a function of the tree's maximum
     /// degree only).
-    bw_fsa: std::sync::OnceLock<rvz_agent::Fsa>,
-    /// Per-start solo configuration lassos of the basic-walk automaton,
-    /// shared by the decide path across the delay × pair sub-grid (the
-    /// lasso is a pure function of `(tree, start)` — mirroring how the
-    /// trace store shares trajectories).
-    solo_lassos: std::sync::Mutex<HashMap<NodeId, Arc<rvz_lowerbounds::decide::SoloLasso>>>,
+    bw_fsa: OnceLock<rvz_agent::Fsa>,
+    /// The tree's unique nontrivial port-preserving automorphism, if one
+    /// exists — the `flip` half of the start-pair orbit group (see
+    /// [`rvz_trees::symmetry::pair_orbits`]). Computed on first decide
+    /// cell.
+    flip: OnceLock<Option<Vec<NodeId>>>,
+    /// `pair index → (orbit representative index, action mapping the
+    /// representative pair onto this pair)` over `pairs`, one table per
+    /// swap-allowance (`[without swap, with swap]` — the swap is sound
+    /// only for lane-symmetric activation, so delay classes pick their
+    /// table).
+    orbit_lookups: [OnceLock<Vec<(usize, OrbitAction)>>; 2],
+    /// Decided orbit representatives, keyed `(delay code, rep index)` —
+    /// the decide executor answers each representative once per
+    /// `(instance, delay class)` and replicates the relabeled verdict to
+    /// the rest of the orbit. The per-key `OnceLock` makes racing orbit
+    /// members block on (rather than duplicate) the one decision.
+    decide_memo: Mutex<HashMap<(u64, usize), Arc<OnceLock<RepDecision>>>>,
 }
 
 impl Clone for SweepInstance {
-    /// Clones the instance *data* plus whatever `bw_fsa` already holds;
-    /// the lasso cache starts cold (both caches are pure functions of the
-    /// data, so nothing observable changes either way).
+    /// Clones the instance *data* plus whatever the pure-function caches
+    /// (`bw_fsa`, `flip`, `orbit_lookups`) already hold; the decision memo
+    /// starts cold (every cache here is a pure function of the data, so
+    /// nothing observable changes either way).
     fn clone(&self) -> Self {
         SweepInstance {
             tree: self.tree.clone(),
@@ -680,7 +699,37 @@ impl Clone for SweepInstance {
             tree_seed: self.tree_seed,
             pairs_seed: self.pairs_seed,
             bw_fsa: self.bw_fsa.clone(),
-            solo_lassos: std::sync::Mutex::default(),
+            flip: self.flip.clone(),
+            orbit_lookups: self.orbit_lookups.clone(),
+            decide_memo: Mutex::default(),
+        }
+    }
+}
+
+/// A decided orbit representative, one flavor per delay-axis class. The
+/// memo key includes [`Delay::code`], which separates the flavors, so a
+/// lookup always finds its own kind.
+#[derive(Debug, Clone)]
+enum RepDecision {
+    Fixed(Decision),
+    Universal(WorstCase),
+    Scheduled(ScheduleDecision),
+}
+
+impl RepDecision {
+    /// The decision for the orbit member reached from the representative
+    /// by `action` — delegates to the certified relabeling in
+    /// [`rvz_lowerbounds::decide`] (rounds/crossings invariant, lasso
+    /// configurations mapped).
+    fn relabel(&self, action: OrbitAction, flip: Option<&[NodeId]>) -> RepDecision {
+        let map = action.flip.then(|| flip.expect("flip action requires the flip map"));
+        match self {
+            RepDecision::Fixed(d) => RepDecision::Fixed(d.relabel(map, action.swap)),
+            RepDecision::Universal(wc) => {
+                debug_assert!(!action.swap, "the ∀-delay quantifier never admits the swap");
+                RepDecision::Universal(wc.relabel(map))
+            }
+            RepDecision::Scheduled(d) => RepDecision::Scheduled(d.relabel(map, action.swap)),
         }
     }
 }
@@ -709,8 +758,10 @@ impl SweepInstance {
             pairs,
             tree_seed,
             pairs_seed,
-            bw_fsa: std::sync::OnceLock::new(),
-            solo_lassos: std::sync::Mutex::default(),
+            bw_fsa: OnceLock::new(),
+            flip: OnceLock::new(),
+            orbit_lookups: [OnceLock::new(), OnceLock::new()],
+            decide_memo: Mutex::default(),
         }
     }
 
@@ -720,20 +771,41 @@ impl SweepInstance {
         self.bw_fsa.get_or_init(|| rvz_agent::Fsa::basic_walk(self.tree.max_degree().max(1)))
     }
 
-    /// The basic-walk solo lasso from `start`, tabulated once per
-    /// `(instance, start)` and shared across every decide cell on the
-    /// sub-grid (each cell used to pay the Θ(k·n·(Δ+1)) tabulation).
-    fn solo_lasso(&self, start: NodeId) -> Arc<rvz_lowerbounds::decide::SoloLasso> {
-        let mut map = self.solo_lassos.lock().expect("solo lasso cache");
-        map.entry(start)
-            .or_insert_with(|| {
-                Arc::new(rvz_lowerbounds::decide::SoloLasso::tabulate(
-                    &self.tree,
-                    self.basic_walk_fsa(),
-                    start,
-                ))
-            })
-            .clone()
+    /// The tree's port-preserving flip, as a node-image table.
+    fn flip_map(&self) -> Option<&[NodeId]> {
+        self.flip.get_or_init(|| rvz_trees::symmetry::port_preserving_flip(&self.tree)).as_deref()
+    }
+
+    /// The orbit table for this swap-allowance: every pair index maps to
+    /// its orbit representative plus the action reaching it from there.
+    fn orbit_lookup(&self, allow_swap: bool) -> &[(usize, OrbitAction)] {
+        self.orbit_lookups[allow_swap as usize].get_or_init(|| {
+            // Force the flip first so both caches agree on it.
+            let _ = self.flip_map();
+            let mut lookup = vec![(0, OrbitAction::IDENTITY); self.pairs.len()];
+            for orbit in pair_orbits(&self.tree, &self.pairs, allow_swap) {
+                for (index, action) in orbit.members {
+                    lookup[index] = (orbit.rep, action);
+                }
+            }
+            lookup
+        })
+    }
+
+    /// The memoized decision of an orbit representative; `compute` runs at
+    /// most once per key per instance — concurrent orbit members block on
+    /// the `OnceLock` instead of re-deciding.
+    fn rep_decision(
+        &self,
+        key: (u64, usize),
+        compute: impl FnOnce() -> RepDecision,
+    ) -> Arc<OnceLock<RepDecision>> {
+        let slot = {
+            let mut memo = self.decide_memo.lock().expect("decide memo lock");
+            memo.entry(key).or_default().clone()
+        };
+        slot.get_or_init(compute);
+        slot
     }
 }
 
@@ -1075,8 +1147,6 @@ pub fn run_cell_decide_certified(
     cell: &Cell,
     inst: &SweepInstance,
 ) -> Option<(SweepRow, Option<Certificate>)> {
-    use rvz_lowerbounds::decide::{decide_from, verify_lasso, worst_case_from, WorstCase};
-
     if cell.variant != Variant::BasicWalkFsa {
         // The grid filter keeps adversarial delays off procedural agents;
         // guard against hand-built cells re-entering the replay path.
@@ -1143,18 +1213,71 @@ pub fn run_cell_decide_certified(
         )
     };
 
-    // Genuinely scheduled cells: the cycle-position product construction,
-    // certified by schedule lassos (re-verified by independent scheduled
-    // stepping). Start-delay-shaped schedule specs fall through to the
-    // θ-indexed decider below and emit byte-identical legacy rows.
-    if let Delay::Schedule(spec) = cell.delay {
-        if spec.as_start_delay().is_none() {
-            use rvz_lowerbounds::decide::{decide_pair_scheduled, verify_schedule_lasso};
-            let sched = spec.resolve(n);
-            let budget = schedule_budget_for(n, &sched);
+    // The orbit quotient: classify the cell's delay axis, pick the orbit
+    // table whose group is sound for it, decide the orbit representative
+    // once per `(instance, delay class)` — both solo halves from the
+    // process-wide store — and replicate the relabeled verdict to the
+    // rest of the orbit. Replication is exact (see
+    // [`rvz_lowerbounds::decide::Decision::relabel`]): the row below is
+    // byte-identical to deciding the pair directly, and the certificate
+    // is re-verified against *this* pair's starts.
+    enum Path {
+        Fixed(u64),
+        Universal,
+        Scheduled(ScheduleSpec, Schedule),
+    }
+    let path = match cell.delay {
+        Delay::Adversarial => Path::Universal,
+        // Genuinely scheduled cells take the cycle-position product
+        // construction; start-delay-shaped specs fall through to the
+        // θ-indexed decider and emit byte-identical legacy rows.
+        Delay::Schedule(spec) if spec.as_start_delay().is_none() => {
+            Path::Scheduled(spec, spec.resolve(n))
+        }
+        _ => match cell.mode(n) {
+            CellMode::Delay(delay) => Path::Fixed(delay),
+            CellMode::Scheduled(_) => unreachable!("genuine schedules matched above"),
+        },
+    };
+    // The flip acts on space and is sound under every activation pattern;
+    // the swap exchanges the agents and is sound only when the schedule
+    // treats the lanes identically (θ = 0 / lane-symmetric schedules —
+    // never the ∀-delay quantifier, whose θ axis is lane-asymmetric).
+    let allow_swap = match &path {
+        Path::Fixed(delay) => *delay == 0,
+        Path::Universal => false,
+        Path::Scheduled(_, sched) => sched.lane_symmetric(),
+    };
+    let (rep, action) = inst.orbit_lookup(allow_swap)[cell.pair_index];
+    let (rep_a, rep_b) = inst.pairs[rep];
+    let solo = |start| solo_cache::lasso(inst, cell.family, cell.n, cell.variant, start);
+    let slot = inst.rep_decision((cell.delay.code(), rep), || match &path {
+        Path::Fixed(delay) => {
+            // Feasible pairs have distinct starts, so the precomputed-
+            // lasso entry points apply.
+            RepDecision::Fixed(decide_from_lassos(&solo(rep_a), &solo(rep_b), *delay))
+        }
+        Path::Universal => {
+            RepDecision::Universal(worst_case_from_lassos(&solo(rep_a), &solo(rep_b)))
+        }
+        Path::Scheduled(_, sched) => {
+            RepDecision::Scheduled(decide_pair_scheduled(tree, fsa, rep_a, rep_b, sched))
+        }
+    });
+    let rep_decision = slot.get().expect("representative decided above");
+    let relabeled;
+    let decided: &RepDecision = if action == OrbitAction::IDENTITY {
+        rep_decision
+    } else {
+        relabeled = rep_decision.relabel(action, inst.flip_map());
+        &relabeled
+    };
+
+    Some(match (&path, decided) {
+        (Path::Scheduled(spec, sched), RepDecision::Scheduled(decision)) => {
+            let budget = schedule_budget_for(n, sched);
             let label = spec.label(n);
-            let decision = decide_pair_scheduled(tree, fsa, start_a, start_b, &sched);
-            return Some(match decision.round() {
+            match decision.round() {
                 Some(round) => {
                     let crossings = decision.crossings_within(round);
                     (row((0, Some(label)), (true, Some(round), crossings), budget), None)
@@ -1166,51 +1289,45 @@ pub fn run_cell_decide_certified(
                         lasso_stem: Some(lasso.stem),
                         lasso_period: Some(lasso.period),
                         verified: Some(verify_schedule_lasso(
-                            tree, fsa, start_a, start_b, &sched, lasso,
+                            tree, fsa, start_a, start_b, sched, lasso,
                         )),
                         ..base_certificate("never-meets", 0)
                     };
                     let crossings = decision.crossings_within(budget);
                     (row((0, Some(label)), (false, None, crossings), budget), Some(cert))
                 }
-            });
+            }
         }
-    }
-
-    // Feasible pairs have distinct starts, so the precomputed-lasso entry
-    // points apply; the lasso is shared across the sub-grid's cells.
-    let solo = inst.solo_lasso(start_a);
-    Some(match cell.delay {
-        Delay::Adversarial => match worst_case_from(tree, fsa, &solo, start_b) {
+        (Path::Universal, RepDecision::Universal(wc)) => match wc {
             WorstCase::AllMeet { worst_delay, worst_round, delays_checked, decision } => {
-                let budget = basic_walk_budget_for(n, worst_delay);
-                let crossings = decision.crossings_within(worst_round);
+                let budget = basic_walk_budget_for(n, *worst_delay);
+                let crossings = decision.crossings_within(*worst_round);
                 let cert = certificate(
                     "all-delays-meet",
-                    worst_delay,
-                    Some(worst_round),
-                    Some(delays_checked),
+                    *worst_delay,
+                    Some(*worst_round),
+                    Some(*delays_checked),
                     None,
                 );
-                (row((worst_delay, None), (true, Some(worst_round), crossings), budget), Some(cert))
+                (
+                    row((*worst_delay, None), (true, Some(*worst_round), crossings), budget),
+                    Some(cert),
+                )
             }
             WorstCase::Defeated { delay, decision, delays_checked } => {
-                let budget = basic_walk_budget_for(n, delay);
+                let budget = basic_walk_budget_for(n, *delay);
                 let lasso = decision.lasso().expect("defeat carries a lasso");
                 let cert =
-                    certificate("delay-defeats", delay, None, Some(delays_checked), Some(lasso));
+                    certificate("delay-defeats", *delay, None, Some(*delays_checked), Some(lasso));
                 (
-                    row((delay, None), (false, None, decision.crossings_within(budget)), budget),
+                    row((*delay, None), (false, None, decision.crossings_within(budget)), budget),
                     Some(cert),
                 )
             }
         },
-        _ => {
-            let CellMode::Delay(delay) = cell.mode(n) else {
-                unreachable!("genuine schedules are decided above")
-            };
+        (Path::Fixed(delay), RepDecision::Fixed(decision)) => {
+            let delay = *delay;
             let budget = basic_walk_budget_for(n, delay);
-            let decision = decide_from(tree, fsa, &solo, start_b, delay);
             match decision.round() {
                 Some(round) => {
                     // `crossings_within(round)` == the simulator's count:
@@ -1226,6 +1343,7 @@ pub fn run_cell_decide_certified(
                 }
             }
         }
+        _ => unreachable!("the memo key separates decision flavors"),
     })
 }
 
@@ -1432,9 +1550,11 @@ pub fn preset(id: &str, sizes: &[usize], threads: usize, seed: u64) -> Option<Sw
 pub const DEFAULT_SIZES: &[usize] = &[16, 32, 64, 128];
 
 /// The default size axis of the exhaustive `e9` sweep: every tree with
-/// `n ≤ 9` (95 free trees; the acceptance grid of the certification
-/// workload). Larger axes are capped at [`MAX_ENUM_SIZE`].
-pub const E9_DEFAULT_SIZES: &[usize] = &[2, 3, 4, 5, 6, 7, 8, 9];
+/// `n ≤ 10` (201 free trees; the acceptance grid of the certification
+/// workload — the orbit-quotiented decider keeps it CI-sized). The
+/// `n = 11` axis (+235 trees) stays behind `just e9-full`; larger axes
+/// are capped at [`MAX_ENUM_SIZE`].
+pub const E9_DEFAULT_SIZES: &[usize] = &[2, 3, 4, 5, 6, 7, 8, 9, 10];
 
 /// The default size axis of the `e10` schedule sweep: every free tree
 /// with `n ≤ 8` (47 trees) — one size below e9, since the schedule
@@ -1684,6 +1804,120 @@ mod tests {
         assert!(report.rows.windows(2).all(|w| Arc::ptr_eq(&w[0].experiment, &w[1].experiment)));
         let json = serde_json::to_string(&report.rows[0]).unwrap();
         assert!(json.contains("\"experiment\":\"test\""), "{json}");
+    }
+
+    #[test]
+    fn orbit_quotient_is_invisible_cell_by_cell() {
+        // Quotiented vs unquotiented, per cell: every decide row must
+        // equal the *raw* decider's answer for that exact pair (the
+        // quotient decides only the orbit representative and replicates
+        // the relabeled verdict — invisibly, or it is wrong). Sampled
+        // families and the exhaustive family both run; the exhaustive
+        // pair pools are closed under swap, so multi-member orbits are
+        // guaranteed to exercise the replication path.
+        use rvz_lowerbounds::decide::{decide_pair, worst_case_delay};
+        let spec = SweepSpec {
+            experiment: "orbit".into(),
+            families: vec![Family::Line, Family::Random, Family::EnumFree],
+            sizes: vec![6, 7],
+            delays: vec![Delay::Zero, Delay::Fixed(2), Delay::Adversarial],
+            variants: vec![Variant::BasicWalkFsa],
+            pairs_per_cell: 6,
+            seed: 0x02B1,
+            threads: 1,
+            executor: Executor::ExactDecide,
+        };
+        let grid = cells(&spec);
+        let mut replicated = 0usize;
+        for cell in &grid {
+            let inst = SweepInstance::for_cell(cell);
+            let Some((row, cert)) = run_cell_decide_certified(cell, &inst) else {
+                continue;
+            };
+            let allow_swap = cell.delay.is_always_zero();
+            if inst.orbit_lookup(allow_swap)[cell.pair_index].1 != OrbitAction::IDENTITY {
+                replicated += 1;
+            }
+            let fsa = inst.basic_walk_fsa();
+            let (a, b) = inst.pairs[cell.pair_index];
+            match cell.delay {
+                Delay::Adversarial => match worst_case_delay(&inst.tree, fsa, a, b) {
+                    rvz_lowerbounds::decide::WorstCase::AllMeet {
+                        worst_delay,
+                        worst_round,
+                        ..
+                    } => {
+                        assert!(row.met, "{row:?}");
+                        assert_eq!(row.rounds, Some(worst_round), "{row:?}");
+                        assert_eq!(row.delay, worst_delay, "{row:?}");
+                    }
+                    rvz_lowerbounds::decide::WorstCase::Defeated { delay, .. } => {
+                        assert!(!row.met, "{row:?}");
+                        assert_eq!(row.delay, delay, "{row:?}");
+                    }
+                },
+                delay => {
+                    let theta = delay.resolve(inst.tree.num_nodes());
+                    let direct = decide_pair(&inst.tree, fsa, a, b, theta);
+                    assert_eq!(row.met, direct.met(), "{row:?}");
+                    assert_eq!(row.rounds, direct.round(), "{row:?}");
+                    assert_eq!(
+                        row.crossings,
+                        direct.crossings_within(direct.round().unwrap_or(row.budget)),
+                        "{row:?}"
+                    );
+                }
+            }
+            // Replicated certificates are re-verified against *this*
+            // pair's starts — the verification must actually pass.
+            if let Some(cert) = cert {
+                assert_eq!(cert.start_a, a);
+                assert_eq!(cert.start_b, b);
+                assert_eq!(cert.verified, cert.lasso_stem.is_some().then_some(true), "{cert:?}");
+            }
+        }
+        assert!(replicated > 0, "the grid must contain orbit members answered by replication");
+    }
+
+    #[test]
+    fn orbit_quotient_matches_per_pair_verdicts_on_random_trees() {
+        // Proptest-style: on seeded random trees n ≤ 8, the orbit tables
+        // themselves must agree with brute force — every member's
+        // relabeled representative decision equals its direct decision,
+        // for both swap-allowances and all three delay classes.
+        use rvz_lowerbounds::decide::decide_pair;
+        for trial in 0..12u64 {
+            let n = 4 + (trial as usize) % 5;
+            let cell = Cell {
+                experiment: Arc::from("orbit-prop"),
+                family: Family::Random,
+                n,
+                delay: Delay::Zero,
+                variant: Variant::BasicWalkFsa,
+                pair_index: 0,
+                pairs_total: 8,
+                base_seed: 0xBEEF ^ trial,
+                tree_index: None,
+            };
+            let inst = SweepInstance::for_cell(&cell);
+            let fsa = inst.basic_walk_fsa();
+            for allow_swap in [false, true] {
+                let theta = if allow_swap { 0 } else { 3 };
+                let lookup = inst.orbit_lookup(allow_swap).to_vec();
+                for (index, &(rep, action)) in lookup.iter().enumerate() {
+                    let (ra, rb) = inst.pairs[rep];
+                    let (a, b) = inst.pairs[index];
+                    let rep_dec = decide_pair(&inst.tree, fsa, ra, rb, theta);
+                    let direct = decide_pair(&inst.tree, fsa, a, b, theta);
+                    let map = action.flip.then(|| inst.flip_map().expect("flip map"));
+                    assert_eq!(
+                        rep_dec.relabel(map, action.swap),
+                        direct,
+                        "trial {trial} pair {index} via rep {rep} ({action:?})"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Plain-text table rendering + JSON record output for the experiment
 //! harness. Every experiment produces one or more [`Table`]s; the
 //! `experiments` binary prints them and optionally writes the raw rows as
-//! JSON (schema documented in README.md).
+//! JSON (schema documented in docs/schemas.md).
 
 use serde::Serialize;
 

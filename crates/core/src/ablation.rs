@@ -1,4 +1,4 @@
-//! Ablation study of the Stage-2 design choices (DESIGN.md §D7): which
+//! Ablation study of the Stage-2 design choices (docs/design-notes.md §D7): which
 //! pieces of Figure 2 are load-bearing?
 //!
 //! * **The `bw(j)/cbw(j)` probes** are essential: on a double-spider with
@@ -69,7 +69,7 @@ mod tests {
 
     #[test]
     fn probes_are_load_bearing_on_the_double_spider() {
-        // The headline ablation finding (recorded in EXPERIMENTS.md):
+        // The headline ablation finding (recorded in docs/design-notes.md §D7):
         // without the bw(j)/cbw(j) probes the two hub agents — whose phase
         // durations are identical (equal leg sums) — stay in perfect
         // lockstep on opposite halves of the tree, crossing the odd central
@@ -90,7 +90,7 @@ mod tests {
 
     #[test]
     fn synchro_is_redundant_with_a_synchronous_explo() {
-        // Implementation note (recorded in EXPERIMENTS.md): the paper needs
+        // Implementation note (recorded in docs/design-notes.md §D7): the paper needs
         // Synchro because the Fact 2.1 black box's running time may vary;
         // our reconstruction-based Explo-bis takes exactly L + 2(n−1)
         // rounds, so the delay after Stage 1 is already |L − L'| and

@@ -1,7 +1,7 @@
 //! The arbitrary-delay baseline: `O(log n)`-bit rendezvous in trees for any
 //! start delay θ — the tree-specialized stand-in for the general-graph
 //! algorithm of \[14\] (Czyzowicz–Kosowski–Pelc, PODC'10); substitution B2 in
-//! DESIGN.md §D5.
+//! docs/design-notes.md §D5.
 //!
 //! Protocol:
 //! 1. `Explo` (full-tree mode) reconstructs `T` and locates the agent.

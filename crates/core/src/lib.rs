@@ -11,13 +11,26 @@
 //! * [`tree_agent`] — the full Theorem 4.1 agent
 //!   (`O(log ℓ + log log n)` bits, simultaneous start, arbitrary trees);
 //! * [`baseline`] — the `O(log n)`-bit arbitrary-delay baseline
-//!   (tree-specialized stand-in for \[14\]; DESIGN.md §D5);
+//!   (tree-specialized stand-in for \[14\]; docs/design-notes.md §D5);
 //! * [`primes`] — the trial-division prime arithmetic both protocols use.
 //!
 //! The exponential gap of the title is the contrast between
 //! [`tree_agent::TreeRendezvousAgent`] (delay zero, `O(log ℓ + log log n)`)
 //! and what any agent needs under arbitrary delays (`Ω(log n)`, Theorem 3.1,
 //! constructively realized in `rvz-lowerbounds`).
+//!
+//! ```
+//! use rvz_core::TreeRendezvousAgent;
+//! use rvz_sim::{run_pair, Outcome, PairConfig};
+//! use rvz_trees::generators::spider;
+//!
+//! // Theorem 4.1 end to end: two identical copies, simultaneous start,
+//! // any feasible pair of a few-leaf tree — they meet.
+//! let t = spider(3, 3); // 3-leg spider: central node, every pair feasible
+//! let (mut a, mut b) = (TreeRendezvousAgent::new(), TreeRendezvousAgent::new());
+//! let run = run_pair(&t, 1, 5, &mut a, &mut b, PairConfig::simultaneous(1_000_000));
+//! assert!(matches!(run.outcome, Outcome::Met { .. }));
+//! ```
 
 pub mod ablation;
 pub mod baseline;

@@ -47,7 +47,7 @@ enum CapMode {
     /// Wrap back to `p = 2` — a *bounded-memory* line agent capturing the
     /// protocol's behavior with `⌈log p_i⌉`-bit counters. This is the
     /// variant we compile to an explicit automaton and hand to the
-    /// Theorem 3.1 / 4.2 adversaries (DESIGN.md §D7): it demonstrates,
+    /// Theorem 3.1 / 4.2 adversaries (docs/design-notes.md §D7): it demonstrates,
     /// end to end, that capping the memory of the paper's own protocol
     /// makes it defeatable.
     Cycle(u32),

@@ -33,7 +33,7 @@
 //! Memory: the Figure-2 machinery uses counters bounded by `2(ν−1) ≤ 4ℓ`,
 //! the segment cursor of `P` (`≤ 20ℓ+3`), and the prime machinery
 //! (`O(log log n)` bits); `Explo-bis` is charged per the Fact 2.1 contract
-//! (see DESIGN.md §D4). [`TreeRendezvousAgent::memory_bits`] reports
+//! (see docs/design-notes.md §D4). [`TreeRendezvousAgent::memory_bits`] reports
 //! charged-Explo + measured-everything-else; the fully measured variant
 //! (including the reconstruction scratch) is
 //! [`TreeRendezvousAgent::memory_bits_measured`].
@@ -96,7 +96,7 @@ enum TPhase {
     Fig2(Fig2),
 }
 
-/// Ablation switches for the Stage-2 machinery (DESIGN.md §D7 ablations;
+/// Ablation switches for the Stage-2 machinery (docs/design-notes.md §D7 ablations;
 /// defaults = the paper's algorithm). Used by the `ablation` experiments to
 /// show which pieces are load-bearing.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -104,7 +104,7 @@ pub struct AblationConfig {
     /// Run Sub-stage 2.1 (`Synchro`). With our Explo substitute the phase
     /// durations are already uniform, so disabling it is *observed* to be
     /// harmless — an implementation note the paper's generality needs but
-    /// our substitution makes moot (see EXPERIMENTS.md).
+    /// our substitution makes moot (recorded in docs/design-notes.md §D7).
     pub synchro: bool,
     /// Run the `bw(j)/cbw(j)` desynchronization probes of Figure 2.
     /// Disabling them breaks the algorithm on double-spiders with equal
@@ -176,7 +176,7 @@ impl TreeRendezvousAgent {
     }
 
     /// Fully measured memory, including the reconstruction scratch of our
-    /// `Explo` substitute (`Θ(ν log ν)` bits; see DESIGN.md §D4).
+    /// `Explo` substitute (`Θ(ν log ν)` bits; see docs/design-notes.md §D4).
     pub fn memory_bits_measured(&self) -> u64 {
         self.explo_measured + self.stage2_bits()
     }

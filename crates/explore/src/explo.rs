@@ -10,7 +10,7 @@
 //!   from `v̂` to the relevant landmark (central node / canonical extremity /
 //!   *farthest* extremity), and the landmark's port toward the central edge.
 //!
-//! Implementation (substitution S1, DESIGN.md §D4): the basic walk in a tree
+//! Implementation (substitution S1, docs/design-notes.md §D4): the basic walk in a tree
 //! is a depth-first traversal with cyclic child order, so one full period of
 //! observations — entry port and degree, the only legal inputs — determines
 //! `T'` exactly. The walker reconstructs `T'` online with a DFS stack,
@@ -95,7 +95,7 @@ impl ExploResult {
     }
 
     /// Charged memory per the Fact 2.1 contract: `O(log ν)` bits, reported
-    /// as `4⌈log₂(ν+1)⌉` (constant documented in DESIGN.md §D4).
+    /// as `4⌈log₂(ν+1)⌉` (constant documented in docs/design-notes.md §D4).
     pub fn charged_bits(&self) -> u64 {
         4 * bits_for(self.nu)
     }

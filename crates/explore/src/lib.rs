@@ -12,6 +12,31 @@
 //!   landmarks;
 //! * [`synchro`] — procedure `Synchro` (Sub-stage 2.1) with Claim 4.2's
 //!   delay guarantee.
+//!
+//! ```
+//! use rvz_agent::{Action, Step, SubAgent};
+//! use rvz_explore::ExploBis;
+//! use rvz_sim::Cursor;
+//! use rvz_trees::generators::spider;
+//!
+//! // Fact 2.1: one basic-walk period from v̂ reconstructs the contraction.
+//! let t = spider(3, 4); // three legs of four edges: 13 nodes, ℓ = 3
+//! let mut explo = ExploBis::new();
+//! let mut cur = Cursor::new(0); // the hub has degree ≠ 2, so v̂ = start
+//! loop {
+//!     match explo.step(cur.obs(&t)) {
+//!         Step::Done => break,
+//!         Step::Move(p) => {
+//!             cur.apply(&t, Action::Move(p));
+//!         }
+//!         Step::Stay => {
+//!             cur.apply(&t, Action::Stay);
+//!         }
+//!     }
+//! }
+//! let res = explo.into_result().unwrap();
+//! assert_eq!((res.nu, res.leaves), (4, 3)); // T′ is a star: hub + 3 leaves
+//! ```
 
 pub mod explo;
 pub mod subwalks;

@@ -51,7 +51,7 @@ impl SubAgent for BwCounted {
 }
 
 /// `cbw(j)`: counter basic walk until `j` nodes of degree ≠ 2 have been
-/// visited. Two start modes (§4.1 and DESIGN.md §D6):
+/// visited. Two start modes (§4.1 and docs/design-notes.md §D6):
 ///
 /// * [`CbwCounted::reversing`] — executed right after a `bw(j)`: the first
 ///   exit re-traverses the edge just used (turn-around: exit = entry port),

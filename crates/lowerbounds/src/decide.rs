@@ -16,6 +16,33 @@
 //! Fraigniaud–Pelc adversary: it turns the sweep engine's empirical
 //! timeout cells into machine-checkable `NeverMeets` certificates.
 //!
+//! # The product-lasso closed form
+//!
+//! Under a start delay the two agents never interact, so the joint
+//! trajectory is the *product of two independent solo trajectories*:
+//! `z_r = (A_r, B_{r−θ})`. Each solo trajectory is a tabulated
+//! [`SoloLasso`] with pre-period σ and minimal period π, and because the
+//! configurations of one deterministic lasso are pairwise distinct, the
+//! joint sequence's shape follows in closed form — its first repeat is at
+//!
+//! ```text
+//! stem   = max(σ_A + 1, σ_B + θ + 1)      period = lcm(π_A, π_B)
+//! ```
+//!
+//! so [`decide_from_lassos`] never materializes a joint visited set at
+//! all: it scans one joint lasso's worth of *positions* (two flat arrays,
+//! struct-of-arrays layout) for the first co-location and otherwise emits
+//! the certificate directly. The verdicts, certificates, and crossing
+//! bookkeeping are byte-identical to the historical hash-map walk (pinned
+//! by the `product_lasso_matches_naive_walk` differential test), but a
+//! cell costs two solo tabulations — shareable across every cell of a
+//! tree via the caller's memo — plus one allocation-free scan.
+//!
+//! Activation *schedules* (the general adversary) do interleave agent
+//! wake-ups, so [`decide_pair_scheduled`] still walks the product graph;
+//! its visited set is a compact open-addressed table of packed `u128`
+//! configuration keys rather than a `HashMap` of tuples.
+//!
 //! The adversary's start delay θ splits a run into two regions:
 //!
 //! * **not-yet-started** (rounds `1..=θ`): only agent A moves; agent B is
@@ -43,7 +70,6 @@ use rvz_agent::line_fsa::StateId;
 use rvz_agent::model::{Action, Obs};
 use rvz_sim::Schedule;
 use rvz_trees::{NodeId, Port, Tree};
-use std::collections::HashMap;
 
 /// One agent's situation between rounds: the automaton state that emitted
 /// the last action, the occupied node, and the port of entry (`None` after
@@ -53,6 +79,35 @@ pub struct AgentCfg {
     pub state: StateId,
     pub node: NodeId,
     pub entry: Option<Port>,
+}
+
+impl AgentCfg {
+    /// The image of this configuration under a **port-preserving** tree
+    /// automorphism (`map[u]` = image of node `u`). Only the node moves:
+    /// the automaton state is spatial-label-free and the entry port is
+    /// preserved by definition of port-preserving.
+    fn relabel(self, map: &[NodeId]) -> AgentCfg {
+        AgentCfg { node: map[self.node as usize], ..self }
+    }
+}
+
+/// Applies an orbit action to a joint configuration pair: map both nodes
+/// through the flip (if any), then exchange the lanes (if `swap`).
+fn relabel_pair<T: Copy>(
+    (a, b): (T, T),
+    map: Option<&[NodeId]>,
+    swap: bool,
+    f: impl Fn(T, &[NodeId]) -> T,
+) -> (T, T) {
+    let (a, b) = match map {
+        Some(m) => (f(a, m), f(b, m)),
+        None => (a, b),
+    };
+    if swap {
+        (b, a)
+    } else {
+        (a, b)
+    }
 }
 
 /// Applies state `s`'s action from `node`: the shared tail of the first
@@ -93,6 +148,10 @@ pub struct SoloLasso {
     start: NodeId,
     /// `cfgs[r - 1]` = configuration after round `r`, `r = 1..=stem+period`.
     cfgs: Vec<AgentCfg>,
+    /// Struct-of-arrays twin of `cfgs`: just the occupied nodes, so the
+    /// product scan in [`decide_from_lassos`] touches one flat `u32` array
+    /// per agent instead of striding through 12-byte configurations.
+    nodes: Vec<NodeId>,
     pub stem: u64,
     pub period: u64,
 }
@@ -106,6 +165,7 @@ impl SoloLasso {
         // Dense first-seen-round table over the exported config indexing.
         let mut first_seen = vec![0u64; fsa.num_configs(n)];
         let mut cfgs = Vec::new();
+        let mut nodes = Vec::new();
         let mut cur = step_first(t, fsa, start);
         let mut round = 1u64;
         loop {
@@ -115,12 +175,14 @@ impl SoloLasso {
                 return SoloLasso {
                     start,
                     cfgs,
+                    nodes,
                     stem: entry_round - 1,
                     period: round - entry_round,
                 };
             }
             first_seen[idx] = round;
             cfgs.push(cur);
+            nodes.push(cur.node);
             cur = step(t, fsa, cur);
             round += 1;
         }
@@ -133,6 +195,14 @@ impl SoloLasso {
         let len = self.cfgs.len() as u64;
         let idx = if r <= len { r - 1 } else { self.stem + (r - 1 - self.stem) % self.period };
         self.cfgs[idx as usize]
+    }
+
+    /// Index into `nodes`/`cfgs` for round `r ≥ 1` (residue past the end).
+    #[inline]
+    fn lasso_index(&self, r: u64) -> usize {
+        let len = self.cfgs.len() as u64;
+        let idx = if r <= len { r - 1 } else { self.stem + (r - 1 - self.stem) % self.period };
+        idx as usize
     }
 
     /// Node occupied after round `r` (round 0 = the start).
@@ -186,7 +256,7 @@ pub enum Verdict {
 
 /// A decided instance: the verdict plus enough crossing bookkeeping to
 /// reproduce the bounded simulator's row at any budget.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Decision {
     pub verdict: Verdict,
     /// Global rounds with an edge crossing, over the explored horizon
@@ -227,6 +297,28 @@ impl Decision {
             }
         }
     }
+
+    /// The decision for the *image* pair under a port-preserving tree
+    /// automorphism (`map`, as from
+    /// [`rvz_trees::symmetry::port_preserving_flip`]) and/or an agent
+    /// exchange (`swap`): if this is `decide_pair(t, fsa, a, b, δ)`, the
+    /// result equals `decide_pair(t, fsa, map[a], map[b], δ)` (resp. the
+    /// swapped pair) — exactly, certificate included. The automorphism
+    /// commutes with the dynamics (it preserves degrees and ports, the
+    /// only spatial data the automaton reads), so rounds and crossing
+    /// times are invariant and only the certified configurations move.
+    /// The swap is sound only when both lanes see the same activation
+    /// pattern (here: `δ = 0`); the caller guarantees it.
+    pub fn relabel(&self, map: Option<&[NodeId]>, swap: bool) -> Decision {
+        let verdict = match self.verdict {
+            Verdict::Meets { round } => Verdict::Meets { round },
+            Verdict::NeverMeets { lasso } => {
+                let at_cycle = relabel_pair(lasso.at_cycle, map, swap, AgentCfg::relabel);
+                Verdict::NeverMeets { lasso: Lasso { at_cycle, ..lasso } }
+            }
+        };
+        Decision { verdict, crossing_rounds: self.crossing_rounds.clone() }
+    }
 }
 
 /// Crossings recorded at rounds `≤ limit` (the explored prefix).
@@ -253,71 +345,99 @@ fn crossings_closed_form(crossing_rounds: &[u64], stem: u64, period: u64, budget
     in_stem + full_cycles * per_cycle + in_partial
 }
 
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        (a, b) = (b, a % b);
+    }
+    a
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    a / gcd(a, b) * b
+}
+
 /// Decides one `(tree, pair, automaton, delay)` instance exactly — see the
 /// module docs. Works for *any* start delay, however large: the
 /// not-yet-started region is answered from A's solo lasso.
 pub fn decide_pair(t: &Tree, fsa: &Fsa, a: NodeId, b: NodeId, delay: u64) -> Decision {
-    let solo = SoloLasso::tabulate(t, fsa, a);
-    decide_from(t, fsa, &solo, b, delay)
+    decide_from_lassos(&SoloLasso::tabulate(t, fsa, a), &SoloLasso::tabulate(t, fsa, b), delay)
 }
 
 /// [`decide_pair`] with A's solo lasso precomputed (the quantifier layer
-/// shares one tabulation across every delay it checks).
+/// shares one tabulation across every delay it checks). B's lasso is
+/// tabulated here; callers deciding many cells per tree should tabulate
+/// both once and use [`decide_from_lassos`] directly.
 pub fn decide_from(t: &Tree, fsa: &Fsa, solo: &SoloLasso, b: NodeId, delay: u64) -> Decision {
-    let a = solo.start;
+    decide_from_lassos(solo, &SoloLasso::tabulate(t, fsa, b), delay)
+}
+
+/// The product-lasso core (module docs, "The product-lasso closed form"):
+/// decides a `(pair, delay)` instance from the two solo lassos alone.
+/// Both lassos must come from the same tree and automaton; `solo_a` is the
+/// immediately-started agent, `solo_b` the delayed one.
+///
+/// Byte-identical to walking the joint configuration graph with a visited
+/// map — same verdicts, same `Lasso` fields, same crossing bookkeeping —
+/// but the only allocation is the crossing list, and the scan length
+/// `max(σ_A + 1, σ_B + θ + 1) + lcm(π_A, π_B) − θ` is the joint lasso
+/// itself, which no exact method can avoid exploring.
+pub fn decide_from_lassos(solo_a: &SoloLasso, solo_b: &SoloLasso, delay: u64) -> Decision {
+    let (a, b) = (solo_a.start, solo_b.start);
     if a == b {
         return Decision { verdict: Verdict::Meets { round: 0 }, crossing_rounds: Vec::new() };
     }
     // Not-yet-started region: B is parked at home; A meets it there iff A's
     // solo walk reaches `b` within the delay. No crossings are possible
     // while only one agent moves.
-    if let Some(tv) = solo.first_visit(b) {
+    if let Some(tv) = solo_a.first_visit(b) {
         if tv <= delay {
             return Decision { verdict: Verdict::Meets { round: tv }, crossing_rounds: Vec::new() };
         }
     }
-    // Both-active region, from round `delay + 1`. The visited map is keyed
-    // by the joint configuration; a repeat certifies the lasso.
-    let mut prev_a = solo.position(delay);
+    // First repeat of the joint sequence z_r = (A_r, B_{r−θ}), in closed
+    // form. Minimality: within one solo lasso all configurations are
+    // distinct, so a joint repeat needs both components on their cycles
+    // (stem) and both periods to divide the shift (period).
+    let stem = (solo_a.stem + 1).max(solo_b.stem + delay + 1);
+    let period = lcm(solo_a.period, solo_b.period);
+    let horizon = stem + period;
+    // Scan the joint lasso for the first co-location, tracking crossings.
+    // Cursor indices walk the two flat node arrays directly, wrapping onto
+    // each cycle, so the hot loop is two reads and three compares.
+    let (a_nodes, b_nodes) = (&solo_a.nodes, &solo_b.nodes);
+    let (a_wrap, b_wrap) = (a_nodes.len(), b_nodes.len());
+    let mut ia = solo_a.lasso_index(delay + 1);
+    let mut ib = 0usize; // round 1 for B
+    let mut prev_a = solo_a.position(delay);
     let mut prev_b = b;
-    let mut cfg_a: Option<AgentCfg> = (delay >= 1).then(|| solo.config_at(delay));
-    let mut cfg_b: Option<AgentCfg> = None;
     let mut crossing_rounds = Vec::new();
-    let mut seen: HashMap<(AgentCfg, AgentCfg), u64> = HashMap::new();
-    let mut round = delay;
-    loop {
-        round += 1;
-        let na = match cfg_a {
-            None => step_first(t, fsa, a),
-            Some(c) => step(t, fsa, c),
-        };
-        let nb = match cfg_b {
-            None => step_first(t, fsa, b),
-            Some(c) => step(t, fsa, c),
-        };
-        if na.node == prev_b && nb.node == prev_a && na.node != nb.node {
-            crossing_rounds.push(round);
+    for r in delay + 1..=horizon {
+        let na = a_nodes[ia];
+        let nb = b_nodes[ib];
+        if na == prev_b && nb == prev_a && na != nb {
+            crossing_rounds.push(r);
         }
-        if na.node == nb.node {
-            return Decision { verdict: Verdict::Meets { round }, crossing_rounds };
+        if na == nb {
+            return Decision { verdict: Verdict::Meets { round: r }, crossing_rounds };
         }
-        if let Some(&entry_round) = seen.get(&(na, nb)) {
-            let lasso =
-                Lasso { stem: entry_round, period: round - entry_round, at_cycle: (na, nb) };
-            // Trim bookkeeping to the explored horizon the lasso covers.
-            crossing_rounds.retain(|&r| r <= lasso.stem + lasso.period);
-            return Decision { verdict: Verdict::NeverMeets { lasso }, crossing_rounds };
+        prev_a = na;
+        prev_b = nb;
+        ia += 1;
+        if ia == a_wrap {
+            ia = solo_a.stem as usize;
         }
-        seen.insert((na, nb), round);
-        prev_a = na.node;
-        prev_b = nb.node;
-        cfg_a = Some(na);
-        cfg_b = Some(nb);
+        ib += 1;
+        if ib == b_wrap {
+            ib = solo_b.stem as usize;
+        }
     }
+    let lasso =
+        Lasso { stem, period, at_cycle: (solo_a.config_at(stem), solo_b.config_at(stem - delay)) };
+    Decision { verdict: Verdict::NeverMeets { lasso }, crossing_rounds }
 }
 
 /// The universal (∀-delay) verdict for a pair.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub enum WorstCase {
     /// Rendezvous under *every* finite start delay. `worst_round` is the
     /// latest meeting round over the **distinct delay classes**, evaluated
@@ -339,6 +459,28 @@ pub enum WorstCase {
 impl WorstCase {
     pub fn all_meet(&self) -> bool {
         matches!(self, WorstCase::AllMeet { .. })
+    }
+
+    /// The universal verdict for the image pair under a port-preserving
+    /// automorphism — see [`Decision::relabel`]. No swap parameter: the
+    /// start delay is lane-asymmetric, so the ∀-delay quantifier never
+    /// admits the agent exchange.
+    pub fn relabel(&self, map: Option<&[NodeId]>) -> WorstCase {
+        match self {
+            WorstCase::AllMeet { worst_delay, worst_round, delays_checked, decision } => {
+                WorstCase::AllMeet {
+                    worst_delay: *worst_delay,
+                    worst_round: *worst_round,
+                    delays_checked: *delays_checked,
+                    decision: decision.relabel(map, false),
+                }
+            }
+            WorstCase::Defeated { delay, decision, delays_checked } => WorstCase::Defeated {
+                delay: *delay,
+                decision: decision.relabel(map, false),
+                delays_checked: *delays_checked,
+            },
+        }
     }
 }
 
@@ -367,25 +509,74 @@ pub fn worst_case_delay(t: &Tree, fsa: &Fsa, a: NodeId, b: NodeId) -> WorstCase 
 /// decide executor shares one tabulation per `(instance, start)` across
 /// the whole delay × pair sub-grid. `solo.start` must differ from `b`.
 pub fn worst_case_from(t: &Tree, fsa: &Fsa, solo: &SoloLasso, b: NodeId) -> WorstCase {
-    debug_assert_ne!(solo.start, b, "same-start pairs are answered by worst_case_delay");
-    let first_home = solo.first_visit(b);
+    worst_case_from_lassos(solo, &SoloLasso::tabulate(t, fsa, b))
+}
+
+/// Past this many distinct delay classes the quantifier fans the classes
+/// out over rayon in fixed-size chunks; below it the sequential
+/// short-circuit scan wins. Small grids (the exhaustive e9/e10 trees)
+/// stay sequential; the n≈200 perf scans parallelize.
+const WORST_CASE_PAR_THRESHOLD: u64 = 32;
+const WORST_CASE_PAR_CHUNK: u64 = 64;
+
+/// [`worst_case_from`] from both solo lassos (same contract as
+/// [`decide_from_lassos`]); the starts must differ.
+///
+/// The delay classes are decided in parallel (chunked, when there are
+/// enough of them) but folded strictly in delay order, so the result —
+/// defeat at the *smallest* defeating delay, worst round with ties broken
+/// toward the smallest delay, `delays_checked` counts — is identical to
+/// the sequential scan's, independent of thread count.
+pub fn worst_case_from_lassos(solo_a: &SoloLasso, solo_b: &SoloLasso) -> WorstCase {
+    debug_assert_ne!(
+        solo_a.start, solo_b.start,
+        "same-start pairs are answered by worst_case_delay"
+    );
+    let first_home = solo_a.first_visit(solo_b.start);
     // Delays needing an individual decision; the tail class (≥ horizon) is
     // collapsed: it either meets at `first_home` or repeats a residue.
-    let horizon = first_home.unwrap_or_else(|| solo.distinct_delays());
+    let horizon = first_home.unwrap_or_else(|| solo_a.distinct_delays());
     let mut worst: Option<(u64, u64, Decision)> = None; // (round, delay, decision)
     let mut checked = 0u64;
-    for delay in 0..horizon {
-        checked += 1;
-        let decision = decide_from(t, fsa, solo, b, delay);
+    let fold = |delay: u64,
+                decision: Decision,
+                worst: &mut Option<(u64, u64, Decision)>,
+                checked: &mut u64|
+     -> Option<WorstCase> {
+        *checked += 1;
         match decision.verdict {
             Verdict::Meets { round } => {
                 if worst.as_ref().is_none_or(|(r, _, _)| round > *r) {
-                    worst = Some((round, delay, decision));
+                    *worst = Some((round, delay, decision));
                 }
+                None
             }
             Verdict::NeverMeets { .. } => {
-                return WorstCase::Defeated { delay, decision, delays_checked: checked };
+                Some(WorstCase::Defeated { delay, decision, delays_checked: *checked })
             }
+        }
+    };
+    if horizon <= WORST_CASE_PAR_THRESHOLD {
+        for delay in 0..horizon {
+            let decision = decide_from_lassos(solo_a, solo_b, delay);
+            if let Some(defeated) = fold(delay, decision, &mut worst, &mut checked) {
+                return defeated;
+            }
+        }
+    } else {
+        use rayon::prelude::*;
+        let mut chunk_start = 0u64;
+        while chunk_start < horizon {
+            let chunk_end = (chunk_start + WORST_CASE_PAR_CHUNK).min(horizon);
+            let delays: Vec<u64> = (chunk_start..chunk_end).collect();
+            let decisions: Vec<Decision> =
+                delays.par_iter().map(|&d| decide_from_lassos(solo_a, solo_b, d)).collect();
+            for (delay, decision) in delays.into_iter().zip(decisions) {
+                if let Some(defeated) = fold(delay, decision, &mut worst, &mut checked) {
+                    return defeated;
+                }
+            }
+            chunk_start = chunk_end;
         }
     }
     if let Some(tv) = first_home {
@@ -436,7 +627,7 @@ pub enum ScheduleVerdict {
 /// A decided `(pair, schedule)` instance, with the crossing bookkeeping
 /// needed to reproduce the bounded simulator's row at any budget —
 /// the scheduled sibling of [`Decision`].
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct ScheduleDecision {
     pub verdict: ScheduleVerdict,
     /// Global rounds with an edge crossing over the explored horizon.
@@ -475,6 +666,22 @@ impl ScheduleDecision {
             }
         }
     }
+
+    /// The scheduled decision for the image pair — the scheduled sibling
+    /// of [`Decision::relabel`]. `swap` is sound only for
+    /// [`rvz_sim::Schedule::lane_symmetric`] schedules; the caller
+    /// guarantees it.
+    pub fn relabel(&self, map: Option<&[NodeId]>, swap: bool) -> ScheduleDecision {
+        let verdict = match self.verdict {
+            ScheduleVerdict::Meets { round } => ScheduleVerdict::Meets { round },
+            ScheduleVerdict::NeverMeets { lasso } => {
+                let at_cycle =
+                    relabel_pair(lasso.at_cycle, map, swap, |cfg, m| cfg.map(|c| c.relabel(m)));
+                ScheduleVerdict::NeverMeets { lasso: ScheduleLasso { at_cycle, ..lasso } }
+            }
+        };
+        ScheduleDecision { verdict, crossing_rounds: self.crossing_rounds.clone() }
+    }
 }
 
 /// One scheduled activation step of one agent: `None` configurations are
@@ -484,6 +691,70 @@ fn step_opt(t: &Tree, fsa: &Fsa, start: NodeId, cfg: Option<AgentCfg>) -> AgentC
     match cfg {
         None => step_first(t, fsa, start),
         Some(c) => step(t, fsa, c),
+    }
+}
+
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Open-addressed `key → first-seen round` map with linear probing: the
+/// scheduled decider's visited set. Keys are packed product-configuration
+/// indices (bounded by `(num_configs + 1)² · cycle_len`, so `u128` always
+/// holds them); compared to a `HashMap` of configuration tuples this is
+/// one flat probe into two dense arrays per round.
+struct ProbeTable {
+    keys: Vec<u128>,
+    rounds: Vec<u64>,
+    len: usize,
+}
+
+impl ProbeTable {
+    const EMPTY: u128 = u128::MAX;
+
+    fn new() -> Self {
+        ProbeTable { keys: vec![Self::EMPTY; 64], rounds: vec![0; 64], len: 0 }
+    }
+
+    fn slot_of(&self, key: u128) -> usize {
+        let mask = self.keys.len() - 1;
+        let mut i = splitmix64((key as u64) ^ splitmix64((key >> 64) as u64)) as usize & mask;
+        while self.keys[i] != Self::EMPTY && self.keys[i] != key {
+            i = (i + 1) & mask;
+        }
+        i
+    }
+
+    /// Returns the prior round for `key`, or records `round` as its first.
+    fn get_or_insert(&mut self, key: u128, round: u64) -> Option<u64> {
+        debug_assert_ne!(key, Self::EMPTY);
+        let i = self.slot_of(key);
+        if self.keys[i] != Self::EMPTY {
+            return Some(self.rounds[i]);
+        }
+        self.keys[i] = key;
+        self.rounds[i] = round;
+        self.len += 1;
+        if self.len * 4 > self.keys.len() * 3 {
+            self.grow();
+        }
+        None
+    }
+
+    fn grow(&mut self) {
+        let new_cap = self.keys.len() * 2;
+        let old_keys = std::mem::replace(&mut self.keys, vec![Self::EMPTY; new_cap]);
+        let old_rounds = std::mem::replace(&mut self.rounds, vec![0; new_cap]);
+        for (k, r) in old_keys.into_iter().zip(old_rounds) {
+            if k != Self::EMPTY {
+                let i = self.slot_of(k);
+                self.keys[i] = k;
+                self.rounds[i] = r;
+            }
+        }
     }
 }
 
@@ -509,12 +780,21 @@ pub fn decide_pair_scheduled(
     }
     let p = sched.prefix_len();
     let c = sched.cycle_len();
+    // Packed product-configuration key: `None` (not yet activated) is 0,
+    // any real configuration is `1 + config_index`.
+    let n = t.num_nodes();
+    let stride = fsa.num_configs(n) as u128 + 1;
+    let opt_index = |cfg: Option<AgentCfg>| -> u128 {
+        match cfg {
+            None => 0,
+            Some(cfg) => 1 + fsa.config_index(cfg.state, cfg.node, cfg.entry, n) as u128,
+        }
+    };
     let mut cfg_a: Option<AgentCfg> = None;
     let mut cfg_b: Option<AgentCfg> = None;
     let (mut pos_a, mut pos_b) = (a, b);
     let mut crossing_rounds = Vec::new();
-    type JointKey = (Option<AgentCfg>, Option<AgentCfg>, u64);
-    let mut seen: HashMap<JointKey, u64> = HashMap::new();
+    let mut seen = ProbeTable::new();
     let mut round = 0u64;
     loop {
         round += 1;
@@ -538,7 +818,9 @@ pub fn decide_pair_scheduled(
         }
         if round > p {
             let cycle_idx = (round - 1 - p) % c;
-            if let Some(&entry_round) = seen.get(&(cfg_a, cfg_b, cycle_idx)) {
+            let key =
+                (opt_index(cfg_a) * stride + opt_index(cfg_b)) * c as u128 + cycle_idx as u128;
+            if let Some(entry_round) = seen.get_or_insert(key, round) {
                 let lasso = ScheduleLasso {
                     stem: entry_round,
                     period: round - entry_round,
@@ -550,7 +832,6 @@ pub fn decide_pair_scheduled(
                     crossing_rounds,
                 };
             }
-            seen.insert((cfg_a, cfg_b, cycle_idx), round);
         }
     }
 }
@@ -761,6 +1042,62 @@ mod tests {
         // On this symmetric instance the swapped configuration differs.
         assert_ne!(swapped.at_cycle, good.at_cycle);
         assert!(!verify_lasso(&t, &fsa, 0, 1, 0, &swapped));
+    }
+
+    #[test]
+    fn relabeled_decisions_equal_direct_decisions_of_the_image_pair() {
+        // Soundness of the sweep's orbit quotient, pinned exactly:
+        // flipping through the port-preserving automorphism and/or (under
+        // a lane-symmetric schedule) swapping the agents commutes with
+        // every decider entry point — certificates included, not just
+        // verdicts.
+        let mut saw_flip = false;
+        for t in [line(7), line(8), spider(3, 2), colored_line(6, 1)] {
+            let flip = rvz_trees::symmetry::port_preserving_flip(&t);
+            saw_flip |= flip.is_some();
+            let fsa = bw(&t);
+            let n = t.num_nodes() as NodeId;
+            let lockstep = Schedule::new(Vec::new(), vec![(true, true), (false, false)]);
+            let intermittent = Schedule::intermittent(2, 0);
+            for a in 0..n {
+                for b in 0..n {
+                    if a == b {
+                        continue;
+                    }
+                    for delay in [0u64, 1, 5] {
+                        let d = decide_pair(&t, &fsa, a, b, delay);
+                        if let Some(f) = flip.as_deref() {
+                            let image = decide_pair(&t, &fsa, f[a as usize], f[b as usize], delay);
+                            assert_eq!(d.relabel(Some(f), false), image, "flip a={a} b={b}");
+                        }
+                        if delay == 0 {
+                            let swapped = decide_pair(&t, &fsa, b, a, 0);
+                            assert_eq!(d.relabel(None, true), swapped, "swap a={a} b={b}");
+                        }
+                    }
+                    if let Some(f) = flip.as_deref() {
+                        let wc = worst_case_delay(&t, &fsa, a, b);
+                        let image = worst_case_delay(&t, &fsa, f[a as usize], f[b as usize]);
+                        assert_eq!(wc.relabel(Some(f)), image, "∀-delay flip a={a} b={b}");
+                        let sd = decide_pair_scheduled(&t, &fsa, a, b, &intermittent);
+                        let s_image = decide_pair_scheduled(
+                            &t,
+                            &fsa,
+                            f[a as usize],
+                            f[b as usize],
+                            &intermittent,
+                        );
+                        assert_eq!(sd.relabel(Some(f), false), s_image, "sched flip a={a} b={b}");
+                    }
+                    // Lockstep is lane-symmetric, so the swap is sound on
+                    // the scheduled decider too.
+                    let ld = decide_pair_scheduled(&t, &fsa, a, b, &lockstep);
+                    let l_swapped = decide_pair_scheduled(&t, &fsa, b, a, &lockstep);
+                    assert_eq!(ld.relabel(None, true), l_swapped, "sched swap a={a} b={b}");
+                }
+            }
+        }
+        assert!(saw_flip, "at least one instance must exercise the flip");
     }
 
     #[test]
@@ -1020,6 +1357,143 @@ mod tests {
                 assert_eq!(decision.round(), Some(5));
             }
             ScheduleWorstCase::Defeated { .. } => panic!("a parked agent is met at home"),
+        }
+    }
+
+    /// The historical decider: the explicit joint-configuration walk with a
+    /// hash-map visited set. Kept verbatim as the differential oracle for
+    /// the product-lasso closed form.
+    fn naive_walk(t: &Tree, fsa: &Fsa, solo: &SoloLasso, b: NodeId, delay: u64) -> Decision {
+        use std::collections::HashMap;
+        let a = solo.start;
+        if a == b {
+            return Decision { verdict: Verdict::Meets { round: 0 }, crossing_rounds: Vec::new() };
+        }
+        if let Some(tv) = solo.first_visit(b) {
+            if tv <= delay {
+                return Decision {
+                    verdict: Verdict::Meets { round: tv },
+                    crossing_rounds: Vec::new(),
+                };
+            }
+        }
+        let mut prev_a = solo.position(delay);
+        let mut prev_b = b;
+        let mut cfg_a: Option<AgentCfg> = (delay >= 1).then(|| solo.config_at(delay));
+        let mut cfg_b: Option<AgentCfg> = None;
+        let mut crossing_rounds = Vec::new();
+        let mut seen: HashMap<(AgentCfg, AgentCfg), u64> = HashMap::new();
+        let mut round = delay;
+        loop {
+            round += 1;
+            let na = match cfg_a {
+                None => step_first(t, fsa, a),
+                Some(c) => step(t, fsa, c),
+            };
+            let nb = match cfg_b {
+                None => step_first(t, fsa, b),
+                Some(c) => step(t, fsa, c),
+            };
+            if na.node == prev_b && nb.node == prev_a && na.node != nb.node {
+                crossing_rounds.push(round);
+            }
+            if na.node == nb.node {
+                return Decision { verdict: Verdict::Meets { round }, crossing_rounds };
+            }
+            if let Some(&entry_round) = seen.get(&(na, nb)) {
+                let lasso =
+                    Lasso { stem: entry_round, period: round - entry_round, at_cycle: (na, nb) };
+                crossing_rounds.retain(|&r| r <= lasso.stem + lasso.period);
+                return Decision { verdict: Verdict::NeverMeets { lasso }, crossing_rounds };
+            }
+            seen.insert((na, nb), round);
+            prev_a = na.node;
+            prev_b = nb.node;
+            cfg_a = Some(na);
+            cfg_b = Some(nb);
+        }
+    }
+
+    #[test]
+    fn product_lasso_matches_naive_walk() {
+        // Full Decision equality — verdict, every Lasso field, and the raw
+        // crossing list — between the closed form and the historical
+        // hash-map walk, across trees, automata, and delays.
+        let mut rng = StdRng::seed_from_u64(0xFA16);
+        for trial in 0..24 {
+            let t = random_tree(3 + (trial % 10), &mut rng);
+            let n = t.num_nodes() as NodeId;
+            for fsa in [bw(&t), Fsa::random(1 + trial % 5, t.max_degree().max(1), 0.3, &mut rng)] {
+                for a in 0..n.min(5) {
+                    let solo_a = SoloLasso::tabulate(&t, &fsa, a);
+                    for b in 0..n {
+                        if a == b {
+                            continue;
+                        }
+                        let solo_b = SoloLasso::tabulate(&t, &fsa, b);
+                        for delay in [0u64, 1, 2, 3, 7, 19, 1_000_003] {
+                            let new = decide_from_lassos(&solo_a, &solo_b, delay);
+                            let old = naive_walk(&t, &fsa, &solo_a, b, delay);
+                            assert_eq!(new.verdict, old.verdict, "a={a} b={b} θ={delay}");
+                            assert_eq!(
+                                new.crossing_rounds, old.crossing_rounds,
+                                "a={a} b={b} θ={delay}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_quantifier_is_byte_identical_to_sequential() {
+        // line(40) from an endpoint: first_visit(39) = 39 > the parallel
+        // threshold, so the chunked rayon path runs; its result must equal
+        // a hand-rolled sequential scan exactly.
+        let t = line(40);
+        let fsa = bw(&t);
+        for (a, b) in [(0u32, 39u32), (39, 0), (1, 39)] {
+            let solo_a = SoloLasso::tabulate(&t, &fsa, a);
+            let solo_b = SoloLasso::tabulate(&t, &fsa, b);
+            let first_home = solo_a.first_visit(b);
+            let horizon = first_home.unwrap_or_else(|| solo_a.distinct_delays());
+            assert!(horizon > WORST_CASE_PAR_THRESHOLD, "instance must exercise the parallel path");
+            let par = worst_case_from_lassos(&solo_a, &solo_b);
+            // Sequential oracle.
+            let mut worst: Option<(u64, u64)> = None;
+            let mut defeat: Option<(u64, u64)> = None; // (delay, checked)
+            let mut checked = 0u64;
+            for delay in 0..horizon {
+                checked += 1;
+                match decide_from_lassos(&solo_a, &solo_b, delay).verdict {
+                    Verdict::Meets { round } => {
+                        if worst.is_none_or(|(r, _)| round > r) {
+                            worst = Some((round, delay));
+                        }
+                    }
+                    Verdict::NeverMeets { .. } => {
+                        defeat = Some((delay, checked));
+                        break;
+                    }
+                }
+            }
+            match (par, defeat) {
+                (WorstCase::Defeated { delay, delays_checked, .. }, Some((d, c))) => {
+                    assert_eq!((delay, delays_checked), (d, c), "a={a} b={b}");
+                }
+                (WorstCase::AllMeet { worst_delay, worst_round, delays_checked, .. }, None) => {
+                    if let Some(tv) = first_home {
+                        checked += 1;
+                        if worst.is_none_or(|(r, _)| tv > r) {
+                            worst = Some((tv, tv));
+                        }
+                    }
+                    let (r, d) = worst.expect("at least one class");
+                    assert_eq!((worst_round, worst_delay, delays_checked), (r, d, checked));
+                }
+                (got, want) => panic!("verdict shape diverged: {got:?} vs {want:?} (a={a} b={b})"),
+            }
         }
     }
 

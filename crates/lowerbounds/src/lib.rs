@@ -27,6 +27,22 @@
 //! Combined with [`rvz_agent::compile`], the Theorem 3.1 adversary can be
 //! pointed at *our own* (capped) upper-bound agents — the end-to-end
 //! demonstration of the title's exponential gap.
+//!
+//! ```
+//! use rvz_agent::Fsa;
+//! use rvz_lowerbounds::{decide_pair, verify_lasso};
+//! use rvz_trees::generators::line;
+//!
+//! // The 0-bit basic walk meets the leaf pair of an odd line at delay 0,
+//! // but a single round of delay flips the distance parity for good — and
+//! // the decider *proves* it with a checkable lasso, no round budget.
+//! let t = line(5);
+//! let fsa = Fsa::basic_walk(2);
+//! assert!(decide_pair(&t, &fsa, 0, 4, 0).met());
+//! let defeated = decide_pair(&t, &fsa, 0, 4, 1);
+//! let lasso = defeated.lasso().expect("certified never-meets");
+//! assert!(verify_lasso(&t, &fsa, 0, 4, 1, lasso));
+//! ```
 
 pub mod decide;
 pub mod delay_attack;

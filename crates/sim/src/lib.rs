@@ -9,6 +9,20 @@
 //! of the same round* — crossing inside an edge does not count (Lemma 4.8
 //! depends on this), though crossings are detected and reported for the
 //! lower-bound instrumentation.
+//!
+//! ```
+//! use rvz_sim::Schedule;
+//!
+//! // The arbitrary-delay scenario is the schedule that stalls agent B for
+//! // θ rounds: round 3 is the first in which both agents act.
+//! let theta = Schedule::start_delay(2);
+//! assert_eq!(theta.active(2), (true, false));
+//! assert_eq!(theta.active(3), (true, true));
+//! // Only lane-symmetric schedules treat the agents interchangeably
+//! // (the sweep's orbit quotient may swap start pairs exactly then).
+//! assert!(Schedule::simultaneous().lane_symmetric());
+//! assert!(!theta.lane_symmetric());
+//! ```
 
 pub mod multi;
 pub mod runner;

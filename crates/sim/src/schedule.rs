@@ -148,6 +148,16 @@ impl Schedule {
             .then_some(self.prefix.len() as u64)
     }
 
+    /// `true` when the two lanes see identical activation flags every
+    /// round (simultaneous, lockstep, any global-stall pattern). For such
+    /// schedules swapping the agents merely relabels the lanes, so the
+    /// rendezvous verdict for `(a, b)` equals the verdict for `(b, a)` —
+    /// the swap half of the sweep's start-pair orbit quotient is sound
+    /// exactly on this class.
+    pub fn lane_symmetric(&self) -> bool {
+        self.prefix.iter().chain(&self.cycle).all(|&(a, b)| a == b)
+    }
+
     /// Activation arithmetic for agent A.
     pub fn index_a(&self) -> ActivationIndex {
         ActivationIndex::new(self, false)
@@ -244,6 +254,17 @@ impl ActivationIndex {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn lane_symmetry_matches_the_flag_pattern() {
+        assert!(Schedule::simultaneous().lane_symmetric());
+        assert!(Schedule::new(Vec::new(), vec![(true, true), (false, false)]).lane_symmetric());
+        assert!(!Schedule::start_delay(1).lane_symmetric());
+        assert!(!Schedule::intermittent(2, 0).lane_symmetric());
+        assert!(!Schedule::crash_after(3).lane_symmetric());
+        // θ = 0 start delay has an empty prefix and a both-on cycle.
+        assert!(Schedule::start_delay(0).lane_symmetric());
+    }
 
     /// Brute-force activation count straight off `Schedule::active`.
     fn brute_acts(s: &Schedule, second: bool, round: u64) -> u64 {

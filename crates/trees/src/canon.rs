@@ -243,8 +243,8 @@ pub fn unrooted_canon_structural(t: &Tree, marked: Option<NodeId>) -> Canon {
     }
 }
 
-/// Canonical ranks of all nodes, used by the arbitrary-delay baseline (D5 in
-/// DESIGN.md): deterministic under renaming of the hidden node ids, and two
+/// Canonical ranks of all nodes, used by the arbitrary-delay baseline (§D5 of
+/// docs/design-notes.md): deterministic under renaming of the hidden node ids, and two
 /// nodes share a rank **iff** the (unique) port-preserving non-trivial
 /// automorphism exchanges them. In particular, non-perfectly-symmetrizable
 /// (hence never symmetric) agent positions always receive distinct ranks.

@@ -209,7 +209,7 @@ pub fn broom(n: usize) -> Tree {
 /// port to the joining path; leg interiors use 0 toward the hub / 1 away;
 /// path interiors use 0 toward hub A / 1 toward hub B.
 ///
-/// The key family for the Figure-2 ablation (DESIGN.md §D7): with leg
+/// The key family for the Figure-2 ablation (docs/design-notes.md §D7): with leg
 /// multisets of **equal sum but different composition** (e.g. `{1,4}` vs
 /// `{2,3}`) the contraction `T'` is symmetric and the two hub agents stay
 /// perfectly synchronized — only the `bw(j)/cbw(j)` probes break the tie.

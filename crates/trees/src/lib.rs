@@ -17,6 +17,19 @@
 //! * [`symmetry`] — automorphisms, symmetry w.r.t. a labeling, topological
 //!   symmetry, and the **perfect symmetrizability** decision procedure
 //!   (Definition 1.2 / Fact 1.1).
+//!
+//! ```
+//! use rvz_trees::generators::line;
+//! use rvz_trees::perfectly_symmetrizable;
+//!
+//! // Fact 1.1: an even line can be labeled so its two halves mirror each
+//! // other — identical deterministic agents starting on its leaves can
+//! // never break the symmetry…
+//! assert!(perfectly_symmetrizable(&line(6), 0, 5));
+//! // …while an odd line's central *node* blocks every such labeling, so
+//! // the leaf pair is feasible and rendezvous is the agents' problem.
+//! assert!(!perfectly_symmetrizable(&line(7), 0, 6));
+//! ```
 
 pub mod canon;
 pub mod center;

@@ -2,6 +2,10 @@
 //! version of the paper's own `prime` protocol into an explicit automaton
 //! and let the Theorem 3.1 and Theorem 4.2 adversaries defeat it.
 //!
+//! Claims demonstrated: **Theorems 3.1 and 4.2** (the lower-bound
+//! adversaries), constructively — experiments e1 and e4 run the same
+//! adversaries over parameter grids.
+//!
 //! ```text
 //! cargo run --release --example adversary_vs_automaton
 //! ```

@@ -10,6 +10,10 @@
 //! pair falls to a start delay of at most 1 (both agents always move, so a
 //! single solo round flips the distance parity for good).
 //!
+//! Claim demonstrated: the **e9 exhaustive certification** interactively
+//! (`--experiment e9` runs it over every default size; see
+//! docs/executors.md).
+//!
 //! Run: `cargo run --release --example certified_gap [n]` (default 7).
 
 use tree_rendezvous::agent::Fsa;

@@ -13,6 +13,9 @@
 //!
 //! Both agents are actually *run* on every size (with delay 0 and with an
 //! adversarial delay respectively) to show they really do meet.
+//!
+//! Claim demonstrated: the **§1.1 title claim** — this is experiment e6's
+//! scenario as a single runnable walkthrough.
 
 use tree_rendezvous::core::{DelayRobustAgent, TreeRendezvousAgent};
 use tree_rendezvous::sim::{run_pair, PairConfig};

@@ -9,6 +9,10 @@
 //! every copy converges to the same canonical waiting node. On symmetric
 //! contractions only pairwise rendezvous is guaranteed — the example shows
 //! both regimes and exports the gatherable instance as Graphviz DOT.
+//!
+//! Claim demonstrated: the **§1.3 gathering extension** on the multi-agent
+//! simulator (`rvz_sim::run_multi`) — no sweep grid runs it; this example
+//! is its executable record.
 
 use tree_rendezvous::core::{gather, gatherable};
 use tree_rendezvous::sim::MultiOutcome;

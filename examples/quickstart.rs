@@ -7,6 +7,10 @@
 //! Builds a small tree, drops two copies of the Theorem 4.1 agent on
 //! non-perfectly-symmetrizable starts, runs the synchronous simulator, and
 //! reports where/when they met and how much memory they used.
+//!
+//! Claim demonstrated: **Theorem 4.1** (simultaneous-start rendezvous with
+//! `O(log ℓ + log log n)` bits). The sweep's `tree-rvz` variant cells run
+//! this same scenario at grid scale (experiment e2).
 
 use tree_rendezvous::core::TreeRendezvousAgent;
 use tree_rendezvous::sim::{run_pair, PairConfig};

@@ -8,6 +8,10 @@
 //! examples: odd and even lines, complete binary trees — including an
 //! explicit *symmetrization witness* (a port labeling plus the
 //! port-preserving involution) for a perfectly symmetrizable pair.
+//!
+//! Claim demonstrated: **Definition 1.2 / Fact 1.1** — the feasibility
+//! predicate every sweep grid's start-pair pool is filtered by (and the
+//! symmetry the decide executor's orbit quotient exploits).
 
 use tree_rendezvous::trees::generators::{complete_binary, line};
 use tree_rendezvous::trees::symmetry::{

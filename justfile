@@ -2,7 +2,7 @@
 # lockstep so "works on my machine" and CI mean the same thing.
 
 # Full CI-equivalent pass.
-ci: build test fmt-check clippy docs differential bench-smoke
+ci: build test fmt-check clippy docs doctest docs-check differential bench-smoke
 
 build:
     cargo build --release --workspace
@@ -23,6 +23,15 @@ clippy:
 docs:
     RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps
 
+# Every crate root carries a runnable doctest; run them all.
+doctest:
+    cargo test --doc --workspace -q
+
+# Offline doc health: intra-repo markdown links resolve, and the README
+# flag table matches `experiments --help` (drift fails the build).
+docs-check:
+    scripts/check_docs.sh
+
 # CI's differential job: three-executor agreement on e8 (replay ==
 # stepping to the byte; decide == replay modulo the `certified` flag),
 # the e9 exhaustive certification with thread-invariance and certificate
@@ -39,14 +48,17 @@ differential:
     jq 'del(.rows[].certified)' differential/e8-replay.json > differential/e8-replay-stripped.json
     jq 'del(.rows[].certified)' differential/e8-decide.json > differential/e8-decide-stripped.json
     cmp differential/e8-replay-stripped.json differential/e8-decide-stripped.json
-    cargo run --release --bin experiments -- \
-      --experiment e9 --executor decide --threads 4 \
-      --json differential/e9.json --certificates differential/e9-certificates.json
-    cargo run --release --bin experiments -- \
-      --experiment e9 --executor decide --threads 1 \
-      --json differential/e9-t1.json --certificates differential/e9-certificates-t1.json
-    cmp differential/e9.json differential/e9-t1.json
-    cmp differential/e9-certificates.json differential/e9-certificates-t1.json
+    for t in 1 2 8; do \
+      cargo run --release --bin experiments -- \
+        --experiment e9 --executor decide --threads "$t" \
+        --json "differential/e9-t$t.json" --certificates "differential/e9-certificates-t$t.json"; \
+    done
+    cmp differential/e9-t1.json differential/e9-t2.json
+    cmp differential/e9-t1.json differential/e9-t8.json
+    cmp differential/e9-certificates-t1.json differential/e9-certificates-t2.json
+    cmp differential/e9-certificates-t1.json differential/e9-certificates-t8.json
+    cp differential/e9-t1.json differential/e9.json
+    cp differential/e9-certificates-t1.json differential/e9-certificates.json
     jq -e '[.rows[] | select(.certified | not)] | length == 0' differential/e9.json > /dev/null
     jq -e '[.certificates[] | select(.verified == false)] | length == 0' differential/e9-certificates.json > /dev/null
     for ex in replay stepping decide; do \
@@ -70,6 +82,14 @@ e9:
       --experiment e9 --executor decide \
       --json e9.json --certificates e9-certificates.json
 
+# e9 pushed one size past the CI default: every free tree with n ≤ 11
+# (+235 trees over the default axis) — minutes, not CI material.
+e9-full:
+    cargo run --release --bin experiments -- \
+      --experiment e9 --executor decide --sizes 2,3,4,5,6,7,8,9,10,11 \
+      --json e9-full.json --certificates e9-full-certificates.json
+    jq -e '[.rows[] | select(.certified | not)] | length == 0' e9-full.json > /dev/null
+
 # The activation-schedule sweep on its own (table + artifacts).
 e10:
     cargo run --release --bin experiments -- \
@@ -79,9 +99,10 @@ e10:
 bench:
     cargo bench --workspace
 
-# Re-measure the sweep executor (stepping vs trace replay) and refresh
-# BENCH_sweep.json (the perf trajectory this and future PRs carry; see
-# README "Performance"). Fails if sweep_cells_variants speeds up < 3x.
+# Re-measure the sweep executor (stepping vs trace replay vs decide) and
+# refresh BENCH_sweep.json (the perf trajectory this and future PRs carry;
+# see docs/schemas.md). Fails if sweep_cells_variants speeds up < 3x or
+# decide_cells falls below 0.66x.
 bench-baseline:
     cargo run --release -p rvz-bench --bin bench_baseline -- BENCH_sweep.json
 

@@ -15,9 +15,26 @@
 //! * [`lowerbounds`] — the constructive adversaries of Theorems 3.1, 4.2
 //!   and 4.3.
 //!
-//! See `README.md` for the workspace layout, the `experiments` CLI, and
-//! the JSON result-row schema. (`DESIGN.md` section numbers cited in doc
-//! comments refer to the original design notes, not yet committed here.)
+//! See `README.md` for the quickstart and the `docs/` directory for the
+//! deep guides: `docs/architecture.md` (crate map and data flow),
+//! `docs/executors.md` (the three sweep executors), `docs/certificates.md`
+//! (the lasso certificate formats), `docs/schemas.md` (JSON schemas), and
+//! `docs/design-notes.md` (the §D design notes cited in doc comments).
+//!
+//! ```
+//! use tree_rendezvous::core::TreeRendezvousAgent;
+//! use tree_rendezvous::sim::{run_pair, Outcome, PairConfig};
+//! use tree_rendezvous::trees::generators::spider;
+//! use tree_rendezvous::trees::perfectly_symmetrizable;
+//!
+//! // The whole stack in five lines: a feasible pair on a few-leaf tree,
+//! // two copies of the Theorem 4.1 agent, simultaneous start — they meet.
+//! let t = spider(3, 5);
+//! assert!(!perfectly_symmetrizable(&t, 3, 14));
+//! let (mut a, mut b) = (TreeRendezvousAgent::new(), TreeRendezvousAgent::new());
+//! let run = run_pair(&t, 3, 14, &mut a, &mut b, PairConfig::simultaneous(10_000_000));
+//! assert!(matches!(run.outcome, Outcome::Met { .. }));
+//! ```
 
 pub use rvz_agent as agent;
 pub use rvz_core as core;
