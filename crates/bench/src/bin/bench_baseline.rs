@@ -140,7 +140,8 @@ fn main() {
         "decide_cells": decide
     });
     let body = serde_json::to_string_pretty(&payload).expect("serialize");
-    std::fs::write(&out_path, format!("{body}\n")).expect("write BENCH_sweep.json");
+    rvz_bench::wire::atomic_write(std::path::Path::new(&out_path), format!("{body}\n").as_bytes())
+        .expect("write BENCH_sweep.json");
     println!("  (written to {out_path})");
     if variants_speedup < 3.0 {
         eprintln!(

@@ -25,8 +25,7 @@
 //! experiments [e1 e2 ... e8 | all] [--full] [--json DIR]
 //! ```
 
-use crate::{e1, e10, e2, e3, e4, e5, e6, e7, e8, e9, sweep, Table};
-use std::io::Write;
+use crate::{checkpoint, e1, e10, e2, e3, e4, e5, e6, e7, e8, e9, stores, sweep, Table};
 use std::process::exit;
 
 struct Cfg {
@@ -70,6 +69,26 @@ fn flag_value(args: &[String], flag: &str) -> Option<String> {
     }
 }
 
+/// Bare-flag lookup (`--resume` takes no value).
+fn has_flag(args: &[String], flag: &str) -> bool {
+    args.iter().any(|a| a == flag)
+}
+
+/// Parses a numeric flag that must be ≥ 1 when given at all: an explicit
+/// `0` (or garbage) is an error, not a silent fallback — `--threads 0`
+/// used to be accepted as "all cores", indistinguishable from a typo'd
+/// thread count.
+fn positive_flag(args: &[String], flag: &str, zero_hint: &str) -> Option<u64> {
+    let raw = flag_value(args, flag)?;
+    match raw.parse::<u64>() {
+        Ok(0) | Err(_) => {
+            eprintln!("error: bad {flag} `{raw}` (must be a positive integer; {zero_hint})");
+            exit(2);
+        }
+        Ok(v) => Some(v),
+    }
+}
+
 /// Parses `--sizes`: comma-separated positive integers, sorted and
 /// deduplicated (a duplicated size used to duplicate every cell — and
 /// every JSON row — of that size; now it is collapsed with a warning,
@@ -108,14 +127,8 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
         }
         sizes
     });
-    let threads: usize = flag_value(args, "--threads")
-        .map(|t| {
-            t.parse().unwrap_or_else(|_| {
-                eprintln!("error: bad --threads `{t}`");
-                exit(2);
-            })
-        })
-        .unwrap_or(0);
+    let threads: usize =
+        positive_flag(args, "--threads", "omit the flag to use all cores").unwrap_or(0) as usize;
     let seed: u64 = flag_value(args, "--seed")
         .map(|s| {
             s.parse().unwrap_or_else(|_| {
@@ -124,14 +137,8 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
             })
         })
         .unwrap_or(0x5EED_2010);
-    let pairs: usize = flag_value(args, "--pairs")
-        .map(|p| {
-            p.parse().unwrap_or_else(|_| {
-                eprintln!("error: bad --pairs `{p}`");
-                exit(2);
-            })
-        })
-        .unwrap_or(0);
+    let pairs: usize = positive_flag(args, "--pairs", "omit the flag for the preset's default")
+        .unwrap_or(0) as usize;
     let executor = match flag_value(args, "--executor").as_deref() {
         None => None,
         Some("replay") => Some(sweep::Executor::TraceReplay),
@@ -145,8 +152,21 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
         }
     };
     let certificates_path = flag_value(args, "--certificates");
+    let checkpoint_path = flag_value(args, "--checkpoint");
+    let resume = has_flag(args, "--resume");
+    if resume && checkpoint_path.is_none() {
+        eprintln!("error: --resume needs --checkpoint FILE (the journal to resume from)");
+        exit(2);
+    }
+    let store_dir = flag_value(args, "--store");
+    let cell_timeout =
+        positive_flag(args, "--cell-timeout", "a 0ms budget would quarantine every cell")
+            .map(std::time::Duration::from_millis);
 
-    let mut reports: Vec<(String, Vec<usize>, sweep::SweepReport)> = Vec::new();
+    // Pass 1: resolve every spec up front, so the checkpoint journal's
+    // fingerprint can cover the whole invocation (resuming under a
+    // different grid must be a hard error, not a silent row splice).
+    let mut planned: Vec<(String, Vec<usize>, sweep::SweepSpec)> = Vec::new();
     for id in ids.split(',').filter(|t| !t.is_empty()) {
         let id = id.trim().to_lowercase();
         // e9/e10 enumerate *all* free trees per size: their own default
@@ -181,7 +201,39 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
         } else {
             sweep::Executor::TraceReplay
         });
-        let report = sweep::run(&spec);
+        planned.push((id, sizes, spec));
+    }
+
+    let journal = checkpoint_path.map(|path| {
+        let specs: Vec<&sweep::SweepSpec> = planned.iter().map(|(_, _, s)| s).collect();
+        let fingerprint = checkpoint::spec_fingerprint(&specs);
+        let journal = checkpoint::Journal::open(std::path::Path::new(&path), resume, fingerprint)
+            .unwrap_or_else(|e| {
+                eprintln!("error: {e}");
+                exit(2);
+            });
+        if resume {
+            eprintln!(
+                "resume: {} cell(s) recovered from {path}; they will be skipped",
+                journal.recovered_cells()
+            );
+        }
+        journal
+    });
+    if let Some(dir) = &store_dir {
+        let (trace, solo) = stores::load_all(std::path::Path::new(dir));
+        if trace.loaded + solo.loaded > 0 {
+            eprintln!(
+                "store: {} trajectories and {} lassos loaded from {dir}",
+                trace.loaded, solo.loaded
+            );
+        }
+    }
+
+    let mut reports: Vec<(String, Vec<usize>, sweep::SweepReport)> = Vec::new();
+    for (id, sizes, spec) in planned {
+        let opts = sweep::RunOptions { journal: journal.as_ref(), cell_timeout };
+        let report = sweep::run_with_options(&spec, &opts);
         if id == "e9" {
             // Thousands of exhaustive rows: print the per-size certified
             // summary instead of the raw row table (the rows still go to
@@ -201,7 +253,24 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
                 report.dropped_cells, report.planned_cells
             );
         }
+        let timed_out = report.rows.iter().filter(|r| r.timed_out == Some(true)).count();
+        if timed_out > 0 {
+            eprintln!(
+                "warning: {id}: {timed_out} cell(s) quarantined by --cell-timeout \
+                 (explicit timed_out rows; no run recorded for them)"
+            );
+        }
         reports.push((id, sizes, report));
+    }
+
+    if let Some(dir) = &store_dir {
+        match stores::save_all(std::path::Path::new(dir)) {
+            Ok((trace, solo)) => {
+                eprintln!("store: {trace} trajectories and {solo} lassos flushed to {dir}")
+            }
+            // A failed flush only loses cache warm-up, never results.
+            Err(e) => eprintln!("warning: could not flush stores to {dir}: {e}"),
+        }
     }
 
     if let Some(path) = json {
@@ -279,18 +348,30 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
     }
 }
 
-/// Schema tag of a sweep payload: `rvz-sweep/v3` once any row carries the
-/// optional `schedule` field, the legacy `rvz-sweep/v2` otherwise — so
-/// pre-schedule experiments keep emitting byte-identical JSON (see
-/// docs/schemas.md).
+/// Schema tag of a sweep payload, gated on what the rows actually carry
+/// so legacy payloads stay byte-identical (see docs/schemas.md):
+/// `rvz-sweep/v4` once any row has the optional `timed_out` field (the
+/// `--cell-timeout` watchdog fired), `rvz-sweep/v3` once any row has the
+/// optional `schedule` field, the legacy `rvz-sweep/v2` otherwise.
 fn sweep_schema<'a, I: IntoIterator<Item = &'a sweep::SweepRow>>(rows: I) -> &'static str {
-    if rows.into_iter().any(|r| r.schedule.is_some()) {
+    let mut has_schedule = false;
+    for r in rows {
+        if r.timed_out.is_some() {
+            return "rvz-sweep/v4";
+        }
+        has_schedule |= r.schedule.is_some();
+    }
+    if has_schedule {
         "rvz-sweep/v3"
     } else {
         "rvz-sweep/v2"
     }
 }
 
+/// Writes a report file atomically ([`crate::wire::atomic_write`]: temp
+/// sibling → fsync → rename), so a kill mid-write can never leave a torn
+/// half-payload under the real name. Byte-compatible with the old
+/// `writeln!` path: pretty-printed JSON plus a trailing newline.
 fn write_json<T: serde::Serialize>(path: &str, payload: &T) {
     if let Some(parent) = std::path::Path::new(path).parent() {
         if !parent.as_os_str().is_empty() {
@@ -300,12 +381,12 @@ fn write_json<T: serde::Serialize>(path: &str, payload: &T) {
             });
         }
     }
-    let mut f = std::fs::File::create(path).unwrap_or_else(|e| {
+    let mut text = serde_json::to_string_pretty(payload).expect("serialize");
+    text.push('\n');
+    crate::wire::atomic_write(std::path::Path::new(path), text.as_bytes()).unwrap_or_else(|e| {
         eprintln!("error: cannot write `{path}`: {e}");
         exit(2);
     });
-    writeln!(f, "{}", serde_json::to_string_pretty(payload).expect("serialize"))
-        .expect("write json");
 }
 
 const CLASSIC_IDS: [&str; 8] = ["e1", "e2", "e3", "e4", "e5", "e6", "e7", "e8"];
@@ -402,8 +483,9 @@ Sweep mode (parallel batch engine):
   experiments --experiment ID[,ID...]  grid-sweep the experiment(s) (e1..e10)
     --json PATH     write raw rows; FILE.json = one file, else directory
     --certificates F.json  write the exact decider's lasso certificates
-    --threads N     worker threads (0 = all cores; output is identical
-                    for every N — deterministic per-cell seeding)
+    --threads N     worker threads (default: all cores; explicit 0 is
+                    rejected; output is identical for every N —
+                    deterministic per-cell seeding)
     --sizes A,B,C   size axis, deduplicated (default {:?};
                     e9 defaults to {:?}, e10 to {:?},
                     capped at {} — they enumerate EVERY free tree per size)
@@ -415,6 +497,17 @@ Sweep mode (parallel batch engine):
                     budget-free, certifies never-meets; default for
                     e9/e10) — rows are byte-identical across executors
                     except for decide's `certified` flag
+    --checkpoint F  append-only crash-safe journal of completed cells
+                    (length-prefixed, per-record checksummed)
+    --resume        skip cells already journaled in --checkpoint F; the
+                    final output is byte-identical to an uninterrupted run
+    --store DIR     persistent trajectory/lasso caches: loaded (and
+                    re-verified record by record) before the sweep,
+                    flushed atomically after it
+    --cell-timeout MS  per-cell wall budget: a cell exceeding it retries on
+                    the next-cheaper executor, then is quarantined as an
+                    explicit timed_out row (machine-dependent — breaks
+                    cross-run byte-identity, so off by default)
 
 e10 sweeps activation schedules (per-round delay faults): simultaneous,
 θ=1, intermittent duty cycles, a mid-run crash — see

@@ -40,6 +40,7 @@
 //! assert!(report.rows.iter().all(|row| row.certified));
 //! ```
 
+pub mod checkpoint;
 pub mod cli;
 pub mod e1;
 pub mod e10;
@@ -51,12 +52,15 @@ pub mod e6;
 pub mod e7;
 pub mod e8;
 pub mod e9;
+pub mod faults;
 pub mod instances;
 mod solo_cache;
 pub mod stats;
+pub mod stores;
 pub mod sweep;
 pub mod table;
 mod trace_cache;
+pub mod wire;
 
 pub use sweep::{Executor, SweepRow, SweepSpec};
 pub use table::Table;

@@ -89,6 +89,41 @@ pub(crate) fn lasso(
     map.entry(key).or_insert(built).clone()
 }
 
+/// Snapshots the store for persistence: every lasso as
+/// `(family, n, tree_seed, start, variant, lasso bytes)`, in canonical
+/// key order (byte-identical files across runs with equal contents).
+pub(crate) fn export() -> Vec<(Family, usize, u64, NodeId, Variant, Vec<u8>)> {
+    let map = STORE.get_or_init(Mutex::default).lock().expect("solo store lock");
+    let mut out: Vec<_> = map
+        .iter()
+        .map(|(k, slot)| (k.family, k.n, k.tree_seed, k.start, k.variant, slot.to_bytes()))
+        .collect();
+    out.sort_by(|a, b| {
+        (a.0.name(), a.1, a.2, a.3, a.4.name()).cmp(&(b.0.name(), b.1, b.2, b.3, b.4.name()))
+    });
+    out
+}
+
+/// Installs a restored (and already re-verified — see
+/// [`crate::stores`]) lasso under its key. `false` when the key is
+/// already live or the store is at capacity.
+pub(crate) fn install_restored(
+    family: Family,
+    n: usize,
+    tree_seed: u64,
+    start: NodeId,
+    variant: Variant,
+    lasso: SoloLasso,
+) -> bool {
+    let key = StoreKey { family, n, tree_seed, start, variant };
+    let mut map = STORE.get_or_init(Mutex::default).lock().expect("solo store lock");
+    if map.len() >= MAX_STORE_KEYS || map.contains_key(&key) {
+        return false;
+    }
+    map.insert(key, Arc::new(lasso));
+    true
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

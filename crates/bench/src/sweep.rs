@@ -90,6 +90,25 @@ impl Family {
         }
     }
 
+    /// Inverse of [`Family::name`] — how the persistent stores decode
+    /// their on-disk keys ([`crate::stores`]). `None` for unknown names
+    /// (e.g. a store written by a future version with a new family).
+    pub fn from_name(name: &str) -> Option<Family> {
+        const ALL: [Family; 10] = [
+            Family::Line,
+            Family::LineRnd,
+            Family::Spider3,
+            Family::Caterpillar,
+            Family::Random,
+            Family::RandomDeg3,
+            Family::CompleteBinary,
+            Family::Binomial,
+            Family::Star,
+            Family::EnumFree,
+        ];
+        ALL.into_iter().find(|f| f.name() == name)
+    }
+
     /// Builds this family's member at size `n` with a deterministic stream.
     /// For [`Family::EnumFree`] the "seed" is the enumeration index — the
     /// stable `(n, index)` name of the tree.
@@ -321,6 +340,14 @@ impl Variant {
         }
     }
 
+    /// Inverse of [`Variant::name`] — how the persistent stores decode
+    /// their on-disk keys ([`crate::stores`]).
+    pub fn from_name(name: &str) -> Option<Variant> {
+        const ALL: [Variant; 4] =
+            [Variant::TreeRvz, Variant::DelayRobust, Variant::PrimePath, Variant::BasicWalkFsa];
+        ALL.into_iter().find(|v| v.name() == name)
+    }
+
     /// Grid filter: only combinations the algorithm is specified for.
     /// The universal delay quantifier is decidable only for the explicit
     /// automaton variant (the procedural agents have no exported finite
@@ -466,6 +493,14 @@ pub struct SweepRow {
     /// certified never-meets, not a budget timeout. Bounded executors
     /// always report `false`.
     pub certified: bool,
+    /// `Some(true)` when every executor attempt for the cell exceeded the
+    /// `--cell-timeout` wall budget and the row records *no run at all*
+    /// (`met: false`, `rounds: null`, zero crossings/bits). Absent — not
+    /// `null` — everywhere else, so rows without watchdogs keep their
+    /// exact serialized shape (schema `rvz-sweep/v4` = v3 plus this
+    /// optional field; see docs/schemas.md).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub timed_out: Option<bool>,
 }
 
 /// A machine-checkable decision certificate emitted by the
@@ -911,6 +946,7 @@ fn make_row(
         pairs_seed: inst.pairs_seed,
         cell_seed: cell.cell_seed(),
         certified,
+        timed_out: None,
     }
 }
 
@@ -1361,6 +1397,150 @@ pub struct SweepReport {
     pub certificates: Vec<Certificate>,
 }
 
+/// Dispatches one cell to `executor` — the single dispatch shared by
+/// [`run_with_options`] and the watchdog's downgrade chain. Adversarial
+/// cells are answered by the quantifier layer under *every* executor,
+/// routed through the certified entry point so the universal verdict's
+/// evidence (the per-cell [`Certificate`], lassos included) is kept in
+/// the report instead of being computed and dropped inside the bounded
+/// executors' delegation.
+pub fn run_cell_with_executor(
+    cell: &Cell,
+    inst: &SweepInstance,
+    executor: Executor,
+) -> (Option<SweepRow>, Option<Certificate>) {
+    let decide_certified = || match run_cell_decide_certified(cell, inst) {
+        Some((row, cert)) => (Some(row), cert),
+        None => (None, None),
+    };
+    match executor {
+        _ if cell.delay == Delay::Adversarial => decide_certified(),
+        Executor::TraceReplay => (run_cell_replay(cell, inst), None),
+        Executor::DynStepping => (run_cell_on(cell, inst), None),
+        Executor::ExactDecide => decide_certified(),
+    }
+}
+
+/// The watchdog's retry ladder: a timed-out attempt moves to the
+/// next-cheaper executor before the cell is given up as [`timed_out_row`].
+/// "Cheaper" here is per-cell marginal cost — the decider explores a joint
+/// configuration graph, replay decides from (possibly warm) recordings,
+/// and plain stepping does the minimum: one bounded run, no shared state.
+fn downgrade_chain(executor: Executor) -> &'static [Executor] {
+    match executor {
+        Executor::ExactDecide => {
+            &[Executor::ExactDecide, Executor::TraceReplay, Executor::DynStepping]
+        }
+        Executor::TraceReplay => &[Executor::TraceReplay, Executor::DynStepping],
+        Executor::DynStepping => &[Executor::DynStepping],
+    }
+}
+
+/// The explicit timeout row: a cell whose every attempt blew the wall
+/// budget, reported as "no run happened" — `met: false`, `rounds: null`,
+/// zero crossings and measured bits, `certified: false`, and
+/// `timed_out: true` so it can never be mistaken for a certified
+/// never-meets or an in-budget timeout. `None` when the pair index is out
+/// of range (the ordinary dropped-cell case).
+fn timed_out_row(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    let tree = &inst.tree;
+    let n = tree.num_nodes();
+    let leaves = tree.num_leaves();
+    let &starts = inst.pairs.get(cell.pair_index)?;
+    let (mode, budget, provisioned_bits) = if cell.delay == Delay::Adversarial {
+        // The quantifier never reached a decisive delay; there is no θ or
+        // budget to report, only the provisioned automaton size.
+        ((0u64, None), 0u64, inst.basic_walk_fsa().memory_bits())
+    } else {
+        let (delay, schedule, sched) = match cell.mode(n) {
+            CellMode::Delay(delay) => (delay, None, None),
+            CellMode::Scheduled(spec) => (0, Some(spec.label(n)), Some(spec.resolve(n))),
+        };
+        let (budget, provisioned) =
+            budget_and_provisioned(cell, inst, n, leaves, delay, sched.as_ref());
+        ((delay, schedule), budget, provisioned)
+    };
+    let mut row = make_row(
+        cell,
+        inst,
+        n,
+        leaves,
+        mode,
+        (false, None, 0),
+        budget,
+        provisioned_bits,
+        0,
+        starts,
+        false,
+    );
+    row.timed_out = Some(true);
+    Some(row)
+}
+
+/// Runs one cell under a wall-clock budget per attempt: the cell executes
+/// on a watchdogged thread, and an attempt that exceeds `timeout` is
+/// abandoned (the thread is detached — it finishes or hangs in the
+/// background, holding at most its trace-slot locks) while the cell
+/// retries down [`downgrade_chain`]. A cell that exhausts the chain is
+/// quarantined as an explicit [`timed_out_row`]. Adversarial cells get a
+/// single attempt: every executor routes them through the same quantifier
+/// layer, so a "downgrade" would re-run the identical computation.
+fn run_cell_watchdogged(
+    cell: &Cell,
+    inst: &Arc<SweepInstance>,
+    executor: Executor,
+    timeout: std::time::Duration,
+) -> (Option<SweepRow>, Option<Certificate>) {
+    let chain: &[Executor] = if cell.delay == Delay::Adversarial {
+        &[Executor::ExactDecide]
+    } else {
+        downgrade_chain(executor)
+    };
+    for (step, &attempt) in chain.iter().enumerate() {
+        let (tx, rx) = std::sync::mpsc::channel();
+        let c = cell.clone();
+        let i = Arc::clone(inst);
+        std::thread::spawn(move || {
+            // The receiver may be long gone (timeout) — a dead send is fine.
+            let _ = tx.send(run_cell_with_executor(&c, &i, attempt));
+        });
+        match rx.recv_timeout(timeout) {
+            Ok(out) => return out,
+            Err(_) => eprintln!(
+                "warning: cell {:#018x} ({} n={} {} pair {}) exceeded {timeout:?} on the \
+                 {attempt:?} executor — {}",
+                cell.cell_seed(),
+                cell.family.name(),
+                cell.n,
+                cell.variant.name(),
+                cell.pair_index,
+                if step + 1 < chain.len() {
+                    "retrying on the next-cheaper executor"
+                } else {
+                    "quarantining as a timed_out row"
+                },
+            ),
+        }
+    }
+    (timed_out_row(cell, inst), None)
+}
+
+/// Crash-safety and robustness options for [`run_with_options`]; the
+/// plain [`run`] entry point uses the default (no journal, no watchdog).
+#[derive(Debug, Default)]
+pub struct RunOptions<'a> {
+    /// Checkpoint journal: cells already journaled are skipped (their
+    /// recorded outcome is spliced into the report unchanged), cells
+    /// computed this run are appended as they complete.
+    pub journal: Option<&'a crate::checkpoint::Journal>,
+    /// Per-cell wall budget (`run_cell_watchdogged`). **Opt-in and
+    /// determinism-breaking across runs**: whether a cell times out
+    /// depends on the machine and the moment, so two runs with a timeout
+    /// may differ — the flag exists to survive pathological cells, not
+    /// for reference outputs.
+    pub cell_timeout: Option<std::time::Duration>,
+}
+
 /// Runs the whole grid. Rows come back in grid order whatever the thread
 /// count — see the module docs for why that matters.
 ///
@@ -1370,6 +1550,17 @@ pub struct SweepReport {
 /// (same seeds, same trees, same pairs), so the output stays byte-identical
 /// to the per-cell-rebuild executor for every `--threads` value.
 pub fn run(spec: &SweepSpec) -> SweepReport {
+    run_with_options(spec, &RunOptions::default())
+}
+
+/// [`run`] plus the crash-safety layer: journaled cells are skipped and
+/// spliced back in grid order, completed cells are appended to the
+/// journal, and each cell optionally runs under the per-cell watchdog.
+/// Because every row is a pure function of the cell coordinates and rows
+/// are collected in grid order, a resumed sweep's report — and its JSON —
+/// is byte-identical to an uninterrupted run's, for any thread count
+/// (pinned by `tests/crash_resume.rs` and the CI `crash-resume` job).
+pub fn run_with_options(spec: &SweepSpec, opts: &RunOptions<'_>) -> SweepReport {
     let grid = cells(spec);
     let pool =
         rayon::ThreadPoolBuilder::new().num_threads(spec.threads).build().expect("thread pool");
@@ -1385,21 +1576,25 @@ pub fn run(spec: &SweepSpec) -> SweepReport {
             reps.push(cell);
         }
     }
-    let decide_certified = |c: &Cell, inst: &SweepInstance| match run_cell_decide_certified(c, inst)
-    {
-        Some((row, cert)) => (Some(row), cert),
-        None => (None, None),
-    };
-    let run_one = |c: &Cell, inst: &SweepInstance| match spec.executor {
-        // Adversarial cells are answered by the quantifier layer under
-        // *every* executor — route them through the certified entry point
-        // so the universal verdict's evidence (the per-cell Certificate,
-        // lassos included) is kept in the report instead of being
-        // computed and dropped inside the bounded executors' delegation.
-        _ if c.delay == Delay::Adversarial => decide_certified(c, inst),
-        Executor::TraceReplay => (run_cell_replay(c, inst), None),
-        Executor::DynStepping => (run_cell_on(c, inst), None),
-        Executor::ExactDecide => decide_certified(c, inst),
+    let run_one = |c: &Cell, inst: &Arc<SweepInstance>| {
+        let cell_seed = c.cell_seed();
+        if let Some(journal) = opts.journal {
+            if let Some(rec) = journal.lookup(cell_seed) {
+                return (rec.row.clone(), rec.certificate.clone());
+            }
+        }
+        let out = match opts.cell_timeout {
+            Some(timeout) => run_cell_watchdogged(c, inst, spec.executor, timeout),
+            None => run_cell_with_executor(c, inst, spec.executor),
+        };
+        if let Some(journal) = opts.journal {
+            journal.record(&crate::checkpoint::CellRecord {
+                cell_seed,
+                row: out.0.clone(),
+                certificate: out.1.clone(),
+            });
+        }
+        out
     };
     let results: Vec<(Option<SweepRow>, Option<Certificate>)> = pool.install(|| {
         let built: Vec<Arc<SweepInstance>> =
@@ -1408,6 +1603,9 @@ pub fn run(spec: &SweepSpec) -> SweepReport {
             reps.iter().zip(built).map(|(c, inst)| (key(c), inst)).collect();
         grid.par_iter().map(|c| run_one(c, &by_key[&key(c)])).collect()
     });
+    if let Some(journal) = opts.journal {
+        journal.sync();
+    }
     let planned_cells = results.len();
     let mut rows = Vec::with_capacity(planned_cells);
     let mut certificates = Vec::new();
@@ -1461,6 +1659,12 @@ pub fn to_table(experiment: &str, report: &SweepReport) -> Table {
         let never = rows.iter().filter(|r| r.certified && !r.met).count();
         t.note(&format!(
             "{certified} cells exactly decided ({never} certified never-meets, no timeouts)"
+        ));
+    }
+    let timed_out = rows.iter().filter(|r| r.timed_out == Some(true)).count();
+    if timed_out > 0 {
+        t.note(&format!(
+            "{timed_out} cells quarantined by the --cell-timeout watchdog (no run recorded)"
         ));
     }
     if report.dropped_cells > 0 {

@@ -65,10 +65,38 @@ pub(crate) enum VariantRecorder {
     DelayRobust(Box<TraceRecorder<DelayRobustAgent>>),
     PrimePath(Box<TraceRecorder<PrimePathAgent>>),
     BwFsa(Box<TraceRecorder<OwnedFsaRunner>>),
+    /// A trajectory restored from the persistent store
+    /// ([`crate::stores`]): the recorded prefix without its recorder (the
+    /// agent's live state is not persisted). Replays within the restored
+    /// horizon never step an agent; the first extension rebuilds the
+    /// concrete recorder and re-steps from scratch — determinism makes
+    /// the re-recorded prefix identical, and the restored prefix is never
+    /// spliced with fresh stepping.
+    Restored {
+        variant: Variant,
+        start: NodeId,
+        traj: Trajectory,
+    },
 }
 
 impl VariantRecorder {
     fn new(variant: Variant, start: NodeId, inst: &SweepInstance) -> Self {
+        if variant == Variant::BasicWalkFsa {
+            // Reuse the instance's cached automaton table.
+            return VariantRecorder::BwFsa(Box::new(TraceRecorder::new(
+                start,
+                inst.basic_walk_fsa().runner_owned(),
+                |a| a.memory_bits(),
+            )));
+        }
+        VariantRecorder::rebuild(variant, start, &inst.tree)
+    }
+
+    /// A fresh, parked recorder built from the tree alone — the restored
+    /// path's constructor (no [`SweepInstance`] in scope at load time).
+    /// Matches [`VariantRecorder::new`] exactly: the basic-walk automaton
+    /// is a pure function of the tree's maximum degree.
+    pub(crate) fn rebuild(variant: Variant, start: NodeId, t: &Tree) -> Self {
         match variant {
             Variant::TreeRvz => VariantRecorder::TreeRvz(Box::new(TraceRecorder::new(
                 start,
@@ -87,7 +115,7 @@ impl VariantRecorder {
             ))),
             Variant::BasicWalkFsa => VariantRecorder::BwFsa(Box::new(TraceRecorder::new(
                 start,
-                inst.basic_walk_fsa().runner_owned(),
+                rvz_agent::Fsa::basic_walk(t.max_degree().max(1)).runner_owned(),
                 |a| a.memory_bits(),
             ))),
         }
@@ -99,6 +127,7 @@ impl VariantRecorder {
             VariantRecorder::DelayRobust(r) => r.trajectory(),
             VariantRecorder::PrimePath(r) => r.trajectory(),
             VariantRecorder::BwFsa(r) => r.trajectory(),
+            VariantRecorder::Restored { traj, .. } => traj,
         }
     }
 
@@ -108,6 +137,14 @@ impl VariantRecorder {
             VariantRecorder::DelayRobust(r) => r.record_to(t, rounds),
             VariantRecorder::PrimePath(r) => r.record_to(t, rounds),
             VariantRecorder::BwFsa(r) => r.record_to(t, rounds),
+            VariantRecorder::Restored { variant, start, traj } => {
+                // No live recorder to extend: re-step from scratch to at
+                // least the restored horizon, then swap wholesale.
+                let target = rounds.max(traj.rounds());
+                let mut fresh = VariantRecorder::rebuild(*variant, *start, t);
+                fresh.record_to(t, target);
+                *self = fresh;
+            }
         }
     }
 }
@@ -150,6 +187,50 @@ pub(crate) fn slot(
     map.entry(key)
         .or_insert_with(|| Arc::new(Mutex::new(VariantRecorder::new(variant, start, inst))))
         .clone()
+}
+
+/// Snapshots the store for persistence: every nonempty recording as
+/// `(family, n, tree_seed, start, variant, trajectory bytes)`, in
+/// canonical key order (so a save produces byte-identical files across
+/// runs with equal contents). Slots currently locked by a worker are
+/// skipped — a snapshot never blocks the sweep.
+pub(crate) fn export() -> Vec<(Family, usize, u64, NodeId, Variant, Vec<u8>)> {
+    let map = STORE.get_or_init(Mutex::default).lock().expect("trace store lock");
+    let mut out: Vec<_> = map
+        .iter()
+        .filter_map(|(k, slot)| {
+            let guard = slot.try_lock().ok()?;
+            let traj = guard.trajectory();
+            if traj.rounds() == 0 {
+                return None;
+            }
+            Some((k.family, k.n, k.tree_seed, k.start, k.variant, traj.to_bytes()))
+        })
+        .collect();
+    out.sort_by(|a, b| {
+        (a.0.name(), a.1, a.2, a.3, a.4.name()).cmp(&(b.0.name(), b.1, b.2, b.3, b.4.name()))
+    });
+    out
+}
+
+/// Installs a restored recording under its key. `false` (not installed)
+/// when the key is already live — a fresh recorder always outranks a
+/// restored prefix — or the store is at capacity.
+pub(crate) fn install_restored(
+    family: Family,
+    n: usize,
+    tree_seed: u64,
+    start: NodeId,
+    variant: Variant,
+    traj: Trajectory,
+) -> bool {
+    let key = StoreKey { family, n, tree_seed, start, variant };
+    let mut map = STORE.get_or_init(Mutex::default).lock().expect("trace store lock");
+    if map.len() >= MAX_STORE_KEYS || map.contains_key(&key) {
+        return false;
+    }
+    map.insert(key, Arc::new(Mutex::new(VariantRecorder::Restored { variant, start, traj })));
+    true
 }
 
 #[cfg(test)]

@@ -226,6 +226,118 @@ impl SoloLasso {
     pub fn distinct_delays(&self) -> u64 {
         self.cfgs.len() as u64 + 1
     }
+
+    /// Independently re-checks this lasso against `(t, fsa)` by naive
+    /// stepping: every tabulated configuration must match the solo run,
+    /// and the configuration after round `stem + period + 1` must wrap
+    /// back to the stem entry. `O(stem + period)` — a fresh tabulation
+    /// minus its visited table — so the persistent solo store can afford
+    /// to run it on *every* restored lasso before trusting one
+    /// (docs/persistence.md: "degrade, never lie"). Never panics on a
+    /// hostile lasso: out-of-range starts/nodes just fail the check.
+    pub fn verify_solo(&self, t: &Tree, fsa: &Fsa) -> bool {
+        let n = t.num_nodes();
+        if fsa.max_degree < t.max_degree().max(1)
+            || self.period == 0
+            || (self.start as usize) >= n
+            || self.cfgs.len() as u64 != self.stem + self.period
+        {
+            return false;
+        }
+        let mut cur = step_first(t, fsa, self.start);
+        for cfg in &self.cfgs {
+            if *cfg != cur {
+                return false;
+            }
+            cur = step(t, fsa, cur);
+        }
+        cur == self.config_at(self.stem + 1)
+    }
+
+    /// Wire-format version tag of [`SoloLasso::to_bytes`].
+    pub const WIRE_VERSION: u32 = 1;
+
+    /// Serializes the lasso into the versioned little-endian form
+    /// [`SoloLasso::from_bytes`] reads back (self-delimiting; integrity
+    /// checking is the caller's job).
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(28 + self.cfgs.len() * 13);
+        out.extend_from_slice(&Self::WIRE_VERSION.to_le_bytes());
+        out.extend_from_slice(&self.start.to_le_bytes());
+        out.extend_from_slice(&self.stem.to_le_bytes());
+        out.extend_from_slice(&self.period.to_le_bytes());
+        out.extend_from_slice(&(self.cfgs.len() as u32).to_le_bytes());
+        for cfg in &self.cfgs {
+            out.extend_from_slice(&cfg.state.to_le_bytes());
+            out.extend_from_slice(&cfg.node.to_le_bytes());
+            match cfg.entry {
+                None => out.push(0),
+                Some(p) => {
+                    out.push(1);
+                    out.extend_from_slice(&p.to_le_bytes());
+                }
+            }
+        }
+        out
+    }
+
+    /// Deserializes [`SoloLasso::to_bytes`] output, validating the lasso
+    /// shape (`period ≥ 1`, exactly `stem + period` configurations, no
+    /// trailing bytes) so a corrupted body that slipped past the caller's
+    /// checksum cannot produce an ill-formed lasso. The node array twin is
+    /// rebuilt, not trusted from the wire.
+    pub fn from_bytes(bytes: &[u8]) -> Result<SoloLasso, String> {
+        struct Cursor<'a> {
+            bytes: &'a [u8],
+            pos: usize,
+        }
+        impl Cursor<'_> {
+            fn take(&mut self, len: usize) -> Result<&[u8], String> {
+                let end = self.pos.checked_add(len).filter(|&e| e <= self.bytes.len());
+                let end = end.ok_or_else(|| "truncated lasso".to_string())?;
+                let slice = &self.bytes[self.pos..end];
+                self.pos = end;
+                Ok(slice)
+            }
+            fn u32(&mut self) -> Result<u32, String> {
+                Ok(u32::from_le_bytes(self.take(4)?.try_into().unwrap()))
+            }
+            fn u64(&mut self) -> Result<u64, String> {
+                Ok(u64::from_le_bytes(self.take(8)?.try_into().unwrap()))
+            }
+        }
+        let mut r = Cursor { bytes, pos: 0 };
+        let version = r.u32()?;
+        if version != Self::WIRE_VERSION {
+            return Err(format!("unsupported lasso wire version {version}"));
+        }
+        let start = r.u32()?;
+        let stem = r.u64()?;
+        let period = r.u64()?;
+        let len = r.u32()? as u64;
+        if period == 0 {
+            return Err("lasso period must be at least 1".into());
+        }
+        if stem.checked_add(period) != Some(len) {
+            return Err("lasso length must equal stem + period".into());
+        }
+        let mut cfgs = Vec::with_capacity((len as usize).min(1 << 16));
+        for _ in 0..len {
+            let state = r.u32()?;
+            let node = r.u32()?;
+            let entry = match r.take(1)?[0] {
+                0 => None,
+                1 => Some(r.u32()?),
+                other => return Err(format!("bad entry flag {other}")),
+            };
+            cfgs.push(AgentCfg { state, node, entry });
+        }
+        if r.pos != bytes.len() {
+            return Err("trailing bytes after lasso".into());
+        }
+        let nodes = cfgs.iter().map(|c| c.node).collect();
+        Ok(SoloLasso { start, cfgs, nodes, stem, period })
+    }
 }
 
 /// A machine-checkable "never meets" certificate: the joint configuration
@@ -1509,5 +1621,29 @@ mod tests {
             assert_eq!(solo.position(r), solo.position(r + 10));
         }
         assert_eq!(solo.first_visit(5), Some(5));
+    }
+
+    #[test]
+    fn solo_lasso_wire_round_trips_and_rejects_corruption() {
+        let t = line(7);
+        let fsa = bw(&t);
+        let solo = SoloLasso::tabulate(&t, &fsa, 3);
+        let bytes = solo.to_bytes();
+        let back = SoloLasso::from_bytes(&bytes).expect("round trip");
+        assert_eq!(back.stem, solo.stem);
+        assert_eq!(back.period, solo.period);
+        for r in 0..=30u64 {
+            assert_eq!(back.position(r), solo.position(r), "round {r}");
+            if r >= 1 {
+                assert_eq!(back.config_at(r), solo.config_at(r), "round {r}");
+            }
+        }
+        assert_eq!(back.to_bytes(), bytes, "canonical re-encoding");
+        for len in 0..bytes.len() {
+            assert!(SoloLasso::from_bytes(&bytes[..len]).is_err(), "truncated at {len}");
+        }
+        let mut zero_period = bytes.clone();
+        zero_period[16..24].copy_from_slice(&0u64.to_le_bytes());
+        assert!(SoloLasso::from_bytes(&zero_period).is_err(), "period 0 must be rejected");
     }
 }

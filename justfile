@@ -2,7 +2,7 @@
 # lockstep so "works on my machine" and CI mean the same thing.
 
 # Full CI-equivalent pass.
-ci: build test fmt-check clippy docs doctest docs-check differential bench-smoke
+ci: build test fmt-check clippy docs doctest docs-check differential crash-test bench-smoke
 
 build:
     cargo build --release --workspace
@@ -75,6 +75,14 @@ differential:
       --executor decide --json differential/e10-t1.json
     cmp differential/e10-decide.json differential/e10-t1.json
     jq -e '[.rows[] | select(.certified | not)] | length == 0' differential/e10-decide.json > /dev/null
+
+# CI's crash-resume job: fault-injected + kill -9 legs on a journaled e9,
+# resume at --threads 1/8 byte-compared against an uninterrupted
+# reference, store corruption legs, then the self-spawning kill-resume
+# integration test (needs the rvz-faults feature).
+crash-test:
+    scripts/crash_test.sh crash-test
+    cargo test -p rvz-bench --features rvz-faults --test crash_resume
 
 # The exhaustive certification sweep on its own (table + artifacts).
 e9:

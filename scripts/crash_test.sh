@@ -1,0 +1,83 @@
+#!/usr/bin/env bash
+# Kill–resume differential on a journaled e9 — CI's crash-resume leg and
+# `just crash-test`.
+#
+#  1. Uninterrupted reference run (no journal, no store).
+#  2. Fault-injected run (`rvz-faults` build, RVZ_FAULTS hard abort at the
+#     40th journal append) — must die without publishing JSON.
+#  3. kill -9 mid-sweep while resuming leg 2's journal.
+#  4. Torn-append leg (short write + abort; tolerated if too few cells
+#     remain for the fault to fire).
+#  5. Resume to completion at --threads 1 and 8: rows *and* certificates
+#     must be byte-identical to the reference.
+#  6. Store legs: a warmed --store round-trips; a truncated store and a
+#     bit-flipped cache load both degrade (drop + recompute), never lie.
+#
+# Usage: scripts/crash_test.sh [OUTDIR]   (from the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+out=${1:-crash-test}
+mkdir -p "$out"
+
+echo "== build (release, rvz-faults) =="
+cargo build --release --features rvz-faults
+exp=target/release/experiments
+
+echo "== uninterrupted reference =="
+"$exp" --experiment e9 --executor decide --threads 2 \
+  --json "$out/ref.json" --certificates "$out/ref-certs.json"
+
+ckpt="$out/e9.ckpt"
+rm -f "$ckpt"
+
+echo "== leg 1: hard abort at the 40th journal append =="
+if RVZ_FAULTS=journal-append=abort@40 "$exp" --experiment e9 --executor decide \
+    --threads 2 --checkpoint "$ckpt" --json "$out/aborted.json"; then
+  echo "error: fault-injected run should have aborted" >&2
+  exit 1
+fi
+if [ -e "$out/aborted.json" ]; then
+  echo "error: aborted run must not publish JSON (atomic writes)" >&2
+  exit 1
+fi
+
+echo "== leg 2: kill -9 mid-sweep (resuming leg 1's journal) =="
+"$exp" --experiment e9 --executor decide --threads 2 \
+  --checkpoint "$ckpt" --resume --json "$out/killed.json" &
+pid=$!
+sleep 0.3
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+
+echo "== leg 3: torn journal append (short write + abort) =="
+# May complete cleanly if fewer than 10 cells remained after leg 2.
+RVZ_FAULTS=journal-append=short-write@10 "$exp" --experiment e9 --executor decide \
+  --threads 2 --checkpoint "$ckpt" --resume --json "$out/torn.json" || true
+
+echo "== resume to completion; byte-compare against the reference =="
+for t in 1 8; do
+  "$exp" --experiment e9 --executor decide --threads "$t" \
+    --checkpoint "$ckpt" --resume \
+    --json "$out/resumed-t$t.json" --certificates "$out/resumed-certs-t$t.json"
+  cmp "$out/ref.json" "$out/resumed-t$t.json"
+  cmp "$out/ref-certs.json" "$out/resumed-certs-t$t.json"
+done
+
+echo "== store legs: persistence round-trip, truncation, bit-flipped load =="
+store="$out/store"
+rm -rf "$store"
+"$exp" --experiment e9 --executor decide --threads 2 \
+  --store "$store" --json "$out/warm.json"
+cmp "$out/ref.json" "$out/warm.json"
+for f in "$store"/*.store; do
+  truncate -s -13 "$f"
+done
+"$exp" --experiment e9 --executor decide --threads 2 \
+  --store "$store" --json "$out/truncated-store.json"
+cmp "$out/ref.json" "$out/truncated-store.json"
+RVZ_FAULTS=cache-load=bit-flip@1 "$exp" --experiment e9 --executor decide --threads 2 \
+  --store "$store" --json "$out/flipped-store.json"
+cmp "$out/ref.json" "$out/flipped-store.json"
+
+echo "crash-test passed: resumed and store-restored outputs are byte-identical"
