@@ -169,6 +169,7 @@ pub fn row_from_value(v: &Value) -> Option<SweepRow> {
         cell_seed: req_u64(f, "cell_seed")?,
         certified: req_bool(f, "certified")?,
         timed_out: opt_bool(f, "timed_out")?,
+        poisoned: opt_bool(f, "poisoned")?,
     })
 }
 
@@ -313,6 +314,12 @@ pub struct Journal {
     recovered: HashMap<u64, CellRecord>,
     appended: AtomicU64,
     dead: AtomicBool,
+    /// Appends that failed or were skipped because the journal was already
+    /// dead — surfaced as [`crate::sweep::SweepReport::append_failures`].
+    lost: AtomicU64,
+    /// `--strict-checkpoint`: the first append failure exits the process
+    /// instead of degrading to a dead journal.
+    strict: AtomicBool,
 }
 
 impl Journal {
@@ -388,7 +395,25 @@ impl Journal {
             recovered,
             appended: AtomicU64::new(0),
             dead: AtomicBool::new(false),
+            lost: AtomicU64::new(0),
+            strict: AtomicBool::new(false),
         })
+    }
+
+    /// The journal's on-disk path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+
+    /// `--strict-checkpoint`: make any append failure fatal (exit code 1)
+    /// instead of degrading to a dead journal with a warning.
+    pub fn set_strict(&self, strict: bool) {
+        self.strict.store(strict, Ordering::Relaxed);
+    }
+
+    /// Appends that failed or were silently skipped (dead journal) so far.
+    pub fn appends_lost(&self) -> u64 {
+        self.lost.load(Ordering::Relaxed)
     }
 
     /// The recovered outcome for a cell seed, if the journal has one.
@@ -406,6 +431,7 @@ impl Journal {
     /// unaffected; only crash coverage is lost from that point).
     pub fn record(&self, rec: &CellRecord) {
         if self.dead.load(Ordering::Relaxed) {
+            self.lost.fetch_add(1, Ordering::Relaxed);
             return;
         }
         let mut framed = Vec::new();
@@ -429,6 +455,14 @@ impl Journal {
             Ok(())
         })();
         if let Err(e) = result {
+            self.lost.fetch_add(1, Ordering::Relaxed);
+            if self.strict.load(Ordering::Relaxed) {
+                eprintln!(
+                    "error: --strict-checkpoint: journal {} append failed: {e}",
+                    self.path.display()
+                );
+                std::process::exit(1);
+            }
             self.dead.store(true, Ordering::Relaxed);
             eprintln!(
                 "warning: checkpoint journal {} disabled after append error: {e} \

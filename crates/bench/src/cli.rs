@@ -8,7 +8,7 @@
 //! experiments --experiment e6 [--json out.json] [--threads N]
 //!             [--sizes 16,32,64] [--pairs K] [--seed S]
 //!             [--executor replay|stepping|decide]
-//!             [--certificates certs.json]
+//!             [--certificates certs.json] [--workers N]
 //! ```
 //!
 //! Emits the rendered table plus, with `--json FILE.json`, the raw
@@ -25,7 +25,9 @@
 //! experiments [e1 e2 ... e8 | all] [--full] [--json DIR]
 //! ```
 
-use crate::{checkpoint, e1, e10, e2, e3, e4, e5, e6, e7, e8, e9, stores, sweep, Table};
+use crate::{
+    checkpoint, e1, e10, e2, e3, e4, e5, e6, e7, e8, e9, stores, supervisor, sweep, Table,
+};
 use std::process::exit;
 
 struct Cfg {
@@ -43,6 +45,14 @@ pub fn run_from_env() {
 pub fn run_with_args(args: &[String]) {
     if args.iter().any(|a| a == "--help" || a == "-h") {
         print_help();
+        return;
+    }
+
+    // Hidden worker entry point (`--worker DIR`, exact match — distinct
+    // from the public `--workers N`): this process is a supervised worker
+    // subprocess; see docs/distributed.md.
+    if let Some(dir) = flag_value(args, "--worker") {
+        run_worker_mode(args, &dir);
         return;
     }
 
@@ -89,6 +99,40 @@ fn positive_flag(args: &[String], flag: &str, zero_hint: &str) -> Option<u64> {
     }
 }
 
+/// Parses a numeric flag where `0` is a meaningful value (`--workers 0`
+/// means "in-process, no subprocesses" — the documented off switch, not
+/// an error). Garbage and negative values are still rejected.
+fn nonnegative_flag(args: &[String], flag: &str, zero_hint: &str) -> Option<u64> {
+    let raw = flag_value(args, flag)?;
+    match raw.parse::<u64>() {
+        Err(_) => {
+            eprintln!("error: bad {flag} `{raw}` (must be a nonnegative integer; {zero_hint})");
+            exit(2);
+        }
+        Ok(v) => Some(v),
+    }
+}
+
+/// `args` minus one `--flag value` pair — how the supervisor builds the
+/// worker command line (its own arguments, minus `--workers N`, plus
+/// `--worker DIR`).
+fn args_without_flag(args: &[String], flag: &str) -> Vec<String> {
+    let mut out = Vec::with_capacity(args.len());
+    let mut skip_next = false;
+    for a in args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if a == flag {
+            skip_next = true;
+            continue;
+        }
+        out.push(a.clone());
+    }
+    out
+}
+
 /// Parses `--sizes`: comma-separated positive integers, sorted and
 /// deduplicated (a duplicated size used to duplicate every cell — and
 /// every JSON row — of that size; now it is collapsed with a warning,
@@ -113,7 +157,13 @@ fn parse_sizes(s: &str) -> Result<(Vec<usize>, usize), String> {
     Ok((sizes, dropped))
 }
 
-fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
+/// Pass 1 of sweep mode: resolve every requested spec up front, so the
+/// checkpoint journal's fingerprint can cover the whole invocation
+/// (resuming under a different grid must be a hard error, not a silent
+/// row splice). Shared with worker mode ([`run_worker_mode`]), which must
+/// re-resolve the *identical* specs from the forwarded arguments — the
+/// shard plan's per-spec fingerprint turns any drift into a hard error.
+fn resolve_sweep(args: &[String], ids: &str) -> (u64, Vec<(String, Vec<usize>, sweep::SweepSpec)>) {
     let explicit_sizes = flag_value(args, "--sizes").map(|s| {
         let (sizes, dropped) = parse_sizes(&s).unwrap_or_else(|e| {
             eprintln!("error: {e}");
@@ -151,21 +201,6 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
             exit(2);
         }
     };
-    let certificates_path = flag_value(args, "--certificates");
-    let checkpoint_path = flag_value(args, "--checkpoint");
-    let resume = has_flag(args, "--resume");
-    if resume && checkpoint_path.is_none() {
-        eprintln!("error: --resume needs --checkpoint FILE (the journal to resume from)");
-        exit(2);
-    }
-    let store_dir = flag_value(args, "--store");
-    let cell_timeout =
-        positive_flag(args, "--cell-timeout", "a 0ms budget would quarantine every cell")
-            .map(std::time::Duration::from_millis);
-
-    // Pass 1: resolve every spec up front, so the checkpoint journal's
-    // fingerprint can cover the whole invocation (resuming under a
-    // different grid must be a hard error, not a silent row splice).
     let mut planned: Vec<(String, Vec<usize>, sweep::SweepSpec)> = Vec::new();
     for id in ids.split(',').filter(|t| !t.is_empty()) {
         let id = id.trim().to_lowercase();
@@ -203,6 +238,58 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
         });
         planned.push((id, sizes, spec));
     }
+    (seed, planned)
+}
+
+/// Executes a supervised worker subprocess: re-resolves the sweep specs
+/// from the forwarded arguments, picks the one the workdir's shard plan
+/// covers, and hands off to [`supervisor::worker_main`]. Any protocol
+/// violation is a nonzero exit — the supervisor treats it like a worker
+/// death and reassigns the shards.
+fn run_worker_mode(args: &[String], dir: &str) {
+    let workdir = std::path::Path::new(dir);
+    let Some(ids) = flag_value(args, "--experiment") else {
+        eprintln!("error: --worker needs --experiment (the supervisor forwards its arguments)");
+        exit(2);
+    };
+    let (_, planned) = resolve_sweep(args, &ids);
+    let Some(experiment) = supervisor::planned_experiment(workdir) else {
+        eprintln!("error: --worker: no readable shard plan in {dir}");
+        exit(1);
+    };
+    let Some((_, _, spec)) = planned.iter().find(|(id, _, _)| *id == experiment) else {
+        eprintln!(
+            "error: --worker: the shard plan in {dir} is for `{experiment}`, which is not \
+             among this worker's experiments ({ids})"
+        );
+        exit(1);
+    };
+    if let Err(e) = supervisor::worker_main(workdir, spec) {
+        eprintln!("error: --worker: {e}");
+        exit(1);
+    }
+}
+
+fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
+    let (seed, planned) = resolve_sweep(args, ids);
+    let certificates_path = flag_value(args, "--certificates");
+    let checkpoint_path = flag_value(args, "--checkpoint");
+    let resume = has_flag(args, "--resume");
+    if resume && checkpoint_path.is_none() {
+        eprintln!("error: --resume needs --checkpoint FILE (the journal to resume from)");
+        exit(2);
+    }
+    let strict_checkpoint = has_flag(args, "--strict-checkpoint");
+    if strict_checkpoint && checkpoint_path.is_none() {
+        eprintln!("error: --strict-checkpoint needs --checkpoint FILE (the journal it hardens)");
+        exit(2);
+    }
+    let store_dir = flag_value(args, "--store");
+    let cell_timeout =
+        positive_flag(args, "--cell-timeout", "a 0ms budget would quarantine every cell")
+            .map(std::time::Duration::from_millis);
+    let workers = nonnegative_flag(args, "--workers", "0 means in-process, no subprocesses")
+        .unwrap_or(0) as usize;
 
     let journal = checkpoint_path.map(|path| {
         let specs: Vec<&sweep::SweepSpec> = planned.iter().map(|(_, _, s)| s).collect();
@@ -220,6 +307,11 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
         }
         journal
     });
+    if strict_checkpoint {
+        if let Some(j) = &journal {
+            j.set_strict(true);
+        }
+    }
     if let Some(dir) = &store_dir {
         let (trace, solo) = stores::load_all(std::path::Path::new(dir));
         if trace.loaded + solo.loaded > 0 {
@@ -230,10 +322,27 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
         }
     }
 
+    // Worker subprocesses get the supervisor's own arguments (minus
+    // `--workers N`, plus `--worker DIR`), so they re-resolve the same
+    // specs; the shard plan's fingerprint check catches any drift.
+    let worker_args = args_without_flag(args, "--workers");
     let mut reports: Vec<(String, Vec<usize>, sweep::SweepReport)> = Vec::new();
     for (id, sizes, spec) in planned {
         let opts = sweep::RunOptions { journal: journal.as_ref(), cell_timeout };
-        let report = sweep::run_with_options(&spec, &opts);
+        let report = if workers > 0 {
+            let mut cfg = supervisor::SupervisorConfig::new(workers);
+            cfg.resume = resume;
+            let mut spawn = |workdir: &std::path::Path| {
+                let exe = std::env::current_exe()
+                    .unwrap_or_else(|_| std::path::PathBuf::from("experiments"));
+                let mut cmd = std::process::Command::new(exe);
+                cmd.args(&worker_args).arg("--worker").arg(workdir);
+                cmd
+            };
+            supervisor::run_supervised(&spec, &opts, &cfg, &mut spawn)
+        } else {
+            sweep::run_with_options(&spec, &opts)
+        };
         if id == "e9" {
             // Thousands of exhaustive rows: print the per-size certified
             // summary instead of the raw row table (the rows still go to
@@ -258,6 +367,20 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
             eprintln!(
                 "warning: {id}: {timed_out} cell(s) quarantined by --cell-timeout \
                  (explicit timed_out rows; no run recorded for them)"
+            );
+        }
+        let poisoned = report.rows.iter().filter(|r| r.poisoned == Some(true)).count();
+        if poisoned > 0 {
+            eprintln!(
+                "warning: {id}: {poisoned} cell(s) quarantined as poisoned (their shard \
+                 exceeded the worker attempt cap; explicit poisoned rows, no run recorded)"
+            );
+        }
+        if report.append_failures > 0 {
+            eprintln!(
+                "warning: {id}: {} checkpoint journal append(s) failed — the journal on \
+                 disk is incomplete (use --strict-checkpoint to make this fatal)",
+                report.append_failures
             );
         }
         reports.push((id, sizes, report));
@@ -350,18 +473,24 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
 
 /// Schema tag of a sweep payload, gated on what the rows actually carry
 /// so legacy payloads stay byte-identical (see docs/schemas.md):
-/// `rvz-sweep/v4` once any row has the optional `timed_out` field (the
-/// `--cell-timeout` watchdog fired), `rvz-sweep/v3` once any row has the
-/// optional `schedule` field, the legacy `rvz-sweep/v2` otherwise.
+/// `rvz-sweep/v5` once any row has the optional `poisoned` field (a
+/// `--workers` shard hit the attempt cap), `rvz-sweep/v4` once any row
+/// has the optional `timed_out` field (the `--cell-timeout` watchdog
+/// fired), `rvz-sweep/v3` once any row has the optional `schedule` field,
+/// the legacy `rvz-sweep/v2` otherwise.
 fn sweep_schema<'a, I: IntoIterator<Item = &'a sweep::SweepRow>>(rows: I) -> &'static str {
+    let mut has_timed_out = false;
     let mut has_schedule = false;
     for r in rows {
-        if r.timed_out.is_some() {
-            return "rvz-sweep/v4";
+        if r.poisoned.is_some() {
+            return "rvz-sweep/v5";
         }
+        has_timed_out |= r.timed_out.is_some();
         has_schedule |= r.schedule.is_some();
     }
-    if has_schedule {
+    if has_timed_out {
+        "rvz-sweep/v4"
+    } else if has_schedule {
         "rvz-sweep/v3"
     } else {
         "rvz-sweep/v2"
@@ -508,6 +637,15 @@ Sweep mode (parallel batch engine):
                     the next-cheaper executor, then is quarantined as an
                     explicit timed_out row (machine-dependent — breaks
                     cross-run byte-identity, so off by default)
+    --workers N     fork N worker subprocesses that claim grid shards via
+                    on-disk leases; crashed/hung workers are detected by
+                    heartbeat, their shards reassigned with backoff, and a
+                    shard over the attempt cap quarantined as explicit
+                    poisoned rows. 0 (the default) = in-process. Merged
+                    output is byte-identical to the single-process run —
+                    see docs/distributed.md
+    --strict-checkpoint  make a failed --checkpoint journal append a hard
+                    error instead of a warning-and-degrade
 
 e10 sweeps activation schedules (per-round delay faults): simultaneous,
 θ=1, intermittent duty cycles, a mid-run crash — see

@@ -9,7 +9,8 @@
 //! ```
 //!
 //! `site` is one of the [`Site`] names (`journal-append`, `store-flush`,
-//! `cache-load`), `action` is `abort`, `short-write`, `enospc` or
+//! `cache-load`, `worker-kill`, `heartbeat-drop`, `lease-steal`),
+//! `action` is `abort`, `short-write`, `enospc` or
 //! `bit-flip`, and `N` means "trigger on the N-th hit of that site"
 //! (1-based; every hit counts down one). Example — kill the process while
 //! appending the 40th journal record:
@@ -34,6 +35,18 @@ pub enum Site {
     StoreFlush,
     /// One persistent-store file load.
     CacheLoad,
+    /// One worker-process cell execution ([`crate::supervisor`]): the
+    /// worker dies hard (`abort`) before running the cell — the kill -9
+    /// simulation of the supervision tests.
+    WorkerKill,
+    /// One worker heartbeat tick: the worker's heartbeat thread goes
+    /// silent (stops rewriting its lease) while the worker itself keeps
+    /// running — the "wedged worker" the heartbeat timeout must catch.
+    HeartbeatDrop,
+    /// One worker shard claim: the worker deletes its own lease file
+    /// mid-shard and exits, simulating an external lease steal /
+    /// clobbered workdir.
+    LeaseSteal,
 }
 
 impl Site {
@@ -42,6 +55,9 @@ impl Site {
             Site::JournalAppend => "journal-append",
             Site::StoreFlush => "store-flush",
             Site::CacheLoad => "cache-load",
+            Site::WorkerKill => "worker-kill",
+            Site::HeartbeatDrop => "heartbeat-drop",
+            Site::LeaseSteal => "lease-steal",
         }
     }
 }
@@ -110,6 +126,9 @@ mod imp {
                 "journal-append" => Site::JournalAppend,
                 "store-flush" => Site::StoreFlush,
                 "cache-load" => Site::CacheLoad,
+                "worker-kill" => Site::WorkerKill,
+                "heartbeat-drop" => Site::HeartbeatDrop,
+                "lease-steal" => Site::LeaseSteal,
                 other => panic!("RVZ_FAULTS: unknown site `{other}`"),
             };
             let action = match action {

@@ -57,6 +57,7 @@ pub mod instances;
 mod solo_cache;
 pub mod stats;
 pub mod stores;
+pub mod supervisor;
 pub mod sweep;
 pub mod table;
 mod trace_cache;

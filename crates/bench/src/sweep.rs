@@ -501,6 +501,15 @@ pub struct SweepRow {
     /// optional field; see docs/schemas.md).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub timed_out: Option<bool>,
+    /// `Some(true)` when the cell's shard exceeded the supervisor's
+    /// attempt cap — every worker sent to it died — and the row records
+    /// *no run at all*, exactly like a timeout (`met: false`,
+    /// `rounds: null`, zero crossings/bits). Absent — not `null` —
+    /// everywhere else, so single-process rows keep their exact
+    /// serialized shape (schema `rvz-sweep/v5` = v4 plus this optional
+    /// field; see docs/schemas.md and docs/distributed.md).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub poisoned: Option<bool>,
 }
 
 /// A machine-checkable decision certificate emitted by the
@@ -947,6 +956,7 @@ fn make_row(
         cell_seed: cell.cell_seed(),
         certified,
         timed_out: None,
+        poisoned: None,
     }
 }
 
@@ -1092,16 +1102,23 @@ pub fn run_cell_replay(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
 
     let slot_a = trace_cache::slot(inst, cell.family, cell.n, cell.variant, start_a);
     let slot_b = trace_cache::slot(inst, cell.family, cell.n, cell.variant, start_b);
+    // A slot poisoned by a cancelled attempt is safe to re-enter: the
+    // cancellation checkpoints sit at round boundaries, so a recording
+    // interrupted mid-growth is a shorter but *consistent* prefix.
+    fn enter(slot: &trace_cache::Slot) -> std::sync::MutexGuard<'_, trace_cache::VariantRecorder> {
+        slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
     loop {
+        rvz_sim::cancel::checkpoint();
         // Feasible pairs have distinct starts, so the slots differ; lock
         // them in start order so cells sharing an endpoint cannot deadlock.
         let (mut ga, mut gb);
         if start_a <= start_b {
-            ga = slot_a.lock().expect("trace slot");
-            gb = slot_b.lock().expect("trace slot");
+            ga = enter(&slot_a);
+            gb = enter(&slot_b);
         } else {
-            gb = slot_b.lock().expect("trace slot");
-            ga = slot_a.lock().expect("trace slot");
+            gb = enter(&slot_b);
+            ga = enter(&slot_a);
         }
         let verdict = match &sched {
             None => replay_pair(tree, ga.trajectory(), gb.trajectory(), cfg),
@@ -1395,6 +1412,12 @@ pub struct SweepReport {
     pub planned_cells: usize,
     pub dropped_cells: usize,
     pub certificates: Vec<Certificate>,
+    /// Journal appends that failed (or were skipped after the journal was
+    /// declared dead) during this run — `0` without a journal. Nonzero
+    /// means the report in hand is complete but the on-disk checkpoint is
+    /// not; `--strict-checkpoint` turns the first such failure into a
+    /// hard error instead.
+    pub append_failures: u64,
 }
 
 /// Dispatches one cell to `executor` — the single dispatch shared by
@@ -1436,13 +1459,13 @@ fn downgrade_chain(executor: Executor) -> &'static [Executor] {
     }
 }
 
-/// The explicit timeout row: a cell whose every attempt blew the wall
-/// budget, reported as "no run happened" — `met: false`, `rounds: null`,
-/// zero crossings and measured bits, `certified: false`, and
-/// `timed_out: true` so it can never be mistaken for a certified
-/// never-meets or an in-budget timeout. `None` when the pair index is out
-/// of range (the ordinary dropped-cell case).
-fn timed_out_row(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+/// The shared shape of a quarantine row: "no run happened" — `met: false`,
+/// `rounds: null`, zero crossings and measured bits, `certified: false`.
+/// The caller stamps the reason flag (`timed_out` or `poisoned`); provenance
+/// (budget, provisioned bits, θ/schedule) is still reported so the row
+/// names exactly which computation was skipped. `None` when the pair index
+/// is out of range (the ordinary dropped-cell case).
+fn quarantine_row(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
     let tree = &inst.tree;
     let n = tree.num_nodes();
     let leaves = tree.num_leaves();
@@ -1460,7 +1483,7 @@ fn timed_out_row(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
             budget_and_provisioned(cell, inst, n, leaves, delay, sched.as_ref());
         ((delay, schedule), budget, provisioned)
     };
-    let mut row = make_row(
+    Some(make_row(
         cell,
         inst,
         n,
@@ -1472,25 +1495,48 @@ fn timed_out_row(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
         0,
         starts,
         false,
-    );
+    ))
+}
+
+/// The explicit timeout row: a cell whose every attempt blew the wall
+/// budget, with `timed_out: true` so it can never be mistaken for a
+/// certified never-meets or an in-budget timeout.
+fn timed_out_row(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    let mut row = quarantine_row(cell, inst)?;
     row.timed_out = Some(true);
+    Some(row)
+}
+
+/// The explicit poisoned-shard row: a cell whose shard killed every worker
+/// sent to it (supervisor attempt cap exceeded), with `poisoned: true` —
+/// same "no fabricated measurements" discipline as [`timed_out_row`].
+pub(crate) fn poisoned_row(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    let mut row = quarantine_row(cell, inst)?;
+    row.poisoned = Some(true);
     Some(row)
 }
 
 /// Runs one cell under a wall-clock budget per attempt: the cell executes
 /// on a watchdogged thread, and an attempt that exceeds `timeout` is
-/// abandoned (the thread is detached — it finishes or hangs in the
-/// background, holding at most its trace-slot locks) while the cell
-/// retries down [`downgrade_chain`]. A cell that exhausts the chain is
+/// *cancelled* — the watchdog sets the attempt's cooperative cancellation
+/// flag ([`rvz_sim::cancel`]), the executor loops observe it at their next
+/// poll point and unwind, and the thread exits — while the cell retries
+/// down [`downgrade_chain`]. (The thread is still detached rather than
+/// joined so one unresponsive attempt cannot wedge the sweep, but unlike
+/// the old detach-and-forget scheme it terminates promptly instead of
+/// stepping to the end of a possibly astronomical budget; pinned by
+/// `tests/watchdog_threads.rs`.) A cell that exhausts the chain is
 /// quarantined as an explicit [`timed_out_row`]. Adversarial cells get a
 /// single attempt: every executor routes them through the same quantifier
 /// layer, so a "downgrade" would re-run the identical computation.
-fn run_cell_watchdogged(
+pub(crate) fn run_cell_watchdogged(
     cell: &Cell,
     inst: &Arc<SweepInstance>,
     executor: Executor,
     timeout: std::time::Duration,
 ) -> (Option<SweepRow>, Option<Certificate>) {
+    use rvz_sim::cancel;
+    cancel::silence_cancelled_panics();
     let chain: &[Executor] = if cell.delay == Delay::Adversarial {
         &[Executor::ExactDecide]
     } else {
@@ -1498,28 +1544,40 @@ fn run_cell_watchdogged(
     };
     for (step, &attempt) in chain.iter().enumerate() {
         let (tx, rx) = std::sync::mpsc::channel();
+        let cancel_flag = Arc::new(std::sync::atomic::AtomicBool::new(false));
         let c = cell.clone();
         let i = Arc::clone(inst);
+        let flag = Arc::clone(&cancel_flag);
         std::thread::spawn(move || {
-            // The receiver may be long gone (timeout) — a dead send is fine.
-            let _ = tx.send(run_cell_with_executor(&c, &i, attempt));
+            let _guard = cancel::CancelGuard::install(flag);
+            match std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                run_cell_with_executor(&c, &i, attempt)
+            })) {
+                // The receiver may be long gone (timeout) — a dead send is fine.
+                Ok(out) => drop(tx.send(out)),
+                Err(payload) if cancel::CancelGuard::is_cancelled_payload(&*payload) => {}
+                Err(payload) => std::panic::resume_unwind(payload),
+            }
         });
         match rx.recv_timeout(timeout) {
             Ok(out) => return out,
-            Err(_) => eprintln!(
-                "warning: cell {:#018x} ({} n={} {} pair {}) exceeded {timeout:?} on the \
-                 {attempt:?} executor — {}",
-                cell.cell_seed(),
-                cell.family.name(),
-                cell.n,
-                cell.variant.name(),
-                cell.pair_index,
-                if step + 1 < chain.len() {
-                    "retrying on the next-cheaper executor"
-                } else {
-                    "quarantining as a timed_out row"
-                },
-            ),
+            Err(_) => {
+                cancel_flag.store(true, std::sync::atomic::Ordering::Relaxed);
+                eprintln!(
+                    "warning: cell {:#018x} ({} n={} {} pair {}) exceeded {timeout:?} on the \
+                     {attempt:?} executor — {}",
+                    cell.cell_seed(),
+                    cell.family.name(),
+                    cell.n,
+                    cell.variant.name(),
+                    cell.pair_index,
+                    if step + 1 < chain.len() {
+                        "retrying on the next-cheaper executor"
+                    } else {
+                        "quarantining as a timed_out row"
+                    },
+                );
+            }
         }
     }
     (timed_out_row(cell, inst), None)
@@ -1613,7 +1671,13 @@ pub fn run_with_options(spec: &SweepSpec, opts: &RunOptions<'_>) -> SweepReport 
         rows.extend(row);
         certificates.extend(cert);
     }
-    SweepReport { dropped_cells: planned_cells - rows.len(), planned_cells, rows, certificates }
+    SweepReport {
+        dropped_cells: planned_cells - rows.len(),
+        planned_cells,
+        rows,
+        certificates,
+        append_failures: opts.journal.map_or(0, |j| j.appends_lost()),
+    }
 }
 
 /// Renders a sweep report as the same kind of aligned table the classic
@@ -1665,6 +1729,20 @@ pub fn to_table(experiment: &str, report: &SweepReport) -> Table {
     if timed_out > 0 {
         t.note(&format!(
             "{timed_out} cells quarantined by the --cell-timeout watchdog (no run recorded)"
+        ));
+    }
+    let poisoned = rows.iter().filter(|r| r.poisoned == Some(true)).count();
+    if poisoned > 0 {
+        t.note(&format!(
+            "{poisoned} cells quarantined as poisoned (their shard exceeded the worker attempt \
+             cap; no run recorded)"
+        ));
+    }
+    if report.append_failures > 0 {
+        t.note(&format!(
+            "{} journal appends failed — the checkpoint on disk is incomplete (rerun with \
+             --strict-checkpoint to make this fatal)",
+            report.append_failures
         ));
     }
     if report.dropped_cells > 0 {

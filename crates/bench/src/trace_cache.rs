@@ -199,7 +199,14 @@ pub(crate) fn export() -> Vec<(Family, usize, u64, NodeId, Variant, Vec<u8>)> {
     let mut out: Vec<_> = map
         .iter()
         .filter_map(|(k, slot)| {
-            let guard = slot.try_lock().ok()?;
+            // A slot poisoned by a cancelled (unwound) attempt still holds
+            // a consistent recording prefix — checkpoints sit at round
+            // boundaries — so it is exported like any other.
+            let guard = match slot.try_lock() {
+                Ok(g) => g,
+                Err(std::sync::TryLockError::Poisoned(p)) => p.into_inner(),
+                Err(std::sync::TryLockError::WouldBlock) => return None,
+            };
             let traj = guard.trajectory();
             if traj.rounds() == 0 {
                 return None;

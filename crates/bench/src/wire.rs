@@ -115,6 +115,27 @@ pub fn atomic_write(path: &Path, bytes: &[u8]) -> io::Result<()> {
     Ok(())
 }
 
+/// Writes a single framed record as the whole content of `path`,
+/// atomically — the supervisor/worker control files (shard plan, lease
+/// heartbeats) are all single-record files replaced wholesale, so a
+/// reader never observes a torn one.
+pub fn write_framed(path: &Path, body: &[u8]) -> io::Result<()> {
+    let mut framed = Vec::with_capacity(body.len() + 8);
+    frame_record(&mut framed, body);
+    atomic_write(path, &framed)
+}
+
+/// Reads a file written by [`write_framed`]: exactly one clean record, or
+/// `None` (missing file, torn frame, checksum failure, or trailing
+/// garbage — a control file that is not perfectly intact is ignored).
+pub fn read_framed(path: &Path) -> Option<Vec<u8>> {
+    let bytes = std::fs::read(path).ok()?;
+    match read_records(&bytes) {
+        (records, true) if records.len() == 1 => Some(records[0].to_vec()),
+        _ => None,
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -163,6 +184,27 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn framed_file_round_trips_and_rejects_damage() {
+        let dir = std::env::temp_dir().join(format!("rvz-wire-framed-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("control.bin");
+        assert_eq!(read_framed(&path), None, "missing file reads as None");
+        write_framed(&path, b"payload").unwrap();
+        assert_eq!(read_framed(&path).as_deref(), Some(b"payload".as_slice()));
+        // A flipped byte or trailing garbage invalidates the whole file.
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes[8] ^= 1;
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_framed(&path), None);
+        write_framed(&path, b"payload").unwrap();
+        let mut bytes = std::fs::read(&path).unwrap();
+        bytes.push(0xFF);
+        std::fs::write(&path, &bytes).unwrap();
+        assert_eq!(read_framed(&path), None);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

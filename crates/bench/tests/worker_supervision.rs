@@ -1,0 +1,221 @@
+//! Multi-process supervision differential (requires the `rvz-faults`
+//! feature; see `[[test]]` in Cargo.toml): the supervised merged report
+//! must be byte-identical to the single-process run for every worker
+//! count, after an injected worker death mid-shard, and after a stolen
+//! lease; a shard that keeps killing its workers must be quarantined as
+//! explicit poisoned rows instead of hanging or fabricating data.
+//!
+//! Worker subprocesses are this same test binary re-invoked with
+//! `--exact worker_supervision_child_entry` and an env-selected role
+//! (the standard self-spawning pattern for abort-me tests, shared with
+//! `crash_resume.rs`). `RVZ_FAULTS` counters are per-process, so each
+//! worker gets its own fault budget.
+
+use rvz_bench::checkpoint::{self, Journal};
+use rvz_bench::supervisor::{self, SupervisorConfig};
+use rvz_bench::sweep::{self, Delay, Executor, Family, RunOptions, SweepSpec, Variant};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+use std::time::Duration;
+
+const DIR_ENV: &str = "WORKER_SUP_DIR";
+
+/// The differential workload: small but multi-axis — fixed delays beside
+/// the ∀-delay quantifier, so certificates ride the worker segments too.
+fn spec(threads: usize) -> SweepSpec {
+    SweepSpec {
+        experiment: "worker-sup".into(),
+        families: vec![Family::Line, Family::Spider3],
+        sizes: vec![5, 6],
+        delays: vec![Delay::Zero, Delay::Fixed(1), Delay::Adversarial],
+        variants: vec![Variant::BasicWalkFsa],
+        pairs_per_cell: 2,
+        seed: 0x5EED_F0C5,
+        threads,
+        executor: Executor::ExactDecide,
+    }
+}
+
+/// Canonical serialized form of a report (rows + certificates) — the
+/// byte-equality the supervisor promises.
+fn serialized(report: &sweep::SweepReport) -> String {
+    format!(
+        "{}\n{}\nplanned={} dropped={}",
+        serde_json::to_string_pretty(&report.rows).expect("serialize rows"),
+        serde_json::to_string_pretty(&report.certificates).expect("serialize certificates"),
+        report.planned_cells,
+        report.dropped_cells,
+    )
+}
+
+/// Worker role: claim and execute shards from the workdir in `DIR_ENV`.
+/// No-op unless spawned by a supervising test.
+#[test]
+fn worker_supervision_child_entry() {
+    let Ok(dir) = std::env::var(DIR_ENV) else { return };
+    if let Err(e) = supervisor::worker_main(Path::new(&dir), &spec(1)) {
+        eprintln!("worker child: {e}");
+        std::process::exit(1);
+    }
+}
+
+/// The worker command: this test binary, re-running only the child entry,
+/// with no inherited fault plan (legs inject their own per child).
+fn worker_cmd(workdir: &Path) -> Command {
+    let exe = std::env::current_exe().expect("test binary path");
+    let mut cmd = Command::new(exe);
+    cmd.arg("--exact")
+        .arg("worker_supervision_child_entry")
+        .arg("--nocapture")
+        .env(DIR_ENV, workdir)
+        .env_remove("RVZ_FAULTS");
+    cmd
+}
+
+/// CI-speed supervision knobs: fast heartbeats, short backoff. The
+/// timeout stays generous — it only bounds the *undetectable* failure
+/// (a dead worker whose lease still shows the ready marker's pid 0).
+fn cfg(workers: usize, dir: &Path) -> SupervisorConfig {
+    let mut cfg = SupervisorConfig::new(workers);
+    cfg.heartbeat_interval = Duration::from_millis(25);
+    cfg.heartbeat_timeout = Duration::from_millis(1500);
+    cfg.backoff_base = Duration::from_millis(20);
+    cfg.workdir = Some(dir.to_path_buf());
+    cfg
+}
+
+fn temp_base(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("rvz-worker-sup-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).expect("create temp dir");
+    dir
+}
+
+#[test]
+fn supervised_reports_are_byte_identical_across_worker_counts() {
+    let reference = serialized(&sweep::run(&spec(1)));
+    let base = temp_base("counts");
+    for workers in [1usize, 2, 4] {
+        let dir = base.join(format!("w{workers}"));
+        let report = supervisor::run_supervised(
+            &spec(1),
+            &RunOptions::default(),
+            &cfg(workers, &dir),
+            &mut worker_cmd,
+        );
+        assert_eq!(
+            serialized(&report),
+            reference,
+            "supervised report (workers={workers}) must be byte-identical to single-process"
+        );
+        assert!(!dir.exists(), "a fully harvested workdir is scratch and must be removed");
+    }
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn killed_worker_is_reassigned_and_output_unchanged() {
+    let reference = serialized(&sweep::run(&spec(1)));
+    let base = temp_base("kill");
+    // Only the first spawned worker carries the kill plan: it completes
+    // one cell, then dies hard (the kill -9 simulation) mid-shard. Its
+    // completed cell must be harvested, the rest of the shard reassigned.
+    let mut spawned = 0usize;
+    let mut spawn = |workdir: &Path| {
+        spawned += 1;
+        let mut cmd = worker_cmd(workdir);
+        if spawned == 1 {
+            cmd.env("RVZ_FAULTS", "worker-kill=abort@2");
+        }
+        cmd
+    };
+    let report =
+        supervisor::run_supervised(&spec(1), &RunOptions::default(), &cfg(2, &base), &mut spawn);
+    assert!(spawned >= 2, "the dead worker must have been replaced (spawned {spawned})");
+    assert_eq!(
+        serialized(&report),
+        reference,
+        "report after a worker death mid-shard must be byte-identical to single-process"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn stolen_lease_is_detected_and_reassigned() {
+    let reference = serialized(&sweep::run(&spec(1)));
+    let base = temp_base("steal");
+    let mut spawned = 0usize;
+    let mut spawn = |workdir: &Path| {
+        spawned += 1;
+        let mut cmd = worker_cmd(workdir);
+        if spawned == 1 {
+            cmd.env("RVZ_FAULTS", "lease-steal=abort@1");
+        }
+        cmd
+    };
+    let report =
+        supervisor::run_supervised(&spec(1), &RunOptions::default(), &cfg(2, &base), &mut spawn);
+    assert_eq!(
+        serialized(&report),
+        reference,
+        "report after a stolen lease must be byte-identical to single-process"
+    );
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn attempt_cap_quarantines_shards_as_poisoned() {
+    let base = temp_base("poison");
+    // EVERY worker dies before its first cell: every shard exhausts the
+    // attempt cap. The run must terminate (no hang) and quarantine every
+    // cell as an explicit poisoned row — never fabricated measurements.
+    let mut config = cfg(2, &base);
+    config.max_shard_attempts = 2;
+    config.heartbeat_timeout = Duration::from_millis(400);
+    config.backoff_base = Duration::from_millis(10);
+    let mut spawn = |workdir: &Path| {
+        let mut cmd = worker_cmd(workdir);
+        cmd.env("RVZ_FAULTS", "worker-kill=abort@1");
+        cmd
+    };
+    let report = supervisor::run_supervised(&spec(1), &RunOptions::default(), &config, &mut spawn);
+    assert!(!report.rows.is_empty());
+    assert_eq!(report.rows.len() + report.dropped_cells, report.planned_cells);
+    for row in &report.rows {
+        assert_eq!(row.poisoned, Some(true), "every surviving row must be poisoned");
+        assert!(!row.met, "a poisoned row records no run");
+        assert!(!row.certified);
+        assert_eq!(row.timed_out, None, "poisoned, not timed out");
+    }
+    assert!(report.certificates.is_empty(), "no run ⇒ no certificates");
+    assert!(base.exists(), "a poisoned run keeps its workdir as evidence");
+    let _ = std::fs::remove_dir_all(&base);
+}
+
+#[test]
+fn supervised_runs_share_the_checkpoint_journal() {
+    let reference = serialized(&sweep::run(&spec(1)));
+    let base = temp_base("journal");
+    let journal_path = base.join("sweep.ckpt");
+    let fingerprint = checkpoint::spec_fingerprint(&[&spec(1)]);
+    let planned = {
+        let journal = Journal::open(&journal_path, false, fingerprint).expect("journal open");
+        let opts = RunOptions { journal: Some(&journal), cell_timeout: None };
+        let report = supervisor::run_supervised(
+            &spec(1),
+            &opts,
+            &cfg(2, &base.join("work")),
+            &mut worker_cmd,
+        );
+        assert_eq!(serialized(&report), reference);
+        report.planned_cells
+    };
+    // Every cell the workers computed must have reached the shared
+    // journal; a plain in-process resume replays it byte-identically.
+    let journal = Journal::open(&journal_path, true, fingerprint).expect("resume journal");
+    assert_eq!(journal.recovered_cells(), planned, "every cell must be journaled");
+    let opts = RunOptions { journal: Some(&journal), cell_timeout: None };
+    let resumed = sweep::run_with_options(&spec(1), &opts);
+    assert_eq!(serialized(&resumed), reference);
+    let _ = std::fs::remove_dir_all(&base);
+}

@@ -169,6 +169,9 @@ impl SoloLasso {
         let mut cur = step_first(t, fsa, start);
         let mut round = 1u64;
         loop {
+            if round & 0xFFF == 0 {
+                rvz_sim::cancel::checkpoint();
+            }
             let idx = fsa.config_index(cur.state, cur.node, cur.entry, n);
             if first_seen[idx] != 0 {
                 let entry_round = first_seen[idx];
@@ -524,6 +527,9 @@ pub fn decide_from_lassos(solo_a: &SoloLasso, solo_b: &SoloLasso, delay: u64) ->
     let mut prev_b = b;
     let mut crossing_rounds = Vec::new();
     for r in delay + 1..=horizon {
+        if r & 0xFFF == 0 {
+            rvz_sim::cancel::checkpoint();
+        }
         let na = a_nodes[ia];
         let nb = b_nodes[ib];
         if na == prev_b && nb == prev_a && na != nb {
@@ -910,6 +916,9 @@ pub fn decide_pair_scheduled(
     let mut round = 0u64;
     loop {
         round += 1;
+        if round & 0xFFF == 0 {
+            rvz_sim::cancel::checkpoint();
+        }
         let (on_a, on_b) = sched.active(round);
         let (prev_a, prev_b) = (pos_a, pos_b);
         if on_a {

@@ -24,6 +24,7 @@
 //! assert!(!theta.lane_symmetric());
 //! ```
 
+pub mod cancel;
 pub mod multi;
 pub mod runner;
 pub mod schedule;

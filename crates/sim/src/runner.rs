@@ -267,6 +267,9 @@ fn run_pair_core<A: Agent + ?Sized, B: Agent + ?Sized>(
     }
 
     for round in 1..=max_rounds {
+        if round & 0xFFF == 0 {
+            crate::cancel::checkpoint();
+        }
         let prev_a = a.node;
         let prev_b = b.node;
         let (on_a, on_b) = active(round);

@@ -347,6 +347,9 @@ impl<A: Agent> TraceRecorder<A> {
     /// later round).
     pub fn record_to(&mut self, t: &Tree, rounds: u64) {
         while self.traj.rounds < rounds && !self.traj.fixed {
+            if self.traj.rounds & 0xFFF == 0 {
+                crate::cancel::checkpoint();
+            }
             let action = self.agent.act(self.cursor.obs(t));
             self.cursor.apply(t, action);
             self.traj.push(self.cursor.node);
@@ -477,6 +480,9 @@ pub fn replay_pair(t: &Tree, ta: &Trajectory, tb: &Trajectory, cfg: PairConfig) 
     let mut r = 0u64;
     while r < budget {
         r += 1;
+        if r & 0xFFF == 0 {
+            crate::cancel::checkpoint();
+        }
         // A lane that is already decided through round r reports 0 — the
         // caller must not grow (re-step) a recording that was long enough.
         let need = |r: u64, ta: &Trajectory, tb: &Trajectory| Replay::NeedMore {
@@ -663,6 +669,9 @@ pub fn replay_pair_scheduled(
     let mut r = 0u64;
     while r < max_rounds {
         r += 1;
+        if r & 0xFFF == 0 {
+            crate::cancel::checkpoint();
+        }
         // As in [`replay_pair`]: a lane already decided through round r
         // reports 0 — the caller must not re-step a sufficient recording.
         let need = |r: u64| {

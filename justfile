@@ -83,6 +83,16 @@ differential:
 crash-test:
     scripts/crash_test.sh crash-test
     cargo test -p rvz-bench --features rvz-faults --test crash_resume
+    just worker-crash-test
+
+# The worker-supervision legs on their own: the self-spawning
+# supervision differential (byte-identity across --workers counts,
+# worker death mid-shard, stolen lease, poisoned-shard quarantine,
+# shared-journal interop) plus the watchdog thread-hygiene regression.
+# See docs/distributed.md.
+worker-crash-test:
+    cargo test -p rvz-bench --features rvz-faults --test worker_supervision
+    cargo test -p rvz-bench --test watchdog_threads
 
 # The exhaustive certification sweep on its own (table + artifacts).
 e9:

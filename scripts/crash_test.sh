@@ -12,6 +12,12 @@
 #     must be byte-identical to the reference.
 #  6. Store legs: a warmed --store round-trips; a truncated store and a
 #     bit-flipped cache load both degrade (drop + recompute), never lie.
+#  7. Worker legs (`--workers`, see docs/distributed.md): kill -9 a worker
+#     mid-shard and kill -9 the supervisor (then resume) — both must end
+#     byte-identical to the reference; a beat-less (wedged-heartbeat)
+#     run stays identical; and when *every* worker dies on its first cell
+#     (worker-kill / lease-steal faults + a low attempt cap) the run must
+#     terminate with explicit poisoned rows, never fabricated data.
 #
 # Usage: scripts/crash_test.sh [OUTDIR]   (from the repo root)
 set -euo pipefail
@@ -80,4 +86,56 @@ RVZ_FAULTS=cache-load=bit-flip@1 "$exp" --experiment e9 --executor decide --thre
   --store "$store" --json "$out/flipped-store.json"
 cmp "$out/ref.json" "$out/flipped-store.json"
 
-echo "crash-test passed: resumed and store-restored outputs are byte-identical"
+echo "== worker leg 1: kill -9 a worker subprocess mid-shard =="
+RVZ_HEARTBEAT_INTERVAL_MS=50 RVZ_HEARTBEAT_TIMEOUT_MS=1500 RVZ_WORKER_BACKOFF_MS=100 \
+  "$exp" --experiment e9 --executor decide --threads 2 --workers 2 \
+  --json "$out/workers-killed.json" --certificates "$out/workers-killed-certs.json" &
+pid=$!
+sleep 0.4
+pkill -9 -f -- '--worker /' 2>/dev/null || true
+wait "$pid"
+cmp "$out/ref.json" "$out/workers-killed.json"
+cmp "$out/ref-certs.json" "$out/workers-killed-certs.json"
+
+echo "== worker leg 2: kill -9 the supervisor, then --resume the shard leases =="
+wckpt="$out/workers.ckpt"
+rm -f "$wckpt"
+rm -rf "$out/workers.ckpt.work"
+RVZ_HEARTBEAT_INTERVAL_MS=50 "$exp" --experiment e9 --executor decide --threads 2 --workers 2 \
+  --checkpoint "$wckpt" --json "$out/workers-resumed.json" &
+pid=$!
+sleep 0.4
+kill -9 "$pid" 2>/dev/null || true
+wait "$pid" 2>/dev/null || true
+pkill -9 -f -- '--worker /' 2>/dev/null || true   # reap orphaned workers
+RVZ_HEARTBEAT_INTERVAL_MS=50 "$exp" --experiment e9 --executor decide --threads 2 --workers 2 \
+  --checkpoint "$wckpt" --resume \
+  --json "$out/workers-resumed.json" --certificates "$out/workers-resumed-certs.json"
+cmp "$out/ref.json" "$out/workers-resumed.json"
+cmp "$out/ref-certs.json" "$out/workers-resumed-certs.json"
+
+echo "== worker leg 3: beat-less workers (heartbeat-drop) stay byte-identical =="
+RVZ_FAULTS=heartbeat-drop=abort@1 RVZ_HEARTBEAT_TIMEOUT_MS=10000 \
+  "$exp" --experiment e9 --executor decide --threads 2 --workers 2 \
+  --json "$out/workers-nobeat.json" --certificates "$out/workers-nobeat-certs.json"
+cmp "$out/ref.json" "$out/workers-nobeat.json"
+cmp "$out/ref-certs.json" "$out/workers-nobeat-certs.json"
+
+echo "== worker leg 4: every worker dies — attempt cap quarantines poisoned rows =="
+for fault in worker-kill lease-steal; do
+  if ! RVZ_FAULTS="$fault=abort@1" RVZ_SHARD_ATTEMPTS=2 RVZ_WORKER_BACKOFF_MS=50 \
+      RVZ_HEARTBEAT_INTERVAL_MS=50 RVZ_HEARTBEAT_TIMEOUT_MS=1000 \
+      timeout 300 "$exp" --experiment e9 --executor decide --threads 2 --workers 2 \
+      --json "$out/workers-$fault.json"; then
+    echo "error: $fault run must terminate by quarantining, not hang or crash" >&2
+    exit 1
+  fi
+  grep -q '"schema": "rvz-sweep/v5"' "$out/workers-$fault.json"
+  grep -q '"poisoned": true' "$out/workers-$fault.json"
+  if grep -q '"met": true' "$out/workers-$fault.json"; then
+    echo "error: $fault run must not fabricate measurements" >&2
+    exit 1
+  fi
+done
+
+echo "crash-test passed: resumed, store-restored and worker-merged outputs are byte-identical"
