@@ -1,0 +1,85 @@
+//! The process-wide lane-outcome store behind the planner's batched
+//! SoA kernel route.
+//!
+//! A batch group's lane vector is a pure function of the group key —
+//! the key mixes the instance identity (family, n, tree seed, pairs
+//! seed, pair count) with the group's own fingerprint (its θ list, or
+//! the scheduled delay code), so every cell that reconstructs the same
+//! group reconstructs the same key and the kernel runs **once per
+//! process** per `(instance, group)`. Sweep repetitions (benchmark
+//! reps, overlapping experiments) then read recorded lanes the way the
+//! replay executor reads the process-wide trajectory store
+//! ([`crate::trace_cache`]) — without this the kernel re-simulated its
+//! groups on every run and `--executor auto` lost its warm-state
+//! benchmarks to replay.
+//!
+//! Purity makes the store invisible in the output: a hit returns
+//! exactly the lanes a fresh kernel call would compute (the kernel is
+//! pinned lane-by-lane against `run_pair_fsa`), so rows stay
+//! byte-identical across threads, workers, resume, and store state.
+
+use rvz_sim::LaneOutcome;
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// Store capacity in lane groups. A full store computes uncached
+/// instead of evicting: outcomes are pure, so the only cost is losing
+/// amortization on workloads with more than `MAX_KEYS` live groups.
+const MAX_KEYS: usize = 4096;
+
+static STORE: OnceLock<Mutex<HashMap<u64, Arc<OnceLock<Vec<LaneOutcome>>>>>> = OnceLock::new();
+
+/// The memoized lane outcomes of a batch group; `compute` runs at most
+/// once per key per process — concurrent member cells (and later
+/// sweeps) block on the `OnceLock` instead of re-running the kernel.
+pub(crate) fn outcomes(
+    key: u64,
+    compute: impl FnOnce() -> Vec<LaneOutcome>,
+) -> Arc<OnceLock<Vec<LaneOutcome>>> {
+    let slot = {
+        let mut map = STORE.get_or_init(Mutex::default).lock().expect("batch store lock");
+        if map.len() >= MAX_KEYS && !map.contains_key(&key) {
+            // Degrade to compute-per-call rather than evict a group
+            // another cell may be mid-join on; purity keeps the rows
+            // identical either way.
+            drop(map);
+            let slot = Arc::new(OnceLock::new());
+            slot.get_or_init(compute);
+            return slot;
+        }
+        map.entry(key).or_default().clone()
+    };
+    slot.get_or_init(compute);
+    slot
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn compute_runs_once_per_key() {
+        let calls = AtomicUsize::new(0);
+        let lane = LaneOutcome { met: true, round: Some(3), crossings: 1 };
+        for _ in 0..4 {
+            let slot = outcomes(0xB47C_CAFE_0000_0001, || {
+                calls.fetch_add(1, Ordering::SeqCst);
+                vec![lane]
+            });
+            assert_eq!(slot.get().expect("computed").as_slice(), &[lane]);
+        }
+        assert_eq!(calls.load(Ordering::SeqCst), 1, "kernel must run once per key");
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_slots() {
+        let a = outcomes(0xB47C_CAFE_0000_0002, || {
+            vec![LaneOutcome { met: false, round: None, crossings: 0 }]
+        });
+        let b = outcomes(0xB47C_CAFE_0000_0003, || {
+            vec![LaneOutcome { met: true, round: Some(1), crossings: 2 }]
+        });
+        assert_ne!(a.get().expect("a").as_slice(), b.get().expect("b").as_slice());
+    }
+}

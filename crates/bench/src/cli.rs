@@ -7,7 +7,7 @@
 //! ```text
 //! experiments --experiment e6 [--json out.json] [--threads N]
 //!             [--sizes 16,32,64] [--pairs K] [--seed S]
-//!             [--executor replay|stepping|decide]
+//!             [--executor replay|stepping|decide|auto]
 //!             [--certificates certs.json] [--workers N]
 //! ```
 //!
@@ -194,9 +194,11 @@ fn resolve_sweep(args: &[String], ids: &str) -> (u64, Vec<(String, Vec<usize>, s
         Some("replay") => Some(sweep::Executor::TraceReplay),
         Some("stepping") => Some(sweep::Executor::DynStepping),
         Some("decide") => Some(sweep::Executor::ExactDecide),
+        Some("auto") => Some(sweep::Executor::Auto),
         Some(other) => {
             eprintln!(
-                "error: bad --executor `{other}` (expected `replay`, `stepping` or `decide`)"
+                "error: bad --executor `{other}` (expected `replay`, `stepping`, `decide` or \
+                 `auto`)"
             );
             exit(2);
         }
@@ -473,22 +475,27 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
 
 /// Schema tag of a sweep payload, gated on what the rows actually carry
 /// so legacy payloads stay byte-identical (see docs/schemas.md):
-/// `rvz-sweep/v5` once any row has the optional `poisoned` field (a
-/// `--workers` shard hit the attempt cap), `rvz-sweep/v4` once any row
-/// has the optional `timed_out` field (the `--cell-timeout` watchdog
-/// fired), `rvz-sweep/v3` once any row has the optional `schedule` field,
-/// the legacy `rvz-sweep/v2` otherwise.
+/// `rvz-sweep/v6` once any row has the optional `planned` field (the
+/// `--executor auto` planner ran), `rvz-sweep/v5` once any row has the
+/// optional `poisoned` field (a `--workers` shard hit the attempt cap),
+/// `rvz-sweep/v4` once any row has the optional `timed_out` field (the
+/// `--cell-timeout` watchdog fired), `rvz-sweep/v3` once any row has the
+/// optional `schedule` field, the legacy `rvz-sweep/v2` otherwise.
 fn sweep_schema<'a, I: IntoIterator<Item = &'a sweep::SweepRow>>(rows: I) -> &'static str {
+    let mut has_poisoned = false;
     let mut has_timed_out = false;
     let mut has_schedule = false;
     for r in rows {
-        if r.poisoned.is_some() {
-            return "rvz-sweep/v5";
+        if r.planned.is_some() {
+            return "rvz-sweep/v6";
         }
+        has_poisoned |= r.poisoned.is_some();
         has_timed_out |= r.timed_out.is_some();
         has_schedule |= r.schedule.is_some();
     }
-    if has_timed_out {
+    if has_poisoned {
+        "rvz-sweep/v5"
+    } else if has_timed_out {
         "rvz-sweep/v4"
     } else if has_schedule {
         "rvz-sweep/v3"
@@ -622,10 +629,12 @@ Sweep mode (parallel batch engine):
                     e9/e10, whose pair axes are exhaustive)
     --seed S        base seed (default 0x5EED2010)
     --executor X    replay (trace-record/replay, default), stepping
-                    (dyn run_pair per cell), or decide (exact decider,
+                    (dyn run_pair per cell), decide (exact decider,
                     budget-free, certifies never-meets; default for
-                    e9/e10) — rows are byte-identical across executors
-                    except for decide's `certified` flag
+                    e9/e10), or auto (per-cell cost-model planner +
+                    batched SoA kernel; rows gain a `planned` field) —
+                    rows are byte-identical across executors except for
+                    decide's `certified` flag and auto's `planned`
     --checkpoint F  append-only crash-safe journal of completed cells
                     (length-prefixed, per-record checksummed)
     --resume        skip cells already journaled in --checkpoint F; the

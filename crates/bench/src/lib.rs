@@ -40,6 +40,7 @@
 //! assert!(report.rows.iter().all(|row| row.certified));
 //! ```
 
+mod batch_cache;
 pub mod checkpoint;
 pub mod cli;
 pub mod e1;
@@ -54,6 +55,7 @@ pub mod e8;
 pub mod e9;
 pub mod faults;
 pub mod instances;
+pub mod planner;
 mod solo_cache;
 pub mod stats;
 pub mod stores;

@@ -1,0 +1,527 @@
+//! The per-cell cost-model planner behind [`Executor::Auto`].
+//!
+//! The three fixed executors have wildly different profiles — replay is
+//! ~146x on long procedural runs but only ~1.8x on short scans, the
+//! decider is budget-free but pays a configuration-graph traversal, plain
+//! stepping pays dyn dispatch per round — yet `--executor` picks one
+//! globally. The planner instead prices every cell under a deterministic
+//! cost model and routes it to the cheapest path, including a fourth path
+//! the fixed executors don't have: the batched structure-of-arrays
+//! stepping kernel ([`rvz_sim::batch`]), which fuses all same-instance
+//! `bw-fsa` cells into one wide kernel call.
+//!
+//! **Everything here is a pure function of the spec and the cell
+//! coordinates.** The model's features are observable before running the
+//! cell — decision-budget size, variant class (bw-fsa vs procedural),
+//! schedule shape, instance size `n`, the decide-cost hook
+//! [`rvz_lowerbounds::decide::decide_cost_bound`], and *predicted*
+//! trace-store warmth (the position of the cell's delay class in the
+//! spec's axis — never the live cache state, which depends on execution
+//! order). That is what keeps rows — `planned` annotation included —
+//! byte-identical across `--threads`, `--workers`, and resume.
+//!
+//! ## Cost model
+//!
+//! Costs are in *work units* — agent activations, the currency every
+//! route shares. For a θ cell with round budget `B`, a bounded run
+//! activates the pair at most `acts = B + (B − θ)` times; a genuinely
+//! scheduled cell at most `acts = 2B`. On top of that:
+//!
+//! | route | predicted cost | available |
+//! |---|---|---|
+//! | batch | `acts` (no dispatch, shared tables) | bw-fsa, non-adversarial |
+//! | decide | [`decide_cost_bound`]`(fsa, n, cycle)` | bw-fsa |
+//! | replay | `acts` warm, `3·acts` cold (recording ≈ `2·acts`) | all |
+//! | stepping | `4·acts` (per-round dyn dispatch) | all |
+//!
+//! Ties break in that order (batch first): on equal predicted cost the
+//! route with the better constant factor wins. Adversarial-delay cells
+//! are always routed to the decider — no other route can answer the
+//! universal quantifier. Procedural variants choose between replay and
+//! stepping only (no exported FSA tables).
+
+use crate::sweep::{
+    self, basic_walk_budget_for, budget_and_provisioned, budget_for, fnv, make_row, mix,
+    prime_budget_for, schedule_budget_for, Cell, CellMode, Certificate, Delay, Executor, Planned,
+    ScheduleSpec, SweepInstance, SweepRow, SweepSpec, Variant,
+};
+use rvz_lowerbounds::decide::decide_cost_bound;
+use rvz_sim::{run_batch_fsa, run_batch_fsa_scheduled, BatchLane};
+use std::sync::Arc;
+
+/// Per-round cost factor of the dyn-dispatch stepping path relative to a
+/// batch-kernel lane.
+const STEPPING_FACTOR: u64 = 4;
+
+/// Cost of recording one activation into the trace store, relative to
+/// replaying it (a cold replay cell records both solo trajectories first).
+const RECORD_FACTOR: u64 = 2;
+
+/// The cost-model planner: a pure function of the spec's delay axis (the
+/// only spec field the model needs — warmth prediction and batch-group
+/// membership both walk it). [`run_with_options`](sweep::run_with_options)
+/// builds one per run; distributed workers build their own from the same
+/// spec and price cells identically.
+#[derive(Debug, Clone)]
+pub struct Planner {
+    delays: Vec<Delay>,
+}
+
+/// Where the planner sends a cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Route {
+    /// The batched SoA kernel, as a member of this lane group.
+    Batch(BatchGroup),
+    /// [`sweep::run_cell_replay`] — trace-store timeline merge.
+    Replay,
+    /// [`sweep::run_cell_on`] — per-cell dyn stepping.
+    Stepping,
+    /// [`sweep::run_cell_decide_certified`] — exact, budget-free.
+    Decide,
+}
+
+/// The lane group a batch-routed cell belongs to. Group membership is a
+/// pure function of `(spec.delays, instance)`, so every member cell
+/// reconstructs the identical group — and the identical memo key — and
+/// the kernel runs once per `(instance, group)` per process (the
+/// process-wide lane store in `batch_cache`, the kernel's sibling of the
+/// trajectory store).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BatchGroup {
+    /// All θ-shaped, batch-routed delay classes of the spec's axis at this
+    /// instance, in axis order: one lane per (θ, pair). `my_theta` indexes
+    /// this cell's θ within `thetas`.
+    Theta { thetas: Vec<u64>, my_theta: usize },
+    /// One genuinely scheduled delay class: one lane per pair, all under
+    /// the spec's resolved schedule.
+    Scheduled(ScheduleSpec),
+}
+
+/// A priced routing decision, as [`run_cell_auto`] consumes it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Choice {
+    pub route: Route,
+    /// The `planned.choice` label: `"batch"` / `"replay"` / `"stepping"`
+    /// / `"decide"`.
+    pub name: &'static str,
+    /// Model-predicted cost in work units (`planned.predicted`).
+    pub predicted: u64,
+    /// Predicted trace-store warmth the replay price assumed — kept so
+    /// `planned.actual` re-prices the outcome under the same assumption.
+    pub warm: bool,
+}
+
+impl Planner {
+    /// Builds the planner for a spec. Pure in the spec: two calls with
+    /// equal specs price every cell identically, whatever process or
+    /// thread they run on.
+    pub fn from_spec(spec: &SweepSpec) -> Planner {
+        Planner { delays: spec.delays.clone() }
+    }
+
+    /// Predicted trace-store warmth: the store keys trajectories by
+    /// `(family, n, start, variant)` — no delay axis — so every delay
+    /// class after the variant's first reuses the first class's
+    /// recordings. Conservative (pair-endpoint sharing *within* the first
+    /// class is ignored), but a pure function of the spec where the live
+    /// hit state is not.
+    fn warm_for(&self, cell: &Cell) -> bool {
+        self.delays
+            .iter()
+            .copied()
+            .filter(|&d| cell.variant.supports(cell.family, d))
+            .position(|d| d == cell.delay)
+            .is_some_and(|index| index > 0)
+    }
+
+    /// Prices every route available to `cell` and returns the cheapest
+    /// (ties break toward the route listed first in the module table).
+    pub fn choose(&self, cell: &Cell, inst: &SweepInstance) -> Choice {
+        let n = inst.tree.num_nodes();
+        if cell.delay == Delay::Adversarial {
+            // Only the quantifier layer can answer "every delay"; the
+            // bound prices one delay class of its configuration graph.
+            let predicted = decide_cost_bound(inst.basic_walk_fsa(), n, 1);
+            return Choice { route: Route::Decide, name: "decide", predicted, warm: false };
+        }
+        let warm = self.warm_for(cell);
+        match cell.variant {
+            Variant::BasicWalkFsa => self.choose_bw(cell, inst, n, warm),
+            _ => choose_procedural(cell, n, warm),
+        }
+    }
+
+    /// Routing for the automaton variant: all four routes compete.
+    fn choose_bw(&self, cell: &Cell, inst: &SweepInstance, n: usize, warm: bool) -> Choice {
+        let fsa = inst.basic_walk_fsa();
+        let (acts, decide, group) = match cell.mode(n) {
+            CellMode::Delay(theta) => {
+                let acts = theta_acts(n, theta);
+                let decide = decide_cost_bound(fsa, n, 1);
+                (acts, decide, None)
+            }
+            CellMode::Scheduled(spec) => {
+                let sched = spec.resolve(n);
+                let acts = schedule_budget_for(n, &sched).saturating_mul(2);
+                let decide = decide_cost_bound(fsa, n, sched.cycle_len());
+                (acts, decide, Some(spec))
+            }
+        };
+        let replay = replay_cost(acts, warm);
+        let stepping = acts.saturating_mul(STEPPING_FACTOR);
+        // First strict minimum in table order: batch, decide, replay,
+        // stepping. `acts ≤ replay` and `acts ≤ stepping` always hold, so
+        // batch wins exactly when it beats (or ties) the decide bound.
+        if acts <= decide {
+            let batch = match group {
+                Some(spec) => BatchGroup::Scheduled(spec),
+                None => self.theta_group(cell, inst, n),
+            };
+            Choice { route: Route::Batch(batch), name: "batch", predicted: acts, warm }
+        } else if decide <= replay && decide <= stepping {
+            Choice { route: Route::Decide, name: "decide", predicted: decide, warm }
+        } else if replay <= stepping {
+            Choice { route: Route::Replay, name: "replay", predicted: replay, warm }
+        } else {
+            Choice { route: Route::Stepping, name: "stepping", predicted: stepping, warm }
+        }
+    }
+
+    /// The θ lane group at this instance: every delay class of the axis
+    /// that is θ-shaped and itself batch-routed here (`acts ≤ decide
+    /// bound` — the same predicate [`Planner::choose_bw`] applies), in
+    /// axis order. The calling cell's delay is θ-shaped and batch-routed
+    /// by precondition, so it is always a member.
+    fn theta_group(&self, cell: &Cell, inst: &SweepInstance, n: usize) -> BatchGroup {
+        let decide = decide_cost_bound(inst.basic_walk_fsa(), n, 1);
+        let mut thetas = Vec::new();
+        let mut my_theta = None;
+        for &d in &self.delays {
+            let Some(theta) = theta_shape(d, n) else { continue };
+            if theta_acts(n, theta) > decide {
+                continue;
+            }
+            if my_theta.is_none() && d == cell.delay {
+                my_theta = Some(thetas.len());
+            }
+            thetas.push(theta);
+        }
+        let my_theta = my_theta.expect("the calling cell's delay is in its own group");
+        BatchGroup::Theta { thetas, my_theta }
+    }
+}
+
+/// Routing for the procedural variants: no exported FSA tables, so only
+/// replay and stepping compete — and `replay ≤ 3·acts < 4·acts =
+/// stepping` under this model, matching the measured reality (replay wins
+/// even cold; the flag exists so the model stays honest if the constants
+/// ever move).
+///
+/// Pricing reads the round budget directly rather than going through
+/// `budget_and_provisioned`: the provisioned-bits half prices primes
+/// (`nth_prime` over §4.1-sized bounds — microseconds), which the routed
+/// executor already pays once while assembling the row, and paying it
+/// twice per cell is exactly the kind of overhead the 0.95× bench floor
+/// exists to catch.
+fn choose_procedural(cell: &Cell, n: usize, warm: bool) -> Choice {
+    let budget = match cell.variant {
+        Variant::PrimePath => prime_budget_for(n),
+        _ => budget_for(n),
+    };
+    let acts = match cell.mode(n) {
+        CellMode::Delay(theta) => budget.saturating_add(budget.saturating_sub(theta)),
+        CellMode::Scheduled(_) => budget.saturating_mul(2),
+    };
+    let replay = replay_cost(acts, warm);
+    let stepping = acts.saturating_mul(STEPPING_FACTOR);
+    if replay <= stepping {
+        Choice { route: Route::Replay, name: "replay", predicted: replay, warm }
+    } else {
+        Choice { route: Route::Stepping, name: "stepping", predicted: stepping, warm }
+    }
+}
+
+/// `Some(θ)` when the delay runs on the θ-indexed executors at size `n` —
+/// the per-delay form of [`Cell::mode`].
+fn theta_shape(delay: Delay, n: usize) -> Option<u64> {
+    match delay {
+        Delay::Adversarial => None,
+        Delay::Schedule(spec) => spec.as_start_delay(),
+        d => Some(d.resolve(n)),
+    }
+}
+
+/// Activation count of a bounded θ run at its full budget:
+/// `B + (B − θ)` with `B = basic_walk_budget_for(n, θ)`, saturating.
+fn theta_acts(n: usize, theta: u64) -> u64 {
+    let budget = basic_walk_budget_for(n, theta);
+    budget.saturating_add(budget.saturating_sub(theta))
+}
+
+/// The replay price: the merge walks the timelines (≈ `acts`), and a cold
+/// key first records both solo trajectories (≈ [`RECORD_FACTOR`]` · acts`).
+fn replay_cost(acts: u64, warm: bool) -> u64 {
+    if warm {
+        acts
+    } else {
+        acts.saturating_add(acts.saturating_mul(RECORD_FACTOR))
+    }
+}
+
+/// Executes one batch-routed cell: runs (or joins) the group's one kernel
+/// call via the process-wide [`crate::batch_cache`] and reads this cell's
+/// lane. Lane order is (group θ index) × (pair index) — pure grid
+/// coordinates, so every member reads the same vector at a disjoint slot.
+/// Rows are byte-identical to [`sweep::run_cell_on`]'s (the kernel is
+/// pinned lane-by-lane against `run_pair_fsa` in `rvz_sim::batch`).
+fn run_cell_batch(cell: &Cell, inst: &SweepInstance, group: &BatchGroup) -> Option<SweepRow> {
+    let tree = &inst.tree;
+    let n = tree.num_nodes();
+    let leaves = tree.num_leaves();
+    let &starts = inst.pairs.get(cell.pair_index)?;
+    let fsa = inst.basic_walk_fsa();
+    let pair_count = inst.pairs.len();
+    // The store is process-wide, so the group key carries the full
+    // instance identity ahead of the group fingerprint — two sweeps only
+    // share lanes when they would compute the identical lanes.
+    let identity = mix(
+        fnv(cell.family.name()),
+        &[n as u64, inst.tree_seed, inst.pairs_seed, pair_count as u64],
+    );
+    match group {
+        BatchGroup::Theta { thetas, my_theta } => {
+            let key = mix(mix(fnv("batch-theta"), &[identity]), thetas);
+            let slot = crate::batch_cache::outcomes(key, || {
+                let mut lanes = Vec::with_capacity(thetas.len().saturating_mul(pair_count));
+                for &theta in thetas {
+                    let budget = basic_walk_budget_for(n, theta);
+                    for &(a, b) in &inst.pairs {
+                        lanes.push(BatchLane { start_a: a, start_b: b, delay: theta, budget });
+                    }
+                }
+                run_batch_fsa(tree, fsa, &lanes)
+            });
+            let outcome = slot.get().expect("kernel ran")[my_theta * pair_count + cell.pair_index];
+            let theta = thetas[*my_theta];
+            let (budget, provisioned) = budget_and_provisioned(cell, inst, n, leaves, theta, None);
+            Some(make_row(
+                cell,
+                inst,
+                n,
+                leaves,
+                (theta, None),
+                (outcome.met, outcome.round, outcome.crossings),
+                budget,
+                provisioned,
+                fsa.memory_bits(),
+                starts,
+                false,
+            ))
+        }
+        BatchGroup::Scheduled(spec) => {
+            let sched = spec.resolve(n);
+            let key = mix(fnv("batch-sched"), &[identity, cell.delay.code()]);
+            let slot = crate::batch_cache::outcomes(key, || {
+                let budget = schedule_budget_for(n, &sched);
+                let lanes: Vec<BatchLane> = inst
+                    .pairs
+                    .iter()
+                    .map(|&(a, b)| BatchLane { start_a: a, start_b: b, delay: 0, budget })
+                    .collect();
+                run_batch_fsa_scheduled(tree, fsa, &sched, &lanes)
+            });
+            let outcome = slot.get().expect("kernel ran")[cell.pair_index];
+            let (budget, provisioned) =
+                budget_and_provisioned(cell, inst, n, leaves, 0, Some(&sched));
+            Some(make_row(
+                cell,
+                inst,
+                n,
+                leaves,
+                (0, Some(spec.label(n))),
+                (outcome.met, outcome.round, outcome.crossings),
+                budget,
+                provisioned,
+                fsa.memory_bits(),
+                starts,
+                false,
+            ))
+        }
+    }
+}
+
+/// The `planned` annotation: the choice, its prediction, and the outcome
+/// re-priced under the same model — `actual` substitutes the run's true
+/// end round for the budget, everything else (dispatch factors, the
+/// *predicted* warmth) held fixed, so the field is a pure function of the
+/// row and the spec rather than a wall-clock measurement.
+fn annotate(choice: &Choice, row: &SweepRow) -> Planned {
+    let end = row.rounds.unwrap_or(row.budget);
+    let acts = if row.schedule.is_some() {
+        end.saturating_mul(2)
+    } else {
+        end.saturating_add(end.saturating_sub(row.delay))
+    };
+    let actual = match choice.route {
+        Route::Batch(_) => acts,
+        Route::Replay => replay_cost(acts, choice.warm),
+        Route::Stepping => acts.saturating_mul(STEPPING_FACTOR),
+        // The decider's work is the graph traversal, not the meeting
+        // round; its bound is the honest per-cell price either way.
+        Route::Decide => choice.predicted,
+    };
+    Planned { choice: choice.name.to_string(), predicted: choice.predicted, actual }
+}
+
+/// Executes one cell under [`Executor::Auto`]: price, route, run, and
+/// stamp the [`Planned`] annotation. The row is byte-identical to the
+/// routed fixed executor's plus the annotation (decide-routed cells also
+/// carry `certified: true`, exactly as under `--executor decide`).
+pub fn run_cell_auto(
+    cell: &Cell,
+    inst: &SweepInstance,
+    planner: &Planner,
+) -> (Option<SweepRow>, Option<Certificate>) {
+    let choice = planner.choose(cell, inst);
+    let (mut row, cert) = match &choice.route {
+        Route::Batch(group) => (run_cell_batch(cell, inst, group), None),
+        Route::Replay => (sweep::run_cell_replay(cell, inst), None),
+        Route::Stepping => (sweep::run_cell_on(cell, inst), None),
+        Route::Decide => match sweep::run_cell_decide_certified(cell, inst) {
+            Some((row, cert)) => (Some(row), cert),
+            None => (None, None),
+        },
+    };
+    if let Some(row) = &mut row {
+        row.planned = Some(annotate(&choice, row));
+    }
+    (row, cert)
+}
+
+/// [`run_cell_auto`] under the per-attempt watchdog: the choice maps to
+/// the matching fixed executor (batch → stepping — the downgrade ladder
+/// is defined over the fixed executors, and the two are row-identical)
+/// and the cell runs down [`sweep`]'s ordinary retry chain. Quarantined
+/// `timed_out` rows record *no run*, so they carry no annotation; the
+/// annotation otherwise records the plan — the watchdog path is already
+/// documented as not producing reference outputs.
+pub fn run_cell_auto_watchdogged(
+    cell: &Cell,
+    inst: &Arc<SweepInstance>,
+    planner: &Planner,
+    timeout: std::time::Duration,
+) -> (Option<SweepRow>, Option<Certificate>) {
+    let choice = planner.choose(cell, inst);
+    let fixed = match choice.route {
+        Route::Decide => Executor::ExactDecide,
+        Route::Replay => Executor::TraceReplay,
+        Route::Stepping | Route::Batch(_) => Executor::DynStepping,
+    };
+    let (mut row, cert) = sweep::run_cell_watchdogged(cell, inst, fixed, timeout);
+    if let Some(row) = &mut row {
+        if row.timed_out.is_none() {
+            row.planned = Some(annotate(&choice, row));
+        }
+    }
+    (row, cert)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::Family;
+
+    fn spec(delays: Vec<Delay>, variants: Vec<Variant>) -> SweepSpec {
+        SweepSpec {
+            experiment: "planner-test".into(),
+            families: vec![Family::Random],
+            sizes: vec![8],
+            delays,
+            variants,
+            pairs_per_cell: 2,
+            seed: 11,
+            threads: 1,
+            executor: Executor::Auto,
+        }
+    }
+
+    fn first_cell(s: &SweepSpec) -> (Cell, SweepInstance) {
+        let grid = sweep::cells(s);
+        let cell = grid[0].clone();
+        let inst = SweepInstance::for_cell(&cell);
+        (cell, inst)
+    }
+
+    #[test]
+    fn small_theta_bw_cells_route_to_the_batch_kernel() {
+        let s = spec(vec![Delay::Zero, Delay::Fixed(3)], vec![Variant::BasicWalkFsa]);
+        let planner = Planner::from_spec(&s);
+        let (cell, inst) = first_cell(&s);
+        let choice = planner.choose(&cell, &inst);
+        assert_eq!(choice.name, "batch");
+        // Both axis classes are θ-shaped and batch-routed, so the group
+        // fuses them in axis order and this (first) cell indexes θ = 0.
+        match choice.route {
+            Route::Batch(BatchGroup::Theta { ref thetas, my_theta }) => {
+                assert_eq!(thetas, &[0, 3]);
+                assert_eq!(my_theta, 0);
+            }
+            ref other => panic!("expected a θ batch group, got {other:?}"),
+        }
+        assert_eq!(choice.predicted, theta_acts(inst.tree.num_nodes(), 0));
+    }
+
+    #[test]
+    fn astronomical_theta_routes_to_the_budget_free_decider() {
+        // acts ≈ 2θ while the decide bound is θ-independent, so a large
+        // enough fixed delay must flip the routing.
+        let s = spec(vec![Delay::Fixed(u64::MAX / 4)], vec![Variant::BasicWalkFsa]);
+        let planner = Planner::from_spec(&s);
+        let (cell, inst) = first_cell(&s);
+        let choice = planner.choose(&cell, &inst);
+        assert_eq!(choice.name, "decide");
+        assert_eq!(choice.route, Route::Decide);
+    }
+
+    #[test]
+    fn procedural_cells_route_to_replay_and_predict_warmth_from_the_axis() {
+        let s = spec(vec![Delay::Zero, Delay::Fixed(3)], vec![Variant::DelayRobust]);
+        let planner = Planner::from_spec(&s);
+        let grid = sweep::cells(&s);
+        let inst = SweepInstance::for_cell(&grid[0]);
+        let cold = grid.iter().find(|c| c.delay == Delay::Zero).unwrap();
+        let warm = grid.iter().find(|c| c.delay == Delay::Fixed(3)).unwrap();
+        let (cold, warm) = (planner.choose(cold, &inst), planner.choose(warm, &inst));
+        assert_eq!((cold.name, cold.warm), ("replay", false));
+        assert_eq!((warm.name, warm.warm), ("replay", true));
+        assert!(warm.predicted < cold.predicted, "warm keys skip the recording price");
+    }
+
+    #[test]
+    fn adversarial_cells_are_forced_onto_the_decider() {
+        let s = spec(vec![Delay::Adversarial], vec![Variant::BasicWalkFsa]);
+        let planner = Planner::from_spec(&s);
+        let (cell, inst) = first_cell(&s);
+        let choice = planner.choose(&cell, &inst);
+        assert_eq!(choice.route, Route::Decide);
+        assert_eq!(
+            choice.predicted,
+            decide_cost_bound(inst.basic_walk_fsa(), inst.tree.num_nodes(), 1)
+        );
+    }
+
+    #[test]
+    fn choices_are_pure_functions_of_spec_and_coordinates() {
+        let s = spec(
+            vec![Delay::Zero, Delay::Schedule(ScheduleSpec::Intermittent { period: 2, phase: 0 })],
+            vec![Variant::BasicWalkFsa, Variant::DelayRobust],
+        );
+        let grid = sweep::cells(&s);
+        for cell in &grid {
+            let inst = SweepInstance::for_cell(cell);
+            let a = Planner::from_spec(&s).choose(cell, &inst);
+            let b = Planner::from_spec(&s).choose(cell, &SweepInstance::for_cell(cell));
+            assert_eq!(a, b, "two planners priced {cell:?} differently");
+        }
+    }
+}

@@ -289,7 +289,7 @@ impl Delay {
     /// top few fixed delays (`≥ u64::MAX − 3`) onto one code: those
     /// cells are degenerate anyway — their budgets saturate to
     /// `u64::MAX`, so they are the same unusable scenario.
-    fn code(self) -> u64 {
+    pub(crate) fn code(self) -> u64 {
         match self {
             Delay::Zero => 0,
             Delay::Fixed(d) => d.saturating_add(1).min(u64::MAX - 2),
@@ -352,7 +352,7 @@ impl Variant {
     /// The universal delay quantifier is decidable only for the explicit
     /// automaton variant (the procedural agents have no exported finite
     /// configuration space), so [`Delay::Adversarial`] is bw-fsa-only.
-    fn supports(self, family: Family, delay: Delay) -> bool {
+    pub(crate) fn supports(self, family: Family, delay: Delay) -> bool {
         match self {
             Variant::TreeRvz => delay.is_always_zero(),
             Variant::DelayRobust => delay != Delay::Adversarial,
@@ -411,6 +411,14 @@ pub enum Executor {
     /// [`Executor::TraceReplay`]. Rows are byte-identical to the other
     /// executors except for the `certified` flag (by test).
     ExactDecide,
+    /// Route every cell through the per-cell cost-model planner
+    /// ([`crate::planner`]): each cell goes to decide, replay, stepping or
+    /// the batched SoA kernel ([`rvz_sim::batch`]) by predicted cost, and
+    /// the row records the choice in the optional `planned` annotation.
+    /// Rows are byte-identical to the fixed executors modulo `planned`
+    /// (and `certified` on decide-routed cells) — by test and by the CI
+    /// `planner-differential` job.
+    Auto,
 }
 
 /// A full grid specification; [`run`] executes it.
@@ -510,6 +518,29 @@ pub struct SweepRow {
     /// field; see docs/schemas.md and docs/distributed.md).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub poisoned: Option<bool>,
+    /// The planner's per-cell record under [`Executor::Auto`]: which
+    /// executor the cost model chose and its predicted/actual cost in
+    /// deterministic work units (agent activations — never wall clock, so
+    /// rows stay pure functions of the cell coordinates). Absent — not
+    /// `null` — under every fixed executor, so their rows keep their exact
+    /// serialized shape (schema `rvz-sweep/v6` = v5 plus this optional
+    /// field; see docs/schemas.md).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub planned: Option<Planned>,
+}
+
+/// The planner's decision record, embedded in [`SweepRow::planned`]. All
+/// three fields are deterministic: `choice` and `predicted` are pure
+/// functions of the spec and the cell coordinates, `actual` re-prices the
+/// row's outcome under the same model (see [`crate::planner`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize)]
+pub struct Planned {
+    /// `"batch"` / `"replay"` / `"stepping"` / `"decide"`.
+    pub choice: String,
+    /// Model-predicted cost of the chosen route, in work units.
+    pub predicted: u64,
+    /// Post-hoc cost of the route given the row's outcome, same units.
+    pub actual: u64,
 }
 
 /// A machine-checkable decision certificate emitted by the
@@ -557,7 +588,7 @@ fn splitmix(mut z: u64) -> u64 {
     z ^ (z >> 31)
 }
 
-fn fnv(s: &str) -> u64 {
+pub(crate) fn fnv(s: &str) -> u64 {
     let mut h: u64 = 0xcbf2_9ce4_8422_2325;
     for b in s.bytes() {
         h ^= b as u64;
@@ -568,7 +599,7 @@ fn fnv(s: &str) -> u64 {
 
 /// Mixes grid coordinates into a seed. Position-independent by
 /// construction: only the listed tokens enter.
-fn mix(base: u64, tokens: &[u64]) -> u64 {
+pub(crate) fn mix(base: u64, tokens: &[u64]) -> u64 {
     let mut h = splitmix(base);
     for &t in tokens {
         h = splitmix(h ^ t);
@@ -867,7 +898,7 @@ pub fn run_cell(cell: &Cell) -> Option<SweepRow> {
 /// the legacy θ-indexed path (every delay flavor, including
 /// start-delay-shaped schedule specs — which thereby emit byte-identical
 /// legacy rows), or the genuinely scheduled path.
-enum CellMode {
+pub(crate) enum CellMode {
     Delay(u64),
     Scheduled(ScheduleSpec),
 }
@@ -875,7 +906,7 @@ enum CellMode {
 impl Cell {
     /// The execution mode at instance size `n`. Must not be called on
     /// [`Delay::Adversarial`] cells (the quantifier layer owns those).
-    fn mode(&self, n: usize) -> CellMode {
+    pub(crate) fn mode(&self, n: usize) -> CellMode {
         match self.delay {
             Delay::Schedule(spec) => match spec.as_start_delay() {
                 Some(theta) => CellMode::Delay(theta),
@@ -890,7 +921,7 @@ impl Cell {
 /// this instance (shared by the stepping and replay executors). `sched`
 /// is the resolved schedule for genuinely scheduled cells (`delay` is
 /// then the θ-equivalent and only the schedule shapes the bw horizon).
-fn budget_and_provisioned(
+pub(crate) fn budget_and_provisioned(
     cell: &Cell,
     inst: &SweepInstance,
     n: usize,
@@ -921,7 +952,7 @@ fn budget_and_provisioned(
 /// its exact verdict with `certified: true`). Byte-identity across
 /// executors is maintained here, not per call site.
 #[allow(clippy::too_many_arguments)]
-fn make_row(
+pub(crate) fn make_row(
     cell: &Cell,
     inst: &SweepInstance,
     n: usize,
@@ -957,6 +988,7 @@ fn make_row(
         certified,
         timed_out: None,
         poisoned: None,
+        planned: None,
     }
 }
 
@@ -1441,6 +1473,12 @@ pub fn run_cell_with_executor(
         Executor::TraceReplay => (run_cell_replay(cell, inst), None),
         Executor::DynStepping => (run_cell_on(cell, inst), None),
         Executor::ExactDecide => decide_certified(),
+        // The planner owns Auto routing end to end
+        // ([`crate::planner::run_cell_auto`]): a fall-through here would
+        // have to invent a spec-less cost model whose `planned` bytes
+        // diverge from the real planner's, silently breaking
+        // thread-count byte-identity.
+        Executor::Auto => unreachable!("Executor::Auto is routed through crate::planner"),
     }
 }
 
@@ -1456,6 +1494,9 @@ fn downgrade_chain(executor: Executor) -> &'static [Executor] {
         }
         Executor::TraceReplay => &[Executor::TraceReplay, Executor::DynStepping],
         Executor::DynStepping => &[Executor::DynStepping],
+        // The planner maps its choice to a fixed executor before entering
+        // the watchdog ([`crate::planner::run_cell_auto_watchdogged`]).
+        Executor::Auto => unreachable!("Executor::Auto is routed through crate::planner"),
     }
 }
 
@@ -1634,6 +1675,11 @@ pub fn run_with_options(spec: &SweepSpec, opts: &RunOptions<'_>) -> SweepReport 
             reps.push(cell);
         }
     }
+    // Built once per run so every worker prices cells against the same
+    // axes; the planner is a pure function of the spec, which is what
+    // keeps `planned` bytes identical across `--threads` and `--workers`.
+    let planner =
+        (spec.executor == Executor::Auto).then(|| crate::planner::Planner::from_spec(spec));
     let run_one = |c: &Cell, inst: &Arc<SweepInstance>| {
         let cell_seed = c.cell_seed();
         if let Some(journal) = opts.journal {
@@ -1641,9 +1687,13 @@ pub fn run_with_options(spec: &SweepSpec, opts: &RunOptions<'_>) -> SweepReport 
                 return (rec.row.clone(), rec.certificate.clone());
             }
         }
-        let out = match opts.cell_timeout {
-            Some(timeout) => run_cell_watchdogged(c, inst, spec.executor, timeout),
-            None => run_cell_with_executor(c, inst, spec.executor),
+        let out = match (&planner, opts.cell_timeout) {
+            (Some(p), Some(timeout)) => {
+                crate::planner::run_cell_auto_watchdogged(c, inst, p, timeout)
+            }
+            (Some(p), None) => crate::planner::run_cell_auto(c, inst, p),
+            (None, Some(timeout)) => run_cell_watchdogged(c, inst, spec.executor, timeout),
+            (None, None) => run_cell_with_executor(c, inst, spec.executor),
         };
         if let Some(journal) = opts.journal {
             journal.record(&crate::checkpoint::CellRecord {
@@ -2235,6 +2285,123 @@ mod tests {
         assert!(replayed.certificates.is_empty());
         for cert in &decided.certificates {
             assert_eq!(cert.verified, cert.lasso_stem.is_some().then_some(true), "{cert:?}");
+        }
+    }
+
+    /// Serializes rows with the per-executor annotations (`certified`,
+    /// `planned`) cleared — the canonical cross-executor comparison (the
+    /// CI planner-differential job does the same with `jq del(…)`).
+    fn strip_annotations(rows: &[SweepRow]) -> String {
+        let mut rows = rows.to_vec();
+        for r in &mut rows {
+            r.certified = false;
+            r.planned = None;
+        }
+        serde_json::to_string(&rows).unwrap()
+    }
+
+    #[test]
+    fn auto_executor_matches_every_fixed_executor_modulo_annotations() {
+        // The planner must be a pure routing layer: whatever it picks per
+        // cell, the row stream is the fixed executors' stream plus the
+        // `planned` annotation (and `certified` where it chose decide).
+        let mut spec = small_spec(2);
+        spec.executor = Executor::Auto;
+        let auto = run(&spec);
+        assert!(!auto.rows.is_empty());
+        for fixed in [Executor::TraceReplay, Executor::DynStepping, Executor::ExactDecide] {
+            spec.executor = fixed;
+            let reference = run(&spec);
+            assert_eq!(
+                strip_annotations(&auto.rows),
+                strip_annotations(&reference.rows),
+                "auto must match {fixed:?} modulo certified/planned"
+            );
+        }
+        for row in &auto.rows {
+            let planned = row.planned.as_ref().expect("every auto row carries the annotation");
+            assert!(
+                ["batch", "replay", "stepping", "decide"].contains(&planned.choice.as_str()),
+                "{planned:?}"
+            );
+            assert_eq!(row.certified, planned.choice == "decide", "{row:?}");
+            assert!(planned.predicted > 0 && planned.actual > 0, "{planned:?}");
+        }
+        // This grid has small-θ bw cells (batch territory) and procedural
+        // cells (replay territory) — the planner must actually route, not
+        // collapse onto one executor.
+        let choices: std::collections::HashSet<String> =
+            auto.rows.iter().filter_map(|r| r.planned.as_ref().map(|p| p.choice.clone())).collect();
+        assert!(choices.contains("batch"), "bw θ cells should hit the kernel: {choices:?}");
+        assert!(choices.contains("replay"), "procedural cells should replay: {choices:?}");
+    }
+
+    #[test]
+    fn auto_executor_is_byte_identical_across_thread_counts() {
+        // Full-byte comparison, `planned` included: the annotation must be
+        // a pure function of the spec and the coordinates, never of which
+        // thread warmed which cache first.
+        let mut spec1 = small_spec(1);
+        spec1.executor = Executor::Auto;
+        let mut spec4 = small_spec(4);
+        spec4.executor = Executor::Auto;
+        let report1 = run(&spec1);
+        let report4 = run(&spec4);
+        assert!(!report1.rows.is_empty());
+        assert_eq!(
+            serde_json::to_string(&report1.rows).unwrap(),
+            serde_json::to_string(&report4.rows).unwrap(),
+            "auto rows (planned annotation included) must not depend on thread count"
+        );
+    }
+
+    #[test]
+    fn auto_executor_matches_fixed_executors_on_scheduled_and_adversarial_cells() {
+        // The planner's other two route families: genuine schedules (the
+        // scheduled batch kernel / scheduled decider) and the universal
+        // delay quantifier (forced decide).
+        let spec = |executor| SweepSpec {
+            experiment: "auto-sched".into(),
+            families: vec![Family::Line, Family::Random],
+            sizes: vec![8],
+            delays: vec![
+                Delay::Schedule(ScheduleSpec::Intermittent { period: 2, phase: 0 }),
+                Delay::Schedule(ScheduleSpec::Lockstep { period: 2 }),
+                Delay::Adversarial,
+            ],
+            variants: vec![Variant::BasicWalkFsa, Variant::DelayRobust],
+            pairs_per_cell: 2,
+            seed: 0xA07_05C4ED,
+            threads: 2,
+            executor,
+        };
+        let auto = run(&spec(Executor::Auto));
+        let replayed = run(&spec(Executor::TraceReplay));
+        assert!(!auto.rows.is_empty());
+        assert_eq!(strip_annotations(&auto.rows), strip_annotations(&replayed.rows));
+        // Adversarial cells carry certificates under every executor —
+        // routing through the planner must not drop the evidence: the
+        // universal-verdict subsets must agree exactly. Decide-routed
+        // scheduled cells may *add* never-meets lassos on top — certified
+        // evidence the bounded executors cannot produce.
+        let universal = |certs: &[Certificate]| {
+            let subset: Vec<&Certificate> = certs
+                .iter()
+                .filter(|c| matches!(c.verdict.as_str(), "all-delays-meet" | "delay-defeats"))
+                .collect();
+            serde_json::to_string(&subset).expect("serialize")
+        };
+        assert_eq!(universal(&auto.certificates), universal(&replayed.certificates));
+        assert!(auto.certificates.len() >= replayed.certificates.len());
+        for cert in &auto.certificates {
+            assert_ne!(cert.verified, Some(false), "{cert:?}");
+        }
+        for row in &auto.rows {
+            let planned = row.planned.as_ref().expect("annotated");
+            if row.schedule.is_none() {
+                // The only θ-less rows in this grid are adversarial cells.
+                assert_eq!(planned.choice, "decide", "{row:?}");
+            }
         }
     }
 

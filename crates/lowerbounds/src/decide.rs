@@ -486,6 +486,25 @@ pub fn decide_from(t: &Tree, fsa: &Fsa, solo: &SoloLasso, b: NodeId, delay: u64)
     decide_from_lassos(solo, &SoloLasso::tabulate(t, fsa, b), delay)
 }
 
+/// Work-unit bound on the cost of *deciding* one pair on an `n`-node tree
+/// — the config-graph size formula the sweep planner uses as its
+/// decide-cost feature (`crates/bench/src/planner.rs`).
+///
+/// Fixed-delay decisions scan the joint product lasso, whose length is
+/// bounded by the solo configuration space `|C| = `[`Fsa::num_configs`]
+/// `(n)` per agent plus one round of slack; scheduled decisions walk
+/// `(cfg_a, cfg_b, cycle position)` tuples and terminate within
+/// `cycle · (|C| + 1)` rounds past the prefix ([`decide_pair_scheduled`]).
+/// Pass `cycle_len = 1` for the delay axis. The bound is a *deterministic
+/// pure function* of `(automaton, n, cycle_len)` — no clocks, no cache
+/// state — which is what lets the planner record it in reproducible
+/// output. Saturating: the formula is a routing weight, not an allocation
+/// size.
+pub fn decide_cost_bound(fsa: &Fsa, n: usize, cycle_len: u64) -> u64 {
+    let configs = fsa.num_configs(n) as u64;
+    cycle_len.max(1).saturating_mul(configs.saturating_add(1))
+}
+
 /// The product-lasso core (module docs, "The product-lasso closed form"):
 /// decides a `(pair, delay)` instance from the two solo lassos alone.
 /// Both lassos must come from the same tree and automaton; `solo_a` is the
@@ -1133,6 +1152,26 @@ mod tests {
             run.crossings,
             "crossing count diverged: a={a} b={b} θ={delay}"
         );
+    }
+
+    #[test]
+    fn decide_cost_bound_is_the_config_graph_formula() {
+        // The planner's decide-cost feature: |C| + 1 per cycle slot, with
+        // |C| = k · n · (Δ + 1) for the basic-walk automaton.
+        let t = spider(3, 4);
+        let fsa = bw(&t);
+        let n = t.num_nodes();
+        let configs = fsa.num_configs(n) as u64;
+        assert_eq!(decide_cost_bound(&fsa, n, 1), configs + 1);
+        assert_eq!(decide_cost_bound(&fsa, n, 6), 6 * (configs + 1));
+        // `cycle_len = 0` (a prefix-only schedule) still weighs one slot.
+        assert_eq!(decide_cost_bound(&fsa, n, 0), configs + 1);
+        // The bound genuinely scans the lasso the decider walks: every
+        // solo lasso fits under it.
+        let solo = SoloLasso::tabulate(&t, &fsa, 0);
+        assert!(solo.stem + solo.period <= decide_cost_bound(&fsa, n, 1));
+        // Saturates instead of overflowing on adversarially huge cycles.
+        assert_eq!(decide_cost_bound(&fsa, n, u64::MAX), u64::MAX);
     }
 
     #[test]

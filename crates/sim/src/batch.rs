@@ -1,0 +1,369 @@
+//! Batched structure-of-arrays stepping for the explicit automaton.
+//!
+//! The sweep's basic-walk grids are dominated by *short same-instance
+//! cells*: every `(delay, pair)` combination on one tree runs the same
+//! dense [`Fsa`] table over the same CSR adjacency for an exact
+//! `θ + 4(n−1) + 2` horizon. Stepping those cells one at a time pays the
+//! per-cell dispatch (runner construction, closure boxing, cache-cold
+//! table walks) far more often than it pays simulation. This module fuses
+//! them: one kernel call advances *many lanes* — one lane per (pair,
+//! delay) or (pair, schedule-phase) combination — through the shared tree
+//! and transition table, one round per outer iteration.
+//!
+//! Lane state is kept in flat parallel `Vec`s (state, node, entry,
+//! started), not per-lane structs: the inner loop reads and writes
+//! contiguous arrays with no per-pair dispatch, which is what lets the
+//! compiler keep the hot fields in cache (and vectorize the bookkeeping)
+//! across lanes.
+//!
+//! Semantics are pinned to [`crate::run_pair_fsa`] lane by lane — same
+//! round-0 meeting rule, same first-activation convention, same crossing
+//! detection, same budget/timeout accounting — by the unit tests below
+//! and by the sweep's differential tests: a batched cell must be
+//! byte-identical to its per-cell run.
+
+use crate::cancel;
+use crate::schedule::Schedule;
+use rvz_agent::{Fsa, StateId};
+use rvz_trees::{NodeId, Tree};
+
+/// One lane of a batched run: a start pair with its own activation delay
+/// and round budget (lanes of one call may mix delays freely).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchLane {
+    pub start_a: NodeId,
+    pub start_b: NodeId,
+    /// Agent B's start delay θ (0 = simultaneous start). Ignored by the
+    /// scheduled entry point, where the shared schedule carries the
+    /// timing.
+    pub delay: u64,
+    /// Round budget; a lane that has not met by this round times out.
+    pub budget: u64,
+}
+
+/// Per-lane outcome — exactly the `(met, rounds, crossings)` triple the
+/// sweep's row assembler consumes from a [`crate::PairRun`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaneOutcome {
+    pub met: bool,
+    /// Meeting round (`None` on timeout; `Some(0)` = identical starts).
+    pub round: Option<u64>,
+    pub crossings: u64,
+}
+
+/// `entry` lane encoding of "no entry port" (after a null move or before
+/// the first move) — `Option<Port>` flattened to one flat `u32` array.
+const NO_ENTRY: u32 = u32::MAX;
+
+/// Runs every lane under the start-delay activation pattern (agent A from
+/// round 1, agent B from round `delay + 1`): the batched equivalent of
+/// one [`crate::run_pair_fsa`] call per lane with
+/// `PairConfig::delayed(lane.delay, lane.budget)`, both agents stepping
+/// `fsa`. Outcomes are returned in lane order.
+pub fn run_batch_fsa(t: &Tree, fsa: &Fsa, lanes: &[BatchLane]) -> Vec<LaneOutcome> {
+    run_lanes(t, fsa, lanes, |round, delay| (true, round > delay))
+}
+
+/// Runs every lane under one shared activation [`Schedule`] (the frozen
+/// semantics of [`crate::run_pair_scheduled`]): the per-round activation
+/// pair is computed once and applied to all lanes, so lanes are (pair,
+/// schedule-phase) combinations of a single scheduled sub-grid. Lane
+/// delays are ignored; budgets still apply per lane.
+pub fn run_batch_fsa_scheduled(
+    t: &Tree,
+    fsa: &Fsa,
+    schedule: &Schedule,
+    lanes: &[BatchLane],
+) -> Vec<LaneOutcome> {
+    run_lanes(t, fsa, lanes, |round, _delay| schedule.active(round))
+}
+
+/// The shared lane loop. `active(round, lane_delay)` mirrors
+/// [`crate::run_pair_fsa`]'s activation closure; it must be pure in its
+/// arguments (lanes at the same round and delay get the same flags).
+fn run_lanes(
+    t: &Tree,
+    fsa: &Fsa,
+    lanes: &[BatchLane],
+    active: impl Fn(u64, u64) -> (bool, bool),
+) -> Vec<LaneOutcome> {
+    let m = lanes.len();
+    // Structure-of-arrays lane state: one flat array per field.
+    let mut node_a: Vec<NodeId> = lanes.iter().map(|l| l.start_a).collect();
+    let mut node_b: Vec<NodeId> = lanes.iter().map(|l| l.start_b).collect();
+    let mut entry_a: Vec<u32> = vec![NO_ENTRY; m];
+    let mut entry_b: Vec<u32> = vec![NO_ENTRY; m];
+    let mut state_a: Vec<StateId> = vec![fsa.s0; m];
+    let mut state_b: Vec<StateId> = vec![fsa.s0; m];
+    let mut started_a: Vec<bool> = vec![false; m];
+    let mut started_b: Vec<bool> = vec![false; m];
+    let mut crossings: Vec<u64> = vec![0; m];
+    let mut out: Vec<LaneOutcome> = vec![LaneOutcome { met: false, round: None, crossings: 0 }; m];
+
+    // Round 0: identical starts meet before anyone acts; zero-budget lanes
+    // with distinct starts time out without stepping — exactly the
+    // per-pair loop's entry conditions.
+    let mut live: Vec<u32> = Vec::with_capacity(m);
+    let mut max_budget = 0u64;
+    for (i, lane) in lanes.iter().enumerate() {
+        if lane.start_a == lane.start_b {
+            out[i] = LaneOutcome { met: true, round: Some(0), crossings: 0 };
+        } else if lane.budget == 0 {
+            out[i] = LaneOutcome { met: false, round: None, crossings: 0 };
+        } else {
+            live.push(i as u32);
+            max_budget = max_budget.max(lane.budget);
+        }
+    }
+
+    for round in 1..=max_budget {
+        if round & 0xFFF == 0 {
+            cancel::checkpoint();
+        }
+        live.retain(|&lane| {
+            let i = lane as usize;
+            let prev_a = node_a[i];
+            let prev_b = node_b[i];
+            let (on_a, on_b) = active(round, lanes[i].delay);
+            if on_a {
+                step_lane_agent(
+                    t,
+                    fsa,
+                    &mut state_a[i],
+                    &mut started_a[i],
+                    &mut node_a[i],
+                    &mut entry_a[i],
+                );
+            }
+            if on_b {
+                step_lane_agent(
+                    t,
+                    fsa,
+                    &mut state_b[i],
+                    &mut started_b[i],
+                    &mut node_b[i],
+                    &mut entry_b[i],
+                );
+            }
+            let (a, b) = (node_a[i], node_b[i]);
+            if a == prev_b && b == prev_a && a != b {
+                crossings[i] += 1;
+            }
+            if a == b {
+                out[i] = LaneOutcome { met: true, round: Some(round), crossings: crossings[i] };
+                return false;
+            }
+            if round >= lanes[i].budget {
+                out[i] = LaneOutcome { met: false, round: None, crossings: crossings[i] };
+                return false;
+            }
+            true
+        });
+        if live.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+/// One agent activation on one lane: the runner's step rule (first
+/// activation emits the current state's action without transitioning;
+/// later ones transition on the observation first) followed by the
+/// cursor's move rule, inlined over the flat lane arrays.
+#[inline]
+fn step_lane_agent(
+    t: &Tree,
+    fsa: &Fsa,
+    state: &mut StateId,
+    started: &mut bool,
+    node: &mut NodeId,
+    entry: &mut u32,
+) {
+    let degree = t.degree(*node);
+    if *started {
+        let e = (*entry != NO_ENTRY).then_some(*entry);
+        *state = fsa.transition(*state, e, degree);
+    } else {
+        *started = true;
+    }
+    match fsa.action(*state).port(degree) {
+        None => *entry = NO_ENTRY,
+        Some(p) => {
+            *entry = t.entry_port(*node, p);
+            *node = t.neighbor(*node, p);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{run_pair_fsa, run_pair_scheduled_fsa, PairConfig, PairRun};
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+    use rvz_trees::generators::{line, random_tree, spider, star};
+
+    fn lane_of(run: &PairRun) -> LaneOutcome {
+        LaneOutcome { met: run.outcome.met(), round: run.outcome.round(), crossings: run.crossings }
+    }
+
+    /// The one-pair-at-a-time reference: every lane of a batch must equal
+    /// its own `run_pair_fsa` call exactly.
+    fn reference(t: &Tree, fsa: &Fsa, lanes: &[BatchLane]) -> Vec<LaneOutcome> {
+        lanes
+            .iter()
+            .map(|l| {
+                let mut a = fsa.runner();
+                let mut b = fsa.runner();
+                let run = run_pair_fsa(
+                    t,
+                    l.start_a,
+                    l.start_b,
+                    &mut a,
+                    &mut b,
+                    PairConfig::delayed(l.delay, l.budget),
+                );
+                lane_of(&run)
+            })
+            .collect()
+    }
+
+    fn budget_for(n: usize, delay: u64) -> u64 {
+        delay + 4 * (n as u64 - 1) + 2
+    }
+
+    #[test]
+    fn batch_matches_run_pair_fsa_on_lines_and_stars() {
+        for t in [line(9), star(6), spider(3, 4)] {
+            let fsa = Fsa::basic_walk(t.max_degree().max(1));
+            let n = t.num_nodes();
+            let mut lanes = Vec::new();
+            for a in 0..n as NodeId {
+                for b in 0..n as NodeId {
+                    for delay in [0u64, 1, 3, 2 * n as u64] {
+                        lanes.push(BatchLane {
+                            start_a: a,
+                            start_b: b,
+                            delay,
+                            budget: budget_for(n, delay),
+                        });
+                    }
+                }
+            }
+            assert_eq!(run_batch_fsa(&t, &fsa, &lanes), reference(&t, &fsa, &lanes));
+        }
+    }
+
+    #[test]
+    fn batch_matches_run_pair_fsa_on_random_trees() {
+        let mut rng = StdRng::seed_from_u64(0xBA7C);
+        for _ in 0..20 {
+            let n = rng.gen_range(2..40);
+            let t = random_tree(n, &mut rng);
+            let fsa = Fsa::basic_walk(t.max_degree().max(1));
+            let lanes: Vec<BatchLane> = (0..24)
+                .map(|_| {
+                    let delay = rng.gen_range(0..3 * n as u64);
+                    BatchLane {
+                        start_a: rng.gen_range(0..n as NodeId),
+                        start_b: rng.gen_range(0..n as NodeId),
+                        delay,
+                        budget: budget_for(n, delay),
+                    }
+                })
+                .collect();
+            assert_eq!(run_batch_fsa(&t, &fsa, &lanes), reference(&t, &fsa, &lanes), "n={n}");
+        }
+    }
+
+    #[test]
+    fn batch_handles_round_zero_meetings_and_zero_budgets() {
+        let t = line(5);
+        let fsa = Fsa::basic_walk(t.max_degree().max(1));
+        let lanes = [
+            BatchLane { start_a: 2, start_b: 2, delay: 0, budget: 10 },
+            BatchLane { start_a: 0, start_b: 4, delay: 0, budget: 0 },
+            BatchLane { start_a: 3, start_b: 3, delay: 7, budget: 0 },
+        ];
+        let got = run_batch_fsa(&t, &fsa, &lanes);
+        assert_eq!(got[0], LaneOutcome { met: true, round: Some(0), crossings: 0 });
+        assert_eq!(got[1], LaneOutcome { met: false, round: None, crossings: 0 });
+        assert_eq!(got[2], LaneOutcome { met: true, round: Some(0), crossings: 0 });
+        assert_eq!(got, reference(&t, &fsa, &lanes));
+    }
+
+    #[test]
+    fn batch_counts_crossings_like_the_pair_loop() {
+        // Two basic walkers on a single edge shuttle forever, crossing
+        // inside the edge every round — the canonical crossings workload.
+        let t = line(2);
+        let fsa = Fsa::basic_walk(t.max_degree().max(1));
+        let lanes = [BatchLane { start_a: 0, start_b: 1, delay: 0, budget: 9 }];
+        let got = run_batch_fsa(&t, &fsa, &lanes);
+        assert_eq!(got, reference(&t, &fsa, &lanes));
+        assert!(!got[0].met);
+        assert!(got[0].crossings > 0);
+    }
+
+    #[test]
+    fn scheduled_batch_matches_run_pair_scheduled_fsa() {
+        let mut rng = StdRng::seed_from_u64(0x5C4ED);
+        let schedules = [
+            Schedule::simultaneous(),
+            Schedule::start_delay(3),
+            Schedule::intermittent(2, 0),
+            Schedule::intermittent(3, 1),
+            Schedule::crash_after(4),
+            Schedule::adversarial(17, 4, 4),
+        ];
+        for _ in 0..8 {
+            let n = rng.gen_range(2..24);
+            let t = random_tree(n, &mut rng);
+            let fsa = Fsa::basic_walk(t.max_degree().max(1));
+            for sched in &schedules {
+                let budget = sched.prefix_len() + sched.cycle_len() * (4 * (n as u64 - 1) + 2);
+                let lanes: Vec<BatchLane> = (0..12)
+                    .map(|_| BatchLane {
+                        start_a: rng.gen_range(0..n as NodeId),
+                        start_b: rng.gen_range(0..n as NodeId),
+                        delay: 0,
+                        budget,
+                    })
+                    .collect();
+                let got = run_batch_fsa_scheduled(&t, &fsa, sched, &lanes);
+                let want: Vec<LaneOutcome> = lanes
+                    .iter()
+                    .map(|l| {
+                        let mut a = fsa.runner();
+                        let mut b = fsa.runner();
+                        let run = run_pair_scheduled_fsa(
+                            &t, l.start_a, l.start_b, &mut a, &mut b, sched, l.budget, false,
+                        );
+                        lane_of(&run)
+                    })
+                    .collect();
+                assert_eq!(got, want, "n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn mixed_delay_lanes_share_one_kernel_call() {
+        // The point of the lane layout: wildly different delays (hence
+        // budgets and lifetimes) in one call, each decided independently.
+        let t = line(12);
+        let fsa = Fsa::basic_walk(t.max_degree().max(1));
+        let lanes: Vec<BatchLane> = [0u64, 1, 5, 100, 1000]
+            .into_iter()
+            .flat_map(|delay| {
+                [(0u32, 11u32), (3, 8), (2, 9)].into_iter().map(move |(a, b)| BatchLane {
+                    start_a: a,
+                    start_b: b,
+                    delay,
+                    budget: budget_for(12, delay),
+                })
+            })
+            .collect();
+        assert_eq!(run_batch_fsa(&t, &fsa, &lanes), reference(&t, &fsa, &lanes));
+    }
+}

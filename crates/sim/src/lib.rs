@@ -24,12 +24,14 @@
 //! assert!(!theta.lane_symmetric());
 //! ```
 
+pub mod batch;
 pub mod cancel;
 pub mod multi;
 pub mod runner;
 pub mod schedule;
 pub mod trace;
 
+pub use batch::{run_batch_fsa, run_batch_fsa_scheduled, BatchLane, LaneOutcome};
 pub use multi::{run_multi, MultiConfig, MultiOutcome, MultiRun};
 pub use runner::{
     run_pair, run_pair_fsa, run_pair_scheduled, run_pair_scheduled_fsa, run_single, Cursor,

@@ -2,7 +2,12 @@
 # lockstep so "works on my machine" and CI mean the same thing.
 
 # Full CI-equivalent pass.
-ci: build test fmt-check clippy docs doctest docs-check differential crash-test bench-smoke
+ci: build test fmt-check clippy docs doctest docs-check ci-parity-check differential planner-differential crash-test bench-json-check bench-smoke
+
+# CI/justfile drift gate: every CI job maps to the just targets that
+# reproduce it (and back), and every mapped target sits in `ci:` above.
+ci-parity-check:
+    scripts/check_ci_parity.sh
 
 build:
     cargo build --release --workspace
@@ -76,6 +81,55 @@ differential:
     cmp differential/e10-decide.json differential/e10-t1.json
     jq -e '[.rows[] | select(.certified | not)] | length == 0' differential/e10-decide.json > /dev/null
 
+# CI's planner-differential job: the cost-model planner (`--executor
+# auto`) re-run on the e8 and e10 smokes — byte-identical across
+# --threads 1/2/8, row-identical to every fixed executor once the
+# per-executor annotations (`certified`, `planned`) and the schema tag
+# are stripped, every row annotated — plus the decision-log extraction.
+planner-differential:
+    mkdir -p planner-differential
+    for ex in replay stepping decide; do \
+      cargo run --release --bin experiments -- \
+        --experiment e8 --sizes 8,12 --pairs 2 --threads 2 \
+        --executor "$ex" --json "planner-differential/e8-$ex.json"; \
+    done
+    for t in 1 2 8; do \
+      cargo run --release --bin experiments -- \
+        --experiment e8 --sizes 8,12 --pairs 2 --threads "$t" \
+        --executor auto --json "planner-differential/e8-auto-t$t.json"; \
+    done
+    cmp planner-differential/e8-auto-t1.json planner-differential/e8-auto-t2.json
+    cmp planner-differential/e8-auto-t1.json planner-differential/e8-auto-t8.json
+    jq 'del(.schema) | del(.rows[].certified, .rows[].planned)' planner-differential/e8-auto-t2.json > planner-differential/e8-auto-stripped.json
+    for ex in replay stepping decide; do \
+      jq 'del(.schema) | del(.rows[].certified, .rows[].planned)' "planner-differential/e8-$ex.json" > "planner-differential/e8-$ex-stripped.json"; \
+      cmp planner-differential/e8-auto-stripped.json "planner-differential/e8-$ex-stripped.json"; \
+    done
+    jq -e '.schema == "rvz-sweep/v6"' planner-differential/e8-auto-t2.json > /dev/null
+    jq -e '[.rows[] | select(.planned == null)] | length == 0' planner-differential/e8-auto-t2.json > /dev/null
+    for ex in replay stepping decide; do \
+      cargo run --release --bin experiments -- \
+        --experiment e10 --sizes 5,6,7 --threads 2 \
+        --executor "$ex" --json "planner-differential/e10-$ex.json"; \
+    done
+    for t in 1 2 8; do \
+      cargo run --release --bin experiments -- \
+        --experiment e10 --sizes 5,6,7 --threads "$t" \
+        --executor auto --json "planner-differential/e10-auto-t$t.json"; \
+    done
+    cmp planner-differential/e10-auto-t1.json planner-differential/e10-auto-t2.json
+    cmp planner-differential/e10-auto-t1.json planner-differential/e10-auto-t8.json
+    jq 'del(.schema) | del(.rows[].certified, .rows[].planned)' planner-differential/e10-auto-t2.json > planner-differential/e10-auto-stripped.json
+    for ex in replay stepping decide; do \
+      jq 'del(.schema) | del(.rows[].certified, .rows[].planned)' "planner-differential/e10-$ex.json" > "planner-differential/e10-$ex-stripped.json"; \
+      cmp planner-differential/e10-auto-stripped.json "planner-differential/e10-$ex-stripped.json"; \
+    done
+    jq -e '[.rows[] | select(.planned == null)] | length == 0' planner-differential/e10-auto-t2.json > /dev/null
+    for exp in e8 e10; do \
+      jq '[.rows[] | {family, n, variant, delay, schedule, cell_seed, choice: .planned.choice, predicted: .planned.predicted, actual: .planned.actual}]' \
+        "planner-differential/$exp-auto-t2.json" > "planner-differential/$exp-decisions.json"; \
+    done
+
 # CI's crash-resume job: fault-injected + kill -9 legs on a journaled e9,
 # resume at --threads 1/8 byte-compared against an uninterrupted
 # reference, store corruption legs, then the self-spawning kill-resume
@@ -124,9 +178,12 @@ bench:
 bench-baseline:
     cargo run --release -p rvz-bench --bin bench_baseline -- BENCH_sweep.json
 
-# CI's committed-JSON gate, runnable locally.
+# CI's committed-JSON gate, runnable locally: every benchmark section
+# present, and both planner_cells sections at or above the 0.95x floor.
 bench-json-check:
     jq -e '.sweep_cells.speedup and .sweep_cells_variants.speedup and .decide_cells.speedup' BENCH_sweep.json > /dev/null
+    jq -e '(.planner_cells | length) == 2' BENCH_sweep.json > /dev/null
+    jq -e '[.planner_cells[] | select(.ratio_vs_best_fixed < 0.95)] | length == 0' BENCH_sweep.json > /dev/null
 
 # Compile benches, run each once (`--test` mode), emit BENCH_sweep.json,
 # plus the tiny deterministic sweep CI runs.

@@ -610,6 +610,89 @@ proptest! {
     }
 }
 
+proptest! {
+    // Each case runs four full sweeps (auto + the three fixed executors),
+    // so the case count stays small; the grid axes still cover every
+    // variant, four tree families and five delay-axis shapes.
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn auto_planner_matches_every_fixed_executor_on_random_grids(
+        family in 0usize..4,
+        size in 4usize..9,
+        delay_shape in 0usize..5,
+        param in 0u64..4,
+        seed in any::<u64>(),
+    ) {
+        // ISSUE 9 differential: `Executor::Auto` is a pure re-routing
+        // layer. On random small grids — tree family × size × delay axis
+        // (θ, linear, schedules, the ∀-delay quantifier) × every agent
+        // variant — its rows must match each fixed executor's modulo the
+        // per-executor annotations (`certified`, `planned`), and every
+        // auto row must carry the planner's record.
+        use rvz_bench::sweep::{self, Delay, Executor, Family, ScheduleSpec, Variant};
+
+        let family =
+            [Family::Line, Family::Spider3, Family::Random, Family::CompleteBinary][family];
+        let delays = match delay_shape {
+            0 => vec![Delay::Zero, Delay::Fixed(param)],
+            1 => vec![Delay::Fixed(param), Delay::LinearN],
+            2 => vec![
+                Delay::Schedule(ScheduleSpec::Intermittent {
+                    period: 2 + param % 3,
+                    phase: param % 2,
+                }),
+                Delay::Fixed(param),
+            ],
+            3 => vec![
+                Delay::Schedule(ScheduleSpec::Lockstep { period: 2 + param % 2 }),
+                Delay::Schedule(ScheduleSpec::CrashAfter(param)),
+            ],
+            _ => vec![Delay::Adversarial, Delay::Zero],
+        };
+        let spec = |executor| sweep::SweepSpec {
+            experiment: "auto-prop".into(),
+            families: vec![family],
+            sizes: vec![size],
+            delays: delays.clone(),
+            variants: vec![
+                Variant::TreeRvz,
+                Variant::DelayRobust,
+                Variant::PrimePath,
+                Variant::BasicWalkFsa,
+            ],
+            pairs_per_cell: 2,
+            seed,
+            threads: 1,
+            executor,
+        };
+        let strip = |rows: &[sweep::SweepRow]| {
+            let mut rows = rows.to_vec();
+            for r in &mut rows {
+                r.certified = false;
+                r.planned = None;
+            }
+            serde_json::to_string(&rows).expect("serialize")
+        };
+
+        let auto = sweep::run(&spec(Executor::Auto));
+        prop_assert!(!auto.rows.is_empty(), "the grid filter emptied the spec");
+        for row in &auto.rows {
+            prop_assert!(row.planned.is_some(), "unannotated auto row");
+        }
+        let reference = strip(&auto.rows);
+        for executor in [Executor::TraceReplay, Executor::DynStepping, Executor::ExactDecide] {
+            let fixed = sweep::run(&spec(executor));
+            prop_assert_eq!(
+                &reference,
+                &strip(&fixed.rows),
+                "auto diverged from {:?}",
+                executor
+            );
+        }
+    }
+}
+
 #[test]
 fn perfectly_symmetrizable_requires_central_edge_halves() {
     // Deterministic companion to the proptest: the classical examples.
