@@ -22,10 +22,17 @@ use rvz_sim::LaneOutcome;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Store capacity in lane groups. A full store computes uncached
+/// Default store capacity in lane groups. A full store computes uncached
 /// instead of evicting: outcomes are pure, so the only cost is losing
 /// amortization on workloads with more than `MAX_KEYS` live groups.
+/// Overridable via `RVZ_CACHE_CAP_BATCH` ([`crate::cache_cap`]).
 const MAX_KEYS: usize = 4096;
+
+/// The effective store capacity, read from the environment once.
+fn store_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| crate::cache_cap::cache_cap("RVZ_CACHE_CAP_BATCH", MAX_KEYS))
+}
 
 static STORE: OnceLock<Mutex<HashMap<u64, Arc<OnceLock<Vec<LaneOutcome>>>>>> = OnceLock::new();
 
@@ -38,7 +45,7 @@ pub(crate) fn outcomes(
 ) -> Arc<OnceLock<Vec<LaneOutcome>>> {
     let slot = {
         let mut map = STORE.get_or_init(Mutex::default).lock().expect("batch store lock");
-        if map.len() >= MAX_KEYS && !map.contains_key(&key) {
+        if map.len() >= store_cap() && !map.contains_key(&key) {
             // Degrade to compute-per-call rather than evict a group
             // another cell may be mid-join on; purity keeps the rows
             // identical either way.

@@ -19,7 +19,10 @@
 //! than 3× (the ISSUE-3 floor; the committed baseline records well above),
 //! if `decide_cells` — the exact decider against stepping — falls below
 //! 0.66× (the ISSUE-6 floor for the orbit-quotiented, memoized rebuild),
-//! or if any `planner_cells` section — `Executor::Auto` against the best
+//! if `ensemble_cells` — the k-lane timeline merge against k-lane
+//! stepping on the 3-agent gathering grid — falls below 1× (the ISSUE-10
+//! floor: the merge reuses solo recordings and must keep pace), or if
+//! any `planner_cells` section — `Executor::Auto` against the best
 //! fixed executor on the same grid — falls below the 0.95× floor (the
 //! ISSUE-9 gate: the cost-model planner must never lose more than 5% to
 //! the executor it should have picked).
@@ -217,6 +220,14 @@ fn main() {
     // also certifying; the ISSUE-6 floor below holds it to ≥ 0.66x.
     let (decide, decide_speedup) =
         measure_pair("decide_cells", &sweep::perf_grid_fsa_scan(), reps, STEPPING, DECIDE);
+    // The ensemble leg: the e11 gathering workload at its top size (three
+    // basic-walk copies, every free tree at n = 7, every ordered feasible
+    // start triple, the three e11 schedule columns). The k-lane timeline
+    // merge reuses each lane's solo recording across every triple and
+    // schedule that visits it, so it must at least keep pace with k-lane
+    // stepping; the 1x floor below pins that.
+    let (ensemble, ensemble_speedup) =
+        measure_pair("ensemble_cells", &sweep::perf_grid_ensemble(), reps, STEPPING, REPLAY);
     // The planner sections: Auto against the best fixed executor on both
     // standard grids (schema v4; the bench-smoke job gates the floor).
     // Extra reps here: the 0.95× floor compares legs within ~5% of each
@@ -229,11 +240,12 @@ fn main() {
     let (planner_variants, variants_ratio) =
         measure_planner("planner_cells_variants", &sweep::perf_grid_variants(), planner_reps);
     let payload = serde_json::json!({
-        "schema": "rvz-bench-sweep/v4",
+        "schema": "rvz-bench-sweep/v5",
         "n": 200,
         "sweep_cells": primary,
         "sweep_cells_variants": secondary,
         "decide_cells": decide,
+        "ensemble_cells": ensemble,
         "planner_cells": vec![planner_fsa, planner_variants]
     });
     let body = serde_json::to_string_pretty(&payload).expect("serialize");
@@ -251,6 +263,13 @@ fn main() {
         eprintln!(
             "error: decide_cells speedup {decide_speedup:.2}x is below the 0.66x floor \
              (the quotiented+memoized exact decider must stay within 1.5x of stepping)"
+        );
+        std::process::exit(1);
+    }
+    if ensemble_speedup < 1.0 {
+        eprintln!(
+            "error: ensemble_cells speedup {ensemble_speedup:.2}x is below the 1x floor \
+             (the k-lane timeline merge must keep pace with k-lane stepping)"
         );
         std::process::exit(1);
     }

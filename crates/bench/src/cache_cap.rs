@@ -1,0 +1,55 @@
+//! Env-tunable capacities for the in-process caches, mirroring the
+//! supervisor's `RVZ_*` knob idiom: each cache reads its cap once per
+//! process from an environment variable and falls back to the documented
+//! default when the variable is unset or garbage. Knobs:
+//!
+//! * `RVZ_CACHE_CAP_TRACE` — [`crate::trace_cache`] store keys (default 1024)
+//! * `RVZ_CACHE_CAP_SOLO` — [`crate::solo_cache`] store keys (default 2048)
+//! * `RVZ_CACHE_CAP_BATCH` — [`crate::batch_cache`] group keys (default 4096)
+//!
+//! The caps bound *memory*, never results: every cache degrades to
+//! recomputation when full, so shrinking a knob can only slow a run down.
+//! Zero is rejected along with garbage (an empty cache would turn the
+//! degraded paths into the common case silently; ask for a small cap
+//! explicitly if that is what you want).
+
+/// Parses `var` as a cache capacity: a positive integer, else `default`.
+pub(crate) fn cache_cap(var: &str, default: usize) -> usize {
+    parse_cap(std::env::var(var).ok().as_deref(), default)
+}
+
+/// The pure parser behind [`cache_cap`], testable without touching the
+/// process environment.
+pub(crate) fn parse_cap(value: Option<&str>, default: usize) -> usize {
+    value.and_then(|v| v.trim().parse::<usize>().ok()).filter(|&n| n >= 1).unwrap_or(default)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn valid_caps_override_the_default() {
+        assert_eq!(parse_cap(Some("17"), 1024), 17);
+        assert_eq!(parse_cap(Some(" 64 "), 1024), 64);
+    }
+
+    #[test]
+    fn garbage_zero_and_unset_fall_back_to_the_default() {
+        assert_eq!(parse_cap(None, 1024), 1024);
+        assert_eq!(parse_cap(Some(""), 1024), 1024);
+        assert_eq!(parse_cap(Some("lots"), 1024), 1024);
+        assert_eq!(parse_cap(Some("-5"), 1024), 1024);
+        assert_eq!(parse_cap(Some("1.5"), 1024), 1024);
+        assert_eq!(parse_cap(Some("0"), 1024), 1024, "an empty cache must be asked for in code");
+    }
+
+    #[test]
+    fn the_env_reader_honors_a_set_variable() {
+        // A var name no other test touches, to stay parallel-safe.
+        std::env::set_var("RVZ_CACHE_CAP_TEST_ONLY", "33");
+        assert_eq!(cache_cap("RVZ_CACHE_CAP_TEST_ONLY", 7), 33);
+        std::env::remove_var("RVZ_CACHE_CAP_TEST_ONLY");
+        assert_eq!(cache_cap("RVZ_CACHE_CAP_TEST_ONLY", 7), 7);
+    }
+}

@@ -66,7 +66,7 @@ pub fn spec_fingerprint(specs: &[&crate::sweep::SweepSpec]) -> u64 {
     let desc: Vec<String> = specs
         .iter()
         .map(|s| {
-            format!(
+            let mut d = format!(
                 "{}|{:?}|{:?}|{:?}|{:?}|pairs={}|seed={}|{:?}",
                 s.experiment,
                 s.families,
@@ -76,7 +76,14 @@ pub fn spec_fingerprint(specs: &[&crate::sweep::SweepSpec]) -> u64 {
                 s.pairs_per_cell,
                 s.seed,
                 s.executor
-            )
+            );
+            // The ensemble axis joins the fingerprint only when it widens
+            // the grid, so journals written before the axis existed keep
+            // matching their (pair) specs.
+            if s.agents != 2 {
+                d.push_str(&format!("|agents={}", s.agents));
+            }
+            d
         })
         .collect();
     fnv64(&desc.join("\n"))
@@ -143,6 +150,29 @@ fn opt_bool(fields: &[(String, Value)], key: &str) -> Option<Option<bool>> {
     }
 }
 
+/// Optional ensemble width (`--agents k > 2` rows/certificates): absent
+/// or `null` → `None`, a number → `Some`.
+fn opt_usize(fields: &[(String, Value)], key: &str) -> Option<Option<usize>> {
+    Some(opt_u64(fields, key)?.map(|v| v as usize))
+}
+
+/// Optional node-id list (the ensemble `start_rest` field): absent or
+/// `null` → `None`, an array of numbers → `Some`, anything else → parse
+/// failure.
+fn opt_nodes(fields: &[(String, Value)], key: &str) -> Option<Option<Vec<u32>>> {
+    match get(fields, key) {
+        None | Some(Value::Null) => Some(None),
+        Some(Value::Array(items)) => {
+            let mut out = Vec::with_capacity(items.len());
+            for item in items {
+                out.push(u32::try_from(as_u64(item)?).ok()?);
+            }
+            Some(Some(out))
+        }
+        Some(_) => None,
+    }
+}
+
 /// The optional `planned` annotation ([`crate::sweep::Planned`]): absent
 /// or `null` → `None` (fixed-executor rows), a well-formed object →
 /// `Some`, anything else → parse failure.
@@ -186,6 +216,8 @@ pub fn row_from_value(v: &Value) -> Option<SweepRow> {
         timed_out: opt_bool(f, "timed_out")?,
         poisoned: opt_bool(f, "poisoned")?,
         planned: opt_planned(f, "planned")?,
+        agents: opt_usize(f, "agents")?,
+        start_rest: opt_nodes(f, "start_rest")?,
     })
 }
 
@@ -209,6 +241,8 @@ pub fn certificate_from_value(v: &Value) -> Option<Certificate> {
         lasso_stem: opt_u64(f, "lasso_stem")?,
         lasso_period: opt_u64(f, "lasso_period")?,
         verified: opt_bool(f, "verified")?,
+        agents: opt_usize(f, "agents")?,
+        start_rest: opt_nodes(f, "start_rest")?,
     })
 }
 
@@ -512,6 +546,7 @@ mod tests {
             seed: 0x1A,
             threads: 1,
             executor: crate::sweep::Executor::TraceReplay,
+            agents: 2,
         };
         cells(&spec)
             .iter()

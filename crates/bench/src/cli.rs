@@ -8,7 +8,7 @@
 //! experiments --experiment e6 [--json out.json] [--threads N]
 //!             [--sizes 16,32,64] [--pairs K] [--seed S]
 //!             [--executor replay|stepping|decide|auto]
-//!             [--certificates certs.json] [--workers N]
+//!             [--certificates certs.json] [--workers N] [--agents K]
 //! ```
 //!
 //! Emits the rendered table plus, with `--json FILE.json`, the raw
@@ -26,7 +26,7 @@
 //! ```
 
 use crate::{
-    checkpoint, e1, e10, e2, e3, e4, e5, e6, e7, e8, e9, stores, supervisor, sweep, Table,
+    checkpoint, e1, e10, e11, e2, e3, e4, e5, e6, e7, e8, e9, stores, supervisor, sweep, Table,
 };
 use std::process::exit;
 
@@ -189,6 +189,20 @@ fn resolve_sweep(args: &[String], ids: &str) -> (u64, Vec<(String, Vec<usize>, s
         .unwrap_or(0x5EED_2010);
     let pairs: usize = positive_flag(args, "--pairs", "omit the flag for the preset's default")
         .unwrap_or(0) as usize;
+    // `--agents 1` parses but is rejected with its own message: a solo
+    // walker has nobody to gather with, and silently running a 1-lane
+    // "ensemble" would emit rows no schema describes.
+    let agents: Option<usize> =
+        match positive_flag(args, "--agents", "omit the flag for the pair default") {
+            Some(1) => {
+                eprintln!(
+                    "error: bad --agents `1` (an ensemble has at least two agents; omit the \
+                     flag for the pair default)"
+                );
+                exit(2);
+            }
+            other => other.map(|k| k as usize),
+        };
     let executor = match flag_value(args, "--executor").as_deref() {
         None => None,
         Some("replay") => Some(sweep::Executor::TraceReplay),
@@ -206,12 +220,13 @@ fn resolve_sweep(args: &[String], ids: &str) -> (u64, Vec<(String, Vec<usize>, s
     let mut planned: Vec<(String, Vec<usize>, sweep::SweepSpec)> = Vec::new();
     for id in ids.split(',').filter(|t| !t.is_empty()) {
         let id = id.trim().to_lowercase();
-        // e9/e10 enumerate *all* free trees per size: their own default
-        // axes, and a hard cap where the tree count explodes.
-        let enumerated = id == "e9" || id == "e10";
+        // e9/e10/e11 enumerate *all* free trees per size: their own
+        // default axes, and a hard cap where the tree count explodes.
+        let enumerated = id == "e9" || id == "e10" || id == "e11";
         let sizes = explicit_sizes.clone().unwrap_or_else(|| match id.as_str() {
             "e9" => sweep::E9_DEFAULT_SIZES.to_vec(),
             "e10" => sweep::E10_DEFAULT_SIZES.to_vec(),
+            "e11" => sweep::E11_DEFAULT_SIZES.to_vec(),
             _ => sweep::DEFAULT_SIZES.to_vec(),
         });
         if enumerated {
@@ -225,11 +240,17 @@ fn resolve_sweep(args: &[String], ids: &str) -> (u64, Vec<(String, Vec<usize>, s
             }
         }
         let Some(mut spec) = sweep::preset(&id, &sizes, threads, seed) else {
-            eprintln!("error: unknown experiment `{id}` (expected e1..e10)");
+            eprintln!("error: unknown experiment `{id}` (expected e1..e11)");
             exit(2);
         };
         if pairs > 0 {
             spec.pairs_per_cell = pairs;
+        }
+        // An explicit `--agents` overrides the preset's width everywhere;
+        // absent, each preset keeps its own default (2 for e1–e10, 3 for
+        // e11) — so `--experiment e11` alone already runs triples.
+        if let Some(k) = agents {
+            spec.agents = k;
         }
         // The certification workloads default to the exact decider; the
         // sampled grids default to trace replay.
@@ -354,6 +375,9 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
         } else if id == "e10" {
             let (_, table) = e10::summarize(&report);
             println!("{}", table.render());
+        } else if id == "e11" {
+            let (_, table) = e11::summarize(&report);
+            println!("{}", table.render());
         } else {
             println!("{}", sweep::to_table(&id, &report).render());
         }
@@ -451,12 +475,19 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
                 "e10" => Some(
                     serde_json::json!({"experiment": id, "schedules": e10::summarize(report).0}),
                 ),
+                "e11" => Some(
+                    serde_json::json!({"experiment": id, "schedules": e11::summarize(report).0}),
+                ),
                 _ => None,
             })
             .collect();
-        // Same gating as the row schema: v2 = v1 plus the optional
-        // per-certificate `schedule` field, tagged only when present.
-        let schema = if all_certs.iter().any(|c| c.schedule.is_some()) {
+        // Same gating as the row schema: v3 = v2 plus the optional
+        // per-certificate `agents`/`start_rest` fields (ensemble
+        // never-gathers lassos — checked first), v2 = v1 plus the
+        // optional `schedule` field, each tagged only when present.
+        let schema = if all_certs.iter().any(|c| c.agents.is_some()) {
+            "rvz-certificates/v3"
+        } else if all_certs.iter().any(|c| c.schedule.is_some()) {
             "rvz-certificates/v2"
         } else {
             "rvz-certificates/v1"
@@ -475,6 +506,9 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
 
 /// Schema tag of a sweep payload, gated on what the rows actually carry
 /// so legacy payloads stay byte-identical (see docs/schemas.md):
+/// `rvz-sweep/v7` once any row has the optional `agents` field (an
+/// ensemble sweep ran with `--agents` k > 2 — checked first, so an
+/// ensemble payload is v7 whatever executor produced it),
 /// `rvz-sweep/v6` once any row has the optional `planned` field (the
 /// `--executor auto` planner ran), `rvz-sweep/v5` once any row has the
 /// optional `poisoned` field (a `--workers` shard hit the attempt cap),
@@ -482,18 +516,22 @@ fn run_sweep_mode(args: &[String], ids: &str, json: Option<String>) {
 /// `--cell-timeout` watchdog fired), `rvz-sweep/v3` once any row has the
 /// optional `schedule` field, the legacy `rvz-sweep/v2` otherwise.
 fn sweep_schema<'a, I: IntoIterator<Item = &'a sweep::SweepRow>>(rows: I) -> &'static str {
+    let mut has_planned = false;
     let mut has_poisoned = false;
     let mut has_timed_out = false;
     let mut has_schedule = false;
     for r in rows {
-        if r.planned.is_some() {
-            return "rvz-sweep/v6";
+        if r.agents.is_some() {
+            return "rvz-sweep/v7";
         }
+        has_planned |= r.planned.is_some();
         has_poisoned |= r.poisoned.is_some();
         has_timed_out |= r.timed_out.is_some();
         has_schedule |= r.schedule.is_some();
     }
-    if has_poisoned {
+    if has_planned {
+        "rvz-sweep/v6"
+    } else if has_poisoned {
         "rvz-sweep/v5"
     } else if has_timed_out {
         "rvz-sweep/v4"
@@ -616,17 +654,21 @@ fn print_help() {
         "experiments — rendezvous experiment driver
 
 Sweep mode (parallel batch engine):
-  experiments --experiment ID[,ID...]  grid-sweep the experiment(s) (e1..e10)
+  experiments --experiment ID[,ID...]  grid-sweep the experiment(s) (e1..e11)
     --json PATH     write raw rows; FILE.json = one file, else directory
     --certificates F.json  write the exact decider's lasso certificates
     --threads N     worker threads (default: all cores; explicit 0 is
                     rejected; output is identical for every N —
                     deterministic per-cell seeding)
     --sizes A,B,C   size axis, deduplicated (default {:?};
-                    e9 defaults to {:?}, e10 to {:?},
+                    e9 defaults to {:?}, e10 to {:?}, e11 to {:?},
                     capped at {} — they enumerate EVERY free tree per size)
     --pairs K       start pairs per cell (default from preset; ignored by
-                    e9/e10, whose pair axes are exhaustive)
+                    e9/e10/e11, whose start axes are exhaustive)
+    --agents K      ensemble width: K identical copies that must all
+                    gather (default 2 — the pair sweep, byte-identical
+                    rows; K > 2 bumps the row schema to rvz-sweep/v7
+                    with `agents`/`start_rest` fields; e11 defaults to 3)
     --seed S        base seed (default 0x5EED2010)
     --executor X    replay (trace-record/replay, default), stepping
                     (dyn run_pair per cell), decide (exact decider,
@@ -660,11 +702,16 @@ e10 sweeps activation schedules (per-round delay faults): simultaneous,
 θ=1, intermittent duty cycles, a mid-run crash — see
 docs/executors.md \"Activation schedules\".
 
+e11 sweeps 3-agent gathering over every free tree (n ≤ 7) and every
+ordered feasible start triple, certifying that e10's crash rescue does
+NOT survive gathering — see docs/gathering.md.
+
 Classic mode (paper tables):
   experiments [e1 e2 ... e8 | all] [--full] [--json DIR]",
         sweep::DEFAULT_SIZES,
         sweep::E9_DEFAULT_SIZES,
         sweep::E10_DEFAULT_SIZES,
+        sweep::E11_DEFAULT_SIZES,
         sweep::MAX_ENUM_SIZE
     );
 }

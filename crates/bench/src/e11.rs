@@ -1,0 +1,168 @@
+//! E11 — three-agent gathering under crash faults, exhaustively
+//! certified.
+//!
+//! E10 ends on a reassuring note: crashing one of the two agents
+//! mid-run *rescues* rendezvous, because the survivor's Euler tour
+//! covers the tree and walks over the parked crash site — the crash
+//! column meets on every feasible pair. E11 asks whether that rescue is
+//! an artifact of the pair setting, by rerunning the same adversary
+//! against *gathering*: `k = 3` identical basic-walk copies
+//! ([`crate::sweep::SweepSpec::agents`]) that must all stand on one
+//! node **in the same round**. For each size `n ≤ 7` it takes all free
+//! trees ([`crate::sweep::Family::EnumFree`]), all ordered feasible
+//! start triples ([`crate::instances::exhaustive_feasible_tuples`]),
+//! and decides three schedule columns: simultaneous start, `θ = 1` on
+//! the last lane, and a crash of the last lane after `⌈n/2⌉` rounds.
+//!
+//! Under the decide executor (the default) every verdict comes from the
+//! k-lane product construction
+//! ([`rvz_lowerbounds::decide::decide_ensemble`]), so `met == false` is
+//! always a certified never-gathers with a verified ensemble lasso,
+//! never a budget timeout — and the headline is the inversion of e10's:
+//! the crashed copy parks, the two survivors' tours sweep over it at
+//! *different* rounds, and for most triples there is **no** round where
+//! both survivors sit on the crash site together. The crash rescue does
+//! not survive gathering.
+
+use crate::sweep::SweepReport;
+use crate::table::Table;
+use serde::Serialize;
+
+/// Per-(size, schedule) aggregate of an E11 report — the gathering
+/// sibling of [`crate::e10::ScheduleSummary`], counting ordered start
+/// triples instead of pairs.
+#[derive(Debug, Clone, Serialize)]
+pub struct GatheringSummary {
+    /// Instance size `n`.
+    pub n: usize,
+    /// Schedule label (legacy start scenarios reconstructed from the
+    /// `delay` field: `"simultaneous"` / `"start-delay(θ)"`).
+    pub schedule: String,
+    /// Ordered feasible start triples decided under this schedule.
+    pub triples: u64,
+    /// Triples whose three copies gather (co-locate in one round).
+    pub gathered: u64,
+    /// Triples certified never-gathers (carrying a verified ensemble
+    /// lasso under the decide executor).
+    pub never: u64,
+    /// Worst gathering round over the gathering triples.
+    pub worst_round: u64,
+    /// Cells exactly decided (all of them under the decide executor).
+    pub certified: u64,
+}
+
+/// Aggregates an E11 sweep report into its per-(size, schedule) table.
+/// Rows are grouped in grid order (sizes ascending, schedules in the
+/// spec's column order), so the table reads like the schedule axis.
+pub fn summarize(report: &SweepReport) -> (Vec<GatheringSummary>, Table) {
+    let mut out: Vec<GatheringSummary> = Vec::new();
+    for row in &report.rows {
+        let label = crate::e10::row_schedule(row);
+        let entry = match out.iter_mut().find(|s| s.n == row.size && s.schedule == label) {
+            Some(entry) => entry,
+            None => {
+                out.push(GatheringSummary {
+                    n: row.size,
+                    schedule: label,
+                    triples: 0,
+                    gathered: 0,
+                    never: 0,
+                    worst_round: 0,
+                    certified: 0,
+                });
+                out.last_mut().expect("just pushed")
+            }
+        };
+        entry.triples += 1;
+        if row.met {
+            entry.gathered += 1;
+            entry.worst_round = entry.worst_round.max(row.rounds.unwrap_or(0));
+        } else {
+            entry.never += 1;
+        }
+        if row.certified {
+            entry.certified += 1;
+        }
+    }
+    out.sort_by_key(|s| s.n);
+    let mut t = Table::new(
+        "E11",
+        "3-agent gathering: all free trees, all ordered feasible triples, basic walk",
+        &["n", "schedule", "triples", "gathered", "never", "worst-round", "certified"],
+    );
+    for s in &out {
+        t.row(vec![
+            s.n.to_string(),
+            s.schedule.clone(),
+            s.triples.to_string(),
+            s.gathered.to_string(),
+            s.never.to_string(),
+            s.worst_round.to_string(),
+            s.certified.to_string(),
+        ]);
+    }
+    let lassos = report.certificates.iter().filter(|c| c.lasso_stem.is_some()).count();
+    let bogus = report.certificates.iter().filter(|c| c.verified == Some(false)).count();
+    t.note(&format!(
+        "{} never-gathers certificates ({lassos} lassos, every one re-verified by independent \
+         k-lane scheduled stepping{})",
+        report.certificates.len(),
+        if bogus > 0 { " — VERIFICATION FAILURES PRESENT" } else { "" }
+    ));
+    let uncertified = report.rows.iter().filter(|r| !r.certified).count();
+    if uncertified > 0 {
+        t.note(&format!(
+            "{uncertified} cells answered by bounded simulation, not certified — \
+             run with --executor decide for certified verdicts"
+        ));
+    }
+    (out, t)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sweep::{self, Executor};
+
+    #[test]
+    fn e11_certifies_that_the_crash_rescue_fails_for_gathering() {
+        let mut spec = sweep::preset("e11", &[4, 5, 6], 1, 3).expect("e11 preset");
+        spec.executor = Executor::ExactDecide;
+        let report = sweep::run(&spec);
+        let (summary, table) = summarize(&report);
+        // 3 sizes × 3 schedule columns.
+        assert_eq!(summary.len(), 9);
+        let mut per_size: std::collections::BTreeMap<usize, Vec<&GatheringSummary>> =
+            Default::default();
+        for s in &summary {
+            assert_eq!(s.gathered + s.never, s.triples, "n={} {}", s.n, s.schedule);
+            assert_eq!(s.certified, s.triples, "decide certifies everything");
+            per_size.entry(s.n).or_default().push(s);
+        }
+        for (n, rows) in &per_size {
+            // Every schedule column covers the same triple axis.
+            assert!(rows.windows(2).all(|w| w[0].triples == w[1].triples), "n={n}");
+            // The headline inversion of e10: there, the crash column met
+            // on EVERY pair (the survivor's Euler tour walks over the
+            // parked crash site). For gathering the two survivors must
+            // sit on the crash site in the SAME round, and for some
+            // triples no such round exists.
+            let crash = rows
+                .iter()
+                .find(|s| s.schedule == format!("crash-after({})", n.div_ceil(2)))
+                .expect("crash column");
+            assert!(
+                crash.never > 0,
+                "n={n}: some triple must be certified never-gathers under the crash"
+            );
+        }
+        // Every never-gathers verdict carries a re-verified lasso.
+        assert!(report.certificates.iter().all(|c| c.verified == Some(true)));
+        assert!(report.certificates.iter().all(|c| c.agents == Some(3)));
+        // Ensemble rows are schema v7: every row carries its width and
+        // the starts beyond the leading pair.
+        assert!(report.rows.iter().all(|r| r.agents == Some(3)));
+        assert!(report.rows.iter().all(|r| r.start_rest.as_ref().is_some_and(|s| s.len() == 1)));
+        assert!(table.render().contains("3-agent gathering"));
+    }
+}

@@ -113,6 +113,48 @@ pub fn feasible_pairs(tree: &Tree, count: usize, seed: u64) -> Vec<(NodeId, Node
     pairs
 }
 
+/// Up to `count` distinct feasible start `k`-tuples (pairwise distinct,
+/// no pairwise perfectly-symmetrizable entries — see
+/// [`exhaustive_feasible_tuples`] for why that is the right feasibility
+/// notion), sampled deterministically — the k-lane generalization of
+/// [`feasible_pairs`], sharing its seed discipline and shuffle-truncate
+/// shape so a sampled-family ensemble sweep draws its start axis the way
+/// the pair sweep always has.
+pub fn feasible_tuples(tree: &Tree, k: usize, count: usize, seed: u64) -> Vec<Vec<NodeId>> {
+    assert!(k >= 2, "an ensemble has at least two lanes");
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = tree.num_nodes() as NodeId;
+    let feasible = |tuple: &[NodeId]| {
+        for i in 0..tuple.len() {
+            for j in i + 1..tuple.len() {
+                if tuple[i] == tuple[j] || perfectly_symmetrizable(tree, tuple[i], tuple[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    };
+    let mut tuples: Vec<Vec<NodeId>> = Vec::new();
+    let mut attempts = 0;
+    while tuples.len() < count && attempts < 200 {
+        attempts += 1;
+        let tuple: Vec<NodeId> = (0..k).map(|_| rng.gen_range(0..n)).collect();
+        if !tuples.contains(&tuple) && feasible(&tuple) {
+            tuples.push(tuple);
+        }
+    }
+    // Deterministic fallback for tiny trees: the lexicographically first
+    // feasible tuple, if any exists.
+    if tuples.is_empty() {
+        if let Some(first) = exhaustive_feasible_tuples(tree, k).into_iter().next() {
+            tuples.push(first);
+        }
+    }
+    tuples.shuffle(&mut rng);
+    tuples.truncate(count);
+    tuples
+}
+
 /// *Every* ordered feasible start pair of a tree, in lexicographic order:
 /// the exhaustive-certification axis (`e9`) quantifies over all of them,
 /// so no rng and no sampling are involved. Ordered, because under start
@@ -127,6 +169,56 @@ pub fn exhaustive_feasible_pairs(tree: &Tree) -> Vec<(NodeId, NodeId)> {
             }
         }
     }
+    out
+}
+
+/// *Every* ordered feasible start `k`-tuple of a tree, in lexicographic
+/// order — the ensemble generalization of [`exhaustive_feasible_pairs`]
+/// (`k = 2` yields exactly that list). A tuple is feasible when its
+/// entries are pairwise distinct and **no pair** of them is perfectly
+/// symmetrizable: a symmetrizable pair can never meet, so a tuple
+/// containing one can never gather — quantifying over it would blame the
+/// instance, not the automaton. Ordered, because lane-asymmetric
+/// ensemble schedules (delay or crash on a specific lane) make "delay
+/// the copy at `c`" and "delay the copy at `a`" different adversaries.
+pub fn exhaustive_feasible_tuples(tree: &Tree, k: usize) -> Vec<Vec<NodeId>> {
+    assert!(k >= 2, "an ensemble has at least two lanes");
+    let n = tree.num_nodes() as NodeId;
+    // Memoize the symmetric pair predicate once; the tuple walk below
+    // re-reads each unordered pair many times.
+    let feasible_pair = |a: NodeId, b: NodeId| !perfectly_symmetrizable(tree, a, b);
+    let mut ok = vec![true; (n * n) as usize];
+    for a in 0..n {
+        for b in 0..n {
+            ok[(a * n + b) as usize] = a != b && feasible_pair(a, b);
+        }
+    }
+    let mut out = Vec::new();
+    let mut tuple: Vec<NodeId> = Vec::with_capacity(k);
+    // Iterative lexicographic DFS over ordered tuples without repetition.
+    fn extend(
+        tuple: &mut Vec<NodeId>,
+        out: &mut Vec<Vec<NodeId>>,
+        ok: &[bool],
+        n: NodeId,
+        k: usize,
+    ) {
+        if tuple.len() == k {
+            out.push(tuple.clone());
+            return;
+        }
+        'candidate: for v in 0..n {
+            for &u in tuple.iter() {
+                if !ok[(u * n + v) as usize] {
+                    continue 'candidate;
+                }
+            }
+            tuple.push(v);
+            extend(tuple, out, ok, n, k);
+            tuple.pop();
+        }
+    }
+    extend(&mut tuple, &mut out, &ok, n, k);
     out
 }
 
@@ -165,6 +257,39 @@ mod tests {
             assert_ne!(a, b);
             assert!(!perfectly_symmetrizable(&even, a, b));
         }
+    }
+
+    #[test]
+    fn exhaustive_tuples_generalize_the_pairs() {
+        for t in [generators::line(5), generators::line(6), generators::spider(3, 2)] {
+            // k = 2 is byte-identical to the pair enumeration.
+            let tuples = exhaustive_feasible_tuples(&t, 2);
+            let pairs = exhaustive_feasible_pairs(&t);
+            assert_eq!(tuples.len(), pairs.len());
+            for (tu, (a, b)) in tuples.iter().zip(&pairs) {
+                assert_eq!(tu.as_slice(), &[*a, *b]);
+            }
+            // k = 3: lexicographic, pairwise distinct, pairwise feasible.
+            let triples = exhaustive_feasible_tuples(&t, 3);
+            assert!(triples.windows(2).all(|w| w[0] < w[1]), "lexicographic order");
+            for tr in &triples {
+                for i in 0..3 {
+                    for j in i + 1..3 {
+                        assert_ne!(tr[i], tr[j]);
+                        assert!(!perfectly_symmetrizable(&t, tr[i], tr[j]));
+                    }
+                }
+            }
+        }
+        // Hand-derived count: line(5) has no symmetrizable pair at all, so
+        // every ordered triple of distinct nodes is feasible.
+        assert_eq!(exhaustive_feasible_tuples(&generators::line(5), 3).len(), 5 * 4 * 3);
+        // line(6) excludes exactly triples containing a mirror pair: by
+        // inclusion over the 3 slots pairs can occupy, 6·5·4 − 6·3·4·... —
+        // count directly instead: each of the 6 ordered mirror pairs can sit
+        // in 3 ordered slot choices with 4 free third nodes, and no triple
+        // contains two distinct mirror pairs, so 120 − 6·3·4 = 48.
+        assert_eq!(exhaustive_feasible_tuples(&generators::line(6), 3).len(), 48);
     }
 
     #[test]

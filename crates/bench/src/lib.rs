@@ -17,11 +17,13 @@
 //! | [`e8`] | ablation study — which Stage-2 pieces are load-bearing |
 //! | [`e9`] | exhaustive certification — all free trees ≤ n, exact decider |
 //! | [`e10`] | activation schedules — per-round delay faults, certified |
+//! | [`e11`] | 3-agent gathering — the crash rescue inverted, certified |
 //!
-//! [`sweep`] is the parallel batch engine: it grids any of E1–E10 over
+//! [`sweep`] is the parallel batch engine: it grids any of E1–E11 over
 //! family × size × delay/schedule × variant and fans the cells across
 //! threads with deterministic per-cell seeding
-//! (`experiments --experiment <id>`). Three executors share the grid:
+//! (`experiments --experiment <id>`, `--agents k` for k-agent
+//! gathering). Three executors share the grid:
 //! trace replay (default), dyn stepping, and the exact decider
 //! (`--executor decide`, budget-free verdicts with lasso certificates).
 //! See `docs/executors.md` for the executor guide and `docs/schemas.md`
@@ -41,10 +43,12 @@
 //! ```
 
 mod batch_cache;
+mod cache_cap;
 pub mod checkpoint;
 pub mod cli;
 pub mod e1;
 pub mod e10;
+pub mod e11;
 pub mod e2;
 pub mod e3;
 pub mod e4;

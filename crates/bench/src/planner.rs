@@ -39,13 +39,18 @@
 //! are always routed to the decider — no other route can answer the
 //! universal quantifier. Procedural variants choose between replay and
 //! stepping only (no exported FSA tables).
+//!
+//! Ensemble cells (`--agents k` with `k > 2`) drop the batch route — the
+//! SoA kernel is a pair kernel — and re-price the survivors with k-lane
+//! activation counts and [`ensemble_decide_cost_bound`] (the
+//! `choose_ensemble` branch of the chooser).
 
 use crate::sweep::{
     self, basic_walk_budget_for, budget_and_provisioned, budget_for, fnv, make_row, mix,
     prime_budget_for, schedule_budget_for, Cell, CellMode, Certificate, Delay, Executor, Planned,
     ScheduleSpec, SweepInstance, SweepRow, SweepSpec, Variant,
 };
-use rvz_lowerbounds::decide::decide_cost_bound;
+use rvz_lowerbounds::decide::{decide_cost_bound, ensemble_decide_cost_bound};
 use rvz_sim::{run_batch_fsa, run_batch_fsa_scheduled, BatchLane};
 use std::sync::Arc;
 
@@ -145,6 +150,9 @@ impl Planner {
             return Choice { route: Route::Decide, name: "decide", predicted, warm: false };
         }
         let warm = self.warm_for(cell);
+        if cell.agents > 2 {
+            return choose_ensemble(cell, inst, n, warm);
+        }
         match cell.variant {
             Variant::BasicWalkFsa => self.choose_bw(cell, inst, n, warm),
             _ => choose_procedural(cell, n, warm),
@@ -208,6 +216,57 @@ impl Planner {
         }
         let my_theta = my_theta.expect("the calling cell's delay is in its own group");
         BatchGroup::Theta { thetas, my_theta }
+    }
+}
+
+/// Routing for `k > 2` ensemble cells. The batch kernel is a pair kernel
+/// (two SoA lanes per [`BatchLane`]), so the batch route is off the table;
+/// the remaining three compete under the k-lane generalization of the
+/// pair prices. A bounded k-lane run activates at most `k·B − θ` lanes
+/// within its round budget `B` (every lane runs every round except the
+/// θ-delayed last lane; genuinely scheduled cells price the all-active
+/// worst case `k·B`), and the decide price is the honest
+/// [`ensemble_decide_cost_bound`] — `cycle · (|C|+1)^(k−1)` — which grows
+/// a factor of `(|C|+1)` per extra lane, exactly the product-construction
+/// cost the joint walk pays. At `k = 2` these formulas reduce to the pair
+/// model, but this path is never taken there: the pair model keeps its
+/// batch route.
+fn choose_ensemble(cell: &Cell, inst: &SweepInstance, n: usize, warm: bool) -> Choice {
+    let k = cell.agents as u64;
+    let (budget, theta, cycle) = match cell.mode(n) {
+        CellMode::Delay(theta) => {
+            let budget = match cell.variant {
+                Variant::BasicWalkFsa => basic_walk_budget_for(n, theta),
+                Variant::PrimePath => prime_budget_for(n),
+                _ => budget_for(n),
+            };
+            (budget, theta, 1)
+        }
+        CellMode::Scheduled(spec) => {
+            let esched = spec.resolve_ensemble(n, cell.agents);
+            let budget = match cell.variant {
+                Variant::BasicWalkFsa => esched.prefix_len().saturating_add(
+                    esched.cycle_len().saturating_mul(sweep::basic_walk_two_periods(n)),
+                ),
+                Variant::PrimePath => prime_budget_for(n),
+                _ => budget_for(n),
+            };
+            (budget, 0, esched.cycle_len().max(1))
+        }
+    };
+    let acts = budget.saturating_mul(k).saturating_sub(theta);
+    let replay = replay_cost(acts, warm);
+    let stepping = acts.saturating_mul(STEPPING_FACTOR);
+    if cell.variant == Variant::BasicWalkFsa {
+        let decide = ensemble_decide_cost_bound(inst.basic_walk_fsa(), n, cell.agents, cycle);
+        if decide <= replay && decide <= stepping {
+            return Choice { route: Route::Decide, name: "decide", predicted: decide, warm };
+        }
+    }
+    if replay <= stepping {
+        Choice { route: Route::Replay, name: "replay", predicted: replay, warm }
+    } else {
+        Choice { route: Route::Stepping, name: "stepping", predicted: stepping, warm }
     }
 }
 
@@ -357,10 +416,14 @@ fn run_cell_batch(cell: &Cell, inst: &SweepInstance, group: &BatchGroup) -> Opti
 /// row and the spec rather than a wall-clock measurement.
 fn annotate(choice: &Choice, row: &SweepRow) -> Planned {
     let end = row.rounds.unwrap_or(row.budget);
+    // `k − 1` undelayed lanes run every round; the delayed last lane
+    // contributes `end − θ`. At the pair default (`agents` absent) this is
+    // the original `end + (end − θ)` byte for byte.
+    let k = row.agents.unwrap_or(2) as u64;
     let acts = if row.schedule.is_some() {
-        end.saturating_mul(2)
+        end.saturating_mul(k)
     } else {
-        end.saturating_add(end.saturating_sub(row.delay))
+        end.saturating_mul(k.saturating_sub(1)).saturating_add(end.saturating_sub(row.delay))
     };
     let actual = match choice.route {
         Route::Batch(_) => acts,
@@ -442,6 +505,7 @@ mod tests {
             seed: 11,
             threads: 1,
             executor: Executor::Auto,
+            agents: 2,
         }
     }
 

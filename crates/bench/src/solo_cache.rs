@@ -22,8 +22,9 @@
 //! for never holding the store lock across a tabulation.
 //!
 //! **Bounds / eviction.** The store holds at most [`MAX_STORE_KEYS`]
-//! lassos (a lasso is `O(stem + period)` = `O(Δ·n)` node ids, a few KiB at
-//! sweep sizes). A full store evicts *per key*, and only keys no worker
+//! lassos (tunable via `RVZ_CACHE_CAP_SOLO`, see [`crate::cache_cap`]; a
+//! lasso is `O(stem + period)` = `O(Δ·n)` node ids, a few KiB at sweep
+//! sizes). A full store evicts *per key*, and only keys no worker
 //! currently holds (slot `Arc` strong count 1), mirroring the trace
 //! store's policy: a held `Arc` keeps naming its lasso, so eviction can
 //! never invalidate a decision in flight — at worst a re-tabulation later.
@@ -34,8 +35,15 @@ use rvz_trees::NodeId;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, OnceLock};
 
-/// Store capacity in lassos; a full store evicts idle keys only.
+/// Default store capacity in lassos; a full store evicts idle keys only.
+/// Overridable via `RVZ_CACHE_CAP_SOLO` ([`crate::cache_cap`]).
 const MAX_STORE_KEYS: usize = 2048;
+
+/// The effective store capacity, read from the environment once.
+fn store_cap() -> usize {
+    static CAP: OnceLock<usize> = OnceLock::new();
+    *CAP.get_or_init(|| crate::cache_cap::cache_cap("RVZ_CACHE_CAP_SOLO", MAX_STORE_KEYS))
+}
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 struct StoreKey {
@@ -68,13 +76,14 @@ pub(crate) fn lasso(
     }
     let built = Arc::new(SoloLasso::tabulate(&inst.tree, inst.basic_walk_fsa(), start));
     let mut map = store.lock().expect("solo store lock");
-    if map.len() >= MAX_STORE_KEYS && !map.contains_key(&key) {
+    let cap = store_cap();
+    if map.len() >= cap && !map.contains_key(&key) {
         // Per-key eviction: drop only idle lassos (strong count 1 ⇒ the
         // map holds the sole reference), just enough to admit the new key.
         // If every slot is in use the store briefly exceeds the cap;
         // admitting the key is strictly better than re-tabulating it on
         // the next cell.
-        let need = map.len() + 1 - MAX_STORE_KEYS;
+        let need = map.len() + 1 - cap;
         let idle: Vec<StoreKey> = map
             .iter()
             .filter(|(_, slot)| Arc::strong_count(slot) == 1)
@@ -117,7 +126,7 @@ pub(crate) fn install_restored(
 ) -> bool {
     let key = StoreKey { family, n, tree_seed, start, variant };
     let mut map = STORE.get_or_init(Mutex::default).lock().expect("solo store lock");
-    if map.len() >= MAX_STORE_KEYS || map.contains_key(&key) {
+    if map.len() >= store_cap() || map.contains_key(&key) {
         return false;
     }
     map.insert(key, Arc::new(lasso));
@@ -140,6 +149,7 @@ mod tests {
             pairs_total: 1,
             base_seed: seed,
             tree_index: None,
+            agents: 2,
         }
     }
 

@@ -382,6 +382,7 @@ mod tests {
             seed,
             threads: 1,
             executor: Executor::ExactDecide,
+            agents: 2,
         };
         sweep::run(&spec)
     }

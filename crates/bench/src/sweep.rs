@@ -39,12 +39,15 @@ use rvz_core::prime_path::PrimePathAgent;
 use rvz_core::primes::{next_prime, primorial_index_bound};
 use rvz_core::{DelayRobustAgent, TreeRendezvousAgent};
 use rvz_lowerbounds::decide::{
-    decide_from_lassos, decide_pair_scheduled, verify_lasso, verify_schedule_lasso,
-    worst_case_from_lassos, Decision, ScheduleDecision, WorstCase,
+    decide_ensemble, decide_ensemble_from_lassos, decide_from_lassos, decide_pair_scheduled,
+    verify_ensemble_lasso, verify_lasso, verify_schedule_lasso, worst_case_from_lassos, Decision,
+    EnsembleDecision, ScheduleDecision, SoloLasso, WorstCase,
 };
 use rvz_sim::trace::Replay;
 use rvz_sim::{
-    replay_pair, replay_pair_scheduled, run_pair, run_pair_scheduled, PairConfig, PairRun, Schedule,
+    replay_ensemble, replay_pair, replay_pair_scheduled, run_ensemble_fsa, run_pair,
+    run_pair_scheduled, EnsembleReplay, EnsembleRun, EnsembleSchedule, PairConfig, PairRun,
+    Schedule,
 };
 use rvz_trees::symmetry::{pair_orbits, OrbitAction};
 use rvz_trees::{NodeId, Tree};
@@ -191,6 +194,41 @@ impl ScheduleSpec {
             }
             ScheduleSpec::Adversarial { seed } => {
                 Schedule::adversarial(seed, Self::ADV_MAX_PREFIX, Self::ADV_MAX_CYCLE)
+            }
+        }
+    }
+
+    /// The concrete `lanes`-lane ensemble schedule at instance size `n` —
+    /// the k-agent generalization of [`ScheduleSpec::resolve`], lane-for-
+    /// lane identical to it at `lanes = 2` (the lane-asymmetric specs put
+    /// their faulty lane *last*, matching the pair convention of faulting
+    /// agent B). [`ScheduleSpec::Adversarial`] has no ensemble form — the
+    /// grid filter keeps it off `--agents k > 2` sweeps.
+    pub fn resolve_ensemble(self, n: usize, lanes: usize) -> EnsembleSchedule {
+        match self {
+            ScheduleSpec::Simultaneous => EnsembleSchedule::simultaneous(lanes),
+            ScheduleSpec::StartDelay(theta) => {
+                let mut delays = vec![0; lanes];
+                delays[lanes - 1] = theta;
+                EnsembleSchedule::start_delays(&delays)
+            }
+            ScheduleSpec::Intermittent { period, phase } => {
+                EnsembleSchedule::intermittent_last(lanes, period, phase)
+            }
+            ScheduleSpec::CrashAfter(rounds) => EnsembleSchedule::crash_last_after(lanes, rounds),
+            ScheduleSpec::CrashAfterHalfN => {
+                EnsembleSchedule::crash_last_after(lanes, n.div_ceil(2) as u64)
+            }
+            ScheduleSpec::Lockstep { period } => {
+                assert!(period >= 1, "lockstep period must be at least 1");
+                EnsembleSchedule::new(
+                    lanes,
+                    Vec::new(),
+                    (0..period).map(|i| vec![i == 0; lanes]).collect(),
+                )
+            }
+            ScheduleSpec::Adversarial { .. } => {
+                unreachable!("adversarial schedules are a pair axis (grid-filtered at k > 2)")
             }
         }
     }
@@ -373,7 +411,7 @@ pub fn basic_walk_budget_for(n: usize, delay: u64) -> u64 {
 }
 
 /// Two basic-walk Euler periods plus slack: `4(n−1) + 2`, saturating.
-fn basic_walk_two_periods(n: usize) -> u64 {
+pub(crate) fn basic_walk_two_periods(n: usize) -> u64 {
     4u64.saturating_mul(n.max(1) as u64 - 1).saturating_add(2)
 }
 
@@ -437,6 +475,14 @@ pub struct SweepSpec {
     pub threads: usize,
     /// Cell execution strategy (replay by default).
     pub executor: Executor,
+    /// Ensemble width: how many agent copies run per cell (`--agents k`).
+    /// `2` is the classic pair engine and emits byte-identical legacy rows
+    /// (schema unchanged); `k > 2` switches every cell to the k-lane
+    /// ensemble paths — the start axis becomes feasible *k-tuples*, the
+    /// outcome becomes gathering (all `k` on one node simultaneously), and
+    /// rows/certificates grow the optional `agents`/`start_rest` fields
+    /// (schema `rvz-sweep/v7`; see docs/gathering.md).
+    pub agents: usize,
 }
 
 /// One grid cell: everything [`run_cell`] needs, and nothing that depends
@@ -457,6 +503,10 @@ pub struct Cell {
     /// for [`Family::EnumFree`] cells (`None` for sampled families). When
     /// set, it *is* the tree seed: `(n, index)` names the tree forever.
     pub tree_index: Option<u64>,
+    /// Ensemble width ([`SweepSpec::agents`]). `2` = the pair engine;
+    /// `pair_index` then indexes [`SweepInstance::pairs`], otherwise
+    /// [`SweepInstance::tuples`].
+    pub agents: usize,
 }
 
 /// One result row; the JSON schema of `--json` output (see docs/schemas.md).
@@ -527,6 +577,17 @@ pub struct SweepRow {
     /// field; see docs/schemas.md).
     #[serde(skip_serializing_if = "Option::is_none")]
     pub planned: Option<Planned>,
+    /// Ensemble width for `--agents k > 2` cells; `met` then means all
+    /// `k` copies gathered on one node simultaneously. Absent — not
+    /// `null` — on every pair cell, so legacy rows keep their exact
+    /// serialized shape (schema `rvz-sweep/v7` = v6 plus this and
+    /// `start_rest`; see docs/schemas.md and docs/gathering.md).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub agents: Option<usize>,
+    /// Starts of lanes 2.. (lane 0 is `start_a`, lane 1 is `start_b`).
+    /// Present exactly when `agents` is.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub start_rest: Option<Vec<NodeId>>,
 }
 
 /// The planner's decision record, embedded in [`SweepRow::planned`]. All
@@ -579,6 +640,16 @@ pub struct Certificate {
     pub lasso_period: Option<u64>,
     /// Re-verification result of the lasso by independent stepping.
     pub verified: Option<bool>,
+    /// Ensemble width for `--agents k > 2` certificates (the verdict is
+    /// then `"gathers"` / `"never-gathers"`). Absent on pair
+    /// certificates, so those keep their exact serialized shape (schema
+    /// `rvz-certificates/v3` = v2 plus this and `start_rest`).
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub agents: Option<usize>,
+    /// Starts of lanes 2.. (lane 0 is `start_a`, lane 1 is `start_b`).
+    /// Present exactly when `agents` is.
+    #[serde(skip_serializing_if = "Option::is_none")]
+    pub start_rest: Option<Vec<NodeId>>,
 }
 
 fn splitmix(mut z: u64) -> u64 {
@@ -643,6 +714,14 @@ impl Cell {
             tokens.push(fnv("tree-index"));
             tokens.push(index);
         }
+        // Pair cells mix exactly the historical token list: the ensemble
+        // axis enters the seed only when it actually widens the cell, so
+        // every `--agents 2` row is byte-identical to its pre-ensemble
+        // ancestor.
+        if self.agents > 2 {
+            tokens.push(fnv("agents"));
+            tokens.push(self.agents as u64);
+        }
         mix(self.base_seed, &tokens)
     }
 }
@@ -660,14 +739,29 @@ pub const MAX_ENUM_SIZE: usize = 11;
 /// pair of that tree (so `pairs_per_cell` is ignored and the planned cell
 /// count is exact — nothing is dropped at run time).
 pub fn cells(spec: &SweepSpec) -> Vec<Cell> {
+    assert!(spec.agents >= 2, "a sweep runs at least two agents (--agents {})", spec.agents);
     let experiment: Arc<str> = Arc::from(spec.experiment.as_str());
     let mut out = Vec::new();
+    // The ∀-delay quantifier and the seeded adversarial schedules are
+    // pair adversaries (the quantifier's θ axis delays one of two lanes;
+    // the sampler draws two-lane rows) — the ensemble grid drops them
+    // rather than silently reinterpreting them.
+    let ensemble_supports = |delay: Delay| {
+        spec.agents == 2
+            || !matches!(
+                delay,
+                Delay::Adversarial | Delay::Schedule(ScheduleSpec::Adversarial { .. })
+            )
+    };
     let push_subgrid = |family: Family,
                         n: usize,
                         tree_index: Option<u64>,
                         pairs_total: usize,
                         out: &mut Vec<Cell>| {
         for &delay in &spec.delays {
+            if !ensemble_supports(delay) {
+                continue;
+            }
             for &variant in &spec.variants {
                 if !variant.supports(family, delay) {
                     continue;
@@ -683,6 +777,7 @@ pub fn cells(spec: &SweepSpec) -> Vec<Cell> {
                         pairs_total,
                         base_seed: spec.seed,
                         tree_index,
+                        agents: spec.agents,
                     });
                 }
             }
@@ -696,8 +791,12 @@ pub fn cells(spec: &SweepSpec) -> Vec<Cell> {
                     "enum-free at n = {n} would enumerate millions of trees (cap {MAX_ENUM_SIZE})"
                 );
                 for (index, tree) in rvz_trees::enumerate::free_trees(n).enumerate() {
-                    let pairs = instances::exhaustive_feasible_pairs(&tree);
-                    push_subgrid(family, n, Some(index as u64), pairs.len(), &mut out);
+                    let starts_total = if spec.agents > 2 {
+                        instances::exhaustive_feasible_tuples(&tree, spec.agents).len()
+                    } else {
+                        instances::exhaustive_feasible_pairs(&tree).len()
+                    };
+                    push_subgrid(family, n, Some(index as u64), starts_total, &mut out);
                 }
             } else {
                 push_subgrid(family, n, None, spec.pairs_per_cell, &mut out);
@@ -737,6 +836,11 @@ pub fn prime_budget_for(m: usize) -> u64 {
 pub struct SweepInstance {
     pub tree: Tree,
     pub pairs: Vec<(NodeId, NodeId)>,
+    /// Feasible start `k`-tuples for `--agents k > 2` cells (empty on
+    /// pair instances; `pairs` is empty in turn on ensemble instances).
+    /// Drawn from the same `pairs_seed` stream, exhaustive for the
+    /// enumerated family — the k-lane generalization of `pairs`.
+    pub tuples: Vec<Vec<NodeId>>,
     pub tree_seed: u64,
     pub pairs_seed: u64,
     /// Shared basic-walk automaton for [`Variant::BasicWalkFsa`] cells,
@@ -771,6 +875,7 @@ impl Clone for SweepInstance {
         SweepInstance {
             tree: self.tree.clone(),
             pairs: self.pairs.clone(),
+            tuples: self.tuples.clone(),
             tree_seed: self.tree_seed,
             pairs_seed: self.pairs_seed,
             bw_fsa: self.bw_fsa.clone(),
@@ -823,14 +928,22 @@ impl SweepInstance {
         // scan re-runs) — quadratic in the tree count, accepted because
         // [`MAX_ENUM_SIZE`] caps it in the hundreds of trees and it keeps
         // `Cell` a plain coordinate (any cell rebuilds standalone).
-        let pairs = if cell.tree_index.is_some() {
-            instances::exhaustive_feasible_pairs(&tree)
+        let (pairs, tuples) = if cell.agents > 2 {
+            let tuples = if cell.tree_index.is_some() {
+                instances::exhaustive_feasible_tuples(&tree, cell.agents)
+            } else {
+                instances::feasible_tuples(&tree, cell.agents, cell.pairs_total, pairs_seed)
+            };
+            (Vec::new(), tuples)
+        } else if cell.tree_index.is_some() {
+            (instances::exhaustive_feasible_pairs(&tree), Vec::new())
         } else {
-            instances::feasible_pairs(&tree, cell.pairs_total, pairs_seed)
+            (instances::feasible_pairs(&tree, cell.pairs_total, pairs_seed), Vec::new())
         };
         SweepInstance {
             tree,
             pairs,
+            tuples,
             tree_seed,
             pairs_seed,
             bw_fsa: OnceLock::new(),
@@ -915,6 +1028,57 @@ impl Cell {
             delay => CellMode::Delay(delay.resolve(n)),
         }
     }
+
+    /// The k-lane execution mode at instance size `n`: the row metadata
+    /// (θ-equivalent delay, optional schedule label — exactly the pair
+    /// split of [`Cell::mode`]) plus the resolved [`EnsembleSchedule`].
+    /// θ-shaped cells delay the *last* lane, matching the pair convention
+    /// of delaying agent B.
+    pub(crate) fn ensemble_mode(&self, n: usize) -> ((u64, Option<String>), EnsembleSchedule) {
+        match self.mode(n) {
+            CellMode::Delay(theta) => {
+                let mut delays = vec![0; self.agents];
+                delays[self.agents - 1] = theta;
+                ((theta, None), EnsembleSchedule::start_delays(&delays))
+            }
+            CellMode::Scheduled(spec) => {
+                ((0, Some(spec.label(n))), spec.resolve_ensemble(n, self.agents))
+            }
+        }
+    }
+}
+
+/// Round budget and provisioned automaton size for a `--agents k > 2`
+/// cell — the ensemble twin of [`budget_and_provisioned`]. Procedural
+/// budgets are per-instance and lane-count-free (the provisioning
+/// argument bounds *each* copy); the basic-walk horizon generalizes
+/// [`schedule_budget_for`] verbatim: every lane's solo trajectory is
+/// purely periodic with period `2(n−1)` activations, each lane gains a
+/// fixed activation count per schedule cycle, and the per-lane repeat
+/// times all divide `2(n−1)` cycles — so the *joint* state repeats
+/// within `cycle · 2(n−1)` rounds past the prefix, the same bound as the
+/// pair (for θ-shapes this is exactly [`basic_walk_budget_for`]).
+pub(crate) fn ensemble_budget_and_provisioned(
+    cell: &Cell,
+    inst: &SweepInstance,
+    n: usize,
+    leaves: usize,
+    esched: &EnsembleSchedule,
+) -> (u64, u64) {
+    match cell.variant {
+        Variant::TreeRvz => {
+            (budget_for(n), TreeRendezvousAgent::provisioned_bits(n as u64, leaves as u64))
+        }
+        Variant::DelayRobust => (budget_for(n), DelayRobustAgent::provisioned_bits(n as u64)),
+        Variant::PrimePath => (prime_budget_for(n), 0),
+        Variant::BasicWalkFsa => {
+            let fsa = inst.basic_walk_fsa();
+            let budget = esched
+                .prefix_len()
+                .saturating_add(esched.cycle_len().saturating_mul(basic_walk_two_periods(n)));
+            (budget, fsa.memory_bits())
+        }
+    }
 }
 
 /// Round budget and provisioned automaton size for a cell's variant at
@@ -989,7 +1153,20 @@ pub(crate) fn make_row(
         timed_out: None,
         poisoned: None,
         planned: None,
+        agents: None,
+        start_rest: None,
     }
+}
+
+/// Stamps the ensemble fields onto a pair-shaped row: lanes 0/1 stay in
+/// `start_a`/`start_b` (so every pair-keyed consumer keeps working) and
+/// lanes 2.. land in `start_rest`. The single place rows learn they are
+/// k-lane — keeping [`make_row`] untouched is what keeps `--agents 2`
+/// byte-identical.
+fn stamp_ensemble(mut row: SweepRow, starts: &[NodeId]) -> SweepRow {
+    row.agents = Some(starts.len());
+    row.start_rest = Some(starts[2..].to_vec());
+    row
 }
 
 /// The `(met, rounds, crossings)` triple of a bounded run, as
@@ -998,12 +1175,260 @@ fn bounded_outcome(run: &PairRun) -> (bool, Option<u64>, u64) {
     (run.outcome.met(), run.outcome.round(), run.crossings)
 }
 
+/// The `(met, rounds, crossings)` triple of a bounded k-lane run — `met`
+/// is *gathering*: all `k` copies on one node at a round boundary.
+fn ensemble_outcome(run: &EnsembleRun) -> (bool, Option<u64>, u64) {
+    (run.outcome.met(), run.outcome.round(), run.crossings)
+}
+
+/// Executes one `--agents k > 2` cell by *stepping* all `k` lanes through
+/// the ensemble round loop ([`rvz_sim::run_ensemble_fsa`]) — the k-lane
+/// [`Executor::DynStepping`] path, also the ensemble replay fallback.
+/// Each variant runs a homogeneous concrete bank (rather than boxing into
+/// dyn agents) so the per-variant measured-bits meters stay readable,
+/// exactly as [`run_cell_on`] reads them.
+fn run_cell_ensemble_stepping(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    let tree = &inst.tree;
+    let n = tree.num_nodes();
+    let leaves = tree.num_leaves();
+    let starts = inst.tuples.get(cell.pair_index)?.as_slice();
+    let ((delay, schedule), esched) = cell.ensemble_mode(n);
+    let (budget, provisioned_bits) =
+        ensemble_budget_and_provisioned(cell, inst, n, leaves, &esched);
+
+    let (run, measured_bits) = match cell.variant {
+        Variant::TreeRvz => {
+            let mut bank: Vec<TreeRendezvousAgent> =
+                (0..cell.agents).map(|_| TreeRendezvousAgent::new()).collect();
+            let run = run_ensemble_fsa(tree, starts, &mut bank, &esched, budget, false);
+            (run, bank.iter().map(|a| a.memory_bits_measured()).max().unwrap_or(0))
+        }
+        Variant::DelayRobust => {
+            let mut bank: Vec<DelayRobustAgent> =
+                (0..cell.agents).map(|_| DelayRobustAgent::new()).collect();
+            let run = run_ensemble_fsa(tree, starts, &mut bank, &esched, budget, false);
+            (run, bank.iter().map(|a| a.memory_bits_measured()).max().unwrap_or(0))
+        }
+        Variant::PrimePath => {
+            let mut bank: Vec<PrimePathAgent> =
+                (0..cell.agents).map(|_| PrimePathAgent::unbounded()).collect();
+            let run = run_ensemble_fsa(tree, starts, &mut bank, &esched, budget, false);
+            use rvz_agent::model::Agent;
+            (run, bank.iter().map(|a| a.memory_bits()).max().unwrap_or(0))
+        }
+        Variant::BasicWalkFsa => {
+            let fsa = inst.basic_walk_fsa();
+            let mut bank: Vec<_> = (0..cell.agents).map(|_| fsa.runner()).collect();
+            let run = run_ensemble_fsa(tree, starts, &mut bank, &esched, budget, false);
+            use rvz_agent::model::Agent;
+            (run, bank.iter().map(|a| a.memory_bits()).max().unwrap_or(0))
+        }
+    };
+
+    Some(stamp_ensemble(
+        make_row(
+            cell,
+            inst,
+            n,
+            leaves,
+            (delay, schedule),
+            ensemble_outcome(&run),
+            budget,
+            provisioned_bits,
+            measured_bits,
+            (starts[0], starts[1]),
+            false,
+        ),
+        starts,
+    ))
+}
+
+/// Executes one `--agents k > 2` cell from recorded solo trajectories
+/// (the k-lane [`Executor::TraceReplay`] path): all `k` timelines come
+/// from the *same* process-wide per-agent trace store the pair executor
+/// uses — a solo trajectory is a pure function of activation count, so
+/// the store needs no ensemble axis — and the cell is decided by
+/// [`rvz_sim::replay_ensemble`]'s k-cursor merge. Rows are bit-for-bit
+/// [`run_cell_ensemble_stepping`]'s; cells needing recordings past the
+/// cap fall back to it.
+fn run_cell_ensemble_replay(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    let tree = &inst.tree;
+    let n = tree.num_nodes();
+    let leaves = tree.num_leaves();
+    let starts = inst.tuples.get(cell.pair_index)?.as_slice();
+    let ((delay, schedule), esched) = cell.ensemble_mode(n);
+    let (budget, provisioned_bits) =
+        ensemble_budget_and_provisioned(cell, inst, n, leaves, &esched);
+
+    let slots: Vec<trace_cache::Slot> = starts
+        .iter()
+        .map(|&s| trace_cache::slot(inst, cell.family, cell.n, cell.variant, s))
+        .collect();
+    fn enter(slot: &trace_cache::Slot) -> std::sync::MutexGuard<'_, trace_cache::VariantRecorder> {
+        slot.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+    // Feasible tuples have pairwise-distinct starts, so the slots differ;
+    // lock them in ascending start order so cells sharing endpoints cannot
+    // deadlock (the k-lane form of the pair executor's two-lock protocol).
+    let mut order: Vec<usize> = (0..starts.len()).collect();
+    order.sort_by_key(|&i| starts[i]);
+    loop {
+        rvz_sim::cancel::checkpoint();
+        let mut guards: Vec<Option<std::sync::MutexGuard<'_, trace_cache::VariantRecorder>>> =
+            (0..starts.len()).map(|_| None).collect();
+        for &i in &order {
+            guards[i] = Some(enter(&slots[i]));
+        }
+        let trajs: Vec<&rvz_sim::Trajectory> =
+            guards.iter().map(|g| g.as_ref().expect("locked above").trajectory()).collect();
+        match replay_ensemble(tree, &trajs, &esched, budget, false) {
+            EnsembleReplay::Decided(run) => {
+                // Meters read at each lane's activation count by the final
+                // round, exactly as the stepping bank reports them.
+                let end = run.outcome.round().unwrap_or(budget);
+                let measured_bits = (0..starts.len())
+                    .map(|i| {
+                        let acts = esched.index(i).acts_at(end);
+                        guards[i].as_ref().expect("locked above").trajectory().bits_at(acts)
+                    })
+                    .max()
+                    .unwrap_or(0);
+                return Some(stamp_ensemble(
+                    make_row(
+                        cell,
+                        inst,
+                        n,
+                        leaves,
+                        (delay, schedule),
+                        ensemble_outcome(&run),
+                        budget,
+                        provisioned_bits,
+                        measured_bits,
+                        (starts[0], starts[1]),
+                        false,
+                    ),
+                    starts,
+                ));
+            }
+            EnsembleReplay::NeedMore { rounds } => {
+                if rounds.iter().any(|&need| need > trace_cache::MAX_RECORD_ROUNDS) {
+                    drop(guards);
+                    return run_cell_ensemble_stepping(cell, inst);
+                }
+                // Grow only the lanes the verdict flagged (0 / already
+                // decided = long enough) — warm recordings are never
+                // re-stepped because a partner lane was short.
+                for (i, &need) in rounds.iter().enumerate() {
+                    let g = guards[i].as_mut().expect("locked above");
+                    if need > 0 && !g.trajectory().decided_to(need) {
+                        let target = grow_target(g.trajectory().rounds(), need, budget);
+                        g.record_to(tree, target);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Executes one `--agents k > 2` cell through the exact ensemble decider
+/// ([`rvz_lowerbounds::decide::decide_ensemble`]) — no round budget,
+/// never-*gathers* certified by a joint lasso re-verified by independent
+/// k-lane stepping. Start-delay-shaped cells reuse the process-wide solo
+/// -lasso store lane by lane (the k-lane closed form); genuine schedules
+/// walk the product configuration graph. Exact for the automaton variant
+/// only — procedural cells fall back to ensemble replay, exactly like the
+/// pair decide path. No orbit quotient at `k > 2`: the ensemble grids are
+/// capped at `n ≤ 7`, where deciding every tuple directly is affordable.
+fn run_cell_ensemble_decide(
+    cell: &Cell,
+    inst: &SweepInstance,
+) -> Option<(SweepRow, Option<Certificate>)> {
+    if cell.variant != Variant::BasicWalkFsa {
+        return run_cell_ensemble_replay(cell, inst).map(|row| (row, None));
+    }
+    let tree = &inst.tree;
+    let n = tree.num_nodes();
+    let leaves = tree.num_leaves();
+    let starts = inst.tuples.get(cell.pair_index)?.as_slice();
+    let fsa = inst.basic_walk_fsa();
+    let ((delay, schedule), esched) = cell.ensemble_mode(n);
+    let (budget, provisioned_bits) =
+        ensemble_budget_and_provisioned(cell, inst, n, leaves, &esched);
+
+    let decision: EnsembleDecision = match esched.as_start_delays() {
+        Some(delays) => {
+            // The per-lane solo lassos come from the same persistent store
+            // the pair decide path reads — the tabulation is shared across
+            // every tuple, delay class, and sweep repetition touching the
+            // start.
+            let lassos: Vec<solo_cache::Slot> = starts
+                .iter()
+                .map(|&s| solo_cache::lasso(inst, cell.family, cell.n, cell.variant, s))
+                .collect();
+            let refs: Vec<&SoloLasso> = lassos.iter().map(|l| l.as_ref()).collect();
+            decide_ensemble_from_lassos(&refs, &delays)
+        }
+        None => decide_ensemble(tree, fsa, starts, &esched),
+    };
+
+    let row = |outcome: (bool, Option<u64>, u64)| {
+        stamp_ensemble(
+            make_row(
+                cell,
+                inst,
+                n,
+                leaves,
+                (delay, schedule.clone()),
+                outcome,
+                budget,
+                provisioned_bits,
+                fsa.memory_bits(),
+                (starts[0], starts[1]),
+                true,
+            ),
+            starts,
+        )
+    };
+    Some(match decision.round() {
+        Some(round) => (row((true, Some(round), decision.crossings_within(round))), None),
+        None => {
+            let lasso = decision.lasso().expect("no round means a lasso");
+            let cert = Certificate {
+                experiment: cell.experiment.clone(),
+                family: cell.family.name().to_string(),
+                size: cell.n,
+                n,
+                tree_seed: inst.tree_seed,
+                variant: cell.variant.name().to_string(),
+                start_a: starts[0],
+                start_b: starts[1],
+                verdict: "never-gathers".to_string(),
+                schedule: schedule.clone(),
+                delay,
+                round: None,
+                delays_checked: None,
+                lasso_stem: Some(lasso.stem),
+                lasso_period: Some(lasso.period),
+                verified: Some(verify_ensemble_lasso(tree, fsa, starts, &esched, lasso)),
+                agents: Some(starts.len()),
+                start_rest: Some(starts[2..].to_vec()),
+            };
+            (row((false, None, decision.crossings_within(budget))), Some(cert))
+        }
+    })
+}
+
 /// Executes one cell on a prebuilt instance by *stepping* both agents
 /// (the [`Executor::DynStepping`] path; also the replay fallback). `inst`
 /// must be (equal to) `SweepInstance::for_cell(cell)` — the executor
 /// guarantees this by keying instances on `(family, n, tree_index)`
 /// within one spec (the enumerated family keys each tree individually).
 pub fn run_cell_on(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    if cell.agents > 2 {
+        // The k-lane grid admits no adversarial axis (grid-filtered), so
+        // the ensemble stepping path answers every cell.
+        return run_cell_ensemble_stepping(cell, inst);
+    }
     if cell.delay == Delay::Adversarial {
         // Only the quantifier layer can answer "every delay".
         return run_cell_decide(cell, inst);
@@ -1110,6 +1535,9 @@ fn grow_target(current: u64, need: u64, budget: u64) -> u64 {
 /// are byte-identical to [`run_cell_on`]; cells that would need recordings
 /// past the cap fall back to it.
 pub fn run_cell_replay(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
+    if cell.agents > 2 {
+        return run_cell_ensemble_replay(cell, inst);
+    }
     if cell.delay == Delay::Adversarial {
         // Only the quantifier layer can answer "every delay".
         return run_cell_decide(cell, inst);
@@ -1232,6 +1660,9 @@ pub fn run_cell_decide_certified(
     cell: &Cell,
     inst: &SweepInstance,
 ) -> Option<(SweepRow, Option<Certificate>)> {
+    if cell.agents > 2 {
+        return run_cell_ensemble_decide(cell, inst);
+    }
     if cell.variant != Variant::BasicWalkFsa {
         // The grid filter keeps adversarial delays off procedural agents;
         // guard against hand-built cells re-entering the replay path.
@@ -1263,6 +1694,8 @@ pub fn run_cell_decide_certified(
         lasso_stem: None,
         lasso_period: None,
         verified: None,
+        agents: None,
+        start_rest: None,
     };
     let certificate = |verdict: &str,
                        delay: u64,
@@ -1510,6 +1943,28 @@ fn quarantine_row(cell: &Cell, inst: &SweepInstance) -> Option<SweepRow> {
     let tree = &inst.tree;
     let n = tree.num_nodes();
     let leaves = tree.num_leaves();
+    if cell.agents > 2 {
+        let starts = inst.tuples.get(cell.pair_index)?.as_slice();
+        let ((delay, schedule), esched) = cell.ensemble_mode(n);
+        let (budget, provisioned_bits) =
+            ensemble_budget_and_provisioned(cell, inst, n, leaves, &esched);
+        return Some(stamp_ensemble(
+            make_row(
+                cell,
+                inst,
+                n,
+                leaves,
+                (delay, schedule),
+                (false, None, 0),
+                budget,
+                provisioned_bits,
+                0,
+                (starts[0], starts[1]),
+                false,
+            ),
+            starts,
+        ));
+    }
     let &starts = inst.pairs.get(cell.pair_index)?;
     let (mode, budget, provisioned_bits) = if cell.delay == Delay::Adversarial {
         // The quantifier never reached a decisive delay; there is no θ or
@@ -1820,6 +2275,7 @@ pub fn preset(id: &str, sizes: &[usize], threads: usize, seed: u64) -> Option<Sw
         seed,
         threads,
         executor: Executor::default(),
+        agents: 2,
     };
     Some(match id {
         // Theorem 3.1 territory: arbitrary delays on lines.
@@ -1874,6 +2330,28 @@ pub fn preset(id: &str, sizes: &[usize], threads: usize, seed: u64) -> Option<Sw
             ],
             vec![BasicWalkFsa],
         ),
+        // Gathering, exhaustively: three basic-walk copies on every free
+        // tree × every ordered feasible start *triple* × the e10 headline
+        // schedules. The point is the crash column: e10 certifies that a
+        // mid-run crash never prevents a *pair* from meeting (the
+        // survivor's Euler tour covers the tree), but a crashed copy
+        // parks on a node and gathering demands all three co-locate
+        // simultaneously — e11 certifies that rescue does **not** survive
+        // the jump from rendezvous to gathering. All cells are bw-fsa, so
+        // the decide executor (the default) certifies every one.
+        "e11" => {
+            let mut s = spec(
+                vec![EnumFree],
+                vec![
+                    Schedule(ScheduleSpec::Simultaneous),
+                    Schedule(ScheduleSpec::StartDelay(1)),
+                    Schedule(ScheduleSpec::CrashAfterHalfN),
+                ],
+                vec![BasicWalkFsa],
+            );
+            s.agents = 3;
+            s
+        }
         _ => return None,
     })
 }
@@ -1893,6 +2371,12 @@ pub const E9_DEFAULT_SIZES: &[usize] = &[2, 3, 4, 5, 6, 7, 8, 9, 10];
 /// column multiplies the grid fivefold.
 pub const E10_DEFAULT_SIZES: &[usize] = &[2, 3, 4, 5, 6, 7, 8];
 
+/// The default size axis of the `e11` gathering sweep: every free tree
+/// with `3 ≤ n ≤ 7` — one size below e10, since the ordered-triple axis
+/// is a factor `n − 2` wider than the pair axis (and `n = 2` admits no
+/// triple of distinct nodes at all).
+pub const E11_DEFAULT_SIZES: &[usize] = &[3, 4, 5, 6, 7];
+
 fn perf_grid(families: Vec<Family>, delays: Vec<Delay>, variants: Vec<Variant>) -> SweepSpec {
     SweepSpec {
         experiment: "bench".into(),
@@ -1904,6 +2388,7 @@ fn perf_grid(families: Vec<Family>, delays: Vec<Delay>, variants: Vec<Variant>) 
         seed: 0x5EED_2010,
         threads: 1,
         executor: Executor::default(),
+        agents: 2,
     }
 }
 
@@ -1934,6 +2419,18 @@ pub fn perf_grid_variants() -> SweepSpec {
     spec
 }
 
+/// The ensemble perf-trajectory grid: [`perf_grid_fsa_scan`]'s headline
+/// delay scan widened to three lanes — the same 5 families × 4 delays ×
+/// 8 starts at n ≈ 200, each cell an ordered feasible *triple* deciding
+/// gathering within its exact k-lane horizon. `bench_baseline` times the
+/// k-lane trace merge against k-lane stepping on it (`ensemble_cells` in
+/// `BENCH_sweep.json`; the merge must at least keep pace).
+pub fn perf_grid_ensemble() -> SweepSpec {
+    let mut spec = perf_grid_fsa_scan();
+    spec.agents = 3;
+    spec
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1950,6 +2447,7 @@ mod tests {
             seed: 0xC0FFEE,
             threads,
             executor: Executor::default(),
+            agents: 2,
         }
     }
 
@@ -1975,6 +2473,7 @@ mod tests {
             seed: 21,
             threads: 1,
             executor: Executor::default(),
+            agents: 2,
         };
         let report = run(&spec);
         assert!(!report.rows.is_empty());
@@ -2013,6 +2512,7 @@ mod tests {
             seed: 5,
             threads: 1,
             executor: Executor::default(),
+            agents: 2,
         };
         let grid = cells(&spec);
         assert_eq!(grid.len(), 2, "both zero-delay variants must survive Fixed(0)");
@@ -2080,6 +2580,7 @@ mod tests {
             seed: 7,
             threads: 1,
             executor: Executor::default(),
+            agents: 2,
         };
         let report = run(&spec);
         assert_eq!(report.dropped_cells, 0);
@@ -2115,6 +2616,7 @@ mod tests {
             seed: 3,
             threads: 1,
             executor: Executor::default(),
+            agents: 2,
         };
         let report = run(&spec);
         assert_eq!(report.planned_cells, 50);
@@ -2158,6 +2660,7 @@ mod tests {
             seed: 0x02B1,
             threads: 1,
             executor: Executor::ExactDecide,
+            agents: 2,
         };
         let grid = cells(&spec);
         let mut replicated = 0usize;
@@ -2230,6 +2733,7 @@ mod tests {
                 pairs_total: 8,
                 base_seed: 0xBEEF ^ trial,
                 tree_index: None,
+                agents: 2,
             };
             let inst = SweepInstance::for_cell(&cell);
             let fsa = inst.basic_walk_fsa();
@@ -2374,6 +2878,7 @@ mod tests {
             seed: 0xA07_05C4ED,
             threads: 2,
             executor,
+            agents: 2,
         };
         let auto = run(&spec(Executor::Auto));
         let replayed = run(&spec(Executor::TraceReplay));
@@ -2503,6 +3008,7 @@ mod tests {
             seed: 0x5C_4ED,
             threads: 2,
             executor,
+            agents: 2,
         };
         let replayed = run(&spec(Executor::TraceReplay));
         let stepped = run(&spec(Executor::DynStepping));
@@ -2628,6 +3134,9 @@ mod tests {
         assert!(!cells(&e9).is_empty(), "e9 grid is empty");
         let e10 = preset("e10", &[5, 6], 1, 1).expect("e10 exists");
         assert!(!cells(&e10).is_empty(), "e10 grid is empty");
-        assert!(preset("e11", &[8], 1, 1).is_none());
+        let e11 = preset("e11", &[5, 6], 1, 1).expect("e11 exists");
+        assert_eq!(e11.agents, 3, "e11 sweeps triples by default");
+        assert!(!cells(&e11).is_empty(), "e11 grid is empty");
+        assert!(preset("e12", &[8], 1, 1).is_none());
     }
 }

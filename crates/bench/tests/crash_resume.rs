@@ -34,6 +34,7 @@ fn spec(threads: usize) -> SweepSpec {
         seed: 0x5EED_C4A5,
         threads,
         executor: Executor::ExactDecide,
+        agents: 2,
     }
 }
 

@@ -20,6 +20,7 @@ fn grid_2x2(threads: usize) -> SweepSpec {
         seed: 42,
         threads,
         executor: Executor::default(),
+        agents: 2,
     }
 }
 

@@ -26,6 +26,7 @@ fn slow_spec() -> SweepSpec {
         seed: 0x5EED_7D06,
         threads: 1,
         executor: Executor::DynStepping,
+        agents: 2,
     }
 }
 

@@ -33,6 +33,7 @@ fn spec(threads: usize) -> SweepSpec {
         seed: 0x5EED_F0C5,
         threads,
         executor: Executor::ExactDecide,
+        agents: 2,
     }
 }
 

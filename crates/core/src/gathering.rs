@@ -15,9 +15,8 @@
 //! (tokens, multiplicity detection, …) that the paper's model excludes.
 
 use crate::tree_agent::TreeRendezvousAgent;
-use rvz_agent::model::Agent;
 use rvz_explore::{ExploBis, TprimeShape};
-use rvz_sim::{run_multi, Cursor, MultiConfig, MultiRun};
+use rvz_sim::{run_ensemble_fsa, Cursor, EnsembleRun, EnsembleSchedule};
 use rvz_trees::{NodeId, Tree};
 
 /// Can the Theorem 4.1 agent gather *any* number of copies on this tree?
@@ -46,17 +45,17 @@ pub fn gatherable(t: &Tree) -> bool {
 /// Gathers `k` copies of the Theorem 4.1 agent from the given starts
 /// (simultaneous start). On [`gatherable`] trees this succeeds for all
 /// distinct starts; on symmetric contractions it degrades to best-effort.
-pub fn gather(t: &Tree, starts: &[NodeId], max_rounds: u64) -> MultiRun {
+pub fn gather(t: &Tree, starts: &[NodeId], max_rounds: u64) -> EnsembleRun {
     let mut agents: Vec<TreeRendezvousAgent> =
         starts.iter().map(|_| TreeRendezvousAgent::new()).collect();
-    let mut dyns: Vec<&mut dyn Agent> = agents.iter_mut().map(|a| a as &mut dyn Agent).collect();
-    run_multi(t, starts, &mut dyns, &MultiConfig::simultaneous(starts.len(), max_rounds))
+    let schedule = EnsembleSchedule::simultaneous(starts.len());
+    run_ensemble_fsa(t, starts, &mut agents, &schedule, max_rounds, false)
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rvz_sim::MultiOutcome;
+    use rvz_sim::Outcome;
     use rvz_trees::generators::{caterpillar, line, spider, star};
 
     #[test]
@@ -78,11 +77,11 @@ mod tests {
         let t = spider(3, 3);
         let run = gather(&t, &[1, 5, 9], 100_000);
         match run.outcome {
-            MultiOutcome::Gathered { node, .. } => {
+            Outcome::Met { node, .. } => {
                 // The hub is T''s central node: everyone waits there.
                 assert_eq!(node, 0);
             }
-            MultiOutcome::Timeout { .. } => panic!("spider gathering must succeed"),
+            Outcome::Timeout { .. } => panic!("spider gathering must succeed"),
         }
     }
 
@@ -90,7 +89,7 @@ mod tests {
     fn gathers_five_agents_on_a_star() {
         let t = star(6);
         let run = gather(&t, &[1, 2, 3, 5, 6], 100_000);
-        assert!(matches!(run.outcome, MultiOutcome::Gathered { node: 0, .. }));
+        assert!(matches!(run.outcome, Outcome::Met { node: 0, .. }));
     }
 
     #[test]
@@ -99,7 +98,7 @@ mod tests {
         assert!(gatherable(&t));
         let leaves = t.leaves();
         let run = gather(&t, &leaves[..4.min(leaves.len())], 1_000_000);
-        assert!(matches!(run.outcome, MultiOutcome::Gathered { .. }));
+        assert!(matches!(run.outcome, Outcome::Met { .. }));
     }
 
     #[test]
@@ -108,6 +107,6 @@ mod tests {
         // though k ≥ 3 has no guarantee.
         let t = line(5);
         let run = gather(&t, &[0, 2], 20_000_000);
-        assert!(matches!(run.outcome, MultiOutcome::Gathered { .. }));
+        assert!(matches!(run.outcome, Outcome::Met { .. }));
     }
 }

@@ -68,7 +68,7 @@
 use rvz_agent::fsa::Fsa;
 use rvz_agent::line_fsa::StateId;
 use rvz_agent::model::{Action, Obs};
-use rvz_sim::Schedule;
+use rvz_sim::{pair_index, EnsembleSchedule, Schedule};
 use rvz_trees::{NodeId, Port, Tree};
 
 /// One agent's situation between rounds: the automaton state that emitted
@@ -1120,6 +1120,417 @@ pub fn verify_lasso(t: &Tree, fsa: &Fsa, a: NodeId, b: NodeId, delay: u64, lasso
     at_stem == Some(lasso.at_cycle) && end == lasso.at_cycle
 }
 
+/// A machine-checkable "never gathers" certificate — the k-lane
+/// generalization of [`ScheduleLasso`]. The recurring joint state is the
+/// vector of per-lane configurations (`None` = not yet activated) at equal
+/// cycle positions of the [`EnsembleSchedule`]; a repeat implies the whole
+/// future repeats, so if no round through `stem + period` co-locates *all*
+/// `k` agents, none ever does. [`verify_ensemble_lasso`] re-checks every
+/// claim by independent k-lane stepping.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleLasso {
+    /// Global round after which the certified cycle is entered (always
+    /// past the schedule's prefix).
+    pub stem: u64,
+    /// Cycle length in rounds; a multiple of the schedule's cycle length.
+    pub period: u64,
+    /// The recurring joint configuration, one entry per lane, after round
+    /// `stem`.
+    pub at_cycle: Vec<Option<AgentCfg>>,
+}
+
+/// The ensemble decider's verdict. `Meets` is **gathering**: all `k`
+/// agents on one node at a round boundary — rendezvous is its `k = 2`
+/// case. No timeout arm, as with [`Verdict`]: the product of `k` finite
+/// configuration spaces and the cycle positions is finite.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EnsembleVerdict {
+    /// First gathering at the end of `round` (0 = all starts coincide).
+    Meets { round: u64 },
+    /// Certified: no round ever co-locates all `k` agents.
+    NeverMeets { lasso: EnsembleLasso },
+}
+
+/// A decided `(starts, ensemble schedule)` instance — the k-lane sibling
+/// of [`ScheduleDecision`], with the crossing and pairwise-meeting
+/// bookkeeping needed to reproduce [`rvz_sim::run_ensemble`]'s row at any
+/// budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleDecision {
+    pub verdict: EnsembleVerdict,
+    /// Global rounds with an edge crossing over the explored horizon, one
+    /// entry per crossing *pair* (a k-lane round can hold several).
+    crossing_rounds: Vec<u64>,
+    /// First co-location round per unordered lane pair, in
+    /// [`rvz_sim::pair_index`] layout, over the explored horizon. For a
+    /// `NeverMeets` verdict this is complete: positions repeat along the
+    /// certified cycle, so a pair that has not met by `stem + period`
+    /// never meets.
+    pair_meetings: Vec<Option<u64>>,
+}
+
+impl EnsembleDecision {
+    pub fn met(&self) -> bool {
+        matches!(self.verdict, EnsembleVerdict::Meets { .. })
+    }
+
+    /// Gathering round, `None` for certified never-gathers.
+    pub fn round(&self) -> Option<u64> {
+        match self.verdict {
+            EnsembleVerdict::Meets { round } => Some(round),
+            EnsembleVerdict::NeverMeets { .. } => None,
+        }
+    }
+
+    pub fn lasso(&self) -> Option<&EnsembleLasso> {
+        match &self.verdict {
+            EnsembleVerdict::Meets { .. } => None,
+            EnsembleVerdict::NeverMeets { lasso } => Some(lasso),
+        }
+    }
+
+    /// First co-location round per unordered lane pair
+    /// ([`rvz_sim::pair_index`] layout) over the explored horizon.
+    pub fn pair_meetings(&self) -> &[Option<u64>] {
+        &self.pair_meetings
+    }
+
+    /// Crossings in rounds `1..=budget` — what [`rvz_sim::run_ensemble`]
+    /// counts with that budget (for budgets that do not truncate a
+    /// gathering); closed-form along a certified cycle exactly as
+    /// [`Decision::crossings_within`].
+    pub fn crossings_within(&self, budget: u64) -> u64 {
+        match &self.verdict {
+            EnsembleVerdict::Meets { .. } => crossings_upto(&self.crossing_rounds, budget),
+            EnsembleVerdict::NeverMeets { lasso } => {
+                crossings_closed_form(&self.crossing_rounds, lasso.stem, lasso.period, budget)
+            }
+        }
+    }
+
+    /// The decision for the image tuple under a port-preserving tree
+    /// automorphism and/or a lane permutation (`perm[i]` = lane that
+    /// receives old lane `i`'s start) — the k-lane sibling of
+    /// [`ScheduleDecision::relabel`]. The permutation is sound only for
+    /// [`EnsembleSchedule::lane_symmetric`] schedules; the caller
+    /// guarantees it. Rounds and crossing times are invariant; the
+    /// certified configurations and the pairwise-meeting slots move.
+    pub fn relabel(&self, map: Option<&[NodeId]>, perm: Option<&[usize]>) -> EnsembleDecision {
+        let move_cfg = |cfg: Option<AgentCfg>| match map {
+            Some(m) => cfg.map(|c| c.relabel(m)),
+            None => cfg,
+        };
+        let k = lanes_of(self.pair_meetings.len());
+        let mut pair_meetings = self.pair_meetings.clone();
+        if let Some(perm) = perm {
+            for i in 0..k {
+                for j in i + 1..k {
+                    let (pi, pj) = (perm[i].min(perm[j]), perm[i].max(perm[j]));
+                    pair_meetings[pair_index(k, pi, pj)] = self.pair_meetings[pair_index(k, i, j)];
+                }
+            }
+        }
+        let verdict = match &self.verdict {
+            EnsembleVerdict::Meets { round } => EnsembleVerdict::Meets { round: *round },
+            EnsembleVerdict::NeverMeets { lasso } => {
+                let mut at_cycle = vec![None; lasso.at_cycle.len()];
+                for (i, &cfg) in lasso.at_cycle.iter().enumerate() {
+                    let slot = perm.map_or(i, |p| p[i]);
+                    at_cycle[slot] = move_cfg(cfg);
+                }
+                EnsembleVerdict::NeverMeets {
+                    lasso: EnsembleLasso { stem: lasso.stem, period: lasso.period, at_cycle },
+                }
+            }
+        };
+        EnsembleDecision { verdict, crossing_rounds: self.crossing_rounds.clone(), pair_meetings }
+    }
+}
+
+/// Inverse of `k (k − 1) / 2`: the lane count whose unordered-pair table
+/// has `pairs` slots.
+fn lanes_of(pairs: usize) -> usize {
+    let mut k = 2;
+    while k * (k - 1) / 2 < pairs {
+        k += 1;
+    }
+    k
+}
+
+/// Records round-`round` co-locations of `nodes` into the unordered-pair
+/// first-meeting table and reports whether *all* lanes coincide — the
+/// decider's twin of the runner's gathering predicate.
+fn note_meetings(nodes: &[NodeId], round: u64, pair_meetings: &mut [Option<u64>]) -> bool {
+    let k = nodes.len();
+    let mut gathered = true;
+    for i in 0..k {
+        for j in i + 1..k {
+            if nodes[i] == nodes[j] {
+                pair_meetings[pair_index(k, i, j)].get_or_insert(round);
+            } else {
+                gathered = false;
+            }
+        }
+    }
+    gathered
+}
+
+/// Pushes one crossing-round entry per lane pair that swapped nodes this
+/// round (crossing inside an edge — not a meeting).
+fn note_crossings(nodes: &[NodeId], prev: &[NodeId], round: u64, crossing_rounds: &mut Vec<u64>) {
+    let k = nodes.len();
+    for i in 0..k {
+        for j in i + 1..k {
+            if nodes[i] == prev[j] && nodes[j] == prev[i] && nodes[i] != nodes[j] {
+                crossing_rounds.push(round);
+            }
+        }
+    }
+}
+
+/// Decides one `(tree, starts, automaton, ensemble schedule)` instance
+/// exactly, with **no round budget** — the k-lane generalization of
+/// [`decide_pair_scheduled`]. Start-delay schedules
+/// ([`EnsembleSchedule::as_start_delays`]) are routed to the solo-lasso
+/// closed form ([`decide_ensemble_from_lassos`]); every other shape walks
+/// the product configuration graph `([Option<AgentCfg>; k], cycle_idx)`
+/// with packed `u128` keys, terminating within
+/// `prefix + cycle · (|C| + 1)^k` rounds (in practice orders of magnitude
+/// earlier). Callers deciding many tuples per tree should tabulate solo
+/// lassos once and use [`decide_ensemble_from_lassos`] directly for the
+/// delay shapes.
+pub fn decide_ensemble(
+    t: &Tree,
+    fsa: &Fsa,
+    starts: &[NodeId],
+    sched: &EnsembleSchedule,
+) -> EnsembleDecision {
+    assert_eq!(starts.len(), sched.lanes(), "one start per schedule lane");
+    if let Some(delays) = sched.as_start_delays() {
+        let lassos: Vec<SoloLasso> =
+            starts.iter().map(|&s| SoloLasso::tabulate(t, fsa, s)).collect();
+        let refs: Vec<&SoloLasso> = lassos.iter().collect();
+        return decide_ensemble_from_lassos(&refs, &delays);
+    }
+    decide_ensemble_walk(t, fsa, starts, sched)
+}
+
+/// The k-lane product-lasso closed form: decides a `(starts, delays)`
+/// ensemble instance from the per-lane solo lassos alone — the k-lane
+/// sibling of [`decide_from_lassos`], and the entry point through which
+/// the sweep's persistent solo cache is reused lane by lane. All lassos
+/// must come from the same tree and automaton; `delays[i]` is lane `i`'s
+/// start delay.
+///
+/// Under pure start delays the agents never perceive each other, so the
+/// joint trajectory is the product of `k` independent solo trajectories
+/// `z_r = (L0_r, L1_{r−θ_1}, …)`; its first repeat is at
+/// `stem = max_i(σ_i + θ_i + 1)`, `period = lcm_i(π_i)` by the
+/// distinctness argument of the pair closed form, applied per lane. The
+/// scan walks rounds `1..=stem + period` checking gathering and pairwise
+/// crossings; at `k = 2` the verdicts, certificates, and crossing lists
+/// are identical to [`decide_from_lassos`]'s.
+pub fn decide_ensemble_from_lassos(lassos: &[&SoloLasso], delays: &[u64]) -> EnsembleDecision {
+    let k = lassos.len();
+    assert!(k >= 2, "an ensemble has at least two lanes");
+    assert_eq!(delays.len(), k, "one delay per lane");
+    let starts: Vec<NodeId> = lassos.iter().map(|l| l.start).collect();
+    let mut pair_meetings = vec![None; k * (k - 1) / 2];
+    let mut crossing_rounds = Vec::new();
+    if note_meetings(&starts, 0, &mut pair_meetings) {
+        return EnsembleDecision {
+            verdict: EnsembleVerdict::Meets { round: 0 },
+            crossing_rounds,
+            pair_meetings,
+        };
+    }
+    let stem = (0..k).map(|i| lassos[i].stem + delays[i] + 1).max().expect("k >= 2");
+    let period = lassos.iter().map(|l| l.period).fold(1, lcm);
+    let horizon = stem + period;
+    let mut prev = starts.clone();
+    let mut nodes = starts;
+    for r in 1..=horizon {
+        if r & 0xFFF == 0 {
+            rvz_sim::cancel::checkpoint();
+        }
+        for i in 0..k {
+            nodes[i] = lassos[i].position(r.saturating_sub(delays[i]));
+        }
+        note_crossings(&nodes, &prev, r, &mut crossing_rounds);
+        if note_meetings(&nodes, r, &mut pair_meetings) {
+            return EnsembleDecision {
+                verdict: EnsembleVerdict::Meets { round: r },
+                crossing_rounds,
+                pair_meetings,
+            };
+        }
+        prev.copy_from_slice(&nodes);
+    }
+    let at_cycle = (0..k).map(|i| Some(lassos[i].config_at(stem - delays[i]))).collect();
+    EnsembleDecision {
+        verdict: EnsembleVerdict::NeverMeets { lasso: EnsembleLasso { stem, period, at_cycle } },
+        crossing_rounds,
+        pair_meetings,
+    }
+}
+
+/// The general-schedule product walk behind [`decide_ensemble`]: joint
+/// configurations `([Option<AgentCfg>; k], cycle_idx)` with a packed
+/// `u128` visited key per round past the prefix.
+fn decide_ensemble_walk(
+    t: &Tree,
+    fsa: &Fsa,
+    starts: &[NodeId],
+    sched: &EnsembleSchedule,
+) -> EnsembleDecision {
+    let k = starts.len();
+    assert!(k >= 2, "an ensemble has at least two lanes");
+    let p = sched.prefix_len();
+    let c = sched.cycle_len();
+    let n = t.num_nodes();
+    // Packed product key: `None` (not yet activated) is 0, any real
+    // configuration is `1 + config_index`; one base-`stride` digit per
+    // lane, then the cycle position. The capacity check keeps the packing
+    // honest for large k — the caller must shrink the instance, not get a
+    // silently colliding table.
+    let stride = fsa.num_configs(n) as u128 + 1;
+    let mut capacity = c as u128;
+    for _ in 0..k {
+        capacity = capacity
+            .checked_mul(stride)
+            .expect("ensemble product key space exceeds u128; reduce the lane count or tree");
+    }
+    let opt_index = |cfg: Option<AgentCfg>| -> u128 {
+        match cfg {
+            None => 0,
+            Some(cfg) => 1 + fsa.config_index(cfg.state, cfg.node, cfg.entry, n) as u128,
+        }
+    };
+    let mut pair_meetings = vec![None; k * (k - 1) / 2];
+    let mut crossing_rounds = Vec::new();
+    let mut nodes = starts.to_vec();
+    if note_meetings(&nodes, 0, &mut pair_meetings) {
+        return EnsembleDecision {
+            verdict: EnsembleVerdict::Meets { round: 0 },
+            crossing_rounds,
+            pair_meetings,
+        };
+    }
+    let mut cfgs: Vec<Option<AgentCfg>> = vec![None; k];
+    let mut prev = nodes.clone();
+    let mut seen = ProbeTable::new();
+    let mut round = 0u64;
+    loop {
+        round += 1;
+        if round & 0xFFF == 0 {
+            rvz_sim::cancel::checkpoint();
+        }
+        let flags = sched.active(round);
+        prev.copy_from_slice(&nodes);
+        for i in 0..k {
+            if flags[i] {
+                let next = step_opt(t, fsa, starts[i], cfgs[i]);
+                cfgs[i] = Some(next);
+                nodes[i] = next.node;
+            }
+        }
+        note_crossings(&nodes, &prev, round, &mut crossing_rounds);
+        if note_meetings(&nodes, round, &mut pair_meetings) {
+            return EnsembleDecision {
+                verdict: EnsembleVerdict::Meets { round },
+                crossing_rounds,
+                pair_meetings,
+            };
+        }
+        if round > p {
+            let cycle_idx = (round - 1 - p) % c;
+            let mut key = 0u128;
+            for &cfg in &cfgs {
+                key = key * stride + opt_index(cfg);
+            }
+            key = key * c as u128 + cycle_idx as u128;
+            if let Some(entry_round) = seen.get_or_insert(key, round) {
+                let lasso = EnsembleLasso {
+                    stem: entry_round,
+                    period: round - entry_round,
+                    at_cycle: cfgs,
+                };
+                crossing_rounds.retain(|&r| r <= lasso.stem + lasso.period);
+                return EnsembleDecision {
+                    verdict: EnsembleVerdict::NeverMeets { lasso },
+                    crossing_rounds,
+                    pair_meetings,
+                };
+            }
+        }
+    }
+}
+
+/// Independently re-checks an [`EnsembleLasso`] certificate by naive
+/// k-lane scheduled stepping — the k-lane sibling of
+/// [`verify_schedule_lasso`]: (1) the structural claims (stem past the
+/// prefix, period a multiple of the cycle length); (2) no round in
+/// `0..=stem + period` co-locates *all* `k` agents; (3) the joint
+/// configuration after round `stem` equals `at_cycle` and recurs after
+/// round `stem + period`. Never panics on a hostile certificate.
+pub fn verify_ensemble_lasso(
+    t: &Tree,
+    fsa: &Fsa,
+    starts: &[NodeId],
+    sched: &EnsembleSchedule,
+    lasso: &EnsembleLasso,
+) -> bool {
+    let k = sched.lanes();
+    if starts.len() != k || lasso.at_cycle.len() != k || lasso.period == 0 {
+        return false;
+    }
+    if starts.iter().all(|&s| s == starts[0]) {
+        return false; // gathered at round 0 — the certificate is bogus
+    }
+    if lasso.stem <= sched.prefix_len() || !lasso.period.is_multiple_of(sched.cycle_len()) {
+        return false;
+    }
+    let mut cfgs: Vec<Option<AgentCfg>> = vec![None; k];
+    let mut nodes = starts.to_vec();
+    let mut at_stem: Option<Vec<Option<AgentCfg>>> = None;
+    for round in 1..=lasso.stem + lasso.period {
+        if round & 0xFFF == 0 {
+            rvz_sim::cancel::checkpoint();
+        }
+        let flags = sched.active(round);
+        for i in 0..k {
+            if flags[i] {
+                let next = step_opt(t, fsa, starts[i], cfgs[i]);
+                cfgs[i] = Some(next);
+                nodes[i] = next.node;
+            }
+        }
+        if nodes.iter().all(|&v| v == nodes[0]) {
+            return false; // they gather — the certificate is bogus
+        }
+        if round == lasso.stem {
+            at_stem = Some(cfgs.clone());
+        }
+    }
+    at_stem.as_deref() == Some(&lasso.at_cycle) && cfgs == lasso.at_cycle
+}
+
+/// [`decide_cost_bound`]'s k-lane sibling — the work-unit bound the
+/// planner uses to price a k-lane decide cell honestly: the product walk
+/// explores at most `cycle · (|C| + 1)^(k−1)` *joint* steps per lane-0
+/// configuration, i.e. the `(|C| + 1)^k` blow-up normalized so that
+/// `lanes = 2` reproduces [`decide_cost_bound`] exactly (the pair
+/// formula's single factor). Saturating, never panicking: it is a routing
+/// weight, not an allocation size.
+pub fn ensemble_decide_cost_bound(fsa: &Fsa, n: usize, lanes: usize, cycle_len: u64) -> u64 {
+    let configs = (fsa.num_configs(n) as u64).saturating_add(1);
+    let mut acc = cycle_len.max(1);
+    for _ in 1..lanes.max(2) {
+        acc = acc.saturating_mul(configs);
+    }
+    acc
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1655,6 +2066,251 @@ mod tests {
                 (got, want) => panic!("verdict shape diverged: {got:?} vs {want:?} (a={a} b={b})"),
             }
         }
+    }
+
+    #[test]
+    fn ensemble_decider_at_k2_matches_the_pair_deciders() {
+        // Verdict rounds, crossing counts, and lasso shapes must be
+        // identical to the pair engines on every two-lane instance — the
+        // byte-compatibility contract of the refactor.
+        let mut rng = StdRng::seed_from_u64(0xE11);
+        for trial in 0..10 {
+            let t = random_tree(3 + (trial % 6), &mut rng);
+            let fsa = bw(&t);
+            let n = t.num_nodes() as NodeId;
+            for (a, b) in [(0, n - 1), (n - 1, 0), (0, n / 2)] {
+                if a == b {
+                    continue;
+                }
+                for delay in [0u64, 1, 3, 17] {
+                    let pair = decide_pair(&t, &fsa, a, b, delay);
+                    let ens = decide_ensemble(
+                        &t,
+                        &fsa,
+                        &[a, b],
+                        &EnsembleSchedule::start_delays(&[0, delay]),
+                    );
+                    assert_eq!(ens.round(), pair.round(), "θ={delay} ({a},{b})");
+                    assert_eq!(ens.crossing_rounds, pair.crossing_rounds, "θ={delay} ({a},{b})");
+                    if let (Some(el), Some(pl)) = (ens.lasso(), pair.lasso()) {
+                        assert_eq!(el.stem, pl.stem);
+                        assert_eq!(el.period, pl.period);
+                        assert_eq!(
+                            el.at_cycle,
+                            vec![Some(pl.at_cycle.0), Some(pl.at_cycle.1)],
+                            "θ={delay} ({a},{b})"
+                        );
+                        for budget in [3u64, 50, 1_000_000_007] {
+                            assert_eq!(ens.crossings_within(budget), pair.crossings_within(budget));
+                        }
+                    }
+                }
+                for sched in [
+                    Schedule::intermittent(2, 0),
+                    Schedule::crash_after(2),
+                    Schedule::adversarial(0xBEEF, 4, 3),
+                ] {
+                    let pair = decide_pair_scheduled(&t, &fsa, a, b, &sched);
+                    let ens =
+                        decide_ensemble(&t, &fsa, &[a, b], &EnsembleSchedule::from_pair(&sched));
+                    assert_eq!(ens.round(), pair.round(), "{sched:?} ({a},{b})");
+                    assert_eq!(ens.crossing_rounds, pair.crossing_rounds, "{sched:?} ({a},{b})");
+                    if let (Some(el), Some(pl)) = (ens.lasso(), pair.lasso()) {
+                        assert_eq!((el.stem, el.period), (pl.stem, pl.period));
+                        assert_eq!(el.at_cycle, vec![pl.at_cycle.0, pl.at_cycle.1]);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_decider_agrees_with_ensemble_simulation() {
+        use rvz_sim::run_ensemble_fsa;
+        let mut rng = StdRng::seed_from_u64(0x6A7);
+        for trial in 0..10 {
+            let t = random_tree(3 + (trial % 5), &mut rng);
+            let n = t.num_nodes() as NodeId;
+            let fsa = bw(&t);
+            for k in [2usize, 3] {
+                let schedules = [
+                    EnsembleSchedule::simultaneous(k),
+                    EnsembleSchedule::start_delays(&(0..k as u64).collect::<Vec<_>>()),
+                    EnsembleSchedule::crash_last_after(k, 2),
+                    EnsembleSchedule::intermittent_last(k, 2, 0),
+                ];
+                let tuples = [
+                    (0..k as NodeId).map(|i| i % n).collect::<Vec<_>>(),
+                    (0..k as NodeId).map(|i| (n - 1).saturating_sub(i % n)).collect(),
+                ];
+                for sched in &schedules {
+                    for starts in &tuples {
+                        let decision = decide_ensemble(&t, &fsa, starts, sched);
+                        if let Some(lasso) = decision.lasso() {
+                            assert!(
+                                verify_ensemble_lasso(&t, &fsa, starts, sched, lasso),
+                                "lasso failed re-verification: k={k} {starts:?}"
+                            );
+                        }
+                        let budget = 50_000u64;
+                        let mut agents: Vec<_> = (0..k).map(|_| fsa.runner()).collect();
+                        let run = run_ensemble_fsa(&t, starts, &mut agents, sched, budget, false);
+                        match run.outcome {
+                            Outcome::Met { round, .. } => {
+                                assert_eq!(decision.round(), Some(round), "k={k} {starts:?}");
+                                assert_eq!(decision.crossings_within(round), run.crossings);
+                            }
+                            Outcome::Timeout { .. } => {
+                                assert!(decision.round().is_none_or(|r| r > budget));
+                                if !decision.met() {
+                                    assert_eq!(
+                                        decision.crossings_within(budget),
+                                        run.crossings,
+                                        "k={k} {starts:?} {sched:?}"
+                                    );
+                                }
+                            }
+                        }
+                        // Pairwise meetings agree wherever the bounded run
+                        // could observe them.
+                        for (slot, (dec, sim)) in
+                            decision.pair_meetings().iter().zip(&run.pair_meetings).enumerate()
+                        {
+                            match (dec, sim) {
+                                (Some(d), Some(s)) => {
+                                    assert_eq!(d, s, "k={k} {starts:?} slot {slot}")
+                                }
+                                (Some(d), None) => assert!(*d > budget, "k={k} slot {slot}"),
+                                (None, Some(s)) => {
+                                    panic!("sim met pair {slot} at {s}, decider never did")
+                                }
+                                (None, None) => {}
+                            }
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_closed_form_matches_the_product_walk() {
+        // On start-delay shapes both decide_ensemble paths are reachable;
+        // the dispatch must be invisible: full EnsembleDecision equality.
+        let mut rng = StdRng::seed_from_u64(0xC105);
+        for trial in 0..8 {
+            let t = random_tree(3 + (trial % 5), &mut rng);
+            let n = t.num_nodes() as NodeId;
+            let fsa = bw(&t);
+            for delays in [vec![0u64, 0, 0], vec![0, 1, 3], vec![2, 0, 5]] {
+                let starts = vec![0, n / 2, n - 1];
+                let sched = EnsembleSchedule::start_delays(&delays);
+                let lassos: Vec<SoloLasso> =
+                    starts.iter().map(|&s| SoloLasso::tabulate(&t, &fsa, s)).collect();
+                let refs: Vec<&SoloLasso> = lassos.iter().collect();
+                let closed = decide_ensemble_from_lassos(&refs, &delays);
+                let walked = decide_ensemble_walk(&t, &fsa, &starts, &sched);
+                assert_eq!(closed, walked, "{delays:?} on {n} nodes");
+            }
+        }
+    }
+
+    #[test]
+    fn crashed_lane_defeats_gathering_on_the_shuttle() {
+        // The e11 phenomenon in miniature: a crashed agent parks, so
+        // gathering reduces to both survivors standing on it *in the same
+        // round* — and on the single edge the two survivors shuttle in
+        // antiphase forever, each visiting the parked copy without ever
+        // co-locating with the other.
+        let t = colored_line(2, 0);
+        let fsa = bw(&t);
+        let sched = EnsembleSchedule::crash_last_after(3, 0);
+        let starts = [0u32, 1, 1];
+        let d = decide_ensemble(&t, &fsa, &starts, &sched);
+        let lasso = d.lasso().expect("crash defeats gathering here");
+        assert!(verify_ensemble_lasso(&t, &fsa, &starts, &sched, lasso));
+        let pm = d.pair_meetings();
+        assert_eq!(pm[pair_index(3, 1, 2)], Some(0), "lane 1 starts on the parked lane");
+        assert_eq!(pm[pair_index(3, 0, 2)], Some(1), "lane 0 steps onto the parked lane");
+        assert_eq!(pm[pair_index(3, 0, 1)], None, "the survivors shuttle in antiphase");
+    }
+
+    #[test]
+    fn tampered_ensemble_lassos_are_rejected() {
+        let t = colored_line(2, 0);
+        let fsa = bw(&t);
+        let sched = EnsembleSchedule::crash_last_after(3, 0);
+        let starts = [0u32, 1, 1];
+        let good = decide_ensemble(&t, &fsa, &starts, &sched).lasso().cloned().unwrap();
+        assert!(verify_ensemble_lasso(&t, &fsa, &starts, &sched, &good));
+        let mut bad = good.clone();
+        bad.period += 1;
+        assert!(!verify_ensemble_lasso(&t, &fsa, &starts, &sched, &bad));
+        let mut short = good.clone();
+        short.at_cycle.pop();
+        assert!(!verify_ensemble_lasso(&t, &fsa, &starts, &sched, &short));
+        let mut wrong = good.clone();
+        wrong.at_cycle[0] = None; // claims lane 0 never started
+        assert!(!verify_ensemble_lasso(&t, &fsa, &starts, &sched, &wrong));
+        let mut zero = good;
+        zero.period = 0;
+        assert!(!verify_ensemble_lasso(&t, &fsa, &starts, &sched, &zero));
+    }
+
+    #[test]
+    fn relabeled_ensemble_decisions_equal_direct_decisions_of_the_image_tuple() {
+        // The flip always commutes; lane permutations additionally need a
+        // lane-symmetric schedule — exactly the sweep's orbit rules.
+        let (t, flip) = [line(7), line(8), spider(3, 2), colored_line(6, 1)]
+            .into_iter()
+            .find_map(|t| rvz_trees::symmetry::port_preserving_flip(&t).map(|flip| (t, flip)))
+            .expect("at least one candidate tree must flip");
+        let fsa = bw(&t);
+        let n = t.num_nodes() as NodeId;
+        let sym = EnsembleSchedule::simultaneous(3);
+        let asym = EnsembleSchedule::start_delays(&[0, 0, 2]);
+        for starts in [[0u32, n / 2, n - 1], [1, n - 1, 2], [0, 1, 2]] {
+            let image: Vec<NodeId> = starts.iter().map(|&v| flip[v as usize]).collect();
+            for sched in [&sym, &asym] {
+                let d = decide_ensemble(&t, &fsa, &starts, sched);
+                let direct = decide_ensemble(&t, &fsa, &image, sched);
+                assert_eq!(d.relabel(Some(&flip[..]), None), direct, "flip {starts:?}");
+            }
+            // Rotate the lanes under the symmetric schedule.
+            let perm = [1usize, 2, 0];
+            let rotated: Vec<NodeId> = {
+                let mut v = vec![0; 3];
+                for i in 0..3 {
+                    v[perm[i]] = starts[i];
+                }
+                v
+            };
+            let d = decide_ensemble(&t, &fsa, &starts, &sym);
+            let direct = decide_ensemble(&t, &fsa, &rotated, &sym);
+            assert_eq!(d.relabel(None, Some(&perm)), direct, "perm {starts:?}");
+        }
+    }
+
+    #[test]
+    fn ensemble_cost_bound_extends_the_pair_formula() {
+        let t = spider(3, 4);
+        let fsa = bw(&t);
+        let n = t.num_nodes();
+        // lanes = 2 reproduces the pair feature exactly…
+        for cycle in [0u64, 1, 6] {
+            assert_eq!(
+                ensemble_decide_cost_bound(&fsa, n, 2, cycle),
+                decide_cost_bound(&fsa, n, cycle)
+            );
+        }
+        // …and each extra lane multiplies by |C| + 1.
+        let configs = fsa.num_configs(n) as u64 + 1;
+        assert_eq!(
+            ensemble_decide_cost_bound(&fsa, n, 3, 6),
+            decide_cost_bound(&fsa, n, 6).saturating_mul(configs)
+        );
+        // Saturates instead of overflowing on absurd lane counts.
+        assert_eq!(ensemble_decide_cost_bound(&fsa, n, 64, u64::MAX), u64::MAX);
     }
 
     #[test]

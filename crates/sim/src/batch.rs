@@ -23,7 +23,7 @@
 //! byte-identical to its per-cell run.
 
 use crate::cancel;
-use crate::schedule::Schedule;
+use crate::schedule::{EnsembleSchedule, Schedule};
 use rvz_agent::{Fsa, StateId};
 use rvz_trees::{NodeId, Tree};
 
@@ -150,6 +150,109 @@ fn run_lanes(
                 crossings[i] += 1;
             }
             if a == b {
+                out[i] = LaneOutcome { met: true, round: Some(round), crossings: crossings[i] };
+                return false;
+            }
+            if round >= lanes[i].budget {
+                out[i] = LaneOutcome { met: false, round: None, crossings: crossings[i] };
+                return false;
+            }
+            true
+        });
+        if live.is_empty() {
+            break;
+        }
+    }
+    out
+}
+
+/// One lane of a batched k-agent run: a start tuple sharing the call's
+/// ensemble schedule, with its own round budget.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnsembleBatchLane {
+    /// One start per agent; length must equal the schedule's lane count.
+    pub starts: Vec<NodeId>,
+    /// Round budget; a lane that has not gathered by this round times out.
+    pub budget: u64,
+}
+
+/// Runs every lane under one shared [`EnsembleSchedule`] — the k-agent
+/// generalization of [`run_batch_fsa_scheduled`], pinned tuple-by-tuple
+/// to [`crate::run_ensemble_fsa`]: same round-0 gathering rule, same
+/// first-activation convention, same pairwise crossing detection, same
+/// budget accounting. `met`/`round` in the returned [`LaneOutcome`]s
+/// report *gathering* (all `k` co-located at a round boundary).
+pub fn run_batch_fsa_ensemble(
+    t: &Tree,
+    fsa: &Fsa,
+    schedule: &EnsembleSchedule,
+    lanes: &[EnsembleBatchLane],
+) -> Vec<LaneOutcome> {
+    let k = schedule.lanes();
+    let m = lanes.len();
+    for lane in lanes {
+        assert_eq!(lane.starts.len(), k, "every lane must carry one start per schedule lane");
+    }
+    // Structure-of-arrays slot state: lane i's agent j lives at flat
+    // index i * k + j in each array.
+    let mut node: Vec<NodeId> = lanes.iter().flat_map(|l| l.starts.iter().copied()).collect();
+    let mut entry: Vec<u32> = vec![NO_ENTRY; m * k];
+    let mut state: Vec<StateId> = vec![fsa.s0; m * k];
+    let mut started: Vec<bool> = vec![false; m * k];
+    let mut crossings: Vec<u64> = vec![0; m];
+    let mut out: Vec<LaneOutcome> = vec![LaneOutcome { met: false, round: None, crossings: 0 }; m];
+
+    // Round 0: identical start tuples gather before anyone acts;
+    // zero-budget lanes with distinct starts time out without stepping.
+    let mut live: Vec<u32> = Vec::with_capacity(m);
+    let mut max_budget = 0u64;
+    for (i, lane) in lanes.iter().enumerate() {
+        if lane.starts.iter().all(|&s| s == lane.starts[0]) {
+            out[i] = LaneOutcome { met: true, round: Some(0), crossings: 0 };
+        } else if lane.budget == 0 {
+            out[i] = LaneOutcome { met: false, round: None, crossings: 0 };
+        } else {
+            live.push(i as u32);
+            max_budget = max_budget.max(lane.budget);
+        }
+    }
+
+    let mut prev: Vec<NodeId> = vec![0; k];
+    for round in 1..=max_budget {
+        if round & 0xFFF == 0 {
+            cancel::checkpoint();
+        }
+        let flags = schedule.active(round);
+        live.retain(|&lane| {
+            let i = lane as usize;
+            let base = i * k;
+            prev.copy_from_slice(&node[base..base + k]);
+            for (j, &on) in flags.iter().enumerate() {
+                if on {
+                    let s = base + j;
+                    step_lane_agent(
+                        t,
+                        fsa,
+                        &mut state[s],
+                        &mut started[s],
+                        &mut node[s],
+                        &mut entry[s],
+                    );
+                }
+            }
+            let cur = &node[base..base + k];
+            let mut gathered = true;
+            for a in 0..k {
+                for b in (a + 1)..k {
+                    if cur[a] == prev[b] && cur[b] == prev[a] && cur[a] != cur[b] {
+                        crossings[i] += 1;
+                    }
+                    if cur[a] != cur[b] {
+                        gathered = false;
+                    }
+                }
+            }
+            if gathered {
                 out[i] = LaneOutcome { met: true, round: Some(round), crossings: crossings[i] };
                 return false;
             }
@@ -344,6 +447,79 @@ mod tests {
                     .collect();
                 assert_eq!(got, want, "n={n}");
             }
+        }
+    }
+
+    #[test]
+    fn ensemble_batch_matches_run_ensemble_fsa() {
+        use crate::run_ensemble_fsa;
+        use crate::schedule::EnsembleSchedule;
+        let mut rng = StdRng::seed_from_u64(0xE45E);
+        for k in [2usize, 3, 4] {
+            let schedules = [
+                EnsembleSchedule::simultaneous(k),
+                EnsembleSchedule::start_delays(&(0..k as u64).collect::<Vec<_>>()),
+                EnsembleSchedule::crash_last_after(k, 3),
+                EnsembleSchedule::intermittent_last(k, 2, 0),
+            ];
+            for _ in 0..6 {
+                let n = rng.gen_range(2..20);
+                let t = random_tree(n, &mut rng);
+                let fsa = Fsa::basic_walk(t.max_degree().max(1));
+                for sched in &schedules {
+                    let budget = sched.prefix_len() + sched.cycle_len() * (4 * (n as u64 - 1) + 2);
+                    let lanes: Vec<EnsembleBatchLane> = (0..10)
+                        .map(|_| EnsembleBatchLane {
+                            starts: (0..k).map(|_| rng.gen_range(0..n as NodeId)).collect(),
+                            budget,
+                        })
+                        .collect();
+                    let got = run_batch_fsa_ensemble(&t, &fsa, sched, &lanes);
+                    let want: Vec<LaneOutcome> = lanes
+                        .iter()
+                        .map(|l| {
+                            let mut agents: Vec<_> = (0..k).map(|_| fsa.runner()).collect();
+                            let run = run_ensemble_fsa(
+                                &t,
+                                &l.starts,
+                                &mut agents,
+                                sched,
+                                l.budget,
+                                false,
+                            );
+                            LaneOutcome {
+                                met: run.outcome.met(),
+                                round: run.outcome.round(),
+                                crossings: run.crossings,
+                            }
+                        })
+                        .collect();
+                    assert_eq!(got, want, "k={k} n={n}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn two_lane_ensemble_batch_matches_the_pair_batch() {
+        use crate::schedule::EnsembleSchedule;
+        let t = line(10);
+        let fsa = Fsa::basic_walk(t.max_degree().max(1));
+        for sched in
+            [Schedule::start_delay(2), Schedule::intermittent(3, 1), Schedule::crash_after(3)]
+        {
+            let budget = sched.prefix_len() + sched.cycle_len() * (4 * 9 + 2);
+            let pair_lanes: Vec<BatchLane> = (0..10u32)
+                .map(|a| BatchLane { start_a: a, start_b: 9 - a, delay: 0, budget })
+                .collect();
+            let ens_lanes: Vec<EnsembleBatchLane> = pair_lanes
+                .iter()
+                .map(|l| EnsembleBatchLane { starts: vec![l.start_a, l.start_b], budget })
+                .collect();
+            assert_eq!(
+                run_batch_fsa_ensemble(&t, &fsa, &EnsembleSchedule::from_pair(&sched), &ens_lanes),
+                run_batch_fsa_scheduled(&t, &fsa, &sched, &pair_lanes),
+            );
         }
     }
 

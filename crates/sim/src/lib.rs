@@ -1,14 +1,17 @@
 //! # rvz-sim
 //!
-//! The synchronous-round simulator of the paper's §2.1 model: one or two
-//! identical agents walk an anonymous port-labeled tree; the adversary
-//! chooses the port labeling, the initial positions and *when the agents
-//! run* — the start delay θ of the arbitrary-delay scenario, or a full
-//! eventually-periodic activation [`Schedule`] (per-round delay faults à
-//! la Chalopin et al.). Rendezvous is *being at the same node at the end
-//! of the same round* — crossing inside an edge does not count (Lemma 4.8
-//! depends on this), though crossings are detected and reported for the
-//! lower-bound instrumentation.
+//! The synchronous-round simulator of the paper's §2.1 model: one, two,
+//! or `k` identical agents walk an anonymous port-labeled tree; the
+//! adversary chooses the port labeling, the initial positions and *when
+//! the agents run* — the start delay θ of the arbitrary-delay scenario,
+//! a full eventually-periodic activation [`Schedule`] (per-round delay
+//! faults à la Chalopin et al.), or its k-lane generalization
+//! [`EnsembleSchedule`]. Rendezvous is *being at the same node at the
+//! end of the same round* — crossing inside an edge does not count
+//! (Lemma 4.8 depends on this), though crossings are detected and
+//! reported for the lower-bound instrumentation. Gathering (all `k`
+//! co-located at a round boundary, [`run_ensemble`]) is the k-agent
+//! generalization; rendezvous is its `k = 2` case.
 //!
 //! ```
 //! use rvz_sim::Schedule;
@@ -26,19 +29,21 @@
 
 pub mod batch;
 pub mod cancel;
-pub mod multi;
 pub mod runner;
 pub mod schedule;
 pub mod trace;
 
-pub use batch::{run_batch_fsa, run_batch_fsa_scheduled, BatchLane, LaneOutcome};
-pub use multi::{run_multi, MultiConfig, MultiOutcome, MultiRun};
-pub use runner::{
-    run_pair, run_pair_fsa, run_pair_scheduled, run_pair_scheduled_fsa, run_single, Cursor,
-    Outcome, PairConfig, PairRun, SingleRun,
+pub use batch::{
+    run_batch_fsa, run_batch_fsa_ensemble, run_batch_fsa_scheduled, BatchLane, EnsembleBatchLane,
+    LaneOutcome,
 };
-pub use schedule::{ActivationIndex, Schedule};
+pub use runner::{
+    pair_index, run_ensemble, run_ensemble_fsa, run_ensemble_with, run_pair, run_pair_fsa,
+    run_pair_scheduled, run_pair_scheduled_fsa, run_single, Cursor, EnsembleRun, Outcome,
+    PairConfig, PairRun, SingleRun,
+};
+pub use schedule::{ActivationIndex, EnsembleSchedule, Schedule};
 pub use trace::{
-    delay_scan, replay_pair, replay_pair_scheduled, schedule_scan, Replay, TraceRecorder,
-    Trajectory,
+    delay_scan, gathering_scan, replay_ensemble, replay_pair, replay_pair_scheduled, schedule_scan,
+    EnsembleReplay, Replay, TraceRecorder, Trajectory,
 };

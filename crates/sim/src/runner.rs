@@ -1,6 +1,13 @@
-//! Single- and two-agent synchronous execution.
+//! Single-agent, two-agent, and k-agent ensemble synchronous execution.
+//!
+//! Every multi-agent entry point — `run_pair*`, scheduled pairs, and the
+//! k-agent [`run_ensemble`] family — is a thin activation-pattern wrapper
+//! over ONE k-lane round loop (`run_ensemble_core`). The two-agent
+//! functions are the `k = 2` specialization and produce bit-identical
+//! results to the historical pair loop; gathering (all `k` co-located at
+//! a round boundary) degenerates to rendezvous at `k = 2`.
 
-use crate::schedule::Schedule;
+use crate::schedule::{EnsembleSchedule, Schedule};
 use rvz_agent::model::{Action, Agent, Obs};
 use rvz_trees::{NodeId, Port, Tree};
 
@@ -228,9 +235,9 @@ pub fn run_pair_scheduled_fsa<A: Agent + ?Sized, B: Agent + ?Sized>(
     })
 }
 
-/// The shared two-agent round loop: `active(round)` says which agents are
-/// activated in each round (1-based). Every entry point above is a thin
-/// activation-pattern wrapper over this.
+/// The two-agent adapter over the k-lane core: `active(round)` says which
+/// agents are activated in each round (1-based). Every pair entry point
+/// above funnels through this into [`run_ensemble_core`].
 #[allow(clippy::too_many_arguments)]
 fn run_pair_core<A: Agent + ?Sized, B: Agent + ?Sized>(
     t: &Tree,
@@ -242,59 +249,234 @@ fn run_pair_core<A: Agent + ?Sized, B: Agent + ?Sized>(
     record_traces: bool,
     mut active: impl FnMut(u64) -> (bool, bool),
 ) -> PairRun {
-    let mut a = Cursor::new(start_a);
-    let mut b = Cursor::new(start_b);
-    let mut crossings = 0u64;
-    let mut trace_a = record_traces.then(|| vec![a.node]);
-    let mut trace_b = record_traces.then(|| vec![b.node]);
-
-    let finish = |outcome: Outcome,
-                  a: Cursor,
-                  b: Cursor,
-                  crossings: u64,
-                  trace_a: Option<Vec<NodeId>>,
-                  trace_b: Option<Vec<NodeId>>| PairRun {
-        outcome,
-        crossings,
-        final_a: a,
-        final_b: b,
+    let mut run = run_ensemble_core(
+        t,
+        &[start_a, start_b],
+        |lane, obs| {
+            if lane == 0 {
+                agent_a.act(obs)
+            } else {
+                agent_b.act(obs)
+            }
+        },
+        |round, lane| {
+            let (on_a, on_b) = active(round);
+            if lane == 0 {
+                on_a
+            } else {
+                on_b
+            }
+        },
+        max_rounds,
+        record_traces,
+    );
+    let trace_b = run.traces.as_mut().map(|tr| tr.pop().expect("lane B trace"));
+    let trace_a = run.traces.as_mut().map(|tr| tr.pop().expect("lane A trace"));
+    PairRun {
+        outcome: run.outcome,
+        crossings: run.crossings,
+        final_a: run.finals[0],
+        final_b: run.finals[1],
         trace_a,
         trace_b,
+    }
+}
+
+/// Row-major upper-triangle index of the unordered pair `(i, j)`,
+/// `i < j`, among `k` agents — the layout of
+/// [`EnsembleRun::pair_meetings`].
+pub fn pair_index(k: usize, i: usize, j: usize) -> usize {
+    debug_assert!(i < j && j < k);
+    i * (2 * k - i - 1) / 2 + (j - i - 1)
+}
+
+/// Result of a k-agent ensemble run.
+///
+/// `outcome` is the *gathering* verdict: [`Outcome::Met`] means all `k`
+/// agents were co-located at a round boundary (at `k = 2` this is
+/// exactly rendezvous). Pairwise first-meeting rounds are reported
+/// separately — a pair can meet without the ensemble ever gathering.
+#[derive(Debug, Clone)]
+pub struct EnsembleRun {
+    pub outcome: Outcome,
+    /// Number of `(round, pair)` events in which two agents swapped the
+    /// endpoints of one edge without co-locating. At `k = 2` this is the
+    /// pair run's crossing count.
+    pub crossings: u64,
+    /// Final cursor of each lane, in lane order.
+    pub finals: Vec<Cursor>,
+    /// Per-lane node traces (index 0 = start), when recording was
+    /// requested.
+    pub traces: Option<Vec<Vec<NodeId>>>,
+    /// Round at which each unordered pair `(i, j)`, `i < j`, first
+    /// co-located (round 0 = identical starts), in [`pair_index`]
+    /// layout; `None` if that pair never met.
+    pub pair_meetings: Vec<Option<u64>>,
+}
+
+/// Runs `k` boxed agents under an ensemble schedule. Convenience wrapper
+/// over [`run_ensemble_with`] for heterogeneous agent banks.
+///
+/// Budget semantics (the one definition every engine shares):
+/// `max_rounds` counts **global rounds**, not activations — a frozen
+/// round burns budget exactly like an active one, and a lane delayed by
+/// θ is activated `max_rounds − θ` times within the budget. This is the
+/// `run_pair` definition; the retired `sim::multi` API measured the same
+/// quantity, and [`run_ensemble`] now pins it for every `k`.
+pub fn run_ensemble(
+    t: &Tree,
+    starts: &[NodeId],
+    agents: &mut [Box<dyn Agent>],
+    schedule: &EnsembleSchedule,
+    max_rounds: u64,
+    record_traces: bool,
+) -> EnsembleRun {
+    assert_eq!(agents.len(), starts.len(), "one agent per start");
+    run_ensemble_with(
+        t,
+        starts,
+        |lane, obs| agents[lane].act(obs),
+        schedule,
+        max_rounds,
+        record_traces,
+    )
+}
+
+/// Runs a homogeneous ensemble (`k` agents of one concrete type) under a
+/// schedule — the monomorphized fast path mirroring [`run_pair_fsa`].
+pub fn run_ensemble_fsa<A: Agent>(
+    t: &Tree,
+    starts: &[NodeId],
+    agents: &mut [A],
+    schedule: &EnsembleSchedule,
+    max_rounds: u64,
+    record_traces: bool,
+) -> EnsembleRun {
+    assert_eq!(agents.len(), starts.len(), "one agent per start");
+    run_ensemble_with(
+        t,
+        starts,
+        |lane, obs| agents[lane].act(obs),
+        schedule,
+        max_rounds,
+        record_traces,
+    )
+}
+
+/// Runs `k` agents given by an `act(lane, obs)` closure under an
+/// ensemble schedule — the fully general entry point; see
+/// [`run_ensemble`] for the budget semantics.
+pub fn run_ensemble_with(
+    t: &Tree,
+    starts: &[NodeId],
+    act: impl FnMut(usize, Obs) -> Action,
+    schedule: &EnsembleSchedule,
+    max_rounds: u64,
+    record_traces: bool,
+) -> EnsembleRun {
+    assert_eq!(
+        schedule.lanes(),
+        starts.len(),
+        "the schedule must cover exactly the ensemble's lanes"
+    );
+    run_ensemble_core(
+        t,
+        starts,
+        act,
+        |round, lane| schedule.active(round)[lane],
+        max_rounds,
+        record_traces,
+    )
+}
+
+/// THE k-lane round loop — the only stepping loop in the simulator.
+/// `act(lane, obs)` steps one agent; `active(round, lane)` is the
+/// adversary's activation flag (rounds are 1-based; lanes are queried in
+/// order within a round). Gathering / meeting is co-location at a round
+/// boundary; crossings (edge-endpoint swaps) never count as meetings.
+fn run_ensemble_core(
+    t: &Tree,
+    starts: &[NodeId],
+    mut act: impl FnMut(usize, Obs) -> Action,
+    mut active: impl FnMut(u64, usize) -> bool,
+    max_rounds: u64,
+    record_traces: bool,
+) -> EnsembleRun {
+    let k = starts.len();
+    assert!(k >= 2, "an ensemble needs at least two agents");
+    let mut cursors: Vec<Cursor> = starts.iter().map(|&s| Cursor::new(s)).collect();
+    let mut prev: Vec<NodeId> = starts.to_vec();
+    let mut crossings = 0u64;
+    let mut traces = record_traces.then(|| starts.iter().map(|&s| vec![s]).collect::<Vec<_>>());
+    let mut pair_meetings: Vec<Option<u64>> = vec![None; k * (k - 1) / 2];
+
+    // Records first co-locations for this round and answers whether the
+    // whole ensemble is gathered.
+    let check = |cursors: &[Cursor], round: u64, pair_meetings: &mut [Option<u64>]| {
+        let mut all = true;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if cursors[i].node == cursors[j].node {
+                    pair_meetings[pair_index(k, i, j)].get_or_insert(round);
+                } else {
+                    all = false;
+                }
+            }
+        }
+        all
     };
 
-    if a.node == b.node {
-        return finish(Outcome::Met { round: 0, node: a.node }, a, b, 0, trace_a, trace_b);
+    let finish = |outcome: Outcome,
+                  cursors: Vec<Cursor>,
+                  crossings: u64,
+                  traces: Option<Vec<Vec<NodeId>>>,
+                  pair_meetings: Vec<Option<u64>>| EnsembleRun {
+        outcome,
+        crossings,
+        finals: cursors,
+        traces,
+        pair_meetings,
+    };
+
+    if check(&cursors, 0, &mut pair_meetings) {
+        let node = cursors[0].node;
+        return finish(Outcome::Met { round: 0, node }, cursors, 0, traces, pair_meetings);
     }
 
     for round in 1..=max_rounds {
         if round & 0xFFF == 0 {
             crate::cancel::checkpoint();
         }
-        let prev_a = a.node;
-        let prev_b = b.node;
-        let (on_a, on_b) = active(round);
-        if on_a {
-            let act_a = agent_a.act(a.obs(t));
-            a.apply(t, act_a);
+        for (i, cur) in cursors.iter().enumerate() {
+            prev[i] = cur.node;
         }
-        if on_b {
-            let act_b = agent_b.act(b.obs(t));
-            b.apply(t, act_b);
+        for i in 0..k {
+            if active(round, i) {
+                let action = act(i, cursors[i].obs(t));
+                cursors[i].apply(t, action);
+            }
         }
-        if let Some(tr) = trace_a.as_mut() {
-            tr.push(a.node);
+        if let Some(trs) = traces.as_mut() {
+            for (tr, cur) in trs.iter_mut().zip(&cursors) {
+                tr.push(cur.node);
+            }
         }
-        if let Some(tr) = trace_b.as_mut() {
-            tr.push(b.node);
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if cursors[i].node == prev[j]
+                    && cursors[j].node == prev[i]
+                    && cursors[i].node != cursors[j].node
+                {
+                    crossings += 1;
+                }
+            }
         }
-        if a.node == prev_b && b.node == prev_a && a.node != b.node {
-            crossings += 1;
-        }
-        if a.node == b.node {
-            return finish(Outcome::Met { round, node: a.node }, a, b, crossings, trace_a, trace_b);
+        if check(&cursors, round, &mut pair_meetings) {
+            let node = cursors[0].node;
+            return finish(Outcome::Met { round, node }, cursors, crossings, traces, pair_meetings);
         }
     }
-    finish(Outcome::Timeout { rounds: max_rounds }, a, b, crossings, trace_a, trace_b)
+    finish(Outcome::Timeout { rounds: max_rounds }, cursors, crossings, traces, pair_meetings)
 }
 
 #[cfg(test)]
@@ -528,6 +710,234 @@ mod tests {
         assert_eq!(run.trace_a.as_ref().unwrap(), &vec![0, 1, 2, 3, 4]);
         assert_eq!(run.trace_b.as_ref().unwrap(), &vec![4, 4, 4, 4, 4]);
         assert!(run.outcome.met());
+    }
+
+    // ---- ensemble (k-agent gathering) semantics, ported from the
+    // retired `sim::multi` module and pinned against the pair engines ----
+
+    use crate::schedule::EnsembleSchedule;
+    use rvz_trees::generators::spider;
+
+    fn walkers_and_sitters(walkers: usize, sitters: usize) -> Vec<Box<dyn Agent>> {
+        let mut v: Vec<Box<dyn Agent>> = Vec::new();
+        for _ in 0..walkers {
+            v.push(Box::new(BasicWalker));
+        }
+        for _ in 0..sitters {
+            v.push(Box::new(Sitter));
+        }
+        v
+    }
+
+    #[test]
+    fn three_walkers_gather_on_sitter() {
+        let t = line(7);
+        let mut agents = walkers_and_sitters(2, 1);
+        // Walkers from both leaves sweep the line; the sitter sits at 3.
+        // From symmetric leaves with simultaneous start the walkers stay
+        // mirrored: both reach 3 at round 3.
+        let run = run_ensemble(
+            &t,
+            &[0, 6, 3],
+            &mut agents,
+            &EnsembleSchedule::simultaneous(3),
+            200,
+            false,
+        );
+        assert_eq!(run.outcome, Outcome::Met { round: 3, node: 3 });
+        assert!(run.pair_meetings.iter().all(|m| m.is_some()));
+    }
+
+    #[test]
+    fn pairwise_meetings_recorded_without_gathering() {
+        let t = line(6);
+        let mut agents = walkers_and_sitters(1, 2);
+        let run =
+            run_ensemble(&t, &[0, 2, 5], &mut agents, &EnsembleSchedule::simultaneous(3), 4, false);
+        // The walker reaches the first sitter (node 2) at round 2 but the
+        // far sitter is never reached within 4 rounds.
+        assert_eq!(run.outcome, Outcome::Timeout { rounds: 4 });
+        assert_eq!(run.pair_meetings[pair_index(3, 0, 1)], Some(2));
+        assert_eq!(run.pair_meetings[pair_index(3, 0, 2)], None);
+        assert_eq!(run.pair_meetings[pair_index(3, 1, 2)], None);
+    }
+
+    #[test]
+    fn ensemble_start_delays_are_respected() {
+        let t = star(4);
+        let mut agents = walkers_and_sitters(1, 1);
+        // The walker is frozen for 5 rounds, then moves to the hub (node 0)
+        // where the sitter lives: gathered at round 6.
+        let sched = EnsembleSchedule::start_delays(&[5, 0]);
+        let run = run_ensemble(&t, &[1, 0], &mut agents, &sched, 20, false);
+        assert_eq!(run.outcome, Outcome::Met { round: 6, node: 0 });
+    }
+
+    #[test]
+    fn initial_colocated_gathering() {
+        let t = line(3);
+        let mut agents = walkers_and_sitters(0, 2);
+        let run =
+            run_ensemble(&t, &[1, 1], &mut agents, &EnsembleSchedule::simultaneous(2), 10, false);
+        assert_eq!(run.outcome, Outcome::Met { round: 0, node: 1 });
+    }
+
+    #[test]
+    fn budget_exhaustion_reports_timeout_and_final_positions() {
+        // Two sitters apart can never gather: the run must burn exactly the
+        // budget, report `Timeout { rounds }`, keep everyone in place, and
+        // leave every pair meeting unset.
+        let t = line(5);
+        let mut agents = walkers_and_sitters(0, 2);
+        let run =
+            run_ensemble(&t, &[0, 4], &mut agents, &EnsembleSchedule::simultaneous(2), 7, false);
+        assert_eq!(run.outcome, Outcome::Timeout { rounds: 7 });
+        assert_eq!(run.finals.iter().map(|c| c.node).collect::<Vec<_>>(), vec![0, 4]);
+        assert_eq!(run.pair_meetings, vec![None]);
+    }
+
+    #[test]
+    fn three_walkers_gather_on_a_spider_with_delays() {
+        // Two basic walkers from leg tips plus a sitter at the hub. A tip
+        // walker's Euler tour passes the hub at local steps 3, 9 and 15 of
+        // its 18-round period, so delaying walker A by 6 aligns its first
+        // hub visit (global round 9) with walker B's second: gathering at 9.
+        let t = spider(3, 3); // hub 0; legs of length 3
+        let mut agents = walkers_and_sitters(2, 1);
+        let tip_a = 3; // end of the first leg
+        let tip_b = 6; // end of the second leg
+        let sched = EnsembleSchedule::start_delays(&[6, 0, 0]);
+        let run = run_ensemble(&t, &[tip_a, tip_b, 0], &mut agents, &sched, 100, false);
+        assert_eq!(run.outcome, Outcome::Met { round: 9, node: 0 });
+        // The undelayed walker reaches the hub sitter first (round 3):
+        // pair (1,2) met before the full gathering.
+        assert_eq!(run.pair_meetings[pair_index(3, 1, 2)], Some(3));
+        assert_eq!(run.pair_meetings[pair_index(3, 0, 1)], Some(9));
+        assert_eq!(run.pair_meetings[pair_index(3, 0, 2)], Some(9));
+    }
+
+    #[test]
+    fn gathering_is_colocation_at_a_round_boundary_not_crossing() {
+        // Two walkers swapping the endpoints of a single edge cross inside
+        // it forever; gathering semantics must never fire (§2.1: meeting is
+        // co-location at the end of a round).
+        let t = colored_line(2, 0); // a single edge
+        let mut agents = walkers_and_sitters(2, 0);
+        let run =
+            run_ensemble(&t, &[0, 1], &mut agents, &EnsembleSchedule::simultaneous(2), 50, false);
+        assert_eq!(run.outcome, Outcome::Timeout { rounds: 50 });
+        assert_eq!(run.pair_meetings, vec![None]);
+        assert_eq!(run.crossings, 50, "the walkers swap endpoints every round");
+    }
+
+    #[test]
+    fn four_agent_pair_meetings_use_the_upper_triangle_layout() {
+        // k = 4: six pairs; a walker sweeping the line meets each sitter in
+        // distance order, and the sitter pairs never co-locate.
+        let t = line(7);
+        let mut agents = walkers_and_sitters(1, 3);
+        let run = run_ensemble(
+            &t,
+            &[0, 2, 4, 6],
+            &mut agents,
+            &EnsembleSchedule::simultaneous(4),
+            5,
+            false,
+        );
+        assert_eq!(run.outcome, Outcome::Timeout { rounds: 5 });
+        assert_eq!(run.pair_meetings.len(), 6);
+        assert_eq!(run.pair_meetings[pair_index(4, 0, 1)], Some(2));
+        assert_eq!(run.pair_meetings[pair_index(4, 0, 2)], Some(4));
+        assert_eq!(run.pair_meetings[pair_index(4, 0, 3)], None, "line end not reached in 5");
+        for (i, j) in [(1, 2), (1, 3), (2, 3)] {
+            assert_eq!(run.pair_meetings[pair_index(4, i, j)], None, "sitters ({i},{j})");
+        }
+    }
+
+    #[test]
+    fn ensemble_at_k2_matches_run_pair_bit_for_bit() {
+        // The pair engines are the k = 2 specialization of the ensemble
+        // core — same outcome, crossings, finals and traces for every
+        // schedule class.
+        let t = line(11);
+        let schedules = [
+            Schedule::simultaneous(),
+            Schedule::start_delay(3),
+            Schedule::intermittent(2, 1),
+            Schedule::crash_after(2),
+            Schedule::adversarial(0x5EED, 5, 4),
+        ];
+        for s in &schedules {
+            for (a, b) in [(0u32, 7u32), (2, 10), (10, 1)] {
+                let mut x = BasicWalker;
+                let mut y = BasicWalker;
+                let pair = run_pair_scheduled(&t, a, b, &mut x, &mut y, s, 60, true);
+                let mut agents = walkers_and_sitters(2, 0);
+                let ens = run_ensemble(
+                    &t,
+                    &[a, b],
+                    &mut agents,
+                    &EnsembleSchedule::from_pair(s),
+                    60,
+                    true,
+                );
+                assert_eq!(ens.outcome, pair.outcome, "{s:?} ({a},{b})");
+                assert_eq!(ens.crossings, pair.crossings);
+                assert_eq!(ens.finals[0], pair.final_a);
+                assert_eq!(ens.finals[1], pair.final_b);
+                let traces = ens.traces.expect("recorded");
+                assert_eq!(Some(&traces[0]), pair.trace_a.as_ref());
+                assert_eq!(Some(&traces[1]), pair.trace_b.as_ref());
+                // The pair meeting round IS the gathering round at k = 2.
+                assert_eq!(ens.pair_meetings[0], pair.outcome.round());
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_budget_counts_rounds_not_activations() {
+        // THE budget definition (the `MultiConfig` unification bugfix):
+        // `max_rounds` counts global rounds — frozen rounds burn budget —
+        // so a lane delayed by θ is activated exactly max_rounds − θ times
+        // and the run never exceeds max_rounds rounds, matching
+        // `run_pair`'s historical behavior at k = 2.
+        let t = line(30);
+        let budget = 12u64;
+        let theta = 7u64;
+        let mut activations = [0u64; 2];
+        let sched = EnsembleSchedule::start_delays(&[0, theta]);
+        let mut walker = BasicWalker;
+        let run = run_ensemble_with(
+            &t,
+            &[0, 20],
+            |lane, obs| {
+                activations[lane] += 1;
+                if lane == 0 {
+                    Action::Stay
+                } else {
+                    walker.act(obs)
+                }
+            },
+            &sched,
+            budget,
+            false,
+        );
+        assert_eq!(run.outcome, Outcome::Timeout { rounds: budget });
+        assert_eq!(activations[0], budget, "undelayed lane acts every round");
+        assert_eq!(activations[1], budget - theta, "delayed lane loses θ activations to budget");
+        // And the k = 2 pair engine agrees on the same scenario.
+        let mut a = Sitter;
+        let mut b = BasicWalker;
+        let pair = run_pair(
+            &t,
+            0,
+            20,
+            &mut a,
+            &mut b,
+            PairConfig { delay: theta, max_rounds: budget, record_traces: false },
+        );
+        assert_eq!(pair.outcome, run.outcome);
+        assert_eq!(pair.final_b, run.finals[1]);
     }
 }
 

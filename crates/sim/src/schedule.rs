@@ -169,6 +169,180 @@ impl Schedule {
     }
 }
 
+/// An eventually-periodic activation schedule over `k` lanes — the
+/// ensemble generalization of the two-agent [`Schedule`]. Each round is
+/// a row of `k` flags; lane `i` of the row says whether agent `i` is
+/// activated that round. The frozen semantics is unchanged: a lane whose
+/// flag is off keeps its cursor (node *and* entry port) and perceives
+/// nothing, so each lane's trajectory as a function of its activation
+/// count is schedule-independent — one solo recording per agent serves
+/// every ensemble schedule.
+///
+/// A two-lane `EnsembleSchedule` is interconvertible with [`Schedule`]
+/// ([`EnsembleSchedule::from_pair`] / [`EnsembleSchedule::pair`]) and
+/// produces identical activation flags round for round.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct EnsembleSchedule {
+    /// Lane count `k ≥ 1`; every row below has exactly `k` flags.
+    lanes: usize,
+    /// Rows for rounds `1..=prefix.len()`.
+    pub prefix: Vec<Vec<bool>>,
+    /// Rows repeated forever after the prefix; never empty.
+    pub cycle: Vec<Vec<bool>>,
+}
+
+impl EnsembleSchedule {
+    /// A schedule from explicit rows. The cycle must be non-empty and
+    /// every row must have exactly `lanes` flags.
+    pub fn new(lanes: usize, prefix: Vec<Vec<bool>>, cycle: Vec<Vec<bool>>) -> Self {
+        assert!(lanes >= 1, "an ensemble schedule needs at least one lane");
+        assert!(!cycle.is_empty(), "schedule cycle must be non-empty");
+        for row in prefix.iter().chain(&cycle) {
+            assert_eq!(row.len(), lanes, "every schedule row must cover all {lanes} lanes");
+        }
+        EnsembleSchedule { lanes, prefix, cycle }
+    }
+
+    /// All `k` agents every round — the simultaneous-start scenario.
+    pub fn simultaneous(lanes: usize) -> Self {
+        EnsembleSchedule::new(lanes, Vec::new(), vec![vec![true; lanes]])
+    }
+
+    /// Per-lane start delays: lane `i` is frozen through round
+    /// `delays[i]` and active from round `delays[i] + 1` forever. The
+    /// two-lane form with `delays = [0, θ]` is exactly
+    /// [`Schedule::start_delay`]`(θ)`.
+    pub fn start_delays(delays: &[u64]) -> Self {
+        let lanes = delays.len();
+        let max = delays.iter().copied().max().unwrap_or(0);
+        assert!(
+            max <= Schedule::MAX_MATERIALIZED_PREFIX,
+            "start_delays would materialize a {max}-entry prefix"
+        );
+        let prefix = (1..=max).map(|r| delays.iter().map(|&d| r > d).collect()).collect();
+        EnsembleSchedule::new(lanes, prefix, vec![vec![true; lanes]])
+    }
+
+    /// All lanes for `rounds` rounds, then the last lane crashes (is
+    /// never activated again) while the rest keep running — the
+    /// ensemble form of [`Schedule::crash_after`].
+    pub fn crash_last_after(lanes: usize, rounds: u64) -> Self {
+        assert!(
+            rounds <= Schedule::MAX_MATERIALIZED_PREFIX,
+            "crash_last_after({rounds}) would materialize a {rounds}-entry prefix"
+        );
+        let mut survivor_row = vec![true; lanes];
+        survivor_row[lanes - 1] = false;
+        EnsembleSchedule::new(lanes, vec![vec![true; lanes]; rounds as usize], vec![survivor_row])
+    }
+
+    /// Lanes `0..k-1` every round; the last lane only in rounds `r` with
+    /// `(r - 1) mod period == phase` — [`Schedule::intermittent`] over
+    /// `k` lanes.
+    pub fn intermittent_last(lanes: usize, period: u64, phase: u64) -> Self {
+        assert!(period >= 1, "intermittent period must be at least 1");
+        assert!(phase < period, "intermittent phase must be below the period");
+        let cycle = (0..period)
+            .map(|i| {
+                let mut row = vec![true; lanes];
+                row[lanes - 1] = i == phase;
+                row
+            })
+            .collect();
+        EnsembleSchedule::new(lanes, Vec::new(), cycle)
+    }
+
+    /// The two-lane view of a pair [`Schedule`] — flag-for-flag
+    /// identical, so every pair engine and its ensemble generalization
+    /// see the same adversary.
+    pub fn from_pair(s: &Schedule) -> Self {
+        let row = |&(a, b): &(bool, bool)| vec![a, b];
+        EnsembleSchedule::new(
+            2,
+            s.prefix.iter().map(row).collect(),
+            s.cycle.iter().map(row).collect(),
+        )
+    }
+
+    /// The pair [`Schedule`] this two-lane ensemble schedule came from;
+    /// `None` when `lanes != 2`.
+    pub fn pair(&self) -> Option<Schedule> {
+        (self.lanes == 2).then(|| {
+            let pair = |row: &Vec<bool>| (row[0], row[1]);
+            Schedule::new(
+                self.prefix.iter().map(pair).collect(),
+                self.cycle.iter().map(pair).collect(),
+            )
+        })
+    }
+
+    pub fn lanes(&self) -> usize {
+        self.lanes
+    }
+
+    pub fn prefix_len(&self) -> u64 {
+        self.prefix.len() as u64
+    }
+
+    pub fn cycle_len(&self) -> u64 {
+        self.cycle.len() as u64
+    }
+
+    /// Activation flags for round `round ≥ 1`, one per lane.
+    #[inline]
+    pub fn active(&self, round: u64) -> &[bool] {
+        debug_assert!(round >= 1, "round 0 is the initial placement, nobody acts");
+        let p = self.prefix.len() as u64;
+        if round <= p {
+            &self.prefix[(round - 1) as usize]
+        } else {
+            &self.cycle[((round - 1 - p) % self.cycle.len() as u64) as usize]
+        }
+    }
+
+    /// `true` when every lane sees identical flags every round — the
+    /// class on which permuting the agents merely relabels lanes, so the
+    /// sweep's orbit quotient may permute start tuples soundly.
+    pub fn lane_symmetric(&self) -> bool {
+        self.prefix.iter().chain(&self.cycle).all(|row| row.iter().all(|&f| f == row[0]))
+    }
+
+    /// The per-lane start delays, when this schedule is a pure start-delay
+    /// scenario: the cycle is one all-active row and each lane's prefix is
+    /// a (possibly empty) run of frozen rounds followed only by active
+    /// ones. `None` for every other shape. The decider uses this to route
+    /// start-delay ensembles to the solo-lasso closed form instead of the
+    /// product walk.
+    pub fn as_start_delays(&self) -> Option<Vec<u64>> {
+        if self.cycle.len() != 1 || self.cycle[0].iter().any(|&f| !f) {
+            return None;
+        }
+        let mut delays = vec![0u64; self.lanes];
+        for (lane, delay) in delays.iter_mut().enumerate() {
+            let mut started = false;
+            for (r, row) in self.prefix.iter().enumerate() {
+                if row[lane] {
+                    started = true;
+                } else if started {
+                    return None; // frozen again after starting: not a delay
+                } else {
+                    *delay = r as u64 + 1;
+                }
+            }
+        }
+        Some(delays)
+    }
+
+    /// Activation arithmetic for lane `lane`.
+    pub fn index(&self, lane: usize) -> ActivationIndex {
+        assert!(lane < self.lanes, "lane {lane} out of range for {} lanes", self.lanes);
+        ActivationIndex::from_flags(
+            self.prefix.iter().map(|row| row[lane]),
+            self.cycle.iter().map(|row| row[lane]),
+        )
+    }
+}
+
 /// One agent's activation arithmetic under a [`Schedule`]: cumulative
 /// activation counts over the prefix and one cycle, answering both
 /// directions of the round ↔ activation-count correspondence in
@@ -187,16 +361,23 @@ pub struct ActivationIndex {
 
 impl ActivationIndex {
     fn new(s: &Schedule, second: bool) -> Self {
-        let pick = |f: (bool, bool)| if second { f.1 } else { f.0 };
-        let cum = |flags: &[(bool, bool)]| {
-            let mut v = Vec::with_capacity(flags.len() + 1);
-            v.push(0u64);
-            for &f in flags {
-                v.push(v.last().expect("seeded") + u64::from(pick(f)));
+        let pick = |f: &(bool, bool)| if second { f.1 } else { f.0 };
+        Self::from_flags(s.prefix.iter().map(pick), s.cycle.iter().map(pick))
+    }
+
+    /// Activation arithmetic from one lane's raw flag streams — the
+    /// lane-agnostic constructor [`EnsembleSchedule::index`] shares with
+    /// the two-agent [`Schedule::index_a`]/[`Schedule::index_b`].
+    fn from_flags(prefix: impl Iterator<Item = bool>, cycle: impl Iterator<Item = bool>) -> Self {
+        fn cum(flags: impl Iterator<Item = bool>) -> Vec<u64> {
+            let mut v = vec![0u64];
+            for f in flags {
+                let last = *v.last().expect("seeded");
+                v.push(last + u64::from(f));
             }
             v
-        };
-        ActivationIndex { prefix_cum: cum(&s.prefix), cycle_cum: cum(&s.cycle) }
+        }
+        ActivationIndex { prefix_cum: cum(prefix), cycle_cum: cum(cycle) }
     }
 
     /// Activations per full cycle.
@@ -248,6 +429,27 @@ impl ActivationIndex {
             Some(r) => r - 1,
             None => u64::MAX,
         }
+    }
+
+    /// `Some(θ)` when this lane is a pure start delay — frozen through
+    /// round `θ`, active every round after — so `acts_at(r) = r − θ`
+    /// (saturating) and the merge can run on constant-shift arithmetic
+    /// instead of the cycle div/mod and binary searches. This covers the
+    /// simultaneous and start-delay lanes of every ensemble schedule (the
+    /// bulk of the sweep grids); crashed and intermittent lanes return
+    /// `None` and keep the general index.
+    pub(crate) fn as_pure_shift(&self) -> Option<u64> {
+        if self.cycle_cum.as_slice() != [0, 1] {
+            return None;
+        }
+        let p = self.prefix_cum.len() as u64 - 1;
+        let shift = p - self.prefix_cum[p as usize];
+        for (i, &v) in self.prefix_cum.iter().enumerate() {
+            if v != (i as u64).saturating_sub(shift) {
+                return None;
+            }
+        }
+        Some(shift)
     }
 }
 
@@ -399,5 +601,88 @@ mod tests {
     #[should_panic(expected = "cycle must be non-empty")]
     fn empty_cycles_are_rejected() {
         let _ = Schedule::new(vec![(true, true)], Vec::new());
+    }
+
+    #[test]
+    fn ensemble_round_trip_matches_the_pair_schedule_flag_for_flag() {
+        let schedules = [
+            Schedule::simultaneous(),
+            Schedule::start_delay(4),
+            Schedule::intermittent(3, 1),
+            Schedule::crash_after(2),
+            Schedule::adversarial(0xABCD, 5, 4),
+        ];
+        for s in &schedules {
+            let e = EnsembleSchedule::from_pair(s);
+            assert_eq!(e.lanes(), 2);
+            assert_eq!(e.pair().as_ref(), Some(s), "round trip");
+            assert_eq!(e.lane_symmetric(), s.lane_symmetric());
+            for r in 1..=40u64 {
+                let (a, b) = s.active(r);
+                assert_eq!(e.active(r), &[a, b], "{s:?} round {r}");
+            }
+            for (lane, idx) in [(0, s.index_a()), (1, s.index_b())] {
+                let ei = e.index(lane);
+                for r in 0..=40u64 {
+                    assert_eq!(ei.acts_at(r), idx.acts_at(r), "{s:?} lane {lane} round {r}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_constructors_generalize_the_pair_shapes() {
+        // start_delays([0, θ]) is the legacy start-delay scenario.
+        for theta in [0u64, 1, 5] {
+            let e = EnsembleSchedule::start_delays(&[0, theta]);
+            assert_eq!(e.pair(), Some(Schedule::start_delay(theta)), "θ={theta}");
+        }
+        // crash_last_after over two lanes is crash_after.
+        assert_eq!(EnsembleSchedule::crash_last_after(2, 3).pair(), Some(Schedule::crash_after(3)));
+        // intermittent_last over two lanes is intermittent.
+        assert_eq!(
+            EnsembleSchedule::intermittent_last(2, 3, 1).pair(),
+            Some(Schedule::intermittent(3, 1))
+        );
+        // Three lanes with staggered delays: lane i first acts at round
+        // delays[i] + 1.
+        let e = EnsembleSchedule::start_delays(&[0, 2, 5]);
+        for (lane, delay) in [(0usize, 0u64), (1, 2), (2, 5)] {
+            let idx = e.index(lane);
+            assert_eq!(idx.acts_at(delay), 0, "lane {lane} frozen through its delay");
+            assert_eq!(idx.round_of_act(1), Some(delay + 1), "lane {lane} first activation");
+        }
+        // Crash: the last lane plateaus, the others run forever.
+        let e = EnsembleSchedule::crash_last_after(3, 4);
+        assert_eq!(e.index(2).acts_at(1 << 30), 4);
+        assert_eq!(e.index(0).acts_at(100), 100);
+        assert!(!e.lane_symmetric());
+        assert!(EnsembleSchedule::simultaneous(3).lane_symmetric());
+    }
+
+    #[test]
+    #[should_panic(expected = "must cover all 3 lanes")]
+    fn ragged_ensemble_rows_are_rejected() {
+        let _ = EnsembleSchedule::new(3, Vec::new(), vec![vec![true, true]]);
+    }
+
+    #[test]
+    fn start_delay_shapes_round_trip_through_as_start_delays() {
+        for delays in [vec![0u64, 0], vec![0, 3], vec![2, 0, 5], vec![1, 1, 1, 1]] {
+            let e = EnsembleSchedule::start_delays(&delays);
+            assert_eq!(e.as_start_delays(), Some(delays.clone()), "{delays:?}");
+        }
+        assert_eq!(EnsembleSchedule::simultaneous(3).as_start_delays(), Some(vec![0, 0, 0]));
+        // Crashes freeze a lane *after* it started; intermittence has a
+        // non-trivial cycle — neither is a start-delay scenario.
+        assert_eq!(EnsembleSchedule::crash_last_after(3, 2).as_start_delays(), None);
+        assert_eq!(EnsembleSchedule::intermittent_last(3, 2, 0).as_start_delays(), None);
+        // A lane frozen again after acting is not a delay either.
+        let e = EnsembleSchedule::new(
+            2,
+            vec![vec![true, true], vec![true, false]],
+            vec![vec![true, true]],
+        );
+        assert_eq!(e.as_start_delays(), None);
     }
 }

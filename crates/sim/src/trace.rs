@@ -37,8 +37,8 @@
 //! differential property test in `tests/property_tests.rs` pins this
 //! equivalence across random trees, starts, delays and agent variants.
 
-use crate::runner::{Cursor, Outcome, PairConfig, PairRun};
-use crate::schedule::{ActivationIndex, Schedule};
+use crate::runner::{pair_index, Cursor, EnsembleRun, Outcome, PairConfig, PairRun};
+use crate::schedule::{ActivationIndex, EnsembleSchedule, Schedule};
 use rvz_agent::model::Agent;
 use rvz_trees::{NodeId, Port, Tree};
 
@@ -587,6 +587,35 @@ impl<'a> SchedLane<'a> {
     }
 }
 
+/// One lane of the ensemble merge: pure start-delay lanes run on
+/// [`Lane`]'s constant-shift arithmetic (the common case — simultaneous
+/// and θ-delayed lanes — where the general index's per-round cycle
+/// div/mod and binary searches would dominate the merge), everything
+/// else on [`SchedLane`]. Both produce identical `(node, span_end)`
+/// answers on the lanes the shift form admits
+/// ([`ActivationIndex::as_pure_shift`]), so the split is invisible in
+/// output.
+enum MergeLane<'a> {
+    Shift(Lane<'a>),
+    Sched(SchedLane<'a>),
+}
+
+impl<'a> MergeLane<'a> {
+    fn new(traj: &'a Trajectory, idx: &'a ActivationIndex) -> Self {
+        match idx.as_pure_shift() {
+            Some(shift) => MergeLane::Shift(Lane::new(traj, shift)),
+            None => MergeLane::Sched(SchedLane::new(traj, idx)),
+        }
+    }
+
+    fn locate(&mut self, r: u64) -> Option<(NodeId, u64)> {
+        match self {
+            MergeLane::Shift(lane) => lane.locate(r),
+            MergeLane::Sched(lane) => lane.locate(r),
+        }
+    }
+}
+
 /// Final cursor of a scheduled agent at global round `r`: position and
 /// entry come from the cursor its latest activation left behind (frozen
 /// rounds change nothing, so the comparison runs on *local* activation
@@ -716,6 +745,165 @@ pub fn replay_pair_scheduled(
     }
     let outcome = Outcome::Timeout { rounds: max_rounds };
     Replay::Decided(finish_scheduled(t, ta, tb, idx, record_traces, outcome, max_rounds, crossings))
+}
+
+/// Ensemble replay verdict: either the full [`EnsembleRun`] (bit-for-bit
+/// what [`crate::run_ensemble`] returns), or a per-lane request for
+/// longer recordings (activation counts; 0 = that lane is long enough).
+#[derive(Debug, Clone)]
+pub enum EnsembleReplay {
+    Decided(EnsembleRun),
+    NeedMore { rounds: Vec<u64> },
+}
+
+/// Decides a k-agent gathering run under an [`EnsembleSchedule`] from
+/// recorded solo trajectories alone — no agent is stepped. The store
+/// keys stay per-agent: trajectories are pure functions of `(tree,
+/// start, agent)` indexed by activation count, so the same recordings
+/// that answer every two-agent schedule answer every k-lane ensemble —
+/// the merge re-times each through its lane's [`ActivationIndex`] and
+/// generalizes the O(1) joint-stay span jump to k cursors (inside a span
+/// no lane moves, so no crossing, no new pair co-location, and no
+/// gathering can first occur there).
+///
+/// Returns exactly what [`crate::run_ensemble`] returns on the same
+/// instance — outcome, crossings, pair meetings, final cursors and
+/// optional traces — or [`EnsembleReplay::NeedMore`] when a recording is
+/// too short (per-lane *activation* counts, exactly what
+/// [`TraceRecorder::record_to`] takes).
+pub fn replay_ensemble(
+    t: &Tree,
+    trajs: &[&Trajectory],
+    schedule: &EnsembleSchedule,
+    max_rounds: u64,
+    record_traces: bool,
+) -> EnsembleReplay {
+    let k = trajs.len();
+    assert_eq!(schedule.lanes(), k, "the schedule must cover exactly the ensemble's lanes");
+    assert!(k >= 2, "an ensemble needs at least two agents");
+    let indices: Vec<ActivationIndex> = (0..k).map(|lane| schedule.index(lane)).collect();
+    let mut pair_meetings: Vec<Option<u64>> = vec![None; k * (k - 1) / 2];
+
+    // Records first co-locations for this round and answers whether the
+    // whole ensemble is gathered — the same rule as the stepping core.
+    let check = |nodes: &[NodeId], round: u64, pair_meetings: &mut [Option<u64>]| {
+        let mut all = true;
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if nodes[i] == nodes[j] {
+                    pair_meetings[pair_index(k, i, j)].get_or_insert(round);
+                } else {
+                    all = false;
+                }
+            }
+        }
+        all
+    };
+
+    let finish = |outcome: Outcome, r: u64, crossings: u64, pair_meetings: Vec<Option<u64>>| {
+        let finals = trajs
+            .iter()
+            .zip(&indices)
+            .map(|(tr, idx)| cursor_at_scheduled(t, tr, idx, r))
+            .collect();
+        let traces = record_traces.then(|| {
+            trajs
+                .iter()
+                .zip(&indices)
+                .map(|(tr, idx)| {
+                    (0..=r).map(|g| tr.position(idx.acts_at(g)).expect("decided range")).collect()
+                })
+                .collect()
+        });
+        EnsembleReplay::Decided(EnsembleRun { outcome, crossings, finals, traces, pair_meetings })
+    };
+
+    let starts: Vec<NodeId> = trajs.iter().map(|tr| tr.start()).collect();
+    if check(&starts, 0, &mut pair_meetings) {
+        let node = starts[0];
+        return finish(Outcome::Met { round: 0, node }, 0, 0, pair_meetings);
+    }
+
+    let mut lanes: Vec<MergeLane> =
+        trajs.iter().zip(&indices).map(|(tr, idx)| MergeLane::new(tr, idx)).collect();
+    let mut prev = starts.clone();
+    let mut nodes: Vec<NodeId> = vec![0; k];
+    let mut crossings = 0u64;
+    let mut r = 0u64;
+    while r < max_rounds {
+        r += 1;
+        if r & 0xFFF == 0 {
+            crate::cancel::checkpoint();
+        }
+        // A lane already decided through round r reports 0 — the caller
+        // must not re-step a recording that was long enough.
+        let mut span_end = u64::MAX;
+        let mut missing = false;
+        for (i, lane) in lanes.iter_mut().enumerate() {
+            match lane.locate(r) {
+                Some((node, end)) => {
+                    nodes[i] = node;
+                    span_end = span_end.min(end);
+                }
+                None => {
+                    missing = true;
+                    break;
+                }
+            }
+        }
+        if missing {
+            let rounds = trajs
+                .iter()
+                .zip(&indices)
+                .map(|(tr, idx)| {
+                    let l = idx.acts_at(r);
+                    if tr.decided_to(l) {
+                        0
+                    } else {
+                        l
+                    }
+                })
+                .collect();
+            return EnsembleReplay::NeedMore { rounds };
+        }
+        for i in 0..k {
+            for j in (i + 1)..k {
+                if nodes[i] == prev[j] && nodes[j] == prev[i] && nodes[i] != nodes[j] {
+                    crossings += 1;
+                }
+            }
+        }
+        if check(&nodes, r, &mut pair_meetings) {
+            let node = nodes[0];
+            return finish(Outcome::Met { round: r, node }, r, crossings, pair_meetings);
+        }
+        prev.copy_from_slice(&nodes);
+        // No lane's cursor changes through span_end: no moves, hence no
+        // crossing, no new pair co-location, and no gathering — jump.
+        r = r.max(span_end.min(max_rounds));
+    }
+    finish(Outcome::Timeout { rounds: max_rounds }, max_rounds, crossings, pair_meetings)
+}
+
+/// Answers an entire per-lane delay column for one recorded ensemble:
+/// one [`replay_ensemble`] verdict per `(delays, max_rounds)` entry, in
+/// order — the k-lane sibling of [`delay_scan`], sharing the same `k`
+/// recordings across every delay vector in the column. Each delay vector
+/// is the start-delay schedule freezing lane `i` through round
+/// `delays[i]`.
+pub fn gathering_scan(
+    t: &Tree,
+    trajs: &[&Trajectory],
+    columns: &[(Vec<u64>, u64)],
+) -> Vec<EnsembleReplay> {
+    columns
+        .iter()
+        .map(|(delays, max_rounds)| {
+            assert_eq!(delays.len(), trajs.len(), "one delay per lane");
+            let schedule = EnsembleSchedule::start_delays(delays);
+            replay_ensemble(t, trajs, &schedule, *max_rounds, false)
+        })
+        .collect()
 }
 
 /// Answers an entire schedule column for one recorded pair: one
@@ -996,6 +1184,159 @@ mod tests {
             let mut y = BasicWalker;
             let direct = run_pair_scheduled(&t, 0, 6, &mut x, &mut y, sched, *budget, false);
             assert_eq!(run.outcome, direct.outcome, "{sched:?}");
+        }
+    }
+
+    #[test]
+    fn ensemble_replay_matches_direct_ensemble_stepping() {
+        use crate::runner::run_ensemble_fsa;
+        // The k-lane merge must be bit-identical to the k-lane stepper —
+        // outcome, crossings, pair meetings, finals and traces — across
+        // schedule classes, including the k = 2 case (which must also
+        // match the pair merge).
+        struct CloneWalker;
+        impl Agent for CloneWalker {
+            fn act(&mut self, obs: Obs) -> Action {
+                Action::Move(bw_exit(obs.entry, obs.degree))
+            }
+            fn memory_bits(&self) -> u64 {
+                0
+            }
+        }
+        for t in [line(9), spider(3, 3), star(6)] {
+            let n = t.num_nodes() as NodeId;
+            for k in [2usize, 3] {
+                let schedules = [
+                    EnsembleSchedule::simultaneous(k),
+                    EnsembleSchedule::start_delays(
+                        &(0..k as u64).map(|i| 2 * i).collect::<Vec<_>>(),
+                    ),
+                    EnsembleSchedule::crash_last_after(k, 3),
+                    EnsembleSchedule::intermittent_last(k, 2, 1),
+                ];
+                let tuples: Vec<Vec<NodeId>> = if k == 2 {
+                    vec![vec![0, n - 1], vec![1, n / 2]]
+                } else {
+                    vec![vec![0, n / 2, n - 1], vec![n - 1, 0, n / 2]]
+                };
+                for sched in &schedules {
+                    for starts in &tuples {
+                        let budget = 64u64;
+                        let recs: Vec<Trajectory> =
+                            starts.iter().map(|&s| record(&t, s, BasicWalker, budget)).collect();
+                        let refs: Vec<&Trajectory> = recs.iter().collect();
+                        let EnsembleReplay::Decided(replayed) =
+                            replay_ensemble(&t, &refs, sched, budget, true)
+                        else {
+                            panic!("a full-budget recording must decide");
+                        };
+                        let mut agents: Vec<CloneWalker> = (0..k).map(|_| CloneWalker).collect();
+                        let direct = run_ensemble_fsa(&t, starts, &mut agents, sched, budget, true);
+                        assert_eq!(replayed.outcome, direct.outcome, "{sched:?} {starts:?}");
+                        assert_eq!(replayed.crossings, direct.crossings, "{sched:?} {starts:?}");
+                        assert_eq!(replayed.pair_meetings, direct.pair_meetings);
+                        assert_eq!(replayed.finals, direct.finals, "{sched:?} {starts:?}");
+                        assert_eq!(replayed.traces, direct.traces, "{sched:?} {starts:?}");
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_replay_at_k2_matches_the_pair_merge() {
+        let t = line(11);
+        let schedules = [
+            Schedule::simultaneous(),
+            Schedule::start_delay(3),
+            Schedule::intermittent(3, 1),
+            Schedule::crash_after(2),
+        ];
+        for sched in &schedules {
+            let ta = record(&t, 0, BasicWalker, 80);
+            let tb = record(&t, 9, BasicWalker, 80);
+            let ens = EnsembleSchedule::from_pair(sched);
+            let EnsembleReplay::Decided(kr) = replay_ensemble(&t, &[&ta, &tb], &ens, 80, true)
+            else {
+                panic!("decided");
+            };
+            let Replay::Decided(pr) = replay_pair_scheduled(&t, &ta, &tb, sched, 80, true) else {
+                panic!("decided");
+            };
+            assert_eq!(kr.outcome, pr.outcome, "{sched:?}");
+            assert_eq!(kr.crossings, pr.crossings);
+            assert_eq!(kr.finals[0], pr.final_a);
+            assert_eq!(kr.finals[1], pr.final_b);
+            let traces = kr.traces.expect("recorded");
+            assert_eq!(Some(&traces[0]), pr.trace_a.as_ref());
+            assert_eq!(Some(&traces[1]), pr.trace_b.as_ref());
+        }
+    }
+
+    #[test]
+    fn ensemble_replay_asks_for_per_lane_activations() {
+        // Lane 2 is intermittent (1 activation per 2 rounds) and its
+        // recording is short: the merge must ask to grow exactly that
+        // lane, by activation count.
+        let t = line(30);
+        let sched = EnsembleSchedule::intermittent_last(3, 2, 0);
+        let ta = record(&t, 0, BasicWalker, 200);
+        let tb = record(&t, 15, BasicWalker, 200);
+        let tc = record(&t, 29, BasicWalker, 2);
+        match replay_ensemble(&t, &[&ta, &tb, &tc], &sched, 200, false) {
+            EnsembleReplay::NeedMore { rounds } => {
+                assert_eq!(rounds[0], 0, "lane 0 is long enough");
+                assert_eq!(rounds[1], 0, "lane 1 is long enough");
+                assert!(rounds[2] > 2 && rounds[2] <= 100, "lane 2 grows by activations");
+            }
+            EnsembleReplay::Decided(run) => {
+                panic!("2 recorded activations cannot decide 200 rounds: {:?}", run.outcome)
+            }
+        }
+    }
+
+    #[test]
+    fn ensemble_fixed_tails_settle_huge_budgets() {
+        // All lanes eventually constant: a billion-round budget settles
+        // from the k-cursor span jump without recordings covering it.
+        let t = spider(3, 4);
+        let ta = record(&t, 4, WalkThenHalt { moves: 2 }, 10);
+        let tb = record(&t, 8, WalkThenHalt { moves: 1 }, 10);
+        let tc = record(&t, 12, WalkThenHalt { moves: 1 }, 10);
+        let sched = EnsembleSchedule::simultaneous(3);
+        match replay_ensemble(&t, &[&ta, &tb, &tc], &sched, 2_000_000_000, false) {
+            EnsembleReplay::Decided(run) => {
+                assert_eq!(run.outcome, Outcome::Timeout { rounds: 2_000_000_000 });
+            }
+            EnsembleReplay::NeedMore { .. } => panic!("fixed tails must decide"),
+        }
+    }
+
+    #[test]
+    fn gathering_scan_answers_delay_columns_for_k_lanes() {
+        use crate::runner::run_ensemble_with;
+        let t = line(9);
+        let recs: Vec<Trajectory> =
+            [0u32, 4, 8].iter().map(|&s| record(&t, s, BasicWalker, 150)).collect();
+        let refs: Vec<&Trajectory> = recs.iter().collect();
+        let columns: Vec<(Vec<u64>, u64)> =
+            vec![(vec![0, 0, 0], 100), (vec![0, 3, 0], 100), (vec![5, 0, 2], 100)];
+        let verdicts = gathering_scan(&t, &refs, &columns);
+        assert_eq!(verdicts.len(), columns.len());
+        for (v, (delays, budget)) in verdicts.iter().zip(&columns) {
+            let EnsembleReplay::Decided(run) = v else { panic!("recorded horizon decides") };
+            let mut agents = [BasicWalker, BasicWalker, BasicWalker];
+            let sched = EnsembleSchedule::start_delays(delays);
+            let direct = run_ensemble_with(
+                &t,
+                &[0, 4, 8],
+                |lane, obs| agents[lane].act(obs),
+                &sched,
+                *budget,
+                false,
+            );
+            assert_eq!(run.outcome, direct.outcome, "delays {delays:?}");
+            assert_eq!(run.pair_meetings, direct.pair_meetings, "delays {delays:?}");
         }
     }
 

@@ -11,11 +11,11 @@
 //! both regimes and exports the gatherable instance as Graphviz DOT.
 //!
 //! Claim demonstrated: the **§1.3 gathering extension** on the multi-agent
-//! simulator (`rvz_sim::run_multi`) — no sweep grid runs it; this example
+//! simulator (`rvz_sim::run_ensemble`) — no sweep grid runs it; this example
 //! is its executable record.
 
 use tree_rendezvous::core::{gather, gatherable};
-use tree_rendezvous::sim::MultiOutcome;
+use tree_rendezvous::sim::Outcome;
 use tree_rendezvous::trees::dot::to_dot;
 use tree_rendezvous::trees::generators::{line, spider};
 
@@ -30,10 +30,10 @@ fn main() {
     );
     let starts = [1u32, 4, 7, 10, 12];
     match gather(&t, &starts, 1_000_000).outcome {
-        MultiOutcome::Gathered { round, node } => {
+        Outcome::Met { round, node } => {
             println!("  {} agents gathered at node {node} in round {round}", starts.len());
         }
-        MultiOutcome::Timeout { .. } => unreachable!("gatherable tree"),
+        Outcome::Timeout { .. } => unreachable!("gatherable tree"),
     }
 
     // Regime 2: a path — contraction is a single symmetric edge: only
@@ -41,10 +41,10 @@ fn main() {
     let p = line(9);
     println!("line(9): gatherable = {} (symmetric contraction)", gatherable(&p));
     match gather(&p, &[0, 4], 50_000_000).outcome {
-        MultiOutcome::Gathered { round, node } => {
+        Outcome::Met { round, node } => {
             println!("  …but k = 2 still meets (Thm 4.1): node {node}, round {round}");
         }
-        MultiOutcome::Timeout { .. } => unreachable!("feasible pair"),
+        Outcome::Timeout { .. } => unreachable!("feasible pair"),
     }
 
     // Inspect the instance: render to DOT (pipe into `dot -Tsvg`).

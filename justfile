@@ -40,8 +40,10 @@ docs-check:
 # CI's differential job: three-executor agreement on e8 (replay ==
 # stepping to the byte; decide == replay modulo the `certified` flag),
 # the e9 exhaustive certification with thread-invariance and certificate
-# re-verification gates, then the e10 activation-schedule smoke (same
-# three-executor + thread gates on the schedule grid).
+# re-verification gates, the e10 activation-schedule smoke (same
+# three-executor + thread gates on the schedule grid), then the e11
+# 3-agent ensemble leg (same gates on rvz-sweep/v7 triple rows, zero
+# uncertified cells).
 differential:
     mkdir -p differential
     for ex in replay stepping decide; do \
@@ -80,12 +82,32 @@ differential:
       --executor decide --json differential/e10-t1.json
     cmp differential/e10-decide.json differential/e10-t1.json
     jq -e '[.rows[] | select(.certified | not)] | length == 0' differential/e10-decide.json > /dev/null
+    for ex in replay stepping decide; do \
+      cargo run --release --bin experiments -- \
+        --experiment e11 --sizes 5,6,7 --threads 2 \
+        --executor "$ex" --json "differential/e11-$ex.json"; \
+    done
+    cmp differential/e11-replay.json differential/e11-stepping.json
+    jq 'del(.rows[].certified)' differential/e11-replay.json > differential/e11-replay-stripped.json
+    jq 'del(.rows[].certified)' differential/e11-decide.json > differential/e11-decide-stripped.json
+    cmp differential/e11-replay-stripped.json differential/e11-decide-stripped.json
+    for t in 1 8; do \
+      cargo run --release --bin experiments -- \
+        --experiment e11 --sizes 5,6,7 --threads "$t" \
+        --executor decide --json "differential/e11-t$t.json"; \
+    done
+    cmp differential/e11-decide.json differential/e11-t1.json
+    cmp differential/e11-decide.json differential/e11-t8.json
+    jq -e '.schema == "rvz-sweep/v7"' differential/e11-decide.json > /dev/null
+    jq -e '[.rows[] | select(.agents != 3)] | length == 0' differential/e11-decide.json > /dev/null
+    jq -e '[.rows[] | select(.certified | not)] | length == 0' differential/e11-decide.json > /dev/null
 
 # CI's planner-differential job: the cost-model planner (`--executor
-# auto`) re-run on the e8 and e10 smokes — byte-identical across
-# --threads 1/2/8, row-identical to every fixed executor once the
-# per-executor annotations (`certified`, `planned`) and the schema tag
-# are stripped, every row annotated — plus the decision-log extraction.
+# auto`) re-run on the e8 and e10 smokes plus the e10 grid at
+# --agents 3 — byte-identical across --threads 1/2/8, row-identical to
+# every fixed executor once the per-executor annotations (`certified`,
+# `planned`) and the schema tag are stripped, every row annotated —
+# plus the decision-log extraction.
 planner-differential:
     mkdir -p planner-differential
     for ex in replay stepping decide; do \
@@ -125,7 +147,26 @@ planner-differential:
       cmp planner-differential/e10-auto-stripped.json "planner-differential/e10-$ex-stripped.json"; \
     done
     jq -e '[.rows[] | select(.planned == null)] | length == 0' planner-differential/e10-auto-t2.json > /dev/null
-    for exp in e8 e10; do \
+    for ex in replay stepping decide; do \
+      cargo run --release --bin experiments -- \
+        --experiment e10 --sizes 5,6 --agents 3 --threads 2 \
+        --executor "$ex" --json "planner-differential/e10k3-$ex.json"; \
+    done
+    for t in 1 2 8; do \
+      cargo run --release --bin experiments -- \
+        --experiment e10 --sizes 5,6 --agents 3 --threads "$t" \
+        --executor auto --json "planner-differential/e10k3-auto-t$t.json"; \
+    done
+    cmp planner-differential/e10k3-auto-t1.json planner-differential/e10k3-auto-t2.json
+    cmp planner-differential/e10k3-auto-t1.json planner-differential/e10k3-auto-t8.json
+    jq 'del(.schema) | del(.rows[].certified, .rows[].planned)' planner-differential/e10k3-auto-t2.json > planner-differential/e10k3-auto-stripped.json
+    for ex in replay stepping decide; do \
+      jq 'del(.schema) | del(.rows[].certified, .rows[].planned)' "planner-differential/e10k3-$ex.json" > "planner-differential/e10k3-$ex-stripped.json"; \
+      cmp planner-differential/e10k3-auto-stripped.json "planner-differential/e10k3-$ex-stripped.json"; \
+    done
+    jq -e '.schema == "rvz-sweep/v7"' planner-differential/e10k3-auto-t2.json > /dev/null
+    jq -e '[.rows[] | select(.planned == null)] | length == 0' planner-differential/e10k3-auto-t2.json > /dev/null
+    for exp in e8 e10 e10k3; do \
       jq '[.rows[] | {family, n, variant, delay, schedule, cell_seed, choice: .planned.choice, predicted: .planned.predicted, actual: .planned.actual}]' \
         "planner-differential/$exp-auto-t2.json" > "planner-differential/$exp-decisions.json"; \
     done
@@ -181,7 +222,7 @@ bench-baseline:
 # CI's committed-JSON gate, runnable locally: every benchmark section
 # present, and both planner_cells sections at or above the 0.95x floor.
 bench-json-check:
-    jq -e '.sweep_cells.speedup and .sweep_cells_variants.speedup and .decide_cells.speedup' BENCH_sweep.json > /dev/null
+    jq -e '.sweep_cells.speedup and .sweep_cells_variants.speedup and .decide_cells.speedup and .ensemble_cells.speedup' BENCH_sweep.json > /dev/null
     jq -e '(.planner_cells | length) == 2' BENCH_sweep.json > /dev/null
     jq -e '[.planner_cells[] | select(.ratio_vs_best_fixed < 0.95)] | length == 0' BENCH_sweep.json > /dev/null
 

@@ -6,7 +6,7 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use tree_rendezvous::core::{gather, gatherable};
-use tree_rendezvous::sim::MultiOutcome;
+use tree_rendezvous::sim::Outcome;
 use tree_rendezvous::trees::generators::{caterpillar, random_relabel, random_tree, spider, star};
 use tree_rendezvous::trees::NodeId;
 
@@ -23,7 +23,7 @@ fn gathers_k_agents_on_gatherable_families() {
             starts.truncate(k.min(n as usize));
             let run = gather(&t, &starts, 2_000_000);
             assert!(
-                matches!(run.outcome, MultiOutcome::Gathered { .. }),
+                matches!(run.outcome, Outcome::Met { .. }),
                 "k={k} gathering failed on n={n} starts {starts:?}"
             );
             // Every pair must have met by the gathering round.
@@ -43,7 +43,7 @@ fn gathers_on_random_gatherable_trees() {
         }
         let starts = [0u32, 5, 9, 13];
         let run = gather(&t, &starts, 2_000_000);
-        assert!(matches!(run.outcome, MultiOutcome::Gathered { .. }), "gathering failed on {t:?}");
+        assert!(matches!(run.outcome, Outcome::Met { .. }), "gathering failed on {t:?}");
         tested += 1;
     }
 }
@@ -53,7 +53,7 @@ fn gathering_round_equals_last_pair_meeting() {
     let t = spider(4, 4);
     let starts = [1u32, 6, 11, 16];
     let run = gather(&t, &starts, 2_000_000);
-    let MultiOutcome::Gathered { round, .. } = run.outcome else {
+    let Outcome::Met { round, .. } = run.outcome else {
         panic!("gatherable");
     };
     let last_pair = run.pair_meetings.iter().map(|m| m.unwrap()).max().unwrap();

@@ -38,6 +38,7 @@ fn fixture() -> &'static (Vec<u8>, HashMap<u64, (Option<String>, Option<String>)
             seed: 0xA5A5,
             threads: 1,
             executor: Executor::ExactDecide,
+            agents: 2,
         };
         let records: Vec<CellRecord> = sweep::cells(&spec)
             .iter()

@@ -665,6 +665,7 @@ proptest! {
             seed,
             threads: 1,
             executor,
+            agents: 2,
         };
         let strip = |rows: &[sweep::SweepRow]| {
             let mut rows = rows.to_vec();

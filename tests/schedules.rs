@@ -97,6 +97,7 @@ fn sweep_schedule_axis_runs_certified_end_to_end() {
         seed: 99,
         threads: 2,
         executor,
+        agents: 2,
     };
     let decided = sweep::run(&spec(Executor::ExactDecide));
     let replayed = sweep::run(&spec(Executor::TraceReplay));
